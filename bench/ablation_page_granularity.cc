@@ -1,0 +1,61 @@
+// Ablation — §5 "Page Granularity": some storage configurations support
+// finer PRP transfer units than the Cosmos+ platform's 4 KB (e.g. 512 B).
+// A finer unit shrinks PRP's amplification for small payloads and
+// narrows — but does not close — ByteExpress's advantage, because the
+// per-command protocol overheads (descriptor handling, DMA setup) remain.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace bx;         // NOLINT(google-build-using-namespace)
+using namespace bx::bench;  // NOLINT(google-build-using-namespace)
+
+int main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::from_args(argc, argv);
+  print_banner(env,
+               "Ablation — PRP transfer granularity (512 B .. 4 KB units)",
+               "§5 'Page Granularity' (not a paper figure)");
+
+  std::printf("%-10s | %-38s | %-27s\n", "",
+              "PRP wire B/op by transfer unit",
+              "PRP mean ns/op by transfer unit");
+  std::printf("%-10s | %-9s %-9s %-9s %-9s| %-8s %-8s %-8s %-8s\n",
+              "payload", "512", "1024", "2048", "4096", "512", "1024",
+              "2048", "4096");
+
+  for (const std::uint32_t size : {32u, 64u, 256u, 1024u, 4096u}) {
+    double wire[4];
+    double latency[4];
+    int column = 0;
+    for (const std::uint32_t unit : {512u, 1024u, 2048u, 4096u}) {
+      auto config = env.testbed_config();
+      config.controller.prp_transfer_unit = unit;
+      core::Testbed testbed(config);
+      const auto stats = core::run_write_sweep(
+          testbed, driver::TransferMethod::kPrp, size, env.ops / 4);
+      wire[column] = stats.wire_bytes_per_op();
+      latency[column] = stats.mean_latency_ns();
+      ++column;
+    }
+    std::printf("%-10u | %-9.0f %-9.0f %-9.0f %-9.0f| %-8.0f %-8.0f %-8.0f "
+                "%-8.0f\n",
+                size, wire[0], wire[1], wire[2], wire[3], latency[0],
+                latency[1], latency[2], latency[3]);
+  }
+
+  // Does a 512 B unit save PRP? Compare against ByteExpress at 64 B.
+  auto fine_config = env.testbed_config();
+  fine_config.controller.prp_transfer_unit = 512;
+  core::Testbed fine(fine_config);
+  const auto fine_prp = core::run_write_sweep(
+      fine, driver::TransferMethod::kPrp, 64, env.ops / 4);
+  const auto fine_bx = core::run_write_sweep(
+      fine, driver::TransferMethod::kByteExpress, 64, env.ops / 4);
+  std::printf("\n@64 B with a 512 B unit: PRP %.0f B/op, %.0f ns — "
+              "ByteExpress still %.0f B/op, %.0f ns\n",
+              fine_prp.wire_bytes_per_op(), fine_prp.mean_latency_ns(),
+              fine_bx.wire_bytes_per_op(), fine_bx.mean_latency_ns());
+  print_note("finer units cut PRP's amplification ~8x at 64 B but leave "
+             "its fixed protocol latency; ByteExpress keeps both wins");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation — sub-block updates on a normal block SSD (§3.3.1's "NAND page
+// buffer entry" destination for inline payloads).
+//
+// A host that must change N bytes of a 4 KB block has three options:
+//   1. full-block rewrite over PRP (ship 4 KB),
+//   2. device-side partial write over PRP (ship N bytes... still a 4 KB
+//      page of DMA — PRP cannot go finer),
+//   3. device-side partial write over ByteExpress (ship exactly the
+//      changed bytes inline).
+// With the block hot in the device write cache, option 3 turns a
+// page-sized transfer into a handful of SQ entries.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace bx;         // NOLINT(google-build-using-namespace)
+using namespace bx::bench;  // NOLINT(google-build-using-namespace)
+
+int main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::from_args(argc, argv);
+  print_banner(env,
+               "Ablation — sub-block updates: full rewrite vs partial "
+               "write (PRP vs ByteExpress)",
+               "§3.3.1 'NAND page buffer entry of normal block SSDs' (not "
+               "a paper figure)");
+
+  auto config = env.testbed_config();
+  config.ssd.enable_write_cache = true;  // hot block: RMW stays in DRAM
+  core::Testbed testbed(config);
+
+  // Seed the target block so the patch has something to modify.
+  ByteVec block(4096);
+  fill_pattern(block, 1);
+  {
+    driver::IoRequest write;
+    write.opcode = nvme::IoOpcode::kWrite;
+    write.slba = 0;
+    write.block_count = 1;
+    write.write_data = block;
+    BX_ASSERT(testbed.driver().execute(write, 1)->ok());
+  }
+
+  const std::uint64_t ops = env.ops / 2 + 1;
+  std::printf("%-26s %-10s %-14s %-12s\n", "strategy", "patch", "wire B/op",
+              "mean ns/op");
+
+  for (const std::uint32_t patch_size : {16u, 64u, 256u, 1024u}) {
+    ByteVec patch(patch_size);
+
+    // Strategy 1: full-block rewrite (PRP).
+    {
+      testbed.reset_counters();
+      LatencyHistogram latency;
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        fill_pattern(patch, i);
+        std::memcpy(block.data() + 128, patch.data(), patch.size());
+        driver::IoRequest write;
+        write.opcode = nvme::IoOpcode::kWrite;
+        write.slba = 0;
+        write.block_count = 1;
+        write.write_data = block;
+        auto completion = testbed.driver().execute(write, 1);
+        BX_ASSERT(completion.is_ok() && completion->ok());
+        latency.record(completion->latency_ns);
+      }
+      std::printf("%-26s %-10u %-14.0f %-12.0f\n", "full rewrite (prp)",
+                  patch_size,
+                  double(testbed.traffic().total_wire_bytes()) / double(ops),
+                  latency.mean());
+    }
+
+    // Strategies 2 & 3: device-side partial write, PRP vs ByteExpress.
+    for (const driver::TransferMethod method :
+         {driver::TransferMethod::kPrp,
+          driver::TransferMethod::kByteExpress}) {
+      testbed.reset_counters();
+      LatencyHistogram latency;
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        fill_pattern(patch, i);
+        driver::IoRequest request;
+        request.opcode = nvme::IoOpcode::kVendorPartialWrite;
+        request.slba = 0;
+        request.aux = 128;
+        request.write_data = patch;
+        request.method = method;
+        auto completion = testbed.driver().execute(request, 1);
+        BX_ASSERT(completion.is_ok() && completion->ok());
+        latency.record(completion->latency_ns);
+      }
+      std::printf("%-26s %-10u %-14.0f %-12.0f\n",
+                  method == driver::TransferMethod::kPrp
+                      ? "partial write (prp)"
+                      : "partial write (byteexpr)",
+                  patch_size,
+                  double(testbed.traffic().total_wire_bytes()) / double(ops),
+                  latency.mean());
+    }
+    std::printf("\n");
+  }
+  print_note("PRP cannot ship less than a page, so even the partial-write "
+             "command moves 4 KB; ByteExpress ships exactly the patch");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation — §5 "PCIe Generation Variants".
+//
+// Higher-bandwidth links make the PRP page DMA cheap, shrinking
+// ByteExpress's relative *latency* advantage; the *traffic* advantage is
+// generation-invariant (the same bytes cross the link, just faster).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace bx;         // NOLINT(google-build-using-namespace)
+using namespace bx::bench;  // NOLINT(google-build-using-namespace)
+
+int main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::from_args(argc, argv);
+  print_banner(env, "Ablation — PCIe generation sweep (Gen2 x8 .. Gen5 x8)",
+               "§5 'Page Granularity and PCIe Generation Variants' (not a "
+               "paper figure)");
+
+  std::printf("%-8s | %-27s | %-27s | %s\n", "", "64 B latency (ns)",
+              "4 KB latency (ns)", "BX latency win @64B");
+  std::printf("%-8s | %-8s %-8s %-9s | %-8s %-8s %-9s |\n", "link", "prp",
+              "byteexpr", "bandslim", "prp", "byteexpr", "bandslim");
+
+  for (const int gen : {2, 3, 4, 5}) {
+    auto config = env.testbed_config();
+    config.link.generation = gen;
+    core::Testbed testbed(config);
+
+    double latency[2][3];
+    const std::uint32_t sizes[2] = {64, 4096};
+    const driver::TransferMethod methods[3] = {
+        driver::TransferMethod::kPrp, driver::TransferMethod::kByteExpress,
+        driver::TransferMethod::kBandSlim};
+    for (int s = 0; s < 2; ++s) {
+      for (int m = 0; m < 3; ++m) {
+        latency[s][m] = core::run_write_sweep(testbed, methods[m], sizes[s],
+                                              env.ops / 4)
+                            .mean_latency_ns();
+      }
+    }
+    std::printf("Gen%-5d | %-8.0f %-8.0f %-9.0f | %-8.0f %-8.0f %-9.0f | "
+                "%.1f%%\n",
+                gen, latency[0][0], latency[0][1], latency[0][2],
+                latency[1][0], latency[1][1], latency[1][2],
+                100.0 * (1.0 - latency[0][1] / latency[0][0]));
+  }
+
+  // Traffic is link-speed invariant.
+  std::printf("\nwire bytes per 64 B op (any generation):\n");
+  auto config = env.testbed_config();
+  core::Testbed testbed(config);
+  for (const driver::TransferMethod method :
+       {driver::TransferMethod::kPrp, driver::TransferMethod::kByteExpress}) {
+    const auto stats = core::run_write_sweep(testbed, method, 64, 1000);
+    std::printf("  %-14s %.0f B\n",
+                std::string(driver::transfer_method_name(method)).c_str(),
+                stats.wire_bytes_per_op());
+  }
+  print_note("the latency win shrinks with link speed but survives: the "
+             "protocol overheads ByteExpress removes (descriptor DMA "
+             "setup, page fetch) do not all scale with bandwidth");
+  return 0;
+}

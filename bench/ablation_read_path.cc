@@ -1,0 +1,77 @@
+// Ablation — the read direction, which ByteExpress deliberately leaves to
+// the native mechanisms (the SQ carries host->device data only; inline
+// transfer cannot help a read). This quantifies what small READS cost
+// under PRP (page-granular return), SGL (exact-sized return), and SGL
+// bit-bucket probes (no data return at all, §5) — the landscape a future
+// "inline read completion" design would compete against.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+
+using namespace bx;         // NOLINT(google-build-using-namespace)
+using namespace bx::bench;  // NOLINT(google-build-using-namespace)
+
+int main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::from_args(argc, argv);
+  print_banner(env,
+               "Ablation — small READS: PRP vs SGL vs SGL bit-bucket "
+               "(KV retrieve path)",
+               "read-direction counterpart of Fig 5 (not a paper figure)");
+
+  core::Testbed testbed(env.testbed_config());
+  auto writer = testbed.make_kv_client(driver::TransferMethod::kByteExpress);
+
+  const std::vector<std::uint32_t> sizes = {32, 64, 128, 256, 1024, 4000};
+  for (const std::uint32_t size : sizes) {
+    ByteVec value(size);
+    fill_pattern(value, size);
+    BX_ASSERT(writer.put("rd" + std::to_string(size), value).is_ok());
+  }
+
+  std::printf("%-10s | %-33s | %-25s\n", "", "upstream data bytes per GET",
+              "mean latency (ns)");
+  std::printf("%-10s | %-10s %-10s %-10s | %-8s %-8s %-8s\n", "value",
+              "prp", "sgl", "bitbucket", "prp", "sgl", "bitbucket");
+
+  const std::uint64_t ops = env.ops / 4 + 1;
+  for (const std::uint32_t size : sizes) {
+    const std::string key = "rd" + std::to_string(size);
+    double up_data[3];
+    double latency[3];
+    for (int mode = 0; mode < 3; ++mode) {
+      testbed.reset_counters();
+      LatencyHistogram hist;
+      ByteVec buffer(size);
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        driver::IoRequest read;
+        read.opcode = nvme::IoOpcode::kVendorKvRetrieve;
+        read.method = mode == 0 ? driver::TransferMethod::kPrp
+                                : driver::TransferMethod::kSgl;
+        read.discard_read_data = mode == 2;
+        read.read_buffer = buffer;
+        nvme::KvKeyFields key_fields;
+        key_fields.key_len = static_cast<std::uint8_t>(key.size());
+        std::memcpy(key_fields.key, key.data(), key.size());
+        read.key = key_fields;
+        auto completion = testbed.driver().execute(read, 1);
+        BX_ASSERT(completion.is_ok() && completion->ok());
+        BX_ASSERT(completion->dw0 == size);  // value size always reported
+        hist.record(completion->latency_ns);
+      }
+      const auto up = testbed.traffic().total(pcie::Direction::kUpstream);
+      up_data[mode] = double(up.data_bytes) / double(ops);
+      latency[mode] = hist.mean();
+    }
+    std::printf("%-10u | %-10.0f %-10.0f %-10.0f | %-8.0f %-8.0f %-8.0f\n",
+                size, up_data[0], up_data[1], up_data[2], latency[0],
+                latency[1], latency[2]);
+  }
+  print_note("PRP returns whole pages even for 32 B values; SGL returns "
+             "exactly the value; a bit-bucket probe returns only the CQE "
+             "(size in DW0) — the cheapest existence/size check");
+  print_note("the SQ is host->device only, so ByteExpress cannot "
+             "accelerate reads — the asymmetry the paper's evaluation "
+             "sidesteps by benchmarking writes");
+  return 0;
+}

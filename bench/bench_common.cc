@@ -1,0 +1,97 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bx::bench {
+
+BenchEnv BenchEnv::from_args(int argc, const char* const* argv) {
+  BenchEnv env;
+  const Status parsed = env.config.parse_args(argc, argv);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n", parsed.to_string().c_str());
+    std::exit(2);
+  }
+  env.ops = static_cast<std::uint64_t>(
+      env.config.get_int("ops", static_cast<std::int64_t>(env.ops)));
+  return env;
+}
+
+core::TestbedConfig BenchEnv::testbed_config() const {
+  core::TestbedConfig testbed;
+  testbed.link.generation =
+      static_cast<int>(config.get_int("pcie.gen", 2));
+  testbed.link.lanes = static_cast<int>(config.get_int("pcie.lanes", 8));
+
+  testbed.driver.io_queue_count =
+      static_cast<std::uint16_t>(config.get_int("queues", 2));
+  testbed.driver.io_queue_depth =
+      static_cast<std::uint32_t>(config.get_int("depth", 256));
+  testbed.driver.hybrid_threshold_bytes =
+      static_cast<std::uint32_t>(config.get_int("hybrid.threshold", 256));
+
+  // OpenSSD-like geometry scaled to keep the FTL map small: 2 GiB of 4 KiB
+  // pages across 32 dies.
+  testbed.ssd.geometry.channels =
+      static_cast<std::uint32_t>(config.get_int("nand.channels", 8));
+  testbed.ssd.geometry.ways =
+      static_cast<std::uint32_t>(config.get_int("nand.ways", 4));
+  testbed.ssd.geometry.blocks_per_die =
+      static_cast<std::uint32_t>(config.get_int("nand.blocks", 128));
+  testbed.ssd.geometry.pages_per_block =
+      static_cast<std::uint32_t>(config.get_int("nand.pages", 128));
+
+  testbed.ssd.kv.flush_threshold_bytes = static_cast<std::size_t>(
+      config.get_int("kv.flush_threshold", 1 << 20));
+  return testbed;
+}
+
+void print_banner(const BenchEnv& env, std::string_view title,
+                  std::string_view reproduces) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%.*s\n", int(title.size()), title.data());
+  std::printf("reproduces: %.*s\n", int(reproduces.size()),
+              reproduces.data());
+  std::printf("ops/point=%llu  link=Gen%lldx%lld  (simulated time & modeled "
+              "PCIe bytes)\n",
+              static_cast<unsigned long long>(env.ops),
+              static_cast<long long>(env.config.get_int("pcie.gen", 2)),
+              static_cast<long long>(env.config.get_int("pcie.lanes", 8)));
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+void print_note(std::string_view text) {
+  std::printf("note: %.*s\n", int(text.size()), text.data());
+}
+
+core::RunStats run_kv_puts(core::Testbed& testbed, kv::KvClient& client,
+                           workload::MixGraphWorkload* mixgraph,
+                           workload::FillRandomWorkload* fillrandom,
+                           std::uint64_t ops, std::string_view label) {
+  core::RunStats stats;
+  stats.label.assign(label);
+  stats.ops = ops;
+
+  testbed.reset_counters();
+  const auto traffic_before = testbed.traffic().total();
+  const Nanoseconds start = testbed.clock().now();
+
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const workload::KvOp op =
+        mixgraph != nullptr ? mixgraph->next_put() : fillrandom->next_put();
+    const Status put = client.put(op.key, op.value);
+    BX_ASSERT_MSG(put.is_ok(), "KV put failed during benchmark");
+    stats.latency.record(client.last_completion().latency_ns);
+    stats.payload_bytes += op.value.size();
+  }
+
+  stats.total_time_ns = testbed.clock().now() - start;
+  const auto traffic_after = testbed.traffic().total();
+  stats.wire_bytes = traffic_after.wire_bytes - traffic_before.wire_bytes;
+  stats.data_bytes = traffic_after.data_bytes - traffic_before.data_bytes;
+  return stats;
+}
+
+}  // namespace bx::bench

@@ -1,0 +1,49 @@
+// Shared benchmark scaffolding.
+//
+// Every bench binary reproduces one table/figure of the paper on the
+// simulated testbed and prints the same rows/series the paper reports.
+// Measurements are in *simulated* time (SimClock nanoseconds) and
+// *modeled* PCIe wire bytes — never host wall-clock — so results are
+// exactly reproducible. Binaries accept key=value overrides, e.g.:
+//   ./fig5_payload_sweep ops=100000 pcie.gen=3
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.h"
+#include "core/measurement.h"
+#include "core/testbed.h"
+#include "workload/mixgraph.h"
+
+namespace bx::bench {
+
+struct BenchEnv {
+  Config config;
+  /// Operations per data point. The paper issues 1M per configuration; the
+  /// default here keeps full-suite runtime small while staying far past
+  /// convergence of the deterministic model (override with ops=1000000).
+  std::uint64_t ops = 20'000;
+
+  static BenchEnv from_args(int argc, const char* const* argv);
+
+  /// The paper's testbed: PCIe Gen2 x8, OpenSSD-like geometry. `pcie.gen`,
+  /// `pcie.lanes`, `queues`, `depth` and NAND keys can override.
+  [[nodiscard]] core::TestbedConfig testbed_config() const;
+};
+
+/// Prints the banner: which figure/table, the workload, the knobs.
+void print_banner(const BenchEnv& env, std::string_view title,
+                  std::string_view reproduces);
+
+/// Prints a note line ("note: ...").
+void print_note(std::string_view text);
+
+/// Runs `ops` KV PUTs from `workload` through `client`, returning stats
+/// measured over the run (traffic + simulated latency). Used by Fig 6.
+core::RunStats run_kv_puts(core::Testbed& testbed, kv::KvClient& client,
+                           workload::MixGraphWorkload* mixgraph,
+                           workload::FillRandomWorkload* fillrandom,
+                           std::uint64_t ops, std::string_view label);
+
+}  // namespace bx::bench

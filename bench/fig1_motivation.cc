@@ -1,0 +1,82 @@
+// Figure 1 — the motivation measurements.
+//  (a) MixGraph value-size distribution (the heatmap's marginal): CDF
+//      buckets of value sizes drawn from the db_bench MixGraph defaults.
+//  (b) PCIe traffic and transfer latency (NAND off) for PRP-based writes
+//      across 1..16 KB payloads: both step at 4 KB boundaries.
+//  (c) Traffic amplification factor for sub-1 KB payloads: wire bytes per
+//      payload byte (a 32 B request costs >100x its size).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace bx;          // NOLINT(google-build-using-namespace)
+using namespace bx::bench;   // NOLINT(google-build-using-namespace)
+
+namespace {
+
+void fig1a(const BenchEnv& env) {
+  std::printf("\n--- Figure 1(a): MixGraph value size distribution ---\n");
+  workload::MixGraphWorkload workload;
+  ExactCounter counter(4096);
+  const std::uint64_t draws = env.ops * 10;
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    counter.record(workload.next_value_size());
+  }
+  std::printf("%-14s %-10s %s\n", "value size", "CDF", "share");
+  double previous = 0.0;
+  for (const std::uint64_t edge : {8u, 16u, 32u, 64u, 128u, 256u, 512u,
+                                   1024u, 2048u, 4095u}) {
+    const double cdf = counter.cdf(edge);
+    std::printf("<= %-11llu %-10.3f %5.1f%%\n",
+                static_cast<unsigned long long>(edge), cdf,
+                (cdf - previous) * 100.0);
+    previous = cdf;
+  }
+  std::printf("share of values under 32 B: %.1f%%  (paper: >60%%)\n",
+              counter.cdf(31) * 100.0);
+}
+
+void fig1b(const BenchEnv& env) {
+  std::printf("\n--- Figure 1(b): PRP write traffic & latency, 1-16 KB "
+              "(NAND off) ---\n");
+  std::printf("%-10s %-14s %-14s %s\n", "payload", "wire B/op",
+              "data B/op", "mean latency (ns)");
+  core::Testbed testbed(env.testbed_config());
+  for (std::uint32_t kib = 1; kib <= 16; ++kib) {
+    const auto stats = core::run_write_sweep(
+        testbed, driver::TransferMethod::kPrp, kib * 1024, env.ops / 4);
+    std::printf("%-10u %-14.0f %-14.0f %.0f\n", kib * 1024,
+                stats.wire_bytes_per_op(),
+                double(stats.data_bytes) / double(stats.ops),
+                stats.mean_latency_ns());
+  }
+  print_note("both columns step at 4 KB page boundaries, as measured on "
+             "the OpenSSD");
+}
+
+void fig1c(const BenchEnv& env) {
+  std::printf("\n--- Figure 1(c): traffic amplification for sub-1 KB PRP "
+              "writes ---\n");
+  std::printf("%-10s %-14s %s\n", "payload", "wire B/op", "amplification");
+  core::Testbed testbed(env.testbed_config());
+  for (const std::uint32_t size : {32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const auto stats = core::run_write_sweep(
+        testbed, driver::TransferMethod::kPrp, size, env.ops / 4);
+    std::printf("%-10u %-14.0f %.1fx\n", size, stats.wire_bytes_per_op(),
+                stats.amplification());
+  }
+  print_note("paper: a 32 B request generates >130x its size in traffic");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::from_args(argc, argv);
+  print_banner(env, "Figure 1 — motivation: small payloads over NVMe PRP",
+               "Fig 1(a) value sizes, Fig 1(b) PRP staircase, Fig 1(c) "
+               "amplification");
+  fig1a(env);
+  fig1b(env);
+  fig1c(env);
+  return 0;
+}

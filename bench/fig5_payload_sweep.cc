@@ -1,0 +1,89 @@
+// Figure 5 — PCIe traffic and average latency across payload sizes for the
+// three transfer methods (NAND off): NVMe PRP, BandSlim, ByteExpress.
+//
+// The published shape this regenerates:
+//   * traffic: ByteExpress and BandSlim far below PRP for sub-page
+//     payloads (~96% reduction at 64 B); ByteExpress up to ~40% below
+//     BandSlim across 64 B - 4 KB,
+//   * latency: ByteExpress ~40% below PRP in the 32-128 B range, BandSlim
+//     collapsing past 64 B (~70% ByteExpress win at 128 B), and the
+//     ByteExpress/PRP crossover just past 256 B.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace bx;         // NOLINT(google-build-using-namespace)
+using namespace bx::bench;  // NOLINT(google-build-using-namespace)
+
+int main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::from_args(argc, argv);
+  print_banner(env,
+               "Figure 5 — payload-size sweep: PRP vs BandSlim vs "
+               "ByteExpress (NAND off)",
+               "Fig 5 (both panels)");
+
+  const std::vector<std::uint32_t> sizes = {32,  64,   128,  256,  512,
+                                            1024, 2048, 4096, 8192, 16384};
+  const std::vector<driver::TransferMethod> methods = {
+      driver::TransferMethod::kPrp, driver::TransferMethod::kBandSlim,
+      driver::TransferMethod::kByteExpress};
+
+  core::Testbed testbed(env.testbed_config());
+
+  std::printf("%-10s | %-36s | %-30s\n", "", "PCIe wire bytes per op",
+              "mean latency (ns)");
+  std::printf("%-10s | %-11s %-11s %-11s  | %-9s %-9s %-9s\n", "payload",
+              "prp", "bandslim", "byteexpr", "prp", "bandslim", "byteexpr");
+
+  for (const std::uint32_t size : sizes) {
+    double wire[3] = {};
+    double latency[3] = {};
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const auto stats =
+          core::run_write_sweep(testbed, methods[m], size, env.ops / 2);
+      wire[m] = stats.wire_bytes_per_op();
+      latency[m] = stats.mean_latency_ns();
+    }
+    std::printf("%-10u | %-11.0f %-11.0f %-11.0f  | %-9.0f %-9.0f %-9.0f\n",
+                size, wire[0], wire[1], wire[2], latency[0], latency[1],
+                latency[2]);
+  }
+
+  // Headline numbers the paper quotes.
+  auto wire_of = [&](driver::TransferMethod method, std::uint32_t size) {
+    return core::run_write_sweep(testbed, method, size, env.ops / 4)
+        .wire_bytes_per_op();
+  };
+  auto latency_of = [&](driver::TransferMethod method, std::uint32_t size) {
+    return core::run_write_sweep(testbed, method, size, env.ops / 4)
+        .mean_latency_ns();
+  };
+  std::printf("\nheadlines (paper's quoted numbers in parentheses):\n");
+  std::printf("  traffic reduction, ByteExpress vs PRP @64B:      %5.1f%% "
+              "(96.3%%)\n",
+              100.0 * (1.0 - wire_of(driver::TransferMethod::kByteExpress,
+                                     64) /
+                                 wire_of(driver::TransferMethod::kPrp, 64)));
+  std::printf("  traffic reduction, ByteExpress vs BandSlim @4KB: %5.1f%% "
+              "(up to 39.8%%)\n",
+              100.0 *
+                  (1.0 - wire_of(driver::TransferMethod::kByteExpress, 4096) /
+                             wire_of(driver::TransferMethod::kBandSlim,
+                                     4096)));
+  std::printf("  latency reduction, ByteExpress vs PRP @64B:      %5.1f%% "
+              "(up to 40.4%% in 32-128B)\n",
+              100.0 * (1.0 - latency_of(driver::TransferMethod::kByteExpress,
+                                        64) /
+                                 latency_of(driver::TransferMethod::kPrp,
+                                            64)));
+  std::printf("  latency reduction, ByteExpress vs BandSlim @128B:%5.1f%% "
+              "(72%%)\n",
+              100.0 *
+                  (1.0 -
+                   latency_of(driver::TransferMethod::kByteExpress, 128) /
+                       latency_of(driver::TransferMethod::kBandSlim, 128)));
+  print_note("ByteExpress/PRP latency crossover sits between 256 B and "
+             "512 B (paper: 'around the 256-byte')");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Figure 7 — SQL predicate pushdown for CSDs: for each Figure 4 query
+// (VPIC, Laghos, Asteroid, TPC-H Q1, TPC-H Q2) transfer either the FULL
+// SQL string or only the TABLE+PREDICATE segment as the computation task
+// message, under PRP, BandSlim and ByteExpress; report per-task PCIe
+// traffic and task-submission throughput.
+//
+// Published shape: both small-payload methods cut traffic by ~98% vs PRP
+// (Asteroid case); ByteExpress beats PRP on throughput for every segment
+// form and also for the full strings of the sub-100B scientific queries.
+// Figure 4's string/segment lengths are printed first.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/query_set.h"
+
+using namespace bx;         // NOLINT(google-build-using-namespace)
+using namespace bx::bench;  // NOLINT(google-build-using-namespace)
+
+namespace {
+
+struct MethodResult {
+  double wire_per_op = 0;
+  double kops = 0;
+};
+
+MethodResult run_case(const BenchEnv& env, core::Testbed& testbed,
+                      csd::CsdClient& client, driver::TransferMethod method,
+                      const std::string& task, std::uint32_t expected) {
+  client.set_method(method);
+  testbed.reset_counters();
+  const auto before = testbed.traffic().total();
+  const Nanoseconds start = testbed.clock().now();
+  const std::uint64_t ops = env.ops / 10 + 1;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    auto matches = client.filter(task);
+    BX_ASSERT_MSG(matches.is_ok(), "pushdown task failed");
+    BX_ASSERT_MSG(*matches == expected, "selectivity drifted between runs");
+  }
+  const Nanoseconds elapsed = testbed.clock().now() - start;
+  const auto after = testbed.traffic().total();
+  MethodResult result;
+  result.wire_per_op =
+      double(after.wire_bytes - before.wire_bytes) / double(ops);
+  result.kops = double(ops) * 1e6 / double(elapsed);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchEnv env = BenchEnv::from_args(argc, argv);
+  print_banner(env,
+               "Figure 7 — SQL predicate pushdown (full string vs "
+               "table+predicate segment)",
+               "Fig 4 payload lengths, Fig 7(a) traffic, Fig 7(b) "
+               "throughput");
+
+  // Figure 4: the payload lengths.
+  std::printf("\n--- Figure 4: task payload lengths ---\n");
+  std::printf("%-10s %-12s %s\n", "workload", "full (B)", "segment (B)");
+  for (const auto& query_case : workload::fig4_query_set()) {
+    std::printf("%-10s %-12zu %zu\n", query_case.name.c_str(),
+                query_case.full_sql.size(), query_case.segment.size());
+  }
+
+  std::printf("\n%-10s %-8s | %-30s | %-27s\n", "", "",
+              "PCIe wire bytes per task", "throughput (Ktasks/s)");
+  std::printf("%-10s %-8s | %-9s %-9s %-9s | %-8s %-8s %-8s\n", "workload",
+              "form", "prp", "bandslim", "byteexpr", "prp", "bandslim",
+              "byteexpr");
+
+  for (const auto& query_case : workload::fig4_query_set()) {
+    // One device per query case: create the table, load rows, filter.
+    core::Testbed testbed(env.testbed_config());
+    auto client = testbed.make_csd_client(driver::TransferMethod::kPrp);
+    BX_ASSERT(client.create_table(query_case.schema).is_ok());
+    // The paper's Figure 7(b) measures *task transfer* throughput, so the
+    // resident table is kept tiny (fits the DRAM tail page — no NAND scan
+    // per task); otherwise the scan would mask the transfer differences.
+    Rng rng(2025);
+    ByteVec rows;
+    const int kRows = 24;
+    for (int i = 0; i < kRows; ++i) {
+      const ByteVec row = query_case.make_row(rng);
+      rows.insert(rows.end(), row.begin(), row.end());
+    }
+    BX_ASSERT(
+        client.append_rows(query_case.schema.name(), rows).is_ok());
+    auto expected = client.filter(query_case.full_sql);
+    BX_ASSERT(expected.is_ok());
+
+    for (const bool full_form : {true, false}) {
+      const std::string& task =
+          full_form ? query_case.full_sql : query_case.segment;
+      MethodResult results[3];
+      const driver::TransferMethod methods[3] = {
+          driver::TransferMethod::kPrp, driver::TransferMethod::kBandSlim,
+          driver::TransferMethod::kByteExpress};
+      for (int m = 0; m < 3; ++m) {
+        results[m] =
+            run_case(env, testbed, client, methods[m], task, *expected);
+      }
+      std::printf("%-10s %-8s | %-9.0f %-9.0f %-9.0f | %-8.1f %-8.1f "
+                  "%-8.1f\n",
+                  query_case.name.c_str(), full_form ? "full" : "segment",
+                  results[0].wire_per_op, results[1].wire_per_op,
+                  results[2].wire_per_op, results[0].kops, results[1].kops,
+                  results[2].kops);
+    }
+  }
+  print_note("segment rows: ByteExpress outperforms PRP everywhere; full "
+             "rows: also for the sub-100B scientific queries (paper §4.3)");
+  print_note("Asteroid-style tasks cut traffic by ~98% vs PRP with either "
+             "small-payload method (paper Fig 7(a))");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Wall-clock microbenchmarks (google-benchmark) of the host-side hot
+// paths. Unlike the fig*/table* binaries — which report *simulated* time —
+// these measure the real CPU cost of this library's driver code paths:
+// SQE construction, inline chunk insertion, PRP chain building, and the
+// full single-command round trip through the simulated device.
+#include <benchmark/benchmark.h>
+
+#include "core/testbed.h"
+#include "workload/mixgraph.h"
+
+namespace {
+
+using bx::ByteVec;
+using bx::core::Testbed;
+using bx::core::TestbedConfig;
+using bx::driver::TransferMethod;
+
+TestbedConfig bench_config() {
+  TestbedConfig config;
+  config.ssd.geometry.channels = 2;
+  config.ssd.geometry.ways = 2;
+  config.ssd.geometry.blocks_per_die = 64;
+  config.ssd.geometry.pages_per_block = 64;
+  return config;
+}
+
+void BM_RawWrite(benchmark::State& state, TransferMethod method) {
+  Testbed testbed(bench_config());
+  ByteVec payload(static_cast<std::size_t>(state.range(0)));
+  bx::fill_pattern(payload, 1);
+  for (auto _ : state) {
+    auto completion = testbed.raw_write(payload, method);
+    benchmark::DoNotOptimize(completion);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+
+void BM_PrpChainBuild(benchmark::State& state) {
+  bx::DmaMemory memory;
+  const auto length = static_cast<std::uint64_t>(state.range(0));
+  bx::DmaBuffer buffer = memory.allocate(length);
+  for (auto _ : state) {
+    auto chain = bx::nvme::build_prp_chain(memory, buffer.addr(), length);
+    benchmark::DoNotOptimize(chain);
+  }
+}
+
+void BM_KvPut(benchmark::State& state) {
+  Testbed testbed(bench_config());
+  auto client = testbed.make_kv_client(TransferMethod::kByteExpress);
+  ByteVec value(static_cast<std::size_t>(state.range(0)));
+  bx::fill_pattern(value, 2);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const bx::Status status =
+        client.put(bx::workload::make_key(i++ % 4096), value);
+    benchmark::DoNotOptimize(status);
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_RawWrite, prp, TransferMethod::kPrp)
+    ->Arg(64)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_RawWrite, byteexpress, TransferMethod::kByteExpress)
+    ->Arg(64)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_RawWrite, bandslim, TransferMethod::kBandSlim)
+    ->Arg(64);
+BENCHMARK(BM_PrpChainBuild)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+BENCHMARK(BM_KvPut)->Arg(64)->Arg(1024);

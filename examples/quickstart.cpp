@@ -1,0 +1,78 @@
+// Quickstart: bring up the simulated testbed (host + PCIe Gen2 x8 link +
+// OpenSSD-like device), write one small payload with conventional NVMe PRP
+// and once more with ByteExpress, and compare what crossed the link.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/testbed.h"
+
+int main() {
+  using namespace bx;  // NOLINT(google-build-using-namespace)
+
+  // 1. Assemble the system. Defaults mirror the paper's testbed: PCIe
+  //    Gen2 x8, a multi-die NAND SSD behind an NVMe controller.
+  core::Testbed testbed;
+  std::printf("testbed up: %u I/O queue(s), link %.1f GB/s\n",
+              testbed.driver().io_queue_count(),
+              testbed.config().link.bytes_per_ns());
+
+  // 2. A 64-byte payload — the size class KV-SSD values and CSD predicates
+  //    live in (§2.2).
+  ByteVec payload(64);
+  fill_pattern(payload, /*seed=*/42);
+
+  // 3. Send it the conventional way (PRP: page-granular DMA).
+  testbed.reset_counters();
+  auto prp = testbed.raw_write(payload, driver::TransferMethod::kPrp);
+  if (!prp.is_ok() || !prp->ok()) {
+    std::fprintf(stderr, "PRP write failed\n");
+    return 1;
+  }
+  const std::uint64_t prp_wire = testbed.traffic().total_wire_bytes();
+  std::printf("\nPRP write of 64 B:         latency %6llu ns, %5llu wire "
+              "bytes on PCIe\n",
+              static_cast<unsigned long long>(prp->latency_ns),
+              static_cast<unsigned long long>(prp_wire));
+
+  // 4. Send it with ByteExpress: the payload rides the submission queue in
+  //    64-byte chunks right behind the command (§3.3).
+  testbed.reset_counters();
+  auto bx = testbed.raw_write(payload, driver::TransferMethod::kByteExpress);
+  if (!bx.is_ok() || !bx->ok()) {
+    std::fprintf(stderr, "ByteExpress write failed\n");
+    return 1;
+  }
+  const std::uint64_t bx_wire = testbed.traffic().total_wire_bytes();
+  std::printf("ByteExpress write of 64 B: latency %6llu ns, %5llu wire "
+              "bytes on PCIe\n",
+              static_cast<unsigned long long>(bx->latency_ns),
+              static_cast<unsigned long long>(bx_wire));
+
+  std::printf("\n=> traffic cut %.1f%%, latency cut %.1f%% (paper: up to "
+              "96%% / ~40%%)\n",
+              100.0 * (1.0 - double(bx_wire) / double(prp_wire)),
+              100.0 * (1.0 - double(bx->latency_ns) /
+                                 double(prp->latency_ns)));
+
+  // 5. Where did every byte of the ByteExpress write go? (Captured before
+  //    the read-back below adds its own traffic.)
+  const std::string breakdown = testbed.traffic().breakdown();
+
+  // 6. Verify the bytes actually arrived: read the device scratch back.
+  ByteVec read_back(payload.size());
+  driver::IoRequest read;
+  read.opcode = nvme::IoOpcode::kVendorRawRead;
+  read.read_buffer = read_back;
+  auto completion = testbed.driver().execute(read, 1);
+  if (!completion.is_ok() || !completion->ok() ||
+      read_back != payload) {
+    std::fprintf(stderr, "read-back mismatch\n");
+    return 1;
+  }
+  std::printf("read-back verified byte-exact.\n");
+
+  std::printf("\nper-class traffic of the ByteExpress write:\n%s",
+              breakdown.c_str());
+  return 0;
+}

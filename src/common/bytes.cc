@@ -1,0 +1,62 @@
+#include "common/bytes.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace bx {
+namespace {
+
+// Same mixer as splitmix64 — cheap and byte-position sensitive.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Byte pattern_byte(std::uint64_t seed, std::size_t index) noexcept {
+  const std::uint64_t word = mix(seed + (index / 8) * 0x9e3779b97f4a7c15ULL);
+  return static_cast<Byte>(word >> ((index % 8) * 8));
+}
+
+}  // namespace
+
+void fill_pattern(ByteSpan out, std::uint64_t seed) noexcept {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = pattern_byte(seed, i);
+}
+
+bool verify_pattern(ConstByteSpan data, std::uint64_t seed) noexcept {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != pattern_byte(seed, i)) return false;
+  }
+  return true;
+}
+
+std::string hex_dump(ConstByteSpan data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  for (std::size_t row = 0; row < n; row += 16) {
+    char head[32];
+    std::snprintf(head, sizeof(head), "%04zx: ", row);
+    out += head;
+    for (std::size_t col = 0; col < 16; ++col) {
+      if (row + col < n) {
+        char hex[4];
+        std::snprintf(hex, sizeof(hex), "%02x ", data[row + col]);
+        out += hex;
+      } else {
+        out += "   ";
+      }
+    }
+    out += "|";
+    for (std::size_t col = 0; col < 16 && row + col < n; ++col) {
+      const Byte b = data[row + col];
+      out += std::isprint(b) != 0 ? static_cast<char>(b) : '.';
+    }
+    out += "|\n";
+  }
+  if (data.size() > max_bytes) out += "... (truncated)\n";
+  return out;
+}
+
+}  // namespace bx

@@ -1,0 +1,59 @@
+// Byte-buffer helpers shared by the DMA, NVMe and workload layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bx {
+
+using Byte = std::uint8_t;
+using ByteSpan = std::span<Byte>;
+using ConstByteSpan = std::span<const Byte>;
+using ByteVec = std::vector<Byte>;
+
+/// Rounds `value` up to the next multiple of `alignment` (a power of two).
+constexpr std::uint64_t align_up(std::uint64_t value,
+                                 std::uint64_t alignment) noexcept {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+constexpr std::uint64_t align_down(std::uint64_t value,
+                                   std::uint64_t alignment) noexcept {
+  return value & ~(alignment - 1);
+}
+
+constexpr bool is_aligned(std::uint64_t value,
+                          std::uint64_t alignment) noexcept {
+  return (value & (alignment - 1)) == 0;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Fills `out` with a deterministic pattern derived from `seed` so that
+/// payloads can be verified end to end after transfer.
+void fill_pattern(ByteSpan out, std::uint64_t seed) noexcept;
+
+/// True iff `data` matches the pattern fill_pattern(seed) would produce.
+[[nodiscard]] bool verify_pattern(ConstByteSpan data,
+                                  std::uint64_t seed) noexcept;
+
+/// Canonical hex dump ("0000: 00 01 02 ... |........|"), for diagnostics.
+[[nodiscard]] std::string hex_dump(ConstByteSpan data,
+                                   std::size_t max_bytes = 256);
+
+/// Convenience: bytes of a string (no copy).
+inline ConstByteSpan as_bytes(std::string_view s) noexcept {
+  return {reinterpret_cast<const Byte*>(s.data()), s.size()};
+}
+
+inline std::string to_string(ConstByteSpan data) {
+  return {reinterpret_cast<const char*>(data.data()), data.size()};
+}
+
+}  // namespace bx

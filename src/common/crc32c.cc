@@ -1,0 +1,34 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace bx {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0x82f63b78u;  // reflected CRC32-C
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) != 0 ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(ConstByteSpan data, std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  for (const Byte b : data) {
+    crc = kTable[(crc ^ b) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace bx

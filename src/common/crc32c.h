@@ -1,0 +1,15 @@
+// CRC32-C (Castagnoli). Used by the value log and the out-of-order
+// reassembly engine to validate payload integrity end to end.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace bx {
+
+/// CRC32-C of `data`, optionally continuing from a previous crc.
+[[nodiscard]] std::uint32_t crc32c(ConstByteSpan data,
+                                   std::uint32_t seed = 0) noexcept;
+
+}  // namespace bx

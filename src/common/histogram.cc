@@ -1,0 +1,135 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace bx {
+
+LatencyHistogram::LatencyHistogram()
+    // +2 range groups: the linear sub-16 region plus the top range that
+    // holds values with the MSB at bit 63.
+    : buckets_(static_cast<std::size_t>(kRanges + 2) * kSubBuckets, 0) {}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int range = msb - kSubBucketBits + 1;
+  const auto sub = static_cast<std::size_t>(
+      (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  return static_cast<std::size_t>(range) * kSubBuckets + sub + kSubBuckets;
+}
+
+std::uint64_t LatencyHistogram::bucket_midpoint(std::size_t index) noexcept {
+  if (index < kSubBuckets) return index;
+  index -= kSubBuckets;
+  const int range = static_cast<int>(index / kSubBuckets);
+  const std::uint64_t sub = index % kSubBuckets;
+  const std::uint64_t base = (std::uint64_t{kSubBuckets} | sub)
+                             << (range - 1);
+  const std::uint64_t width = std::uint64_t{1} << (range - 1);
+  return base + width / 2;
+}
+
+void LatencyHistogram::record(std::uint64_t value) noexcept {
+  record_n(value, 1);
+}
+
+void LatencyHistogram::record_n(std::uint64_t value,
+                                std::uint64_t count) noexcept {
+  if (count == 0) return;
+  const std::size_t index = bucket_index(value);
+  BX_ASSERT(index < buckets_.size());
+  buckets_[index] += count;
+  count_ += count;
+  sum_ += value * count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+std::uint64_t LatencyHistogram::min() const noexcept {
+  return count_ == 0 ? 0 : min_;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / double(count_);
+}
+
+std::uint64_t LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // The extremes are tracked exactly.
+  if (p == 0.0) return min();
+  if (p == 100.0) return max_;
+  const auto target = static_cast<std::uint64_t>(p / 100.0 * double(count_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target || (seen == target && seen == count_)) {
+      // Clamp the bucket midpoint estimate to the observed extremes so
+      // p0/p100 are exact.
+      return std::clamp(bucket_midpoint(i), min(), max_);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary(std::string_view unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f%.*s p50=%llu p95=%llu p99=%llu max=%llu%.*s",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<int>(unit.size()), unit.data(),
+                static_cast<unsigned long long>(percentile(50)),
+                static_cast<unsigned long long>(percentile(95)),
+                static_cast<unsigned long long>(percentile(99)),
+                static_cast<unsigned long long>(max()),
+                static_cast<int>(unit.size()), unit.data());
+  return buf;
+}
+
+ExactCounter::ExactCounter(std::size_t domain) : counts_(domain, 0) {}
+
+void ExactCounter::record(std::uint64_t value) noexcept {
+  ++total_;
+  if (value < counts_.size()) {
+    ++counts_[static_cast<std::size_t>(value)];
+  } else {
+    ++overflow_;
+  }
+}
+
+std::uint64_t ExactCounter::count_of(std::uint64_t value) const noexcept {
+  return value < counts_.size() ? counts_[static_cast<std::size_t>(value)] : 0;
+}
+
+double ExactCounter::cdf(std::uint64_t value) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(value + 1, counts_.size());
+  for (std::uint64_t i = 0; i < limit; ++i) below += counts_[i];
+  return static_cast<double>(below) / double(total_);
+}
+
+}  // namespace bx

@@ -1,0 +1,55 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace bx {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DBG";
+    case LogLevel::kInfo: return "INF";
+    case LogLevel::kWarn: return "WRN";
+    case LogLevel::kError: return "ERR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "???";
+}
+
+std::string_view basename_of(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel level, std::string_view file, int line,
+              std::string_view message) {
+  const std::string_view base = basename_of(file);
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", level_tag(level),
+               static_cast<int>(base.size()), base.data(), line,
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace detail
+}  // namespace bx

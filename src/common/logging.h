@@ -1,0 +1,64 @@
+// Minimal leveled logger. The simulator is deterministic and mostly silent;
+// logging exists for debugging firmware/driver state machines (BX_LOG_DEBUG)
+// and for surfacing misconfiguration (BX_LOG_WARN/ERROR). The level is a
+// process-global atomic so tests can silence or amplify output.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace bx {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+
+bool log_enabled(LogLevel level) noexcept;
+void log_emit(LogLevel level, std::string_view file, int line,
+              std::string_view message);
+
+/// Builds one log line and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace bx
+
+#define BX_LOG(level)                                  \
+  if (!::bx::detail::log_enabled(level)) {             \
+  } else                                               \
+    ::bx::detail::LogLine(level, __FILE__, __LINE__)
+
+#define BX_LOG_DEBUG BX_LOG(::bx::LogLevel::kDebug)
+#define BX_LOG_INFO BX_LOG(::bx::LogLevel::kInfo)
+#define BX_LOG_WARN BX_LOG(::bx::LogLevel::kWarn)
+#define BX_LOG_ERROR BX_LOG(::bx::LogLevel::kError)

@@ -1,0 +1,143 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace bx {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // splitmix64 expansion guarantees a non-zero state for any seed.
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  BX_ASSERT(bound > 0);
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+  BX_ASSERT(lo <= hi);
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next();  // full 64-bit range
+  return lo + next_below(span);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double probability_true) noexcept {
+  return next_double() < probability_true;
+}
+
+void Rng::fill(void* out, std::size_t size) noexcept {
+  auto* dst = static_cast<std::uint8_t*>(out);
+  while (size >= sizeof(std::uint64_t)) {
+    const std::uint64_t word = next();
+    std::memcpy(dst, &word, sizeof(word));
+    dst += sizeof(word);
+    size -= sizeof(word);
+  }
+  if (size > 0) {
+    const std::uint64_t word = next();
+    std::memcpy(dst, &word, size);
+  }
+}
+
+namespace {
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta,
+                                   std::uint64_t seed)
+    : n_(n), theta_(theta), zetan_(zeta(n, theta)), rng_(seed) {
+  BX_ASSERT(n > 0);
+  BX_ASSERT(theta > 0 && theta < 1);
+  const double zeta2 = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::next() noexcept {
+  const double u = rng_.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+ParetoGenerator::ParetoGenerator(double location, double scale, double shape,
+                                 std::uint64_t min_value,
+                                 std::uint64_t max_value, std::uint64_t seed)
+    : location_(location),
+      scale_(scale),
+      shape_(shape),
+      min_value_(min_value),
+      max_value_(max_value),
+      rng_(seed) {
+  BX_ASSERT(min_value <= max_value);
+  BX_ASSERT(scale > 0);
+}
+
+std::uint64_t ParetoGenerator::next() noexcept {
+  const double u = rng_.next_double();
+  double x;
+  if (std::abs(shape_) < 1e-9) {
+    x = location_ - scale_ * std::log(1.0 - u);  // exponential limit
+  } else {
+    x = location_ + scale_ * (std::pow(1.0 - u, -shape_) - 1.0) / shape_;
+  }
+  if (x < double(min_value_)) return min_value_;
+  if (x > double(max_value_)) return max_value_;
+  return static_cast<std::uint64_t>(x);
+}
+
+}  // namespace bx

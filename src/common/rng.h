@@ -1,0 +1,83 @@
+// Deterministic pseudo-random sources for workload generation.
+//
+// Xoshiro256** is used instead of std::mt19937 because it is much faster,
+// has a tiny state, and — unlike the distributions in <random> — the
+// distributions implemented here are specified, so traces are reproducible
+// across standard library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bx {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli draw.
+  bool next_bool(double probability_true) noexcept;
+
+  /// Fills `out` with pseudo-random bytes.
+  void fill(void* out, std::size_t size) noexcept;
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Zipfian distribution over [0, n) with exponent theta (YCSB-style,
+/// theta in (0, 1); theta ~0.99 approximates heavy production skew).
+/// Uses the Gray et al. rejection-free method with precomputed zeta.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta, std::uint64_t seed);
+
+  std::uint64_t next() noexcept;
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  Rng rng_;
+};
+
+/// Generalized Pareto distribution used by RocksDB's MixGraph benchmark to
+/// model key/value sizes (Cao et al., FAST '20). Draws
+///   x = location + scale * ((1-u)^(-shape) - 1) / shape
+/// truncated to [min_value, max_value].
+class ParetoGenerator {
+ public:
+  ParetoGenerator(double location, double scale, double shape,
+                  std::uint64_t min_value, std::uint64_t max_value,
+                  std::uint64_t seed);
+
+  std::uint64_t next() noexcept;
+
+ private:
+  double location_;
+  double scale_;
+  double shape_;
+  std::uint64_t min_value_;
+  std::uint64_t max_value_;
+  Rng rng_;
+};
+
+}  // namespace bx

@@ -1,0 +1,4 @@
+#include "common/sim_clock.h"
+
+// Header-only today; this TU anchors the target and reserves room for an
+// event-queue extension without touching dependents.

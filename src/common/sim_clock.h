@@ -1,0 +1,64 @@
+// Simulated time. Every modeled hardware action (TLP serialization, SQE
+// insertion, NAND program, ...) advances a SimClock by a calibrated cost, so
+// latency results are deterministic and independent of host machine speed.
+//
+// Components share a clock by reference; the Testbed owns the canonical one.
+// The counter is atomic so multi-threaded ordering tests (many host threads
+// submitting into shared SQs) are race-free; single-threaded benchmarks stay
+// exactly deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace bx {
+
+using Nanoseconds = std::uint64_t;
+
+class SimClock {
+ public:
+  SimClock() = default;
+  SimClock(const SimClock&) = delete;
+  SimClock& operator=(const SimClock&) = delete;
+
+  [[nodiscard]] Nanoseconds now() const noexcept {
+    return now_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Advances time by `delta` and returns the new now.
+  Nanoseconds advance(Nanoseconds delta) noexcept {
+    return now_ns_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  }
+
+  /// Moves time forward to `t` if it is in the future (no-op otherwise):
+  /// used when independent engines each track their local completion time.
+  void advance_to(Nanoseconds t) noexcept {
+    Nanoseconds current = now_ns_.load(std::memory_order_relaxed);
+    while (t > current &&
+           !now_ns_.compare_exchange_weak(current, t,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  void reset() noexcept { now_ns_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Nanoseconds> now_ns_{0};
+};
+
+/// Measures a clock interval.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const SimClock& clock) noexcept
+      : clock_(clock), start_(clock.now()) {}
+
+  [[nodiscard]] Nanoseconds elapsed() const noexcept {
+    return clock_.now() - start_;
+  }
+
+ private:
+  const SimClock& clock_;
+  Nanoseconds start_;
+};
+
+}  // namespace bx

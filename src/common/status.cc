@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bx {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kAborted: return "ABORTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace detail {
+
+void die_on_bad_status_access(const Status& status) {
+  std::fprintf(stderr, "FATAL: StatusOr accessed with error status: %s\n",
+               status.to_string().c_str());
+  std::abort();
+}
+
+void assert_failure(const char* expr, const char* file, int line,
+                    const char* msg) {
+  std::fprintf(stderr, "FATAL: assertion `%s` failed at %s:%d %s\n", expr,
+               file, line, msg);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace bx

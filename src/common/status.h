@@ -1,0 +1,167 @@
+// Status / StatusOr<T>: lightweight, exception-free error propagation used
+// across the whole library. Modeled after the common absl idiom but kept
+// dependency-free. Functions that can fail return Status (or StatusOr<T>
+// when they also produce a value); hot-path invariant violations use
+// BX_ASSERT which aborts, because a broken simulator invariant is a bug,
+// not an environmental error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace bx {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kDataLoss,
+  kAborted,
+};
+
+/// Human-readable name of a StatusCode ("OK", "INVALID_ARGUMENT", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// A success-or-error result. Cheap to copy on the OK path (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Status& other) const noexcept {
+    return code_ == other.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status out_of_range(std::string msg) {
+  return {StatusCode::kOutOfRange, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status data_loss(std::string msg) {
+  return {StatusCode::kDataLoss, std::move(msg)};
+}
+inline Status aborted(std::string msg) {
+  return {StatusCode::kAborted, std::move(msg)};
+}
+
+/// Either a value of T or a non-OK Status. Accessing value() on an error
+/// aborts; check is_ok() (or use value_or) first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool is_ok() const noexcept {
+    return std::holds_alternative<T>(rep_);
+  }
+
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(rep_);
+  }
+
+  [[nodiscard]] T& value() & {
+    check_ok();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] const T& value() const& {
+    check_ok();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    check_ok();
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  void check_ok() const;
+  std::variant<Status, T> rep_;
+};
+
+namespace detail {
+[[noreturn]] void die_on_bad_status_access(const Status& status);
+[[noreturn]] void assert_failure(const char* expr, const char* file, int line,
+                                 const char* msg);
+}  // namespace detail
+
+template <typename T>
+void StatusOr<T>::check_ok() const {
+  if (!is_ok()) detail::die_on_bad_status_access(std::get<Status>(rep_));
+}
+
+}  // namespace bx
+
+/// Abort with a diagnostic if a simulator invariant does not hold.
+#define BX_ASSERT(expr)                                                    \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::bx::detail::assert_failure(#expr, __FILE__, __LINE__, "");         \
+    }                                                                      \
+  } while (0)
+
+#define BX_ASSERT_MSG(expr, msg)                                           \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::bx::detail::assert_failure(#expr, __FILE__, __LINE__, (msg));      \
+    }                                                                      \
+  } while (0)
+
+/// Propagate a non-OK Status to the caller.
+#define BX_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::bx::Status bx_status_ = (expr);             \
+    if (!bx_status_.is_ok()) return bx_status_;   \
+  } while (0)

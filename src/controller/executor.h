@@ -1,0 +1,48 @@
+// The boundary between transport and semantics.
+//
+// The controller (fetch engine, DMA engine, CQE posting) is pure transport:
+// it materializes each command's host->device payload — whether it arrived
+// via PRP pages, an SGL descriptor, inline SQ chunks, or BandSlim fragments
+// — and hands the command plus payload to a CommandExecutor. The SSD model
+// (FTL + NAND + KV + CSD engines) implements this interface; tests plug in
+// scripted executors.
+#pragma once
+
+#include "common/bytes.h"
+#include "nvme/spec.h"
+
+namespace bx::controller {
+
+struct ExecResult {
+  nvme::StatusField status{};
+  /// Command-specific CQE DW0 (e.g. bytes returned, match count).
+  std::uint32_t dw0 = 0;
+  /// Device->host data for read-direction commands; the controller DMAs it
+  /// back through the command's data pointer.
+  ByteVec read_data;
+
+  static ExecResult success(std::uint32_t dw0 = 0) {
+    ExecResult r;
+    r.dw0 = dw0;
+    return r;
+  }
+  static ExecResult error(nvme::StatusField status) {
+    ExecResult r;
+    r.status = status;
+    return r;
+  }
+};
+
+class CommandExecutor {
+ public:
+  virtual ~CommandExecutor() = default;
+
+  /// Executes one I/O command. `payload` is the fully assembled
+  /// host->device data (empty for data-less and read-direction commands).
+  /// Implementations advance the shared SimClock for their internal costs
+  /// (NAND operations, device CPU work).
+  virtual ExecResult execute(const nvme::SubmissionQueueEntry& sqe,
+                             ConstByteSpan payload) = 0;
+};
+
+}  // namespace bx::controller

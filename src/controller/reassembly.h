@@ -1,0 +1,76 @@
+// Identifier-based out-of-order chunk reassembly — the §3.3.2 future-work
+// mechanism, implemented.
+//
+// When chunk fetching is not confined to a single SQ (multi-queue striping),
+// chunks arrive in arbitrary order. Each chunk is self-describing
+// (payload ID, chunk number, total count, CRC — see nvme/inline_wire.h), so
+// the engine can place data directly at the right offset in its device-DRAM
+// staging area. Matching the paper's SRAM-budget argument, the per-payload
+// tracking state is only the ID, counters and a receive *bitmap*; the number
+// of simultaneously tracked payloads is bounded (`slots`), and arrivals
+// beyond that are rejected with a retryable error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "nvme/inline_wire.h"
+
+namespace bx::controller {
+
+class ReassemblyEngine {
+ public:
+  struct Config {
+    /// Maximum payloads tracked at once (SRAM budget).
+    std::uint32_t slots = 64;
+    /// Maximum chunks per payload the bitmap covers.
+    std::uint32_t max_chunks = 1024;
+  };
+
+  explicit ReassemblyEngine(Config config);
+
+  /// Accepts one chunk. Returns kResourceExhausted when all slots are busy
+  /// with other payloads, kDataLoss on CRC mismatch, kInvalidArgument on a
+  /// malformed header, kAlreadyExists for a duplicate chunk (idempotently
+  /// ignored — duplicates can occur after retries).
+  Status accept(const nvme::inline_chunk::OooChunkHeader& header,
+                ConstByteSpan data);
+
+  /// True once every chunk of `payload_id` has arrived.
+  [[nodiscard]] bool complete(std::uint32_t payload_id) const noexcept;
+
+  /// Removes the payload and returns its first `length` bytes. Fails if the
+  /// payload is unknown or incomplete.
+  StatusOr<ByteVec> take(std::uint32_t payload_id, std::uint64_t length);
+
+  /// Drops a payload's state (command aborted).
+  void drop(std::uint32_t payload_id) noexcept;
+
+  [[nodiscard]] std::uint32_t in_flight() const noexcept;
+
+  /// Approximate SRAM bytes used by tracking state (not the DRAM staging):
+  /// the quantity §3.3.2 argues stays small.
+  [[nodiscard]] std::size_t tracking_sram_bytes() const noexcept;
+
+ private:
+  struct Slot {
+    bool in_use = false;
+    std::uint32_t payload_id = 0;
+    std::uint16_t total_chunks = 0;
+    std::uint16_t received = 0;
+    std::vector<std::uint64_t> bitmap;  // 1 bit per chunk
+    ByteVec staging;                    // device DRAM, not SRAM
+  };
+
+  Slot* find(std::uint32_t payload_id) noexcept;
+  const Slot* find(std::uint32_t payload_id) const noexcept;
+  Slot* acquire(std::uint32_t payload_id,
+                std::uint16_t total_chunks) noexcept;
+
+  Config config_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace bx::controller

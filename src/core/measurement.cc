@@ -1,0 +1,56 @@
+#include "core/measurement.h"
+
+#include <cstdio>
+
+#include "common/bytes.h"
+
+namespace bx::core {
+
+RunStats run_write_sweep(Testbed& testbed, driver::TransferMethod method,
+                         std::uint32_t payload_size, std::uint64_t ops) {
+  RunStats stats;
+  stats.label = std::string(driver::transfer_method_name(method));
+  stats.ops = ops;
+
+  ByteVec payload(payload_size);
+  fill_pattern(payload, payload_size);
+
+  testbed.reset_counters();
+  const auto traffic_before = testbed.traffic().total();
+  const Nanoseconds start = testbed.clock().now();
+
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    auto completion = testbed.raw_write(payload, method);
+    BX_ASSERT_MSG(completion.is_ok() && completion->ok(),
+                  "raw write failed during sweep");
+    stats.latency.record(completion->latency_ns);
+    stats.payload_bytes += payload_size;
+  }
+
+  stats.total_time_ns = testbed.clock().now() - start;
+  const auto traffic_after = testbed.traffic().total();
+  stats.wire_bytes = traffic_after.wire_bytes - traffic_before.wire_bytes;
+  stats.data_bytes = traffic_after.data_bytes - traffic_before.data_bytes;
+  return stats;
+}
+
+std::string stats_header() {
+  return "method           payload     wireB/op     amp      mean_ns    "
+         "p99_ns     Kops";
+}
+
+std::string format_stats_row(const RunStats& stats) {
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "%-16s %-11llu %-12.1f %-8.2f %-10.0f %-10llu %.1f",
+                stats.label.c_str(),
+                static_cast<unsigned long long>(
+                    stats.ops == 0 ? 0 : stats.payload_bytes / stats.ops),
+                stats.wire_bytes_per_op(), stats.amplification(),
+                stats.mean_latency_ns(),
+                static_cast<unsigned long long>(stats.latency.percentile(99)),
+                stats.kops());
+  return line;
+}
+
+}  // namespace bx::core

@@ -1,0 +1,57 @@
+// Measurement helpers shared by the benchmark binaries: per-method write
+// sweeps with traffic/latency accounting, matching how the paper reports
+// its figures (PCIe bytes per op, average latency, throughput).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "core/testbed.h"
+#include "driver/request.h"
+
+namespace bx::core {
+
+struct RunStats {
+  std::string label;
+  std::uint64_t ops = 0;
+  std::uint64_t payload_bytes = 0;
+
+  // PCIe traffic over the run (both directions).
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t data_bytes = 0;
+
+  Nanoseconds total_time_ns = 0;
+  LatencyHistogram latency;
+
+  [[nodiscard]] double wire_bytes_per_op() const noexcept {
+    return ops == 0 ? 0.0 : double(wire_bytes) / double(ops);
+  }
+  [[nodiscard]] double mean_latency_ns() const noexcept {
+    return latency.mean();
+  }
+  /// QD1 throughput in Kops/s of simulated time.
+  [[nodiscard]] double kops() const noexcept {
+    return total_time_ns == 0 ? 0.0
+                              : double(ops) * 1e6 / double(total_time_ns);
+  }
+  /// Traffic amplification: wire bytes per payload byte.
+  [[nodiscard]] double amplification() const noexcept {
+    return payload_bytes == 0 ? 0.0
+                              : double(wire_bytes) / double(payload_bytes);
+  }
+};
+
+/// Runs `ops` NAND-off raw writes of `payload_size` bytes with `method`
+/// and returns the aggregated stats. Aborts on I/O errors (benchmarks
+/// must not silently measure failures).
+RunStats run_write_sweep(Testbed& testbed, driver::TransferMethod method,
+                         std::uint32_t payload_size, std::uint64_t ops);
+
+/// Formats a stats row: label, payload, B/op, amplification, mean/percentile
+/// latency, Kops.
+std::string format_stats_row(const RunStats& stats);
+std::string stats_header();
+
+}  // namespace bx::core

@@ -1,0 +1,16 @@
+// Consolidated system report: one text snapshot of everything observable
+// in a Testbed — link traffic by class, controller transfer statistics,
+// NAND/FTL health, and the KV engine's LSM state. The examples print it;
+// operators of a real deployment would scrape the same numbers from the
+// vendor log page.
+#pragma once
+
+#include <string>
+
+#include "core/testbed.h"
+
+namespace bx::core {
+
+std::string system_report(Testbed& testbed);
+
+}  // namespace bx::core

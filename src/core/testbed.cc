@@ -1,0 +1,59 @@
+#include "core/testbed.h"
+
+namespace bx::core {
+
+Testbed::Testbed(TestbedConfig config)
+    : config_(config),
+      link_(config.link, clock_, traffic_),
+      bar_(config.controller.max_queues) {
+  device_ = std::make_unique<ssd::SsdDevice>(clock_, config.ssd);
+  controller_ = std::make_unique<controller::Controller>(
+      memory_, link_, bar_, *device_, config.controller);
+  driver_ = std::make_unique<driver::NvmeDriver>(memory_, link_, bar_,
+                                                 config.driver);
+
+  const auto admin = driver_->admin_queue_info();
+  controller_->set_admin_queue(admin.sq_addr, admin.sq_depth, admin.cq_addr,
+                               admin.cq_depth);
+  controller_->set_namespace_blocks(device_->block_namespace_pages());
+  driver_->set_pump([this] {
+    std::lock_guard<std::mutex> lock(firmware_mutex_);
+    return controller_->poll_once();
+  });
+
+  const Status queues = driver_->init_io_queues();
+  BX_ASSERT_MSG(queues.is_ok(), "I/O queue creation failed");
+}
+
+kv::KvClient Testbed::make_kv_client(driver::TransferMethod method,
+                                     std::uint16_t qid) {
+  kv::KvClient::Options options;
+  options.qid = qid;
+  options.method = method;
+  return {*driver_, options};
+}
+
+csd::CsdClient Testbed::make_csd_client(driver::TransferMethod method,
+                                        std::uint16_t qid) {
+  csd::CsdClient::Options options;
+  options.qid = qid;
+  options.method = method;
+  return {*driver_, options};
+}
+
+StatusOr<driver::Completion> Testbed::raw_write(
+    ConstByteSpan payload, driver::TransferMethod method,
+    std::uint16_t qid) {
+  driver::IoRequest request;
+  request.opcode = nvme::IoOpcode::kVendorRawWrite;
+  request.method = method;
+  request.write_data = payload;
+  return driver_->execute(request, qid);
+}
+
+void Testbed::reset_counters() {
+  traffic_.reset();
+  controller_->reset_fetch_stats();
+}
+
+}  // namespace bx::core

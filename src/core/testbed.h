@@ -1,0 +1,94 @@
+// The assembled system: host memory, PCIe link, BAR space, SSD (NAND + FTL
+// + KV + CSD), NVMe controller, and the host NVMe driver — wired together
+// exactly like the paper's testbed (Xeon host <-> Cosmos+ OpenSSD over
+// PCIe Gen2 x8).
+//
+// This is the top-level entry point of the library: construct a Testbed,
+// pick a transfer method, and issue I/O through the driver or the KV/CSD
+// clients. All simulated time and PCIe traffic is observable through
+// clock() and traffic().
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "controller/controller.h"
+#include "core/calibration.h"
+#include "csd/csd_client.h"
+#include "driver/nvme_driver.h"
+#include "hostmem/dma_memory.h"
+#include "kv/kv_client.h"
+#include "pcie/bar.h"
+#include "pcie/link.h"
+#include "pcie/traffic_counter.h"
+#include "ssd/ssd_device.h"
+
+namespace bx::core {
+
+struct TestbedConfig {
+  pcie::LinkConfig link = paper_link_config();
+  driver::NvmeDriver::Config driver{};
+  controller::Controller::Config controller{};
+  ssd::SsdDevice::Config ssd{};
+};
+
+class Testbed {
+ public:
+  /// Builds and attaches the full system (admin queue registered, I/O
+  /// queues created through real admin commands). Aborts on setup failure
+  /// — a testbed that failed to assemble is a programming error.
+  explicit Testbed(TestbedConfig config = {});
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] driver::NvmeDriver& driver() noexcept { return *driver_; }
+  [[nodiscard]] controller::Controller& controller() noexcept {
+    return *controller_;
+  }
+  [[nodiscard]] ssd::SsdDevice& device() noexcept { return *device_; }
+  [[nodiscard]] const ssd::SsdDevice& device() const noexcept {
+    return *device_;
+  }
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] pcie::TrafficCounter& traffic() noexcept { return traffic_; }
+  [[nodiscard]] DmaMemory& memory() noexcept { return memory_; }
+  [[nodiscard]] pcie::BarSpace& bar() noexcept { return bar_; }
+  [[nodiscard]] pcie::PcieLink& link() noexcept { return link_; }
+  [[nodiscard]] const TestbedConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Host-side clients bound to this testbed.
+  [[nodiscard]] kv::KvClient make_kv_client(
+      driver::TransferMethod method, std::uint16_t qid = 1);
+  [[nodiscard]] csd::CsdClient make_csd_client(
+      driver::TransferMethod method, std::uint16_t qid = 1);
+
+  /// One NAND-off microbenchmark write (device DRAM scratch only) — the
+  /// §4.2 payload-sweep primitive.
+  StatusOr<driver::Completion> raw_write(ConstByteSpan payload,
+                                         driver::TransferMethod method,
+                                         std::uint16_t qid = 1);
+
+  /// Resets traffic counters and controller stage statistics (the clock
+  /// keeps running — simulated time is monotonic).
+  void reset_counters();
+
+ private:
+  TestbedConfig config_;
+  /// The controller models ONE firmware core; concurrent host threads all
+  /// pump through this lock so firmware state never races.
+  std::mutex firmware_mutex_;
+  SimClock clock_;
+  DmaMemory memory_;
+  pcie::TrafficCounter traffic_;
+  pcie::PcieLink link_;
+  pcie::BarSpace bar_;
+  std::unique_ptr<ssd::SsdDevice> device_;
+  std::unique_ptr<controller::Controller> controller_;
+  std::unique_ptr<driver::NvmeDriver> driver_;
+};
+
+}  // namespace bx::core

@@ -1,0 +1,96 @@
+#include "csd/csd_client.h"
+
+#include <cstring>
+
+namespace bx::csd {
+
+using driver::IoRequest;
+using nvme::IoOpcode;
+
+CsdClient::CsdClient(driver::NvmeDriver& driver, Options options)
+    : driver_(driver), options_(options) {}
+
+StatusOr<driver::Completion> CsdClient::run(IoRequest& request) {
+  auto completion = driver_.execute(request, options_.qid);
+  BX_RETURN_IF_ERROR(completion.status());
+  last_ = *completion;
+  return completion;
+}
+
+Status CsdClient::create_table(const TableSchema& schema) {
+  const std::string text = schema.serialize();
+  IoRequest request;
+  request.opcode = IoOpcode::kVendorCsdFilter;
+  request.method = options_.method;
+  request.aux = static_cast<std::uint32_t>(CsdSubOp::kCreateTable);
+  request.write_data = as_bytes(text);
+  auto completion = run(request);
+  BX_RETURN_IF_ERROR(completion.status());
+  if (!completion->ok()) return internal_error("create_table rejected");
+  return Status::ok();
+}
+
+Status CsdClient::append_rows(std::string_view table, ConstByteSpan rows) {
+  if (table.empty() || table.size() > 255) {
+    return invalid_argument("bad table name");
+  }
+  // Payload framing: [u8 name_len][name][row bytes].
+  ByteVec payload;
+  payload.reserve(1 + table.size() + rows.size());
+  payload.push_back(static_cast<Byte>(table.size()));
+  payload.insert(payload.end(), table.begin(), table.end());
+  payload.insert(payload.end(), rows.begin(), rows.end());
+
+  IoRequest request;
+  request.opcode = IoOpcode::kVendorCsdFilter;
+  request.method = options_.method;
+  request.aux = static_cast<std::uint32_t>(CsdSubOp::kAppendRows);
+  request.write_data = payload;
+  auto completion = run(request);
+  BX_RETURN_IF_ERROR(completion.status());
+  if (!completion->ok()) return internal_error("append_rows rejected");
+  return Status::ok();
+}
+
+StatusOr<std::uint32_t> CsdClient::filter(std::string_view task) {
+  IoRequest request;
+  request.opcode = IoOpcode::kVendorCsdFilter;
+  request.method = options_.method;
+  request.aux = static_cast<std::uint32_t>(CsdSubOp::kRunFilter);
+  request.write_data = as_bytes(task);
+  auto completion = run(request);
+  BX_RETURN_IF_ERROR(completion.status());
+  if (!completion->ok()) {
+    return internal_error("filter task rejected by device");
+  }
+  return completion->dw0;
+}
+
+StatusOr<std::vector<double>> CsdClient::aggregate(std::string_view task) {
+  auto matches = filter(task);
+  BX_RETURN_IF_ERROR(matches.status());
+  auto row = fetch_results(4096);
+  BX_RETURN_IF_ERROR(row.status());
+  if (row->size() % sizeof(double) != 0) {
+    return internal_error("aggregate result is not a row of doubles");
+  }
+  std::vector<double> values(row->size() / sizeof(double));
+  std::memcpy(values.data(), row->data(), row->size());
+  return values;
+}
+
+StatusOr<ByteVec> CsdClient::fetch_results(std::uint32_t max_bytes) {
+  ByteVec buffer(max_bytes);
+  IoRequest request;
+  request.opcode = IoOpcode::kVendorRawRead;
+  request.method = driver::TransferMethod::kPrp;  // read path
+  request.aux = kRawReadFilterResult;
+  request.read_buffer = buffer;
+  auto completion = run(request);
+  BX_RETURN_IF_ERROR(completion.status());
+  if (!completion->ok()) return internal_error("result fetch rejected");
+  buffer.resize(completion->bytes_returned);
+  return buffer;
+}
+
+}  // namespace bx::csd

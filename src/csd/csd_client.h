@@ -1,0 +1,70 @@
+// Host-side CSD pushdown API over NVMe passthrough.
+//
+// The filter task payload — the full SQL string or the table+predicate
+// segment — is exactly what the paper's Figure 7 transfers with each
+// method. Management operations (schema creation, row loading) ride the
+// same vendor command with a sub-opcode in the aux field.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "csd/schema.h"
+#include "driver/nvme_driver.h"
+
+namespace bx::csd {
+
+/// Sub-opcodes of kVendorCsdFilter, carried in the request aux field.
+enum class CsdSubOp : std::uint32_t {
+  kRunFilter = 0,
+  kCreateTable = 1,
+  kAppendRows = 2,
+};
+
+/// Raw-read source selector (aux of kVendorRawRead).
+inline constexpr std::uint32_t kRawReadFilterResult = 1;
+
+class CsdClient {
+ public:
+  struct Options {
+    std::uint16_t qid = 1;
+    driver::TransferMethod method = driver::TransferMethod::kPrp;
+  };
+
+  CsdClient(driver::NvmeDriver& driver, Options options);
+
+  Status create_table(const TableSchema& schema);
+
+  /// `rows` must be whole encoded rows of the table's schema.
+  Status append_rows(std::string_view table, ConstByteSpan rows);
+
+  /// Sends the pushdown task string; returns the device's match count.
+  StatusOr<std::uint32_t> filter(std::string_view task);
+
+  /// Runs an aggregate pushdown ("SELECT COUNT(*), SUM(x) FROM t WHERE
+  /// ...") and returns the aggregate values in select-list order (every
+  /// value as f64; COUNT is exact up to 2^53).
+  StatusOr<std::vector<double>> aggregate(std::string_view task);
+
+  /// Reads back up to `max_bytes` of the last filter's matching rows.
+  StatusOr<ByteVec> fetch_results(std::uint32_t max_bytes);
+
+  [[nodiscard]] const driver::Completion& last_completion() const noexcept {
+    return last_;
+  }
+  void set_method(driver::TransferMethod method) noexcept {
+    options_.method = method;
+  }
+
+ private:
+  StatusOr<driver::Completion> run(driver::IoRequest& request);
+
+  driver::NvmeDriver& driver_;
+  Options options_;
+  driver::Completion last_{};
+};
+
+}  // namespace bx::csd

@@ -1,0 +1,283 @@
+#include "csd/filter_engine.h"
+
+#include <cstring>
+
+namespace bx::csd {
+
+FilterEngine::FilterEngine(nand::Ftl& ftl, SimClock& clock, Config config)
+    : ftl_(ftl),
+      clock_(clock),
+      config_(config),
+      next_lpn_(config.lpn_base) {
+  BX_ASSERT(config.lpn_count > 0);
+  BX_ASSERT(config.lpn_base + config.lpn_count <= ftl.logical_pages());
+}
+
+StatusOr<std::uint64_t> FilterEngine::allocate_lpn() {
+  if (next_lpn_ >= config_.lpn_base + config_.lpn_count) {
+    return resource_exhausted("CSD LPN range exhausted");
+  }
+  return next_lpn_++;
+}
+
+Status FilterEngine::create_table(std::string_view schema_text) {
+  auto schema = TableSchema::parse(schema_text);
+  BX_RETURN_IF_ERROR(schema.status());
+  if (schema->row_size() == 0 || schema->row_size() > ftl_.page_size()) {
+    return invalid_argument("row size must be within one page");
+  }
+  if (tables_.find(schema->name()) != tables_.end()) {
+    return already_exists("table '" + schema->name() + "' exists");
+  }
+  TableState state;
+  state.rows_per_page = ftl_.page_size() / schema->row_size();
+  state.schema = std::move(schema).value();
+  const std::string name = state.schema.name();
+  tables_.emplace(name, std::move(state));
+  return Status::ok();
+}
+
+Status FilterEngine::append_rows(std::string_view table, ConstByteSpan rows) {
+  const auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return not_found("unknown table '" + std::string(table) + "'");
+  }
+  TableState& state = it->second;
+  const std::uint32_t row_size = state.schema.row_size();
+  if (rows.size() % row_size != 0) {
+    return invalid_argument("append size not a multiple of the row size");
+  }
+
+  const std::uint32_t page_bytes = state.rows_per_page * row_size;
+  std::size_t offset = 0;
+  while (offset < rows.size()) {
+    const std::size_t take = std::min<std::size_t>(
+        rows.size() - offset, page_bytes - state.tail.size());
+    state.tail.insert(state.tail.end(), rows.begin() + offset,
+                      rows.begin() + offset + take);
+    offset += take;
+    if (state.tail.size() == page_bytes) {
+      auto lpn = allocate_lpn();
+      BX_RETURN_IF_ERROR(lpn.status());
+      BX_RETURN_IF_ERROR(ftl_.write(*lpn, state.tail,
+                                    nand::NandFlash::Blocking::kBackground));
+      state.lpns.push_back(*lpn);
+      state.tail.clear();
+    }
+  }
+  state.row_count += rows.size() / row_size;
+  return Status::ok();
+}
+
+StatusOr<std::uint32_t> FilterEngine::run_filter(std::string_view task_text) {
+  clock_.advance(config_.cpu_parse_base_ns +
+                 config_.cpu_parse_per_byte_ns * task_text.size());
+  auto query = parse_task(task_text);
+  BX_RETURN_IF_ERROR(query.status());
+
+  const auto it = tables_.find(query->table);
+  if (it == tables_.end()) {
+    return not_found("unknown table '" + query->table + "'");
+  }
+  const TableState& state = it->second;
+  const TableSchema& schema = state.schema;
+
+  if (query->where != nullptr) {
+    BX_RETURN_IF_ERROR(bind(*query->where, schema));
+  }
+
+  // SELECT-list projection: matching rows are emitted with only the
+  // selected columns (in list order); empty list == SELECT *.
+  auto projected = schema.project(query->select_columns);
+  BX_RETURN_IF_ERROR(projected.status());
+  struct ColumnSlice {
+    std::uint32_t offset;
+    std::uint32_t width;
+  };
+  std::vector<ColumnSlice> slices;
+  if (!query->select_columns.empty()) {
+    slices.reserve(query->select_columns.size());
+    for (const std::string& column : query->select_columns) {
+      const int index = schema.column_index(column);
+      slices.push_back(
+          {schema.column_offset(index),
+           schema.columns()[static_cast<std::size_t>(index)].width});
+    }
+  }
+
+  if (!query->aggregates.empty()) {
+    return run_aggregate(state, *query);
+  }
+
+  result_.clear();
+  result_schema_ = std::move(projected).value();
+  stats_ = FilterStats{};
+  const std::uint32_t out_row_size = result_schema_.row_size();
+
+  const Status scanned = scan_table(state, [&](ConstByteSpan row) {
+    const bool match =
+        query->where == nullptr ||
+        evaluate(*query->where, schema, RowView(schema, row));
+    if (!match) return;
+    ++stats_.rows_matched;
+    if (result_.size() + out_row_size <= config_.result_capacity_bytes) {
+      if (slices.empty()) {
+        result_.insert(result_.end(), row.begin(), row.end());
+      } else {
+        for (const ColumnSlice& slice : slices) {
+          result_.insert(result_.end(), row.begin() + slice.offset,
+                         row.begin() + slice.offset + slice.width);
+        }
+      }
+    } else {
+      stats_.result_truncated = true;
+    }
+  });
+  BX_RETURN_IF_ERROR(scanned);
+
+  return static_cast<std::uint32_t>(stats_.rows_matched);
+}
+
+Status FilterEngine::scan_table(
+    const TableState& state,
+    const std::function<void(ConstByteSpan)>& visit) {
+  const std::uint32_t row_size = state.schema.row_size();
+  ByteVec page(ftl_.page_size());
+  std::uint64_t remaining = state.row_count;
+
+  auto scan_rows = [&](ConstByteSpan data, std::uint64_t rows) {
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      clock_.advance(config_.cpu_eval_per_row_ns);
+      ++stats_.rows_scanned;
+      visit(data.subspan(r * row_size, row_size));
+    }
+  };
+
+  for (const std::uint64_t lpn : state.lpns) {
+    BX_RETURN_IF_ERROR(ftl_.read(lpn, page));
+    ++stats_.pages_read;
+    const std::uint64_t rows =
+        std::min<std::uint64_t>(state.rows_per_page, remaining);
+    scan_rows(page, rows);
+    remaining -= rows;
+  }
+  if (!state.tail.empty()) {
+    scan_rows(state.tail, state.tail.size() / row_size);
+  }
+  return Status::ok();
+}
+
+StatusOr<std::uint32_t> FilterEngine::run_aggregate(const TableState& state,
+                                                    const Query& query) {
+  const TableSchema& schema = state.schema;
+
+  // Validate and resolve aggregate inputs.
+  struct Accumulator {
+    AggregateFn fn;
+    int column = -1;       // -1 for COUNT(*)
+    bool is_float = false;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    bool seen = false;
+  };
+  std::vector<Accumulator> accumulators;
+  std::vector<Column> out_columns;
+  for (const AggregateItem& item : query.aggregates) {
+    Accumulator acc;
+    acc.fn = item.fn;
+    std::string out_name;
+    if (item.column.empty()) {
+      if (item.fn != AggregateFn::kCount) {
+        return invalid_argument("only COUNT accepts '*'");
+      }
+      out_name = "count";
+    } else {
+      acc.column = schema.column_index(item.column);
+      if (acc.column < 0) {
+        return not_found("unknown aggregate column '" + item.column + "'");
+      }
+      const ColumnType type =
+          schema.columns()[static_cast<std::size_t>(acc.column)].type;
+      if (item.fn != AggregateFn::kCount &&
+          type == ColumnType::kString) {
+        return invalid_argument("aggregate over a string column");
+      }
+      acc.is_float = type == ColumnType::kFloat64;
+      switch (item.fn) {
+        case AggregateFn::kCount: out_name = "count_" + item.column; break;
+        case AggregateFn::kSum: out_name = "sum_" + item.column; break;
+        case AggregateFn::kMin: out_name = "min_" + item.column; break;
+        case AggregateFn::kMax: out_name = "max_" + item.column; break;
+        case AggregateFn::kAvg: out_name = "avg_" + item.column; break;
+      }
+    }
+    // Repeated aggregates get positional suffixes so every output column
+    // stays addressable by name.
+    for (const Column& existing : out_columns) {
+      if (existing.name == out_name) {
+        out_name += "_" + std::to_string(out_columns.size());
+        break;
+      }
+    }
+    accumulators.push_back(acc);
+    out_columns.push_back(Column{out_name, ColumnType::kFloat64, 8});
+  }
+
+  stats_ = FilterStats{};
+  std::uint64_t matched = 0;
+
+  const Status scanned = scan_table(state, [&](ConstByteSpan row) {
+    const RowView view(schema, row);
+    const bool match = query.where == nullptr ||
+                       evaluate(*query.where, schema, view);
+    if (!match) return;
+    ++matched;
+    for (Accumulator& acc : accumulators) {
+      if (acc.column < 0 || acc.fn == AggregateFn::kCount) continue;
+      const double value = acc.is_float
+                               ? view.get_double(acc.column)
+                               : double(view.get_int(acc.column));
+      acc.sum += value;
+      if (!acc.seen || value < acc.min) acc.min = value;
+      if (!acc.seen || value > acc.max) acc.max = value;
+      acc.seen = true;
+    }
+  });
+  BX_RETURN_IF_ERROR(scanned);
+  stats_.rows_matched = matched;
+
+  // One output row of f64 values (COUNT is exact up to 2^53).
+  result_.clear();
+  result_schema_ = TableSchema(schema.name(), std::move(out_columns));
+  RowBuilder builder(result_schema_);
+  for (std::size_t i = 0; i < accumulators.size(); ++i) {
+    const Accumulator& acc = accumulators[i];
+    double value = 0;
+    switch (acc.fn) {
+      case AggregateFn::kCount: value = double(matched); break;
+      case AggregateFn::kSum: value = acc.sum; break;
+      case AggregateFn::kMin: value = acc.min; break;
+      case AggregateFn::kMax: value = acc.max; break;
+      case AggregateFn::kAvg:
+        value = matched == 0 ? 0.0 : acc.sum / double(matched);
+        break;
+    }
+    builder.set_double(result_schema_.columns()[i].name, value);
+  }
+  const ByteVec row = builder.take();
+  result_.assign(row.begin(), row.end());
+  return static_cast<std::uint32_t>(matched);
+}
+
+const TableSchema* FilterEngine::schema(std::string_view table) const {
+  const auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : &it->second.schema;
+}
+
+std::uint64_t FilterEngine::row_count(std::string_view table) const {
+  const auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.row_count;
+}
+
+}  // namespace bx::csd

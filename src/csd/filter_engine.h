@@ -1,0 +1,109 @@
+// Device-side SQL filter engine (the CSD firmware of §2.2.2 / Figure 7).
+//
+// Tables live in the CSD's LPN range of the shared FTL, rows packed
+// fixed-width into 4 KB pages; the tail page is buffered in device DRAM
+// until full. A pushdown task (full SQL string or table+predicate segment)
+// is parsed, bound against the device-resident schema, and evaluated over
+// every row; matching rows are copied into a result buffer readable with
+// the raw-read command.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "csd/row.h"
+#include "csd/schema.h"
+#include "csd/sql.h"
+#include "nand/ftl.h"
+
+namespace bx::csd {
+
+class FilterEngine {
+ public:
+  struct Config {
+    /// LPN range owned by the CSD tables within the shared FTL.
+    std::uint64_t lpn_base = 0;
+    std::uint64_t lpn_count = 0;
+
+    std::uint32_t result_capacity_bytes = 1 << 20;
+
+    // Device CPU costs.
+    Nanoseconds cpu_parse_base_ns = 2'000;
+    Nanoseconds cpu_parse_per_byte_ns = 10;
+    Nanoseconds cpu_eval_per_row_ns = 120;
+  };
+
+  struct FilterStats {
+    std::uint64_t rows_scanned = 0;
+    std::uint64_t rows_matched = 0;
+    std::uint64_t pages_read = 0;
+    bool result_truncated = false;
+  };
+
+  FilterEngine(nand::Ftl& ftl, SimClock& clock, Config config);
+
+  /// Registers a table from its text schema ("name col:type ...").
+  Status create_table(std::string_view schema_text);
+
+  /// Appends encoded rows (size must be a multiple of the row size).
+  Status append_rows(std::string_view table, ConstByteSpan rows);
+
+  /// Runs a pushdown task; returns the match count. The matching rows —
+  /// projected to the task's SELECT list — are available via last_result()
+  /// until the next filter run.
+  StatusOr<std::uint32_t> run_filter(std::string_view task_text);
+
+  [[nodiscard]] ConstByteSpan last_result() const noexcept {
+    return result_;
+  }
+  /// Schema of the rows in last_result() (the projected SELECT list, or
+  /// the full table schema for SELECT * / segment tasks).
+  [[nodiscard]] const TableSchema& last_result_schema() const noexcept {
+    return result_schema_;
+  }
+  [[nodiscard]] const FilterStats& last_stats() const noexcept {
+    return stats_;
+  }
+
+  [[nodiscard]] const TableSchema* schema(std::string_view table) const;
+  [[nodiscard]] std::uint64_t row_count(std::string_view table) const;
+
+ private:
+  struct TableState {
+    TableSchema schema;
+    std::vector<std::uint64_t> lpns;  // full pages, in order
+    ByteVec tail;                     // partial page buffered in DRAM
+    std::uint64_t row_count = 0;
+    std::uint32_t rows_per_page = 0;
+  };
+
+  StatusOr<std::uint64_t> allocate_lpn();
+
+  /// Streams every row of the table (NAND pages then the DRAM tail)
+  /// through `visit`, charging page reads and per-row CPU.
+  Status scan_table(const TableState& state,
+                    const std::function<void(ConstByteSpan)>& visit);
+
+  /// Aggregate select list (COUNT/SUM/MIN/MAX/AVG): emits one row of f64
+  /// values into the result buffer.
+  StatusOr<std::uint32_t> run_aggregate(const TableState& state,
+                                        const Query& query);
+
+  nand::Ftl& ftl_;
+  SimClock& clock_;
+  Config config_;
+
+  std::map<std::string, TableState, std::less<>> tables_;
+  std::uint64_t next_lpn_;
+  ByteVec result_;
+  TableSchema result_schema_;
+  FilterStats stats_{};
+};
+
+}  // namespace bx::csd

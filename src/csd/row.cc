@@ -1,0 +1,74 @@
+#include "csd/row.h"
+
+#include <cstring>
+
+namespace bx::csd {
+
+RowBuilder::RowBuilder(const TableSchema& schema)
+    : schema_(schema), row_(schema.row_size(), 0) {}
+
+int RowBuilder::require(std::string_view column, ColumnType type) const {
+  const int index = schema_.column_index(column);
+  BX_ASSERT_MSG(index >= 0, "unknown column");
+  BX_ASSERT_MSG(schema_.columns()[static_cast<std::size_t>(index)].type ==
+                    type,
+                "column type mismatch");
+  return index;
+}
+
+RowBuilder& RowBuilder::set_int(std::string_view column, std::int64_t value) {
+  const int index = require(column, ColumnType::kInt64);
+  std::memcpy(row_.data() + schema_.column_offset(index), &value,
+              sizeof(value));
+  return *this;
+}
+
+RowBuilder& RowBuilder::set_double(std::string_view column, double value) {
+  const int index = require(column, ColumnType::kFloat64);
+  std::memcpy(row_.data() + schema_.column_offset(index), &value,
+              sizeof(value));
+  return *this;
+}
+
+RowBuilder& RowBuilder::set_string(std::string_view column,
+                                   std::string_view value) {
+  const int index = require(column, ColumnType::kString);
+  const Column& spec = schema_.columns()[static_cast<std::size_t>(index)];
+  BX_ASSERT_MSG(value.size() <= spec.width, "string exceeds column width");
+  Byte* dst = row_.data() + schema_.column_offset(index);
+  std::memset(dst, 0, spec.width);
+  std::memcpy(dst, value.data(), value.size());
+  return *this;
+}
+
+ByteVec RowBuilder::take() {
+  ByteVec out(schema_.row_size(), 0);
+  out.swap(row_);
+  return out;
+}
+
+std::int64_t RowView::get_int(int column) const noexcept {
+  std::int64_t value = 0;
+  std::memcpy(&value, row_.data() + schema_.column_offset(column),
+              sizeof(value));
+  return value;
+}
+
+double RowView::get_double(int column) const noexcept {
+  double value = 0;
+  std::memcpy(&value, row_.data() + schema_.column_offset(column),
+              sizeof(value));
+  return value;
+}
+
+std::string_view RowView::get_string(int column) const noexcept {
+  const Column& spec = schema_.columns()[static_cast<std::size_t>(column)];
+  const auto* begin =
+      reinterpret_cast<const char*>(row_.data()) +
+      schema_.column_offset(column);
+  std::size_t len = spec.width;
+  while (len > 0 && begin[len - 1] == '\0') --len;
+  return {begin, len};
+}
+
+}  // namespace bx::csd

@@ -1,0 +1,50 @@
+// Fixed-width row encoding/decoding against a TableSchema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "csd/schema.h"
+
+namespace bx::csd {
+
+/// Builds one row. Columns may be set in any order; unset columns are zero.
+class RowBuilder {
+ public:
+  explicit RowBuilder(const TableSchema& schema);
+
+  RowBuilder& set_int(std::string_view column, std::int64_t value);
+  RowBuilder& set_double(std::string_view column, double value);
+  RowBuilder& set_string(std::string_view column, std::string_view value);
+
+  /// The encoded row; resets the builder for the next row.
+  [[nodiscard]] ByteVec take();
+  [[nodiscard]] ConstByteSpan view() const noexcept { return row_; }
+
+ private:
+  int require(std::string_view column, ColumnType type) const;
+
+  const TableSchema& schema_;
+  ByteVec row_;
+};
+
+/// Read-only accessor over an encoded row.
+class RowView {
+ public:
+  RowView(const TableSchema& schema, ConstByteSpan row) noexcept
+      : schema_(schema), row_(row) {}
+
+  [[nodiscard]] std::int64_t get_int(int column) const noexcept;
+  [[nodiscard]] double get_double(int column) const noexcept;
+  /// Trailing NUL padding stripped.
+  [[nodiscard]] std::string_view get_string(int column) const noexcept;
+
+ private:
+  const TableSchema& schema_;
+  ConstByteSpan row_;
+};
+
+}  // namespace bx::csd

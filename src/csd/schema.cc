@@ -1,0 +1,114 @@
+#include "csd/schema.h"
+
+#include <charconv>
+
+namespace bx::csd {
+
+TableSchema::TableSchema(std::string name, std::vector<Column> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  for (auto& column : columns_) {
+    if (column.type != ColumnType::kString) column.width = 8;
+    offsets_.push_back(row_size_);
+    row_size_ += column.width;
+  }
+}
+
+int TableSchema::column_index(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::uint32_t TableSchema::column_offset(int index) const noexcept {
+  BX_ASSERT(index >= 0 && static_cast<std::size_t>(index) < offsets_.size());
+  return offsets_[static_cast<std::size_t>(index)];
+}
+
+std::string TableSchema::serialize() const {
+  std::string out = name_;
+  for (const Column& column : columns_) {
+    out += ' ';
+    out += column.name;
+    switch (column.type) {
+      case ColumnType::kInt64: out += ":i64"; break;
+      case ColumnType::kFloat64: out += ":f64"; break;
+      case ColumnType::kString:
+        out += ":str" + std::to_string(column.width);
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string_view> split_spaces(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < text.size() && text[end] != ' ') ++end;
+    if (end > pos) out.push_back(text.substr(pos, end - pos));
+    pos = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<TableSchema> TableSchema::project(
+    const std::vector<std::string>& columns) const {
+  if (columns.empty()) return *this;
+  std::vector<Column> projected;
+  projected.reserve(columns.size());
+  for (const std::string& name : columns) {
+    const int index = column_index(name);
+    if (index < 0) return not_found("unknown column '" + name + "'");
+    projected.push_back(columns_[static_cast<std::size_t>(index)]);
+  }
+  return TableSchema(name_, std::move(projected));
+}
+
+StatusOr<TableSchema> TableSchema::parse(std::string_view text) {
+  const auto tokens = split_spaces(text);
+  if (tokens.size() < 2) {
+    return invalid_argument("schema needs a table name and >=1 column");
+  }
+  std::vector<Column> columns;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    const auto colon = token.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return invalid_argument("column must be name:type");
+    }
+    Column column;
+    column.name.assign(token.substr(0, colon));
+    const std::string_view type = token.substr(colon + 1);
+    if (type == "i64") {
+      column.type = ColumnType::kInt64;
+    } else if (type == "f64") {
+      column.type = ColumnType::kFloat64;
+    } else if (type.starts_with("str")) {
+      column.type = ColumnType::kString;
+      std::uint32_t width = 0;
+      const std::string_view digits = type.substr(3);
+      const auto [ptr, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), width);
+      if (ec != std::errc{} || ptr != digits.data() + digits.size() ||
+          width == 0 || width > 4096) {
+        return invalid_argument("bad string width in schema");
+      }
+      column.width = width;
+    } else {
+      return invalid_argument("unknown column type '" + std::string(type) +
+                              "'");
+    }
+    columns.push_back(std::move(column));
+  }
+  return TableSchema(std::string(tokens[0]), std::move(columns));
+}
+
+}  // namespace bx::csd

@@ -1,0 +1,66 @@
+// Table schemas for the CSD filter engine.
+//
+// §2.2.2's key observation: "the SSD already stores table schema", so the
+// host only ships a predicate + table identifier. Schemas here are created
+// once (a management command) and kept device-side; rows are fixed-width
+// records derived from the column types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bx::csd {
+
+enum class ColumnType : std::uint8_t {
+  kInt64,
+  kFloat64,
+  kString,  // fixed width, NUL padded
+};
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  std::uint32_t width = 8;  // bytes; 8 for numerics, declared for strings
+
+  [[nodiscard]] bool operator==(const Column& other) const = default;
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<Column> columns);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Column>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] std::uint32_t row_size() const noexcept { return row_size_; }
+
+  /// Column index by name, or -1.
+  [[nodiscard]] int column_index(std::string_view name) const noexcept;
+  /// Byte offset of column `index` within a row.
+  [[nodiscard]] std::uint32_t column_offset(int index) const noexcept;
+
+  /// Text form: "name col:type[:width] col:type ..." with types i64 / f64 /
+  /// strN. Round-trips through parse().
+  [[nodiscard]] std::string serialize() const;
+  static StatusOr<TableSchema> parse(std::string_view text);
+
+  /// Derived schema containing only `columns`, in the given order (the
+  /// SELECT-list projection). Fails on unknown columns; an empty list
+  /// returns the full schema (SELECT *).
+  [[nodiscard]] StatusOr<TableSchema> project(
+      const std::vector<std::string>& columns) const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::uint32_t> offsets_;
+  std::uint32_t row_size_ = 0;
+};
+
+}  // namespace bx::csd

@@ -1,0 +1,677 @@
+#include "csd/sql.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+
+namespace bx::csd {
+
+namespace {
+
+// ------------------------------------------------------------------ lexer
+
+enum class TokenType : std::uint8_t {
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kOp,      // comparison operator
+  kLParen,
+  kRParen,
+  kComma,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0;
+  CompareOp op = CompareOp::kEq;
+};
+
+bool ident_equals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      skip_spaces();
+      if (pos_ >= text_.size()) break;
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(lex_ident());
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        auto number = lex_number();
+        BX_RETURN_IF_ERROR(number.status());
+        tokens.push_back(std::move(number).value());
+      } else if (c == '\'') {
+        auto str = lex_string();
+        BX_RETURN_IF_ERROR(str.status());
+        tokens.push_back(std::move(str).value());
+      } else {
+        auto symbol = lex_symbol();
+        BX_RETURN_IF_ERROR(symbol.status());
+        tokens.push_back(std::move(symbol).value());
+      }
+    }
+    tokens.push_back(Token{});  // kEnd
+    return tokens;
+  }
+
+ private:
+  void skip_spaces() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token lex_ident() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    Token token;
+    token.type = TokenType::kIdent;
+    token.text.assign(text_.substr(start, pos_ - start));
+    return token;
+  }
+
+  StatusOr<Token> lex_number() {
+    const std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    bool is_float = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' && !is_float) {
+        is_float = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view body = text_.substr(start, pos_ - start);
+    Token token;
+    token.text.assign(body);
+    if (is_float) {
+      token.type = TokenType::kFloat;
+      token.float_value = std::strtod(token.text.c_str(), nullptr);
+    } else {
+      token.type = TokenType::kInt;
+      const auto [ptr, ec] = std::from_chars(
+          body.data(), body.data() + body.size(), token.int_value);
+      if (ec != std::errc{} || ptr != body.data() + body.size()) {
+        return invalid_argument("bad integer literal '" + token.text + "'");
+      }
+    }
+    return token;
+  }
+
+  StatusOr<Token> lex_string() {
+    ++pos_;  // opening quote
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+    if (pos_ >= text_.size()) {
+      return invalid_argument("unterminated string literal");
+    }
+    Token token;
+    token.type = TokenType::kString;
+    token.text.assign(text_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return token;
+  }
+
+  StatusOr<Token> lex_symbol() {
+    Token token;
+    const char c = text_[pos_];
+    const char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+    switch (c) {
+      case '(': token.type = TokenType::kLParen; ++pos_; return token;
+      case ')': token.type = TokenType::kRParen; ++pos_; return token;
+      case ',': token.type = TokenType::kComma; ++pos_; return token;
+      case '*': token.type = TokenType::kStar; ++pos_; return token;
+      case '=':
+        token.type = TokenType::kOp;
+        token.op = CompareOp::kEq;
+        ++pos_;
+        return token;
+      case '!':
+        if (next == '=') {
+          token.type = TokenType::kOp;
+          token.op = CompareOp::kNe;
+          pos_ += 2;
+          return token;
+        }
+        break;
+      case '<':
+        token.type = TokenType::kOp;
+        if (next == '=') {
+          token.op = CompareOp::kLe;
+          pos_ += 2;
+        } else if (next == '>') {
+          token.op = CompareOp::kNe;
+          pos_ += 2;
+        } else {
+          token.op = CompareOp::kLt;
+          ++pos_;
+        }
+        return token;
+      case '>':
+        token.type = TokenType::kOp;
+        if (next == '=') {
+          token.op = CompareOp::kGe;
+          pos_ += 2;
+        } else {
+          token.op = CompareOp::kGt;
+          ++pos_;
+        }
+        return token;
+      case ';':
+        ++pos_;
+        token.type = TokenType::kEnd;
+        return token;
+      default:
+        break;
+    }
+    return invalid_argument(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Query> parse_full() {
+    Query query;
+    BX_RETURN_IF_ERROR(expect_keyword("SELECT"));
+    BX_RETURN_IF_ERROR(parse_select_list(query));
+    BX_RETURN_IF_ERROR(expect_keyword("FROM"));
+    if (peek().type != TokenType::kIdent) {
+      return invalid_argument("expected table name after FROM");
+    }
+    query.table = take().text;
+    if (is_keyword(peek(), "WHERE")) {
+      take();
+      auto where = parse_or();
+      BX_RETURN_IF_ERROR(where.status());
+      query.where = std::move(where).value();
+    }
+    BX_RETURN_IF_ERROR(expect_end());
+    return query;
+  }
+
+  StatusOr<Query> parse_segment_form() {
+    Query query;
+    if (peek().type != TokenType::kIdent) {
+      return invalid_argument("segment must start with a table name");
+    }
+    query.table = take().text;
+    if (peek().type != TokenType::kEnd) {
+      auto where = parse_or();
+      BX_RETURN_IF_ERROR(where.status());
+      query.where = std::move(where).value();
+    }
+    BX_RETURN_IF_ERROR(expect_end());
+    return query;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t index =
+        std::min(cursor_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  Token take() { return tokens_[std::min(cursor_++, tokens_.size() - 1)]; }
+
+  static bool is_keyword(const Token& token, std::string_view word) {
+    return token.type == TokenType::kIdent &&
+           ident_equals(token.text, word);
+  }
+
+  Status expect_keyword(std::string_view word) {
+    if (!is_keyword(peek(), word)) {
+      return invalid_argument("expected keyword " + std::string(word));
+    }
+    take();
+    return Status::ok();
+  }
+
+  Status expect_end() {
+    if (peek().type != TokenType::kEnd) {
+      return invalid_argument("unexpected trailing tokens near '" +
+                              peek().text + "'");
+    }
+    return Status::ok();
+  }
+
+  static bool aggregate_keyword(const Token& token, AggregateFn& fn) {
+    if (token.type != TokenType::kIdent) return false;
+    if (ident_equals(token.text, "COUNT")) { fn = AggregateFn::kCount; }
+    else if (ident_equals(token.text, "SUM")) { fn = AggregateFn::kSum; }
+    else if (ident_equals(token.text, "MIN")) { fn = AggregateFn::kMin; }
+    else if (ident_equals(token.text, "MAX")) { fn = AggregateFn::kMax; }
+    else if (ident_equals(token.text, "AVG")) { fn = AggregateFn::kAvg; }
+    else { return false; }
+    return true;
+  }
+
+  Status parse_select_list(Query& query) {
+    if (peek().type == TokenType::kStar) {
+      take();
+      return Status::ok();
+    }
+    for (;;) {
+      if (peek().type != TokenType::kIdent) {
+        return invalid_argument("expected column name in select list");
+      }
+      AggregateFn fn;
+      if (aggregate_keyword(peek(), fn) &&
+          peek(1).type == TokenType::kLParen) {
+        take();  // function name
+        take();  // '('
+        AggregateItem item;
+        item.fn = fn;
+        if (peek().type == TokenType::kStar) {
+          if (fn != AggregateFn::kCount) {
+            return invalid_argument("only COUNT accepts '*'");
+          }
+          take();
+        } else if (peek().type == TokenType::kIdent) {
+          item.column = take().text;
+        } else {
+          return invalid_argument("expected column or '*' in aggregate");
+        }
+        if (peek().type != TokenType::kRParen) {
+          return invalid_argument("expected ')' after aggregate");
+        }
+        take();
+        query.aggregates.push_back(std::move(item));
+      } else {
+        query.select_columns.push_back(take().text);
+      }
+      if (peek().type != TokenType::kComma) break;
+      take();
+    }
+    if (!query.aggregates.empty() && !query.select_columns.empty()) {
+      return invalid_argument(
+          "cannot mix aggregates and plain columns (no GROUP BY)");
+    }
+    return Status::ok();
+  }
+
+  StatusOr<std::unique_ptr<Expr>> parse_or() {
+    auto lhs = parse_and();
+    BX_RETURN_IF_ERROR(lhs.status());
+    auto node = std::move(lhs).value();
+    while (is_keyword(peek(), "OR")) {
+      take();
+      auto rhs = parse_and();
+      BX_RETURN_IF_ERROR(rhs.status());
+      auto parent = std::make_unique<Expr>();
+      parent->kind = Expr::Kind::kLogic;
+      parent->logic = LogicOp::kOr;
+      parent->lhs = std::move(node);
+      parent->rhs = std::move(rhs).value();
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> parse_and() {
+    auto lhs = parse_unary();
+    BX_RETURN_IF_ERROR(lhs.status());
+    auto node = std::move(lhs).value();
+    while (is_keyword(peek(), "AND")) {
+      take();
+      auto rhs = parse_unary();
+      BX_RETURN_IF_ERROR(rhs.status());
+      auto parent = std::make_unique<Expr>();
+      parent->kind = Expr::Kind::kLogic;
+      parent->logic = LogicOp::kAnd;
+      parent->lhs = std::move(node);
+      parent->rhs = std::move(rhs).value();
+      node = std::move(parent);
+    }
+    return node;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> parse_unary() {
+    if (is_keyword(peek(), "NOT")) {
+      take();
+      auto operand = parse_unary();
+      BX_RETURN_IF_ERROR(operand.status());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNot;
+      node->lhs = std::move(operand).value();
+      return node;
+    }
+    if (peek().type == TokenType::kLParen) {
+      take();
+      auto inner = parse_or();
+      BX_RETURN_IF_ERROR(inner.status());
+      if (peek().type != TokenType::kRParen) {
+        return invalid_argument("expected ')'");
+      }
+      take();
+      return inner;
+    }
+    return parse_comparison();
+  }
+
+  StatusOr<Literal> parse_literal() {
+    const Token& literal = peek();
+    switch (literal.type) {
+      case TokenType::kInt:
+        return Literal{take().int_value};
+      case TokenType::kFloat:
+        return Literal{take().float_value};
+      case TokenType::kString:
+        return Literal{take().text};
+      case TokenType::kIdent:
+        // date 'YYYY-MM-DD' literals compare as ISO strings.
+        if (ident_equals(literal.text, "DATE")) {
+          take();
+          if (peek().type != TokenType::kString) {
+            return invalid_argument("expected string after DATE");
+          }
+          return Literal{take().text};
+        }
+        return invalid_argument("expected literal, got identifier '" +
+                                literal.text + "'");
+      default:
+        return invalid_argument("expected literal");
+    }
+  }
+
+  static std::unique_ptr<Expr> make_compare(const std::string& column,
+                                            CompareOp op, Literal literal) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kCompare;
+    node->column = column;
+    node->op = op;
+    node->literal = std::move(literal);
+    return node;
+  }
+
+  StatusOr<std::unique_ptr<Expr>> parse_comparison() {
+    if (peek().type != TokenType::kIdent) {
+      return invalid_argument("expected column name, got '" + peek().text +
+                              "'");
+    }
+    const std::string column = take().text;
+
+    // col BETWEEN a AND b  ==>  col >= a AND col <= b
+    if (is_keyword(peek(), "BETWEEN")) {
+      take();
+      auto low = parse_literal();
+      BX_RETURN_IF_ERROR(low.status());
+      BX_RETURN_IF_ERROR(expect_keyword("AND"));
+      auto high = parse_literal();
+      BX_RETURN_IF_ERROR(high.status());
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kLogic;
+      node->logic = LogicOp::kAnd;
+      node->lhs = make_compare(column, CompareOp::kGe, std::move(*low));
+      node->rhs = make_compare(column, CompareOp::kLe, std::move(*high));
+      return node;
+    }
+
+    // col IN (a, b, ...)  ==>  col = a OR col = b OR ...
+    if (is_keyword(peek(), "IN")) {
+      take();
+      if (peek().type != TokenType::kLParen) {
+        return invalid_argument("expected '(' after IN");
+      }
+      take();
+      std::unique_ptr<Expr> chain;
+      for (;;) {
+        auto literal = parse_literal();
+        BX_RETURN_IF_ERROR(literal.status());
+        auto equals =
+            make_compare(column, CompareOp::kEq, std::move(*literal));
+        if (chain == nullptr) {
+          chain = std::move(equals);
+        } else {
+          auto parent = std::make_unique<Expr>();
+          parent->kind = Expr::Kind::kLogic;
+          parent->logic = LogicOp::kOr;
+          parent->lhs = std::move(chain);
+          parent->rhs = std::move(equals);
+          chain = std::move(parent);
+        }
+        if (peek().type == TokenType::kComma) {
+          take();
+          continue;
+        }
+        break;
+      }
+      if (peek().type != TokenType::kRParen) {
+        return invalid_argument("expected ')' to close IN list");
+      }
+      take();
+      return chain;
+    }
+
+    // col LIKE 'pattern'
+    if (is_keyword(peek(), "LIKE")) {
+      take();
+      if (peek().type != TokenType::kString) {
+        return invalid_argument("expected string pattern after LIKE");
+      }
+      return make_compare(column, CompareOp::kLike, Literal{take().text});
+    }
+
+    if (peek().type != TokenType::kOp) {
+      return invalid_argument("expected comparison operator after column '" +
+                              column + "'");
+    }
+    const CompareOp op = take().op;
+    auto literal = parse_literal();
+    BX_RETURN_IF_ERROR(literal.status());
+    return make_compare(column, op, std::move(*literal));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t cursor_ = 0;
+};
+
+bool starts_with_select(std::string_view text) {
+  std::size_t pos = 0;
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  return text.size() - pos >= 6 &&
+         ident_equals(text.substr(pos, 6), "SELECT");
+}
+
+}  // namespace
+
+StatusOr<Query> parse_query(std::string_view sql) {
+  auto tokens = Lexer(sql).run();
+  BX_RETURN_IF_ERROR(tokens.status());
+  return Parser(std::move(tokens).value()).parse_full();
+}
+
+StatusOr<Query> parse_segment(std::string_view text) {
+  auto tokens = Lexer(text).run();
+  BX_RETURN_IF_ERROR(tokens.status());
+  return Parser(std::move(tokens).value()).parse_segment_form();
+}
+
+StatusOr<Query> parse_task(std::string_view text) {
+  return starts_with_select(text) ? parse_query(text) : parse_segment(text);
+}
+
+Status bind(Expr& expr, const TableSchema& schema) {
+  switch (expr.kind) {
+    case Expr::Kind::kCompare: {
+      expr.column_index = schema.column_index(expr.column);
+      if (expr.column_index < 0) {
+        return not_found("unknown column '" + expr.column + "'");
+      }
+      const ColumnType type =
+          schema.columns()[static_cast<std::size_t>(expr.column_index)].type;
+      const bool literal_is_string =
+          std::holds_alternative<std::string>(expr.literal);
+      if ((type == ColumnType::kString) != literal_is_string) {
+        return invalid_argument("type mismatch on column '" + expr.column +
+                                "'");
+      }
+      return Status::ok();
+    }
+    case Expr::Kind::kLogic:
+      BX_RETURN_IF_ERROR(bind(*expr.lhs, schema));
+      return bind(*expr.rhs, schema);
+    case Expr::Kind::kNot:
+      return bind(*expr.lhs, schema);
+  }
+  return internal_error("corrupt expression node");
+}
+
+namespace {
+
+template <typename T>
+bool compare(CompareOp op, T lhs, T rhs) noexcept {
+  switch (op) {
+    case CompareOp::kEq: return lhs == rhs;
+    case CompareOp::kNe: return lhs != rhs;
+    case CompareOp::kLt: return lhs < rhs;
+    case CompareOp::kLe: return lhs <= rhs;
+    case CompareOp::kGt: return lhs > rhs;
+    case CompareOp::kGe: return lhs >= rhs;
+    case CompareOp::kLike: return false;  // strings only; handled separately
+  }
+  return false;
+}
+
+/// SQL LIKE with '%' wildcards at either end only:
+/// 'abc%' prefix, '%abc' suffix, '%abc%' contains, 'abc' exact.
+bool like_match(std::string_view value, std::string_view pattern) noexcept {
+  const bool leading = !pattern.empty() && pattern.front() == '%';
+  const bool trailing = pattern.size() > (leading ? 1u : 0u) &&
+                        pattern.back() == '%';
+  std::string_view needle = pattern;
+  if (leading) needle.remove_prefix(1);
+  if (trailing) needle.remove_suffix(1);
+  if (leading && trailing) {
+    return needle.empty() ||
+           value.find(needle) != std::string_view::npos;
+  }
+  if (leading) {
+    return value.size() >= needle.size() &&
+           value.substr(value.size() - needle.size()) == needle;
+  }
+  if (trailing) {
+    return value.substr(0, needle.size()) == needle;
+  }
+  return value == needle;
+}
+
+}  // namespace
+
+bool evaluate(const Expr& expr, const TableSchema& schema,
+              RowView row) noexcept {
+  switch (expr.kind) {
+    case Expr::Kind::kCompare: {
+      const int index = expr.column_index;
+      const ColumnType type =
+          schema.columns()[static_cast<std::size_t>(index)].type;
+      switch (type) {
+        case ColumnType::kInt64: {
+          const std::int64_t lhs = row.get_int(index);
+          if (const auto* i = std::get_if<std::int64_t>(&expr.literal)) {
+            return compare(expr.op, lhs, *i);
+          }
+          return compare(expr.op, double(lhs),
+                         std::get<double>(expr.literal));
+        }
+        case ColumnType::kFloat64: {
+          const double lhs = row.get_double(index);
+          if (const auto* i = std::get_if<std::int64_t>(&expr.literal)) {
+            return compare(expr.op, lhs, double(*i));
+          }
+          return compare(expr.op, lhs, std::get<double>(expr.literal));
+        }
+        case ColumnType::kString: {
+          const std::string_view lhs = row.get_string(index);
+          const std::string& rhs = std::get<std::string>(expr.literal);
+          if (expr.op == CompareOp::kLike) return like_match(lhs, rhs);
+          return compare<std::string_view>(expr.op, lhs, rhs);
+        }
+      }
+      return false;
+    }
+    case Expr::Kind::kLogic: {
+      const bool lhs = evaluate(*expr.lhs, schema, row);
+      if (expr.logic == LogicOp::kAnd) {
+        return lhs && evaluate(*expr.rhs, schema, row);
+      }
+      return lhs || evaluate(*expr.rhs, schema, row);
+    }
+    case Expr::Kind::kNot:
+      return !evaluate(*expr.lhs, schema, row);
+  }
+  return false;
+}
+
+std::string to_string(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kCompare: {
+      std::string op;
+      switch (expr.op) {
+        case CompareOp::kEq: op = "="; break;
+        case CompareOp::kNe: op = "!="; break;
+        case CompareOp::kLt: op = "<"; break;
+        case CompareOp::kLe: op = "<="; break;
+        case CompareOp::kGt: op = ">"; break;
+        case CompareOp::kGe: op = ">="; break;
+        case CompareOp::kLike: op = "LIKE"; break;
+      }
+      std::string literal;
+      if (const auto* i = std::get_if<std::int64_t>(&expr.literal)) {
+        literal = std::to_string(*i);
+      } else if (const auto* d = std::get_if<double>(&expr.literal)) {
+        literal = std::to_string(*d);
+      } else {
+        literal = "'" + std::get<std::string>(expr.literal) + "'";
+      }
+      return expr.column + " " + op + " " + literal;
+    }
+    case Expr::Kind::kLogic:
+      return "(" + to_string(*expr.lhs) +
+             (expr.logic == LogicOp::kAnd ? " AND " : " OR ") +
+             to_string(*expr.rhs) + ")";
+    case Expr::Kind::kNot:
+      return "NOT (" + to_string(*expr.lhs) + ")";
+  }
+  return "?";
+}
+
+}  // namespace bx::csd

@@ -1,0 +1,96 @@
+// SELECT-WHERE SQL subset: lexer, parser, and predicate evaluation.
+//
+// This is the in-device query front end for SQL predicate pushdown
+// (§2.2.2). Two input forms are accepted, matching the paper's Figure 7
+// experiment which sends either the *full SQL string* or just the
+// *table-name + predicate segment*:
+//   full:    SELECT a, b FROM particles WHERE energy > 1.5 AND id != 3
+//   segment: particles energy > 1.5 AND id != 3
+//
+// Supported: column comparisons (=, !=, <>, <, <=, >, >=) against integer,
+// float, string and date 'YYYY-MM-DD' literals (dates compare as ISO
+// strings), BETWEEN a AND b (desugared to >= AND <=), IN (x, y, ...)
+// (desugared to an OR chain), LIKE with '%' wildcards at either end
+// (prefix / suffix / contains / exact), combined with AND / OR / NOT and
+// parentheses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "csd/row.h"
+#include "csd/schema.h"
+
+namespace bx::csd {
+
+enum class CompareOp : std::uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,  // string pattern with optional leading/trailing '%'
+};
+enum class LogicOp : std::uint8_t { kAnd, kOr };
+
+using Literal = std::variant<std::int64_t, double, std::string>;
+
+struct Expr {
+  enum class Kind : std::uint8_t { kCompare, kLogic, kNot };
+  Kind kind = Kind::kCompare;
+
+  // kCompare
+  std::string column;
+  int column_index = -1;  // resolved by bind()
+  CompareOp op = CompareOp::kEq;
+  Literal literal;
+
+  // kLogic (lhs,rhs) / kNot (lhs only)
+  LogicOp logic = LogicOp::kAnd;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+};
+
+enum class AggregateFn : std::uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+struct AggregateItem {
+  AggregateFn fn = AggregateFn::kCount;
+  std::string column;  // empty for COUNT(*)
+};
+
+struct Query {
+  std::vector<std::string> select_columns;  // empty == SELECT *
+  /// Aggregate select list (SELECT COUNT(*), SUM(x) ...). Mutually
+  /// exclusive with plain columns — there is no GROUP BY.
+  std::vector<AggregateItem> aggregates;
+  std::string table;
+  std::unique_ptr<Expr> where;  // null == no WHERE clause
+};
+
+/// Parses the full SELECT form.
+StatusOr<Query> parse_query(std::string_view sql);
+
+/// Parses the segment form: first token is the table name, the rest is the
+/// predicate.
+StatusOr<Query> parse_segment(std::string_view text);
+
+/// Auto-detects the form: leading SELECT keyword -> full, else segment.
+StatusOr<Query> parse_task(std::string_view text);
+
+/// Resolves column names against the schema and checks literal/column type
+/// compatibility. Must run before evaluate().
+Status bind(Expr& expr, const TableSchema& schema);
+
+/// Evaluates a bound predicate against one row.
+[[nodiscard]] bool evaluate(const Expr& expr, const TableSchema& schema,
+                            RowView row) noexcept;
+
+/// Canonical text form of an expression (round-trip aid for tests).
+std::string to_string(const Expr& expr);
+
+}  // namespace bx::csd

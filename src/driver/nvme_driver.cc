@@ -1,0 +1,754 @@
+#include "driver/nvme_driver.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "nvme/bandslim_wire.h"
+#include "nvme/inline_wire.h"
+#include "nvme/sgl.h"
+
+namespace bx::driver {
+
+namespace {
+
+constexpr std::uint32_t kBlockSize = 4096;  // device LBA format (Cosmos+)
+
+ConstByteSpan sqe_bytes(const nvme::SubmissionQueueEntry& sqe) {
+  return {reinterpret_cast<const Byte*>(&sqe), sizeof(sqe)};
+}
+
+}  // namespace
+
+NvmeDriver::NvmeDriver(DmaMemory& memory, pcie::PcieLink& link,
+                       pcie::BarSpace& bar, Config config)
+    : memory_(memory),
+      link_(link),
+      bar_(bar),
+      doorbell_(bar, link),
+      config_(config) {
+  BX_ASSERT(config_.io_queue_count >= 1);
+  BX_ASSERT(config_.io_queue_count < bar.max_queues());
+  admin_.sq = std::make_unique<nvme::SqRing>(memory_, 0,
+                                             config_.admin_queue_depth);
+  admin_.cq = std::make_unique<nvme::CqRing>(memory_, 0,
+                                             config_.admin_queue_depth);
+}
+
+NvmeDriver::~NvmeDriver() = default;
+
+NvmeDriver::QueueInfo NvmeDriver::admin_queue_info() const {
+  QueueInfo info;
+  info.qid = 0;
+  info.sq_addr = admin_.sq->base_addr();
+  info.sq_depth = admin_.sq->depth();
+  info.cq_addr = admin_.cq->base_addr();
+  info.cq_depth = admin_.cq->depth();
+  return info;
+}
+
+Status NvmeDriver::init_io_queues() {
+  if (!pump_) return failed_precondition("no device attached (pump unset)");
+  io_queues_.clear();
+  for (std::uint16_t i = 1; i <= config_.io_queue_count; ++i) {
+    auto qp = std::make_unique<QueuePair>();
+    qp->sq = std::make_unique<nvme::SqRing>(memory_, i,
+                                            config_.io_queue_depth);
+    qp->cq = std::make_unique<nvme::CqRing>(memory_, i,
+                                            config_.io_queue_depth);
+
+    // Create the completion queue first, as the spec requires.
+    nvme::SubmissionQueueEntry create_cq;
+    create_cq.opcode = static_cast<std::uint8_t>(
+        nvme::AdminOpcode::kCreateIoCq);
+    create_cq.dptr1 = qp->cq->base_addr();
+    create_cq.cdw10 = (std::uint32_t{qp->cq->depth() - 1} << 16) | i;
+    create_cq.cdw11 = 0x3;  // physically contiguous + interrupts enabled
+    auto cq_done = execute_admin(create_cq);
+    BX_RETURN_IF_ERROR(cq_done.status());
+    if (!cq_done->ok()) {
+      return internal_error("CreateIoCq failed for qid " + std::to_string(i));
+    }
+
+    nvme::SubmissionQueueEntry create_sq;
+    create_sq.opcode = static_cast<std::uint8_t>(
+        nvme::AdminOpcode::kCreateIoSq);
+    create_sq.dptr1 = qp->sq->base_addr();
+    create_sq.cdw10 = (std::uint32_t{qp->sq->depth() - 1} << 16) | i;
+    create_sq.cdw11 = (std::uint32_t{i} << 16) | 0x1;  // cqid | contiguous
+    auto sq_done = execute_admin(create_sq);
+    BX_RETURN_IF_ERROR(sq_done.status());
+    if (!sq_done->ok()) {
+      return internal_error("CreateIoSq failed for qid " + std::to_string(i));
+    }
+
+    io_queues_.push_back(std::move(qp));
+  }
+  return Status::ok();
+}
+
+NvmeDriver::QueuePair& NvmeDriver::queue(std::uint16_t qid) {
+  if (qid == 0) return admin_;
+  BX_ASSERT_MSG(qid <= io_queues_.size(), "bad qid");
+  return *io_queues_[qid - 1];
+}
+
+nvme::SqRing& NvmeDriver::sq_for_test(std::uint16_t qid) {
+  return *queue(qid).sq;
+}
+
+bool NvmeDriver::is_write_direction(nvme::IoOpcode opcode) noexcept {
+  switch (opcode) {
+    case nvme::IoOpcode::kWrite:
+    case nvme::IoOpcode::kVendorRawWrite:
+    case nvme::IoOpcode::kVendorKvStore:
+    case nvme::IoOpcode::kVendorCsdFilter:
+    case nvme::IoOpcode::kVendorPartialWrite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool NvmeDriver::is_read_direction(nvme::IoOpcode opcode) noexcept {
+  switch (opcode) {
+    case nvme::IoOpcode::kRead:
+    case nvme::IoOpcode::kVendorRawRead:
+    case nvme::IoOpcode::kVendorKvRetrieve:
+    case nvme::IoOpcode::kVendorKvIterate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+StatusOr<TransferMethod> NvmeDriver::resolve_method(
+    const IoRequest& request) const {
+  TransferMethod method = request.method;
+  const std::uint64_t len = request.write_data.size();
+
+  if (method == TransferMethod::kHybrid) {
+    method = (is_write_direction(request.opcode) && len > 0 &&
+              len <= config_.hybrid_threshold_bytes)
+                 ? TransferMethod::kByteExpress
+                 : TransferMethod::kPrp;
+  }
+
+  const bool inline_like = method == TransferMethod::kByteExpress ||
+                           method == TransferMethod::kByteExpressOoo ||
+                           method == TransferMethod::kBandSlim;
+  if (inline_like) {
+    // Inline transfer only exists host->device; reads and zero-length
+    // commands use the native path. A payload whose command + chunks can
+    // never fit the ring (depth - 1 usable slots) must also fall back —
+    // waiting would deadlock.
+    const std::uint32_t max_ring_payload =
+        method == TransferMethod::kBandSlim
+            ? UINT32_MAX  // BandSlim commands recycle slot by slot
+            : (config_.io_queue_depth - 2) * nvme::kChunkSize;
+    if (!is_write_direction(request.opcode) || len == 0 ||
+        len > config_.max_inline_bytes || len > max_ring_payload) {
+      if (!config_.auto_fallback_to_prp) {
+        return failed_precondition(
+            "payload cannot go inline and PRP fallback is disabled");
+      }
+      method = TransferMethod::kPrp;
+    }
+  }
+  return method;
+}
+
+nvme::SubmissionQueueEntry NvmeDriver::build_base_sqe(
+    const IoRequest& request) const {
+  nvme::SubmissionQueueEntry sqe;
+  sqe.opcode = static_cast<std::uint8_t>(request.opcode);
+  sqe.nsid = request.nsid;
+  if (request.opcode == nvme::IoOpcode::kWrite ||
+      request.opcode == nvme::IoOpcode::kRead) {
+    nvme::BlockIoFields fields;
+    fields.slba = request.slba;
+    fields.block_count = request.block_count;
+    fields.apply(sqe);
+  } else {
+    nvme::VendorFields fields;
+    fields.data_length = static_cast<std::uint32_t>(
+        is_read_direction(request.opcode) ? request.read_buffer.size()
+                                          : request.write_data.size());
+    fields.aux = request.aux << 8;
+    fields.apply(sqe);
+    if (request.key.key_len > 0) request.key.apply(sqe);
+    if (request.opcode == nvme::IoOpcode::kVendorPartialWrite) {
+      // Target block address rides in CDW10/11 (aux carries the byte
+      // offset within the block).
+      sqe.cdw10 = static_cast<std::uint32_t>(request.slba);
+      sqe.cdw11 = static_cast<std::uint32_t>(request.slba >> 32);
+    }
+  }
+  return sqe;
+}
+
+Status NvmeDriver::attach_data_prp(QueuePair& qp,
+                                   nvme::SubmissionQueueEntry& sqe,
+                                   Pending& pending,
+                                   const IoRequest& request) {
+  (void)qp;
+  const bool read_dir = is_read_direction(request.opcode);
+  const std::uint64_t len =
+      read_dir ? request.read_buffer.size() : request.write_data.size();
+  if (len == 0) return Status::ok();  // e.g. flush, delete, exist
+
+  pending.data = memory_.allocate(len);
+  if (!read_dir) pending.data.write(0, request.write_data);
+  auto chain = nvme::build_prp_chain(memory_, pending.data.addr(), len);
+  BX_RETURN_IF_ERROR(chain.status());
+  pending.chain = std::move(chain).value();
+  sqe.dptr1 = pending.chain.prp1;
+  sqe.dptr2 = pending.chain.prp2;
+  sqe.set_transfer_mode(nvme::DataTransferMode::kPrp);
+  link_.clock().advance(config_.timing.prp_build_ns);
+  if (read_dir) {
+    pending.read_target = request.read_buffer;
+    pending.read_length = static_cast<std::uint32_t>(len);
+  }
+  return Status::ok();
+}
+
+Status NvmeDriver::attach_data_sgl(QueuePair& qp,
+                                   nvme::SubmissionQueueEntry& sqe,
+                                   Pending& pending,
+                                   const IoRequest& request) {
+  (void)qp;
+  const bool read_dir = is_read_direction(request.opcode);
+
+  if (read_dir && request.discard_read_data) {
+    // §5: a bit bucket absorbs the read data on the device side; no host
+    // buffer, no data transfer, the CQE alone reports the outcome.
+    const auto bucket_len = static_cast<std::uint32_t>(
+        request.read_buffer.empty() ? UINT32_MAX
+                                    : request.read_buffer.size());
+    const auto [low, high] = nvme::make_bit_bucket(bucket_len).pack();
+    sqe.dptr1 = low;
+    sqe.dptr2 = high;
+    sqe.set_transfer_mode(nvme::DataTransferMode::kSglData);
+    // The data length field still declares what the host asked about.
+    if (sqe.cdw12 == 0) sqe.cdw12 = bucket_len;
+    link_.clock().advance(config_.timing.sgl_build_ns);
+    return Status::ok();
+  }
+
+  const std::uint64_t len =
+      read_dir ? request.read_buffer.size() : request.write_data.size();
+  if (len == 0) return Status::ok();
+
+  pending.data = memory_.allocate(len);
+  if (!read_dir) pending.data.write(0, request.write_data);
+  auto descriptor = nvme::build_sgl_data_block(pending.data.addr(), len);
+  BX_RETURN_IF_ERROR(descriptor.status());
+  const auto [low, high] = descriptor->pack();
+  sqe.dptr1 = low;
+  sqe.dptr2 = high;
+  sqe.set_transfer_mode(nvme::DataTransferMode::kSglData);
+  link_.clock().advance(config_.timing.sgl_build_ns);
+  if (read_dir) {
+    pending.read_target = request.read_buffer;
+    pending.read_length = static_cast<std::uint32_t>(len);
+  }
+  return Status::ok();
+}
+
+void NvmeDriver::submit_plain(QueuePair& qp,
+                              const nvme::SubmissionQueueEntry& sqe) {
+  std::uint32_t tail;
+  const Nanoseconds start = link_.clock().now();
+  {
+    std::lock_guard<std::mutex> lock(qp.sq->lock());
+    BX_ASSERT_MSG(qp.sq->free_slots() >= 1, "SQ overflow");
+    link_.clock().advance(config_.timing.sqe_insert_ns);
+    qp.sq->push_slot(sqe_bytes(sqe));
+    tail = qp.sq->tail();
+  }
+  last_submit_cost_ns_ = link_.clock().now() - start;
+  doorbell_.ring_sq_tail(qp.sq->qid(), tail);
+}
+
+bool NvmeDriver::submit_inline_locked(QueuePair& qp,
+                                      const nvme::SubmissionQueueEntry& sqe,
+                                      ConstByteSpan payload) {
+  const bool ooo = nvme::inline_chunk::sqe_is_ooo(sqe);
+  const std::uint32_t chunks =
+      ooo ? nvme::inline_chunk::ooo_chunks_for(payload.size())
+          : nvme::inline_chunk::raw_chunks_for(payload.size());
+  std::uint32_t tail;
+  const Nanoseconds start = link_.clock().now();
+  {
+    // §3.3.2: command + chunks inserted under one hold of the SQ lock, so
+    // the entries are consecutive and in order.
+    std::lock_guard<std::mutex> lock(qp.sq->lock());
+    if (qp.sq->free_slots() < 1 + chunks) return false;
+    link_.clock().advance(config_.timing.sqe_insert_ns);
+    qp.sq->push_slot(sqe_bytes(sqe));
+    std::size_t offset = 0;
+    for (std::uint32_t i = 0; i < chunks; ++i) {
+      link_.clock().advance(config_.timing.chunk_insert_ns);
+      if (ooo) {
+        const std::size_t take =
+            std::min<std::size_t>(nvme::inline_chunk::kOooChunkCapacity,
+                                  payload.size() - offset);
+        const auto slot = nvme::inline_chunk::encode_ooo_chunk(
+            nvme::inline_chunk::sqe_ooo_payload_id(sqe),
+            static_cast<std::uint16_t>(i), static_cast<std::uint16_t>(chunks),
+            payload.subspan(offset, take));
+        qp.sq->push_slot({slot.raw, sizeof(slot.raw)});
+        offset += take;
+      } else {
+        const std::size_t take = std::min<std::size_t>(
+            nvme::inline_chunk::kRawChunkCapacity, payload.size() - offset);
+        const auto slot =
+            nvme::inline_chunk::encode_raw_chunk(payload.subspan(offset, take));
+        qp.sq->push_slot({slot.raw, sizeof(slot.raw)});
+        offset += take;
+      }
+    }
+    tail = qp.sq->tail();
+  }
+  last_submit_cost_ns_ = link_.clock().now() - start;
+  // One doorbell for the command and all of its chunks.
+  doorbell_.ring_sq_tail(qp.sq->qid(), tail);
+  return true;
+}
+
+Status NvmeDriver::submit_bandslim(QueuePair& qp,
+                                   nvme::SubmissionQueueEntry sqe,
+                                   const IoRequest& request) {
+  const ConstByteSpan payload = request.write_data;
+  const std::uint16_t stream = next_stream_id_++;
+  if (next_stream_id_ == 0) next_stream_id_ = 1;
+
+  const std::uint32_t embedded =
+      nvme::bandslim::encode_header(sqe, stream, payload);
+  submit_plain(qp, sqe);
+
+  // Dedicated fragment commands, serialized by the host ordering layer
+  // (§3.2: "payload fragments must be sent through serialized CMDs").
+  std::uint32_t offset = embedded;
+  std::uint16_t index = 0;
+  while (offset < payload.size()) {
+    link_.clock().advance(config_.timing.bandslim_gap_ns);
+    nvme::bandslim::Fragment fragment;
+    fragment.stream_id = stream;
+    fragment.index = index++;
+    fragment.offset = offset;
+    fragment.length = static_cast<std::uint32_t>(
+        std::min<std::size_t>(nvme::bandslim::kFragmentCapacity,
+                              payload.size() - offset));
+    fragment.last = offset + fragment.length == payload.size();
+    const auto frag_sqe = nvme::bandslim::encode_fragment(
+        fragment, /*cid=*/0, payload.subspan(offset, fragment.length));
+    submit_plain(qp, frag_sqe);
+    offset += fragment.length;
+  }
+  return Status::ok();
+}
+
+StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
+                                                   std::uint16_t qid,
+                                                   TransferMethod method) {
+  QueuePair& qp = queue(qid);
+
+  // Validate block I/O geometry up front.
+  if (request.opcode == nvme::IoOpcode::kWrite) {
+    if (request.write_data.size() !=
+        std::uint64_t{request.block_count} * kBlockSize) {
+      return invalid_argument("write_data must be block_count * 4096 bytes");
+    }
+  }
+  if (request.opcode == nvme::IoOpcode::kRead) {
+    if (request.read_buffer.size() !=
+        std::uint64_t{request.block_count} * kBlockSize) {
+      return invalid_argument("read_buffer must be block_count * 4096 bytes");
+    }
+  }
+
+  nvme::SubmissionQueueEntry sqe = build_base_sqe(request);
+
+  Pending pending;
+  const Nanoseconds submit_time = link_.clock().now();
+  pending.submit_time_ns = submit_time;
+
+  std::uint16_t cid;
+  {
+    std::lock_guard<std::mutex> lock(qp.pending_mutex);
+    do {
+      cid = qp.next_cid++;
+    } while (qp.pending.count(cid) != 0);
+  }
+  sqe.cid = cid;
+
+  switch (method) {
+    case TransferMethod::kPrp: {
+      BX_RETURN_IF_ERROR(attach_data_prp(qp, sqe, pending, request));
+      break;
+    }
+    case TransferMethod::kSgl: {
+      BX_RETURN_IF_ERROR(attach_data_sgl(qp, sqe, pending, request));
+      break;
+    }
+    case TransferMethod::kByteExpress:
+    case TransferMethod::kByteExpressOoo: {
+      sqe.set_inline_length(
+          static_cast<std::uint32_t>(request.write_data.size()));
+      if (method == TransferMethod::kByteExpressOoo) {
+        nvme::inline_chunk::mark_sqe_ooo(sqe, next_payload_id_++);
+        if (next_payload_id_ >= 0x80000000u) next_payload_id_ = 1;
+      }
+      break;
+    }
+    case TransferMethod::kBandSlim:
+      break;
+    case TransferMethod::kHybrid:
+      return internal_error("hybrid must be resolved before submission");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(qp.pending_mutex);
+    qp.pending.emplace(cid, std::move(pending));
+  }
+
+  switch (method) {
+    case TransferMethod::kPrp:
+    case TransferMethod::kSgl:
+      submit_plain(qp, sqe);
+      break;
+    case TransferMethod::kByteExpress:
+    case TransferMethod::kByteExpressOoo: {
+      // Wait for ring space if the queue is saturated with inline chunks.
+      int spins = 0;
+      while (!submit_inline_locked(qp, sqe, request.write_data)) {
+        poll_completions(qid);
+        if (!pump_once() && ++spins > 10000) {
+          std::lock_guard<std::mutex> lock(qp.pending_mutex);
+          qp.pending.erase(cid);
+          return resource_exhausted("SQ too shallow for inline payload");
+        }
+      }
+      break;
+    }
+    case TransferMethod::kBandSlim:
+      BX_RETURN_IF_ERROR(submit_bandslim(qp, sqe, request));
+      break;
+    case TransferMethod::kHybrid:
+      return internal_error("unreachable");
+  }
+
+  Submitted handle;
+  handle.qid = qid;
+  handle.cid = cid;
+  handle.submit_time_ns = submit_time;
+  return handle;
+}
+
+StatusOr<Submitted> NvmeDriver::submit(const IoRequest& request,
+                                       std::uint16_t qid) {
+  if (qid == 0 || qid > io_queues_.size()) {
+    return invalid_argument("bad I/O qid " + std::to_string(qid));
+  }
+  auto method = resolve_method(request);
+  BX_RETURN_IF_ERROR(method.status());
+  return submit_with_method(request, qid, *method);
+}
+
+StatusOr<Completion> NvmeDriver::wait(const Submitted& handle) {
+  QueuePair& qp = queue(handle.qid);
+  int idle_spins = 0;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(qp.pending_mutex);
+      auto it = qp.pending.find(handle.cid);
+      if (it == qp.pending.end()) {
+        return internal_error("waiting on unknown cid");
+      }
+      if (it->second.done) {
+        Pending pending = std::move(it->second);
+        qp.pending.erase(it);
+        Completion completion;
+        completion.status = pending.cqe.status();
+        completion.dw0 = pending.cqe.dw0;
+        completion.latency_ns =
+            link_.clock().now() - pending.submit_time_ns;
+        if (!pending.read_target.empty() && completion.status.is_success()) {
+          const std::uint32_t returned =
+              std::min<std::uint32_t>(pending.cqe.dw0, pending.read_length);
+          ByteVec staging(returned);
+          if (returned > 0 && pending.data.valid()) {
+            pending.data.read(0, {staging.data(), returned});
+            std::memcpy(pending.read_target.data(), staging.data(), returned);
+          }
+          completion.bytes_returned = returned;
+        }
+        return completion;
+      }
+    }
+    const bool progressed = pump_once();
+    poll_completions(handle.qid);
+    if (!progressed) {
+      if (++idle_spins > 10000) {
+        return internal_error("device made no progress while waiting");
+      }
+    } else {
+      idle_spins = 0;
+    }
+  }
+}
+
+std::size_t NvmeDriver::poll_completions(std::uint16_t qid) {
+  QueuePair& qp = queue(qid);
+  std::size_t reaped = 0;
+  nvme::CompletionQueueEntry cqe;
+  while (qp.cq->peek(cqe)) {
+    qp.cq->pop();
+    link_.clock().advance(config_.timing.completion_handle_ns);
+    doorbell_.ring_cq_head(qid, qp.cq->head());
+    reap_one(qp, cqe);
+    ++reaped;
+  }
+  return reaped;
+}
+
+void NvmeDriver::reap_one(QueuePair& qp,
+                          const nvme::CompletionQueueEntry& cqe) {
+  {
+    std::lock_guard<std::mutex> lock(qp.sq->lock());
+    qp.sq->note_head(cqe.sq_head);
+  }
+  std::lock_guard<std::mutex> lock(qp.pending_mutex);
+  auto it = qp.pending.find(cqe.cid);
+  if (it == qp.pending.end()) {
+    BX_LOG_WARN << "completion for unknown cid " << cqe.cid;
+    return;
+  }
+  it->second.cqe = cqe;
+  it->second.done = true;
+}
+
+StatusOr<Completion> NvmeDriver::execute(const IoRequest& request,
+                                         std::uint16_t qid) {
+  auto handle = submit(request, qid);
+  BX_RETURN_IF_ERROR(handle.status());
+  return wait(*handle);
+}
+
+StatusOr<Completion> NvmeDriver::execute_ooo_striped(
+    const IoRequest& request, const std::vector<std::uint16_t>& qids) {
+  if (qids.empty()) return invalid_argument("no queues given");
+  for (const std::uint16_t qid : qids) {
+    if (qid == 0 || qid > io_queues_.size()) {
+      return invalid_argument("bad qid in stripe set");
+    }
+  }
+  if (!is_write_direction(request.opcode) || request.write_data.empty()) {
+    return invalid_argument("OOO striping requires a write-direction payload");
+  }
+  if (request.write_data.size() > config_.max_inline_bytes) {
+    return invalid_argument("payload too large for inline transfer");
+  }
+
+  // Capacity check: the command occupies one slot on the home queue, and
+  // the chunks round-robin across the stripe set. Unlike the queue-local
+  // path, striped queues that carry only chunks never receive CQEs, so the
+  // host's head cache can lag — surface that as backpressure instead of
+  // overrunning a ring.
+  {
+    const std::uint32_t total_chunks =
+        nvme::inline_chunk::ooo_chunks_for(request.write_data.size());
+    for (std::size_t j = 0; j < qids.size(); ++j) {
+      std::uint32_t need = total_chunks / qids.size() +
+                           (j < total_chunks % qids.size() ? 1 : 0);
+      if (j == 0) ++need;  // the command itself
+      QueuePair& qp = queue(qids[j]);
+      std::lock_guard<std::mutex> lock(qp.sq->lock());
+      if (qp.sq->free_slots() < need) {
+        return resource_exhausted("stripe queue " +
+                                  std::to_string(qids[j]) + " lacks space");
+      }
+    }
+  }
+
+  QueuePair& home = queue(qids.front());
+  nvme::SubmissionQueueEntry sqe = build_base_sqe(request);
+  sqe.set_inline_length(static_cast<std::uint32_t>(request.write_data.size()));
+  const std::uint32_t payload_id = next_payload_id_++;
+  if (next_payload_id_ >= 0x80000000u) next_payload_id_ = 1;
+  nvme::inline_chunk::mark_sqe_ooo(sqe, payload_id);
+
+  std::uint16_t cid;
+  {
+    std::lock_guard<std::mutex> lock(home.pending_mutex);
+    do {
+      cid = home.next_cid++;
+    } while (home.pending.count(cid) != 0);
+    Pending pending;
+    pending.submit_time_ns = link_.clock().now();
+    home.pending.emplace(cid, std::move(pending));
+  }
+  sqe.cid = cid;
+
+  const Nanoseconds submit_time = link_.clock().now();
+
+  // Command into the home queue.
+  {
+    std::lock_guard<std::mutex> lock(home.sq->lock());
+    BX_ASSERT(home.sq->free_slots() >= 1);
+    link_.clock().advance(config_.timing.sqe_insert_ns);
+    home.sq->push_slot(sqe_bytes(sqe));
+  }
+
+  // Chunks striped round-robin across the whole queue set.
+  const std::uint32_t chunks =
+      nvme::inline_chunk::ooo_chunks_for(request.write_data.size());
+  std::size_t offset = 0;
+  for (std::uint32_t i = 0; i < chunks; ++i) {
+    QueuePair& target = queue(qids[i % qids.size()]);
+    const std::size_t take =
+        std::min<std::size_t>(nvme::inline_chunk::kOooChunkCapacity,
+                              request.write_data.size() - offset);
+    const auto slot = nvme::inline_chunk::encode_ooo_chunk(
+        payload_id, static_cast<std::uint16_t>(i),
+        static_cast<std::uint16_t>(chunks),
+        request.write_data.subspan(offset, take));
+    {
+      std::lock_guard<std::mutex> lock(target.sq->lock());
+      BX_ASSERT(target.sq->free_slots() >= 1);
+      link_.clock().advance(config_.timing.chunk_insert_ns);
+      target.sq->push_slot({slot.raw, sizeof(slot.raw)});
+    }
+    offset += take;
+  }
+
+  // One doorbell per touched queue.
+  for (const std::uint16_t qid : qids) {
+    QueuePair& qp = queue(qid);
+    std::lock_guard<std::mutex> lock(qp.sq->lock());
+    doorbell_.ring_sq_tail(qid, qp.sq->tail());
+  }
+  last_submit_cost_ns_ = link_.clock().now() - submit_time;
+
+  Submitted handle;
+  handle.qid = qids.front();
+  handle.cid = cid;
+  handle.submit_time_ns = submit_time;
+  return wait(handle);
+}
+
+StatusOr<Completion> NvmeDriver::execute_admin(
+    nvme::SubmissionQueueEntry sqe) {
+  if (!pump_) return failed_precondition("no device attached");
+  std::uint16_t cid;
+  {
+    std::lock_guard<std::mutex> lock(admin_.pending_mutex);
+    do {
+      cid = admin_.next_cid++;
+    } while (admin_.pending.count(cid) != 0);
+    Pending pending;
+    pending.submit_time_ns = link_.clock().now();
+    admin_.pending.emplace(cid, std::move(pending));
+  }
+  sqe.cid = cid;
+  submit_plain(admin_, sqe);
+
+  Submitted handle;
+  handle.qid = 0;
+  handle.cid = cid;
+  return wait(handle);
+}
+
+bool NvmeDriver::pump_once() { return pump_ ? pump_() : false; }
+
+namespace {
+
+std::string trimmed_field(const ByteVec& page, std::size_t offset,
+                          std::size_t width) {
+  std::string out(reinterpret_cast<const char*>(page.data()) + offset,
+                  width);
+  while (!out.empty() && (out.back() == '\0' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<NvmeDriver::IdentifyControllerData>
+NvmeDriver::identify_controller() {
+  DmaBuffer buffer = memory_.allocate_pages(1);
+  nvme::SubmissionQueueEntry sqe;
+  sqe.opcode = static_cast<std::uint8_t>(nvme::AdminOpcode::kIdentify);
+  sqe.dptr1 = buffer.addr();
+  sqe.cdw10 = static_cast<std::uint32_t>(nvme::IdentifyCns::kController);
+  auto completion = execute_admin(sqe);
+  BX_RETURN_IF_ERROR(completion.status());
+  if (!completion->ok()) return internal_error("identify controller failed");
+
+  ByteVec page(kHostPageSize);
+  buffer.read(0, page);
+  IdentifyControllerData data;
+  data.serial = trimmed_field(page, 4, 20);
+  data.model = trimmed_field(page, 24, 40);
+  data.firmware = trimmed_field(page, 64, 8);
+  std::memcpy(&data.namespace_count, page.data() + 516, 4);
+  std::uint32_t sgls = 0;
+  std::memcpy(&sgls, page.data() + 536, 4);
+  data.sgl_supported = (sgls & 1) != 0;
+  return data;
+}
+
+StatusOr<NvmeDriver::IdentifyNamespaceData> NvmeDriver::identify_namespace(
+    std::uint32_t nsid) {
+  DmaBuffer buffer = memory_.allocate_pages(1);
+  nvme::SubmissionQueueEntry sqe;
+  sqe.opcode = static_cast<std::uint8_t>(nvme::AdminOpcode::kIdentify);
+  sqe.nsid = nsid;
+  sqe.dptr1 = buffer.addr();
+  sqe.cdw10 = static_cast<std::uint32_t>(nvme::IdentifyCns::kNamespace);
+  auto completion = execute_admin(sqe);
+  BX_RETURN_IF_ERROR(completion.status());
+  if (!completion->ok()) {
+    return not_found("identify namespace rejected (bad nsid?)");
+  }
+  ByteVec page(kHostPageSize);
+  buffer.read(0, page);
+  IdentifyNamespaceData data;
+  std::memcpy(&data.size_blocks, page.data() + 0, 8);
+  std::memcpy(&data.capacity_blocks, page.data() + 8, 8);
+  return data;
+}
+
+StatusOr<nvme::TransferStatsLog> NvmeDriver::get_transfer_stats() {
+  DmaBuffer buffer = memory_.allocate_pages(1);
+  nvme::SubmissionQueueEntry sqe;
+  sqe.opcode = static_cast<std::uint8_t>(nvme::AdminOpcode::kGetLogPage);
+  sqe.dptr1 = buffer.addr();
+  sqe.cdw10 =
+      static_cast<std::uint32_t>(nvme::LogPageId::kVendorTransferStats) |
+      ((sizeof(nvme::TransferStatsLog) / 4 - 1) << 16);  // NUMDL, 0's based
+  auto completion = execute_admin(sqe);
+  BX_RETURN_IF_ERROR(completion.status());
+  if (!completion->ok()) return internal_error("get log page failed");
+  nvme::TransferStatsLog log;
+  buffer.read(0, {reinterpret_cast<Byte*>(&log), sizeof(log)});
+  return log;
+}
+
+StatusOr<std::pair<std::uint16_t, std::uint16_t>>
+NvmeDriver::set_queue_count(std::uint16_t sqs, std::uint16_t cqs) {
+  nvme::SubmissionQueueEntry sqe;
+  sqe.opcode = static_cast<std::uint8_t>(nvme::AdminOpcode::kSetFeatures);
+  sqe.cdw10 = 0x07;
+  sqe.cdw11 = (std::uint32_t{cqs} << 16) | sqs;
+  auto completion = execute_admin(sqe);
+  BX_RETURN_IF_ERROR(completion.status());
+  if (!completion->ok()) return internal_error("set features failed");
+  return std::pair<std::uint16_t, std::uint16_t>{
+      static_cast<std::uint16_t>(completion->dw0 & 0xffff),
+      static_cast<std::uint16_t>(completion->dw0 >> 16)};
+}
+
+}  // namespace bx::driver

@@ -1,0 +1,209 @@
+// Host-side NVMe driver model.
+//
+// This is the analog of the Linux kernel PCIe NVMe driver the paper patched:
+// queue management, the nvme_queue_rq() submission path with its per-SQ
+// lock, PRP/SGL construction, and the passthrough execute() entry point.
+// The ByteExpress host-side change lives in submit_inline_locked(): while
+// holding the SQ lock it pushes the command (with the payload length
+// re-encoded into the reserved CDW2) and then the payload itself as
+// consecutive 64-byte SQ slots, then rings the doorbell once (§3.3).
+//
+// The driver is transport only — it never interprets vendor command
+// semantics; that is the device's job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "driver/request.h"
+#include "hostmem/dma_memory.h"
+#include "nvme/prp.h"
+#include "nvme/queue.h"
+#include "nvme/spec.h"
+#include "nvme/timing.h"
+#include "pcie/bar.h"
+#include "pcie/link.h"
+
+namespace bx::driver {
+
+class NvmeDriver {
+ public:
+  struct Config {
+    std::uint16_t io_queue_count = 1;
+    std::uint32_t io_queue_depth = 256;
+    std::uint32_t admin_queue_depth = 32;
+    nvme::HostTimingModel timing{};
+    /// kHybrid: payloads at or below this go inline, above go PRP (§4.2).
+    std::uint32_t hybrid_threshold_bytes = 256;
+    /// The driver refuses to inline payloads above this (SQ depth bound).
+    std::uint32_t max_inline_bytes = 8192;
+    /// Fall back to PRP instead of failing when a payload cannot go inline
+    /// (read-direction command, too large, queue too shallow).
+    bool auto_fallback_to_prp = true;
+  };
+
+  /// Advances the device model; returns true if it made progress. The
+  /// driver pumps this while waiting for completions (the simulation's
+  /// stand-in for the device running concurrently).
+  using Pump = std::function<bool()>;
+
+  struct QueueInfo {
+    std::uint16_t qid = 0;
+    std::uint64_t sq_addr = 0;
+    std::uint32_t sq_depth = 0;
+    std::uint64_t cq_addr = 0;
+    std::uint32_t cq_depth = 0;
+  };
+
+  NvmeDriver(DmaMemory& memory, pcie::PcieLink& link, pcie::BarSpace& bar,
+             Config config);
+  ~NvmeDriver();
+  NvmeDriver(const NvmeDriver&) = delete;
+  NvmeDriver& operator=(const NvmeDriver&) = delete;
+
+  void set_pump(Pump pump) { pump_ = std::move(pump); }
+
+  /// Admin queue ring addresses, for controller registration at attach.
+  [[nodiscard]] QueueInfo admin_queue_info() const;
+
+  /// Creates the configured I/O queues via CreateIoCq/CreateIoSq admin
+  /// commands (the controller must already be attached and pumping).
+  Status init_io_queues();
+
+  // ---- admin command helpers ----
+
+  struct IdentifyControllerData {
+    std::string serial;
+    std::string model;
+    std::string firmware;
+    std::uint32_t namespace_count = 0;
+    bool sgl_supported = false;
+  };
+  struct IdentifyNamespaceData {
+    std::uint64_t size_blocks = 0;
+    std::uint64_t capacity_blocks = 0;
+  };
+
+  StatusOr<IdentifyControllerData> identify_controller();
+  StatusOr<IdentifyNamespaceData> identify_namespace(std::uint32_t nsid = 1);
+  /// Vendor log page 0xC0: the device's transfer-path statistics.
+  StatusOr<nvme::TransferStatsLog> get_transfer_stats();
+  /// Set Features 0x07 (number of queues); returns granted (sq, cq).
+  StatusOr<std::pair<std::uint16_t, std::uint16_t>> set_queue_count(
+      std::uint16_t sqs, std::uint16_t cqs);
+
+  [[nodiscard]] std::uint16_t io_queue_count() const noexcept {
+    return static_cast<std::uint16_t>(io_queues_.size());
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Synchronous passthrough: submit, pump the device, reap, return the
+  /// completion with its simulated end-to-end latency.
+  StatusOr<Completion> execute(const IoRequest& request,
+                               std::uint16_t qid = 1);
+
+  /// Asynchronous submission; pair with wait().
+  StatusOr<Submitted> submit(const IoRequest& request, std::uint16_t qid);
+  StatusOr<Completion> wait(const Submitted& handle);
+
+  /// Reaps any ready completions on `qid`; returns how many were reaped.
+  std::size_t poll_completions(std::uint16_t qid);
+
+  /// §3.3.2 OOO extension: the command goes to `qids.front()` and the
+  /// self-describing chunks are striped round-robin across all of `qids`.
+  StatusOr<Completion> execute_ooo_striped(
+      const IoRequest& request, const std::vector<std::uint16_t>& qids);
+
+  /// Cost of the most recent SQ-submit section (Table 1, driver column):
+  /// time spent inserting the SQE plus any inline chunks, lock held.
+  [[nodiscard]] Nanoseconds last_submit_cost() const noexcept {
+    return last_submit_cost_ns_;
+  }
+
+  /// Direct ring access for white-box tests (ordering invariants).
+  [[nodiscard]] nvme::SqRing& sq_for_test(std::uint16_t qid);
+
+ private:
+  struct Pending {
+    bool done = false;
+    nvme::CompletionQueueEntry cqe{};
+    Nanoseconds submit_time_ns = 0;
+    // Keep the DMA buffer and PRP list pages alive until completion.
+    DmaBuffer data;
+    nvme::PrpChain chain;
+    ByteSpan read_target{};
+    std::uint32_t read_length = 0;
+  };
+
+  struct QueuePair {
+    std::unique_ptr<nvme::SqRing> sq;
+    std::unique_ptr<nvme::CqRing> cq;
+    std::uint16_t next_cid = 0;
+    std::mutex pending_mutex;
+    std::unordered_map<std::uint16_t, Pending> pending;
+  };
+
+  [[nodiscard]] QueuePair& queue(std::uint16_t qid);
+  /// Resolves hybrid switching and inline-feasibility fallbacks; fails
+  /// with kFailedPrecondition when the payload cannot go inline and
+  /// auto_fallback_to_prp is disabled.
+  [[nodiscard]] StatusOr<TransferMethod> resolve_method(
+      const IoRequest& request) const;
+  static bool is_write_direction(nvme::IoOpcode opcode) noexcept;
+  static bool is_read_direction(nvme::IoOpcode opcode) noexcept;
+
+  /// Builds the opcode/nsid/cdw fields common to every method.
+  nvme::SubmissionQueueEntry build_base_sqe(const IoRequest& request) const;
+
+  Status attach_data_prp(QueuePair& qp, nvme::SubmissionQueueEntry& sqe,
+                         Pending& pending, const IoRequest& request);
+  Status attach_data_sgl(QueuePair& qp, nvme::SubmissionQueueEntry& sqe,
+                         Pending& pending, const IoRequest& request);
+
+  /// Pushes `sqe` (and nothing else) under the SQ lock and rings the bell.
+  void submit_plain(QueuePair& qp, const nvme::SubmissionQueueEntry& sqe);
+
+  /// The ByteExpress host path: SQE + raw chunks under one lock hold, one
+  /// doorbell. Returns false if the ring lacks space.
+  bool submit_inline_locked(QueuePair& qp,
+                            const nvme::SubmissionQueueEntry& sqe,
+                            ConstByteSpan payload);
+
+  /// BandSlim: header command + serialized fragment commands.
+  Status submit_bandslim(QueuePair& qp, nvme::SubmissionQueueEntry sqe,
+                         const IoRequest& request);
+
+  StatusOr<Submitted> submit_with_method(const IoRequest& request,
+                                         std::uint16_t qid,
+                                         TransferMethod method);
+
+  /// Runs one admin command synchronously.
+  StatusOr<Completion> execute_admin(nvme::SubmissionQueueEntry sqe);
+
+  void reap_one(QueuePair& qp, const nvme::CompletionQueueEntry& cqe);
+  bool pump_once();
+
+  DmaMemory& memory_;
+  pcie::PcieLink& link_;
+  pcie::BarSpace& bar_;
+  pcie::DoorbellWriter doorbell_;
+  Config config_;
+  Pump pump_;
+
+  QueuePair admin_;
+  std::vector<std::unique_ptr<QueuePair>> io_queues_;  // index 0 == qid 1
+
+  std::uint16_t next_stream_id_ = 1;    // BandSlim stream ids
+  std::uint32_t next_payload_id_ = 1;   // OOO payload ids
+  Nanoseconds last_submit_cost_ns_ = 0;
+};
+
+}  // namespace bx::driver

@@ -1,0 +1,17 @@
+#include "driver/request.h"
+
+namespace bx::driver {
+
+std::string_view transfer_method_name(TransferMethod method) noexcept {
+  switch (method) {
+    case TransferMethod::kPrp: return "prp";
+    case TransferMethod::kSgl: return "sgl";
+    case TransferMethod::kByteExpress: return "byteexpress";
+    case TransferMethod::kByteExpressOoo: return "byteexpress_ooo";
+    case TransferMethod::kBandSlim: return "bandslim";
+    case TransferMethod::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+}  // namespace bx::driver

@@ -1,0 +1,76 @@
+// I/O request and completion types of the host driver's public API
+// (the passthrough-facing surface, §2.1).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/sim_clock.h"
+#include "nvme/spec.h"
+
+namespace bx::driver {
+
+/// How the payload crosses PCIe. kPrp/kSgl are the NVMe-native mechanisms;
+/// kBandSlim is the CMD-based prior work; kByteExpress is the paper's
+/// queue-local inline transfer; kByteExpressOoo is the §3.3.2 future-work
+/// identifier-based variant; kHybrid switches ByteExpress<->PRP at a
+/// threshold (§4.2's suggested optimization).
+enum class TransferMethod : std::uint8_t {
+  kPrp,
+  kSgl,
+  kByteExpress,
+  kByteExpressOoo,
+  kBandSlim,
+  kHybrid,
+};
+
+std::string_view transfer_method_name(TransferMethod method) noexcept;
+
+struct IoRequest {
+  nvme::IoOpcode opcode = nvme::IoOpcode::kVendorRawWrite;
+  std::uint32_t nsid = 1;
+
+  // Block I/O commands (kWrite / kRead).
+  std::uint64_t slba = 0;
+  std::uint32_t block_count = 0;
+
+  // Host-to-device payload (writes, KV store values, CSD tasks).
+  ConstByteSpan write_data{};
+  // Device-to-host destination (reads, KV retrieve).
+  ByteSpan read_buffer{};
+
+  // Vendor command auxiliary field (CDW13 bits 31:8).
+  std::uint32_t aux = 0;
+
+  /// Read-direction commands with kSgl only: describe the destination as a
+  /// bit-bucket descriptor, so the command completes without the data ever
+  /// crossing the link (§5: "bitbucket descriptors can act as placeholders
+  /// for unused segments"). CQE DW0 still reports the data size.
+  bool discard_read_data = false;
+
+  // KV commands: key rides inside the SQE (<= 16 bytes).
+  nvme::KvKeyFields key{};
+
+  TransferMethod method = TransferMethod::kPrp;
+};
+
+struct Completion {
+  nvme::StatusField status{};
+  std::uint32_t dw0 = 0;
+  /// Bytes copied into read_buffer (read-direction commands).
+  std::uint32_t bytes_returned = 0;
+  /// Simulated submit-to-reap latency of the whole command.
+  Nanoseconds latency_ns = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return status.is_success(); }
+};
+
+/// Handle for an in-flight asynchronous command.
+struct Submitted {
+  std::uint16_t qid = 0;
+  std::uint16_t cid = 0;
+  Nanoseconds submit_time_ns = 0;
+};
+
+}  // namespace bx::driver

@@ -1,0 +1,85 @@
+// Host-side key-value API over NVMe passthrough (§2.1, Figure 2): the
+// user-level library that encodes KV operations as vendor NVMe commands.
+// The key (<= 16 bytes) rides inside the SQE; the value is the payload the
+// transfer method under test moves.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "driver/nvme_driver.h"
+#include "kv/memtable.h"
+
+namespace bx::kv {
+
+class KvClient {
+ public:
+  struct Options {
+    std::uint16_t qid = 1;
+    driver::TransferMethod method = driver::TransferMethod::kPrp;
+    /// GET staging buffer; grown on demand if a value is larger.
+    std::uint32_t get_buffer_bytes = 4096;
+  };
+
+  KvClient(driver::NvmeDriver& driver, Options options);
+
+  Status put(std::string_view key, ConstByteSpan value);
+  StatusOr<ByteVec> get(std::string_view key);
+  /// True if the key existed before deletion.
+  StatusOr<bool> del(std::string_view key);
+  StatusOr<bool> exist(std::string_view key);
+  /// Up to `limit` entries with key >= start (stateless one-shot scan).
+  StatusOr<std::vector<KvEntry>> scan(std::string_view start,
+                                      std::uint32_t limit);
+
+  // --- stateful device-side iterators (SYSTOR '23 interface) ---
+
+  StatusOr<std::uint32_t> iter_open(std::string_view start);
+  StatusOr<std::vector<KvEntry>> iter_next(std::uint32_t id,
+                                           std::uint32_t count);
+  Status iter_close(std::uint32_t id);
+
+  /// RAII handle over an open device iterator.
+  class RangeIterator {
+   public:
+    RangeIterator(RangeIterator&& other) noexcept { *this = std::move(other); }
+    RangeIterator& operator=(RangeIterator&& other) noexcept;
+    RangeIterator(const RangeIterator&) = delete;
+    RangeIterator& operator=(const RangeIterator&) = delete;
+    ~RangeIterator();
+
+    /// Next batch; empty once exhausted.
+    StatusOr<std::vector<KvEntry>> next(std::uint32_t count);
+    [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+
+   private:
+    friend class KvClient;
+    RangeIterator(KvClient* client, std::uint32_t id) noexcept
+        : client_(client), id_(id) {}
+    KvClient* client_ = nullptr;
+    std::uint32_t id_ = 0;
+  };
+
+  /// Opens an RAII iterator at `start` (closed automatically).
+  StatusOr<RangeIterator> range(std::string_view start);
+
+  /// Completion of the most recent operation (latency, status).
+  [[nodiscard]] const driver::Completion& last_completion() const noexcept {
+    return last_;
+  }
+  void set_method(driver::TransferMethod method) noexcept {
+    options_.method = method;
+  }
+
+ private:
+  static Status fill_key(driver::IoRequest& request, std::string_view key);
+
+  driver::NvmeDriver& driver_;
+  Options options_;
+  driver::Completion last_{};
+};
+
+}  // namespace bx::kv

@@ -1,0 +1,59 @@
+// Wire conventions of the vendor KV iterate command, shared by the host
+// client and the device dispatch.
+//
+// CDW13 layout (above the key-length byte): bits [9:8] = sub-operation,
+// bits [31:10] = parameter (batch size / scan limit). The iterator id of
+// kNext/kClose travels in the SQE key field as 4 little-endian bytes —
+// iterators are device-side objects addressed like keys, exactly how the
+// SYSTOR '23 KVSSD extends the NVMe-KV command set.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "nvme/spec.h"
+
+namespace bx::kv::wire {
+
+enum class IterateSubOp : std::uint8_t {
+  kScan = 0,   // stateless: key = start, param = limit
+  kOpen = 1,   // key = start key; CQE DW0 = iterator id
+  kNext = 2,   // key = iterator id; param = max entries
+  kClose = 3,  // key = iterator id
+};
+
+/// Builds the request-level aux value (the driver shifts it into CDW13).
+inline std::uint32_t encode_iterate_aux(IterateSubOp subop,
+                                        std::uint32_t param) noexcept {
+  return (param << 2) | static_cast<std::uint32_t>(subop);
+}
+
+inline IterateSubOp decode_iterate_subop(std::uint32_t aux) noexcept {
+  return static_cast<IterateSubOp>(aux & 0x3);
+}
+inline std::uint32_t decode_iterate_param(std::uint32_t aux) noexcept {
+  return aux >> 2;
+}
+
+/// Packs an iterator id into a KV key field.
+inline nvme::KvKeyFields iterator_id_key(std::uint32_t id) noexcept {
+  nvme::KvKeyFields key;
+  key.key_len = sizeof(id);
+  std::memcpy(key.key, &id, sizeof(id));
+  return key;
+}
+
+/// Reads an iterator id back out of the key bytes.
+inline StatusOr<std::uint32_t> iterator_id_from_key(
+    ConstByteSpan key) noexcept {
+  if (key.size() != sizeof(std::uint32_t)) {
+    return invalid_argument("iterator id key must be 4 bytes");
+  }
+  std::uint32_t id = 0;
+  std::memcpy(&id, key.data(), sizeof(id));
+  return id;
+}
+
+}  // namespace bx::kv::wire

@@ -1,0 +1,208 @@
+#include "nand/ftl.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace bx::nand {
+
+Ftl::Ftl(NandFlash& nand, Config config) : nand_(nand), config_(config) {
+  const Geometry& g = nand.geometry();
+  BX_ASSERT(config.overprovision > 0.0 && config.overprovision < 1.0);
+  BX_ASSERT(config.gc_threshold_blocks >= 1);
+  BX_ASSERT_MSG(g.blocks_per_die > config.gc_threshold_blocks + 1,
+                "geometry too small for GC headroom");
+
+  logical_pages_ = static_cast<std::uint64_t>(
+      double(g.total_pages()) * (1.0 - config.overprovision));
+  map_.assign(logical_pages_, kUnmapped);
+  valid_count_.assign(g.total_blocks(), 0);
+  dies_.resize(g.dies());
+  for (std::uint32_t die = 0; die < g.dies(); ++die) {
+    DieState& state = dies_[die];
+    state.free_blocks.reserve(g.blocks_per_die);
+    // Reverse order so pop_back hands out block 0 first.
+    for (std::uint32_t block = g.blocks_per_die; block-- > 0;) {
+      if (!nand.is_bad_block(die, block)) {
+        state.free_blocks.push_back(block);
+      } else {
+        ++retired_blocks_;
+      }
+    }
+  }
+}
+
+std::size_t Ftl::block_slot(std::uint32_t die,
+                            std::uint32_t block) const noexcept {
+  return std::size_t{die} * nand_.geometry().blocks_per_die + block;
+}
+
+double Ftl::waf() const noexcept {
+  return user_writes_ == 0
+             ? 1.0
+             : double(user_writes_ + gc_relocations_) / double(user_writes_);
+}
+
+std::uint32_t Ftl::free_blocks(std::uint32_t die) const {
+  BX_ASSERT(die < dies_.size());
+  return static_cast<std::uint32_t>(dies_[die].free_blocks.size());
+}
+
+bool Ftl::is_mapped(std::uint64_t lpn) const {
+  return lpn < logical_pages_ && map_[lpn] != kUnmapped;
+}
+
+void Ftl::invalidate_phys(std::uint64_t flat_phys) {
+  const PageAddress addr =
+      PageAddress::unflatten(nand_.geometry(), flat_phys);
+  const std::size_t slot = block_slot(addr.die, addr.block);
+  BX_ASSERT(valid_count_[slot] > 0);
+  --valid_count_[slot];
+  reverse_.erase(flat_phys);
+}
+
+StatusOr<PageAddress> Ftl::allocate_page(std::uint32_t die, bool for_gc,
+                                         NandFlash::Blocking blocking) {
+  const Geometry& g = nand_.geometry();
+  DieState& state = dies_[die];
+
+  if (!for_gc && state.free_blocks.size() <= config_.gc_threshold_blocks &&
+      (state.active_block == UINT32_MAX ||
+       state.active_next_page >= g.pages_per_block)) {
+    BX_RETURN_IF_ERROR(collect(die, blocking));
+  }
+
+  if (state.active_block == UINT32_MAX ||
+      state.active_next_page >= g.pages_per_block) {
+    if (state.free_blocks.empty()) {
+      return resource_exhausted("die " + std::to_string(die) +
+                                " has no free blocks");
+    }
+    state.active_block = state.free_blocks.back();
+    state.free_blocks.pop_back();
+    state.active_next_page = 0;
+  }
+
+  PageAddress addr{die, state.active_block, state.active_next_page};
+  ++state.active_next_page;
+  return addr;
+}
+
+Status Ftl::write(std::uint64_t lpn, ConstByteSpan data,
+                  NandFlash::Blocking blocking) {
+  if (lpn >= logical_pages_) return out_of_range("LPN beyond logical space");
+  if (data.size() > page_size()) {
+    return invalid_argument("data exceeds page size");
+  }
+
+  // Retry across blocks in case of program failures (bad-block retirement).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    std::uint32_t die = rr_die_;
+    rr_die_ = (rr_die_ + 1) % nand_.geometry().dies();
+    auto addr = allocate_page(die, /*for_gc=*/false, blocking);
+    BX_RETURN_IF_ERROR(addr.status());
+
+    const Status programmed = nand_.program(*addr, data, blocking);
+    if (!programmed.is_ok()) {
+      if (programmed.code() == StatusCode::kDataLoss) {
+        // Retire the failing block and try again elsewhere.
+        BX_LOG_WARN << "retiring bad block die=" << addr->die
+                    << " block=" << addr->block;
+        nand_.mark_bad_block(addr->die, addr->block);
+        ++retired_blocks_;
+        dies_[addr->die].active_block = UINT32_MAX;
+        continue;
+      }
+      return programmed;
+    }
+
+    if (map_[lpn] != kUnmapped) invalidate_phys(map_[lpn]);
+    const std::uint64_t flat = addr->flatten(nand_.geometry());
+    map_[lpn] = flat;
+    reverse_[flat] = lpn;
+    ++valid_count_[block_slot(addr->die, addr->block)];
+    ++user_writes_;
+    return Status::ok();
+  }
+  return data_loss("write failed: repeated program failures");
+}
+
+Status Ftl::read(std::uint64_t lpn, ByteSpan out) {
+  if (lpn >= logical_pages_) return out_of_range("LPN beyond logical space");
+  if (map_[lpn] == kUnmapped) return not_found("unmapped LPN");
+  const PageAddress addr =
+      PageAddress::unflatten(nand_.geometry(), map_[lpn]);
+  return nand_.read(addr, out, NandFlash::Blocking::kForeground);
+}
+
+Status Ftl::trim(std::uint64_t lpn) {
+  if (lpn >= logical_pages_) return out_of_range("LPN beyond logical space");
+  if (map_[lpn] == kUnmapped) return Status::ok();
+  invalidate_phys(map_[lpn]);
+  map_[lpn] = kUnmapped;
+  return Status::ok();
+}
+
+Status Ftl::collect(std::uint32_t die, NandFlash::Blocking blocking) {
+  const Geometry& g = nand_.geometry();
+  DieState& state = dies_[die];
+  ++gc_runs_;
+
+  // Greedy victim selection: the non-free, non-active block with the
+  // fewest valid pages (ties go to the lower block number).
+  std::uint32_t victim = UINT32_MAX;
+  std::uint32_t victim_valid = UINT32_MAX;
+  std::vector<bool> is_free(g.blocks_per_die, false);
+  for (const std::uint32_t block : state.free_blocks) is_free[block] = true;
+  for (std::uint32_t block = 0; block < g.blocks_per_die; ++block) {
+    if (is_free[block] || block == state.active_block ||
+        nand_.is_bad_block(die, block)) {
+      continue;
+    }
+    const std::uint32_t valid = valid_count_[block_slot(die, block)];
+    if (valid < victim_valid) {
+      victim = block;
+      victim_valid = valid;
+    }
+  }
+  if (victim == UINT32_MAX) {
+    return resource_exhausted("no GC victim available on die " +
+                              std::to_string(die));
+  }
+
+  // Relocate the victim's valid pages into fresh allocations on this die.
+  ByteVec buffer(g.page_size);
+  for (std::uint32_t page = 0; page < g.pages_per_block; ++page) {
+    const PageAddress src{die, victim, page};
+    const std::uint64_t flat = src.flatten(g);
+    const auto it = reverse_.find(flat);
+    if (it == reverse_.end()) continue;
+    const std::uint64_t lpn = it->second;
+    BX_RETURN_IF_ERROR(nand_.read(src, buffer, blocking));
+    auto dst = allocate_page(die, /*for_gc=*/true, blocking);
+    BX_RETURN_IF_ERROR(dst.status());
+    BX_RETURN_IF_ERROR(nand_.program(*dst, buffer, blocking));
+    // Rewire the mapping.
+    invalidate_phys(flat);
+    const std::uint64_t new_flat = dst->flatten(g);
+    map_[lpn] = new_flat;
+    reverse_[new_flat] = lpn;
+    ++valid_count_[block_slot(dst->die, dst->block)];
+    ++gc_relocations_;
+  }
+
+  BX_ASSERT(valid_count_[block_slot(die, victim)] == 0);
+  const Status erased = nand_.erase_block(die, victim, blocking);
+  if (!erased.is_ok()) {
+    if (erased.code() == StatusCode::kDataLoss) {
+      nand_.mark_bad_block(die, victim);
+      ++retired_blocks_;
+      return Status::ok();  // data already moved; block just retires
+    }
+    return erased;
+  }
+  state.free_blocks.push_back(victim);
+  return Status::ok();
+}
+
+}  // namespace bx::nand

@@ -1,0 +1,102 @@
+// Page-mapping flash translation layer with greedy garbage collection.
+//
+// Logical page numbers (4 KB) map to physical NAND pages. Writes are
+// out-of-place: each die has an active block with a sequential program
+// cursor; when a die runs low on free blocks, the block with the fewest
+// valid pages is collected (valid pages relocated, block erased). Bad
+// blocks reported by the NAND layer are retired on the spot and the write
+// retried elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "nand/nand_flash.h"
+
+namespace bx::nand {
+
+class Ftl {
+ public:
+  struct Config {
+    /// Fraction of physical capacity withheld from the logical space.
+    double overprovision = 0.125;
+    /// GC starts when a die's free-block count drops to this.
+    std::uint32_t gc_threshold_blocks = 2;
+  };
+
+  Ftl(NandFlash& nand, Config config);
+
+  /// Logical pages exposed to upper layers.
+  [[nodiscard]] std::uint64_t logical_pages() const noexcept {
+    return logical_pages_;
+  }
+  [[nodiscard]] std::uint32_t page_size() const noexcept {
+    return nand_.geometry().page_size;
+  }
+
+  /// Writes one logical page (data may be shorter than a page; the rest is
+  /// padding). Blocking selects foreground (clock waits) vs background.
+  Status write(std::uint64_t lpn, ConstByteSpan data,
+               NandFlash::Blocking blocking);
+
+  /// Reads one logical page (foreground).
+  Status read(std::uint64_t lpn, ByteSpan out);
+
+  /// Invalidates a mapping.
+  Status trim(std::uint64_t lpn);
+
+  [[nodiscard]] bool is_mapped(std::uint64_t lpn) const;
+
+  // --- statistics ---
+  [[nodiscard]] std::uint64_t user_writes() const noexcept {
+    return user_writes_;
+  }
+  [[nodiscard]] std::uint64_t gc_relocations() const noexcept {
+    return gc_relocations_;
+  }
+  [[nodiscard]] std::uint64_t gc_runs() const noexcept { return gc_runs_; }
+  /// Write amplification factor: (user + GC writes) / user writes.
+  [[nodiscard]] double waf() const noexcept;
+  [[nodiscard]] std::uint32_t free_blocks(std::uint32_t die) const;
+  [[nodiscard]] std::uint64_t retired_blocks() const noexcept {
+    return retired_blocks_;
+  }
+
+ private:
+  static constexpr std::uint64_t kUnmapped = UINT64_MAX;
+
+  struct DieState {
+    std::vector<std::uint32_t> free_blocks;
+    std::uint32_t active_block = UINT32_MAX;
+    std::uint32_t active_next_page = 0;
+  };
+
+  /// Physical page for the next write on `die`; runs GC when needed.
+  /// for_gc suppresses recursive collection.
+  StatusOr<PageAddress> allocate_page(std::uint32_t die, bool for_gc,
+                                      NandFlash::Blocking blocking);
+  Status collect(std::uint32_t die, NandFlash::Blocking blocking);
+  void invalidate_phys(std::uint64_t flat_phys);
+  [[nodiscard]] std::size_t block_slot(std::uint32_t die,
+                                       std::uint32_t block) const noexcept;
+
+  NandFlash& nand_;
+  Config config_;
+  std::uint64_t logical_pages_;
+
+  std::vector<std::uint64_t> map_;                     // lpn -> flat phys
+  std::unordered_map<std::uint64_t, std::uint64_t> reverse_;  // phys -> lpn
+  std::vector<std::uint32_t> valid_count_;             // per block
+  std::vector<DieState> dies_;
+  std::uint32_t rr_die_ = 0;
+
+  std::uint64_t user_writes_ = 0;
+  std::uint64_t gc_relocations_ = 0;
+  std::uint64_t gc_runs_ = 0;
+  std::uint64_t retired_blocks_ = 0;
+};
+
+}  // namespace bx::nand

@@ -1,0 +1,65 @@
+// NAND array geometry. Defaults approximate the Cosmos+ OpenSSD board
+// (multi-channel, multi-way; the simulator uses a 4 KB mapped page, the
+// device's LBA size).
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+
+namespace bx::nand {
+
+struct Geometry {
+  std::uint32_t channels = 8;
+  std::uint32_t ways = 4;           // dies per channel
+  std::uint32_t blocks_per_die = 256;
+  std::uint32_t pages_per_block = 256;
+  std::uint32_t page_size = 4096;
+
+  [[nodiscard]] std::uint32_t dies() const noexcept {
+    return channels * ways;
+  }
+  [[nodiscard]] std::uint64_t total_blocks() const noexcept {
+    return std::uint64_t{dies()} * blocks_per_die;
+  }
+  [[nodiscard]] std::uint64_t total_pages() const noexcept {
+    return total_blocks() * pages_per_block;
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return total_pages() * page_size;
+  }
+};
+
+/// Physical page address, flattened. Encoding: die-major so that
+/// consecutive blocks of one die are contiguous.
+struct PageAddress {
+  std::uint32_t die = 0;
+  std::uint32_t block = 0;  // within the die
+  std::uint32_t page = 0;   // within the block
+
+  [[nodiscard]] std::uint64_t flatten(const Geometry& g) const noexcept {
+    return (std::uint64_t{die} * g.blocks_per_die + block) *
+               g.pages_per_block +
+           page;
+  }
+  static PageAddress unflatten(const Geometry& g,
+                               std::uint64_t flat) noexcept {
+    PageAddress a;
+    a.page = static_cast<std::uint32_t>(flat % g.pages_per_block);
+    flat /= g.pages_per_block;
+    a.block = static_cast<std::uint32_t>(flat % g.blocks_per_die);
+    a.die = static_cast<std::uint32_t>(flat / g.blocks_per_die);
+    return a;
+  }
+};
+
+/// Operation latencies (SLC-ish defaults in the OpenSSD's range).
+struct NandTiming {
+  Nanoseconds read_ns = 50'000;
+  Nanoseconds program_ns = 400'000;
+  Nanoseconds erase_ns = 3'000'000;
+  /// Per-page transfer over the channel bus (shared per channel).
+  Nanoseconds channel_transfer_ns = 10'000;
+};
+
+}  // namespace bx::nand

@@ -1,0 +1,134 @@
+#include "nand/nand_flash.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bx::nand {
+
+NandFlash::NandFlash(const Geometry& geometry, const NandTiming& timing,
+                     SimClock& clock)
+    : geometry_(geometry),
+      timing_(timing),
+      clock_(clock),
+      blocks_(geometry.total_blocks()),
+      die_busy_until_(geometry.dies(), 0) {
+  BX_ASSERT(geometry.dies() > 0);
+  BX_ASSERT(geometry.page_size > 0);
+}
+
+std::size_t NandFlash::block_index(std::uint32_t die,
+                                   std::uint32_t block) const noexcept {
+  return std::size_t{die} * geometry_.blocks_per_die + block;
+}
+
+Status NandFlash::validate(const PageAddress& addr) const {
+  if (addr.die >= geometry_.dies() ||
+      addr.block >= geometry_.blocks_per_die ||
+      addr.page >= geometry_.pages_per_block) {
+    return out_of_range("NAND address out of geometry");
+  }
+  return Status::ok();
+}
+
+Nanoseconds NandFlash::occupy_die(std::uint32_t die, Nanoseconds duration,
+                                  Blocking blocking) {
+  const Nanoseconds start =
+      std::max(clock_.now(), die_busy_until_[die]);
+  const Nanoseconds end = start + duration;
+  die_busy_until_[die] = end;
+  if (blocking == Blocking::kForeground) clock_.advance_to(end);
+  return end;
+}
+
+Status NandFlash::program(const PageAddress& addr, ConstByteSpan data,
+                          Blocking blocking) {
+  BX_RETURN_IF_ERROR(validate(addr));
+  if (data.size() > geometry_.page_size) {
+    return invalid_argument("program data exceeds page size");
+  }
+  if (is_bad_block(addr.die, addr.block)) {
+    return data_loss("program failure: bad block");
+  }
+  BlockState& block = blocks_[block_index(addr.die, addr.block)];
+  if (addr.page != block.next_page) {
+    // NAND constraint: pages within a block must be programmed in order,
+    // and a page cannot be reprogrammed without an erase.
+    return failed_precondition("non-sequential program within block");
+  }
+  block.next_page = addr.page + 1;
+
+  ByteVec stored(geometry_.page_size, 0xff);
+  std::memcpy(stored.data(), data.data(), data.size());
+  pages_[addr.flatten(geometry_)] = std::move(stored);
+
+  occupy_die(addr.die, timing_.program_ns + timing_.channel_transfer_ns,
+             blocking);
+  ++programs_;
+  return Status::ok();
+}
+
+Status NandFlash::read(const PageAddress& addr, ByteSpan out,
+                       Blocking blocking) {
+  BX_RETURN_IF_ERROR(validate(addr));
+  if (out.size() > geometry_.page_size) {
+    return invalid_argument("read size exceeds page size");
+  }
+  const auto it = pages_.find(addr.flatten(geometry_));
+  if (it == pages_.end()) {
+    return not_found("reading erased/unwritten page");
+  }
+  std::memcpy(out.data(), it->second.data(), out.size());
+  occupy_die(addr.die, timing_.read_ns + timing_.channel_transfer_ns,
+             blocking);
+  ++reads_;
+  return Status::ok();
+}
+
+Status NandFlash::erase_block(std::uint32_t die, std::uint32_t block,
+                              Blocking blocking) {
+  if (die >= geometry_.dies() || block >= geometry_.blocks_per_die) {
+    return out_of_range("erase address out of geometry");
+  }
+  if (is_bad_block(die, block)) {
+    return data_loss("erase failure: bad block");
+  }
+  BlockState& state = blocks_[block_index(die, block)];
+  state.next_page = 0;
+  ++state.erase_count;
+  for (std::uint32_t page = 0; page < geometry_.pages_per_block; ++page) {
+    pages_.erase(PageAddress{die, block, page}.flatten(geometry_));
+  }
+  occupy_die(die, timing_.erase_ns, blocking);
+  ++erases_;
+  return Status::ok();
+}
+
+bool NandFlash::is_programmed(const PageAddress& addr) const {
+  return pages_.find(addr.flatten(geometry_)) != pages_.end();
+}
+
+void NandFlash::drain() {
+  for (const Nanoseconds t : die_busy_until_) clock_.advance_to(t);
+}
+
+Nanoseconds NandFlash::busiest_die_free_at() const noexcept {
+  Nanoseconds latest = 0;
+  for (const Nanoseconds t : die_busy_until_) latest = std::max(latest, t);
+  return latest;
+}
+
+void NandFlash::mark_bad_block(std::uint32_t die, std::uint32_t block) {
+  bad_blocks_.insert(std::uint64_t{die} * geometry_.blocks_per_die + block);
+}
+
+bool NandFlash::is_bad_block(std::uint32_t die, std::uint32_t block) const {
+  return bad_blocks_.count(std::uint64_t{die} * geometry_.blocks_per_die +
+                           block) != 0;
+}
+
+std::uint32_t NandFlash::erase_count(std::uint32_t die,
+                                     std::uint32_t block) const {
+  return blocks_[block_index(die, block)].erase_count;
+}
+
+}  // namespace bx::nand

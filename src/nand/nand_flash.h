@@ -1,0 +1,95 @@
+// NAND flash array model.
+//
+// Models the constraints that make an FTL necessary — erase-before-program,
+// sequential page programming within a block — plus per-die parallelism:
+// every die keeps a `busy_until` timestamp, so foreground (blocking)
+// operations wait for the die while background operations (KV flushes, GC)
+// merely occupy it. Page contents are stored sparsely so large geometries
+// cost only what is written.
+//
+// Failure injection: blocks can be marked bad (program/erase failures) to
+// exercise the FTL's error paths.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "nand/geometry.h"
+
+namespace bx::nand {
+
+class NandFlash {
+ public:
+  NandFlash(const Geometry& geometry, const NandTiming& timing,
+            SimClock& clock);
+
+  /// Blocking behaviour of an operation: foreground ops advance the global
+  /// clock to the operation's completion; background ops only occupy the
+  /// die and let simulated time catch up when somebody waits on it.
+  enum class Blocking { kForeground, kBackground };
+
+  Status program(const PageAddress& addr, ConstByteSpan data,
+                 Blocking blocking);
+  Status read(const PageAddress& addr, ByteSpan out, Blocking blocking);
+  Status erase_block(std::uint32_t die, std::uint32_t block,
+                     Blocking blocking);
+
+  /// True if the page has been programmed since the last erase.
+  [[nodiscard]] bool is_programmed(const PageAddress& addr) const;
+
+  /// Waits (advances the clock) until every die is idle.
+  void drain();
+
+  /// Simulated completion time of the busiest die.
+  [[nodiscard]] Nanoseconds busiest_die_free_at() const noexcept;
+
+  // --- failure injection ---
+  void mark_bad_block(std::uint32_t die, std::uint32_t block);
+  [[nodiscard]] bool is_bad_block(std::uint32_t die,
+                                  std::uint32_t block) const;
+
+  // --- statistics ---
+  [[nodiscard]] std::uint64_t programs() const noexcept { return programs_; }
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t erases() const noexcept { return erases_; }
+  [[nodiscard]] std::uint32_t erase_count(std::uint32_t die,
+                                          std::uint32_t block) const;
+
+  [[nodiscard]] const Geometry& geometry() const noexcept {
+    return geometry_;
+  }
+  [[nodiscard]] const NandTiming& timing() const noexcept { return timing_; }
+
+ private:
+  struct BlockState {
+    std::uint32_t next_page = 0;  // sequential programming cursor
+    std::uint32_t erase_count = 0;
+  };
+
+  Status validate(const PageAddress& addr) const;
+  [[nodiscard]] std::size_t block_index(std::uint32_t die,
+                                        std::uint32_t block) const noexcept;
+  /// Occupies the die for `duration`; returns the operation's end time.
+  Nanoseconds occupy_die(std::uint32_t die, Nanoseconds duration,
+                         Blocking blocking);
+
+  Geometry geometry_;
+  NandTiming timing_;
+  SimClock& clock_;
+
+  std::vector<BlockState> blocks_;
+  std::vector<Nanoseconds> die_busy_until_;
+  std::unordered_map<std::uint64_t, ByteVec> pages_;  // flat addr -> data
+  std::unordered_set<std::uint64_t> bad_blocks_;      // die*nblocks+block
+
+  std::uint64_t programs_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t erases_ = 0;
+};
+
+}  // namespace bx::nand

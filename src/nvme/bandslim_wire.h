@@ -1,0 +1,120 @@
+// BandSlim (ICPP '24) wire format — the state-of-the-art NVMe CMD-based
+// baseline the paper compares against (§3.2, Figure 3(c)).
+//
+// BandSlim moves a payload through a *sequence of commands*:
+//   * the header command is the real vendor command (KV store, CSD filter,
+//     raw write ...). Its unused MPTR/DPTR region (SQE bytes 16..39) can
+//     embed the first kFirstCmdCapacity bytes of payload, which is how
+//     BandSlim ships sub-24 B values in a single command;
+//   * each following *fragment* command (opcode kVendorBandSlimFragment)
+//     carries up to kFragmentCapacity bytes in SQE bytes 16..63.
+// Fragments of one payload are serialized by the host ordering layer; only
+// the header command's CID completes (one CQE per payload, not per CMD).
+#pragma once
+
+#include <cstring>
+
+#include "common/status.h"
+#include "nvme/spec.h"
+
+namespace bx::nvme::bandslim {
+
+/// Payload bytes embeddable in the header command (MPTR + DPTR region).
+inline constexpr std::uint32_t kFirstCmdCapacity = 24;
+/// Payload bytes per dedicated fragment command (SQE bytes 16..63).
+inline constexpr std::uint32_t kFragmentCapacity = 48;
+inline constexpr std::uint32_t kHeaderBytes = 16;  // fragment SQE header
+
+/// Commands needed for a payload of `len` bytes (header command included).
+constexpr std::uint32_t commands_for(std::uint64_t len) noexcept {
+  if (len <= kFirstCmdCapacity) return 1;
+  return 1 + static_cast<std::uint32_t>(
+                 div_ceil(len - kFirstCmdCapacity, kFragmentCapacity));
+}
+
+/// Marks `sqe` as a fragmented-transfer header and embeds the payload head
+/// into the (unused) MPTR/DPTR region. The marker lives in the reserved
+/// CDW3: high bit set, embedded byte count in bits [21:16], stream id in
+/// bits [15:0]. A BandSlim header never carries an inline_length (CDW2), so
+/// it cannot be confused with a ByteExpress OOO command, which also uses
+/// the CDW3 high bit but always has CDW2 > 0.
+/// Returns how many payload bytes were embedded.
+inline std::uint32_t encode_header(SubmissionQueueEntry& sqe,
+                                   std::uint16_t stream_id,
+                                   ConstByteSpan payload) noexcept {
+  const auto embedded = static_cast<std::uint32_t>(
+      payload.size() < kFirstCmdCapacity ? payload.size()
+                                         : kFirstCmdCapacity);
+  sqe.cdw3 = 0x80000000u | (embedded << 16) | stream_id;
+  if (embedded > 0) {
+    auto* raw = reinterpret_cast<Byte*>(&sqe);
+    std::memcpy(raw + 16, payload.data(), embedded);  // MPTR/DPTR region
+  }
+  return embedded;
+}
+
+/// True if `sqe` announces a fragmented BandSlim transfer.
+inline bool is_fragmented_header(const SubmissionQueueEntry& sqe) noexcept {
+  return sqe.inline_length() == 0 && (sqe.cdw3 & 0x80000000u) != 0;
+}
+inline std::uint16_t header_stream_id(
+    const SubmissionQueueEntry& sqe) noexcept {
+  return static_cast<std::uint16_t>(sqe.cdw3 & 0xffff);
+}
+inline std::uint32_t header_embedded_bytes(
+    const SubmissionQueueEntry& sqe) noexcept {
+  return (sqe.cdw3 >> 16) & 0x1f;
+}
+inline ConstByteSpan header_embedded_payload(
+    const SubmissionQueueEntry& sqe) noexcept {
+  const auto* raw = reinterpret_cast<const Byte*>(&sqe);
+  return {raw + 16, header_embedded_bytes(sqe)};
+}
+
+/// One dedicated fragment command.
+struct Fragment {
+  std::uint16_t stream_id = 0;
+  std::uint16_t index = 0;        // 0-based among dedicated fragments
+  bool last = false;
+  std::uint32_t offset = 0;       // byte offset within the payload
+  std::uint32_t length = 0;       // <= kFragmentCapacity
+};
+
+/// Builds a fragment SQE carrying `data` (data.size() <= kFragmentCapacity).
+inline SubmissionQueueEntry encode_fragment(const Fragment& fragment,
+                                            std::uint16_t cid,
+                                            ConstByteSpan data) noexcept {
+  BX_ASSERT(data.size() <= kFragmentCapacity);
+  BX_ASSERT(data.size() == fragment.length);
+  SubmissionQueueEntry sqe;
+  sqe.opcode = static_cast<std::uint8_t>(IoOpcode::kVendorBandSlimFragment);
+  sqe.cid = cid;
+  sqe.cdw2 = std::uint32_t{fragment.stream_id} |
+             (std::uint32_t{fragment.index} << 16) |
+             (fragment.last ? 0x80000000u : 0u);
+  // Fragment length rides in the top bits of cdw3 alongside the offset
+  // (offsets stay far below 2^26 for inline-scale payloads).
+  sqe.cdw3 = (fragment.offset & 0x03ffffffu) |
+             (std::uint32_t{fragment.length} << 26);
+  auto* raw = reinterpret_cast<Byte*>(&sqe);
+  std::memcpy(raw + kHeaderBytes, data.data(), data.size());
+  return sqe;
+}
+
+inline Fragment decode_fragment(const SubmissionQueueEntry& sqe) noexcept {
+  Fragment f;
+  f.stream_id = static_cast<std::uint16_t>(sqe.cdw2 & 0xffff);
+  f.index = static_cast<std::uint16_t>((sqe.cdw2 >> 16) & 0x7fff);
+  f.last = (sqe.cdw2 & 0x80000000u) != 0;
+  f.offset = sqe.cdw3 & 0x03ffffffu;
+  f.length = (sqe.cdw3 >> 26) & 0x3f;
+  return f;
+}
+
+inline ConstByteSpan fragment_payload(const SubmissionQueueEntry& sqe,
+                                      const Fragment& fragment) noexcept {
+  const auto* raw = reinterpret_cast<const Byte*>(&sqe);
+  return {raw + kHeaderBytes, fragment.length};
+}
+
+}  // namespace bx::nvme::bandslim

@@ -1,0 +1,114 @@
+// ByteExpress inline-chunk wire formats.
+//
+// Queue-local mode (the paper's implemented design, §3.3): payload chunks
+// are *raw* 64-byte slices of the payload placed in the SQ slots following
+// the command. No per-chunk metadata is needed because position
+// disambiguates — the SQ lock on the host and queue-local fetching on the
+// device guarantee command-then-chunks ordering.
+//
+// Out-of-order mode (the paper's §3.3.2 future-work extension, implemented
+// here): chunks may be interleaved across SQs, so each chunk is
+// self-describing: a 16-byte header (whose first byte is an intentionally
+// invalid opcode, letting the fetch engine recognize a chunk wherever it
+// appears) followed by up to 48 bytes of payload. The controller reassembles
+// by payload ID with only a receive bitmap in SRAM (§3.3.2: "Only
+// light-weight metadata, such as the payload ID and a receive bitmap, is
+// needed").
+#pragma once
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/status.h"
+#include "nvme/spec.h"
+
+namespace bx::nvme::inline_chunk {
+
+/// Payload bytes per raw queue-local chunk: the full SQ slot.
+inline constexpr std::uint32_t kRawChunkCapacity = kChunkSize;  // 64
+
+/// Queue-local chunk count for a payload of `len` bytes.
+constexpr std::uint32_t raw_chunks_for(std::uint64_t len) noexcept {
+  return static_cast<std::uint32_t>(div_ceil(len, kRawChunkCapacity));
+}
+
+/// Builds one raw queue-local chunk slot (zero-padded past the payload).
+inline SqSlot encode_raw_chunk(ConstByteSpan slice) noexcept {
+  BX_ASSERT(slice.size() <= kRawChunkCapacity);
+  SqSlot slot;
+  std::memcpy(slot.raw, slice.data(), slice.size());
+  return slot;
+}
+
+// ------------------------------------------------------ out-of-order mode
+
+/// First byte of an OOO chunk slot: an opcode value no command set uses, so
+/// the fetch engine can classify a slot without positional context.
+inline constexpr std::uint8_t kOooChunkMagic = 0xff;
+inline constexpr std::uint32_t kOooHeaderBytes = 16;
+inline constexpr std::uint32_t kOooChunkCapacity =
+    kChunkSize - kOooHeaderBytes;  // 48
+
+constexpr std::uint32_t ooo_chunks_for(std::uint64_t len) noexcept {
+  return static_cast<std::uint32_t>(div_ceil(len, kOooChunkCapacity));
+}
+
+struct OooChunkHeader {
+  std::uint8_t magic = kOooChunkMagic;
+  std::uint8_t version = 1;
+  std::uint16_t chunk_no = 0;      // 0-based
+  std::uint32_t payload_id = 0;
+  std::uint16_t total_chunks = 0;
+  std::uint16_t data_len = 0;      // bytes of payload in this chunk
+  std::uint32_t crc = 0;           // CRC32-C of the chunk data
+};
+static_assert(sizeof(OooChunkHeader) == kOooHeaderBytes);
+
+inline SqSlot encode_ooo_chunk(std::uint32_t payload_id,
+                               std::uint16_t chunk_no,
+                               std::uint16_t total_chunks,
+                               ConstByteSpan data) noexcept {
+  BX_ASSERT(data.size() <= kOooChunkCapacity);
+  OooChunkHeader header;
+  header.chunk_no = chunk_no;
+  header.payload_id = payload_id;
+  header.total_chunks = total_chunks;
+  header.data_len = static_cast<std::uint16_t>(data.size());
+  header.crc = crc32c(data);
+  SqSlot slot;
+  std::memcpy(slot.raw, &header, sizeof(header));
+  std::memcpy(slot.raw + kOooHeaderBytes, data.data(), data.size());
+  return slot;
+}
+
+inline bool is_ooo_chunk(const SqSlot& slot) noexcept {
+  return slot.raw[0] == kOooChunkMagic;
+}
+
+inline OooChunkHeader decode_ooo_header(const SqSlot& slot) noexcept {
+  OooChunkHeader header;
+  std::memcpy(&header, slot.raw, sizeof(header));
+  return header;
+}
+
+inline ConstByteSpan ooo_chunk_data(const SqSlot& slot,
+                                    const OooChunkHeader& header) noexcept {
+  return {slot.raw + kOooHeaderBytes, header.data_len};
+}
+
+/// SQE marking for OOO transfers: inline_length (CDW2) still holds the
+/// payload byte count; CDW3 holds the payload ID with the high bit set to
+/// distinguish OOO from queue-local inline transfers.
+inline void mark_sqe_ooo(SubmissionQueueEntry& sqe,
+                         std::uint32_t payload_id) noexcept {
+  sqe.cdw3 = 0x80000000u | payload_id;
+}
+inline bool sqe_is_ooo(const SubmissionQueueEntry& sqe) noexcept {
+  return sqe.inline_length() > 0 && (sqe.cdw3 & 0x80000000u) != 0;
+}
+inline std::uint32_t sqe_ooo_payload_id(
+    const SubmissionQueueEntry& sqe) noexcept {
+  return sqe.cdw3 & 0x7fffffffu;
+}
+
+}  // namespace bx::nvme::inline_chunk

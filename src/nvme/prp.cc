@@ -1,0 +1,140 @@
+#include "nvme/prp.h"
+
+#include <functional>
+
+#include "common/bytes.h"
+
+namespace bx::nvme {
+
+namespace {
+constexpr std::uint64_t kPage = kHostPageSize;
+constexpr std::size_t kEntriesPerListPage = kPage / sizeof(std::uint64_t);
+}  // namespace
+
+StatusOr<PrpChain> build_prp_chain(DmaMemory& memory, std::uint64_t addr,
+                                   std::uint64_t length) {
+  if (addr == 0) return invalid_argument("PRP buffer address is null");
+  if (length == 0) return invalid_argument("PRP transfer length is zero");
+
+  PrpChain chain;
+  chain.prp1 = addr;
+
+  // Pages touched: first page holds (kPage - offset) bytes.
+  const std::uint64_t first_offset = addr % kPage;
+  const std::uint64_t after_first =
+      length > (kPage - first_offset) ? length - (kPage - first_offset) : 0;
+  chain.page_count = 1 + div_ceil(after_first, kPage);
+
+  if (chain.page_count == 1) {
+    chain.prp2 = 0;
+    return chain;
+  }
+
+  const std::uint64_t second_page = align_down(addr, kPage) + kPage;
+  if (chain.page_count == 2) {
+    chain.prp2 = second_page;
+    return chain;
+  }
+
+  // Three or more pages: PRP2 points at a chained list of page addresses
+  // covering pages [1, page_count).
+  std::vector<std::uint64_t> entries;
+  entries.reserve(chain.page_count - 1);
+  for (std::uint64_t i = 1; i < chain.page_count; ++i) {
+    entries.push_back(align_down(addr, kPage) + i * kPage);
+  }
+
+  // Chunk entries into list pages. A full page whose entries do not finish
+  // the chain uses its last slot as a chain pointer, so it holds
+  // kEntriesPerListPage-1 data entries.
+  std::vector<DmaBuffer> pages;
+  std::size_t cursor = 0;
+  while (cursor < entries.size()) {
+    pages.push_back(memory.allocate_pages(1));
+    const std::size_t remaining = entries.size() - cursor;
+    const std::size_t in_this_page = remaining <= kEntriesPerListPage
+                                         ? remaining
+                                         : kEntriesPerListPage - 1;
+    DmaBuffer& page = pages.back();
+    for (std::size_t i = 0; i < in_this_page; ++i) {
+      const std::uint64_t entry = entries[cursor + i];
+      page.write(i * sizeof(std::uint64_t),
+                 {reinterpret_cast<const Byte*>(&entry), sizeof(entry)});
+    }
+    cursor += in_this_page;
+    if (cursor < entries.size()) {
+      // Chain pointer will be patched once the next page exists.
+    }
+  }
+  // Patch chain pointers now that all list pages have addresses.
+  for (std::size_t i = 0; i + 1 < pages.size(); ++i) {
+    const std::uint64_t next = pages[i + 1].addr();
+    pages[i].write((kEntriesPerListPage - 1) * sizeof(std::uint64_t),
+                   {reinterpret_cast<const Byte*>(&next), sizeof(next)});
+  }
+
+  chain.prp2 = pages.front().addr();
+  chain.list_pages = std::move(pages);
+  return chain;
+}
+
+StatusOr<std::vector<std::uint64_t>> PrpWalker::data_pages(
+    std::uint64_t prp1, std::uint64_t prp2, std::uint64_t length,
+    const ListFetch& fetch_list) {
+  if (prp1 == 0) return invalid_argument("PRP1 is null");
+  if (length == 0) return invalid_argument("length is zero");
+
+  const std::uint64_t first_offset = prp1 % kPage;
+  const std::uint64_t after_first =
+      length > (kPage - first_offset) ? length - (kPage - first_offset) : 0;
+  const std::uint64_t page_count = 1 + div_ceil(after_first, kPage);
+
+  std::vector<std::uint64_t> pages;
+  pages.reserve(page_count);
+  pages.push_back(prp1);
+  if (page_count == 1) return pages;
+
+  if (page_count == 2) {
+    if (prp2 == 0) return invalid_argument("PRP2 required but null");
+    pages.push_back(prp2);
+    return pages;
+  }
+
+  // Walk the chained list.
+  std::uint64_t list_addr = prp2;
+  std::uint64_t remaining = page_count - 1;
+  while (remaining > 0) {
+    if (list_addr == 0) return invalid_argument("PRP list chain truncated");
+    const bool chained = remaining > kEntriesPerListPage;
+    const std::size_t take = chained
+                                 ? kEntriesPerListPage - 1
+                                 : static_cast<std::size_t>(remaining);
+    const std::size_t fetch_entries = chained ? kEntriesPerListPage : take;
+    const std::vector<std::uint64_t> list =
+        fetch_list(list_addr, fetch_entries);
+    if (list.size() < fetch_entries) {
+      return internal_error("PRP list fetch returned short page");
+    }
+    for (std::size_t i = 0; i < take; ++i) {
+      if (list[i] == 0) return invalid_argument("null PRP list entry");
+      if (!is_aligned(list[i], kPage)) {
+        return invalid_argument("misaligned PRP list entry");
+      }
+      pages.push_back(list[i]);
+    }
+    remaining -= take;
+    list_addr = chained ? list[kEntriesPerListPage - 1] : 0;
+  }
+  return pages;
+}
+
+std::vector<std::uint64_t> read_prp_list_page(DmaMemory& memory,
+                                              std::uint64_t addr,
+                                              std::size_t entries) {
+  std::vector<std::uint64_t> out(entries, 0);
+  memory.read(addr, {reinterpret_cast<Byte*>(out.data()),
+                     out.size() * sizeof(std::uint64_t)});
+  return out;
+}
+
+}  // namespace bx::nvme

@@ -1,0 +1,58 @@
+// Physical Region Page construction and traversal (NVMe 1.4 §4.3).
+//
+// Rules implemented exactly as the spec defines them, since the paper's
+// whole premise is PRP's page-granular behaviour:
+//   * PRP1 points at the first page and may carry a page offset,
+//   * if the transfer fits two pages, PRP2 is the second page address,
+//   * otherwise PRP2 points to a PRP *list* page of 8-byte entries; when a
+//     list page fills, its final entry chains to the next list page.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "hostmem/dma_memory.h"
+
+namespace bx::nvme {
+
+/// Result of building PRPs for one host buffer.
+struct PrpChain {
+  std::uint64_t prp1 = 0;
+  std::uint64_t prp2 = 0;
+  /// List pages allocated from the DMA pool; must outlive the command.
+  std::vector<DmaBuffer> list_pages;
+  /// Number of data pages the transfer touches.
+  std::uint64_t page_count = 0;
+};
+
+/// Builds the PRP1/PRP2 (+ list pages) describing `length` bytes starting at
+/// host address `addr`. `addr` may be unaligned; all later pages must start
+/// page-aligned, which holds for any contiguous buffer.
+StatusOr<PrpChain> build_prp_chain(DmaMemory& memory, std::uint64_t addr,
+                                   std::uint64_t length);
+
+/// Controller-side traversal: expands a PRP chain back into the list of data
+/// page addresses. `read_list_page` is charged by the caller (it is a DMA);
+/// this function only decodes, taking the raw list page contents via the
+/// callback so the DMA cost can be accounted where it occurs.
+class PrpWalker {
+ public:
+  /// Page addresses for a transfer of `length` bytes. `fetch_list` is
+  /// invoked once per PRP list page the walk needs, with the list page
+  /// address, and must return its 4096-byte contents.
+  using ListFetch = std::function<std::vector<std::uint64_t>(
+      std::uint64_t list_addr, std::size_t entries)>;
+
+  static StatusOr<std::vector<std::uint64_t>> data_pages(
+      std::uint64_t prp1, std::uint64_t prp2, std::uint64_t length,
+      const ListFetch& fetch_list);
+};
+
+/// Helper the controller uses to read one PRP list page out of host memory.
+std::vector<std::uint64_t> read_prp_list_page(DmaMemory& memory,
+                                              std::uint64_t addr,
+                                              std::size_t entries);
+
+}  // namespace bx::nvme

@@ -1,0 +1,51 @@
+#include "nvme/queue.h"
+
+namespace bx::nvme {
+
+SqRing::SqRing(DmaMemory& memory, std::uint16_t qid, std::uint32_t depth)
+    : memory_(memory),
+      qid_(qid),
+      depth_(depth),
+      ring_(memory.allocate(std::uint64_t{depth} * kSqeSize)) {
+  BX_ASSERT_MSG(depth >= 2, "SQ depth must be at least 2");
+}
+
+std::uint32_t SqRing::free_slots() const noexcept {
+  // Ring with one reserved gap: when tail is just behind head, it is full.
+  const std::uint32_t used = (tail_ + depth_ - head_cache_) % depth_;
+  return depth_ - 1 - used;
+}
+
+void SqRing::push_slot(ConstByteSpan slot64) noexcept {
+  BX_ASSERT(slot64.size() == kSqeSize);
+  BX_ASSERT_MSG(free_slots() > 0, "SQ overflow");
+  memory_.write(slot_addr(tail_), slot64);
+  tail_ = (tail_ + 1) % depth_;
+}
+
+CqRing::CqRing(DmaMemory& memory, std::uint16_t qid, std::uint32_t depth)
+    : memory_(memory),
+      qid_(qid),
+      depth_(depth),
+      ring_(memory.allocate(std::uint64_t{depth} * kCqeSize)) {
+  BX_ASSERT_MSG(depth >= 2, "CQ depth must be at least 2");
+}
+
+bool CqRing::peek(CompletionQueueEntry& out) noexcept {
+  const auto cqe =
+      memory_.read_object<CompletionQueueEntry>(slot_addr(head_));
+  if (cqe.phase() != expected_phase_) return false;
+  out = cqe;
+  return true;
+}
+
+CompletionQueueEntry CqRing::pop() noexcept {
+  const auto cqe =
+      memory_.read_object<CompletionQueueEntry>(slot_addr(head_));
+  BX_ASSERT_MSG(cqe.phase() == expected_phase_, "pop without available CQE");
+  head_ = (head_ + 1) % depth_;
+  if (head_ == 0) expected_phase_ = !expected_phase_;
+  return cqe;
+}
+
+}  // namespace bx::nvme

@@ -1,0 +1,42 @@
+#include "nvme/sgl.h"
+
+namespace bx::nvme {
+
+std::pair<std::uint64_t, std::uint64_t> SglDescriptor::pack() const noexcept {
+  const std::uint64_t low = address;
+  const std::uint64_t high =
+      static_cast<std::uint64_t>(length) |
+      (static_cast<std::uint64_t>(type) << 60);
+  return {low, high};
+}
+
+SglDescriptor SglDescriptor::unpack(std::uint64_t dptr1,
+                                    std::uint64_t dptr2) noexcept {
+  SglDescriptor d;
+  d.address = dptr1;
+  d.length = static_cast<std::uint32_t>(dptr2 & 0xffffffffu);
+  d.type = static_cast<SglDescriptorType>((dptr2 >> 60) & 0xf);
+  return d;
+}
+
+StatusOr<SglDescriptor> build_sgl_data_block(std::uint64_t addr,
+                                             std::uint64_t length) {
+  if (addr == 0) return invalid_argument("SGL buffer address is null");
+  if (length == 0) return invalid_argument("SGL transfer length is zero");
+  if (length > UINT32_MAX) return invalid_argument("SGL length overflow");
+  SglDescriptor d;
+  d.address = addr;
+  d.length = static_cast<std::uint32_t>(length);
+  d.type = SglDescriptorType::kDataBlock;
+  return d;
+}
+
+SglDescriptor make_bit_bucket(std::uint32_t length) noexcept {
+  SglDescriptor d;
+  d.address = 0;
+  d.length = length;
+  d.type = SglDescriptorType::kBitBucket;
+  return d;
+}
+
+}  // namespace bx::nvme

@@ -1,0 +1,48 @@
+// Scatter-Gather List descriptors (NVMe 1.4 §4.4), implemented for the §5
+// discussion experiments: a single Data Block descriptor can reference a
+// small contiguous region (fine-grained writes) and a Bit Bucket descriptor
+// can absorb unwanted read data.
+//
+// Only the subset the discussion needs is modeled: Data Block, Bit Bucket,
+// and (Last) Segment descriptors for chains longer than one descriptor.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hostmem/dma_memory.h"
+
+namespace bx::nvme {
+
+enum class SglDescriptorType : std::uint8_t {
+  kDataBlock = 0x0,
+  kBitBucket = 0x1,
+  kSegment = 0x2,
+  kLastSegment = 0x3,
+};
+
+/// One 16-byte SGL descriptor: address (8B), length (4B), rsvd (3B),
+/// type in the high nibble of the final byte.
+struct SglDescriptor {
+  std::uint64_t address = 0;
+  std::uint32_t length = 0;
+
+  SglDescriptorType type = SglDescriptorType::kDataBlock;
+
+  /// Packs into the SQE dptr pair (dptr1 = address, dptr2 = length + type).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> pack() const noexcept;
+  static SglDescriptor unpack(std::uint64_t dptr1,
+                              std::uint64_t dptr2) noexcept;
+};
+
+/// Builds the in-SQE descriptor for a contiguous buffer: a single Data
+/// Block descriptor — the exact case §5 contrasts with ByteExpress.
+StatusOr<SglDescriptor> build_sgl_data_block(std::uint64_t addr,
+                                             std::uint64_t length);
+
+/// A bit-bucket descriptor for discarding `length` bytes of read data.
+SglDescriptor make_bit_bucket(std::uint32_t length) noexcept;
+
+}  // namespace bx::nvme

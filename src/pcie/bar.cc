@@ -1,0 +1,30 @@
+#include "pcie/bar.h"
+
+namespace bx::pcie {
+
+BarSpace::BarSpace(std::uint16_t max_queues)
+    : sq_tail_(max_queues, 0), cq_head_(max_queues, 0) {
+  BX_ASSERT(max_queues >= 1);
+}
+
+std::uint32_t BarSpace::sq_tail(std::uint16_t qid) const noexcept {
+  BX_ASSERT(qid < sq_tail_.size());
+  return sq_tail_[qid];
+}
+
+std::uint32_t BarSpace::cq_head(std::uint16_t qid) const noexcept {
+  BX_ASSERT(qid < cq_head_.size());
+  return cq_head_[qid];
+}
+
+void BarSpace::set_sq_tail(std::uint16_t qid, std::uint32_t value) noexcept {
+  BX_ASSERT(qid < sq_tail_.size());
+  sq_tail_[qid] = value;
+}
+
+void BarSpace::set_cq_head(std::uint16_t qid, std::uint32_t value) noexcept {
+  BX_ASSERT(qid < cq_head_.size());
+  cq_head_[qid] = value;
+}
+
+}  // namespace bx::pcie

@@ -1,0 +1,59 @@
+// NVMe BAR0 register file: submission-queue tail and completion-queue head
+// doorbells at the spec layout (0x1000 + (2*qid + is_cq) * stride).
+//
+// The driver writes doorbells through DoorbellWriter, which charges a 4-byte
+// MMIO MWr TLP on the link and then updates the register; the controller
+// observes new values by polling (matching the OpenSSD firmware, which polls
+// SQ tail doorbells in round-robin).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "pcie/link.h"
+
+namespace bx::pcie {
+
+class BarSpace {
+ public:
+  /// `max_queues` counts queue IDs including the admin queue (qid 0).
+  explicit BarSpace(std::uint16_t max_queues);
+
+  [[nodiscard]] std::uint32_t sq_tail(std::uint16_t qid) const noexcept;
+  [[nodiscard]] std::uint32_t cq_head(std::uint16_t qid) const noexcept;
+
+  void set_sq_tail(std::uint16_t qid, std::uint32_t value) noexcept;
+  void set_cq_head(std::uint16_t qid, std::uint32_t value) noexcept;
+
+  [[nodiscard]] std::uint16_t max_queues() const noexcept {
+    return static_cast<std::uint16_t>(sq_tail_.size());
+  }
+
+ private:
+  std::vector<std::uint32_t> sq_tail_;
+  std::vector<std::uint32_t> cq_head_;
+};
+
+/// Host-side handle that pays the MMIO cost for each doorbell write.
+class DoorbellWriter {
+ public:
+  DoorbellWriter(BarSpace& bar, PcieLink& link) noexcept
+      : bar_(bar), link_(link) {}
+
+  void ring_sq_tail(std::uint16_t qid, std::uint32_t tail) noexcept {
+    link_.mmio_write32(TrafficClass::kDoorbell);
+    bar_.set_sq_tail(qid, tail);
+  }
+
+  void ring_cq_head(std::uint16_t qid, std::uint32_t head) noexcept {
+    link_.mmio_write32(TrafficClass::kDoorbell);
+    bar_.set_cq_head(qid, head);
+  }
+
+ private:
+  BarSpace& bar_;
+  PcieLink& link_;
+};
+
+}  // namespace bx::pcie

@@ -1,0 +1,94 @@
+#include "pcie/link.h"
+
+#include <cmath>
+
+#include "common/bytes.h"
+
+namespace bx::pcie {
+
+double LinkConfig::bytes_per_ns() const noexcept {
+  // Per-lane raw rates in GT/s and encoding efficiency.
+  double gts = 0;
+  double efficiency = 0;
+  switch (generation) {
+    case 1: gts = 2.5; efficiency = 0.8; break;   // 8b/10b
+    case 2: gts = 5.0; efficiency = 0.8; break;   // 8b/10b
+    case 3: gts = 8.0; efficiency = 128.0 / 130.0; break;
+    case 4: gts = 16.0; efficiency = 128.0 / 130.0; break;
+    case 5: gts = 32.0; efficiency = 128.0 / 130.0; break;
+    default: gts = 5.0; efficiency = 0.8; break;
+  }
+  // GT/s * efficiency = Gbit/s per lane; /8 = GB/s = bytes per ns.
+  return gts * efficiency / 8.0 * lanes;
+}
+
+PcieLink::PcieLink(const LinkConfig& config, SimClock& clock,
+                   TrafficCounter& counter) noexcept
+    : config_(config), clock_(clock), counter_(counter) {
+  BX_ASSERT(config.lanes > 0);
+  BX_ASSERT(config.max_payload_size >= 64);
+}
+
+Nanoseconds PcieLink::serialize_time(std::uint64_t wire_bytes) const noexcept {
+  return static_cast<Nanoseconds>(
+      std::llround(double(wire_bytes) / config_.bytes_per_ns()));
+}
+
+Nanoseconds PcieLink::post_write(Direction dir, TrafficClass cls,
+                                 std::uint64_t data_bytes) noexcept {
+  const std::uint32_t mps = config_.max_payload_size;
+  const std::uint64_t tlps = data_bytes == 0 ? 1 : div_ceil(data_bytes, mps);
+  std::uint64_t wire = 0;
+  std::uint64_t remaining = data_bytes;
+  for (std::uint64_t i = 0; i < tlps; ++i) {
+    const auto chunk =
+        static_cast<std::uint32_t>(remaining < mps ? remaining : mps);
+    wire += tlp_wire_bytes(TlpType::kMemoryWrite, chunk, config_.overhead);
+    remaining -= chunk;
+  }
+  counter_.record(dir, cls, tlps, data_bytes, wire);
+  const Nanoseconds t = config_.propagation_ns + serialize_time(wire);
+  clock_.advance(t);
+  return t;
+}
+
+Nanoseconds PcieLink::read(Direction data_dir, TrafficClass cls,
+                           std::uint64_t data_bytes) noexcept {
+  BX_ASSERT(data_bytes > 0);
+  const std::uint32_t mps = config_.max_payload_size;
+  const std::uint32_t mrrs = config_.max_read_request_size;
+  const Direction req_dir = data_dir == Direction::kUpstream
+                                ? Direction::kDownstream
+                                : Direction::kUpstream;
+
+  // Read requests, split at MaxReadRequestSize.
+  const std::uint64_t requests = div_ceil(data_bytes, mrrs);
+  const std::uint64_t req_wire =
+      requests * tlp_wire_bytes(TlpType::kMemoryRead, 0, config_.overhead);
+  counter_.record(req_dir, cls, requests, 0, req_wire);
+
+  // Completions with data, split at MaxPayloadSize.
+  const std::uint64_t cpls = div_ceil(data_bytes, mps);
+  std::uint64_t cpl_wire = 0;
+  std::uint64_t remaining = data_bytes;
+  for (std::uint64_t i = 0; i < cpls; ++i) {
+    const auto chunk =
+        static_cast<std::uint32_t>(remaining < mps ? remaining : mps);
+    cpl_wire += tlp_wire_bytes(TlpType::kCompletion, chunk, config_.overhead);
+    remaining -= chunk;
+  }
+  counter_.record(data_dir, cls, cpls, data_bytes, cpl_wire);
+
+  // Round trip: request propagation + its serialization, then completion
+  // propagation + serialization of the data stream.
+  const Nanoseconds t = 2 * config_.propagation_ns +
+                        serialize_time(req_wire) + serialize_time(cpl_wire);
+  clock_.advance(t);
+  return t;
+}
+
+Nanoseconds PcieLink::mmio_write32(TrafficClass cls) noexcept {
+  return post_write(Direction::kDownstream, cls, 4);
+}
+
+}  // namespace bx::pcie

@@ -1,0 +1,32 @@
+#include "pcie/tlp.h"
+
+#include "common/status.h"
+
+namespace bx::pcie {
+
+std::string_view tlp_type_name(TlpType type) noexcept {
+  switch (type) {
+    case TlpType::kMemoryWrite: return "MWr";
+    case TlpType::kMemoryRead: return "MRd";
+    case TlpType::kCompletion: return "CplD";
+  }
+  return "?";
+}
+
+std::uint32_t tlp_wire_bytes(TlpType type, std::uint32_t payload_bytes,
+                             const TlpOverhead& overhead) noexcept {
+  switch (type) {
+    case TlpType::kMemoryWrite:
+      return overhead.framing + overhead.mem_header + payload_bytes +
+             overhead.dllp_share;
+    case TlpType::kMemoryRead:
+      BX_ASSERT(payload_bytes == 0);
+      return overhead.framing + overhead.mem_header + overhead.dllp_share;
+    case TlpType::kCompletion:
+      return overhead.framing + overhead.cpl_header + payload_bytes +
+             overhead.dllp_share;
+  }
+  return 0;
+}
+
+}  // namespace bx::pcie

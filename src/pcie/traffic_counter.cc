@@ -1,0 +1,91 @@
+#include "pcie/traffic_counter.h"
+
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace bx::pcie {
+
+std::string_view traffic_class_name(TrafficClass cls) noexcept {
+  switch (cls) {
+    case TrafficClass::kCommandFetch: return "cmd_fetch";
+    case TrafficClass::kDataPrp: return "data_prp";
+    case TrafficClass::kDataSgl: return "data_sgl";
+    case TrafficClass::kPrpList: return "prp_list";
+    case TrafficClass::kCompletion: return "completion";
+    case TrafficClass::kDoorbell: return "doorbell";
+    case TrafficClass::kInterrupt: return "interrupt";
+    case TrafficClass::kOther: return "other";
+    case TrafficClass::kCount_: break;
+  }
+  return "?";
+}
+
+void TrafficCounter::record(Direction dir, TrafficClass cls,
+                            std::uint64_t tlps, std::uint64_t data_bytes,
+                            std::uint64_t wire_bytes) noexcept {
+  const auto d = static_cast<std::size_t>(dir);
+  const auto c = static_cast<std::size_t>(cls);
+  BX_ASSERT(d < 2 && c < kClasses);
+  std::lock_guard<std::mutex> lock(mutex_);
+  cells_[d][c].add(tlps, data_bytes, wire_bytes);
+}
+
+TrafficCell TrafficCounter::cell(Direction dir,
+                                 TrafficClass cls) const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cells_[static_cast<std::size_t>(dir)][static_cast<std::size_t>(cls)];
+}
+
+TrafficCell TrafficCounter::total(Direction dir) const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TrafficCell sum;
+  for (const auto& cell : cells_[static_cast<std::size_t>(dir)]) sum += cell;
+  return sum;
+}
+
+TrafficCell TrafficCounter::total() const noexcept {
+  TrafficCell sum = total(Direction::kDownstream);
+  sum += total(Direction::kUpstream);
+  return sum;
+}
+
+void TrafficCounter::reset() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& dir : cells_) {
+    for (auto& cell : dir) cell = TrafficCell{};
+  }
+}
+
+std::string TrafficCounter::breakdown() const {
+  std::string out =
+      "class        direction   tlps         data_bytes     wire_bytes\n";
+  char line[160];
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t d = 0; d < 2; ++d) {
+      for (std::size_t c = 0; c < kClasses; ++c) {
+        const TrafficCell& cell = cells_[d][c];
+        if (cell.tlps == 0) continue;
+        std::snprintf(
+            line, sizeof(line), "%-12s %-11s %-12llu %-14llu %llu\n",
+            std::string(traffic_class_name(static_cast<TrafficClass>(c)))
+                .c_str(),
+            d == 0 ? "host->dev" : "dev->host",
+            static_cast<unsigned long long>(cell.tlps),
+            static_cast<unsigned long long>(cell.data_bytes),
+            static_cast<unsigned long long>(cell.wire_bytes));
+        out += line;
+      }
+    }
+  }
+  const TrafficCell sum = total();
+  std::snprintf(line, sizeof(line), "%-12s %-11s %-12llu %-14llu %llu\n",
+                "TOTAL", "both", static_cast<unsigned long long>(sum.tlps),
+                static_cast<unsigned long long>(sum.data_bytes),
+                static_cast<unsigned long long>(sum.wire_bytes));
+  out += line;
+  return out;
+}
+
+}  // namespace bx::pcie

@@ -1,0 +1,83 @@
+// PCM-style traffic counters: wire bytes and data bytes per direction, with
+// a per-class breakdown so benchmarks can attribute traffic to command
+// fetches, PRP data, inline chunks, completions, doorbells and interrupts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace bx::pcie {
+
+enum class Direction : std::uint8_t {
+  kDownstream = 0,  // host -> device (root complex transmit)
+  kUpstream = 1,    // device -> host
+};
+
+/// What a transfer is for — the attribution axis of the traffic breakdown.
+enum class TrafficClass : std::uint8_t {
+  kCommandFetch = 0,  // 64 B SQE fetch (and ByteExpress chunk fetch)
+  kDataPrp,           // page-granular PRP data DMA
+  kDataSgl,           // SGL fine-grained data DMA
+  kPrpList,           // PRP list page fetches (> 2 pages)
+  kCompletion,        // 16 B CQE write-back
+  kDoorbell,          // host MMIO doorbell write
+  kInterrupt,         // MSI-X posted write
+  kOther,
+  kCount_,
+};
+
+std::string_view traffic_class_name(TrafficClass cls) noexcept;
+
+struct TrafficCell {
+  std::uint64_t tlps = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+
+  void add(std::uint64_t tlp_count, std::uint64_t data,
+           std::uint64_t wire) noexcept {
+    tlps += tlp_count;
+    data_bytes += data;
+    wire_bytes += wire;
+  }
+  TrafficCell& operator+=(const TrafficCell& other) noexcept {
+    add(other.tlps, other.data_bytes, other.wire_bytes);
+    return *this;
+  }
+};
+
+/// Thread-safe: record() may be called from concurrent host threads in the
+/// ordering tests; readers take the same lock.
+class TrafficCounter {
+ public:
+  void record(Direction dir, TrafficClass cls, std::uint64_t tlps,
+              std::uint64_t data_bytes, std::uint64_t wire_bytes) noexcept;
+
+  [[nodiscard]] TrafficCell cell(Direction dir,
+                                 TrafficClass cls) const noexcept;
+  [[nodiscard]] TrafficCell total(Direction dir) const noexcept;
+  [[nodiscard]] TrafficCell total() const noexcept;
+
+  /// Wire bytes across both directions — the headline "PCIe traffic" the
+  /// paper's figures report.
+  [[nodiscard]] std::uint64_t total_wire_bytes() const noexcept {
+    return total().wire_bytes;
+  }
+  [[nodiscard]] std::uint64_t total_data_bytes() const noexcept {
+    return total().data_bytes;
+  }
+
+  void reset() noexcept;
+
+  /// Multi-line per-class breakdown table.
+  [[nodiscard]] std::string breakdown() const;
+
+ private:
+  static constexpr std::size_t kClasses =
+      static_cast<std::size_t>(TrafficClass::kCount_);
+  mutable std::mutex mutex_;
+  std::array<std::array<TrafficCell, kClasses>, 2> cells_{};
+};
+
+}  // namespace bx::pcie

@@ -1,0 +1,105 @@
+// The assembled SSD: NAND array + FTL + KV engine + CSD filter engine +
+// DRAM scratch, implementing the controller's CommandExecutor interface.
+//
+// The logical page space is partitioned between three tenants:
+//   [0, block)               block-addressed namespace (kWrite/kRead)
+//   [block, block+kv)        KV store runs
+//   [block+kv, total)        CSD tables
+// mirroring how the OpenSSD firmware dedicates regions to each service.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/sim_clock.h"
+#include "controller/executor.h"
+#include "csd/filter_engine.h"
+#include "kv/kv_engine.h"
+#include "nand/ftl.h"
+#include "nand/nand_flash.h"
+#include "ssd/write_cache.h"
+
+namespace bx::ssd {
+
+class SsdDevice : public controller::CommandExecutor {
+ public:
+  struct Config {
+    nand::Geometry geometry{};
+    nand::NandTiming nand_timing{};
+    nand::Ftl::Config ftl{};
+
+    /// Fractions of the logical space per tenant (rest goes to CSD).
+    double block_fraction = 0.50;
+    double kv_fraction = 0.30;
+
+    kv::KvEngine::Config kv{};        // LPN range filled at construction
+    csd::FilterEngine::Config csd{};  // LPN range filled at construction
+
+    /// DRAM scratch region for the raw write/read microbenchmark commands
+    /// — the "designated buffer" of §3.3.1.
+    std::uint32_t scratch_bytes = 1 << 20;
+
+    /// Optional write-back cache on the block path (absorbs block writes
+    /// in DRAM, programs NAND in the background). Off by default so the
+    /// block path exposes raw NAND timing.
+    bool enable_write_cache = false;
+    WriteCache::Config write_cache{};
+
+    /// Firmware dispatch cost per command (opcode decode, request setup).
+    Nanoseconds cpu_dispatch_ns = 200;
+  };
+
+  SsdDevice(SimClock& clock, Config config);
+
+  controller::ExecResult execute(const nvme::SubmissionQueueEntry& sqe,
+                                 ConstByteSpan payload) override;
+
+  [[nodiscard]] nand::NandFlash& nand() noexcept { return nand_; }
+  [[nodiscard]] nand::Ftl& ftl() noexcept { return ftl_; }
+  [[nodiscard]] kv::KvEngine& kv_engine() noexcept { return kv_; }
+  [[nodiscard]] csd::FilterEngine& filter_engine() noexcept {
+    return filter_;
+  }
+  [[nodiscard]] std::uint64_t block_namespace_pages() const noexcept {
+    return block_pages_;
+  }
+  /// The block-path write cache (valid only when enabled in the config).
+  [[nodiscard]] WriteCache& write_cache() noexcept { return write_cache_; }
+
+ private:
+  controller::ExecResult do_block_write(const nvme::SubmissionQueueEntry& sqe,
+                                        ConstByteSpan payload);
+  controller::ExecResult do_block_read(const nvme::SubmissionQueueEntry& sqe);
+  controller::ExecResult do_flush();
+  controller::ExecResult do_raw_write(ConstByteSpan payload);
+  controller::ExecResult do_raw_read(const nvme::SubmissionQueueEntry& sqe);
+  controller::ExecResult do_partial_write(
+      const nvme::SubmissionQueueEntry& sqe, ConstByteSpan payload);
+  controller::ExecResult do_kv(const nvme::SubmissionQueueEntry& sqe,
+                               ConstByteSpan payload);
+  controller::ExecResult do_kv_iterate(const nvme::SubmissionQueueEntry& sqe,
+                                       std::string_view key,
+                                       const nvme::VendorFields& fields);
+  controller::ExecResult do_csd(const nvme::SubmissionQueueEntry& sqe,
+                                ConstByteSpan payload);
+
+  static kv::KvEngine::Config fill_kv_range(const Config& config,
+                                            std::uint64_t base,
+                                            std::uint64_t count);
+  static csd::FilterEngine::Config fill_csd_range(const Config& config,
+                                                  std::uint64_t base,
+                                                  std::uint64_t count);
+
+  SimClock& clock_;
+  Config config_;
+  nand::NandFlash nand_;
+  nand::Ftl ftl_;
+  std::uint64_t block_pages_;
+  kv::KvEngine kv_;
+  csd::FilterEngine filter_;
+  WriteCache write_cache_;
+  ByteVec scratch_;
+  std::uint32_t scratch_valid_ = 0;
+};
+
+}  // namespace bx::ssd

@@ -1,0 +1,77 @@
+#include "ssd/write_cache.h"
+
+#include <cstring>
+
+namespace bx::ssd {
+
+WriteCache::WriteCache(nand::Ftl& ftl, SimClock& clock, Config config)
+    : ftl_(ftl), clock_(clock), config_(config) {
+  BX_ASSERT(config.capacity_bytes >= ftl.page_size());
+}
+
+Status WriteCache::evict_oldest() {
+  BX_ASSERT(!order_.empty());
+  const std::uint64_t lpn = order_.front();
+  const auto it = pages_.find(lpn);
+  BX_ASSERT(it != pages_.end());
+  // Background: eviction occupies a NAND die without stalling the host.
+  BX_RETURN_IF_ERROR(ftl_.write(lpn, it->second.data,
+                                nand::NandFlash::Blocking::kBackground));
+  order_.pop_front();
+  pages_.erase(it);
+  ++evictions_;
+  return Status::ok();
+}
+
+Status WriteCache::write(std::uint64_t lpn, ConstByteSpan data) {
+  if (data.size() > ftl_.page_size()) {
+    return invalid_argument("cache write exceeds page size");
+  }
+  clock_.advance(config_.dram_copy_ns);
+
+  const auto it = pages_.find(lpn);
+  if (it != pages_.end()) {
+    // Rewrite in place; refresh FIFO position.
+    it->second.data.assign(data.begin(), data.end());
+    order_.erase(it->second.order_it);
+    order_.push_back(lpn);
+    it->second.order_it = std::prev(order_.end());
+    return Status::ok();
+  }
+
+  order_.push_back(lpn);
+  Entry entry;
+  entry.data.assign(data.begin(), data.end());
+  entry.order_it = std::prev(order_.end());
+  pages_.emplace(lpn, std::move(entry));
+
+  while (pages_.size() * ftl_.page_size() > config_.capacity_bytes) {
+    BX_RETURN_IF_ERROR(evict_oldest());
+  }
+  return Status::ok();
+}
+
+Status WriteCache::read(std::uint64_t lpn, ByteSpan out) {
+  const auto it = pages_.find(lpn);
+  if (it != pages_.end()) {
+    ++hits_;
+    clock_.advance(config_.dram_copy_ns);
+    const std::size_t take = std::min(out.size(), it->second.data.size());
+    std::memcpy(out.data(), it->second.data.data(), take);
+    if (take < out.size()) {
+      std::memset(out.data() + take, 0, out.size() - take);
+    }
+    return Status::ok();
+  }
+  ++misses_;
+  return ftl_.read(lpn, out);
+}
+
+Status WriteCache::flush() {
+  while (!order_.empty()) {
+    BX_RETURN_IF_ERROR(evict_oldest());
+  }
+  return Status::ok();
+}
+
+}  // namespace bx::ssd

@@ -1,0 +1,72 @@
+// Device-DRAM write-back cache for the block namespace.
+//
+// Small block writes land in DRAM (cap-backed on the OpenSSD, hence
+// durable) and are programmed to NAND in the background — the block-path
+// analog of the KV engine's memtable, and the "NAND page buffer entry of
+// normal block SSDs" §3.3.1 names as a destination for inline payloads.
+// Reads are served from the cache when dirty, read-through otherwise.
+// Eviction is FIFO write-back once the configured capacity is exceeded;
+// an NVMe Flush drains everything.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "nand/ftl.h"
+
+namespace bx::ssd {
+
+class WriteCache {
+ public:
+  struct Config {
+    std::size_t capacity_bytes = 4 << 20;
+    /// DRAM copy cost per cached page write/hit.
+    Nanoseconds dram_copy_ns = 300;
+  };
+
+  WriteCache(nand::Ftl& ftl, SimClock& clock, Config config);
+
+  /// Absorbs one logical page into DRAM; evicts (writes back) the oldest
+  /// dirty pages if over capacity.
+  Status write(std::uint64_t lpn, ConstByteSpan data);
+
+  /// Serves from the cache when dirty, otherwise reads through the FTL.
+  Status read(std::uint64_t lpn, ByteSpan out);
+
+  /// Writes back every dirty page (background NAND programs) and empties
+  /// the cache.
+  Status flush();
+
+  [[nodiscard]] std::size_t dirty_pages() const noexcept {
+    return pages_.size();
+  }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_;
+  }
+
+ private:
+  Status evict_oldest();
+
+  nand::Ftl& ftl_;
+  SimClock& clock_;
+  Config config_;
+
+  struct Entry {
+    ByteVec data;
+    std::list<std::uint64_t>::iterator order_it;
+  };
+  std::unordered_map<std::uint64_t, Entry> pages_;
+  std::list<std::uint64_t> order_;  // oldest first
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace bx::ssd

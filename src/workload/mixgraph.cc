@@ -1,0 +1,46 @@
+#include "workload/mixgraph.h"
+
+#include <cstdio>
+
+namespace bx::workload {
+
+std::string make_key(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "k%015llx",
+                static_cast<unsigned long long>(id));
+  return buf;  // exactly 16 bytes
+}
+
+MixGraphWorkload::MixGraphWorkload(MixGraphConfig config)
+    : config_(config),
+      key_rng_(config.seed),
+      fill_rng_(config.seed ^ 0x5deece66dULL),
+      value_size_(config.value_theta, config.value_sigma, config.value_k,
+                  config.value_min, config.value_max, config.seed + 1) {}
+
+std::uint64_t MixGraphWorkload::next_value_size() {
+  return value_size_.next();
+}
+
+KvOp MixGraphWorkload::next_put() {
+  KvOp op;
+  op.key = make_key(key_rng_.next_below(config_.key_space));
+  op.value.resize(next_value_size());
+  fill_rng_.fill(op.value.data(), op.value.size());
+  return op;
+}
+
+FillRandomWorkload::FillRandomWorkload(FillRandomConfig config)
+    : config_(config),
+      key_rng_(config.seed),
+      fill_rng_(config.seed ^ 0xa5a5a5a5ULL) {}
+
+KvOp FillRandomWorkload::next_put() {
+  KvOp op;
+  op.key = make_key(key_rng_.next_below(config_.key_space));
+  op.value.resize(config_.value_size);
+  fill_rng_.fill(op.value.data(), op.value.size());
+  return op;
+}
+
+}  // namespace bx::workload

@@ -1,0 +1,74 @@
+// Key-value workload generators.
+//
+// MixGraphWorkload reproduces the *value-size* behaviour of RocksDB
+// db_bench's MixGraph benchmark with its default settings (Cao et al.,
+// FAST '20 — the generalized Pareto fit of Meta's production traces:
+// k = 0.2615, sigma = 25.45), which is what the paper's Figure 1(a)
+// heatmap and Figure 6(a) KV experiment use. With these parameters over
+// 60 % of values are under 32 bytes, matching §4.3's observation.
+//
+// FillRandomWorkload is db_bench fillrandom with a fixed value size
+// (128 B in Figure 6(b)) over uniformly random keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace bx::workload {
+
+struct KvOp {
+  std::string key;     // <= 16 bytes (SQE-resident keys)
+  ByteVec value;
+};
+
+struct MixGraphConfig {
+  std::uint64_t key_space = 1'000'000;
+  double value_k = 0.2615;     // GP shape (db_bench default)
+  double value_sigma = 25.45;  // GP scale (db_bench default)
+  double value_theta = 0.0;    // GP location
+  std::uint64_t value_min = 1;
+  std::uint64_t value_max = 4000;  // device record cap (one NAND page)
+  std::uint64_t seed = 2025;
+};
+
+class MixGraphWorkload {
+ public:
+  explicit MixGraphWorkload(MixGraphConfig config = {});
+
+  /// Next PUT of the All_random access pattern (uniform keys).
+  KvOp next_put();
+
+  /// Draws only a value size (for distribution plots like Figure 1(a)).
+  std::uint64_t next_value_size();
+
+ private:
+  MixGraphConfig config_;
+  Rng key_rng_;
+  Rng fill_rng_;
+  ParetoGenerator value_size_;
+};
+
+struct FillRandomConfig {
+  std::uint64_t key_space = 1'000'000;
+  std::uint32_t value_size = 128;
+  std::uint64_t seed = 7;
+};
+
+class FillRandomWorkload {
+ public:
+  explicit FillRandomWorkload(FillRandomConfig config = {});
+  KvOp next_put();
+
+ private:
+  FillRandomConfig config_;
+  Rng key_rng_;
+  Rng fill_rng_;
+};
+
+/// 16-byte fixed-width key from an id ("k%015llx" style).
+std::string make_key(std::uint64_t id);
+
+}  // namespace bx::workload

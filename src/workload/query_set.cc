@@ -1,0 +1,134 @@
+#include "workload/query_set.h"
+
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace bx::workload {
+
+using csd::Column;
+using csd::ColumnType;
+using csd::RowBuilder;
+using csd::TableSchema;
+
+ByteVec QueryCase::make_row(Rng& rng) const {
+  RowBuilder builder(schema);
+  if (name == "VPIC") {
+    // energy ~ U[0,2): "energy > 1.5" selects ~25 %.
+    builder.set_double("energy", rng.next_double() * 2.0)
+        .set_double("x", rng.next_double())
+        .set_double("y", rng.next_double())
+        .set_double("z", rng.next_double())
+        .set_int("id", static_cast<std::int64_t>(rng.next_below(1 << 30)));
+  } else if (name == "Laghos") {
+    // e ~ U[0,400): "e > 346.75" selects ~13 %.
+    builder.set_double("e", rng.next_double() * 400.0)
+        .set_double("rho", rng.next_double() * 10.0)
+        .set_double("v", rng.next_double() * 5.0)
+        .set_int("id", static_cast<std::int64_t>(rng.next_below(1 << 30)));
+  } else if (name == "Asteroid") {
+    // v02 ~ U[0,1): "v02 > 0.844" selects ~15.6 %.
+    builder.set_double("v02", rng.next_double())
+        .set_double("v03", rng.next_double())
+        .set_double("prs", rng.next_double() * 100.0)
+        .set_double("tev", rng.next_double() * 10.0)
+        .set_int("id", static_cast<std::int64_t>(rng.next_below(1 << 30)));
+  } else if (name == "TPC-H Q1") {
+    // Dates uniform across 1992..1998; the Q1 cutoff selects ~97 %.
+    const int year = 1992 + static_cast<int>(rng.next_below(7));
+    const int month = 1 + static_cast<int>(rng.next_below(12));
+    const int day = 1 + static_cast<int>(rng.next_below(28));
+    char date[32];
+    std::snprintf(date, sizeof(date), "%04u-%02u-%02u",
+                  static_cast<unsigned>(year), static_cast<unsigned>(month),
+                  static_cast<unsigned>(day));
+    builder.set_string("l_shipdate", date)
+        .set_double("l_quantity", 1.0 + rng.next_double() * 49.0)
+        .set_double("l_extendedprice", rng.next_double() * 100'000.0)
+        .set_double("l_discount", rng.next_double() * 0.1)
+        .set_double("l_tax", rng.next_double() * 0.08)
+        .set_string("l_returnflag", rng.next_bool(0.5) ? "N" : "R")
+        .set_string("l_linestatus", rng.next_bool(0.5) ? "O" : "F");
+  } else if (name == "TPC-H Q2") {
+    static const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+    const auto pick = rng.next_below(5);
+    builder.set_int("r_regionkey", static_cast<std::int64_t>(pick))
+        .set_string("r_name", kRegions[pick])
+        .set_string("r_comment", "synthetic region row for pushdown bench");
+  } else {
+    BX_ASSERT_MSG(false, "unknown query case");
+  }
+  return builder.take();
+}
+
+const std::vector<QueryCase>& fig4_query_set() {
+  static const std::vector<QueryCase>* kCases = [] {
+    auto* cases = new std::vector<QueryCase>();
+
+    cases->push_back(QueryCase{
+        "VPIC",
+        "SELECT * FROM particles WHERE energy > 1.5",
+        "particles energy > 1.5",
+        TableSchema("particles",
+                    {Column{"energy", ColumnType::kFloat64, 8},
+                     Column{"x", ColumnType::kFloat64, 8},
+                     Column{"y", ColumnType::kFloat64, 8},
+                     Column{"z", ColumnType::kFloat64, 8},
+                     Column{"id", ColumnType::kInt64, 8}}),
+        0.25});
+
+    cases->push_back(QueryCase{
+        "Laghos",
+        "SELECT * FROM zones WHERE e > 346.75",
+        "zones e > 346.75",
+        TableSchema("zones", {Column{"e", ColumnType::kFloat64, 8},
+                              Column{"rho", ColumnType::kFloat64, 8},
+                              Column{"v", ColumnType::kFloat64, 8},
+                              Column{"id", ColumnType::kInt64, 8}}),
+        0.133});
+
+    cases->push_back(QueryCase{
+        "Asteroid",
+        "SELECT * FROM asteroid WHERE v02 > 0.844 AND prs < 50.0",
+        "asteroid v02 > 0.844 AND prs < 50.0",
+        TableSchema("asteroid",
+                    {Column{"v02", ColumnType::kFloat64, 8},
+                     Column{"v03", ColumnType::kFloat64, 8},
+                     Column{"prs", ColumnType::kFloat64, 8},
+                     Column{"tev", ColumnType::kFloat64, 8},
+                     Column{"id", ColumnType::kInt64, 8}}),
+        0.078});
+
+    cases->push_back(QueryCase{
+        "TPC-H Q1",
+        "SELECT l_returnflag, l_linestatus, l_quantity, l_extendedprice, "
+        "l_discount, l_tax FROM lineitem WHERE l_shipdate <= date "
+        "'1998-09-02'",
+        "lineitem l_shipdate <= date '1998-09-02'",
+        TableSchema("lineitem",
+                    {Column{"l_shipdate", ColumnType::kString, 10},
+                     Column{"l_quantity", ColumnType::kFloat64, 8},
+                     Column{"l_extendedprice", ColumnType::kFloat64, 8},
+                     Column{"l_discount", ColumnType::kFloat64, 8},
+                     Column{"l_tax", ColumnType::kFloat64, 8},
+                     Column{"l_returnflag", ColumnType::kString, 1},
+                     Column{"l_linestatus", ColumnType::kString, 1}}),
+        0.953});
+
+    cases->push_back(QueryCase{
+        "TPC-H Q2",
+        "SELECT r_regionkey, r_name FROM region WHERE r_name = 'EUROPE'",
+        "region r_name = 'EUROPE'",
+        TableSchema("region",
+                    {Column{"r_regionkey", ColumnType::kInt64, 8},
+                     Column{"r_name", ColumnType::kString, 25},
+                     Column{"r_comment", ColumnType::kString, 100}}),
+        0.2});
+
+    return cases;
+  }();
+  return *kCases;
+}
+
+}  // namespace bx::workload

@@ -1,0 +1,38 @@
+// The five pushdown workloads of the paper's Figure 4 / Figure 7: three
+// scientific datasets (VPIC particles, Laghos zones, the LANL Asteroid
+// deep-water-impact set) and TPC-H Q1/Q2 filter extracts.
+//
+// For each case we carry the *full SQL string* and the *table + predicate
+// segment* (the two payload variants Figure 7 transfers), the table schema
+// the device holds, and a row generator so the filters actually execute
+// against data with a known selectivity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "csd/row.h"
+#include "csd/schema.h"
+
+namespace bx::workload {
+
+struct QueryCase {
+  std::string name;      // e.g. "VPIC"
+  std::string full_sql;  // complete SELECT-WHERE string
+  std::string segment;   // table name + predicate extract
+  csd::TableSchema schema;
+  /// Approximate fraction of generated rows the predicate selects.
+  double expected_selectivity = 0.0;
+
+  /// Generates one random row of this case's table.
+  ByteVec make_row(Rng& rng) const;
+};
+
+/// The Figure 4 query set, in paper order: VPIC, Laghos, Asteroid,
+/// TPC-H Q1, TPC-H Q2.
+const std::vector<QueryCase>& fig4_query_set();
+
+}  // namespace bx::workload

@@ -1,0 +1,150 @@
+#include "workload/trace.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "workload/mixgraph.h"
+
+namespace bx::workload {
+
+namespace {
+constexpr char kMagic[8] = {'B', 'X', 'T', 'R', 'A', 'C', 'E', '1'};
+
+template <typename T>
+void append(ByteVec& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+bool read_at(ConstByteSpan data, std::size_t& offset, T& out) {
+  if (offset + sizeof(T) > data.size()) return false;
+  std::memcpy(&out, data.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+}  // namespace
+
+ByteVec serialize_trace(const std::vector<TraceOp>& ops) {
+  ByteVec out(sizeof(kMagic));
+  std::memcpy(out.data(), kMagic, sizeof(kMagic));
+  append(out, static_cast<std::uint32_t>(ops.size()));
+  for (const TraceOp& op : ops) {
+    BX_ASSERT_MSG(op.key.size() <= 255, "trace key too long");
+    append(out, static_cast<std::uint8_t>(op.kind));
+    append(out, static_cast<std::uint8_t>(op.key.size()));
+    append(out, static_cast<std::uint32_t>(op.value.size()));
+    append(out, op.aux);
+    out.insert(out.end(), op.key.begin(), op.key.end());
+    out.insert(out.end(), op.value.begin(), op.value.end());
+  }
+  return out;
+}
+
+StatusOr<std::vector<TraceOp>> parse_trace(ConstByteSpan data) {
+  if (data.size() < sizeof(kMagic) + 4 ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return invalid_argument("not a BXTRACE1 file");
+  }
+  std::size_t offset = sizeof(kMagic);
+  std::uint32_t count = 0;
+  if (!read_at(data, offset, count)) return data_loss("truncated header");
+
+  std::vector<TraceOp> ops;
+  ops.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint8_t kind = 0;
+    std::uint8_t key_len = 0;
+    std::uint32_t value_len = 0;
+    std::uint32_t aux = 0;
+    if (!read_at(data, offset, kind) || !read_at(data, offset, key_len) ||
+        !read_at(data, offset, value_len) || !read_at(data, offset, aux)) {
+      return data_loss("truncated record header at op " + std::to_string(i));
+    }
+    if (kind > static_cast<std::uint8_t>(TraceOp::Kind::kScan)) {
+      return invalid_argument("unknown op kind at op " + std::to_string(i));
+    }
+    if (offset + key_len + value_len > data.size()) {
+      return data_loss("truncated record body at op " + std::to_string(i));
+    }
+    TraceOp op;
+    op.kind = static_cast<TraceOp::Kind>(kind);
+    op.key.assign(reinterpret_cast<const char*>(data.data()) + offset,
+                  key_len);
+    offset += key_len;
+    op.value.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                    data.begin() +
+                        static_cast<std::ptrdiff_t>(offset + value_len));
+    offset += value_len;
+    op.aux = aux;
+    ops.push_back(std::move(op));
+  }
+  if (offset != data.size()) {
+    return invalid_argument("trailing bytes after last record");
+  }
+  return ops;
+}
+
+Status save_trace(const std::string& path, const std::vector<TraceOp>& ops) {
+  const ByteVec data = serialize_trace(ops);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return internal_error("cannot open '" + path + "' for write");
+  file.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size()));
+  if (!file.good()) return internal_error("short write to '" + path + "'");
+  return Status::ok();
+}
+
+StatusOr<std::vector<TraceOp>> load_trace(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return not_found("cannot open '" + path + "'");
+  const std::streamsize size = file.tellg();
+  file.seekg(0);
+  ByteVec data(static_cast<std::size_t>(size));
+  file.read(reinterpret_cast<char*>(data.data()), size);
+  if (!file.good()) return data_loss("short read from '" + path + "'");
+  return parse_trace(data);
+}
+
+std::vector<TraceOp> generate_mixgraph_trace(std::size_t operations,
+                                             double get_fraction,
+                                             std::uint64_t seed) {
+  MixGraphWorkload puts({.key_space = 10'000, .seed = seed});
+  Rng rng(seed ^ 0x7ace);
+  std::vector<TraceOp> ops;
+  ops.reserve(operations);
+  std::vector<std::string> written;
+
+  for (std::size_t i = 0; i < operations; ++i) {
+    const double dice = rng.next_double();
+    if (written.empty() || dice >= get_fraction) {
+      const KvOp put = puts.next_put();
+      TraceOp op;
+      op.kind = TraceOp::Kind::kPut;
+      op.key = put.key;
+      op.value = put.value;
+      written.push_back(op.key);
+      ops.push_back(std::move(op));
+    } else {
+      TraceOp op;
+      op.key = written[rng.next_below(written.size())];
+      const double flavor = rng.next_double();
+      if (flavor < 0.70) {
+        op.kind = TraceOp::Kind::kGet;
+      } else if (flavor < 0.85) {
+        op.kind = TraceOp::Kind::kExist;
+      } else if (flavor < 0.95) {
+        op.kind = TraceOp::Kind::kScan;
+        op.aux = 1 + static_cast<std::uint32_t>(rng.next_below(16));
+      } else {
+        op.kind = TraceOp::Kind::kDelete;
+      }
+      ops.push_back(std::move(op));
+    }
+  }
+  return ops;
+}
+
+}  // namespace bx::workload

@@ -1,0 +1,56 @@
+// Key-value operation traces: a compact binary format for recording
+// workloads and replaying them bit-identically — the workflow behind
+// production-trace-driven studies like the Meta analysis (FAST '20) the
+// paper's motivation builds on.
+//
+// File layout: 8-byte magic "BXTRACE1", u32 record count, then per record:
+//   [u8 kind][u8 key_len][u32 value_len][u32 aux][key bytes][value bytes]
+// All integers little-endian. GET/DELETE/EXIST records carry no value;
+// SCAN uses aux as its limit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace bx::workload {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t {
+    kPut = 0,
+    kGet = 1,
+    kDelete = 2,
+    kExist = 3,
+    kScan = 4,
+  };
+
+  Kind kind = Kind::kPut;
+  std::string key;
+  ByteVec value;       // kPut only
+  std::uint32_t aux = 0;  // kScan: limit
+
+  bool operator==(const TraceOp& other) const = default;
+};
+
+/// Serializes a trace to its binary form.
+ByteVec serialize_trace(const std::vector<TraceOp>& ops);
+
+/// Parses a binary trace; rejects bad magic, truncation, or corrupt
+/// lengths.
+StatusOr<std::vector<TraceOp>> parse_trace(ConstByteSpan data);
+
+/// Convenience file I/O.
+Status save_trace(const std::string& path, const std::vector<TraceOp>& ops);
+StatusOr<std::vector<TraceOp>> load_trace(const std::string& path);
+
+/// Generates a MixGraph-flavoured trace: `puts` PUTs (MixGraph value
+/// sizes) interleaved with GETs of previously written keys at
+/// `get_fraction`, plus occasional deletes and scans.
+std::vector<TraceOp> generate_mixgraph_trace(std::size_t operations,
+                                             double get_fraction = 0.3,
+                                             std::uint64_t seed = 42);
+
+}  // namespace bx::workload

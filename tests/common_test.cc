@@ -1,0 +1,428 @@
+// Unit tests for the common substrate: Status/StatusOr, RNG and
+// distributions, histograms, the simulated clock, byte helpers, CRC32-C,
+// and the key=value config store.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/config.h"
+#include "common/crc32c.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace bx {
+namespace {
+
+// ----------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = not_found("missing thing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.to_string(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kAborted); ++code) {
+    EXPECT_NE(status_code_name(static_cast<StatusCode>(code)), "UNKNOWN");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = invalid_argument("nope");
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.is_ok());
+  std::unique_ptr<int> taken = std::move(result).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOrTest, ReturnIfErrorPropagates) {
+  auto inner = []() -> Status { return out_of_range("boom"); };
+  auto outer = [&]() -> Status {
+    BX_RETURN_IF_ERROR(inner());
+    return Status::ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kOutOfRange);
+}
+
+// -------------------------------------------------------------------- RNG
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowCoversSmallDomains) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextInInclusiveRange) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.next_in(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, FillProducesAllBytes) {
+  Rng rng(8);
+  ByteVec buffer(4096, 0);
+  rng.fill(buffer.data(), buffer.size());
+  std::set<Byte> seen(buffer.begin(), buffer.end());
+  EXPECT_GT(seen.size(), 200u);  // essentially all byte values appear
+}
+
+TEST(ZipfianTest, SkewsTowardLowRanks) {
+  ZipfianGenerator zipf(1000, 0.99, 42);
+  std::uint64_t low = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (zipf.next() < 10) ++low;
+  }
+  // With theta=0.99 the top-10 ranks take well over a third of the mass.
+  EXPECT_GT(low, draws / 3);
+}
+
+TEST(ZipfianTest, StaysInDomain) {
+  ZipfianGenerator zipf(50, 0.8, 7);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(zipf.next(), 50u);
+}
+
+TEST(ParetoTest, RespectsBounds) {
+  ParetoGenerator pareto(0.0, 25.45, 0.2615, 1, 4000, 3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = pareto.next();
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 4000u);
+  }
+}
+
+TEST(ParetoTest, MixGraphDefaultsMatchPaperDistribution) {
+  // Figure 1(a) / §4.3: with db_bench MixGraph defaults, over 60% of
+  // values are under 32 bytes.
+  ParetoGenerator pareto(0.0, 25.45, 0.2615, 1, 4000, 11);
+  const int draws = 100000;
+  int under32 = 0;
+  double sum = 0;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = pareto.next();
+    if (v < 32) ++under32;
+    sum += double(v);
+  }
+  EXPECT_GT(double(under32) / draws, 0.60);
+  // Mean of GP(0, 25.45, 0.2615) is sigma/(1-k) ~ 34.5 bytes.
+  EXPECT_NEAR(sum / draws, 34.5, 6.0);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, EmptyIsZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.percentile(50), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  LatencyHistogram hist;
+  hist.record(1234);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.min(), 1234u);
+  EXPECT_EQ(hist.max(), 1234u);
+  EXPECT_EQ(hist.percentile(50), 1234u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 1234.0);
+}
+
+TEST(HistogramTest, PercentileAccuracyWithinBucketError) {
+  LatencyHistogram hist;
+  for (std::uint64_t v = 1; v <= 10000; ++v) hist.record(v);
+  // Log-linear buckets with 16 sub-buckets: <= ~6.25% relative error.
+  const std::uint64_t p50 = hist.percentile(50);
+  EXPECT_NEAR(double(p50), 5000.0, 5000.0 * 0.07);
+  const std::uint64_t p99 = hist.percentile(99);
+  EXPECT_NEAR(double(p99), 9900.0, 9900.0 * 0.07);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_NEAR(a.mean(), 505.0, 1.0);
+}
+
+TEST(HistogramTest, ExtremePercentilesAreExact) {
+  LatencyHistogram hist;
+  hist.record(3);
+  hist.record(7777777);
+  EXPECT_EQ(hist.percentile(0), 3u);
+  EXPECT_EQ(hist.percentile(100), 7777777u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  LatencyHistogram hist;
+  hist.record(5);
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.percentile(99), 0u);
+}
+
+TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
+  LatencyHistogram hist;
+  hist.record(UINT64_MAX / 2);
+  hist.record(1);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.max(), UINT64_MAX / 2);
+}
+
+TEST(ExactCounterTest, CountsAndCdf) {
+  ExactCounter counter(100);
+  for (std::uint64_t v = 0; v < 50; ++v) counter.record(v);
+  counter.record(999);  // overflow bucket
+  EXPECT_EQ(counter.total(), 51u);
+  EXPECT_EQ(counter.overflow(), 1u);
+  EXPECT_EQ(counter.count_of(10), 1u);
+  EXPECT_NEAR(counter.cdf(49), 50.0 / 51.0, 1e-9);
+}
+
+// -------------------------------------------------------------- SimClock
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance(10);
+  clock.advance(5);
+  EXPECT_EQ(clock.now(), 15u);
+}
+
+TEST(SimClockTest, AdvanceToOnlyMovesForward) {
+  SimClock clock;
+  clock.advance(100);
+  clock.advance_to(50);  // no-op
+  EXPECT_EQ(clock.now(), 100u);
+  clock.advance_to(200);
+  EXPECT_EQ(clock.now(), 200u);
+}
+
+TEST(SimClockTest, ConcurrentAdvanceIsLossless) {
+  SimClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < kPerThread; ++i) clock.advance(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(clock.now(), std::uint64_t{kThreads} * kPerThread);
+}
+
+TEST(ScopedTimerTest, MeasuresElapsed) {
+  SimClock clock;
+  ScopedTimer timer(clock);
+  clock.advance(42);
+  EXPECT_EQ(timer.elapsed(), 42u);
+}
+
+// ------------------------------------------------------------------ bytes
+
+TEST(BytesTest, AlignHelpers) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+  EXPECT_EQ(align_down(65, 64), 64u);
+  EXPECT_TRUE(is_aligned(4096, 4096));
+  EXPECT_FALSE(is_aligned(4097, 4096));
+  EXPECT_EQ(div_ceil(0, 64), 0u);
+  EXPECT_EQ(div_ceil(1, 64), 1u);
+  EXPECT_EQ(div_ceil(64, 64), 1u);
+  EXPECT_EQ(div_ceil(65, 64), 2u);
+}
+
+TEST(BytesTest, PatternRoundTrips) {
+  ByteVec buffer(777);
+  fill_pattern(buffer, 42);
+  EXPECT_TRUE(verify_pattern(buffer, 42));
+  EXPECT_FALSE(verify_pattern(buffer, 43));
+  buffer[500] ^= 1;
+  EXPECT_FALSE(verify_pattern(buffer, 42));
+}
+
+TEST(BytesTest, PatternDependsOnPosition) {
+  ByteVec buffer(64);
+  fill_pattern(buffer, 7);
+  // Verifying a shifted window must fail: the pattern is position-bound.
+  EXPECT_FALSE(verify_pattern(ConstByteSpan(buffer).subspan(1), 7));
+}
+
+TEST(BytesTest, HexDumpFormatsAndTruncates) {
+  ByteVec buffer(300, 0x41);  // 'A'
+  const std::string dump = hex_dump(buffer, 32);
+  EXPECT_NE(dump.find("0000: 41 41"), std::string::npos);
+  EXPECT_NE(dump.find("|AAAAAAAAAAAAAAAA|"), std::string::npos);
+  EXPECT_NE(dump.find("truncated"), std::string::npos);
+}
+
+TEST(BytesTest, StringSpanRoundTrip) {
+  const std::string text = "hello nvme";
+  EXPECT_EQ(to_string(as_bytes(text)), text);
+}
+
+// ----------------------------------------------------------------- CRC32C
+
+TEST(Crc32cTest, KnownVector) {
+  // Standard check value: crc32c("123456789") == 0xE3069283.
+  const std::string data = "123456789";
+  EXPECT_EQ(crc32c(as_bytes(data)), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyIsZero) { EXPECT_EQ(crc32c({}), 0u); }
+
+TEST(Crc32cTest, DetectsCorruption) {
+  ByteVec data(128);
+  fill_pattern(data, 9);
+  const std::uint32_t crc = crc32c(data);
+  data[64] ^= 0x80;
+  EXPECT_NE(crc32c(data), crc);
+}
+
+// ----------------------------------------------------------------- Logging
+
+TEST(LoggingTest, LevelGatesEmission) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(detail::log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(detail::log_enabled(LogLevel::kError));
+  set_log_level(before);
+}
+
+TEST(LoggingTest, MacroShortCircuitsWhenDisabled) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return "costly";
+  };
+  BX_LOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);  // stream expression never evaluated
+  set_log_level(before);
+}
+
+// ------------------------------------------------------------------ Config
+
+TEST(ConfigTest, ParsesTypes) {
+  Config config;
+  ASSERT_TRUE(config.set_from_arg("alpha=12").is_ok());
+  ASSERT_TRUE(config.set_from_arg("beta=3.5").is_ok());
+  ASSERT_TRUE(config.set_from_arg("gamma=true").is_ok());
+  ASSERT_TRUE(config.set_from_arg("name=bench").is_ok());
+  EXPECT_EQ(config.get_int("alpha", 0), 12);
+  EXPECT_DOUBLE_EQ(config.get_double("beta", 0), 3.5);
+  EXPECT_TRUE(config.get_bool("gamma", false));
+  EXPECT_EQ(config.get_string("name", ""), "bench");
+}
+
+TEST(ConfigTest, FallbacksWhenMissingOrMalformed) {
+  Config config;
+  ASSERT_TRUE(config.set_from_arg("weird=zz").is_ok());
+  EXPECT_EQ(config.get_int("missing", 7), 7);
+  EXPECT_EQ(config.get_int("weird", 7), 7);
+  EXPECT_FALSE(config.get_bool("weird", false));
+}
+
+TEST(ConfigTest, SizeSuffixes) {
+  Config config;
+  ASSERT_TRUE(config.set_from_arg("a=4k").is_ok());
+  ASSERT_TRUE(config.set_from_arg("b=2M").is_ok());
+  ASSERT_TRUE(config.set_from_arg("c=1g").is_ok());
+  EXPECT_EQ(config.get_int("a", 0), 4096);
+  EXPECT_EQ(config.get_int("b", 0), 2 << 20);
+  EXPECT_EQ(config.get_int("c", 0), 1 << 30);
+}
+
+TEST(ConfigTest, RejectsMalformedArgs) {
+  Config config;
+  EXPECT_FALSE(config.set_from_arg("novalue").is_ok());
+  EXPECT_FALSE(config.set_from_arg("=x").is_ok());
+}
+
+TEST(ConfigTest, ParseArgvSkipsNonAssignments) {
+  Config config;
+  const char* argv[] = {"prog", "positional", "k=v"};
+  ASSERT_TRUE(config.parse_args(3, argv).is_ok());
+  EXPECT_TRUE(config.contains("k"));
+  EXPECT_FALSE(config.contains("positional"));
+}
+
+}  // namespace
+}  // namespace bx

@@ -1,0 +1,337 @@
+// Device-side filter engine: table lifecycle, NAND-backed scans, predicate
+// selectivity, result buffer semantics, and error mapping.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "csd/filter_engine.h"
+#include "workload/query_set.h"
+
+namespace bx::csd {
+namespace {
+
+nand::Geometry small_geometry() {
+  nand::Geometry g;
+  g.channels = 2;
+  g.ways = 2;
+  g.blocks_per_die = 16;
+  g.pages_per_block = 32;
+  g.page_size = 4096;
+  return g;
+}
+
+class FilterFixture : public ::testing::Test {
+ protected:
+  FilterFixture()
+      : nand_(small_geometry(), nand::NandTiming{}, clock_),
+        ftl_(nand_, {.overprovision = 0.125, .gc_threshold_blocks = 2}),
+        engine_(ftl_, clock_,
+                {.lpn_base = 0, .lpn_count = ftl_.logical_pages()}) {}
+
+  SimClock clock_;
+  nand::NandFlash nand_;
+  nand::Ftl ftl_;
+  FilterEngine engine_;
+};
+
+TEST_F(FilterFixture, CreateTableAndIntrospect) {
+  ASSERT_TRUE(engine_.create_table("t a:i64 b:f64 c:str8").is_ok());
+  const TableSchema* schema = engine_.schema("t");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->row_size(), 24u);
+  EXPECT_EQ(engine_.row_count("t"), 0u);
+}
+
+TEST_F(FilterFixture, DuplicateTableRejected) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  EXPECT_EQ(engine_.create_table("t a:i64").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(FilterFixture, MalformedSchemaRejected) {
+  EXPECT_EQ(engine_.create_table("t a:wat").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FilterFixture, AppendValidatesRowSize) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  ByteVec rows(12);  // not a multiple of 8
+  EXPECT_EQ(engine_.append_rows("t", rows).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_.append_rows("missing", ByteVec(8)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FilterFixture, FilterCountsMatchesOnSmallTable) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  const TableSchema* schema = engine_.schema("t");
+  RowBuilder builder(*schema);
+  ByteVec rows;
+  for (std::int64_t a = 0; a < 100; ++a) {
+    builder.set_int("a", a);
+    const ByteVec row = builder.take();
+    rows.insert(rows.end(), row.begin(), row.end());
+  }
+  ASSERT_TRUE(engine_.append_rows("t", rows).is_ok());
+  EXPECT_EQ(engine_.row_count("t"), 100u);
+
+  auto matches = engine_.run_filter("t a >= 90");
+  ASSERT_TRUE(matches.is_ok());
+  EXPECT_EQ(*matches, 10u);
+  EXPECT_EQ(engine_.last_stats().rows_scanned, 100u);
+  EXPECT_EQ(engine_.last_result().size(), 10u * schema->row_size());
+}
+
+TEST_F(FilterFixture, FullSqlAndSegmentGiveSameCount) {
+  ASSERT_TRUE(engine_.create_table("t a:i64 b:f64").is_ok());
+  const TableSchema* schema = engine_.schema("t");
+  RowBuilder builder(*schema);
+  ByteVec rows;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    builder.set_int("a", std::int64_t(i)).set_double("b", rng.next_double());
+    const ByteVec row = builder.take();
+    rows.insert(rows.end(), row.begin(), row.end());
+  }
+  ASSERT_TRUE(engine_.append_rows("t", rows).is_ok());
+
+  auto full = engine_.run_filter("SELECT * FROM t WHERE b > 0.5 AND a < 250");
+  ASSERT_TRUE(full.is_ok());
+  auto segment = engine_.run_filter("t b > 0.5 AND a < 250");
+  ASSERT_TRUE(segment.is_ok());
+  EXPECT_EQ(*full, *segment);
+  EXPECT_GT(*full, 0u);
+}
+
+TEST_F(FilterFixture, ScanReadsNandPagesForLargeTables) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  ByteVec rows(8 * 2048);  // 2048 rows = 4 full 4KB pages
+  for (std::size_t i = 0; i < 2048; ++i) {
+    const std::int64_t v = std::int64_t(i);
+    std::memcpy(rows.data() + i * 8, &v, 8);
+  }
+  ASSERT_TRUE(engine_.append_rows("t", rows).is_ok());
+  const std::uint64_t nand_reads_before = nand_.reads();
+  auto matches = engine_.run_filter("t a < 100");
+  ASSERT_TRUE(matches.is_ok());
+  EXPECT_EQ(*matches, 100u);
+  EXPECT_EQ(engine_.last_stats().pages_read, 4u);
+  EXPECT_GT(nand_.reads(), nand_reads_before);
+}
+
+TEST_F(FilterFixture, TailRowsInDramAreScannedToo) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  // 600 rows: one full page (512 rows) + 88 in the DRAM tail.
+  ByteVec rows(8 * 600);
+  for (std::size_t i = 0; i < 600; ++i) {
+    const std::int64_t v = std::int64_t(i);
+    std::memcpy(rows.data() + i * 8, &v, 8);
+  }
+  ASSERT_TRUE(engine_.append_rows("t", rows).is_ok());
+  auto matches = engine_.run_filter("t a >= 0");
+  ASSERT_TRUE(matches.is_ok());
+  EXPECT_EQ(*matches, 600u);
+}
+
+TEST_F(FilterFixture, SelectListProjectsResultColumns) {
+  ASSERT_TRUE(engine_.create_table("t a:i64 b:f64 c:str4").is_ok());
+  const TableSchema* schema = engine_.schema("t");
+  RowBuilder builder(*schema);
+  ByteVec rows;
+  for (std::int64_t a = 0; a < 20; ++a) {
+    builder.set_int("a", a).set_double("b", double(a) * 1.5).set_string(
+        "c", a % 2 == 0 ? "ev" : "od");
+    const ByteVec row = builder.take();
+    rows.insert(rows.end(), row.begin(), row.end());
+  }
+  ASSERT_TRUE(engine_.append_rows("t", rows).is_ok());
+
+  auto matches =
+      engine_.run_filter("SELECT c, a FROM t WHERE a >= 16");
+  ASSERT_TRUE(matches.is_ok());
+  EXPECT_EQ(*matches, 4u);
+
+  // Projected rows: c (4 B) then a (8 B), in SELECT-list order.
+  const TableSchema& out = engine_.last_result_schema();
+  EXPECT_EQ(out.row_size(), 12u);
+  ASSERT_EQ(out.columns().size(), 2u);
+  EXPECT_EQ(out.columns()[0].name, "c");
+  EXPECT_EQ(out.columns()[1].name, "a");
+  ASSERT_EQ(engine_.last_result().size(), 4u * 12u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    RowView view(out, engine_.last_result().subspan(r * 12, 12));
+    EXPECT_EQ(view.get_int(1), std::int64_t(16 + r));
+    EXPECT_EQ(view.get_string(0), (16 + r) % 2 == 0 ? "ev" : "od");
+  }
+
+  // SELECT * and segment form keep the full schema.
+  ASSERT_TRUE(engine_.run_filter("SELECT * FROM t WHERE a = 1").is_ok());
+  EXPECT_EQ(engine_.last_result_schema().row_size(), schema->row_size());
+  ASSERT_TRUE(engine_.run_filter("t a = 1").is_ok());
+  EXPECT_EQ(engine_.last_result_schema().row_size(), schema->row_size());
+}
+
+TEST_F(FilterFixture, AggregatePushdownComputesAllFunctions) {
+  ASSERT_TRUE(engine_.create_table("t a:i64 b:f64").is_ok());
+  const TableSchema* schema = engine_.schema("t");
+  RowBuilder builder(*schema);
+  ByteVec rows;
+  // a = 0..99, b = 2*a.
+  for (std::int64_t a = 0; a < 100; ++a) {
+    builder.set_int("a", a).set_double("b", double(a) * 2.0);
+    const ByteVec row = builder.take();
+    rows.insert(rows.end(), row.begin(), row.end());
+  }
+  ASSERT_TRUE(engine_.append_rows("t", rows).is_ok());
+
+  auto matched = engine_.run_filter(
+      "SELECT COUNT(*), SUM(a), MIN(b), MAX(b), AVG(a) FROM t WHERE "
+      "a BETWEEN 10 AND 19");
+  ASSERT_TRUE(matched.is_ok()) << matched.status().to_string();
+  EXPECT_EQ(*matched, 10u);
+
+  const TableSchema& out = engine_.last_result_schema();
+  ASSERT_EQ(out.columns().size(), 5u);
+  ASSERT_EQ(engine_.last_result().size(), 40u);
+  RowView view(out, engine_.last_result());
+  EXPECT_DOUBLE_EQ(view.get_double(0), 10.0);    // COUNT(*)
+  EXPECT_DOUBLE_EQ(view.get_double(1), 145.0);   // SUM(10..19)
+  EXPECT_DOUBLE_EQ(view.get_double(2), 20.0);    // MIN(b) = 2*10
+  EXPECT_DOUBLE_EQ(view.get_double(3), 38.0);    // MAX(b) = 2*19
+  EXPECT_DOUBLE_EQ(view.get_double(4), 14.5);    // AVG(10..19)
+}
+
+TEST_F(FilterFixture, AggregateOverEmptyMatchSetIsZero) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  ASSERT_TRUE(engine_.append_rows("t", ByteVec(8 * 5)).is_ok());
+  auto matched =
+      engine_.run_filter("SELECT COUNT(*), SUM(a), AVG(a) FROM t WHERE a > 99");
+  ASSERT_TRUE(matched.is_ok());
+  EXPECT_EQ(*matched, 0u);
+  RowView view(engine_.last_result_schema(), engine_.last_result());
+  EXPECT_DOUBLE_EQ(view.get_double(0), 0.0);
+  EXPECT_DOUBLE_EQ(view.get_double(1), 0.0);
+  EXPECT_DOUBLE_EQ(view.get_double(2), 0.0);
+}
+
+TEST_F(FilterFixture, AggregateValidation) {
+  ASSERT_TRUE(engine_.create_table("t a:i64 s:str8").is_ok());
+  ASSERT_TRUE(engine_.append_rows("t", ByteVec(16)).is_ok());
+  EXPECT_EQ(engine_.run_filter("SELECT SUM(s) FROM t").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_.run_filter("SELECT SUM(zzz) FROM t").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FilterFixture, DuplicateAggregatesGetDistinctNames) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  ByteVec rows(8 * 3, 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::int64_t v = std::int64_t(i) + 1;
+    std::memcpy(rows.data() + i * 8, &v, 8);
+  }
+  ASSERT_TRUE(engine_.append_rows("t", rows).is_ok());
+  auto matched = engine_.run_filter("SELECT COUNT(*), COUNT(*) FROM t");
+  ASSERT_TRUE(matched.is_ok());
+  const TableSchema& out = engine_.last_result_schema();
+  ASSERT_EQ(out.columns().size(), 2u);
+  EXPECT_NE(out.columns()[0].name, out.columns()[1].name);
+  RowView view(out, engine_.last_result());
+  EXPECT_DOUBLE_EQ(view.get_double(0), 3.0);
+  EXPECT_DOUBLE_EQ(view.get_double(1), 3.0);
+}
+
+TEST_F(FilterFixture, UnknownSelectColumnRejected) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  ASSERT_TRUE(engine_.append_rows("t", ByteVec(8)).is_ok());
+  EXPECT_EQ(engine_.run_filter("SELECT nope FROM t WHERE a = 0")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FilterFixture, NoWherePredicateMatchesEverything) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  ASSERT_TRUE(engine_.append_rows("t", ByteVec(8 * 10)).is_ok());
+  auto matches = engine_.run_filter("SELECT * FROM t");
+  ASSERT_TRUE(matches.is_ok());
+  EXPECT_EQ(*matches, 10u);
+}
+
+TEST_F(FilterFixture, ErrorsMapToStatusCodes) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  EXPECT_EQ(engine_.run_filter("nosuch a > 1").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.run_filter("t bogus > 1").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(engine_.run_filter("t a > > 1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_.run_filter("SELECT nosuchcol FROM t").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FilterFixture, ResultBufferTruncatesButCountsAll) {
+  FilterEngine tiny(ftl_, clock_,
+                    {.lpn_base = 0,
+                     .lpn_count = ftl_.logical_pages(),
+                     .result_capacity_bytes = 64});
+  ASSERT_TRUE(tiny.create_table("t a:i64").is_ok());
+  ASSERT_TRUE(tiny.append_rows("t", ByteVec(8 * 100)).is_ok());
+  auto matches = tiny.run_filter("t a = 0");
+  ASSERT_TRUE(matches.is_ok());
+  EXPECT_EQ(*matches, 100u);  // all rows are zero
+  EXPECT_TRUE(tiny.last_stats().result_truncated);
+  EXPECT_EQ(tiny.last_result().size(), 64u);
+}
+
+TEST_F(FilterFixture, CpuAndParseCostsAdvanceClock) {
+  ASSERT_TRUE(engine_.create_table("t a:i64").is_ok());
+  ASSERT_TRUE(engine_.append_rows("t", ByteVec(8 * 100)).is_ok());
+  const Nanoseconds before = clock_.now();
+  ASSERT_TRUE(engine_.run_filter("t a = 0").is_ok());
+  EXPECT_GT(clock_.now() - before, 100u * 120u);  // >= per-row eval cost
+}
+
+// The Fig 4 cases run end to end with selectivity near the published
+// expectation.
+class Fig4Filter : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fig4Filter, SelectivityNearExpectation) {
+  SimClock clock;
+  nand::NandFlash nand(small_geometry(), nand::NandTiming{}, clock);
+  nand::Ftl ftl(nand, {.overprovision = 0.125, .gc_threshold_blocks = 2});
+  FilterEngine engine(ftl, clock,
+                      {.lpn_base = 0, .lpn_count = ftl.logical_pages()});
+
+  const auto& query_case =
+      workload::fig4_query_set()[static_cast<std::size_t>(GetParam())];
+  ASSERT_TRUE(
+      engine.create_table(query_case.schema.serialize()).is_ok());
+
+  Rng rng(42);
+  ByteVec rows;
+  const int kRows = 2000;
+  for (int i = 0; i < kRows; ++i) {
+    const ByteVec row = query_case.make_row(rng);
+    rows.insert(rows.end(), row.begin(), row.end());
+  }
+  ASSERT_TRUE(
+      engine.append_rows(query_case.schema.name(), rows).is_ok());
+
+  auto full = engine.run_filter(query_case.full_sql);
+  ASSERT_TRUE(full.is_ok()) << full.status().to_string();
+  auto segment = engine.run_filter(query_case.segment);
+  ASSERT_TRUE(segment.is_ok());
+  EXPECT_EQ(*full, *segment);
+
+  const double selectivity = double(*full) / kRows;
+  EXPECT_NEAR(selectivity, query_case.expected_selectivity,
+              0.05 + query_case.expected_selectivity * 0.25)
+      << query_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Fig4Filter, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace bx::csd

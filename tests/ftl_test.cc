@@ -1,0 +1,204 @@
+// FTL: mapping correctness, out-of-place updates, GC under pressure
+// (greedy victim selection, relocation preserving data), trim, WAF
+// accounting, and bad-block retirement during writes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "nand/ftl.h"
+
+namespace bx::nand {
+namespace {
+
+Geometry tiny_geometry() {
+  Geometry g;
+  g.channels = 1;
+  g.ways = 2;
+  g.blocks_per_die = 10;
+  g.pages_per_block = 8;
+  g.page_size = 4096;
+  return g;
+}
+
+NandTiming fast_timing() {
+  NandTiming t;
+  t.read_ns = 10;
+  t.program_ns = 50;
+  t.erase_ns = 200;
+  t.channel_transfer_ns = 1;
+  return t;
+}
+
+class FtlFixture : public ::testing::Test {
+ protected:
+  FtlFixture()
+      : nand_(tiny_geometry(), fast_timing(), clock_),
+        ftl_(nand_, {.overprovision = 0.25, .gc_threshold_blocks = 2}) {}
+
+  ByteVec page_data(std::uint64_t seed) {
+    ByteVec data(64);
+    fill_pattern(data, seed);
+    return data;
+  }
+
+  SimClock clock_;
+  NandFlash nand_;
+  Ftl ftl_;
+};
+
+TEST_F(FtlFixture, LogicalSpaceReflectsOverprovisioning) {
+  // 160 physical pages * 0.75 = 120 logical.
+  EXPECT_EQ(ftl_.logical_pages(), 120u);
+  EXPECT_EQ(ftl_.page_size(), 4096u);
+}
+
+TEST_F(FtlFixture, WriteReadRoundTrip) {
+  const ByteVec data = page_data(1);
+  ASSERT_TRUE(ftl_.write(5, data, NandFlash::Blocking::kForeground).is_ok());
+  EXPECT_TRUE(ftl_.is_mapped(5));
+  ByteVec read(64);
+  ASSERT_TRUE(ftl_.read(5, read).is_ok());
+  EXPECT_EQ(read, data);
+}
+
+TEST_F(FtlFixture, OverwriteReturnsLatestData) {
+  ASSERT_TRUE(ftl_.write(3, page_data(1),
+                         NandFlash::Blocking::kForeground).is_ok());
+  ASSERT_TRUE(ftl_.write(3, page_data(2),
+                         NandFlash::Blocking::kForeground).is_ok());
+  ByteVec read(64);
+  ASSERT_TRUE(ftl_.read(3, read).is_ok());
+  EXPECT_TRUE(verify_pattern(read, 2));
+  EXPECT_EQ(ftl_.user_writes(), 2u);
+}
+
+TEST_F(FtlFixture, ReadUnmappedFails) {
+  ByteVec read(64);
+  EXPECT_EQ(ftl_.read(7, read).code(), StatusCode::kNotFound);
+}
+
+TEST_F(FtlFixture, OutOfRangeLpnRejected) {
+  ByteVec data(64);
+  EXPECT_EQ(ftl_.write(ftl_.logical_pages(), data,
+                       NandFlash::Blocking::kForeground)
+                .code(),
+            StatusCode::kOutOfRange);
+  ByteVec read(64);
+  EXPECT_EQ(ftl_.read(ftl_.logical_pages(), read).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(FtlFixture, TrimUnmapsAndIsIdempotent) {
+  ASSERT_TRUE(ftl_.write(9, page_data(9),
+                         NandFlash::Blocking::kForeground).is_ok());
+  ASSERT_TRUE(ftl_.trim(9).is_ok());
+  EXPECT_FALSE(ftl_.is_mapped(9));
+  ASSERT_TRUE(ftl_.trim(9).is_ok());  // second trim is a no-op
+  ByteVec read(64);
+  EXPECT_EQ(ftl_.read(9, read).code(), StatusCode::kNotFound);
+}
+
+TEST_F(FtlFixture, SustainedOverwritesTriggerGcAndPreserveData) {
+  // Hammer a small working set far beyond physical capacity to force GC.
+  std::map<std::uint64_t, std::uint64_t> truth;  // lpn -> seed
+  Rng rng(7);
+  for (int i = 0; i < 600; ++i) {
+    const std::uint64_t lpn = rng.next_below(40);
+    const std::uint64_t seed = rng.next();
+    ASSERT_TRUE(ftl_.write(lpn, page_data(seed),
+                           NandFlash::Blocking::kForeground)
+                    .is_ok())
+        << "write " << i;
+    truth[lpn] = seed;
+  }
+  EXPECT_GT(ftl_.gc_runs(), 0u);
+  EXPECT_GT(ftl_.gc_relocations(), 0u);
+  EXPECT_GT(ftl_.waf(), 1.0);
+
+  for (const auto& [lpn, seed] : truth) {
+    ByteVec read(64);
+    ASSERT_TRUE(ftl_.read(lpn, read).is_ok()) << "lpn " << lpn;
+    EXPECT_TRUE(verify_pattern(read, seed)) << "lpn " << lpn;
+  }
+}
+
+TEST_F(FtlFixture, ColdDataSurvivesGcOfHotBlocks) {
+  // Write cold data once.
+  for (std::uint64_t lpn = 0; lpn < 10; ++lpn) {
+    ASSERT_TRUE(ftl_.write(lpn, page_data(lpn),
+                           NandFlash::Blocking::kForeground).is_ok());
+  }
+  // Hammer one hot page to force GC cycles around the cold data.
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(ftl_.write(50, page_data(1000 + i),
+                           NandFlash::Blocking::kForeground).is_ok());
+  }
+  for (std::uint64_t lpn = 0; lpn < 10; ++lpn) {
+    ByteVec read(64);
+    ASSERT_TRUE(ftl_.read(lpn, read).is_ok());
+    EXPECT_TRUE(verify_pattern(read, lpn)) << "cold lpn " << lpn;
+  }
+}
+
+TEST_F(FtlFixture, WafStaysReasonableUnderUniformLoad) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ftl_.write(rng.next_below(ftl_.logical_pages()),
+                           page_data(i), NandFlash::Blocking::kForeground)
+                    .is_ok());
+  }
+  EXPECT_GE(ftl_.waf(), 1.0);
+  EXPECT_LT(ftl_.waf(), 6.0);  // sane for 25% OP under uniform traffic
+}
+
+TEST_F(FtlFixture, BadBlockIsRetiredAndWriteRetried) {
+  // Poison the first block every die would use, then write: the FTL must
+  // transparently retire it and succeed elsewhere.
+  nand_.mark_bad_block(0, 0);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(ftl_.write(std::uint64_t(i), page_data(i),
+                           NandFlash::Blocking::kForeground)
+                    .is_ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    ByteVec read(64);
+    ASSERT_TRUE(ftl_.read(std::uint64_t(i), read).is_ok());
+    EXPECT_TRUE(verify_pattern(read, std::uint64_t(i)));
+  }
+}
+
+TEST_F(FtlFixture, PreexistingBadBlocksExcludedAtInit) {
+  NandFlash nand(tiny_geometry(), fast_timing(), clock_);
+  nand.mark_bad_block(0, 0);
+  nand.mark_bad_block(1, 5);
+  Ftl ftl(nand, {.overprovision = 0.25, .gc_threshold_blocks = 2});
+  EXPECT_EQ(ftl.retired_blocks(), 2u);
+  EXPECT_EQ(ftl.free_blocks(0), 9u);
+  EXPECT_EQ(ftl.free_blocks(1), 9u);
+}
+
+TEST_F(FtlFixture, CapacityExhaustionReportsError) {
+  // Fill every logical page, then one more round of overwrites is fine,
+  // but exceeding physical capacity with valid data cannot happen (logical
+  // < physical); instead fill all logical pages and expect success.
+  for (std::uint64_t lpn = 0; lpn < ftl_.logical_pages(); ++lpn) {
+    ASSERT_TRUE(ftl_.write(lpn, page_data(lpn),
+                           NandFlash::Blocking::kForeground)
+                    .is_ok())
+        << "lpn " << lpn;
+  }
+  // Every page is still readable.
+  ByteVec read(64);
+  ASSERT_TRUE(ftl_.read(ftl_.logical_pages() - 1, read).is_ok());
+}
+
+TEST_F(FtlFixture, OversizedWriteRejected) {
+  ByteVec data(ftl_.page_size() + 1);
+  EXPECT_EQ(
+      ftl_.write(0, data, NandFlash::Blocking::kForeground).code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace bx::nand

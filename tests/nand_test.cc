@@ -1,0 +1,227 @@
+// NAND flash model: geometry arithmetic, program/read/erase semantics and
+// constraints, per-die timing overlap, bad-block injection.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "nand/nand_flash.h"
+
+namespace bx::nand {
+namespace {
+
+Geometry tiny_geometry() {
+  Geometry g;
+  g.channels = 2;
+  g.ways = 2;
+  g.blocks_per_die = 8;
+  g.pages_per_block = 16;
+  g.page_size = 4096;
+  return g;
+}
+
+NandTiming fast_timing() {
+  NandTiming t;
+  t.read_ns = 100;
+  t.program_ns = 500;
+  t.erase_ns = 2000;
+  t.channel_transfer_ns = 10;
+  return t;
+}
+
+class NandFixture : public ::testing::Test {
+ protected:
+  NandFixture() : nand_(tiny_geometry(), fast_timing(), clock_) {}
+
+  SimClock clock_;
+  NandFlash nand_;
+};
+
+TEST(GeometryTest, Arithmetic) {
+  const Geometry g = tiny_geometry();
+  EXPECT_EQ(g.dies(), 4u);
+  EXPECT_EQ(g.total_blocks(), 32u);
+  EXPECT_EQ(g.total_pages(), 512u);
+  EXPECT_EQ(g.capacity_bytes(), 512u * 4096u);
+}
+
+TEST(GeometryTest, PageAddressFlattenRoundTrip) {
+  const Geometry g = tiny_geometry();
+  for (std::uint32_t die = 0; die < g.dies(); ++die) {
+    for (std::uint32_t block : {0u, 3u, 7u}) {
+      for (std::uint32_t page : {0u, 5u, 15u}) {
+        const PageAddress addr{die, block, page};
+        const PageAddress back =
+            PageAddress::unflatten(g, addr.flatten(g));
+        EXPECT_EQ(back.die, die);
+        EXPECT_EQ(back.block, block);
+        EXPECT_EQ(back.page, page);
+      }
+    }
+  }
+}
+
+TEST(GeometryTest, FlattenIsDense) {
+  const Geometry g = tiny_geometry();
+  std::vector<bool> seen(g.total_pages(), false);
+  for (std::uint32_t die = 0; die < g.dies(); ++die) {
+    for (std::uint32_t block = 0; block < g.blocks_per_die; ++block) {
+      for (std::uint32_t page = 0; page < g.pages_per_block; ++page) {
+        const std::uint64_t flat = PageAddress{die, block, page}.flatten(g);
+        ASSERT_LT(flat, seen.size());
+        EXPECT_FALSE(seen[flat]);
+        seen[flat] = true;
+      }
+    }
+  }
+}
+
+TEST_F(NandFixture, ProgramReadRoundTrip) {
+  ByteVec data(4096);
+  fill_pattern(data, 1);
+  ASSERT_TRUE(nand_.program({0, 0, 0}, data,
+                            NandFlash::Blocking::kForeground).is_ok());
+  ByteVec read(4096);
+  ASSERT_TRUE(nand_.read({0, 0, 0}, read,
+                         NandFlash::Blocking::kForeground).is_ok());
+  EXPECT_EQ(read, data);
+}
+
+TEST_F(NandFixture, ShortProgramPadsWithOnes) {
+  ByteVec data(100, 0x11);
+  ASSERT_TRUE(nand_.program({0, 0, 0}, data,
+                            NandFlash::Blocking::kForeground).is_ok());
+  ByteVec read(4096);
+  ASSERT_TRUE(nand_.read({0, 0, 0}, read,
+                         NandFlash::Blocking::kForeground).is_ok());
+  EXPECT_EQ(read[99], 0x11);
+  EXPECT_EQ(read[100], 0xff);  // erased state
+}
+
+TEST_F(NandFixture, SequentialProgramConstraint) {
+  ByteVec data(64);
+  // Page 1 before page 0: forbidden.
+  EXPECT_EQ(nand_.program({0, 0, 1}, data, NandFlash::Blocking::kForeground)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(nand_.program({0, 0, 0}, data,
+                            NandFlash::Blocking::kForeground).is_ok());
+  // Reprogramming page 0 without erase: forbidden.
+  EXPECT_EQ(nand_.program({0, 0, 0}, data, NandFlash::Blocking::kForeground)
+                .code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(nand_.program({0, 0, 1}, data,
+                            NandFlash::Blocking::kForeground).is_ok());
+}
+
+TEST_F(NandFixture, EraseResetsBlock) {
+  ByteVec data(64);
+  ASSERT_TRUE(nand_.program({1, 2, 0}, data,
+                            NandFlash::Blocking::kForeground).is_ok());
+  EXPECT_TRUE(nand_.is_programmed({1, 2, 0}));
+  ASSERT_TRUE(
+      nand_.erase_block(1, 2, NandFlash::Blocking::kForeground).is_ok());
+  EXPECT_FALSE(nand_.is_programmed({1, 2, 0}));
+  EXPECT_EQ(nand_.erase_count(1, 2), 1u);
+  // Programming restarts from page 0.
+  EXPECT_TRUE(nand_.program({1, 2, 0}, data,
+                            NandFlash::Blocking::kForeground).is_ok());
+}
+
+TEST_F(NandFixture, ReadingErasedPageFails) {
+  ByteVec read(64);
+  EXPECT_EQ(
+      nand_.read({0, 0, 0}, read, NandFlash::Blocking::kForeground).code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(NandFixture, OutOfGeometryRejected) {
+  ByteVec data(64);
+  EXPECT_EQ(nand_.program({4, 0, 0}, data, NandFlash::Blocking::kForeground)
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(nand_.erase_block(0, 8, NandFlash::Blocking::kForeground).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(NandFixture, OversizedProgramRejected) {
+  ByteVec data(4097);
+  EXPECT_EQ(nand_.program({0, 0, 0}, data, NandFlash::Blocking::kForeground)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(NandFixture, ForegroundOpAdvancesClock) {
+  ByteVec data(64);
+  const Nanoseconds before = clock_.now();
+  ASSERT_TRUE(nand_.program({0, 0, 0}, data,
+                            NandFlash::Blocking::kForeground).is_ok());
+  EXPECT_EQ(clock_.now() - before, 510u);  // program 500 + transfer 10
+}
+
+TEST_F(NandFixture, BackgroundOpDoesNotStallClock) {
+  ByteVec data(64);
+  const Nanoseconds before = clock_.now();
+  ASSERT_TRUE(nand_.program({0, 0, 0}, data,
+                            NandFlash::Blocking::kBackground).is_ok());
+  EXPECT_EQ(clock_.now(), before);
+  EXPECT_EQ(nand_.busiest_die_free_at(), before + 510);
+  nand_.drain();
+  EXPECT_EQ(clock_.now(), before + 510);
+}
+
+TEST_F(NandFixture, DifferentDiesOverlapSameDieSerializes) {
+  ByteVec data(64);
+  // Two background programs on different dies end at the same time.
+  ASSERT_TRUE(nand_.program({0, 0, 0}, data,
+                            NandFlash::Blocking::kBackground).is_ok());
+  ASSERT_TRUE(nand_.program({1, 0, 0}, data,
+                            NandFlash::Blocking::kBackground).is_ok());
+  EXPECT_EQ(nand_.busiest_die_free_at(), 510u);
+  // Two on the same die serialize.
+  ASSERT_TRUE(nand_.program({2, 0, 0}, data,
+                            NandFlash::Blocking::kBackground).is_ok());
+  ASSERT_TRUE(nand_.program({2, 0, 1}, data,
+                            NandFlash::Blocking::kBackground).is_ok());
+  EXPECT_EQ(nand_.busiest_die_free_at(), 1020u);
+}
+
+TEST_F(NandFixture, ForegroundWaitsForBusyDie) {
+  ByteVec data(64);
+  ASSERT_TRUE(nand_.program({0, 0, 0}, data,
+                            NandFlash::Blocking::kBackground).is_ok());
+  // A foreground read on the same die starts after the program finishes.
+  ByteVec out(64);
+  ASSERT_TRUE(
+      nand_.read({0, 0, 0}, out, NandFlash::Blocking::kForeground).is_ok());
+  EXPECT_EQ(clock_.now(), 510u + 110u);
+}
+
+TEST_F(NandFixture, BadBlockFailsProgramAndErase) {
+  nand_.mark_bad_block(0, 3);
+  EXPECT_TRUE(nand_.is_bad_block(0, 3));
+  ByteVec data(64);
+  EXPECT_EQ(nand_.program({0, 3, 0}, data, NandFlash::Blocking::kForeground)
+                .code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(nand_.erase_block(0, 3, NandFlash::Blocking::kForeground).code(),
+            StatusCode::kDataLoss);
+  // Healthy blocks unaffected.
+  EXPECT_TRUE(nand_.program({0, 4, 0}, data,
+                            NandFlash::Blocking::kForeground).is_ok());
+}
+
+TEST_F(NandFixture, StatisticsAccumulate) {
+  ByteVec data(64);
+  ByteVec out(64);
+  ASSERT_TRUE(nand_.program({0, 0, 0}, data,
+                            NandFlash::Blocking::kForeground).is_ok());
+  ASSERT_TRUE(nand_.read({0, 0, 0}, out,
+                         NandFlash::Blocking::kForeground).is_ok());
+  ASSERT_TRUE(
+      nand_.erase_block(0, 0, NandFlash::Blocking::kForeground).is_ok());
+  EXPECT_EQ(nand_.programs(), 1u);
+  EXPECT_EQ(nand_.reads(), 1u);
+  EXPECT_EQ(nand_.erases(), 1u);
+}
+
+}  // namespace
+}  // namespace bx::nand

@@ -1,0 +1,259 @@
+// §3.3.2 ordering invariants, tested rather than assumed:
+//  (1) host side: concurrent submitters into one SQ never interleave a
+//      command with another command's chunks (the SQ lock guarantees
+//      contiguity),
+//  (2) device side: queue-local fetching never consumes another queue's
+//      entries mid-transaction, and every payload arrives byte-exact even
+//      when many threads hammer many queues,
+//  (3) the OOO extension delivers byte-exact payloads when chunks are
+//      striped across queues and arrive interleaved.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/testbed.h"
+#include "nvme/inline_wire.h"
+#include "test_util.h"
+
+namespace bx {
+namespace {
+
+using core::Testbed;
+using driver::IoRequest;
+using driver::TransferMethod;
+using nvme::IoOpcode;
+
+// Scripted executor-independent check: submit from many threads, then
+// inspect the raw SQ ring: each ByteExpress command must be immediately
+// followed by exactly its chunks.
+TEST(HostOrderingTest, ConcurrentInlineSubmissionsStayContiguous) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5;
+  // Deep queue so nothing wraps while the device is idle (we never pump).
+  auto config = test::small_testbed_config(1, 1024);
+  Testbed testbed(config);
+
+  // Pre-generate payloads: thread t, op i -> seed t*1000+i, size varies.
+  std::vector<std::vector<ByteVec>> payloads(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ByteVec payload(64 + 64 * ((t + i) % 4));  // 1..4 chunks
+      fill_pattern(payload, std::uint64_t(t) * 1000 + i);
+      payloads[t].push_back(std::move(payload));
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        IoRequest request;
+        request.opcode = IoOpcode::kVendorRawWrite;
+        request.method = TransferMethod::kByteExpress;
+        request.write_data = payloads[t][i];
+        auto handle = testbed.driver().submit(request, 1);
+        ASSERT_TRUE(handle.is_ok());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Walk the raw ring: entry 0.. tail. Classify each slot.
+  nvme::SqRing& sq = testbed.driver().sq_for_test(1);
+  const std::uint32_t tail = sq.tail();
+  std::uint32_t index = 0;
+  int commands_seen = 0;
+  while (index < tail) {
+    nvme::SubmissionQueueEntry sqe;
+    ByteVec raw(nvme::kSqeSize);
+    testbed.memory().read(sq.slot_addr(index), raw);
+    std::memcpy(&sqe, raw.data(), sizeof(sqe));
+    ASSERT_EQ(sqe.io_opcode(), IoOpcode::kVendorRawWrite)
+        << "slot " << index << " should start a command";
+    const std::uint32_t inline_len = sqe.inline_length();
+    ASSERT_GT(inline_len, 0u);
+    const std::uint32_t chunks =
+        nvme::inline_chunk::raw_chunks_for(inline_len);
+    ASSERT_LE(index + 1 + chunks, tail) << "chunks truncated";
+
+    // The chunks directly after the command must reassemble to one of the
+    // pre-generated payloads, matching this command's length.
+    ByteVec assembled(inline_len);
+    std::size_t offset = 0;
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      ByteVec slot(nvme::kSqeSize);
+      testbed.memory().read(sq.slot_addr(index + 1 + c), slot);
+      const std::size_t take =
+          std::min<std::size_t>(64, inline_len - offset);
+      std::memcpy(assembled.data() + offset, slot.data(), take);
+      offset += take;
+    }
+    bool matched = false;
+    for (int t = 0; t < kThreads && !matched; ++t) {
+      for (int i = 0; i < kPerThread && !matched; ++i) {
+        matched = payloads[t][i] == assembled;
+      }
+    }
+    EXPECT_TRUE(matched) << "slot " << index
+                         << ": chunks do not form any submitted payload — "
+                            "interleaving detected";
+    index += 1 + chunks;
+    ++commands_seen;
+  }
+  EXPECT_EQ(commands_seen, kThreads * kPerThread);
+}
+
+// End-to-end under concurrency: many threads, many queues, every payload
+// must land byte-exact in the device. (The device scratch only keeps the
+// last write, so use the KV store as the verification target instead.)
+TEST(DeviceOrderingTest, ConcurrentKvPutsOverInlinePathAllArriveIntact) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  Testbed testbed(test::small_testbed_config(/*io_queues=*/kThreads));
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = testbed.make_kv_client(TransferMethod::kByteExpress,
+                                           std::uint16_t(t + 1));
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::string key =
+            "t" + std::to_string(t) + "k" + std::to_string(i);
+        ByteVec value(1 + (std::uint64_t(t * kPerThread + i) * 37) % 500);
+        fill_pattern(value, std::uint64_t(t) << 32 | i);
+        if (!client.put(key, value).is_ok()) failed = true;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_FALSE(failed);
+
+  // Verify every value from a single thread afterwards.
+  auto client = testbed.make_kv_client(TransferMethod::kPrp);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const std::string key =
+          "t" + std::to_string(t) + "k" + std::to_string(i);
+      auto value = client.get(key);
+      ASSERT_TRUE(value.is_ok()) << key;
+      EXPECT_EQ(value->size(),
+                1 + (std::uint64_t(t * kPerThread + i) * 37) % 500)
+          << key;
+      EXPECT_TRUE(verify_pattern(*value, std::uint64_t(t) << 32 | i)) << key;
+    }
+  }
+}
+
+// Mixed methods on one queue: BandSlim fragment streams and ByteExpress
+// inline transactions interleave at command granularity without corrupting
+// each other.
+TEST(DeviceOrderingTest, MixedMethodsInterleaveSafely) {
+  Testbed testbed(test::small_testbed_config(/*io_queues=*/2));
+  std::atomic<bool> failed{false};
+  std::thread bx([&] {
+    auto client = testbed.make_kv_client(TransferMethod::kByteExpress, 1);
+    for (int i = 0; i < 40; ++i) {
+      ByteVec value(100 + i);
+      fill_pattern(value, 7000 + i);
+      if (!client.put("bx" + std::to_string(i), value).is_ok()) failed = true;
+    }
+  });
+  std::thread bs([&] {
+    auto client = testbed.make_kv_client(TransferMethod::kBandSlim, 2);
+    for (int i = 0; i < 40; ++i) {
+      ByteVec value(100 + i);
+      fill_pattern(value, 8000 + i);
+      if (!client.put("bs" + std::to_string(i), value).is_ok()) failed = true;
+    }
+  });
+  bx.join();
+  bs.join();
+  ASSERT_FALSE(failed);
+
+  auto client = testbed.make_kv_client(TransferMethod::kPrp);
+  for (int i = 0; i < 40; ++i) {
+    auto bx_value = client.get("bx" + std::to_string(i));
+    ASSERT_TRUE(bx_value.is_ok()) << i;
+    EXPECT_TRUE(verify_pattern(*bx_value, 7000 + std::uint64_t(i)));
+    auto bs_value = client.get("bs" + std::to_string(i));
+    ASSERT_TRUE(bs_value.is_ok()) << i;
+    EXPECT_TRUE(verify_pattern(*bs_value, 8000 + std::uint64_t(i)));
+  }
+}
+
+// The queue-local guarantee itself: while a ByteExpress transaction is
+// being fetched from queue 1, entries submitted to queue 2 are untouched
+// until the transaction completes. We verify via fetch counters: the
+// controller processes the inline command and its chunks as ONE poll step.
+TEST(DeviceOrderingTest, QueueLocalFetchIsAtomicPerTransaction) {
+  Testbed testbed(test::small_testbed_config(/*io_queues=*/2));
+  ByteVec big(4096);
+  fill_pattern(big, 1);
+  ByteVec small(64);
+  fill_pattern(small, 2);
+
+  IoRequest big_request;
+  big_request.opcode = IoOpcode::kVendorRawWrite;
+  big_request.method = TransferMethod::kByteExpress;
+  big_request.write_data = big;
+  auto h1 = testbed.driver().submit(big_request, 1);
+  ASSERT_TRUE(h1.is_ok());
+
+  IoRequest small_request;
+  small_request.opcode = IoOpcode::kVendorRawWrite;
+  small_request.method = TransferMethod::kByteExpress;
+  small_request.write_data = small;
+  auto h2 = testbed.driver().submit(small_request, 2);
+  ASSERT_TRUE(h2.is_ok());
+
+  // One poll step must consume the whole queue-1 transaction (command + 64
+  // chunks); the second command is untouched until the next step.
+  const std::uint64_t commands_before =
+      testbed.controller().commands_processed();
+  ASSERT_TRUE(testbed.controller().poll_once());
+  EXPECT_EQ(testbed.controller().commands_processed(), commands_before + 1);
+  EXPECT_EQ(testbed.controller().chunks_fetched(), 64u);
+  ASSERT_TRUE(testbed.controller().poll_once());
+  EXPECT_EQ(testbed.controller().commands_processed(), commands_before + 2);
+
+  ASSERT_TRUE(testbed.driver().wait(*h1)->ok());
+  ASSERT_TRUE(testbed.driver().wait(*h2)->ok());
+}
+
+// OOO extension: interleaved arrival across queues reassembles correctly
+// (chunk order deliberately scrambled across queues by striping).
+TEST(OooOrderingTest, StripedChunksWithConcurrentTrafficReassemble) {
+  Testbed testbed(test::small_testbed_config(/*io_queues=*/3));
+  for (int round = 0; round < 20; ++round) {
+    ByteVec payload(200 + round * 97);
+    fill_pattern(payload, 5000 + round);
+    IoRequest request;
+    request.opcode = IoOpcode::kVendorKvStore;
+    request.write_data = payload;
+    const std::string key = "ooo" + std::to_string(round);
+    request.key.key_len = static_cast<std::uint8_t>(key.size());
+    std::memcpy(request.key.key, key.data(), key.size());
+    // Rotate the home queue: only the home queue receives CQEs (and thus
+    // SQ-head updates), so a fixed home would starve the chunk-only rings.
+    const auto base = static_cast<std::uint16_t>(round % 3);
+    const std::vector<std::uint16_t> stripe = {
+        static_cast<std::uint16_t>(1 + base),
+        static_cast<std::uint16_t>(1 + (base + 1) % 3),
+        static_cast<std::uint16_t>(1 + (base + 2) % 3)};
+    auto completion = testbed.driver().execute_ooo_striped(request, stripe);
+    ASSERT_TRUE(completion.is_ok()) << round;
+    ASSERT_TRUE(completion->ok()) << round;
+  }
+  auto client = testbed.make_kv_client(TransferMethod::kPrp);
+  for (int round = 0; round < 20; ++round) {
+    auto value = client.get("ooo" + std::to_string(round));
+    ASSERT_TRUE(value.is_ok()) << round;
+    EXPECT_EQ(value->size(), 200u + std::uint64_t(round) * 97);
+    EXPECT_TRUE(verify_pattern(*value, 5000 + std::uint64_t(round)));
+  }
+}
+
+}  // namespace
+}  // namespace bx

@@ -1,0 +1,192 @@
+// Sub-block partial writes (§3.3.1's "NAND page buffer entry of normal
+// block SSDs"): the host ships only the changed bytes; the device does the
+// read-modify-write. This is the block-SSD scenario where ByteExpress's
+// inline transfer pays off most directly.
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "test_util.h"
+
+namespace bx {
+namespace {
+
+using core::Testbed;
+using driver::IoRequest;
+using driver::TransferMethod;
+using nvme::IoOpcode;
+
+ByteVec read_block(Testbed& testbed, std::uint64_t lba) {
+  ByteVec out(4096);
+  IoRequest read;
+  read.opcode = IoOpcode::kRead;
+  read.slba = lba;
+  read.block_count = 1;
+  read.read_buffer = out;
+  auto completion = testbed.driver().execute(read, 1);
+  EXPECT_TRUE(completion.is_ok() && completion->ok());
+  return out;
+}
+
+void write_block(Testbed& testbed, std::uint64_t lba, ConstByteSpan data) {
+  IoRequest write;
+  write.opcode = IoOpcode::kWrite;
+  write.slba = lba;
+  write.block_count = 1;
+  write.write_data = data;
+  auto completion = testbed.driver().execute(write, 1);
+  ASSERT_TRUE(completion.is_ok() && completion->ok());
+}
+
+driver::Completion partial_write(Testbed& testbed, std::uint64_t lba,
+                                 std::uint32_t offset, ConstByteSpan data,
+                                 TransferMethod method) {
+  IoRequest request;
+  request.opcode = IoOpcode::kVendorPartialWrite;
+  request.slba = lba;
+  request.aux = offset;
+  request.write_data = data;
+  request.method = method;
+  auto completion = testbed.driver().execute(request, 1);
+  EXPECT_TRUE(completion.is_ok());
+  return completion.is_ok() ? *completion : driver::Completion{};
+}
+
+class PartialWriteMethods
+    : public ::testing::TestWithParam<TransferMethod> {};
+
+TEST_P(PartialWriteMethods, PatchesRegionAndPreservesRest) {
+  Testbed testbed(test::small_testbed_config());
+  ByteVec original(4096);
+  fill_pattern(original, 1);
+  write_block(testbed, 7, original);
+
+  ByteVec patch(96);
+  fill_pattern(patch, 2);
+  const auto completion =
+      partial_write(testbed, 7, 1000, patch, GetParam());
+  ASSERT_TRUE(completion.ok());
+
+  ByteVec expected = original;
+  std::memcpy(expected.data() + 1000, patch.data(), patch.size());
+  EXPECT_EQ(read_block(testbed, 7), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, PartialWriteMethods,
+    ::testing::Values(TransferMethod::kPrp, TransferMethod::kSgl,
+                      TransferMethod::kByteExpress,
+                      TransferMethod::kBandSlim),
+    [](const ::testing::TestParamInfo<TransferMethod>& info) {
+      return std::string(driver::transfer_method_name(info.param));
+    });
+
+TEST(PartialWriteTest, PatchingUnwrittenBlockZeroFills) {
+  Testbed testbed(test::small_testbed_config());
+  ByteVec patch(64);
+  fill_pattern(patch, 3);
+  ASSERT_TRUE(partial_write(testbed, 9, 500, patch,
+                            TransferMethod::kByteExpress)
+                  .ok());
+  const ByteVec block = read_block(testbed, 9);
+  for (std::size_t i = 0; i < 500; ++i) ASSERT_EQ(block[i], 0);
+  EXPECT_TRUE(verify_pattern(
+      ConstByteSpan(block).subspan(500, patch.size()), 3));
+  for (std::size_t i = 500 + patch.size(); i < 4096; ++i) {
+    ASSERT_EQ(block[i], 0);
+  }
+}
+
+TEST(PartialWriteTest, ValidationErrors) {
+  Testbed testbed(test::small_testbed_config());
+  ByteVec patch(64);
+  // Offset + length beyond the block.
+  EXPECT_FALSE(partial_write(testbed, 0, 4090, patch,
+                             TransferMethod::kByteExpress)
+                   .ok());
+  // LBA out of range.
+  EXPECT_FALSE(partial_write(testbed, 1ull << 40, 0, patch,
+                             TransferMethod::kByteExpress)
+                   .ok());
+}
+
+TEST(PartialWriteTest, InlinePatchMovesOnlyChangedBytes) {
+  Testbed testbed(test::small_testbed_config());
+  ByteVec original(4096);
+  fill_pattern(original, 1);
+  write_block(testbed, 3, original);
+
+  ByteVec patch(64);
+  fill_pattern(patch, 2);
+
+  // PRP partial write: the 64 B patch still costs a full page of DMA.
+  testbed.reset_counters();
+  ASSERT_TRUE(partial_write(testbed, 3, 0, patch, TransferMethod::kPrp).ok());
+  const std::uint64_t prp_down =
+      testbed.traffic()
+          .cell(pcie::Direction::kDownstream, pcie::TrafficClass::kDataPrp)
+          .data_bytes;
+  EXPECT_EQ(prp_down, 4096u);
+
+  // ByteExpress partial write: only the patch rides the SQ.
+  testbed.reset_counters();
+  ASSERT_TRUE(
+      partial_write(testbed, 3, 0, patch, TransferMethod::kByteExpress)
+          .ok());
+  EXPECT_EQ(testbed.traffic()
+                .cell(pcie::Direction::kDownstream,
+                      pcie::TrafficClass::kDataPrp)
+                .data_bytes,
+            0u);
+  EXPECT_LT(testbed.traffic().total_wire_bytes(), 600u);
+}
+
+TEST(PartialWriteTest, WorksThroughWriteCache) {
+  auto config = test::small_testbed_config();
+  config.ssd.enable_write_cache = true;
+  Testbed testbed(config);
+  ByteVec original(4096);
+  fill_pattern(original, 5);
+  write_block(testbed, 2, original);
+
+  ByteVec patch(32);
+  fill_pattern(patch, 6);
+  ASSERT_TRUE(partial_write(testbed, 2, 100, patch,
+                            TransferMethod::kByteExpress)
+                  .ok());
+  EXPECT_EQ(testbed.device().nand().programs(), 0u);  // all in DRAM
+
+  ByteVec expected = original;
+  std::memcpy(expected.data() + 100, patch.data(), patch.size());
+  EXPECT_EQ(read_block(testbed, 2), expected);
+}
+
+TEST(PartialWriteTest, InlinePatchFasterThanFullRewriteOnCachedBlock) {
+  // With the block resident in the device write cache (hot data), the
+  // read-modify-write is pure DRAM, so the inline patch's saved page
+  // transfer shows up directly in latency.
+  auto config = test::small_testbed_config();
+  config.ssd.enable_write_cache = true;
+  Testbed testbed(config);
+  ByteVec block(4096);
+  fill_pattern(block, 1);
+  write_block(testbed, 0, block);  // now cached in device DRAM
+
+  IoRequest full;
+  full.opcode = IoOpcode::kWrite;
+  full.slba = 0;
+  full.block_count = 1;
+  full.write_data = block;
+  auto full_done = testbed.driver().execute(full, 1);
+  ASSERT_TRUE(full_done.is_ok() && full_done->ok());
+
+  ByteVec patch(64);
+  fill_pattern(patch, 2);
+  const auto inline_done =
+      partial_write(testbed, 0, 0, patch, TransferMethod::kByteExpress);
+  ASSERT_TRUE(inline_done.ok());
+
+  EXPECT_LT(inline_done.latency_ns + 1000, full_done->latency_ns);
+}
+
+}  // namespace
+}  // namespace bx

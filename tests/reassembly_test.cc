@@ -1,0 +1,221 @@
+// Out-of-order reassembly engine (§3.3.2 future work, implemented):
+// arbitrary arrival orders, duplicates, CRC failures, slot exhaustion, and
+// the bounded-SRAM tracking property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "controller/reassembly.h"
+
+namespace bx::controller {
+namespace {
+
+namespace inw = nvme::inline_chunk;
+
+/// Splits `payload` into OOO chunk slots.
+std::vector<nvme::SqSlot> chunk_up(std::uint32_t payload_id,
+                                   ConstByteSpan payload) {
+  const std::uint32_t total = inw::ooo_chunks_for(payload.size());
+  std::vector<nvme::SqSlot> slots;
+  std::size_t offset = 0;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::size_t take = std::min<std::size_t>(
+        inw::kOooChunkCapacity, payload.size() - offset);
+    slots.push_back(inw::encode_ooo_chunk(payload_id,
+                                          static_cast<std::uint16_t>(i),
+                                          static_cast<std::uint16_t>(total),
+                                          payload.subspan(offset, take)));
+    offset += take;
+  }
+  return slots;
+}
+
+Status accept_slot(ReassemblyEngine& engine, const nvme::SqSlot& slot) {
+  const auto header = inw::decode_ooo_header(slot);
+  return engine.accept(header, inw::ooo_chunk_data(slot, header));
+}
+
+TEST(ReassemblyTest, InOrderReassembly) {
+  ReassemblyEngine engine({.slots = 4, .max_chunks = 64});
+  ByteVec payload(200);
+  fill_pattern(payload, 1);
+  for (const auto& slot : chunk_up(7, payload)) {
+    ASSERT_TRUE(accept_slot(engine, slot).is_ok());
+  }
+  ASSERT_TRUE(engine.complete(7));
+  auto taken = engine.take(7, payload.size());
+  ASSERT_TRUE(taken.is_ok());
+  EXPECT_EQ(*taken, payload);
+  EXPECT_EQ(engine.in_flight(), 0u);  // slot released
+}
+
+TEST(ReassemblyTest, ReverseAndShuffledOrders) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    ReassemblyEngine engine({.slots = 4, .max_chunks = 64});
+    ByteVec payload(1 + rng.next_below(2000));
+    fill_pattern(payload, trial);
+    auto slots = chunk_up(std::uint32_t(trial + 1), payload);
+    // Shuffle arrival order.
+    for (std::size_t i = slots.size(); i > 1; --i) {
+      std::swap(slots[i - 1], slots[rng.next_below(i)]);
+    }
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      ASSERT_TRUE(accept_slot(engine, slots[i]).is_ok());
+      const bool expect_complete = i + 1 == slots.size();
+      EXPECT_EQ(engine.complete(std::uint32_t(trial + 1)), expect_complete);
+    }
+    auto taken = engine.take(std::uint32_t(trial + 1), payload.size());
+    ASSERT_TRUE(taken.is_ok());
+    EXPECT_EQ(*taken, payload) << "trial " << trial;
+  }
+}
+
+TEST(ReassemblyTest, InterleavedPayloads) {
+  ReassemblyEngine engine({.slots = 8, .max_chunks = 64});
+  ByteVec a(500);
+  ByteVec b(700);
+  fill_pattern(a, 1);
+  fill_pattern(b, 2);
+  const auto slots_a = chunk_up(1, a);
+  const auto slots_b = chunk_up(2, b);
+  // Interleave A and B chunk streams.
+  const std::size_t rounds = std::max(slots_a.size(), slots_b.size());
+  for (std::size_t i = 0; i < rounds; ++i) {
+    if (i < slots_a.size()) {
+      ASSERT_TRUE(accept_slot(engine, slots_a[i]).is_ok());
+    }
+    if (i < slots_b.size()) {
+      ASSERT_TRUE(accept_slot(engine, slots_b[i]).is_ok());
+    }
+  }
+  EXPECT_TRUE(engine.complete(1));
+  EXPECT_TRUE(engine.complete(2));
+  EXPECT_EQ(*engine.take(1, a.size()), a);
+  EXPECT_EQ(*engine.take(2, b.size()), b);
+}
+
+TEST(ReassemblyTest, DuplicateChunksAreIdempotent) {
+  ReassemblyEngine engine({.slots = 2, .max_chunks = 16});
+  ByteVec payload(100);
+  fill_pattern(payload, 5);
+  const auto slots = chunk_up(9, payload);
+  ASSERT_TRUE(accept_slot(engine, slots[0]).is_ok());
+  EXPECT_EQ(accept_slot(engine, slots[0]).code(),
+            StatusCode::kAlreadyExists);
+  for (std::size_t i = 1; i < slots.size(); ++i) {
+    ASSERT_TRUE(accept_slot(engine, slots[i]).is_ok());
+  }
+  EXPECT_EQ(*engine.take(9, payload.size()), payload);
+}
+
+TEST(ReassemblyTest, CrcMismatchRejected) {
+  ReassemblyEngine engine({.slots = 2, .max_chunks = 16});
+  ByteVec payload(48);
+  fill_pattern(payload, 1);
+  nvme::SqSlot slot = chunk_up(3, payload)[0];
+  slot.raw[inw::kOooHeaderBytes + 5] ^= 0xFF;  // corrupt the data
+  EXPECT_EQ(accept_slot(engine, slot).code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(engine.complete(3));
+}
+
+TEST(ReassemblyTest, MalformedHeadersRejected) {
+  ReassemblyEngine engine({.slots = 2, .max_chunks = 16});
+  inw::OooChunkHeader header;
+  header.total_chunks = 0;  // invalid
+  EXPECT_EQ(engine.accept(header, {}).code(), StatusCode::kInvalidArgument);
+
+  header.total_chunks = 4;
+  header.chunk_no = 4;  // out of range
+  EXPECT_EQ(engine.accept(header, {}).code(), StatusCode::kInvalidArgument);
+
+  header.chunk_no = 0;
+  header.total_chunks = 100;  // above max_chunks=16
+  EXPECT_EQ(engine.accept(header, {}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReassemblyTest, InconsistentTotalRejected) {
+  ReassemblyEngine engine({.slots = 2, .max_chunks = 16});
+  ByteVec data(10);
+  const auto first = inw::encode_ooo_chunk(5, 0, 4, data);
+  ASSERT_TRUE(accept_slot(engine, first).is_ok());
+  const auto conflicting = inw::encode_ooo_chunk(5, 1, 8, data);
+  EXPECT_EQ(accept_slot(engine, conflicting).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ReassemblyTest, SlotExhaustionBackpressure) {
+  ReassemblyEngine engine({.slots = 2, .max_chunks = 16});
+  ByteVec data(10);
+  fill_pattern(data, 1);
+  // Two incomplete payloads occupy both slots.
+  ASSERT_TRUE(
+      accept_slot(engine, inw::encode_ooo_chunk(1, 0, 2, data)).is_ok());
+  ASSERT_TRUE(
+      accept_slot(engine, inw::encode_ooo_chunk(2, 0, 2, data)).is_ok());
+  EXPECT_EQ(engine.in_flight(), 2u);
+  // A third payload is rejected with a retryable error.
+  EXPECT_EQ(
+      accept_slot(engine, inw::encode_ooo_chunk(3, 0, 2, data)).code(),
+      StatusCode::kResourceExhausted);
+  // Completing payload 1 frees a slot.
+  ASSERT_TRUE(
+      accept_slot(engine, inw::encode_ooo_chunk(1, 1, 2, data)).is_ok());
+  ASSERT_TRUE(engine.take(1, 20).is_ok());
+  EXPECT_TRUE(
+      accept_slot(engine, inw::encode_ooo_chunk(3, 0, 2, data)).is_ok());
+}
+
+TEST(ReassemblyTest, TakeValidation) {
+  ReassemblyEngine engine({.slots = 2, .max_chunks = 16});
+  EXPECT_EQ(engine.take(99, 10).status().code(), StatusCode::kNotFound);
+  ByteVec data(10);
+  ASSERT_TRUE(
+      accept_slot(engine, inw::encode_ooo_chunk(1, 0, 2, data)).is_ok());
+  EXPECT_EQ(engine.take(1, 10).status().code(),
+            StatusCode::kFailedPrecondition);  // incomplete
+}
+
+TEST(ReassemblyTest, TakeRejectsOverlongLength) {
+  ReassemblyEngine engine({.slots = 2, .max_chunks = 16});
+  ByteVec payload(48);
+  for (const auto& slot : chunk_up(1, payload)) {
+    ASSERT_TRUE(accept_slot(engine, slot).is_ok());
+  }
+  EXPECT_EQ(engine.take(1, 1000).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ReassemblyTest, DropReleasesSlot) {
+  ReassemblyEngine engine({.slots = 1, .max_chunks = 16});
+  ByteVec data(10);
+  ASSERT_TRUE(
+      accept_slot(engine, inw::encode_ooo_chunk(1, 0, 2, data)).is_ok());
+  engine.drop(1);
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_TRUE(
+      accept_slot(engine, inw::encode_ooo_chunk(2, 0, 2, data)).is_ok());
+}
+
+TEST(ReassemblyTest, TrackingSramStaysBounded) {
+  // §3.3.2: only ID + bitmap per in-flight payload. With 64 slots and 1024
+  // max chunks, tracking must stay in the low kilobytes even while staging
+  // megabytes of payload data in DRAM.
+  ReassemblyEngine engine({.slots = 64, .max_chunks = 1024});
+  ByteVec payload(40'000);
+  fill_pattern(payload, 1);
+  for (std::uint32_t p = 1; p <= 32; ++p) {
+    const auto slots = chunk_up(p, payload);
+    // Leave each payload one chunk short so the state stays live.
+    for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+      ASSERT_TRUE(accept_slot(engine, slots[i]).is_ok());
+    }
+  }
+  EXPECT_EQ(engine.in_flight(), 32u);
+  EXPECT_LT(engine.tracking_sram_bytes(), 16u * 1024u);
+}
+
+}  // namespace
+}  // namespace bx::controller

@@ -1,0 +1,144 @@
+// Table schema and row codec: serialization round trips, offsets/widths,
+// builder/view symmetry.
+#include <gtest/gtest.h>
+
+#include "csd/row.h"
+#include "csd/schema.h"
+
+namespace bx::csd {
+namespace {
+
+TableSchema demo_schema() {
+  return TableSchema("particles", {Column{"energy", ColumnType::kFloat64, 8},
+                                   Column{"id", ColumnType::kInt64, 8},
+                                   Column{"tag", ColumnType::kString, 12}});
+}
+
+TEST(SchemaTest, RowSizeAndOffsets) {
+  const TableSchema schema = demo_schema();
+  EXPECT_EQ(schema.row_size(), 28u);
+  EXPECT_EQ(schema.column_offset(0), 0u);
+  EXPECT_EQ(schema.column_offset(1), 8u);
+  EXPECT_EQ(schema.column_offset(2), 16u);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  const TableSchema schema = demo_schema();
+  EXPECT_EQ(schema.column_index("energy"), 0);
+  EXPECT_EQ(schema.column_index("tag"), 2);
+  EXPECT_EQ(schema.column_index("missing"), -1);
+}
+
+TEST(SchemaTest, NumericWidthIsForcedToEight) {
+  const TableSchema schema("t", {Column{"a", ColumnType::kInt64, 3}});
+  EXPECT_EQ(schema.row_size(), 8u);
+}
+
+TEST(SchemaTest, SerializeParseRoundTrip) {
+  const TableSchema schema = demo_schema();
+  const std::string text = schema.serialize();
+  EXPECT_EQ(text, "particles energy:f64 id:i64 tag:str12");
+  auto parsed = TableSchema::parse(text);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->name(), "particles");
+  ASSERT_EQ(parsed->columns().size(), 3u);
+  EXPECT_EQ(parsed->columns()[0], schema.columns()[0]);
+  EXPECT_EQ(parsed->columns()[2].width, 12u);
+  EXPECT_EQ(parsed->row_size(), schema.row_size());
+}
+
+TEST(SchemaTest, ParseRejectsMalformedInputs) {
+  EXPECT_FALSE(TableSchema::parse("").is_ok());
+  EXPECT_FALSE(TableSchema::parse("only_name").is_ok());
+  EXPECT_FALSE(TableSchema::parse("t col_without_type").is_ok());
+  EXPECT_FALSE(TableSchema::parse("t col:bogus").is_ok());
+  EXPECT_FALSE(TableSchema::parse("t col:str").is_ok());
+  EXPECT_FALSE(TableSchema::parse("t col:str0").is_ok());
+  EXPECT_FALSE(TableSchema::parse("t col:str99999").is_ok());
+  EXPECT_FALSE(TableSchema::parse("t :i64").is_ok());
+}
+
+TEST(SchemaTest, ParseToleratesExtraSpaces) {
+  auto parsed = TableSchema::parse("  t   a:i64    b:f64 ");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->columns().size(), 2u);
+}
+
+TEST(SchemaTest, ProjectSelectsAndReorders) {
+  const TableSchema schema = demo_schema();
+  auto projected = schema.project({"tag", "energy"});
+  ASSERT_TRUE(projected.is_ok());
+  ASSERT_EQ(projected->columns().size(), 2u);
+  EXPECT_EQ(projected->columns()[0].name, "tag");
+  EXPECT_EQ(projected->columns()[1].name, "energy");
+  EXPECT_EQ(projected->row_size(), 20u);  // str12 + f64
+  EXPECT_EQ(projected->name(), schema.name());
+}
+
+TEST(SchemaTest, ProjectEmptyListIsIdentity) {
+  const TableSchema schema = demo_schema();
+  auto projected = schema.project({});
+  ASSERT_TRUE(projected.is_ok());
+  EXPECT_EQ(projected->row_size(), schema.row_size());
+  EXPECT_EQ(projected->columns().size(), schema.columns().size());
+}
+
+TEST(SchemaTest, ProjectRejectsUnknownColumn) {
+  const TableSchema schema = demo_schema();
+  EXPECT_EQ(schema.project({"energy", "bogus"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RowTest, BuilderViewRoundTrip) {
+  const TableSchema schema = demo_schema();
+  RowBuilder builder(schema);
+  builder.set_double("energy", 3.25)
+      .set_int("id", -42)
+      .set_string("tag", "hello");
+  const ByteVec row = builder.take();
+  ASSERT_EQ(row.size(), schema.row_size());
+
+  RowView view(schema, row);
+  EXPECT_DOUBLE_EQ(view.get_double(0), 3.25);
+  EXPECT_EQ(view.get_int(1), -42);
+  EXPECT_EQ(view.get_string(2), "hello");
+}
+
+TEST(RowTest, UnsetColumnsAreZero) {
+  const TableSchema schema = demo_schema();
+  RowBuilder builder(schema);
+  const ByteVec row = builder.take();
+  RowView view(schema, row);
+  EXPECT_DOUBLE_EQ(view.get_double(0), 0.0);
+  EXPECT_EQ(view.get_int(1), 0);
+  EXPECT_EQ(view.get_string(2), "");
+}
+
+TEST(RowTest, TakeResetsBuilder) {
+  const TableSchema schema = demo_schema();
+  RowBuilder builder(schema);
+  builder.set_string("tag", "first");
+  const ByteVec first = builder.take();
+  const ByteVec second = builder.take();
+  EXPECT_EQ(RowView(schema, first).get_string(2), "first");
+  EXPECT_EQ(RowView(schema, second).get_string(2), "");
+}
+
+TEST(RowTest, StringPaddingStripped) {
+  const TableSchema schema = demo_schema();
+  RowBuilder builder(schema);
+  builder.set_string("tag", "ab");
+  const ByteVec row = builder.take();
+  EXPECT_EQ(RowView(schema, row).get_string(2).size(), 2u);
+}
+
+TEST(RowTest, FullWidthStringAllowed) {
+  const TableSchema schema = demo_schema();
+  RowBuilder builder(schema);
+  builder.set_string("tag", "exactly12byt");
+  const ByteVec row = builder.take();
+  EXPECT_EQ(RowView(schema, row).get_string(2), "exactly12byt");
+}
+
+}  // namespace
+}  // namespace bx::csd

@@ -1,0 +1,301 @@
+// SQL front end: lexing/parsing of the full SELECT form and the segment
+// form, operator coverage, precedence, binding, evaluation, and the Fig 4
+// query strings.
+#include <gtest/gtest.h>
+
+#include "csd/sql.h"
+#include "workload/query_set.h"
+
+namespace bx::csd {
+namespace {
+
+TableSchema demo_schema() {
+  return TableSchema("particles", {Column{"energy", ColumnType::kFloat64, 8},
+                                   Column{"id", ColumnType::kInt64, 8},
+                                   Column{"name", ColumnType::kString, 16}});
+}
+
+ByteVec make_row(const TableSchema& schema, double energy, std::int64_t id,
+                 std::string_view name) {
+  RowBuilder builder(schema);
+  builder.set_double("energy", energy).set_int("id", id).set_string("name",
+                                                                    name);
+  return builder.take();
+}
+
+bool eval(std::string_view predicate_query, double energy, std::int64_t id,
+          std::string_view name = "x") {
+  auto query = parse_task(predicate_query);
+  EXPECT_TRUE(query.is_ok()) << query.status().to_string() << " for "
+                             << predicate_query;
+  if (!query.is_ok()) return false;
+  const TableSchema schema = demo_schema();
+  EXPECT_NE(query->where, nullptr);
+  const Status bound = bind(*query->where, schema);
+  EXPECT_TRUE(bound.is_ok()) << bound.to_string();
+  const ByteVec row = make_row(schema, energy, id, name);
+  return evaluate(*query->where, schema, RowView(schema, row));
+}
+
+TEST(SqlParseTest, FullQueryShape) {
+  auto query =
+      parse_query("SELECT energy, id FROM particles WHERE energy > 1.5");
+  ASSERT_TRUE(query.is_ok());
+  EXPECT_EQ(query->table, "particles");
+  ASSERT_EQ(query->select_columns.size(), 2u);
+  EXPECT_EQ(query->select_columns[0], "energy");
+  EXPECT_NE(query->where, nullptr);
+}
+
+TEST(SqlParseTest, SelectStar) {
+  auto query = parse_query("SELECT * FROM t WHERE id = 1");
+  ASSERT_TRUE(query.is_ok());
+  EXPECT_TRUE(query->select_columns.empty());
+}
+
+TEST(SqlParseTest, NoWhereClause) {
+  auto query = parse_query("SELECT * FROM t");
+  ASSERT_TRUE(query.is_ok());
+  EXPECT_EQ(query->where, nullptr);
+}
+
+TEST(SqlParseTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(parse_query("select * from t where id = 1").is_ok());
+  EXPECT_TRUE(parse_query("SeLeCt * FrOm t WhErE id = 1").is_ok());
+}
+
+TEST(SqlParseTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(parse_query("SELECT * FROM t WHERE id = 1;").is_ok());
+}
+
+TEST(SqlParseTest, SegmentForm) {
+  auto query = parse_segment("particles energy > 1.5 AND id != 3");
+  ASSERT_TRUE(query.is_ok());
+  EXPECT_EQ(query->table, "particles");
+  ASSERT_NE(query->where, nullptr);
+  EXPECT_EQ(query->where->kind, Expr::Kind::kLogic);
+}
+
+TEST(SqlParseTest, SegmentWithTableOnly) {
+  auto query = parse_segment("particles");
+  ASSERT_TRUE(query.is_ok());
+  EXPECT_EQ(query->where, nullptr);
+}
+
+TEST(SqlParseTest, ParseTaskAutoDetects) {
+  EXPECT_TRUE(parse_task("SELECT * FROM t WHERE id = 1").is_ok());
+  auto segment = parse_task("t id = 1");
+  ASSERT_TRUE(segment.is_ok());
+  EXPECT_EQ(segment->table, "t");
+  auto padded = parse_task("   select * from t where id = 1");
+  ASSERT_TRUE(padded.is_ok());
+  EXPECT_EQ(padded->table, "t");
+}
+
+TEST(SqlParseTest, Errors) {
+  EXPECT_FALSE(parse_query("SELECT FROM t").is_ok());
+  EXPECT_FALSE(parse_query("SELECT * t").is_ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM").is_ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t WHERE").is_ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t WHERE id >").is_ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t WHERE id 5").is_ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t WHERE (id = 1").is_ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t WHERE id = 'unclosed").is_ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t WHERE id = 1 garbage").is_ok());
+  EXPECT_FALSE(parse_segment("").is_ok());
+}
+
+TEST(SqlEvalTest, AllComparisonOperators) {
+  EXPECT_TRUE(eval("particles id = 5", 0, 5));
+  EXPECT_FALSE(eval("particles id = 5", 0, 6));
+  EXPECT_TRUE(eval("particles id != 5", 0, 6));
+  EXPECT_TRUE(eval("particles id <> 5", 0, 6));
+  EXPECT_TRUE(eval("particles id < 5", 0, 4));
+  EXPECT_FALSE(eval("particles id < 5", 0, 5));
+  EXPECT_TRUE(eval("particles id <= 5", 0, 5));
+  EXPECT_TRUE(eval("particles id > 5", 0, 6));
+  EXPECT_FALSE(eval("particles id > 5", 0, 5));
+  EXPECT_TRUE(eval("particles id >= 5", 0, 5));
+}
+
+TEST(SqlEvalTest, FloatAndMixedComparisons) {
+  EXPECT_TRUE(eval("particles energy > 1.5", 1.6, 0));
+  EXPECT_FALSE(eval("particles energy > 1.5", 1.5, 0));
+  // Integer literal against float column and vice versa.
+  EXPECT_TRUE(eval("particles energy >= 2", 2.0, 0));
+  EXPECT_TRUE(eval("particles id < 5.5", 0, 5));
+}
+
+TEST(SqlEvalTest, NegativeNumbers) {
+  EXPECT_TRUE(eval("particles id > -10", 0, -5));
+  EXPECT_TRUE(eval("particles energy < -0.5", -0.6, 0));
+}
+
+TEST(SqlEvalTest, StringAndDateLiterals) {
+  EXPECT_TRUE(eval("particles name = 'abc'", 0, 0, "abc"));
+  EXPECT_FALSE(eval("particles name = 'abc'", 0, 0, "abd"));
+  // Dates compare lexicographically as ISO strings.
+  EXPECT_TRUE(eval("particles name <= date '1998-09-02'", 0, 0,
+                   "1998-08-15"));
+  EXPECT_FALSE(eval("particles name <= date '1998-09-02'", 0, 0,
+                    "1998-09-03"));
+}
+
+TEST(SqlEvalTest, LogicalOperatorsAndPrecedence) {
+  // AND binds tighter than OR: (id = 1) OR (id = 2 AND energy > 1).
+  const char* q = "particles id = 1 OR id = 2 AND energy > 1";
+  EXPECT_TRUE(eval(q, 0.0, 1));
+  EXPECT_TRUE(eval(q, 2.0, 2));
+  EXPECT_FALSE(eval(q, 0.5, 2));
+  EXPECT_FALSE(eval(q, 2.0, 3));
+}
+
+TEST(SqlEvalTest, ParenthesesOverridePrecedence) {
+  const char* q = "particles (id = 1 OR id = 2) AND energy > 1";
+  EXPECT_FALSE(eval(q, 0.5, 1));
+  EXPECT_TRUE(eval(q, 2.0, 1));
+  EXPECT_TRUE(eval(q, 2.0, 2));
+}
+
+TEST(SqlEvalTest, NotOperator) {
+  EXPECT_TRUE(eval("particles NOT id = 5", 0, 4));
+  EXPECT_FALSE(eval("particles NOT id = 5", 0, 5));
+  EXPECT_TRUE(eval("particles NOT (id = 5 OR id = 6)", 0, 7));
+}
+
+TEST(SqlEvalTest, BetweenDesugarsToRangeCheck) {
+  EXPECT_TRUE(eval("particles id BETWEEN 3 AND 7", 0, 3));
+  EXPECT_TRUE(eval("particles id BETWEEN 3 AND 7", 0, 5));
+  EXPECT_TRUE(eval("particles id BETWEEN 3 AND 7", 0, 7));
+  EXPECT_FALSE(eval("particles id BETWEEN 3 AND 7", 0, 2));
+  EXPECT_FALSE(eval("particles id BETWEEN 3 AND 7", 0, 8));
+  // Floats and composition with further conjuncts.
+  EXPECT_TRUE(
+      eval("particles energy BETWEEN 1.0 AND 2.0 AND id = 1", 1.5, 1));
+  EXPECT_FALSE(
+      eval("particles energy BETWEEN 1.0 AND 2.0 AND id = 1", 2.5, 1));
+}
+
+TEST(SqlEvalTest, InListDesugarsToEqualityChain) {
+  EXPECT_TRUE(eval("particles id IN (1, 3, 5)", 0, 3));
+  EXPECT_FALSE(eval("particles id IN (1, 3, 5)", 0, 4));
+  EXPECT_TRUE(eval("particles id IN (7)", 0, 7));
+  EXPECT_TRUE(eval("particles name IN ('aa', 'bb')", 0, 0, "bb"));
+  EXPECT_FALSE(eval("particles name IN ('aa', 'bb')", 0, 0, "cc"));
+}
+
+TEST(SqlEvalTest, LikePatterns) {
+  EXPECT_TRUE(eval("particles name LIKE 'foo%'", 0, 0, "foobar"));
+  EXPECT_FALSE(eval("particles name LIKE 'foo%'", 0, 0, "barfoo"));
+  EXPECT_TRUE(eval("particles name LIKE '%bar'", 0, 0, "foobar"));
+  EXPECT_FALSE(eval("particles name LIKE '%bar'", 0, 0, "barfoo"));
+  EXPECT_TRUE(eval("particles name LIKE '%oob%'", 0, 0, "foobar"));
+  EXPECT_FALSE(eval("particles name LIKE '%xyz%'", 0, 0, "foobar"));
+  EXPECT_TRUE(eval("particles name LIKE 'exact'", 0, 0, "exact"));
+  EXPECT_FALSE(eval("particles name LIKE 'exact'", 0, 0, "exact!"));
+  EXPECT_TRUE(eval("particles name LIKE '%'", 0, 0, "anything"));
+}
+
+TEST(SqlParseTest, AggregateSelectList) {
+  auto query = parse_query(
+      "SELECT COUNT(*), SUM(energy), MIN(id), MAX(id), AVG(energy) FROM "
+      "particles WHERE id > 0");
+  ASSERT_TRUE(query.is_ok()) << query.status().to_string();
+  EXPECT_TRUE(query->select_columns.empty());
+  ASSERT_EQ(query->aggregates.size(), 5u);
+  EXPECT_EQ(query->aggregates[0].fn, AggregateFn::kCount);
+  EXPECT_TRUE(query->aggregates[0].column.empty());
+  EXPECT_EQ(query->aggregates[1].fn, AggregateFn::kSum);
+  EXPECT_EQ(query->aggregates[1].column, "energy");
+  EXPECT_EQ(query->aggregates[4].fn, AggregateFn::kAvg);
+}
+
+TEST(SqlParseTest, AggregateErrors) {
+  EXPECT_FALSE(parse_query("SELECT SUM(*) FROM t").is_ok());
+  EXPECT_FALSE(parse_query("SELECT COUNT( FROM t").is_ok());
+  EXPECT_FALSE(parse_query("SELECT COUNT(*, id) FROM t").is_ok());
+  // Mixing aggregates with plain columns (no GROUP BY) is rejected.
+  EXPECT_FALSE(parse_query("SELECT COUNT(*), id FROM t").is_ok());
+}
+
+TEST(SqlParseTest, AggregateNamesRemainUsableAsColumns) {
+  // COUNT/SUM/... are not reserved: without '(' they parse as columns.
+  auto query = parse_query("SELECT count FROM t WHERE count > 1");
+  ASSERT_TRUE(query.is_ok());
+  ASSERT_EQ(query->select_columns.size(), 1u);
+  EXPECT_EQ(query->select_columns[0], "count");
+}
+
+TEST(SqlParseTest, ExtendedPredicateErrors) {
+  EXPECT_FALSE(parse_segment("t a BETWEEN 1").is_ok());
+  EXPECT_FALSE(parse_segment("t a BETWEEN 1 2").is_ok());
+  EXPECT_FALSE(parse_segment("t a IN 1, 2").is_ok());
+  EXPECT_FALSE(parse_segment("t a IN (1, 2").is_ok());
+  EXPECT_FALSE(parse_segment("t a IN ()").is_ok());
+  EXPECT_FALSE(parse_segment("t a LIKE 5").is_ok());
+}
+
+TEST(SqlBindTest, LikeRequiresStringColumn) {
+  const TableSchema schema = demo_schema();
+  auto query = parse_segment("particles id LIKE 'x%'");
+  ASSERT_TRUE(query.is_ok());
+  EXPECT_EQ(bind(*query->where, schema).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SqlBindTest, UnknownColumnRejected) {
+  auto query = parse_segment("particles bogus > 1");
+  ASSERT_TRUE(query.is_ok());
+  const TableSchema schema = demo_schema();
+  EXPECT_EQ(bind(*query->where, schema).code(), StatusCode::kNotFound);
+}
+
+TEST(SqlBindTest, TypeMismatchRejected) {
+  const TableSchema schema = demo_schema();
+  auto string_vs_num = parse_segment("particles name > 5");
+  ASSERT_TRUE(string_vs_num.is_ok());
+  EXPECT_EQ(bind(*string_vs_num->where, schema).code(),
+            StatusCode::kInvalidArgument);
+  auto num_vs_string = parse_segment("particles id = 'five'");
+  ASSERT_TRUE(num_vs_string.is_ok());
+  EXPECT_EQ(bind(*num_vs_string->where, schema).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SqlToStringTest, RendersTree) {
+  auto query = parse_segment("particles NOT (id = 1 OR energy > 2.5)");
+  ASSERT_TRUE(query.is_ok());
+  const std::string text = to_string(*query->where);
+  EXPECT_NE(text.find("NOT"), std::string::npos);
+  EXPECT_NE(text.find("OR"), std::string::npos);
+  EXPECT_NE(text.find("id = 1"), std::string::npos);
+}
+
+// Every Fig 4 query string must parse in both forms and bind against its
+// own schema — the exact payloads Figure 7 transfers.
+class Fig4Queries : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fig4Queries, FullAndSegmentFormsParseAndBind) {
+  const auto& cases = workload::fig4_query_set();
+  const auto& query_case = cases[static_cast<std::size_t>(GetParam())];
+
+  auto full = parse_task(query_case.full_sql);
+  ASSERT_TRUE(full.is_ok()) << full.status().to_string();
+  EXPECT_EQ(full->table, query_case.schema.name());
+  ASSERT_NE(full->where, nullptr);
+  EXPECT_TRUE(bind(*full->where, query_case.schema).is_ok());
+
+  auto segment = parse_task(query_case.segment);
+  ASSERT_TRUE(segment.is_ok()) << segment.status().to_string();
+  EXPECT_EQ(segment->table, query_case.schema.name());
+  ASSERT_NE(segment->where, nullptr);
+  EXPECT_TRUE(bind(*segment->where, query_case.schema).is_ok());
+
+  // Both forms must express the same predicate.
+  EXPECT_EQ(to_string(*full->where), to_string(*segment->where));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Fig4Queries, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace bx::csd

@@ -1,0 +1,313 @@
+// SsdDevice executor tests: opcode dispatch, block namespace semantics,
+// scratch buffer, KV/CSD command decoding and error statuses — exercised
+// directly at the CommandExecutor boundary, without the transport stack.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "kv/kv_wire.h"
+#include "ssd/ssd_device.h"
+
+namespace bx::ssd {
+namespace {
+
+using controller::ExecResult;
+using nvme::IoOpcode;
+using nvme::SubmissionQueueEntry;
+
+SsdDevice::Config small_config() {
+  SsdDevice::Config config;
+  config.geometry.channels = 2;
+  config.geometry.ways = 2;
+  config.geometry.blocks_per_die = 32;
+  config.geometry.pages_per_block = 32;
+  config.nand_timing.read_ns = 100;
+  config.nand_timing.program_ns = 500;
+  config.nand_timing.erase_ns = 2000;
+  config.nand_timing.channel_transfer_ns = 10;
+  return config;
+}
+
+class SsdFixture : public ::testing::Test {
+ protected:
+  SsdFixture() : device_(clock_, small_config()) {}
+
+  SubmissionQueueEntry vendor_sqe(IoOpcode opcode, std::uint32_t length,
+                                  std::uint32_t aux = 0) {
+    SubmissionQueueEntry sqe;
+    sqe.opcode = static_cast<std::uint8_t>(opcode);
+    nvme::VendorFields fields;
+    fields.data_length = length;
+    fields.aux = aux << 8;
+    fields.apply(sqe);
+    return sqe;
+  }
+
+  SubmissionQueueEntry kv_sqe(IoOpcode opcode, std::string_view key,
+                              std::uint32_t length, std::uint32_t aux = 0) {
+    SubmissionQueueEntry sqe = vendor_sqe(opcode, length, aux);
+    nvme::KvKeyFields fields;
+    fields.key_len = static_cast<std::uint8_t>(key.size());
+    std::memcpy(fields.key, key.data(), key.size());
+    fields.apply(sqe);
+    return sqe;
+  }
+
+  SubmissionQueueEntry block_sqe(IoOpcode opcode, std::uint64_t slba,
+                                 std::uint32_t blocks) {
+    SubmissionQueueEntry sqe;
+    sqe.opcode = static_cast<std::uint8_t>(opcode);
+    nvme::BlockIoFields fields;
+    fields.slba = slba;
+    fields.block_count = blocks;
+    fields.apply(sqe);
+    return sqe;
+  }
+
+  SimClock clock_;
+  SsdDevice device_;
+};
+
+TEST_F(SsdFixture, NamespacePartitionCoversLogicalSpace) {
+  const std::uint64_t total = device_.ftl().logical_pages();
+  EXPECT_GT(device_.block_namespace_pages(), 0u);
+  EXPECT_LT(device_.block_namespace_pages(), total);
+}
+
+TEST_F(SsdFixture, BlockWriteReadRoundTrip) {
+  ByteVec data(2 * 4096);
+  fill_pattern(data, 1);
+  const ExecResult write =
+      device_.execute(block_sqe(IoOpcode::kWrite, 4, 2), data);
+  ASSERT_TRUE(write.status.is_success());
+
+  const ExecResult read =
+      device_.execute(block_sqe(IoOpcode::kRead, 4, 2), {});
+  ASSERT_TRUE(read.status.is_success());
+  EXPECT_EQ(read.read_data, data);
+}
+
+TEST_F(SsdFixture, BlockReadOfUnwrittenLbaIsZeroes) {
+  const ExecResult read =
+      device_.execute(block_sqe(IoOpcode::kRead, 100, 1), {});
+  ASSERT_TRUE(read.status.is_success());
+  ASSERT_EQ(read.read_data.size(), 4096u);
+  for (const Byte b : read.read_data) ASSERT_EQ(b, 0);
+}
+
+TEST_F(SsdFixture, BlockIoValidatesRangeAndPayload) {
+  const ExecResult oob = device_.execute(
+      block_sqe(IoOpcode::kWrite, device_.block_namespace_pages(), 1),
+      ByteVec(4096));
+  EXPECT_EQ(oob.status.code,
+            static_cast<std::uint8_t>(nvme::GenericStatus::kLbaOutOfRange));
+
+  const ExecResult short_payload =
+      device_.execute(block_sqe(IoOpcode::kWrite, 0, 2), ByteVec(4096));
+  EXPECT_EQ(
+      short_payload.status.code,
+      static_cast<std::uint8_t>(nvme::GenericStatus::kDataTransferError));
+}
+
+TEST_F(SsdFixture, FlushPersistsKvMemtable) {
+  ByteVec value(64);
+  fill_pattern(value, 1);
+  ASSERT_TRUE(device_
+                  .execute(kv_sqe(IoOpcode::kVendorKvStore, "k1", 64),
+                           value)
+                  .status.is_success());
+  EXPECT_GT(device_.kv_engine().memtable_bytes(), 0u);
+  ASSERT_TRUE(device_
+                  .execute(SubmissionQueueEntry{},  // opcode 0 == flush
+                           {})
+                  .status.is_success());
+  EXPECT_EQ(device_.kv_engine().memtable_bytes(), 0u);
+  EXPECT_EQ(device_.kv_engine().run_count(), 1u);
+}
+
+TEST_F(SsdFixture, ScratchWriteReadWithSizeReporting) {
+  ByteVec payload(300);
+  fill_pattern(payload, 5);
+  ASSERT_TRUE(device_
+                  .execute(vendor_sqe(IoOpcode::kVendorRawWrite, 300),
+                           payload)
+                  .status.is_success());
+
+  // Read more than stored: dw0 reports the stored size.
+  const ExecResult read =
+      device_.execute(vendor_sqe(IoOpcode::kVendorRawRead, 1000), {});
+  ASSERT_TRUE(read.status.is_success());
+  EXPECT_EQ(read.dw0, 300u);
+  EXPECT_EQ(read.read_data.size(), 300u);
+  EXPECT_TRUE(verify_pattern(read.read_data, 5));
+
+  // Partial read.
+  const ExecResult head =
+      device_.execute(vendor_sqe(IoOpcode::kVendorRawRead, 100), {});
+  ASSERT_TRUE(head.status.is_success());
+  EXPECT_EQ(head.read_data.size(), 100u);
+}
+
+TEST_F(SsdFixture, KvLifecycleThroughExecutor) {
+  ByteVec value(150);
+  fill_pattern(value, 3);
+  ASSERT_TRUE(device_
+                  .execute(kv_sqe(IoOpcode::kVendorKvStore, "alpha", 150),
+                           value)
+                  .status.is_success());
+
+  const ExecResult get =
+      device_.execute(kv_sqe(IoOpcode::kVendorKvRetrieve, "alpha", 4096),
+                      {});
+  ASSERT_TRUE(get.status.is_success());
+  EXPECT_EQ(get.dw0, 150u);
+  EXPECT_EQ(get.read_data, value);
+
+  const ExecResult exists =
+      device_.execute(kv_sqe(IoOpcode::kVendorKvExist, "alpha", 0), {});
+  ASSERT_TRUE(exists.status.is_success());
+  EXPECT_EQ(exists.dw0, 1u);
+
+  const ExecResult removed =
+      device_.execute(kv_sqe(IoOpcode::kVendorKvDelete, "alpha", 0), {});
+  ASSERT_TRUE(removed.status.is_success());
+  EXPECT_EQ(removed.dw0, 1u);
+
+  const ExecResult gone =
+      device_.execute(kv_sqe(IoOpcode::kVendorKvRetrieve, "alpha", 4096),
+                      {});
+  EXPECT_EQ(gone.status.code,
+            static_cast<std::uint8_t>(nvme::VendorStatus::kKvKeyNotFound));
+}
+
+TEST_F(SsdFixture, KvKeyValidationErrors) {
+  // Zero-length key.
+  const ExecResult no_key =
+      device_.execute(kv_sqe(IoOpcode::kVendorKvStore, "", 0), {});
+  EXPECT_EQ(no_key.status.code,
+            static_cast<std::uint8_t>(nvme::VendorStatus::kKvKeyTooLarge));
+  // Oversized value.
+  const ExecResult big = device_.execute(
+      kv_sqe(IoOpcode::kVendorKvStore, "key", 8000), ByteVec(8000));
+  EXPECT_EQ(big.status.code,
+            static_cast<std::uint8_t>(nvme::VendorStatus::kKvValueTooLarge));
+}
+
+TEST_F(SsdFixture, KvIterateSerializesEntries) {
+  for (int i = 0; i < 5; ++i) {
+    ByteVec value(10 + i);
+    fill_pattern(value, i);
+    const std::string key = "it" + std::to_string(i);
+    ASSERT_TRUE(device_
+                    .execute(kv_sqe(IoOpcode::kVendorKvStore, key,
+                                    static_cast<std::uint32_t>(value.size())),
+                             value)
+                    .status.is_success());
+  }
+  const ExecResult scan = device_.execute(
+      kv_sqe(IoOpcode::kVendorKvIterate, "it0", 4096,
+             kv::wire::encode_iterate_aux(kv::wire::IterateSubOp::kScan, 3)),
+      {});
+  ASSERT_TRUE(scan.status.is_success());
+  // Parse the [klen][vlen16][key][value] stream: expect exactly 3 entries.
+  std::size_t offset = 0;
+  int entries = 0;
+  while (offset + 3 <= scan.read_data.size()) {
+    const std::uint8_t klen = scan.read_data[offset];
+    std::uint16_t vlen = 0;
+    std::memcpy(&vlen, scan.read_data.data() + offset + 1, 2);
+    offset += 3 + klen + vlen;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 3);
+  EXPECT_EQ(offset, scan.read_data.size());
+}
+
+TEST_F(SsdFixture, CsdLifecycleThroughExecutor) {
+  const std::string schema = "t a:i64 b:f64";
+  ASSERT_TRUE(device_
+                  .execute(vendor_sqe(IoOpcode::kVendorCsdFilter,
+                                      static_cast<std::uint32_t>(
+                                          schema.size()),
+                                      /*aux=*/1),
+                           as_bytes(schema))
+                  .status.is_success());
+
+  // Append rows: [u8 name_len]["t"][rows].
+  ByteVec payload;
+  payload.push_back(1);
+  payload.push_back('t');
+  for (std::int64_t a = 0; a < 10; ++a) {
+    ByteVec row(16, 0);
+    std::memcpy(row.data(), &a, 8);
+    payload.insert(payload.end(), row.begin(), row.end());
+  }
+  ASSERT_TRUE(device_
+                  .execute(vendor_sqe(IoOpcode::kVendorCsdFilter,
+                                      static_cast<std::uint32_t>(
+                                          payload.size()),
+                                      /*aux=*/2),
+                           payload)
+                  .status.is_success());
+
+  const std::string task = "t a >= 7";
+  const ExecResult filtered = device_.execute(
+      vendor_sqe(IoOpcode::kVendorCsdFilter,
+                 static_cast<std::uint32_t>(task.size()), /*aux=*/0),
+      as_bytes(task));
+  ASSERT_TRUE(filtered.status.is_success());
+  EXPECT_EQ(filtered.dw0, 3u);
+
+  // Result rows readable through raw-read selector 1.
+  const ExecResult result =
+      device_.execute(vendor_sqe(IoOpcode::kVendorRawRead, 4096, /*aux=*/1),
+                      {});
+  ASSERT_TRUE(result.status.is_success());
+  EXPECT_EQ(result.read_data.size(), 3u * 16u);
+}
+
+TEST_F(SsdFixture, CsdErrorStatuses) {
+  const std::string bad_schema = "t col:wat";
+  EXPECT_EQ(device_
+                .execute(vendor_sqe(IoOpcode::kVendorCsdFilter,
+                                    static_cast<std::uint32_t>(
+                                        bad_schema.size()),
+                                    /*aux=*/1),
+                         as_bytes(bad_schema))
+                .status.code,
+            static_cast<std::uint8_t>(nvme::VendorStatus::kCsdParseError));
+
+  const std::string task = "missing a > 1";
+  EXPECT_EQ(device_
+                .execute(vendor_sqe(IoOpcode::kVendorCsdFilter,
+                                    static_cast<std::uint32_t>(task.size()),
+                                    /*aux=*/0),
+                         as_bytes(task))
+                .status.code,
+            static_cast<std::uint8_t>(nvme::VendorStatus::kCsdUnknownTable));
+
+  // Malformed append framing.
+  ByteVec bogus = {0xff};  // name_len 255 beyond payload
+  EXPECT_EQ(device_
+                .execute(vendor_sqe(IoOpcode::kVendorCsdFilter, 1,
+                                    /*aux=*/2),
+                         bogus)
+                .status.code,
+            static_cast<std::uint8_t>(nvme::VendorStatus::kCsdParseError));
+}
+
+TEST_F(SsdFixture, UnknownOpcodeRejected) {
+  SubmissionQueueEntry sqe;
+  sqe.opcode = 0x55;
+  EXPECT_EQ(device_.execute(sqe, {}).status.code,
+            static_cast<std::uint8_t>(nvme::GenericStatus::kInvalidOpcode));
+}
+
+TEST_F(SsdFixture, DispatchCostAdvancesClock) {
+  const Nanoseconds before = clock_.now();
+  device_.execute(vendor_sqe(IoOpcode::kVendorRawWrite, 0), {});
+  EXPECT_GE(clock_.now() - before, small_config().cpu_dispatch_ns);
+}
+
+}  // namespace
+}  // namespace bx::ssd

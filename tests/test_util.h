@@ -1,0 +1,31 @@
+// Shared helpers for integration tests: a small, fast testbed
+// configuration (tiny NAND geometry, quick NAND timing) so suites run in
+// milliseconds while exercising the same code paths as the full system.
+#pragma once
+
+#include "core/testbed.h"
+
+namespace bx::test {
+
+inline core::TestbedConfig small_testbed_config(
+    std::uint16_t io_queues = 2, std::uint32_t queue_depth = 128) {
+  core::TestbedConfig config;
+  config.driver.io_queue_count = io_queues;
+  config.driver.io_queue_depth = queue_depth;
+
+  config.ssd.geometry.channels = 2;
+  config.ssd.geometry.ways = 2;
+  config.ssd.geometry.blocks_per_die = 64;
+  config.ssd.geometry.pages_per_block = 64;
+  config.ssd.geometry.page_size = 4096;
+
+  config.ssd.nand_timing.read_ns = 5'000;
+  config.ssd.nand_timing.program_ns = 20'000;
+  config.ssd.nand_timing.erase_ns = 100'000;
+  config.ssd.nand_timing.channel_transfer_ns = 500;
+
+  config.ssd.kv.flush_threshold_bytes = 64 * 1024;
+  return config;
+}
+
+}  // namespace bx::test

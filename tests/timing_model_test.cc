@@ -1,0 +1,271 @@
+// The calibrated timing model must reproduce the paper's published shapes:
+//   * Table 1: driver submit ~60ns + ~35ns/chunk; controller fetch ~2.1us
+//     + ~0.7us/chunk (firmware + link),
+//   * Figure 5: ByteExpress ~40% below PRP at 32-64B, crossover near 256B
+//     (within 256..512B in our calibration), BandSlim collapsing past 64B,
+//   * PRP latency flat below 4KB and stepping at page boundaries.
+// These are shape tests with tolerant bounds — they pin the *relationships*
+// the paper reports, not absolute nanoseconds.
+#include <gtest/gtest.h>
+
+#include "core/measurement.h"
+#include "core/testbed.h"
+#include "test_util.h"
+
+namespace bx {
+namespace {
+
+using core::Testbed;
+using driver::TransferMethod;
+
+Nanoseconds mean_latency(Testbed& testbed, TransferMethod method,
+                         std::uint32_t size, int ops = 20) {
+  ByteVec payload(size);
+  fill_pattern(payload, size);
+  LatencyHistogram hist;
+  for (int i = 0; i < ops; ++i) {
+    auto completion = testbed.raw_write(payload, method);
+    EXPECT_TRUE(completion.is_ok() && completion->ok());
+    hist.record(completion->latency_ns);
+  }
+  return static_cast<Nanoseconds>(hist.mean());
+}
+
+TEST(Table1Test, DriverSubmitCostsMatchAnchors) {
+  Testbed testbed(test::small_testbed_config());
+  const auto& timing = testbed.config().driver.timing;
+
+  ByteVec payload(64);
+  fill_pattern(payload, 1);
+  ASSERT_TRUE(testbed.raw_write(payload, TransferMethod::kPrp).is_ok());
+  // PRP submit: one SQE insert (~60 ns).
+  EXPECT_EQ(testbed.driver().last_submit_cost(), timing.sqe_insert_ns);
+
+  // ByteExpress 64B: SQE + 1 chunk.
+  ASSERT_TRUE(
+      testbed.raw_write(payload, TransferMethod::kByteExpress).is_ok());
+  EXPECT_EQ(testbed.driver().last_submit_cost(),
+            timing.sqe_insert_ns + timing.chunk_insert_ns);
+
+  // 256B: SQE + 4 chunks (Table 1 row three: ~180-200 ns).
+  ByteVec payload256(256);
+  fill_pattern(payload256, 2);
+  ASSERT_TRUE(
+      testbed.raw_write(payload256, TransferMethod::kByteExpress).is_ok());
+  EXPECT_EQ(testbed.driver().last_submit_cost(),
+            timing.sqe_insert_ns + 4 * timing.chunk_insert_ns);
+}
+
+TEST(Table1Test, ControllerFetchGrowsPerChunk) {
+  Testbed testbed(test::small_testbed_config());
+  ByteVec p64(64);
+  fill_pattern(p64, 1);
+  ASSERT_TRUE(testbed.raw_write(p64, TransferMethod::kPrp).is_ok());
+  const Nanoseconds prp_fetch = testbed.controller().last_fetch_cost();
+
+  ASSERT_TRUE(testbed.raw_write(p64, TransferMethod::kByteExpress).is_ok());
+  const Nanoseconds bx64_fetch = testbed.controller().last_fetch_cost();
+
+  ByteVec p128(128);
+  fill_pattern(p128, 2);
+  ASSERT_TRUE(testbed.raw_write(p128, TransferMethod::kByteExpress).is_ok());
+  const Nanoseconds bx128_fetch = testbed.controller().last_fetch_cost();
+
+  ByteVec p256(256);
+  fill_pattern(p256, 3);
+  ASSERT_TRUE(testbed.raw_write(p256, TransferMethod::kByteExpress).is_ok());
+  const Nanoseconds bx256_fetch = testbed.controller().last_fetch_cost();
+
+  // Table 1 right column: ~2400 < ~2800 < ~3200 < ~4000 shape — strictly
+  // increasing with a consistent per-chunk increment.
+  EXPECT_LT(prp_fetch, bx64_fetch);
+  EXPECT_LT(bx64_fetch, bx128_fetch);
+  EXPECT_LT(bx128_fetch, bx256_fetch);
+  const Nanoseconds step1 = bx128_fetch - bx64_fetch;
+  const Nanoseconds step2 = (bx256_fetch - bx128_fetch) / 2;
+  EXPECT_NEAR(double(step1), double(step2), 60.0);
+  // Anchor magnitudes: fetch base ~2.1us on Gen2 x8, +0.6-0.8us per chunk.
+  EXPECT_GT(prp_fetch, 1800u);
+  EXPECT_LT(prp_fetch, 3000u);
+  EXPECT_GT(step1, 450u);
+  EXPECT_LT(step1, 900u);
+}
+
+TEST(Fig5Shape, ByteExpressBeatsPrpByAbout40PercentAtSmallSizes) {
+  Testbed testbed(test::small_testbed_config());
+  for (const std::uint32_t size : {32u, 64u}) {
+    const Nanoseconds prp = mean_latency(testbed, TransferMethod::kPrp, size);
+    const Nanoseconds bx =
+        mean_latency(testbed, TransferMethod::kByteExpress, size);
+    const double reduction = 1.0 - double(bx) / double(prp);
+    EXPECT_GT(reduction, 0.30) << size;  // §4.2: "up to 40.4%"
+    EXPECT_LT(reduction, 0.50) << size;
+  }
+}
+
+TEST(Fig5Shape, CrossoverNear256Bytes) {
+  Testbed testbed(test::small_testbed_config());
+  // Below/at 256B ByteExpress wins...
+  EXPECT_LT(mean_latency(testbed, TransferMethod::kByteExpress, 256),
+            mean_latency(testbed, TransferMethod::kPrp, 256));
+  // ...and by 512B PRP has taken over (§4.2: "slower than PRP starting
+  // around the 256-byte").
+  EXPECT_GT(mean_latency(testbed, TransferMethod::kByteExpress, 512),
+            mean_latency(testbed, TransferMethod::kPrp, 512));
+}
+
+TEST(Fig5Shape, PrpLatencyFlatBelow4kThenSteps) {
+  Testbed testbed(test::small_testbed_config());
+  const Nanoseconds at64 = mean_latency(testbed, TransferMethod::kPrp, 64);
+  const Nanoseconds at1k = mean_latency(testbed, TransferMethod::kPrp, 1024);
+  const Nanoseconds at4k = mean_latency(testbed, TransferMethod::kPrp, 4096);
+  const Nanoseconds at5k = mean_latency(testbed, TransferMethod::kPrp, 5000);
+  // Flat within the page (Figure 1(b)).
+  EXPECT_EQ(at64, at1k);
+  EXPECT_EQ(at1k, at4k);
+  // Step when crossing the page boundary.
+  EXPECT_GT(at5k, at4k + 500);
+}
+
+TEST(Fig5Shape, BandSlimCollapsesBeyond64Bytes) {
+  Testbed testbed(test::small_testbed_config());
+  // At 128B ByteExpress wins big over BandSlim (§4.2: 72% reduction; our
+  // calibration lands >55%).
+  const Nanoseconds bs128 =
+      mean_latency(testbed, TransferMethod::kBandSlim, 128);
+  const Nanoseconds bx128 =
+      mean_latency(testbed, TransferMethod::kByteExpress, 128);
+  const double reduction = 1.0 - double(bx128) / double(bs128);
+  EXPECT_GT(reduction, 0.55);
+
+  // BandSlim's single-command case keeps it competitive at <= 24B.
+  const Nanoseconds bs20 =
+      mean_latency(testbed, TransferMethod::kBandSlim, 20);
+  const Nanoseconds bx20 =
+      mean_latency(testbed, TransferMethod::kByteExpress, 20);
+  EXPECT_LT(bs20, bx20);
+
+  // BandSlim latency grows roughly linearly in fragment count.
+  const Nanoseconds bs256 =
+      mean_latency(testbed, TransferMethod::kBandSlim, 256);
+  const Nanoseconds bs512 =
+      mean_latency(testbed, TransferMethod::kBandSlim, 512);
+  EXPECT_GT(bs512, bs256 + (bs256 - bs128) / 2);
+}
+
+TEST(Fig5Shape, TrafficOrderingAcrossTheSweep) {
+  Testbed testbed(test::small_testbed_config());
+  auto wire_per_op = [&](TransferMethod method, std::uint32_t size) {
+    ByteVec payload(size);
+    fill_pattern(payload, size);
+    testbed.reset_counters();
+    EXPECT_TRUE(testbed.raw_write(payload, method).is_ok());
+    return testbed.traffic().total_wire_bytes();
+  };
+  for (const std::uint32_t size : {64u, 256u, 1024u, 4000u}) {
+    const std::uint64_t bx = wire_per_op(TransferMethod::kByteExpress, size);
+    const std::uint64_t bs = wire_per_op(TransferMethod::kBandSlim, size);
+    EXPECT_LT(bx, bs) << size;  // Figure 5 top: BX below BandSlim everywhere
+  }
+  // BX beats PRP on wire bytes for sub-page payloads; near a full page the
+  // per-chunk TLP overhead overtakes PRP's single page burst (the chunked
+  // fetch costs one MRd+CplD per 64 B), so the traffic win — like the
+  // latency win — is a small-payload phenomenon.
+  for (const std::uint32_t size : {64u, 256u, 1024u}) {
+    EXPECT_LT(wire_per_op(TransferMethod::kByteExpress, size),
+              wire_per_op(TransferMethod::kPrp, size))
+        << size;
+  }
+}
+
+TEST(Fig5Shape, ByteExpressTrafficReductionVsBandSlimApproaches40Percent) {
+  // §4.2: "ByteExpress outperformed BandSlim by up to 39.8% in traffic".
+  Testbed testbed(test::small_testbed_config());
+  ByteVec payload(4000);
+  fill_pattern(payload, 1);
+  testbed.reset_counters();
+  ASSERT_TRUE(
+      testbed.raw_write(payload, TransferMethod::kByteExpress).is_ok());
+  const std::uint64_t bx = testbed.traffic().total_wire_bytes();
+  testbed.reset_counters();
+  ASSERT_TRUE(testbed.raw_write(payload, TransferMethod::kBandSlim).is_ok());
+  const std::uint64_t bs = testbed.traffic().total_wire_bytes();
+  const double reduction = 1.0 - double(bx) / double(bs);
+  EXPECT_GT(reduction, 0.30);
+  EXPECT_LT(reduction, 0.50);
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalTimelines) {
+  auto run = [] {
+    Testbed testbed(test::small_testbed_config());
+    ByteVec payload(128);
+    fill_pattern(payload, 1);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_TRUE(
+          testbed.raw_write(payload, TransferMethod::kByteExpress).is_ok());
+    }
+    return std::pair{testbed.clock().now(),
+                     testbed.traffic().total_wire_bytes()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(LinkGenerationTest, FasterLinkShrinksPrpAdvantageGap) {
+  // §5 "PCIe Generation Variants": on a faster link the PRP page DMA costs
+  // less, so ByteExpress's relative latency win shrinks.
+  auto gen2_config = test::small_testbed_config();
+  gen2_config.link.generation = 2;
+  Testbed gen2(gen2_config);
+  const double gen2_gain =
+      1.0 - double(mean_latency(gen2, TransferMethod::kByteExpress, 64)) /
+                double(mean_latency(gen2, TransferMethod::kPrp, 64));
+
+  auto gen5_config = test::small_testbed_config();
+  gen5_config.link.generation = 5;
+  Testbed gen5(gen5_config);
+  const double gen5_gain =
+      1.0 - double(mean_latency(gen5, TransferMethod::kByteExpress, 64)) /
+                double(mean_latency(gen5, TransferMethod::kPrp, 64));
+
+  EXPECT_LT(gen5_gain, gen2_gain);
+  EXPECT_GT(gen5_gain, 0.0);  // still a win: protocol overhead remains
+}
+
+TEST(CalibrationTest, PaperPresetsMatchTheDefaults) {
+  // The Testbed's defaults ARE the paper calibration; the named presets
+  // exist so benchmarks can say so explicitly. Pin the anchors.
+  const auto link = core::paper_link_config();
+  EXPECT_EQ(link.generation, 2);
+  EXPECT_EQ(link.lanes, 8);
+  EXPECT_DOUBLE_EQ(link.bytes_per_ns(), 4.0);
+
+  const auto host = core::paper_host_timing();
+  EXPECT_EQ(host.sqe_insert_ns, 60u);     // Table 1: PRP submit ~60ns
+  EXPECT_EQ(host.chunk_insert_ns, 35u);   // Table 1: ~+30-40ns per chunk
+
+  const auto device = core::paper_device_timing();
+  // Fetch stage = firmware + ~330ns link RTT ~ Table 1's ~2400ns.
+  EXPECT_EQ(device.cmd_fetch_fw_ns, 1800u);
+  EXPECT_EQ(device.chunk_fetch_fw_ns, 350u);
+
+  const core::TestbedConfig defaults;
+  EXPECT_EQ(defaults.driver.timing.sqe_insert_ns, host.sqe_insert_ns);
+  EXPECT_EQ(defaults.controller.timing.cmd_fetch_fw_ns,
+            device.cmd_fetch_fw_ns);
+}
+
+TEST(MeasurementTest, RunStatsAggregation) {
+  Testbed testbed(test::small_testbed_config());
+  const auto stats =
+      core::run_write_sweep(testbed, TransferMethod::kByteExpress, 64, 50);
+  EXPECT_EQ(stats.ops, 50u);
+  EXPECT_EQ(stats.payload_bytes, 50u * 64u);
+  EXPECT_GT(stats.wire_bytes, 0u);
+  EXPECT_GT(stats.mean_latency_ns(), 0.0);
+  EXPECT_GT(stats.kops(), 0.0);
+  EXPECT_GT(stats.amplification(), 1.0);
+  EXPECT_FALSE(core::format_stats_row(stats).empty());
+}
+
+}  // namespace
+}  // namespace bx

@@ -1,0 +1,158 @@
+// Trace format tests: serialization round trips, corruption rejection,
+// file I/O, generator properties, and end-to-end replay determinism.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/testbed.h"
+#include "test_util.h"
+#include "workload/trace.h"
+
+namespace bx::workload {
+namespace {
+
+TraceOp put_op(std::string key, std::size_t value_size, std::uint64_t seed) {
+  TraceOp op;
+  op.kind = TraceOp::Kind::kPut;
+  op.key = std::move(key);
+  op.value.resize(value_size);
+  fill_pattern(op.value, seed);
+  return op;
+}
+
+TEST(TraceFormatTest, RoundTripsAllKinds) {
+  std::vector<TraceOp> ops;
+  ops.push_back(put_op("key-one", 100, 1));
+  TraceOp get;
+  get.kind = TraceOp::Kind::kGet;
+  get.key = "key-one";
+  ops.push_back(get);
+  TraceOp del;
+  del.kind = TraceOp::Kind::kDelete;
+  del.key = "key-one";
+  ops.push_back(del);
+  TraceOp exist;
+  exist.kind = TraceOp::Kind::kExist;
+  exist.key = "k";
+  ops.push_back(exist);
+  TraceOp scan;
+  scan.kind = TraceOp::Kind::kScan;
+  scan.key = "a";
+  scan.aux = 12;
+  ops.push_back(scan);
+
+  const ByteVec data = serialize_trace(ops);
+  auto parsed = parse_trace(data);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(*parsed, ops);
+}
+
+TEST(TraceFormatTest, EmptyTraceRoundTrips) {
+  const ByteVec data = serialize_trace({});
+  auto parsed = parse_trace(data);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(TraceFormatTest, RejectsBadMagic) {
+  ByteVec data = serialize_trace({put_op("k", 8, 1)});
+  data[0] ^= 0xff;
+  EXPECT_EQ(parse_trace(data).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TraceFormatTest, RejectsTruncation) {
+  const ByteVec data = serialize_trace({put_op("key", 64, 1)});
+  for (const std::size_t cut : {data.size() - 1, data.size() - 30,
+                                std::size_t{13}}) {
+    auto parsed = parse_trace(ConstByteSpan(data).subspan(0, cut));
+    EXPECT_FALSE(parsed.is_ok()) << "cut " << cut;
+  }
+}
+
+TEST(TraceFormatTest, RejectsTrailingGarbage) {
+  ByteVec data = serialize_trace({put_op("k", 8, 1)});
+  data.push_back(0x00);
+  EXPECT_FALSE(parse_trace(data).is_ok());
+}
+
+TEST(TraceFormatTest, RejectsUnknownKind) {
+  ByteVec data = serialize_trace({put_op("k", 8, 1)});
+  data[12] = 0x7f;  // kind byte of record 0 (after magic + count)
+  EXPECT_FALSE(parse_trace(data).is_ok());
+}
+
+TEST(TraceFileTest, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/bx_trace_test.trace";
+  const auto ops = generate_mixgraph_trace(500, 0.3, 7);
+  ASSERT_TRUE(save_trace(path, ops).is_ok());
+  auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(*loaded, ops);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFileTest, MissingFileIsNotFound) {
+  EXPECT_EQ(load_trace("/nonexistent/nope.trace").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TraceGeneratorTest, DeterministicAndWellFormed) {
+  const auto a = generate_mixgraph_trace(1000, 0.4, 99);
+  const auto b = generate_mixgraph_trace(1000, 0.4, 99);
+  EXPECT_EQ(a, b);
+  ASSERT_EQ(a.size(), 1000u);
+
+  std::size_t puts = 0;
+  std::size_t reads = 0;
+  for (const TraceOp& op : a) {
+    EXPECT_FALSE(op.key.empty());
+    EXPECT_LE(op.key.size(), 16u);
+    if (op.kind == TraceOp::Kind::kPut) {
+      ++puts;
+      EXPECT_GE(op.value.size(), 1u);
+    } else {
+      ++reads;
+      EXPECT_TRUE(op.value.empty());
+    }
+    if (op.kind == TraceOp::Kind::kScan) {
+      EXPECT_GE(op.aux, 1u);
+    }
+  }
+  EXPECT_GT(puts, 500u);  // ~70% puts at get_fraction 0.4... at least half
+  EXPECT_GT(reads, 100u);
+}
+
+TEST(TraceReplayTest, ReplayIsDeterministicAcrossRuns) {
+  const auto trace = generate_mixgraph_trace(300, 0.3, 5);
+  auto run = [&] {
+    core::Testbed testbed(test::small_testbed_config());
+    auto client =
+        testbed.make_kv_client(driver::TransferMethod::kByteExpress);
+    for (const TraceOp& op : trace) {
+      switch (op.kind) {
+        case TraceOp::Kind::kPut:
+          EXPECT_TRUE(client.put(op.key, op.value).is_ok());
+          break;
+        case TraceOp::Kind::kGet:
+          (void)client.get(op.key);
+          break;
+        case TraceOp::Kind::kDelete:
+          EXPECT_TRUE(client.del(op.key).is_ok());
+          break;
+        case TraceOp::Kind::kExist:
+          EXPECT_TRUE(client.exist(op.key).is_ok());
+          break;
+        case TraceOp::Kind::kScan:
+          EXPECT_TRUE(client.scan(op.key, op.aux).is_ok());
+          break;
+      }
+    }
+    return std::pair{testbed.clock().now(),
+                     testbed.traffic().total_wire_bytes()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace bx::workload

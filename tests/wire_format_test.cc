@@ -1,0 +1,178 @@
+// Wire formats of the two command-stream payload carriers: BandSlim
+// fragment sequences and ByteExpress inline chunks (raw queue-local and
+// self-describing out-of-order).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nvme/bandslim_wire.h"
+#include "nvme/inline_wire.h"
+
+namespace bx::nvme {
+namespace {
+
+// --------------------------------------------------------------- BandSlim
+
+TEST(BandSlimWireTest, CommandCountMatchesCapacities) {
+  using bandslim::commands_for;
+  EXPECT_EQ(commands_for(0), 1u);
+  EXPECT_EQ(commands_for(24), 1u);   // fits the header command
+  EXPECT_EQ(commands_for(25), 2u);   // header + one fragment
+  EXPECT_EQ(commands_for(24 + 48), 2u);
+  EXPECT_EQ(commands_for(24 + 48 + 1), 3u);
+  EXPECT_EQ(commands_for(4096), 1u + 85u);  // (4096-24)/48 = 84.8 -> 85
+}
+
+TEST(BandSlimWireTest, HeaderEmbedsPayloadHead) {
+  SubmissionQueueEntry sqe;
+  ByteVec payload(100);
+  fill_pattern(payload, 1);
+  const std::uint32_t embedded =
+      bandslim::encode_header(sqe, /*stream_id=*/42, payload);
+  EXPECT_EQ(embedded, bandslim::kFirstCmdCapacity);
+  ASSERT_TRUE(bandslim::is_fragmented_header(sqe));
+  EXPECT_EQ(bandslim::header_stream_id(sqe), 42);
+  EXPECT_EQ(bandslim::header_embedded_bytes(sqe), embedded);
+  const ConstByteSpan head = bandslim::header_embedded_payload(sqe);
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), payload.begin()));
+}
+
+TEST(BandSlimWireTest, SmallPayloadFitsHeaderEntirely) {
+  SubmissionQueueEntry sqe;
+  ByteVec payload(10);
+  fill_pattern(payload, 2);
+  EXPECT_EQ(bandslim::encode_header(sqe, 1, payload), 10u);
+  EXPECT_EQ(bandslim::header_embedded_bytes(sqe), 10u);
+}
+
+TEST(BandSlimWireTest, HeaderDoesNotCollideWithKvKey) {
+  // The marker lives in CDW3; KV keys live in CDW10/11/14/15.
+  SubmissionQueueEntry sqe;
+  KvKeyFields key;
+  key.key_len = 16;
+  std::memset(key.key, 0x7E, 16);
+  key.apply(sqe);
+  ByteVec payload(5);
+  bandslim::encode_header(sqe, 3, payload);
+  const KvKeyFields decoded = KvKeyFields::from(sqe);
+  EXPECT_EQ(std::memcmp(decoded.key, key.key, 16), 0);
+}
+
+TEST(BandSlimWireTest, FragmentRoundTrip) {
+  bandslim::Fragment fragment;
+  fragment.stream_id = 777;
+  fragment.index = 5;
+  fragment.offset = 24 + 5 * 48;
+  fragment.length = 48;
+  fragment.last = true;
+  ByteVec data(48);
+  fill_pattern(data, 3);
+
+  const SubmissionQueueEntry sqe =
+      bandslim::encode_fragment(fragment, /*cid=*/0, data);
+  EXPECT_EQ(sqe.io_opcode(), IoOpcode::kVendorBandSlimFragment);
+
+  const bandslim::Fragment decoded = bandslim::decode_fragment(sqe);
+  EXPECT_EQ(decoded.stream_id, 777);
+  EXPECT_EQ(decoded.index, 5);
+  EXPECT_EQ(decoded.offset, fragment.offset);
+  EXPECT_EQ(decoded.length, 48u);
+  EXPECT_TRUE(decoded.last);
+
+  const ConstByteSpan body = bandslim::fragment_payload(sqe, decoded);
+  EXPECT_TRUE(std::equal(body.begin(), body.end(), data.begin()));
+}
+
+TEST(BandSlimWireTest, NonLastFragmentFlag) {
+  bandslim::Fragment fragment;
+  fragment.stream_id = 1;
+  fragment.length = 16;
+  fragment.last = false;
+  ByteVec data(16);
+  const auto sqe = bandslim::encode_fragment(fragment, 0, data);
+  EXPECT_FALSE(bandslim::decode_fragment(sqe).last);
+}
+
+TEST(BandSlimWireTest, HeaderNotConfusedWithOooCommand) {
+  // A ByteExpress OOO SQE also sets the CDW3 high bit, but always carries
+  // a non-zero inline length; BandSlim headers never do.
+  SubmissionQueueEntry ooo;
+  ooo.set_inline_length(100);
+  inline_chunk::mark_sqe_ooo(ooo, 55);
+  EXPECT_FALSE(bandslim::is_fragmented_header(ooo));
+  EXPECT_TRUE(inline_chunk::sqe_is_ooo(ooo));
+
+  SubmissionQueueEntry header;
+  ByteVec payload(50);
+  bandslim::encode_header(header, 9, payload);
+  EXPECT_TRUE(bandslim::is_fragmented_header(header));
+  EXPECT_FALSE(inline_chunk::sqe_is_ooo(header));
+}
+
+// ----------------------------------------------------------- inline chunks
+
+TEST(InlineWireTest, RawChunkCounts) {
+  using inline_chunk::raw_chunks_for;
+  EXPECT_EQ(raw_chunks_for(1), 1u);
+  EXPECT_EQ(raw_chunks_for(64), 1u);
+  EXPECT_EQ(raw_chunks_for(65), 2u);
+  EXPECT_EQ(raw_chunks_for(128), 2u);
+  EXPECT_EQ(raw_chunks_for(4096), 64u);
+}
+
+TEST(InlineWireTest, RawChunkZeroPadsTail) {
+  ByteVec data(10, 0xAA);
+  const SqSlot slot = inline_chunk::encode_raw_chunk(data);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(slot.raw[i], 0xAA);
+  for (int i = 10; i < 64; ++i) EXPECT_EQ(slot.raw[i], 0x00);
+}
+
+TEST(InlineWireTest, OooChunkCounts) {
+  using inline_chunk::ooo_chunks_for;
+  EXPECT_EQ(ooo_chunks_for(1), 1u);
+  EXPECT_EQ(ooo_chunks_for(48), 1u);
+  EXPECT_EQ(ooo_chunks_for(49), 2u);
+  EXPECT_EQ(ooo_chunks_for(480), 10u);
+}
+
+TEST(InlineWireTest, OooChunkHeaderRoundTrip) {
+  ByteVec data(48);
+  fill_pattern(data, 4);
+  const SqSlot slot =
+      inline_chunk::encode_ooo_chunk(0x1234567, 3, 9, data);
+  ASSERT_TRUE(inline_chunk::is_ooo_chunk(slot));
+  const auto header = inline_chunk::decode_ooo_header(slot);
+  EXPECT_EQ(header.magic, inline_chunk::kOooChunkMagic);
+  EXPECT_EQ(header.payload_id, 0x1234567u);
+  EXPECT_EQ(header.chunk_no, 3);
+  EXPECT_EQ(header.total_chunks, 9);
+  EXPECT_EQ(header.data_len, 48);
+  const ConstByteSpan body = inline_chunk::ooo_chunk_data(slot, header);
+  EXPECT_TRUE(std::equal(body.begin(), body.end(), data.begin()));
+  EXPECT_EQ(header.crc, crc32c(data));
+}
+
+TEST(InlineWireTest, OooMagicIsNotAValidOpcodeFirstByte) {
+  // The magic must never collide with a real command's opcode byte.
+  EXPECT_EQ(inline_chunk::kOooChunkMagic, 0xff);
+  SubmissionQueueEntry sqe;
+  sqe.opcode = static_cast<std::uint8_t>(IoOpcode::kVendorKvStore);
+  SqSlot slot;
+  std::memcpy(slot.raw, &sqe, sizeof(sqe));
+  EXPECT_FALSE(inline_chunk::is_ooo_chunk(slot));
+}
+
+TEST(InlineWireTest, OooSqeMarking) {
+  SubmissionQueueEntry sqe;
+  sqe.set_inline_length(200);
+  inline_chunk::mark_sqe_ooo(sqe, 12345);
+  EXPECT_TRUE(inline_chunk::sqe_is_ooo(sqe));
+  EXPECT_EQ(inline_chunk::sqe_ooo_payload_id(sqe), 12345u);
+
+  SubmissionQueueEntry plain;
+  plain.set_inline_length(200);
+  EXPECT_FALSE(inline_chunk::sqe_is_ooo(plain));
+}
+
+}  // namespace
+}  // namespace bx::nvme

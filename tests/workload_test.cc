@@ -1,0 +1,125 @@
+// Workload generators: MixGraph value-size distribution (the Figure 1(a)
+// premise), FillRandom, key formatting, and the Fig 4 query set's
+// structural properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/mixgraph.h"
+#include "workload/query_set.h"
+
+namespace bx::workload {
+namespace {
+
+TEST(KeyTest, FixedWidthSixteenBytes) {
+  EXPECT_EQ(make_key(0).size(), 16u);
+  EXPECT_EQ(make_key(UINT64_MAX / 2).size(), 16u);
+  EXPECT_NE(make_key(1), make_key(2));
+  EXPECT_EQ(make_key(42), make_key(42));
+}
+
+TEST(MixGraphTest, OverSixtyPercentOfValuesUnder32Bytes) {
+  MixGraphWorkload workload;
+  const int draws = 50000;
+  int under32 = 0;
+  for (int i = 0; i < draws; ++i) {
+    if (workload.next_value_size() < 32) ++under32;
+  }
+  EXPECT_GT(double(under32) / draws, 0.60);  // §4.3 / Figure 1(a)
+}
+
+TEST(MixGraphTest, ValuesStayWithinConfiguredBounds) {
+  MixGraphConfig config;
+  config.value_min = 8;
+  config.value_max = 512;
+  MixGraphWorkload workload(config);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t size = workload.next_value_size();
+    EXPECT_GE(size, 8u);
+    EXPECT_LE(size, 512u);
+  }
+}
+
+TEST(MixGraphTest, PutsHaveValidKeysAndData) {
+  MixGraphWorkload workload({.key_space = 100, .seed = 3});
+  std::set<std::string> keys;
+  for (int i = 0; i < 1000; ++i) {
+    const KvOp op = workload.next_put();
+    EXPECT_EQ(op.key.size(), 16u);
+    EXPECT_GE(op.value.size(), 1u);
+    keys.insert(op.key);
+  }
+  // All_random over a 100-key space: nearly every key gets touched.
+  EXPECT_GT(keys.size(), 90u);
+}
+
+TEST(MixGraphTest, DeterministicAcrossInstances) {
+  MixGraphWorkload a({.seed = 9});
+  MixGraphWorkload b({.seed = 9});
+  for (int i = 0; i < 100; ++i) {
+    const KvOp op_a = a.next_put();
+    const KvOp op_b = b.next_put();
+    EXPECT_EQ(op_a.key, op_b.key);
+    EXPECT_EQ(op_a.value, op_b.value);
+  }
+}
+
+TEST(FillRandomTest, FixedValueSize) {
+  FillRandomWorkload workload({.value_size = 128});
+  for (int i = 0; i < 100; ++i) {
+    const KvOp op = workload.next_put();
+    EXPECT_EQ(op.value.size(), 128u);  // Figure 6(b): fixed 128 B
+    EXPECT_EQ(op.key.size(), 16u);
+  }
+}
+
+TEST(FillRandomTest, KeysSpreadAcrossSpace) {
+  FillRandomWorkload workload({.key_space = 50, .value_size = 8});
+  std::set<std::string> keys;
+  for (int i = 0; i < 500; ++i) keys.insert(workload.next_put().key);
+  EXPECT_GT(keys.size(), 45u);
+}
+
+TEST(QuerySetTest, HasFivePaperCasesInOrder) {
+  const auto& cases = fig4_query_set();
+  ASSERT_EQ(cases.size(), 5u);
+  EXPECT_EQ(cases[0].name, "VPIC");
+  EXPECT_EQ(cases[1].name, "Laghos");
+  EXPECT_EQ(cases[2].name, "Asteroid");
+  EXPECT_EQ(cases[3].name, "TPC-H Q1");
+  EXPECT_EQ(cases[4].name, "TPC-H Q2");
+}
+
+TEST(QuerySetTest, PayloadSizesMatchFig4Scale) {
+  for (const QueryCase& query_case : fig4_query_set()) {
+    // Figure 4: segments are < 100 B; full strings are < 4 KB.
+    EXPECT_LT(query_case.segment.size(), 100u) << query_case.name;
+    EXPECT_LT(query_case.full_sql.size(), 4096u) << query_case.name;
+    EXPECT_LT(query_case.segment.size(), query_case.full_sql.size())
+        << query_case.name;
+  }
+  // Figure 4 scientific cases: even the FULL string is under 100 B.
+  const auto& cases = fig4_query_set();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_LT(cases[std::size_t(i)].full_sql.size(), 100u)
+        << cases[std::size_t(i)].name;
+  }
+}
+
+TEST(QuerySetTest, RowGeneratorsMatchSchemas) {
+  Rng rng(1);
+  for (const QueryCase& query_case : fig4_query_set()) {
+    const ByteVec row = query_case.make_row(rng);
+    EXPECT_EQ(row.size(), query_case.schema.row_size()) << query_case.name;
+  }
+}
+
+TEST(QuerySetTest, SegmentStartsWithTableName) {
+  for (const QueryCase& query_case : fig4_query_set()) {
+    EXPECT_EQ(query_case.segment.find(query_case.schema.name()), 0u)
+        << query_case.name;
+  }
+}
+
+}  // namespace
+}  // namespace bx::workload

@@ -1,0 +1,190 @@
+// Write-back cache on the block path: hit/miss semantics, FIFO eviction
+// under capacity pressure, flush draining, and full-stack behaviour
+// (writes absorbed in DRAM, NAND programs deferred to eviction/flush).
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "ssd/write_cache.h"
+#include "test_util.h"
+
+namespace bx::ssd {
+namespace {
+
+nand::Geometry tiny_geometry() {
+  nand::Geometry g;
+  g.channels = 2;
+  g.ways = 2;
+  g.blocks_per_die = 16;
+  g.pages_per_block = 16;
+  g.page_size = 4096;
+  return g;
+}
+
+class CacheFixture : public ::testing::Test {
+ protected:
+  CacheFixture()
+      : nand_(tiny_geometry(), nand::NandTiming{}, clock_),
+        ftl_(nand_, {.overprovision = 0.2, .gc_threshold_blocks = 2}) {}
+
+  WriteCache make_cache(std::size_t capacity_pages) {
+    return {ftl_, clock_, {.capacity_bytes = capacity_pages * 4096}};
+  }
+
+  ByteVec page(std::uint64_t seed) {
+    ByteVec data(4096);
+    fill_pattern(data, seed);
+    return data;
+  }
+
+  SimClock clock_;
+  nand::NandFlash nand_;
+  nand::Ftl ftl_;
+};
+
+TEST_F(CacheFixture, WriteIsAbsorbedWithoutNandProgram) {
+  WriteCache cache = make_cache(8);
+  ASSERT_TRUE(cache.write(3, page(1)).is_ok());
+  EXPECT_EQ(nand_.programs(), 0u);
+  EXPECT_EQ(cache.dirty_pages(), 1u);
+}
+
+TEST_F(CacheFixture, ReadHitsDirtyPage) {
+  WriteCache cache = make_cache(8);
+  ASSERT_TRUE(cache.write(3, page(1)).is_ok());
+  ByteVec out(4096);
+  ASSERT_TRUE(cache.read(3, out).is_ok());
+  EXPECT_TRUE(verify_pattern(out, 1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST_F(CacheFixture, ReadMissFallsThroughToFtl) {
+  WriteCache cache = make_cache(8);
+  ASSERT_TRUE(
+      ftl_.write(5, page(9), nand::NandFlash::Blocking::kForeground).is_ok());
+  ByteVec out(4096);
+  ASSERT_TRUE(cache.read(5, out).is_ok());
+  EXPECT_TRUE(verify_pattern(out, 9));
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(CacheFixture, RewriteRefreshesInPlace) {
+  WriteCache cache = make_cache(8);
+  ASSERT_TRUE(cache.write(3, page(1)).is_ok());
+  ASSERT_TRUE(cache.write(3, page(2)).is_ok());
+  EXPECT_EQ(cache.dirty_pages(), 1u);
+  ByteVec out(4096);
+  ASSERT_TRUE(cache.read(3, out).is_ok());
+  EXPECT_TRUE(verify_pattern(out, 2));
+}
+
+TEST_F(CacheFixture, FifoEvictionWritesBackOldest) {
+  WriteCache cache = make_cache(2);
+  ASSERT_TRUE(cache.write(0, page(0)).is_ok());
+  ASSERT_TRUE(cache.write(1, page(1)).is_ok());
+  ASSERT_TRUE(cache.write(2, page(2)).is_ok());  // evicts lpn 0
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.dirty_pages(), 2u);
+  EXPECT_TRUE(ftl_.is_mapped(0));   // went to NAND
+  EXPECT_FALSE(ftl_.is_mapped(1));  // still only in DRAM
+  ByteVec out(4096);
+  ASSERT_TRUE(cache.read(0, out).is_ok());  // read-through after eviction
+  EXPECT_TRUE(verify_pattern(out, 0));
+}
+
+TEST_F(CacheFixture, FlushDrainsEverything) {
+  WriteCache cache = make_cache(8);
+  for (std::uint64_t lpn = 0; lpn < 5; ++lpn) {
+    ASSERT_TRUE(cache.write(lpn, page(lpn)).is_ok());
+  }
+  ASSERT_TRUE(cache.flush().is_ok());
+  EXPECT_EQ(cache.dirty_pages(), 0u);
+  for (std::uint64_t lpn = 0; lpn < 5; ++lpn) {
+    ByteVec out(4096);
+    ASSERT_TRUE(ftl_.read(lpn, out).is_ok());
+    EXPECT_TRUE(verify_pattern(out, lpn)) << lpn;
+  }
+}
+
+TEST_F(CacheFixture, EvictionIsBackground) {
+  WriteCache cache = make_cache(1);
+  const Nanoseconds before = clock_.now();
+  ASSERT_TRUE(cache.write(0, page(0)).is_ok());
+  ASSERT_TRUE(cache.write(1, page(1)).is_ok());  // evicts 0, background
+  // Only DRAM copy costs hit the foreground clock; the NAND program time
+  // (default 400us) does not.
+  EXPECT_LT(clock_.now() - before, 10'000u);
+  EXPECT_GT(nand_.busiest_die_free_at(), clock_.now());
+}
+
+TEST_F(CacheFixture, OversizedWriteRejected) {
+  WriteCache cache = make_cache(4);
+  EXPECT_EQ(cache.write(0, ByteVec(4097)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- full-stack behaviour ----
+
+TEST(CachedBlockPathTest, WritesDeferNandAndFlushPersists) {
+  auto config = test::small_testbed_config();
+  config.ssd.enable_write_cache = true;
+  core::Testbed testbed(config);
+
+  ByteVec data(4096);
+  fill_pattern(data, 7);
+  driver::IoRequest write;
+  write.opcode = nvme::IoOpcode::kWrite;
+  write.slba = 3;
+  write.block_count = 1;
+  write.write_data = data;
+  auto write_done = testbed.driver().execute(write, 1);
+  ASSERT_TRUE(write_done.is_ok() && write_done->ok());
+  EXPECT_EQ(testbed.device().nand().programs(), 0u);  // absorbed in DRAM
+  EXPECT_EQ(testbed.device().write_cache().dirty_pages(), 1u);
+
+  // Read returns the cached data.
+  ByteVec read_back(4096);
+  driver::IoRequest read;
+  read.opcode = nvme::IoOpcode::kRead;
+  read.slba = 3;
+  read.block_count = 1;
+  read.read_buffer = read_back;
+  auto read_done = testbed.driver().execute(read, 1);
+  ASSERT_TRUE(read_done.is_ok() && read_done->ok());
+  EXPECT_EQ(read_back, data);
+
+  // NVMe Flush pushes it to NAND.
+  driver::IoRequest flush;
+  flush.opcode = nvme::IoOpcode::kFlush;
+  auto flush_done = testbed.driver().execute(flush, 1);
+  ASSERT_TRUE(flush_done.is_ok() && flush_done->ok());
+  EXPECT_GT(testbed.device().nand().programs(), 0u);
+  EXPECT_EQ(testbed.device().write_cache().dirty_pages(), 0u);
+  EXPECT_TRUE(testbed.device().ftl().is_mapped(3));
+}
+
+TEST(CachedBlockPathTest, CachedWritesAreMuchFasterThanDirect) {
+  auto cached_config = test::small_testbed_config();
+  cached_config.ssd.enable_write_cache = true;
+  core::Testbed cached(cached_config);
+  core::Testbed direct(test::small_testbed_config());
+
+  ByteVec data(4096);
+  fill_pattern(data, 1);
+  auto write_once = [&](core::Testbed& testbed) {
+    driver::IoRequest write;
+    write.opcode = nvme::IoOpcode::kWrite;
+    write.slba = 0;
+    write.block_count = 1;
+    write.write_data = data;
+    auto completion = testbed.driver().execute(write, 1);
+    EXPECT_TRUE(completion.is_ok() && completion->ok());
+    return completion->latency_ns;
+  };
+  // The direct path pays the foreground NAND program (20us in the small
+  // config); the cached path pays only transfer + DRAM copy.
+  EXPECT_LT(write_once(cached) + 15'000, write_once(direct));
+}
+
+}  // namespace
+}  // namespace bx::ssd
