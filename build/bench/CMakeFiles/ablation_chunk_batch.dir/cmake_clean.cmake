@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chunk_batch.dir/ablation_chunk_batch.cc.o"
+  "CMakeFiles/ablation_chunk_batch.dir/ablation_chunk_batch.cc.o.d"
+  "CMakeFiles/ablation_chunk_batch.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_chunk_batch.dir/bench_common.cc.o.d"
+  "ablation_chunk_batch"
+  "ablation_chunk_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunk_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

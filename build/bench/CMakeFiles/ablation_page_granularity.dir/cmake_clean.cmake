@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_page_granularity.dir/ablation_page_granularity.cc.o"
+  "CMakeFiles/ablation_page_granularity.dir/ablation_page_granularity.cc.o.d"
+  "CMakeFiles/ablation_page_granularity.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_page_granularity.dir/bench_common.cc.o.d"
+  "ablation_page_granularity"
+  "ablation_page_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_page_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

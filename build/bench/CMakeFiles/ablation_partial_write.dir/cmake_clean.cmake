@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partial_write.dir/ablation_partial_write.cc.o"
+  "CMakeFiles/ablation_partial_write.dir/ablation_partial_write.cc.o.d"
+  "CMakeFiles/ablation_partial_write.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_partial_write.dir/bench_common.cc.o.d"
+  "ablation_partial_write"
+  "ablation_partial_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partial_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

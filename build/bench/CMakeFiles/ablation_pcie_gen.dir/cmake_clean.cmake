@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pcie_gen.dir/ablation_pcie_gen.cc.o"
+  "CMakeFiles/ablation_pcie_gen.dir/ablation_pcie_gen.cc.o.d"
+  "CMakeFiles/ablation_pcie_gen.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_pcie_gen.dir/bench_common.cc.o.d"
+  "ablation_pcie_gen"
+  "ablation_pcie_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pcie_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_read_path.dir/ablation_read_path.cc.o"
+  "CMakeFiles/ablation_read_path.dir/ablation_read_path.cc.o.d"
+  "CMakeFiles/ablation_read_path.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_read_path.dir/bench_common.cc.o.d"
+  "ablation_read_path"
+  "ablation_read_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_read_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reassembly.dir/ablation_reassembly.cc.o"
+  "CMakeFiles/ablation_reassembly.dir/ablation_reassembly.cc.o.d"
+  "CMakeFiles/ablation_reassembly.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_reassembly.dir/bench_common.cc.o.d"
+  "ablation_reassembly"
+  "ablation_reassembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reassembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

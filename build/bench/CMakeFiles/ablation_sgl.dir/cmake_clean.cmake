@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sgl.dir/ablation_sgl.cc.o"
+  "CMakeFiles/ablation_sgl.dir/ablation_sgl.cc.o.d"
+  "CMakeFiles/ablation_sgl.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_sgl.dir/bench_common.cc.o.d"
+  "ablation_sgl"
+  "ablation_sgl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sgl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_payload_sweep.dir/bench_common.cc.o"
+  "CMakeFiles/fig5_payload_sweep.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig5_payload_sweep.dir/fig5_payload_sweep.cc.o"
+  "CMakeFiles/fig5_payload_sweep.dir/fig5_payload_sweep.cc.o.d"
+  "fig5_payload_sweep"
+  "fig5_payload_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_payload_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

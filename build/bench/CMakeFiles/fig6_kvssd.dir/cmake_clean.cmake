@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_kvssd.dir/bench_common.cc.o"
+  "CMakeFiles/fig6_kvssd.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig6_kvssd.dir/fig6_kvssd.cc.o"
+  "CMakeFiles/fig6_kvssd.dir/fig6_kvssd.cc.o.d"
+  "fig6_kvssd"
+  "fig6_kvssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_kvssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_csd.dir/bench_common.cc.o"
+  "CMakeFiles/fig7_csd.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig7_csd.dir/fig7_csd.cc.o"
+  "CMakeFiles/fig7_csd.dir/fig7_csd.cc.o.d"
+  "fig7_csd"
+  "fig7_csd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_csd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

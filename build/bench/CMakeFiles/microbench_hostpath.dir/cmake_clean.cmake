@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_hostpath.dir/microbench_hostpath.cc.o"
+  "CMakeFiles/microbench_hostpath.dir/microbench_hostpath.cc.o.d"
+  "microbench_hostpath"
+  "microbench_hostpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_hostpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_overheads.dir/bench_common.cc.o"
+  "CMakeFiles/table1_overheads.dir/bench_common.cc.o.d"
+  "CMakeFiles/table1_overheads.dir/table1_overheads.cc.o"
+  "CMakeFiles/table1_overheads.dir/table1_overheads.cc.o.d"
+  "table1_overheads"
+  "table1_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_put_get.dir/kv_put_get.cpp.o"
+  "CMakeFiles/kv_put_get.dir/kv_put_get.cpp.o.d"
+  "kv_put_get"
+  "kv_put_get.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_put_get.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

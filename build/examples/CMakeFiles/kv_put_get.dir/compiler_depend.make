@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kv_put_get.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_pushdown.dir/sql_pushdown.cpp.o"
+  "CMakeFiles/sql_pushdown.dir/sql_pushdown.cpp.o.d"
+  "sql_pushdown"
+  "sql_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_inspector.dir/traffic_inspector.cpp.o"
+  "CMakeFiles/traffic_inspector.dir/traffic_inspector.cpp.o.d"
+  "traffic_inspector"
+  "traffic_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

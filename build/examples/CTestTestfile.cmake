@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;bx_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kv_put_get "/root/repo/build/examples/kv_put_get")
+set_tests_properties(example_kv_put_get PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;bx_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sql_pushdown "/root/repo/build/examples/sql_pushdown")
+set_tests_properties(example_sql_pushdown PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;bx_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_traffic_inspector "/root/repo/build/examples/traffic_inspector" "size=96")
+set_tests_properties(example_traffic_inspector PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;bx_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_replay "/root/repo/build/examples/trace_replay" "ops=2000")
+set_tests_properties(example_trace_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;bx_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("pcie")
+subdirs("hostmem")
+subdirs("nvme")
+subdirs("nand")
+subdirs("driver")
+subdirs("controller")
+subdirs("ssd")
+subdirs("kv")
+subdirs("csd")
+subdirs("core")
+subdirs("workload")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_common.dir/bytes.cc.o"
+  "CMakeFiles/bx_common.dir/bytes.cc.o.d"
+  "CMakeFiles/bx_common.dir/config.cc.o"
+  "CMakeFiles/bx_common.dir/config.cc.o.d"
+  "CMakeFiles/bx_common.dir/crc32c.cc.o"
+  "CMakeFiles/bx_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/bx_common.dir/histogram.cc.o"
+  "CMakeFiles/bx_common.dir/histogram.cc.o.d"
+  "CMakeFiles/bx_common.dir/logging.cc.o"
+  "CMakeFiles/bx_common.dir/logging.cc.o.d"
+  "CMakeFiles/bx_common.dir/rng.cc.o"
+  "CMakeFiles/bx_common.dir/rng.cc.o.d"
+  "CMakeFiles/bx_common.dir/sim_clock.cc.o"
+  "CMakeFiles/bx_common.dir/sim_clock.cc.o.d"
+  "CMakeFiles/bx_common.dir/status.cc.o"
+  "CMakeFiles/bx_common.dir/status.cc.o.d"
+  "libbx_common.a"
+  "libbx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

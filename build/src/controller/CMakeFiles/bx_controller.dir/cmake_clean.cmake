@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_controller.dir/controller.cc.o"
+  "CMakeFiles/bx_controller.dir/controller.cc.o.d"
+  "CMakeFiles/bx_controller.dir/reassembly.cc.o"
+  "CMakeFiles/bx_controller.dir/reassembly.cc.o.d"
+  "libbx_controller.a"
+  "libbx_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_core.dir/measurement.cc.o"
+  "CMakeFiles/bx_core.dir/measurement.cc.o.d"
+  "CMakeFiles/bx_core.dir/report.cc.o"
+  "CMakeFiles/bx_core.dir/report.cc.o.d"
+  "CMakeFiles/bx_core.dir/testbed.cc.o"
+  "CMakeFiles/bx_core.dir/testbed.cc.o.d"
+  "libbx_core.a"
+  "libbx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

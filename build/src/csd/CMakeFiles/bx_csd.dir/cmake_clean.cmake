@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_csd.dir/csd_client.cc.o"
+  "CMakeFiles/bx_csd.dir/csd_client.cc.o.d"
+  "CMakeFiles/bx_csd.dir/filter_engine.cc.o"
+  "CMakeFiles/bx_csd.dir/filter_engine.cc.o.d"
+  "CMakeFiles/bx_csd.dir/row.cc.o"
+  "CMakeFiles/bx_csd.dir/row.cc.o.d"
+  "CMakeFiles/bx_csd.dir/schema.cc.o"
+  "CMakeFiles/bx_csd.dir/schema.cc.o.d"
+  "CMakeFiles/bx_csd.dir/sql.cc.o"
+  "CMakeFiles/bx_csd.dir/sql.cc.o.d"
+  "libbx_csd.a"
+  "libbx_csd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_csd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_driver.dir/nvme_driver.cc.o"
+  "CMakeFiles/bx_driver.dir/nvme_driver.cc.o.d"
+  "CMakeFiles/bx_driver.dir/request.cc.o"
+  "CMakeFiles/bx_driver.dir/request.cc.o.d"
+  "libbx_driver.a"
+  "libbx_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_hostmem.dir/dma_memory.cc.o"
+  "CMakeFiles/bx_hostmem.dir/dma_memory.cc.o.d"
+  "libbx_hostmem.a"
+  "libbx_hostmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_hostmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

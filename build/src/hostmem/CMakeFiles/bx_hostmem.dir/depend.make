@@ -1,0 +1,2 @@
+# Empty dependencies file for bx_hostmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/kv_client.cc" "src/kv/CMakeFiles/bx_kv.dir/kv_client.cc.o" "gcc" "src/kv/CMakeFiles/bx_kv.dir/kv_client.cc.o.d"
+  "/root/repo/src/kv/kv_engine.cc" "src/kv/CMakeFiles/bx_kv.dir/kv_engine.cc.o" "gcc" "src/kv/CMakeFiles/bx_kv.dir/kv_engine.cc.o.d"
+  "/root/repo/src/kv/memtable.cc" "src/kv/CMakeFiles/bx_kv.dir/memtable.cc.o" "gcc" "src/kv/CMakeFiles/bx_kv.dir/memtable.cc.o.d"
+  "/root/repo/src/kv/sstable.cc" "src/kv/CMakeFiles/bx_kv.dir/sstable.cc.o" "gcc" "src/kv/CMakeFiles/bx_kv.dir/sstable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nand/CMakeFiles/bx_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/bx_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/bx_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/bx_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostmem/CMakeFiles/bx_hostmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

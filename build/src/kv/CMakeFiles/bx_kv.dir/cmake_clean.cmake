@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_kv.dir/kv_client.cc.o"
+  "CMakeFiles/bx_kv.dir/kv_client.cc.o.d"
+  "CMakeFiles/bx_kv.dir/kv_engine.cc.o"
+  "CMakeFiles/bx_kv.dir/kv_engine.cc.o.d"
+  "CMakeFiles/bx_kv.dir/memtable.cc.o"
+  "CMakeFiles/bx_kv.dir/memtable.cc.o.d"
+  "CMakeFiles/bx_kv.dir/sstable.cc.o"
+  "CMakeFiles/bx_kv.dir/sstable.cc.o.d"
+  "libbx_kv.a"
+  "libbx_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_nand.dir/ftl.cc.o"
+  "CMakeFiles/bx_nand.dir/ftl.cc.o.d"
+  "CMakeFiles/bx_nand.dir/nand_flash.cc.o"
+  "CMakeFiles/bx_nand.dir/nand_flash.cc.o.d"
+  "libbx_nand.a"
+  "libbx_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_nvme.dir/prp.cc.o"
+  "CMakeFiles/bx_nvme.dir/prp.cc.o.d"
+  "CMakeFiles/bx_nvme.dir/queue.cc.o"
+  "CMakeFiles/bx_nvme.dir/queue.cc.o.d"
+  "CMakeFiles/bx_nvme.dir/sgl.cc.o"
+  "CMakeFiles/bx_nvme.dir/sgl.cc.o.d"
+  "CMakeFiles/bx_nvme.dir/spec.cc.o"
+  "CMakeFiles/bx_nvme.dir/spec.cc.o.d"
+  "libbx_nvme.a"
+  "libbx_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

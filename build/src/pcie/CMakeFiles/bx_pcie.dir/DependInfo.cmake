@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/bar.cc" "src/pcie/CMakeFiles/bx_pcie.dir/bar.cc.o" "gcc" "src/pcie/CMakeFiles/bx_pcie.dir/bar.cc.o.d"
+  "/root/repo/src/pcie/link.cc" "src/pcie/CMakeFiles/bx_pcie.dir/link.cc.o" "gcc" "src/pcie/CMakeFiles/bx_pcie.dir/link.cc.o.d"
+  "/root/repo/src/pcie/tlp.cc" "src/pcie/CMakeFiles/bx_pcie.dir/tlp.cc.o" "gcc" "src/pcie/CMakeFiles/bx_pcie.dir/tlp.cc.o.d"
+  "/root/repo/src/pcie/traffic_counter.cc" "src/pcie/CMakeFiles/bx_pcie.dir/traffic_counter.cc.o" "gcc" "src/pcie/CMakeFiles/bx_pcie.dir/traffic_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_pcie.dir/bar.cc.o"
+  "CMakeFiles/bx_pcie.dir/bar.cc.o.d"
+  "CMakeFiles/bx_pcie.dir/link.cc.o"
+  "CMakeFiles/bx_pcie.dir/link.cc.o.d"
+  "CMakeFiles/bx_pcie.dir/tlp.cc.o"
+  "CMakeFiles/bx_pcie.dir/tlp.cc.o.d"
+  "CMakeFiles/bx_pcie.dir/traffic_counter.cc.o"
+  "CMakeFiles/bx_pcie.dir/traffic_counter.cc.o.d"
+  "libbx_pcie.a"
+  "libbx_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

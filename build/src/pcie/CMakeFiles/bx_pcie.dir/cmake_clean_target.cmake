@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbx_pcie.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_ssd.dir/ssd_device.cc.o"
+  "CMakeFiles/bx_ssd.dir/ssd_device.cc.o.d"
+  "CMakeFiles/bx_ssd.dir/write_cache.cc.o"
+  "CMakeFiles/bx_ssd.dir/write_cache.cc.o.d"
+  "libbx_ssd.a"
+  "libbx_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bx_workload.dir/mixgraph.cc.o"
+  "CMakeFiles/bx_workload.dir/mixgraph.cc.o.d"
+  "CMakeFiles/bx_workload.dir/query_set.cc.o"
+  "CMakeFiles/bx_workload.dir/query_set.cc.o.d"
+  "CMakeFiles/bx_workload.dir/trace.cc.o"
+  "CMakeFiles/bx_workload.dir/trace.cc.o.d"
+  "libbx_workload.a"
+  "libbx_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bx_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_api_test.dir/admin_api_test.cc.o"
+  "CMakeFiles/admin_api_test.dir/admin_api_test.cc.o.d"
+  "admin_api_test"
+  "admin_api_test.pdb"
+  "admin_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_controller_test.dir/driver_controller_test.cc.o"
+  "CMakeFiles/driver_controller_test.dir/driver_controller_test.cc.o.d"
+  "driver_controller_test"
+  "driver_controller_test.pdb"
+  "driver_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

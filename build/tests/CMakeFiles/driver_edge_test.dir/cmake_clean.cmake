@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_edge_test.dir/driver_edge_test.cc.o"
+  "CMakeFiles/driver_edge_test.dir/driver_edge_test.cc.o.d"
+  "driver_edge_test"
+  "driver_edge_test.pdb"
+  "driver_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

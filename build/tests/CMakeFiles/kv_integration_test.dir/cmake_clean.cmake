@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_integration_test.dir/kv_integration_test.cc.o"
+  "CMakeFiles/kv_integration_test.dir/kv_integration_test.cc.o.d"
+  "kv_integration_test"
+  "kv_integration_test.pdb"
+  "kv_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_write_test.dir/partial_write_test.cc.o"
+  "CMakeFiles/partial_write_test.dir/partial_write_test.cc.o.d"
+  "partial_write_test"
+  "partial_write_test.pdb"
+  "partial_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

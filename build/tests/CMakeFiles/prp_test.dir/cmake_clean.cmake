@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prp_test.dir/prp_test.cc.o"
+  "CMakeFiles/prp_test.dir/prp_test.cc.o.d"
+  "prp_test"
+  "prp_test.pdb"
+  "prp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

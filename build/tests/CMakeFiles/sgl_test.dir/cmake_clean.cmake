@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgl_test.dir/sgl_test.cc.o"
+  "CMakeFiles/sgl_test.dir/sgl_test.cc.o.d"
+  "sgl_test"
+  "sgl_test.pdb"
+  "sgl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

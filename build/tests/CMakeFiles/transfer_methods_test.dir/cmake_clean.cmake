@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_methods_test.dir/transfer_methods_test.cc.o"
+  "CMakeFiles/transfer_methods_test.dir/transfer_methods_test.cc.o.d"
+  "transfer_methods_test"
+  "transfer_methods_test.pdb"
+  "transfer_methods_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_methods_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

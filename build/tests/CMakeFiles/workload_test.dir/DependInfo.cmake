@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bx_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/csd/CMakeFiles/bx_csd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/bx_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/bx_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/bx_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/bx_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostmem/CMakeFiles/bx_hostmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
