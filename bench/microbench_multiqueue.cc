@@ -1,0 +1,97 @@
+// Multi-submitter scaling microbenchmark (google-benchmark): N real
+// threads issue synchronous raw writes across the driver's I/O queues,
+// N swept 1 -> 8. Measures the wall-clock cost of the thread-safe host
+// path — per-SQ submit locks, atomic id allocation, shared completion
+// reaping — as contention grows. Two sharding shapes bracket the design
+// space: one queue per thread group (the intended deployment) and all
+// threads hammering a single queue (worst-case SQ-lock contention).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <mutex>
+
+#include "core/testbed.h"
+
+namespace {
+
+using bx::ByteVec;
+using bx::core::Testbed;
+using bx::core::TestbedConfig;
+using bx::driver::TransferMethod;
+
+constexpr std::uint16_t kIoQueues = 4;
+
+TestbedConfig bench_config() {
+  TestbedConfig config;
+  config.ssd.geometry.channels = 2;
+  config.ssd.geometry.ways = 2;
+  config.ssd.geometry.blocks_per_die = 64;
+  config.ssd.geometry.pages_per_block = 64;
+  config.driver.io_queue_count = kIoQueues;
+  return config;
+}
+
+// google-benchmark runs the same function on every thread; the testbed is
+// shared across them (that sharing is the thing under test), created by
+// the first thread in and destroyed by the last one out.
+std::unique_ptr<Testbed> g_testbed;
+std::mutex g_setup_mutex;
+
+void setup(const benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    std::lock_guard<std::mutex> lock(g_setup_mutex);
+    g_testbed = std::make_unique<Testbed>(bench_config());
+  }
+}
+
+void teardown(const benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    std::lock_guard<std::mutex> lock(g_setup_mutex);
+    g_testbed.reset();
+  }
+}
+
+void BM_MultiQueueWrite(benchmark::State& state, TransferMethod method,
+                        bool shard_queues) {
+  setup(state);
+  const auto qid = static_cast<std::uint16_t>(
+      shard_queues ? 1 + state.thread_index() % kIoQueues : 1);
+  ByteVec payload(static_cast<std::size_t>(state.range(0)));
+  bx::fill_pattern(payload, 1 + state.thread_index());
+  for (auto _ : state) {
+    auto completion = g_testbed->raw_write(payload, method, qid);
+    benchmark::DoNotOptimize(completion);
+    if (!completion.is_ok() || !completion->ok()) {
+      state.SkipWithError("write failed");
+      break;
+    }
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0));
+  teardown(state);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_MultiQueueWrite, inline_sharded,
+                  TransferMethod::kByteExpress, true)
+    ->Arg(64)
+    ->Arg(1024)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_MultiQueueWrite, prp_sharded, TransferMethod::kPrp,
+                  true)
+    ->Arg(64)
+    ->Arg(1024)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_MultiQueueWrite, inline_single_queue,
+                  TransferMethod::kByteExpress, false)
+    ->Arg(64)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_MultiQueueWrite, bandslim_sharded,
+                  TransferMethod::kBandSlim, true)
+    ->Arg(64)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();

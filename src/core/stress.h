@@ -1,0 +1,90 @@
+// Deterministic concurrency stress harness for the multi-submitter host
+// path.
+//
+// run_stress() drives a freshly-built Testbed through seeded rounds of
+// randomized submissions: N logical submitters issue mixed
+// inline/PRP/SGL/BandSlim writes across M I/O queues, then reap. Each
+// round is sized so every burst fits its rings without mid-burst fetching,
+// which lets the harness walk the raw SQ memory afterwards and check the
+// paper's structural guarantees as hard invariants:
+//
+//   1. Ring layout — every ByteExpress command is immediately followed by
+//      exactly its payload chunks (byte-exact), and BandSlim fragments of
+//      a stream appear in order with the right offsets (§3.3 / §3.2).
+//   2. Doorbells — exactly one SQ doorbell per inline submission (one per
+//      BandSlim command), counted at the BAR register.
+//   3. Completions — exactly one CQE per submission: every wait() returns
+//      success, the device's completions_posted matches the op count, and
+//      no pending entries leak.
+//   4. Traffic conservation — PCIe byte counters exactly account for the
+//      round against the controller's TransferStatsLog: 64 B per fetched
+//      slot, 16 B per CQE, 4 B per MSI-X and per doorbell, page-aligned
+//      PRP data, exact SGL data.
+//
+// Scheduling modes:
+//   * cooperative (default): one OS thread; a seeded scheduler picks which
+//     logical submitter steps next. Fully deterministic — the same seed
+//     reproduces the identical interleaving, byte-identical
+//     TransferStatsLog included (timing field and all).
+//   * OS threads (use_os_threads): one thread per submitter, for running
+//     the same schedule shape under ThreadSanitizer. Counters and
+//     invariants still hold; only the timing stats become
+//     schedule-dependent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "driver/request.h"
+#include "nvme/spec.h"
+
+namespace bx::core {
+
+struct StressOptions {
+  std::uint64_t seed = 0x5eed;
+  /// Logical submitters (cooperative tasks or OS threads).
+  std::uint16_t submitters = 8;
+  std::uint16_t io_queues = 4;
+  std::uint32_t queue_depth = 128;
+  std::uint32_t rounds = 6;
+  /// Submissions attempted per round; trimmed so each queue's burst fits
+  /// its ring (an op that would overflow its queue's budget is skipped).
+  std::uint32_t ops_per_round = 24;
+  std::uint32_t max_payload_bytes = 2048;
+  /// false: seeded cooperative interleaving on one OS thread
+  /// (deterministic); true: real threads (for TSan).
+  bool use_os_threads = false;
+  std::vector<driver::TransferMethod> methods = {
+      driver::TransferMethod::kPrp,          driver::TransferMethod::kSgl,
+      driver::TransferMethod::kByteExpress,  driver::TransferMethod::kBandSlim,
+      driver::TransferMethod::kByteExpressOoo,
+  };
+};
+
+struct StressResult {
+  /// First invariant violation (internal error), or OK.
+  Status status = Status::ok();
+  /// Human-readable description of the violation, empty when ok().
+  std::string failure;
+
+  std::uint64_t ops_submitted = 0;
+  std::uint64_t ops_completed = 0;
+  /// BAR doorbell writes across all I/O queues during the run.
+  std::uint64_t sq_doorbells = 0;
+  std::uint64_t cq_doorbells = 0;
+  /// Total PCIe wire bytes the run generated.
+  std::uint64_t wire_bytes = 0;
+  /// Device-side statistics delta over the run — byte-identical between
+  /// two cooperative runs with the same options.
+  nvme::TransferStatsLog stats_delta{};
+
+  [[nodiscard]] bool ok() const noexcept { return status.is_ok(); }
+};
+
+/// Builds a testbed per `options` and runs the full schedule. Never
+/// throws; invariant violations come back in the result.
+StressResult run_stress(const StressOptions& options);
+
+}  // namespace bx::core

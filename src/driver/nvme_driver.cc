@@ -1,5 +1,6 @@
 #include "driver/nvme_driver.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -94,6 +95,12 @@ NvmeDriver::QueuePair& NvmeDriver::queue(std::uint16_t qid) {
 
 nvme::SqRing& NvmeDriver::sq_for_test(std::uint16_t qid) {
   return *queue(qid).sq;
+}
+
+std::size_t NvmeDriver::pending_count_for_test(std::uint16_t qid) {
+  QueuePair& qp = queue(qid);
+  std::lock_guard<std::mutex> lock(qp.pending_mutex);
+  return qp.pending.size();
 }
 
 bool NvmeDriver::is_write_direction(nvme::IoOpcode opcode) noexcept {
@@ -255,19 +262,66 @@ Status NvmeDriver::attach_data_sgl(QueuePair& qp,
   return Status::ok();
 }
 
-void NvmeDriver::submit_plain(QueuePair& qp,
-                              const nvme::SubmissionQueueEntry& sqe) {
-  std::uint32_t tail;
-  const Nanoseconds start = link_.clock().now();
-  {
-    std::lock_guard<std::mutex> lock(qp.sq->lock());
-    BX_ASSERT_MSG(qp.sq->free_slots() >= 1, "SQ overflow");
-    link_.clock().advance(config_.timing.sqe_insert_ns);
-    qp.sq->push_slot(sqe_bytes(sqe));
-    tail = qp.sq->tail();
+std::uint16_t NvmeDriver::register_pending(QueuePair& qp, Pending pending) {
+  std::lock_guard<std::mutex> lock(qp.pending_mutex);
+  std::uint16_t cid;
+  do {
+    cid = qp.next_cid.fetch_add(1, std::memory_order_relaxed);
+  } while (qp.pending.count(cid) != 0);
+  qp.pending.emplace(cid, std::move(pending));
+  return cid;
+}
+
+std::uint16_t NvmeDriver::allocate_stream_id() noexcept {
+  // Stream id 0 is reserved (fragment commands carry cid 0); skip it when
+  // the 16-bit counter wraps.
+  for (;;) {
+    const std::uint16_t id =
+        next_stream_id_.fetch_add(1, std::memory_order_relaxed);
+    if (id != 0) return id;
   }
-  last_submit_cost_ns_ = link_.clock().now() - start;
-  doorbell_.ring_sq_tail(qp.sq->qid(), tail);
+}
+
+std::uint32_t NvmeDriver::allocate_payload_id() noexcept {
+  // Payload ids live in the low 31 bits of the OOO marker; masking the
+  // monotone counter keeps the value in range across wraparound without a
+  // read-modify-write race window.
+  for (;;) {
+    const std::uint32_t id =
+        next_payload_id_.fetch_add(1, std::memory_order_relaxed) & 0x7fffffffu;
+    if (id != 0) return id;
+  }
+}
+
+Status NvmeDriver::submit_plain(QueuePair& qp,
+                                const nvme::SubmissionQueueEntry& sqe) {
+  int idle_spins = 0;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(qp.sq->lock());
+      if (qp.sq->free_slots() >= 1) {
+        const Nanoseconds start = link_.clock().now();
+        link_.clock().advance(config_.timing.sqe_insert_ns);
+        qp.sq->push_slot(sqe_bytes(sqe));
+        last_submit_cost_ns_.store(link_.clock().now() - start,
+                                   std::memory_order_relaxed);
+        // Ring while still holding the ring lock: if the doorbell moved
+        // outside, a submitter that pushed a later tail could ring first
+        // and a stale earlier tail would then regress the BAR register,
+        // hiding entries from the device.
+        doorbell_.ring_sq_tail(qp.sq->qid(), qp.sq->tail());
+        return Status::ok();
+      }
+    }
+    // Ring full: reap and let the device drain, bounded so a wedged
+    // device surfaces as an error instead of a hang.
+    poll_completions(qp.sq->qid());
+    if (pump_once()) {
+      idle_spins = 0;
+    } else if (++idle_spins > 10000) {
+      return resource_exhausted("SQ full and device made no progress");
+    }
+  }
 }
 
 bool NvmeDriver::submit_inline_locked(QueuePair& qp,
@@ -277,13 +331,12 @@ bool NvmeDriver::submit_inline_locked(QueuePair& qp,
   const std::uint32_t chunks =
       ooo ? nvme::inline_chunk::ooo_chunks_for(payload.size())
           : nvme::inline_chunk::raw_chunks_for(payload.size());
-  std::uint32_t tail;
-  const Nanoseconds start = link_.clock().now();
   {
     // §3.3.2: command + chunks inserted under one hold of the SQ lock, so
     // the entries are consecutive and in order.
     std::lock_guard<std::mutex> lock(qp.sq->lock());
     if (qp.sq->free_slots() < 1 + chunks) return false;
+    const Nanoseconds start = link_.clock().now();
     link_.clock().advance(config_.timing.sqe_insert_ns);
     qp.sq->push_slot(sqe_bytes(sqe));
     std::size_t offset = 0;
@@ -308,11 +361,12 @@ bool NvmeDriver::submit_inline_locked(QueuePair& qp,
         offset += take;
       }
     }
-    tail = qp.sq->tail();
+    last_submit_cost_ns_.store(link_.clock().now() - start,
+                               std::memory_order_relaxed);
+    // One doorbell for the command and all of its chunks, rung before the
+    // lock drops so racing submitters cannot regress the tail register.
+    doorbell_.ring_sq_tail(qp.sq->qid(), qp.sq->tail());
   }
-  last_submit_cost_ns_ = link_.clock().now() - start;
-  // One doorbell for the command and all of its chunks.
-  doorbell_.ring_sq_tail(qp.sq->qid(), tail);
   return true;
 }
 
@@ -320,12 +374,11 @@ Status NvmeDriver::submit_bandslim(QueuePair& qp,
                                    nvme::SubmissionQueueEntry sqe,
                                    const IoRequest& request) {
   const ConstByteSpan payload = request.write_data;
-  const std::uint16_t stream = next_stream_id_++;
-  if (next_stream_id_ == 0) next_stream_id_ = 1;
+  const std::uint16_t stream = allocate_stream_id();
 
   const std::uint32_t embedded =
       nvme::bandslim::encode_header(sqe, stream, payload);
-  submit_plain(qp, sqe);
+  BX_RETURN_IF_ERROR(submit_plain(qp, sqe));
 
   // Dedicated fragment commands, serialized by the host ordering layer
   // (§3.2: "payload fragments must be sent through serialized CMDs").
@@ -343,7 +396,7 @@ Status NvmeDriver::submit_bandslim(QueuePair& qp,
     fragment.last = offset + fragment.length == payload.size();
     const auto frag_sqe = nvme::bandslim::encode_fragment(
         fragment, /*cid=*/0, payload.subspan(offset, fragment.length));
-    submit_plain(qp, frag_sqe);
+    BX_RETURN_IF_ERROR(submit_plain(qp, frag_sqe));
     offset += fragment.length;
   }
   return Status::ok();
@@ -374,15 +427,6 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
   const Nanoseconds submit_time = link_.clock().now();
   pending.submit_time_ns = submit_time;
 
-  std::uint16_t cid;
-  {
-    std::lock_guard<std::mutex> lock(qp.pending_mutex);
-    do {
-      cid = qp.next_cid++;
-    } while (qp.pending.count(cid) != 0);
-  }
-  sqe.cid = cid;
-
   switch (method) {
     case TransferMethod::kPrp: {
       BX_RETURN_IF_ERROR(attach_data_prp(qp, sqe, pending, request));
@@ -397,8 +441,7 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
       sqe.set_inline_length(
           static_cast<std::uint32_t>(request.write_data.size()));
       if (method == TransferMethod::kByteExpressOoo) {
-        nvme::inline_chunk::mark_sqe_ooo(sqe, next_payload_id_++);
-        if (next_payload_id_ >= 0x80000000u) next_payload_id_ = 1;
+        nvme::inline_chunk::mark_sqe_ooo(sqe, allocate_payload_id());
       }
       break;
     }
@@ -408,33 +451,47 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
       return internal_error("hybrid must be resolved before submission");
   }
 
-  {
+  const std::uint16_t cid = register_pending(qp, std::move(pending));
+  sqe.cid = cid;
+
+  const auto abandon = [&qp, cid] {
     std::lock_guard<std::mutex> lock(qp.pending_mutex);
-    qp.pending.emplace(cid, std::move(pending));
-  }
+    qp.pending.erase(cid);
+  };
 
   switch (method) {
     case TransferMethod::kPrp:
-    case TransferMethod::kSgl:
-      submit_plain(qp, sqe);
+    case TransferMethod::kSgl: {
+      const Status status = submit_plain(qp, sqe);
+      if (!status.is_ok()) {
+        abandon();
+        return status;
+      }
       break;
+    }
     case TransferMethod::kByteExpress:
     case TransferMethod::kByteExpressOoo: {
       // Wait for ring space if the queue is saturated with inline chunks.
-      int spins = 0;
+      int idle_spins = 0;
       while (!submit_inline_locked(qp, sqe, request.write_data)) {
         poll_completions(qid);
-        if (!pump_once() && ++spins > 10000) {
-          std::lock_guard<std::mutex> lock(qp.pending_mutex);
-          qp.pending.erase(cid);
+        if (pump_once()) {
+          idle_spins = 0;
+        } else if (++idle_spins > 10000) {
+          abandon();
           return resource_exhausted("SQ too shallow for inline payload");
         }
       }
       break;
     }
-    case TransferMethod::kBandSlim:
-      BX_RETURN_IF_ERROR(submit_bandslim(qp, sqe, request));
+    case TransferMethod::kBandSlim: {
+      const Status status = submit_bandslim(qp, sqe, request);
+      if (!status.is_ok()) {
+        abandon();
+        return status;
+      }
       break;
+    }
     case TransferMethod::kHybrid:
       return internal_error("unreachable");
   }
@@ -501,6 +558,9 @@ StatusOr<Completion> NvmeDriver::wait(const Submitted& handle) {
 
 std::size_t NvmeDriver::poll_completions(std::uint16_t qid) {
   QueuePair& qp = queue(qid);
+  // Serialize CQ consumption: wait() callers on the same queue all poll
+  // while spinning, and peek/pop/head-doorbell must be one atomic step.
+  std::lock_guard<std::mutex> cq_lock(qp.cq_mutex);
   std::size_t reaped = 0;
   nvme::CompletionQueueEntry cqe;
   while (qp.cq->peek(cqe)) {
@@ -551,85 +611,81 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
     return invalid_argument("payload too large for inline transfer");
   }
 
-  // Capacity check: the command occupies one slot on the home queue, and
-  // the chunks round-robin across the stripe set. Unlike the queue-local
-  // path, striped queues that carry only chunks never receive CQEs, so the
-  // host's head cache can lag — surface that as backpressure instead of
-  // overrunning a ring.
+  QueuePair& home = queue(qids.front());
+  nvme::SubmissionQueueEntry sqe = build_base_sqe(request);
+  sqe.set_inline_length(static_cast<std::uint32_t>(request.write_data.size()));
+  const std::uint32_t payload_id = allocate_payload_id();
+  nvme::inline_chunk::mark_sqe_ooo(sqe, payload_id);
+
+  Pending initial;
+  initial.submit_time_ns = link_.clock().now();
+  const std::uint16_t cid = register_pending(home, std::move(initial));
+  sqe.cid = cid;
+
+  const Nanoseconds submit_time = link_.clock().now();
+  const std::uint32_t chunks =
+      nvme::inline_chunk::ooo_chunks_for(request.write_data.size());
+
   {
-    const std::uint32_t total_chunks =
-        nvme::inline_chunk::ooo_chunks_for(request.write_data.size());
+    // Hold every stripe queue's SQ lock for the whole capacity check +
+    // push + doorbell sequence, acquired in ascending qid order (the one
+    // place multiple SQ locks nest — see the lock-order comment in the
+    // header). This keeps the capacity check atomic with the pushes under
+    // concurrent submitters, and rings each doorbell before its lock
+    // drops.
+    std::vector<std::uint16_t> ordered(qids);
+    std::sort(ordered.begin(), ordered.end());
+    ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(ordered.size());
+    for (const std::uint16_t qid : ordered) {
+      locks.emplace_back(queue(qid).sq->lock());
+    }
+
+    // Capacity check: the command occupies one slot on the home queue, and
+    // the chunks round-robin across the stripe set. Unlike the queue-local
+    // path, striped queues that carry only chunks never receive CQEs, so
+    // the host's head cache can lag — surface that as backpressure instead
+    // of overrunning a ring.
     for (std::size_t j = 0; j < qids.size(); ++j) {
-      std::uint32_t need = total_chunks / qids.size() +
-                           (j < total_chunks % qids.size() ? 1 : 0);
+      std::uint32_t need = chunks / qids.size() +
+                           (j < chunks % qids.size() ? 1 : 0);
       if (j == 0) ++need;  // the command itself
-      QueuePair& qp = queue(qids[j]);
-      std::lock_guard<std::mutex> lock(qp.sq->lock());
-      if (qp.sq->free_slots() < need) {
+      if (queue(qids[j]).sq->free_slots() < need) {
+        std::lock_guard<std::mutex> plock(home.pending_mutex);
+        home.pending.erase(cid);
         return resource_exhausted("stripe queue " +
                                   std::to_string(qids[j]) + " lacks space");
       }
     }
-  }
 
-  QueuePair& home = queue(qids.front());
-  nvme::SubmissionQueueEntry sqe = build_base_sqe(request);
-  sqe.set_inline_length(static_cast<std::uint32_t>(request.write_data.size()));
-  const std::uint32_t payload_id = next_payload_id_++;
-  if (next_payload_id_ >= 0x80000000u) next_payload_id_ = 1;
-  nvme::inline_chunk::mark_sqe_ooo(sqe, payload_id);
-
-  std::uint16_t cid;
-  {
-    std::lock_guard<std::mutex> lock(home.pending_mutex);
-    do {
-      cid = home.next_cid++;
-    } while (home.pending.count(cid) != 0);
-    Pending pending;
-    pending.submit_time_ns = link_.clock().now();
-    home.pending.emplace(cid, std::move(pending));
-  }
-  sqe.cid = cid;
-
-  const Nanoseconds submit_time = link_.clock().now();
-
-  // Command into the home queue.
-  {
-    std::lock_guard<std::mutex> lock(home.sq->lock());
-    BX_ASSERT(home.sq->free_slots() >= 1);
+    // Command into the home queue.
     link_.clock().advance(config_.timing.sqe_insert_ns);
     home.sq->push_slot(sqe_bytes(sqe));
-  }
 
-  // Chunks striped round-robin across the whole queue set.
-  const std::uint32_t chunks =
-      nvme::inline_chunk::ooo_chunks_for(request.write_data.size());
-  std::size_t offset = 0;
-  for (std::uint32_t i = 0; i < chunks; ++i) {
-    QueuePair& target = queue(qids[i % qids.size()]);
-    const std::size_t take =
-        std::min<std::size_t>(nvme::inline_chunk::kOooChunkCapacity,
-                              request.write_data.size() - offset);
-    const auto slot = nvme::inline_chunk::encode_ooo_chunk(
-        payload_id, static_cast<std::uint16_t>(i),
-        static_cast<std::uint16_t>(chunks),
-        request.write_data.subspan(offset, take));
-    {
-      std::lock_guard<std::mutex> lock(target.sq->lock());
-      BX_ASSERT(target.sq->free_slots() >= 1);
+    // Chunks striped round-robin across the whole queue set.
+    std::size_t offset = 0;
+    for (std::uint32_t i = 0; i < chunks; ++i) {
+      QueuePair& target = queue(qids[i % qids.size()]);
+      const std::size_t take =
+          std::min<std::size_t>(nvme::inline_chunk::kOooChunkCapacity,
+                                request.write_data.size() - offset);
+      const auto slot = nvme::inline_chunk::encode_ooo_chunk(
+          payload_id, static_cast<std::uint16_t>(i),
+          static_cast<std::uint16_t>(chunks),
+          request.write_data.subspan(offset, take));
       link_.clock().advance(config_.timing.chunk_insert_ns);
       target.sq->push_slot({slot.raw, sizeof(slot.raw)});
+      offset += take;
     }
-    offset += take;
-  }
+    last_submit_cost_ns_.store(link_.clock().now() - submit_time,
+                               std::memory_order_relaxed);
 
-  // One doorbell per touched queue.
-  for (const std::uint16_t qid : qids) {
-    QueuePair& qp = queue(qid);
-    std::lock_guard<std::mutex> lock(qp.sq->lock());
-    doorbell_.ring_sq_tail(qid, qp.sq->tail());
+    // One doorbell per touched queue, rung while the locks are held.
+    for (const std::uint16_t qid : ordered) {
+      doorbell_.ring_sq_tail(qid, queue(qid).sq->tail());
+    }
   }
-  last_submit_cost_ns_ = link_.clock().now() - submit_time;
 
   Submitted handle;
   handle.qid = qids.front();
@@ -641,18 +697,16 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
 StatusOr<Completion> NvmeDriver::execute_admin(
     nvme::SubmissionQueueEntry sqe) {
   if (!pump_) return failed_precondition("no device attached");
-  std::uint16_t cid;
-  {
-    std::lock_guard<std::mutex> lock(admin_.pending_mutex);
-    do {
-      cid = admin_.next_cid++;
-    } while (admin_.pending.count(cid) != 0);
-    Pending pending;
-    pending.submit_time_ns = link_.clock().now();
-    admin_.pending.emplace(cid, std::move(pending));
-  }
+  Pending initial;
+  initial.submit_time_ns = link_.clock().now();
+  const std::uint16_t cid = register_pending(admin_, std::move(initial));
   sqe.cid = cid;
-  submit_plain(admin_, sqe);
+  const Status status = submit_plain(admin_, sqe);
+  if (!status.is_ok()) {
+    std::lock_guard<std::mutex> lock(admin_.pending_mutex);
+    admin_.pending.erase(cid);
+    return status;
+  }
 
   Submitted handle;
   handle.qid = 0;

@@ -10,8 +10,24 @@
 //
 // The driver is transport only — it never interprets vendor command
 // semantics; that is the device's job.
+//
+// Thread safety (see docs/CONCURRENCY.md for the full model): after
+// init_io_queues() returns, any number of submitter threads may call
+// submit()/wait()/execute()/poll_completions()/execute_ooo_striped()
+// concurrently, on the same or different queues. Three locks exist per
+// queue pair and are acquired in this order, never the reverse:
+//
+//   cq_mutex  ->  SqRing::lock()  ->  pending_mutex
+//
+// (Most paths hold only one of them at a time; poll_completions() is the
+// one path that nests all three.) execute_ooo_striped() is the only path
+// holding several queues' SQ locks at once; it acquires them in ascending
+// qid order. Doorbells are rung while the ring lock is held, so BAR tail
+// values never regress when two submitters race.
+// Command/stream/payload identifiers come from atomic allocators.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -52,7 +68,9 @@ class NvmeDriver {
 
   /// Advances the device model; returns true if it made progress. The
   /// driver pumps this while waiting for completions (the simulation's
-  /// stand-in for the device running concurrently).
+  /// stand-in for the device running concurrently). Called from any
+  /// submitter thread — the owner of the device model must serialize
+  /// internally (the Testbed wraps it in the firmware mutex).
   using Pump = std::function<bool()>;
 
   struct QueueInfo {
@@ -76,6 +94,7 @@ class NvmeDriver {
 
   /// Creates the configured I/O queues via CreateIoCq/CreateIoSq admin
   /// commands (the controller must already be attached and pumping).
+  /// NOT thread-safe: must complete before concurrent submissions start.
   Status init_io_queues();
 
   // ---- admin command helpers ----
@@ -124,12 +143,28 @@ class NvmeDriver {
 
   /// Cost of the most recent SQ-submit section (Table 1, driver column):
   /// time spent inserting the SQE plus any inline chunks, lock held.
+  /// Under concurrent submitters this is "a recent" submit cost — the
+  /// single-threaded benchmarks that consume it stay exact.
   [[nodiscard]] Nanoseconds last_submit_cost() const noexcept {
-    return last_submit_cost_ns_;
+    return last_submit_cost_ns_.load(std::memory_order_relaxed);
   }
 
   /// Direct ring access for white-box tests (ordering invariants).
   [[nodiscard]] nvme::SqRing& sq_for_test(std::uint16_t qid);
+
+  // ---- concurrency test hooks ----
+
+  /// In-flight (submitted, not yet reaped-and-waited) commands on `qid`.
+  [[nodiscard]] std::size_t pending_count_for_test(std::uint16_t qid);
+  /// The atomic BandSlim stream-id allocator, exposed so regression tests
+  /// can hammer it from many threads and assert uniqueness.
+  [[nodiscard]] std::uint16_t allocate_stream_id_for_test() {
+    return allocate_stream_id();
+  }
+  /// The atomic OOO payload-id allocator (same purpose).
+  [[nodiscard]] std::uint32_t allocate_payload_id_for_test() {
+    return allocate_payload_id();
+  }
 
  private:
   struct Pending {
@@ -146,7 +181,14 @@ class NvmeDriver {
   struct QueuePair {
     std::unique_ptr<nvme::SqRing> sq;
     std::unique_ptr<nvme::CqRing> cq;
-    std::uint16_t next_cid = 0;
+    /// CID allocator. Atomic so the counter itself never races; the
+    /// allocation loop still checks uniqueness against `pending` under
+    /// pending_mutex (CIDs recycle once a command is reaped).
+    std::atomic<std::uint16_t> next_cid{0};
+    /// Serializes CQ consumption (peek/pop/head doorbell) across the many
+    /// threads that may poll the same queue while waiting.
+    std::mutex cq_mutex;
+    /// Guards `pending` (and the CID-uniqueness check).
     std::mutex pending_mutex;
     std::unordered_map<std::uint16_t, Pending> pending;
   };
@@ -168,11 +210,24 @@ class NvmeDriver {
   Status attach_data_sgl(QueuePair& qp, nvme::SubmissionQueueEntry& sqe,
                          Pending& pending, const IoRequest& request);
 
-  /// Pushes `sqe` (and nothing else) under the SQ lock and rings the bell.
-  void submit_plain(QueuePair& qp, const nvme::SubmissionQueueEntry& sqe);
+  /// Atomically allocates a CID unique among `qp`'s in-flight commands and
+  /// registers `pending` under it — one pending_mutex hold, so two racing
+  /// submitters can never be handed the same CID.
+  std::uint16_t register_pending(QueuePair& qp, Pending pending);
+  /// Atomic BandSlim stream-id allocation (never returns 0).
+  std::uint16_t allocate_stream_id() noexcept;
+  /// Atomic OOO payload-id allocation (returns 1..0x7fffffff).
+  std::uint32_t allocate_payload_id() noexcept;
+
+  /// Pushes `sqe` (and nothing else) under the SQ lock and rings the bell
+  /// before releasing it. Applies backpressure when the ring is full:
+  /// reaps/pumps until a slot frees, failing with kResourceExhausted only
+  /// if the device stops making progress.
+  Status submit_plain(QueuePair& qp, const nvme::SubmissionQueueEntry& sqe);
 
   /// The ByteExpress host path: SQE + raw chunks under one lock hold, one
-  /// doorbell. Returns false if the ring lacks space.
+  /// doorbell (rung before the lock is released). Returns false if the
+  /// ring lacks space.
   bool submit_inline_locked(QueuePair& qp,
                             const nvme::SubmissionQueueEntry& sqe,
                             ConstByteSpan payload);
@@ -199,11 +254,13 @@ class NvmeDriver {
   Pump pump_;
 
   QueuePair admin_;
-  std::vector<std::unique_ptr<QueuePair>> io_queues_;  // index 0 == qid 1
+  /// Index 0 == qid 1. Written only by init_io_queues(); immutable while
+  /// submitter threads run.
+  std::vector<std::unique_ptr<QueuePair>> io_queues_;
 
-  std::uint16_t next_stream_id_ = 1;    // BandSlim stream ids
-  std::uint32_t next_payload_id_ = 1;   // OOO payload ids
-  Nanoseconds last_submit_cost_ns_ = 0;
+  std::atomic<std::uint16_t> next_stream_id_{1};   // BandSlim stream ids
+  std::atomic<std::uint32_t> next_payload_id_{1};  // OOO payload ids
+  std::atomic<Nanoseconds> last_submit_cost_ns_{0};
 };
 
 }  // namespace bx::driver

@@ -3,28 +3,50 @@
 namespace bx::pcie {
 
 BarSpace::BarSpace(std::uint16_t max_queues)
-    : sq_tail_(max_queues, 0), cq_head_(max_queues, 0) {
+    : max_queues_(max_queues),
+      sq_tail_(new std::atomic<std::uint32_t>[max_queues]),
+      cq_head_(new std::atomic<std::uint32_t>[max_queues]),
+      sq_doorbell_writes_(new std::atomic<std::uint64_t>[max_queues]),
+      cq_doorbell_writes_(new std::atomic<std::uint64_t>[max_queues]) {
   BX_ASSERT(max_queues >= 1);
+  for (std::uint16_t i = 0; i < max_queues; ++i) {
+    sq_tail_[i].store(0, std::memory_order_relaxed);
+    cq_head_[i].store(0, std::memory_order_relaxed);
+    sq_doorbell_writes_[i].store(0, std::memory_order_relaxed);
+    cq_doorbell_writes_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 std::uint32_t BarSpace::sq_tail(std::uint16_t qid) const noexcept {
-  BX_ASSERT(qid < sq_tail_.size());
-  return sq_tail_[qid];
+  BX_ASSERT(qid < max_queues_);
+  return sq_tail_[qid].load(std::memory_order_acquire);
 }
 
 std::uint32_t BarSpace::cq_head(std::uint16_t qid) const noexcept {
-  BX_ASSERT(qid < cq_head_.size());
-  return cq_head_[qid];
+  BX_ASSERT(qid < max_queues_);
+  return cq_head_[qid].load(std::memory_order_acquire);
 }
 
 void BarSpace::set_sq_tail(std::uint16_t qid, std::uint32_t value) noexcept {
-  BX_ASSERT(qid < sq_tail_.size());
-  sq_tail_[qid] = value;
+  BX_ASSERT(qid < max_queues_);
+  sq_doorbell_writes_[qid].fetch_add(1, std::memory_order_relaxed);
+  sq_tail_[qid].store(value, std::memory_order_release);
 }
 
 void BarSpace::set_cq_head(std::uint16_t qid, std::uint32_t value) noexcept {
-  BX_ASSERT(qid < cq_head_.size());
-  cq_head_[qid] = value;
+  BX_ASSERT(qid < max_queues_);
+  cq_doorbell_writes_[qid].fetch_add(1, std::memory_order_relaxed);
+  cq_head_[qid].store(value, std::memory_order_release);
+}
+
+std::uint64_t BarSpace::sq_doorbell_writes(std::uint16_t qid) const noexcept {
+  BX_ASSERT(qid < max_queues_);
+  return sq_doorbell_writes_[qid].load(std::memory_order_relaxed);
+}
+
+std::uint64_t BarSpace::cq_doorbell_writes(std::uint16_t qid) const noexcept {
+  BX_ASSERT(qid < max_queues_);
+  return cq_doorbell_writes_[qid].load(std::memory_order_relaxed);
 }
 
 }  // namespace bx::pcie

@@ -5,10 +5,18 @@
 // MMIO MWr TLP on the link and then updates the register; the controller
 // observes new values by polling (matching the OpenSSD firmware, which polls
 // SQ tail doorbells in round-robin).
+//
+// Concurrency: the registers are atomics because host submitter threads
+// write doorbells while the controller polls them from whichever thread is
+// pumping the device. A doorbell write is a release store and a poll is an
+// acquire load, so ring entries written before the doorbell are visible to
+// the device after it observes the new tail — the simulated analog of the
+// write barrier the kernel driver issues before an MMIO doorbell.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "common/status.h"
 #include "pcie/link.h"
@@ -26,13 +34,23 @@ class BarSpace {
   void set_sq_tail(std::uint16_t qid, std::uint32_t value) noexcept;
   void set_cq_head(std::uint16_t qid, std::uint32_t value) noexcept;
 
+  /// Doorbell write counts per queue — observability for the concurrency
+  /// stress harness ("exactly one doorbell per inline submission").
+  [[nodiscard]] std::uint64_t sq_doorbell_writes(
+      std::uint16_t qid) const noexcept;
+  [[nodiscard]] std::uint64_t cq_doorbell_writes(
+      std::uint16_t qid) const noexcept;
+
   [[nodiscard]] std::uint16_t max_queues() const noexcept {
-    return static_cast<std::uint16_t>(sq_tail_.size());
+    return max_queues_;
   }
 
  private:
-  std::vector<std::uint32_t> sq_tail_;
-  std::vector<std::uint32_t> cq_head_;
+  std::uint16_t max_queues_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> sq_tail_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> cq_head_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> sq_doorbell_writes_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> cq_doorbell_writes_;
 };
 
 /// Host-side handle that pays the MMIO cost for each doorbell write.

@@ -27,20 +27,23 @@ void TrafficCounter::record(Direction dir, TrafficClass cls,
   const auto d = static_cast<std::size_t>(dir);
   const auto c = static_cast<std::size_t>(cls);
   BX_ASSERT(d < 2 && c < kClasses);
-  std::lock_guard<std::mutex> lock(mutex_);
-  cells_[d][c].add(tlps, data_bytes, wire_bytes);
+  AtomicCell& cell = cells_[d][c];
+  cell.tlps.fetch_add(tlps, std::memory_order_relaxed);
+  cell.data_bytes.fetch_add(data_bytes, std::memory_order_relaxed);
+  cell.wire_bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
 }
 
 TrafficCell TrafficCounter::cell(Direction dir,
                                  TrafficClass cls) const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return cells_[static_cast<std::size_t>(dir)][static_cast<std::size_t>(cls)];
+  return cells_[static_cast<std::size_t>(dir)][static_cast<std::size_t>(cls)]
+      .snapshot();
 }
 
 TrafficCell TrafficCounter::total(Direction dir) const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
   TrafficCell sum;
-  for (const auto& cell : cells_[static_cast<std::size_t>(dir)]) sum += cell;
+  for (const auto& cell : cells_[static_cast<std::size_t>(dir)]) {
+    sum += cell.snapshot();
+  }
   return sum;
 }
 
@@ -51,9 +54,12 @@ TrafficCell TrafficCounter::total() const noexcept {
 }
 
 void TrafficCounter::reset() noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
   for (auto& dir : cells_) {
-    for (auto& cell : dir) cell = TrafficCell{};
+    for (auto& cell : dir) {
+      cell.tlps.store(0, std::memory_order_relaxed);
+      cell.data_bytes.store(0, std::memory_order_relaxed);
+      cell.wire_bytes.store(0, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -61,22 +67,19 @@ std::string TrafficCounter::breakdown() const {
   std::string out =
       "class        direction   tlps         data_bytes     wire_bytes\n";
   char line[160];
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t d = 0; d < 2; ++d) {
-      for (std::size_t c = 0; c < kClasses; ++c) {
-        const TrafficCell& cell = cells_[d][c];
-        if (cell.tlps == 0) continue;
-        std::snprintf(
-            line, sizeof(line), "%-12s %-11s %-12llu %-14llu %llu\n",
-            std::string(traffic_class_name(static_cast<TrafficClass>(c)))
-                .c_str(),
-            d == 0 ? "host->dev" : "dev->host",
-            static_cast<unsigned long long>(cell.tlps),
-            static_cast<unsigned long long>(cell.data_bytes),
-            static_cast<unsigned long long>(cell.wire_bytes));
-        out += line;
-      }
+  for (std::size_t d = 0; d < 2; ++d) {
+    for (std::size_t c = 0; c < kClasses; ++c) {
+      const TrafficCell cell = cells_[d][c].snapshot();
+      if (cell.tlps == 0) continue;
+      std::snprintf(
+          line, sizeof(line), "%-12s %-11s %-12llu %-14llu %llu\n",
+          std::string(traffic_class_name(static_cast<TrafficClass>(c)))
+              .c_str(),
+          d == 0 ? "host->dev" : "dev->host",
+          static_cast<unsigned long long>(cell.tlps),
+          static_cast<unsigned long long>(cell.data_bytes),
+          static_cast<unsigned long long>(cell.wire_bytes));
+      out += line;
     }
   }
   const TrafficCell sum = total();

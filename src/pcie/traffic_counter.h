@@ -4,8 +4,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 namespace bx::pcie {
@@ -30,6 +30,7 @@ enum class TrafficClass : std::uint8_t {
 
 std::string_view traffic_class_name(TrafficClass cls) noexcept;
 
+/// A read-side snapshot of one (direction, class) counter cell.
 struct TrafficCell {
   std::uint64_t tlps = 0;
   std::uint64_t data_bytes = 0;
@@ -47,8 +48,13 @@ struct TrafficCell {
   }
 };
 
-/// Thread-safe: record() may be called from concurrent host threads in the
-/// ordering tests; readers take the same lock.
+/// Thread-safe and lock-free: record() sits on the hot path of every TLP,
+/// and under multi-submitter load it is called from every host thread plus
+/// whichever thread is pumping the device — so the cells are relaxed
+/// atomics rather than a shared mutex. Readers snapshot cell by cell;
+/// totals read while traffic is in flight are monotone lower bounds, and
+/// exact once the system quiesces (which is when tests and benchmarks
+/// read them).
 class TrafficCounter {
  public:
   void record(Direction dir, TrafficClass cls, std::uint64_t tlps,
@@ -76,8 +82,20 @@ class TrafficCounter {
  private:
   static constexpr std::size_t kClasses =
       static_cast<std::size_t>(TrafficClass::kCount_);
-  mutable std::mutex mutex_;
-  std::array<std::array<TrafficCell, kClasses>, 2> cells_{};
+
+  struct AtomicCell {
+    std::atomic<std::uint64_t> tlps{0};
+    std::atomic<std::uint64_t> data_bytes{0};
+    std::atomic<std::uint64_t> wire_bytes{0};
+
+    [[nodiscard]] TrafficCell snapshot() const noexcept {
+      return {tlps.load(std::memory_order_relaxed),
+              data_bytes.load(std::memory_order_relaxed),
+              wire_bytes.load(std::memory_order_relaxed)};
+    }
+  };
+
+  std::array<std::array<AtomicCell, kClasses>, 2> cells_{};
 };
 
 }  // namespace bx::pcie
