@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       auto config = env.testbed_config();
       config.controller.chunk_fetch_batch = batch;
       core::Testbed testbed(config);
-      const auto stats = core::run_write_sweep(
+      const auto stats = bench::sweep(
           testbed, driver::TransferMethod::kByteExpress, size, env.ops / 4);
       std::printf(" %-10.0f", stats.mean_latency_ns());
     }
@@ -44,14 +44,14 @@ int main(int argc, char** argv) {
     auto config = env.testbed_config();
     config.controller.chunk_fetch_batch = batch;
     core::Testbed testbed(config);
-    const double prp = core::run_write_sweep(testbed,
+    const double prp = bench::sweep(testbed,
                                              driver::TransferMethod::kPrp,
                                              64, env.ops / 4)
                            .mean_latency_ns();
     std::uint32_t crossover = 0;
     for (std::uint32_t size = 64; size <= 4096; size += 64) {
       const double bx =
-          core::run_write_sweep(testbed,
+          bench::sweep(testbed,
                                 driver::TransferMethod::kByteExpress, size,
                                 env.ops / 16 + 1)
               .mean_latency_ns();

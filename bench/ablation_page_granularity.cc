@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       auto config = env.testbed_config();
       config.controller.prp_transfer_unit = unit;
       core::Testbed testbed(config);
-      const auto stats = core::run_write_sweep(
+      const auto stats = bench::sweep(
           testbed, driver::TransferMethod::kPrp, size, env.ops / 4);
       wire[column] = stats.wire_bytes_per_op();
       latency[column] = stats.mean_latency_ns();
@@ -47,9 +47,9 @@ int main(int argc, char** argv) {
   auto fine_config = env.testbed_config();
   fine_config.controller.prp_transfer_unit = 512;
   core::Testbed fine(fine_config);
-  const auto fine_prp = core::run_write_sweep(
+  const auto fine_prp = bench::sweep(
       fine, driver::TransferMethod::kPrp, 64, env.ops / 4);
-  const auto fine_bx = core::run_write_sweep(
+  const auto fine_bx = bench::sweep(
       fine, driver::TransferMethod::kByteExpress, 64, env.ops / 4);
   std::printf("\n@64 B with a 512 B unit: PRP %.0f B/op, %.0f ns — "
               "ByteExpress still %.0f B/op, %.0f ns\n",

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
         driver::TransferMethod::kBandSlim};
     for (int s = 0; s < 2; ++s) {
       for (int m = 0; m < 3; ++m) {
-        latency[s][m] = core::run_write_sweep(testbed, methods[m], sizes[s],
+        latency[s][m] = bench::sweep(testbed, methods[m], sizes[s],
                                               env.ops / 4)
                             .mean_latency_ns();
       }
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   core::Testbed testbed(config);
   for (const driver::TransferMethod method :
        {driver::TransferMethod::kPrp, driver::TransferMethod::kByteExpress}) {
-    const auto stats = core::run_write_sweep(testbed, method, 64, 1000);
+    const auto stats = bench::sweep(testbed, method, 64, 1000);
     std::printf("  %-14s %.0f B\n",
                 std::string(driver::transfer_method_name(method)).c_str(),
                 stats.wire_bytes_per_op());

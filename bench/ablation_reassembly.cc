@@ -28,9 +28,9 @@ int main(int argc, char** argv) {
               "mean ns", "wireB/op", "mean ns");
   for (const std::uint32_t size : {48u, 64u, 128u, 256u, 1024u, 4096u}) {
     core::Testbed testbed(env.testbed_config());
-    const auto local = core::run_write_sweep(
+    const auto local = bench::sweep(
         testbed, driver::TransferMethod::kByteExpress, size, env.ops / 4);
-    const auto ooo = core::run_write_sweep(
+    const auto ooo = bench::sweep(
         testbed, driver::TransferMethod::kByteExpressOoo, size,
         env.ops / 4);
     std::printf("%-10u | %-11.0f %-11.0f  | %-11.0f %-11.0f\n", size,

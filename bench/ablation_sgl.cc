@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
         driver::TransferMethod::kByteExpress};
     for (int m = 0; m < 3; ++m) {
       const auto stats =
-          core::run_write_sweep(testbed, methods[m], size, env.ops / 4);
+          bench::sweep(testbed, methods[m], size, env.ops / 4);
       wire[m] = stats.wire_bytes_per_op();
       latency[m] = stats.mean_latency_ns();
     }

@@ -2,8 +2,38 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
 
 namespace bx::bench {
+namespace {
+
+// Report state for the BENCH_<binary>.json artifact, written once at
+// process exit so every measured row of a bench lands in one file.
+std::string g_report_name;        // binary basename, set by from_args()
+std::vector<std::string> g_rows;  // pre-rendered JSON row objects
+
+void write_report() {
+  if (g_report_name.empty()) return;
+  const std::string path = "BENCH_" + g_report_name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
+               g_report_name.c_str());
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    std::fprintf(out, "%s\n    %s", i == 0 ? "" : ",", g_rows[i].c_str());
+  }
+  std::fprintf(out, "%s]\n}\n", g_rows.empty() ? "" : "\n  ");
+  std::fclose(out);
+  std::printf("report: %s (%zu rows)\n", path.c_str(), g_rows.size());
+}
+
+}  // namespace
 
 BenchEnv BenchEnv::from_args(int argc, const char* const* argv) {
   BenchEnv env;
@@ -14,6 +44,14 @@ BenchEnv BenchEnv::from_args(int argc, const char* const* argv) {
   }
   env.ops = static_cast<std::uint64_t>(
       env.config.get_int("ops", static_cast<std::int64_t>(env.ops)));
+
+  if (g_report_name.empty() && argc > 0 && argv[0] != nullptr) {
+    std::string name = argv[0];
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    g_report_name = name.empty() ? "bench" : name;
+    std::atexit(write_report);
+  }
   return env;
 }
 
@@ -91,7 +129,40 @@ core::RunStats run_kv_puts(core::Testbed& testbed, kv::KvClient& client,
   const auto traffic_after = testbed.traffic().total();
   stats.wire_bytes = traffic_after.wire_bytes - traffic_before.wire_bytes;
   stats.data_bytes = traffic_after.data_bytes - traffic_before.data_bytes;
+  report_row(testbed, stats);
   return stats;
+}
+
+core::RunStats sweep(core::Testbed& testbed, driver::TransferMethod method,
+                     std::uint32_t payload_size, std::uint64_t ops) {
+  core::RunStats stats =
+      core::run_write_sweep(testbed, method, payload_size, ops);
+  report_row(testbed, stats);
+  return stats;
+}
+
+void report_row(core::Testbed& testbed, const core::RunStats& stats) {
+  if (g_report_name.empty()) return;
+  const obs::StageBreakdown breakdown =
+      obs::stage_breakdown(testbed.trace().snapshot());
+  char head[512];
+  std::snprintf(
+      head, sizeof(head),
+      "{\"label\": \"%s\", \"ops\": %llu, \"payload_bytes\": %llu, "
+      "\"wire_bytes\": %llu, \"data_bytes\": %llu, "
+      "\"mean_latency_ns\": %.1f, \"p50_latency_ns\": %llu, "
+      "\"p99_latency_ns\": %llu, \"kops\": %.1f, "
+      "\"trace_events_dropped\": %llu, \"stages\": ",
+      stats.label.c_str(), static_cast<unsigned long long>(stats.ops),
+      static_cast<unsigned long long>(stats.payload_bytes),
+      static_cast<unsigned long long>(stats.wire_bytes),
+      static_cast<unsigned long long>(stats.data_bytes),
+      stats.mean_latency_ns(),
+      static_cast<unsigned long long>(stats.latency.percentile(50)),
+      static_cast<unsigned long long>(stats.latency.percentile(99)),
+      stats.kops(),
+      static_cast<unsigned long long>(testbed.trace().dropped()));
+  g_rows.push_back(std::string(head) + obs::to_json(breakdown) + "}");
 }
 
 }  // namespace bx::bench

@@ -6,6 +6,12 @@
 // *modeled* PCIe wire bytes — never host wall-clock — so results are
 // exactly reproducible. Binaries accept key=value overrides, e.g.:
 //   ./fig5_payload_sweep ops=100000 pcie.gen=3
+// Besides the human-readable tables, every bench binary writes a
+// machine-readable BENCH_<binary>.json next to the cwd at exit: one row
+// per measured configuration with the traffic counters, latency
+// percentiles, and the per-stage p50/p99 breakdown derived from the
+// command trace (see docs/OBSERVABILITY.md). CI uploads these as
+// artifacts.
 #pragma once
 
 #include <cstdint>
@@ -41,9 +47,23 @@ void print_note(std::string_view text);
 
 /// Runs `ops` KV PUTs from `workload` through `client`, returning stats
 /// measured over the run (traffic + simulated latency). Used by Fig 6.
+/// Also records a row in the BENCH_*.json report.
 core::RunStats run_kv_puts(core::Testbed& testbed, kv::KvClient& client,
                            workload::MixGraphWorkload* mixgraph,
                            workload::FillRandomWorkload* fillrandom,
                            std::uint64_t ops, std::string_view label);
+
+/// core::run_write_sweep plus a row in the BENCH_*.json report — the
+/// sweep's stats annotated with the per-stage breakdown of exactly that
+/// sweep's trace (run_write_sweep resets counters, so the trace holds
+/// only this sweep's events).
+core::RunStats sweep(core::Testbed& testbed, driver::TransferMethod method,
+                     std::uint32_t payload_size, std::uint64_t ops);
+
+/// Appends one row (stats + the current trace's stage breakdown) to the
+/// report written at exit. The report file is BENCH_<binary>.json; it is
+/// written even when no rows were recorded, so every bench produces an
+/// artifact.
+void report_row(core::Testbed& testbed, const core::RunStats& stats);
 
 }  // namespace bx::bench

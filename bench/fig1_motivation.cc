@@ -43,7 +43,7 @@ void fig1b(const BenchEnv& env) {
               "data B/op", "mean latency (ns)");
   core::Testbed testbed(env.testbed_config());
   for (std::uint32_t kib = 1; kib <= 16; ++kib) {
-    const auto stats = core::run_write_sweep(
+    const auto stats = bench::sweep(
         testbed, driver::TransferMethod::kPrp, kib * 1024, env.ops / 4);
     std::printf("%-10u %-14.0f %-14.0f %.0f\n", kib * 1024,
                 stats.wire_bytes_per_op(),
@@ -60,7 +60,7 @@ void fig1c(const BenchEnv& env) {
   std::printf("%-10s %-14s %s\n", "payload", "wire B/op", "amplification");
   core::Testbed testbed(env.testbed_config());
   for (const std::uint32_t size : {32u, 64u, 128u, 256u, 512u, 1024u}) {
-    const auto stats = core::run_write_sweep(
+    const auto stats = bench::sweep(
         testbed, driver::TransferMethod::kPrp, size, env.ops / 4);
     std::printf("%-10u %-14.0f %.1fx\n", size, stats.wire_bytes_per_op(),
                 stats.amplification());

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     double latency[3] = {};
     for (std::size_t m = 0; m < methods.size(); ++m) {
       const auto stats =
-          core::run_write_sweep(testbed, methods[m], size, env.ops / 2);
+          bench::sweep(testbed, methods[m], size, env.ops / 2);
       wire[m] = stats.wire_bytes_per_op();
       latency[m] = stats.mean_latency_ns();
     }
@@ -52,11 +52,11 @@ int main(int argc, char** argv) {
 
   // Headline numbers the paper quotes.
   auto wire_of = [&](driver::TransferMethod method, std::uint32_t size) {
-    return core::run_write_sweep(testbed, method, size, env.ops / 4)
+    return bench::sweep(testbed, method, size, env.ops / 4)
         .wire_bytes_per_op();
   };
   auto latency_of = [&](driver::TransferMethod method, std::uint32_t size) {
-    return core::run_write_sweep(testbed, method, size, env.ops / 4)
+    return bench::sweep(testbed, method, size, env.ops / 4)
         .mean_latency_ns();
   };
   std::printf("\nheadlines (paper's quoted numbers in parentheses):\n");

@@ -102,10 +102,11 @@ void Controller::run_until_idle() {
 
 void Controller::process_one(std::uint16_t qid) {
   const Nanoseconds fetch_start = link_.clock().now();
+  const std::uint32_t sqe_slot = sqs_[qid].head;
   const nvme::SqSlot slot = fetch_slot(qid, /*chunk=*/false);
 
   if (qid != 0 && inw::is_ooo_chunk(slot)) {
-    handle_ooo_chunk(slot);
+    handle_ooo_chunk(slot, qid, sqe_slot, fetch_start);
     drain_deferred();
     return;
   }
@@ -114,8 +115,16 @@ void Controller::process_one(std::uint16_t qid) {
   std::memcpy(&sqe, slot.raw, sizeof(sqe));
 
   if (qid == 0) {
+    obs::TraceEvent fetch;
+    fetch.stage = obs::TraceStage::kSqeFetch;
+    fetch.start = fetch_start;
+    fetch.end = link_.clock().now();
+    fetch.qid = qid;
+    fetch.cid = sqe.cid;
+    fetch.slot = sqe_slot;
+    record_stage(fetch);
     handle_admin(sqe);
-    ++commands_processed_;
+    commands_processed_.increment();
     return;
   }
 
@@ -124,11 +133,28 @@ void Controller::process_one(std::uint16_t qid) {
   last_fetch_cost_ns_ = link_.clock().now() - fetch_start;
 
   if (sqe.io_opcode() == nvme::IoOpcode::kVendorBandSlimFragment) {
+    obs::TraceEvent fetch;
+    fetch.stage = obs::TraceStage::kSqeFetch;
+    fetch.flags = obs::kFlagAuxCommand;
+    fetch.start = fetch_start;
+    fetch.end = link_.clock().now();
+    fetch.qid = qid;
+    fetch.cid = sqe.cid;
+    fetch.slot = sqe_slot;
+    record_stage(fetch);
     handle_fragment(qid, sqe);
     return;
   }
 
   if (bsw::is_fragmented_header(sqe)) {
+    obs::TraceEvent fetch;
+    fetch.stage = obs::TraceStage::kSqeFetch;
+    fetch.start = fetch_start;
+    fetch.end = link_.clock().now();
+    fetch.qid = qid;
+    fetch.cid = sqe.cid;
+    fetch.slot = sqe_slot;
+    record_stage(fetch);
     FragmentStream stream;
     stream.header = sqe;
     stream.qid = qid;
@@ -150,31 +176,65 @@ void Controller::process_one(std::uint16_t qid) {
       // Single-command case (sub-24 B payload): no reassembly state is
       // created, so no fragment-processing cost applies — this is what
       // keeps BandSlim competitive for tiny payloads (§3.2/§4.3).
-      ++commands_processed_;
+      commands_processed_.increment();
       execute_and_complete(qid, sqe, stream.buffer);
     } else {
+      const Nanoseconds setup_start = link_.clock().now();
       link_.clock().advance(config_.timing.bandslim_fragment_fw_ns);
+      obs::TraceEvent setup;
+      setup.stage = obs::TraceStage::kExec;
+      setup.flags = obs::kFlagAuxCommand;
+      setup.start = setup_start;
+      setup.end = link_.clock().now();
+      setup.qid = qid;
+      setup.cid = sqe.cid;
+      record_stage(setup);
       const std::uint16_t stream_id = bsw::header_stream_id(sqe);
       streams_[stream_id] = std::move(stream);
     }
     return;
   }
 
-  handle_io(qid, sqe);
+  handle_io(qid, sqe, sqe_slot);
 }
 
 void Controller::handle_io(std::uint16_t qid,
-                           const SubmissionQueueEntry& sqe) {
+                           const SubmissionQueueEntry& sqe,
+                           std::uint32_t sqe_slot) {
   const Nanoseconds fetch_start = link_.clock().now() - last_fetch_cost_ns_;
   const std::uint64_t length = io_data_length(sqe);
   const std::uint32_t inline_len = sqe.inline_length();
+  const bool sqe_ooo = inline_len > 0 && inw::sqe_is_ooo(sqe);
+
+  {
+    // The aux field announces the queue-local chunk fetches that will
+    // follow, mirroring exactly the conditions guarding the chunk loop
+    // below — the invariant checker's adjacency machine keys off it.
+    std::uint32_t announced = 0;
+    if (inline_len > 0 && config_.byteexpress_enabled &&
+        inline_len == length && !sqe_ooo) {
+      const std::uint32_t chunks = inw::raw_chunks_for(inline_len);
+      if (available(qid) >= chunks) announced = chunks;
+    }
+    obs::TraceEvent fetch;
+    fetch.stage = obs::TraceStage::kSqeFetch;
+    if (sqe_ooo) fetch.flags = obs::kFlagOooCommand;
+    fetch.start = fetch_start;
+    fetch.end = link_.clock().now();
+    fetch.qid = qid;
+    fetch.cid = sqe.cid;
+    fetch.slot = sqe_slot;
+    fetch.aux = announced;
+    fetch.bytes = inline_len;
+    record_stage(fetch);
+  }
 
   if (inline_len > 0) {
     if (!config_.byteexpress_enabled) {
       post_completion(
           qid, sqe,
           nvme::StatusField::generic(nvme::GenericStatus::kInvalidField), 0);
-      ++commands_processed_;
+      commands_processed_.increment();
       return;
     }
     if (inline_len != length) {
@@ -182,25 +242,25 @@ void Controller::handle_io(std::uint16_t qid,
                       nvme::StatusField::vendor(
                           nvme::VendorStatus::kInlineLengthMismatch),
                       0);
-      ++commands_processed_;
+      commands_processed_.increment();
       return;
     }
 
-    if (inw::sqe_is_ooo(sqe)) {
+    if (sqe_ooo) {
       if (!config_.enable_ooo_reassembly) {
         post_completion(
             qid, sqe,
             nvme::StatusField::generic(nvme::GenericStatus::kInvalidField),
             0);
-        ++commands_processed_;
+        commands_processed_.increment();
         return;
       }
       const std::uint32_t payload_id = inw::sqe_ooo_payload_id(sqe);
       fetch_stage_hist_.record(last_fetch_cost_ns_);
       if (reassembly_.complete(payload_id)) {
         auto payload = reassembly_.take(payload_id, inline_len);
-        ++commands_processed_;
-        if (payload.is_ok()) ++ooo_reassembled_;
+        commands_processed_.increment();
+        if (payload.is_ok()) ooo_reassembled_.increment();
         if (!payload.is_ok()) {
           post_completion(qid, sqe,
                           nvme::StatusField::vendor(
@@ -226,7 +286,7 @@ void Controller::handle_io(std::uint16_t qid,
                       nvme::StatusField::vendor(
                           nvme::VendorStatus::kInlineLengthMismatch),
                       0);
-      ++commands_processed_;
+      commands_processed_.increment();
       return;
     }
     ByteVec payload(inline_len);
@@ -235,6 +295,7 @@ void Controller::handle_io(std::uint16_t qid,
     while (fetched < chunks) {
       const std::uint32_t batch =
           std::min(config_.chunk_fetch_batch, chunks - fetched);
+      const Nanoseconds batch_start = link_.clock().now();
       // One DMA read covers `batch` consecutive SQ entries; firmware cost
       // is charged once per DMA operation.
       if (batch > 1) {
@@ -244,6 +305,9 @@ void Controller::handle_io(std::uint16_t qid,
                    std::uint64_t{batch - 1} * nvme::kSqeSize);
       }
       for (std::uint32_t i = 0; i < batch; ++i) {
+        const Nanoseconds chunk_start =
+            i == 0 ? batch_start : link_.clock().now();
+        const std::uint32_t chunk_slot = sqs_[qid].head;
         nvme::SqSlot slot;
         if (i == 0) {
           slot = fetch_slot(qid, /*chunk=*/true);
@@ -260,24 +324,34 @@ void Controller::handle_io(std::uint16_t qid,
         std::memcpy(payload.data() + offset, slot.raw,
                     static_cast<std::size_t>(take));
         offset += take;
-        ++chunks_fetched_;
+        chunks_fetched_.increment();
+        obs::TraceEvent chunk_event;
+        chunk_event.stage = obs::TraceStage::kChunkFetch;
+        chunk_event.start = chunk_start;
+        chunk_event.end = link_.clock().now();
+        chunk_event.qid = qid;
+        chunk_event.cid = sqe.cid;
+        chunk_event.slot = chunk_slot;
+        chunk_event.aux = fetched + i;
+        chunk_event.bytes = take;
+        record_stage(chunk_event);
       }
       fetched += batch;
     }
     last_fetch_cost_ns_ = link_.clock().now() - fetch_start;
     fetch_stage_hist_.record(last_fetch_cost_ns_);
-    ++commands_processed_;
+    commands_processed_.increment();
     execute_and_complete(qid, sqe, payload);
     return;
   }
 
   fetch_stage_hist_.record(last_fetch_cost_ns_);
-  ++commands_processed_;
+  commands_processed_.increment();
 
   // Native data path.
   ByteVec payload;
   if (length > 0 && !is_read_direction(sqe.io_opcode())) {
-    auto gathered = gather_host_data(sqe, length);
+    auto gathered = gather_host_data(qid, sqe, length);
     if (!gathered.is_ok()) {
       post_completion(
           qid, sqe,
@@ -290,7 +364,9 @@ void Controller::handle_io(std::uint16_t qid,
   execute_and_complete(qid, sqe, payload);
 }
 
-void Controller::handle_ooo_chunk(const nvme::SqSlot& slot) {
+void Controller::handle_ooo_chunk(const nvme::SqSlot& slot, std::uint16_t qid,
+                                  std::uint32_t ring_slot,
+                                  Nanoseconds fetch_start) {
   const auto header = inw::decode_ooo_header(slot);
   link_.clock().advance(config_.timing.reassembly_track_ns);
   const Status status =
@@ -298,14 +374,37 @@ void Controller::handle_ooo_chunk(const nvme::SqSlot& slot) {
   if (!status.is_ok() && status.code() != StatusCode::kAlreadyExists) {
     BX_LOG_WARN << "OOO chunk rejected: " << status.to_string();
   }
-  ++chunks_fetched_;
+  chunks_fetched_.increment();
+  obs::TraceEvent e;
+  e.stage = obs::TraceStage::kChunkFetch;
+  e.flags = obs::kFlagOooChunk;
+  e.start = fetch_start;
+  e.end = link_.clock().now();
+  e.qid = qid;
+  e.slot = ring_slot;
+  e.aux = header.chunk_no;
+  e.bytes = header.data_len;
+  record_stage(e);
 }
 
 void Controller::handle_fragment(std::uint16_t qid,
                                  const SubmissionQueueEntry& sqe) {
   const bsw::Fragment fragment = bsw::decode_fragment(sqe);
+  const Nanoseconds frag_start = link_.clock().now();
   link_.clock().advance(config_.timing.bandslim_fragment_fw_ns);
-  ++bandslim_fragments_;
+  bandslim_fragments_.increment();
+  {
+    obs::TraceEvent e;
+    e.stage = obs::TraceStage::kExec;
+    e.flags = obs::kFlagAuxCommand;
+    e.start = frag_start;
+    e.end = link_.clock().now();
+    e.qid = qid;
+    e.cid = sqe.cid;
+    e.aux = fragment.index;
+    e.bytes = fragment.length;
+    record_stage(e);
+  }
 
   auto it = streams_.find(fragment.stream_id);
   if (it == streams_.end()) {
@@ -334,7 +433,7 @@ void Controller::handle_fragment(std::uint16_t qid,
                           nvme::VendorStatus::kFragmentProtocolError),
                       0);
     } else {
-      ++commands_processed_;
+      commands_processed_.increment();
       execute_and_complete(stream.qid, stream.header, stream.buffer);
     }
     streams_.erase(it);
@@ -343,7 +442,20 @@ void Controller::handle_fragment(std::uint16_t qid,
 }
 
 StatusOr<ByteVec> Controller::gather_host_data(
-    const SubmissionQueueEntry& sqe, std::uint64_t length) {
+    std::uint16_t qid, const SubmissionQueueEntry& sqe,
+    std::uint64_t length) {
+  const Nanoseconds dma_start = link_.clock().now();
+  const auto record_dma = [&](obs::TraceStage stage) {
+    obs::TraceEvent e;
+    e.stage = stage;
+    e.start = dma_start;
+    e.end = link_.clock().now();
+    e.qid = qid;
+    e.cid = sqe.cid;
+    e.aux = 0;  // gather
+    e.bytes = length;
+    record_stage(e);
+  };
   if (sqe.transfer_mode() == nvme::DataTransferMode::kSglData) {
     const auto descriptor = nvme::SglDescriptor::unpack(sqe.dptr1, sqe.dptr2);
     if (descriptor.type != nvme::SglDescriptorType::kDataBlock) {
@@ -353,17 +465,18 @@ StatusOr<ByteVec> Controller::gather_host_data(
       return invalid_argument("SGL descriptor shorter than data length");
     }
     link_.clock().advance(config_.timing.sgl_dma_setup_ns);
-    ++sgl_transactions_;
+    sgl_transactions_.increment();
     // Fine-grained DMA: exactly the payload crosses the link (§5).
     link_.read(Direction::kDownstream, TrafficClass::kDataSgl, length);
     ByteVec payload(static_cast<std::size_t>(length));
     memory_.read(descriptor.address, payload);
+    record_dma(obs::TraceStage::kSglDma);
     return payload;
   }
 
   // PRP: page-granular transfer.
   link_.clock().advance(config_.timing.prp_dma_setup_ns);
-  ++prp_transactions_;
+  prp_transactions_.increment();
   auto pages = nvme::PrpWalker::data_pages(
       sqe.dptr1, sqe.dptr2, length,
       [this](std::uint64_t list_addr, std::size_t entries) {
@@ -379,6 +492,7 @@ StatusOr<ByteVec> Controller::gather_host_data(
   // Figures 1(b)/(c); §5's finer-grained configurations shrink the unit.
   link_.read(Direction::kDownstream, TrafficClass::kDataPrp,
              prp_transfer_bytes(length, pages->size()));
+  record_dma(obs::TraceStage::kPrpDma);
 
   ByteVec payload(static_cast<std::size_t>(length));
   std::uint64_t copied = 0;
@@ -394,10 +508,23 @@ StatusOr<ByteVec> Controller::gather_host_data(
   return payload;
 }
 
-Status Controller::scatter_host_data(const SubmissionQueueEntry& sqe,
+Status Controller::scatter_host_data(std::uint16_t qid,
+                                     const SubmissionQueueEntry& sqe,
                                      ConstByteSpan data,
                                      std::uint64_t declared_length) {
   if (data.empty()) return Status::ok();
+  const Nanoseconds dma_start = link_.clock().now();
+  const auto record_dma = [&](obs::TraceStage stage, std::uint64_t bytes) {
+    obs::TraceEvent e;
+    e.stage = stage;
+    e.start = dma_start;
+    e.end = link_.clock().now();
+    e.qid = qid;
+    e.cid = sqe.cid;
+    e.aux = 1;  // scatter
+    e.bytes = bytes;
+    record_stage(e);
+  };
   if (sqe.transfer_mode() == nvme::DataTransferMode::kSglData) {
     const auto descriptor = nvme::SglDescriptor::unpack(sqe.dptr1, sqe.dptr2);
     if (descriptor.type == nvme::SglDescriptorType::kBitBucket) {
@@ -410,15 +537,16 @@ Status Controller::scatter_host_data(const SubmissionQueueEntry& sqe,
     const std::uint64_t send =
         std::min<std::uint64_t>(data.size(), descriptor.length);
     link_.clock().advance(config_.timing.sgl_dma_setup_ns);
-    ++sgl_transactions_;
+    sgl_transactions_.increment();
     link_.post_write(Direction::kUpstream, TrafficClass::kDataSgl, send);
     memory_.write(descriptor.address,
                   data.subspan(0, static_cast<std::size_t>(send)));
+    record_dma(obs::TraceStage::kSglDma, send);
     return Status::ok();
   }
 
   link_.clock().advance(config_.timing.prp_dma_setup_ns);
-  ++prp_transactions_;
+  prp_transactions_.increment();
   auto pages = nvme::PrpWalker::data_pages(
       sqe.dptr1, sqe.dptr2, declared_length,
       [this](std::uint64_t list_addr, std::size_t entries) {
@@ -431,6 +559,7 @@ Status Controller::scatter_host_data(const SubmissionQueueEntry& sqe,
   // Unit-granular upstream DMA, mirroring the write path.
   link_.post_write(Direction::kUpstream, TrafficClass::kDataPrp,
                    prp_transfer_bytes(declared_length, pages->size()));
+  record_dma(obs::TraceStage::kPrpDma, declared_length);
 
   std::uint64_t copied = 0;
   const std::uint64_t total =
@@ -450,13 +579,26 @@ Status Controller::scatter_host_data(const SubmissionQueueEntry& sqe,
 void Controller::execute_and_complete(std::uint16_t qid,
                                       const SubmissionQueueEntry& sqe,
                                       ConstByteSpan payload) {
+  const Nanoseconds exec_start = link_.clock().now();
+  if (tracer_ != nullptr) tracer_->set_device_context(qid, sqe.cid);
   ExecResult result = executor_.execute(sqe, payload);
+  if (tracer_ != nullptr) tracer_->clear_device_context();
+  {
+    obs::TraceEvent e;
+    e.stage = obs::TraceStage::kExec;
+    e.start = exec_start;
+    e.end = link_.clock().now();
+    e.qid = qid;
+    e.cid = sqe.cid;
+    e.bytes = payload.size();
+    record_stage(e);
+  }
 
   std::uint32_t dw0 = result.dw0;
   if (result.status.is_success() && !result.read_data.empty()) {
     const std::uint64_t declared = io_data_length(sqe);
     const Status scattered =
-        scatter_host_data(sqe, result.read_data, declared);
+        scatter_host_data(qid, sqe, result.read_data, declared);
     if (!scattered.is_ok()) {
       post_completion(
           qid, sqe,
@@ -489,9 +631,10 @@ void Controller::post_completion(std::uint16_t qid,
   cqe.set_status(status);
   cqe.set_phase(cq.phase);
 
+  const Nanoseconds cpl_start = link_.clock().now();
+  const std::uint64_t cqe_addr =
+      cq.base + std::uint64_t{cq.tail} * nvme::kCqeSize;
   link_.clock().advance(config_.timing.cqe_post_fw_ns);
-  memory_.write_object(cq.base + std::uint64_t{cq.tail} * nvme::kCqeSize,
-                       cqe);
   link_.post_write(Direction::kUpstream, TrafficClass::kCompletion,
                    nvme::kCqeSize);
   cq.tail = (cq.tail + 1) % cq.depth;
@@ -503,22 +646,71 @@ void Controller::post_completion(std::uint16_t qid,
     link_.post_write(Direction::kUpstream, TrafficClass::kInterrupt, 4);
     cq.uncoalesced = 0;
   }
-  ++completions_posted_;
+  {
+    obs::TraceEvent e;
+    e.stage = obs::TraceStage::kCompletion;
+    e.start = cpl_start;
+    e.end = link_.clock().now();
+    e.qid = qid;
+    e.cid = sqe.cid;
+    record_stage(e);
+  }
+  // The CQE becomes host-visible only after the kCompletion event is
+  // recorded, so a concurrently polling host always observes the record
+  // before it can reap the CQE (trace invariant 5 relies on this order).
+  memory_.write_object(cqe_addr, cqe);
+  completions_posted_.increment();
 }
 
 nvme::TransferStatsLog Controller::transfer_stats() const noexcept {
   nvme::TransferStatsLog log;
-  log.commands_processed = commands_processed_;
-  log.inline_chunks_fetched = chunks_fetched_;
-  log.bandslim_fragments = bandslim_fragments_;
-  log.prp_transactions = prp_transactions_;
-  log.sgl_transactions = sgl_transactions_;
-  log.completions_posted = completions_posted_;
-  log.ooo_payloads_reassembled = ooo_reassembled_;
+  log.commands_processed = commands_processed_.value();
+  log.inline_chunks_fetched = chunks_fetched_.value();
+  log.bandslim_fragments = bandslim_fragments_.value();
+  log.prp_transactions = prp_transactions_.value();
+  log.sgl_transactions = sgl_transactions_.value();
+  log.completions_posted = completions_posted_.value();
+  log.ooo_payloads_reassembled = ooo_reassembled_.value();
   log.fetch_stage_total_ns =
       static_cast<std::uint64_t>(fetch_stage_hist_.mean() *
                                  double(fetch_stage_hist_.count()));
   return log;
+}
+
+void Controller::bind_metrics(obs::MetricsRegistry& metrics) const {
+  metrics.expose_counter("ctrl.commands_processed", &commands_processed_);
+  metrics.expose_counter("ctrl.chunks_fetched", &chunks_fetched_);
+  metrics.expose_counter("ctrl.bandslim_fragments", &bandslim_fragments_);
+  metrics.expose_counter("ctrl.prp_transactions", &prp_transactions_);
+  metrics.expose_counter("ctrl.sgl_transactions", &sgl_transactions_);
+  metrics.expose_counter("ctrl.completions_posted", &completions_posted_);
+  metrics.expose_counter("ctrl.ooo_reassembled", &ooo_reassembled_);
+}
+
+void Controller::record_stage(const obs::TraceEvent& event) {
+  // The 0xC1 stage log covers I/O queues only, so Get Log Page reads do
+  // not perturb the statistics they return.
+  if (event.qid != 0) {
+    nvme::StageStatsLog::Entry* entry = nullptr;
+    switch (event.stage) {
+      case obs::TraceStage::kSqeFetch: entry = &stage_log_.sqe_fetch; break;
+      case obs::TraceStage::kChunkFetch:
+        entry = &stage_log_.chunk_fetch;
+        break;
+      case obs::TraceStage::kPrpDma: entry = &stage_log_.prp_dma; break;
+      case obs::TraceStage::kSglDma: entry = &stage_log_.sgl_dma; break;
+      case obs::TraceStage::kExec: entry = &stage_log_.exec; break;
+      case obs::TraceStage::kCompletion:
+        entry = &stage_log_.completion;
+        break;
+      default: break;
+    }
+    if (entry != nullptr) {
+      ++entry->count;
+      entry->total_ns += event.end - event.start;
+    }
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) tracer_->record(event);
 }
 
 void Controller::drain_deferred() {
@@ -530,8 +722,8 @@ void Controller::drain_deferred() {
       deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(i));
       auto payload =
           reassembly_.take(payload_id, item.sqe.inline_length());
-      ++commands_processed_;
-      if (payload.is_ok()) ++ooo_reassembled_;
+      commands_processed_.increment();
+      if (payload.is_ok()) ooo_reassembled_.increment();
       if (!payload.is_ok()) {
         post_completion(item.qid, item.sqe,
                         nvme::StatusField::vendor(
@@ -668,14 +860,18 @@ void Controller::handle_admin(const SubmissionQueueEntry& sqe) {
         break;
       }
       const auto lid = static_cast<nvme::LogPageId>(sqe.cdw10 & 0xff);
-      if (lid != nvme::LogPageId::kVendorTransferStats) {
+      if (lid == nvme::LogPageId::kVendorTransferStats) {
+        const nvme::TransferStatsLog log = transfer_stats();
+        link_.post_write(Direction::kUpstream, TrafficClass::kDataPrp,
+                         align_up(sizeof(log), 64));
+        memory_.write_object(sqe.dptr1, log);
+      } else if (lid == nvme::LogPageId::kVendorStageStats) {
+        link_.post_write(Direction::kUpstream, TrafficClass::kDataPrp,
+                         align_up(sizeof(stage_log_), 64));
+        memory_.write_object(sqe.dptr1, stage_log_);
+      } else {
         status = nvme::StatusField::generic(nvme::GenericStatus::kInvalidField);
-        break;
       }
-      const nvme::TransferStatsLog log = transfer_stats();
-      link_.post_write(Direction::kUpstream, TrafficClass::kDataPrp,
-                       align_up(sizeof(log), 64));
-      memory_.write_object(sqe.dptr1, log);
       break;
     }
     case nvme::AdminOpcode::kSetFeatures: {

@@ -30,6 +30,8 @@
 #include "nvme/queue.h"
 #include "nvme/spec.h"
 #include "nvme/timing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pcie/bar.h"
 #include "pcie/link.h"
 
@@ -98,14 +100,26 @@ class Controller {
 
   /// Commands processed since construction.
   [[nodiscard]] std::uint64_t commands_processed() const noexcept {
-    return commands_processed_;
+    return commands_processed_.value();
   }
   /// Payload chunks fetched inline since construction.
   [[nodiscard]] std::uint64_t chunks_fetched() const noexcept {
-    return chunks_fetched_;
+    return chunks_fetched_.value();
   }
   /// The vendor transfer-stats log (also served via Get Log Page 0xC0).
   [[nodiscard]] nvme::TransferStatsLog transfer_stats() const noexcept;
+
+  /// The vendor stage-stats log (also served via Get Log Page 0xC1):
+  /// always-on per-stage firmware timing for I/O queues.
+  [[nodiscard]] const nvme::StageStatsLog& stage_stats() const noexcept {
+    return stage_log_;
+  }
+
+  /// Attaches the trace recorder; device-side stage events flow into it.
+  void set_tracer(obs::TraceRecorder* tracer) noexcept { tracer_ = tracer; }
+
+  /// Publishes the controller's counters into `metrics` as `ctrl.*`.
+  void bind_metrics(obs::MetricsRegistry& metrics) const;
 
  private:
   struct SqState {
@@ -145,8 +159,11 @@ class Controller {
 
   void process_one(std::uint16_t qid);
   void handle_admin(const nvme::SubmissionQueueEntry& sqe);
-  void handle_io(std::uint16_t qid, const nvme::SubmissionQueueEntry& sqe);
-  void handle_ooo_chunk(const nvme::SqSlot& slot);
+  /// `sqe_slot` is the ring index the SQE was fetched from (trace events).
+  void handle_io(std::uint16_t qid, const nvme::SubmissionQueueEntry& sqe,
+                 std::uint32_t sqe_slot);
+  void handle_ooo_chunk(const nvme::SqSlot& slot, std::uint16_t qid,
+                        std::uint32_t ring_slot, Nanoseconds fetch_start);
   void handle_fragment(std::uint16_t qid,
                        const nvme::SubmissionQueueEntry& sqe);
 
@@ -158,10 +175,12 @@ class Controller {
 
   /// Gathers write-direction PRP/SGL data from host memory (charging DMA
   /// traffic); returns the payload bytes.
-  StatusOr<ByteVec> gather_host_data(const nvme::SubmissionQueueEntry& sqe,
+  StatusOr<ByteVec> gather_host_data(std::uint16_t qid,
+                                     const nvme::SubmissionQueueEntry& sqe,
                                      std::uint64_t length);
   /// Returns read-direction data to the host through PRP/SGL.
-  Status scatter_host_data(const nvme::SubmissionQueueEntry& sqe,
+  Status scatter_host_data(std::uint16_t qid,
+                           const nvme::SubmissionQueueEntry& sqe,
                            ConstByteSpan data,
                            std::uint64_t declared_length);
 
@@ -173,6 +192,10 @@ class Controller {
   void post_completion(std::uint16_t qid,
                        const nvme::SubmissionQueueEntry& sqe,
                        nvme::StatusField status, std::uint32_t dw0);
+
+  /// Accumulates a device-side stage interval into the 0xC1 stage log
+  /// (I/O queues only) and forwards it to the tracer when enabled.
+  void record_stage(const obs::TraceEvent& event);
 
   /// Executes any deferred OOO commands whose payloads completed.
   void drain_deferred();
@@ -198,13 +221,18 @@ class Controller {
 
   Nanoseconds last_fetch_cost_ns_ = 0;
   LatencyHistogram fetch_stage_hist_;
-  std::uint64_t commands_processed_ = 0;
-  std::uint64_t chunks_fetched_ = 0;
-  std::uint64_t bandslim_fragments_ = 0;
-  std::uint64_t prp_transactions_ = 0;
-  std::uint64_t sgl_transactions_ = 0;
-  std::uint64_t completions_posted_ = 0;
-  std::uint64_t ooo_reassembled_ = 0;
+  // obs::Counter so bind_metrics() can expose the live counters without a
+  // second source of truth; single-writer under the firmware mutex.
+  obs::Counter commands_processed_;
+  obs::Counter chunks_fetched_;
+  obs::Counter bandslim_fragments_;
+  obs::Counter prp_transactions_;
+  obs::Counter sgl_transactions_;
+  obs::Counter completions_posted_;
+  obs::Counter ooo_reassembled_;
+
+  nvme::StageStatsLog stage_log_;
+  obs::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace bx::controller

@@ -360,6 +360,7 @@ StressResult run_stress(const StressOptions& options) {
   config.ssd.nand_timing.program_ns = 20'000;
   config.ssd.nand_timing.erase_ns = 100'000;
   config.ssd.nand_timing.channel_transfer_ns = 500;
+  config.trace_enabled = options.capture_trace;
   Testbed bed(config);
 
   // Payloads must always be submittable with the planned method: cap at
@@ -636,6 +637,9 @@ StressResult run_stress(const StressOptions& options) {
   result.wire_bytes = bed.traffic().total_wire_bytes() - run_wire_before;
   result.stats_delta =
       stats_delta(run_stats_before, bed.controller().transfer_stats());
+  if (options.capture_trace) {
+    result.trace_events = bed.trace().snapshot();
+  }
   if (sink.failed()) {
     result.failure = sink.message();
     result.status = internal_error(result.failure);

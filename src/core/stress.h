@@ -39,6 +39,7 @@
 #include "common/status.h"
 #include "driver/request.h"
 #include "nvme/spec.h"
+#include "obs/trace.h"
 
 namespace bx::core {
 
@@ -56,6 +57,9 @@ struct StressOptions {
   /// false: seeded cooperative interleaving on one OS thread
   /// (deterministic); true: real threads (for TSan).
   bool use_os_threads = false;
+  /// Record the full event trace of the run and return it in
+  /// StressResult::trace_events (for the trace-invariant tests).
+  bool capture_trace = false;
   std::vector<driver::TransferMethod> methods = {
       driver::TransferMethod::kPrp,          driver::TransferMethod::kSgl,
       driver::TransferMethod::kByteExpress,  driver::TransferMethod::kBandSlim,
@@ -79,6 +83,8 @@ struct StressResult {
   /// Device-side statistics delta over the run — byte-identical between
   /// two cooperative runs with the same options.
   nvme::TransferStatsLog stats_delta{};
+  /// Full event trace (only when StressOptions::capture_trace is set).
+  std::vector<obs::TraceEvent> trace_events;
 
   [[nodiscard]] bool ok() const noexcept { return status.is_ok(); }
 };

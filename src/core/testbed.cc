@@ -12,6 +12,15 @@ Testbed::Testbed(TestbedConfig config)
   driver_ = std::make_unique<driver::NvmeDriver>(memory_, link_, bar_,
                                                  config.driver);
 
+  // Observability wiring: one recorder/registry spanning every layer.
+  trace_.set_enabled(config.trace_enabled);
+  link_.set_metrics(&metrics_);
+  device_->set_tracer(&trace_);
+  controller_->set_tracer(&trace_);
+  controller_->bind_metrics(metrics_);
+  driver_->set_tracer(&trace_);
+  driver_->bind_metrics(metrics_);
+
   const auto admin = driver_->admin_queue_info();
   controller_->set_admin_queue(admin.sq_addr, admin.sq_depth, admin.cq_addr,
                                admin.cq_depth);
@@ -54,6 +63,7 @@ StatusOr<driver::Completion> Testbed::raw_write(
 void Testbed::reset_counters() {
   traffic_.reset();
   controller_->reset_fetch_stats();
+  trace_.clear();
 }
 
 }  // namespace bx::core

@@ -20,6 +20,8 @@
 #include "driver/nvme_driver.h"
 #include "hostmem/dma_memory.h"
 #include "kv/kv_client.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pcie/bar.h"
 #include "pcie/link.h"
 #include "pcie/traffic_counter.h"
@@ -32,6 +34,9 @@ struct TestbedConfig {
   driver::NvmeDriver::Config driver{};
   controller::Controller::Config controller{};
   ssd::SsdDevice::Config ssd{};
+  /// Runtime switch for the end-to-end trace recorder (compile-time gate:
+  /// -DBX_OBS_TRACE). Metrics and the 0xC1 stage log stay on regardless.
+  bool trace_enabled = true;
 };
 
 class Testbed {
@@ -53,6 +58,10 @@ class Testbed {
   }
   [[nodiscard]] SimClock& clock() noexcept { return clock_; }
   [[nodiscard]] pcie::TrafficCounter& traffic() noexcept { return traffic_; }
+  /// The end-to-end trace recorder all layers report into.
+  [[nodiscard]] obs::TraceRecorder& trace() noexcept { return trace_; }
+  /// The named-metrics registry every layer binds its counters into.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] DmaMemory& memory() noexcept { return memory_; }
   [[nodiscard]] pcie::BarSpace& bar() noexcept { return bar_; }
   [[nodiscard]] pcie::PcieLink& link() noexcept { return link_; }
@@ -72,12 +81,15 @@ class Testbed {
                                          driver::TransferMethod method,
                                          std::uint16_t qid = 1);
 
-  /// Resets traffic counters and controller stage statistics (the clock
-  /// keeps running — simulated time is monotonic).
+  /// Resets traffic counters, controller stage statistics and the trace
+  /// buffer (the clock keeps running — simulated time is monotonic).
   void reset_counters();
 
  private:
   TestbedConfig config_;
+  /// Declared before the components that record into them.
+  obs::TraceRecorder trace_;
+  obs::MetricsRegistry metrics_;
   /// The controller models ONE firmware core; concurrent host threads all
   /// pump through this lock so firmware state never races.
   std::mutex firmware_mutex_;

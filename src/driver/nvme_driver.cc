@@ -97,6 +97,37 @@ nvme::SqRing& NvmeDriver::sq_for_test(std::uint16_t qid) {
   return *queue(qid).sq;
 }
 
+nvme::CqRing& NvmeDriver::cq_for_test(std::uint16_t qid) {
+  return *queue(qid).cq;
+}
+
+void NvmeDriver::bind_metrics(obs::MetricsRegistry& metrics) {
+  submissions_metric_ = &metrics.counter("driver.submissions");
+  submit_cost_metric_ = &metrics.histogram("driver.submit_cost_ns");
+}
+
+void NvmeDriver::ring_sq_traced(std::uint16_t qid, std::uint32_t tail,
+                                std::uint64_t entries, std::uint16_t cid,
+                                std::uint8_t flags) {
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Recorded *before* the BAR write: once the device can see the tail,
+    // the publish event is already in the trace, so a fetch recorded by
+    // the firmware always carries a later seq than the doorbell that
+    // published the entry (the invariant checker relies on this under
+    // OS-thread schedules).
+    obs::TraceEvent event;
+    event.stage = obs::TraceStage::kDoorbell;
+    event.start = event.end = link_.clock().now();
+    event.flags = flags;
+    event.qid = qid;
+    event.cid = cid;
+    event.slot = tail;
+    event.aux = entries;
+    tracer_->record(event);
+  }
+  doorbell_.ring_sq_tail(qid, tail);
+}
+
 std::size_t NvmeDriver::pending_count_for_test(std::uint16_t qid) {
   QueuePair& qp = queue(qid);
   std::lock_guard<std::mutex> lock(qp.pending_mutex);
@@ -309,7 +340,10 @@ Status NvmeDriver::submit_plain(QueuePair& qp,
         // outside, a submitter that pushed a later tail could ring first
         // and a stale earlier tail would then regress the BAR register,
         // hiding entries from the device.
-        doorbell_.ring_sq_tail(qp.sq->qid(), qp.sq->tail());
+        const bool aux = sqe.opcode == static_cast<std::uint8_t>(
+                             nvme::IoOpcode::kVendorBandSlimFragment);
+        ring_sq_traced(qp.sq->qid(), qp.sq->tail(), /*entries=*/1, sqe.cid,
+                       aux ? obs::kFlagAuxCommand : 0);
         return Status::ok();
       }
     }
@@ -365,7 +399,9 @@ bool NvmeDriver::submit_inline_locked(QueuePair& qp,
                                std::memory_order_relaxed);
     // One doorbell for the command and all of its chunks, rung before the
     // lock drops so racing submitters cannot regress the tail register.
-    doorbell_.ring_sq_tail(qp.sq->qid(), qp.sq->tail());
+    ring_sq_traced(qp.sq->qid(), qp.sq->tail(),
+                   /*entries=*/1 + std::uint64_t{chunks}, sqe.cid,
+                   ooo ? obs::kFlagOooCommand : 0);
   }
   return true;
 }
@@ -496,6 +532,26 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
       return internal_error("unreachable");
   }
 
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::TraceEvent event;
+    event.stage = obs::TraceStage::kSubmit;
+    event.start = submit_time;
+    event.end = link_.clock().now();
+    event.qid = qid;
+    event.cid = cid;
+    event.aux = static_cast<std::uint64_t>(method);
+    event.bytes = request.write_data.size();
+    if (method == TransferMethod::kByteExpressOoo) {
+      event.flags = obs::kFlagOooCommand;
+    }
+    tracer_->record(event);
+  }
+  if (submissions_metric_ != nullptr) {
+    submissions_metric_->increment();
+    submit_cost_metric_->record(
+        static_cast<std::uint64_t>(last_submit_cost()));
+  }
+
   Submitted handle;
   handle.qid = qid;
   handle.cid = cid;
@@ -564,9 +620,20 @@ std::size_t NvmeDriver::poll_completions(std::uint16_t qid) {
   std::size_t reaped = 0;
   nvme::CompletionQueueEntry cqe;
   while (qp.cq->peek(cqe)) {
+    const Nanoseconds handle_start = link_.clock().now();
     qp.cq->pop();
     link_.clock().advance(config_.timing.completion_handle_ns);
     doorbell_.ring_cq_head(qid, qp.cq->head());
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      obs::TraceEvent event;
+      event.stage = obs::TraceStage::kCqDoorbell;
+      event.start = handle_start;
+      event.end = link_.clock().now();
+      event.qid = qid;
+      event.cid = cqe.cid;
+      event.slot = qp.cq->head();
+      tracer_->record(event);
+    }
     reap_one(qp, cqe);
     ++reaped;
   }
@@ -681,10 +748,38 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
     last_submit_cost_ns_.store(link_.clock().now() - submit_time,
                                std::memory_order_relaxed);
 
+    // Entries published per queue by this submission: the command on the
+    // home queue, chunks round-robin over the (possibly repeating) stripe
+    // list.
+    std::unordered_map<std::uint16_t, std::uint64_t> published;
+    published[qids.front()] += 1;
+    for (std::uint32_t i = 0; i < chunks; ++i) {
+      published[qids[i % qids.size()]] += 1;
+    }
+
     // One doorbell per touched queue, rung while the locks are held.
     for (const std::uint16_t qid : ordered) {
-      doorbell_.ring_sq_tail(qid, queue(qid).sq->tail());
+      ring_sq_traced(qid, queue(qid).sq->tail(), published[qid], cid,
+                     obs::kFlagOooCommand);
     }
+  }
+
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::TraceEvent event;
+    event.stage = obs::TraceStage::kSubmit;
+    event.start = submit_time;
+    event.end = link_.clock().now();
+    event.flags = obs::kFlagOooCommand;
+    event.qid = qids.front();
+    event.cid = cid;
+    event.aux = static_cast<std::uint64_t>(TransferMethod::kByteExpressOoo);
+    event.bytes = request.write_data.size();
+    tracer_->record(event);
+  }
+  if (submissions_metric_ != nullptr) {
+    submissions_metric_->increment();
+    submit_cost_metric_->record(
+        static_cast<std::uint64_t>(last_submit_cost()));
   }
 
   Submitted handle;
@@ -697,8 +792,9 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
 StatusOr<Completion> NvmeDriver::execute_admin(
     nvme::SubmissionQueueEntry sqe) {
   if (!pump_) return failed_precondition("no device attached");
+  const Nanoseconds submit_time = link_.clock().now();
   Pending initial;
-  initial.submit_time_ns = link_.clock().now();
+  initial.submit_time_ns = submit_time;
   const std::uint16_t cid = register_pending(admin_, std::move(initial));
   sqe.cid = cid;
   const Status status = submit_plain(admin_, sqe);
@@ -706,6 +802,15 @@ StatusOr<Completion> NvmeDriver::execute_admin(
     std::lock_guard<std::mutex> lock(admin_.pending_mutex);
     admin_.pending.erase(cid);
     return status;
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::TraceEvent event;
+    event.stage = obs::TraceStage::kSubmit;
+    event.start = submit_time;
+    event.end = link_.clock().now();
+    event.qid = 0;
+    event.cid = cid;
+    tracer_->record(event);
   }
 
   Submitted handle;
@@ -787,6 +892,22 @@ StatusOr<nvme::TransferStatsLog> NvmeDriver::get_transfer_stats() {
   BX_RETURN_IF_ERROR(completion.status());
   if (!completion->ok()) return internal_error("get log page failed");
   nvme::TransferStatsLog log;
+  buffer.read(0, {reinterpret_cast<Byte*>(&log), sizeof(log)});
+  return log;
+}
+
+StatusOr<nvme::StageStatsLog> NvmeDriver::get_stage_stats() {
+  DmaBuffer buffer = memory_.allocate_pages(1);
+  nvme::SubmissionQueueEntry sqe;
+  sqe.opcode = static_cast<std::uint8_t>(nvme::AdminOpcode::kGetLogPage);
+  sqe.dptr1 = buffer.addr();
+  sqe.cdw10 =
+      static_cast<std::uint32_t>(nvme::LogPageId::kVendorStageStats) |
+      ((sizeof(nvme::StageStatsLog) / 4 - 1) << 16);  // NUMDL, 0's based
+  auto completion = execute_admin(sqe);
+  BX_RETURN_IF_ERROR(completion.status());
+  if (!completion->ok()) return internal_error("get log page failed");
+  nvme::StageStatsLog log;
   buffer.read(0, {reinterpret_cast<Byte*>(&log), sizeof(log)});
   return log;
 }

@@ -45,6 +45,8 @@
 #include "nvme/queue.h"
 #include "nvme/spec.h"
 #include "nvme/timing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pcie/bar.h"
 #include "pcie/link.h"
 
@@ -115,6 +117,8 @@ class NvmeDriver {
   StatusOr<IdentifyNamespaceData> identify_namespace(std::uint32_t nsid = 1);
   /// Vendor log page 0xC0: the device's transfer-path statistics.
   StatusOr<nvme::TransferStatsLog> get_transfer_stats();
+  /// Vendor log page 0xC1: the device's always-on per-stage timing.
+  StatusOr<nvme::StageStatsLog> get_stage_stats();
   /// Set Features 0x07 (number of queues); returns granted (sq, cq).
   StatusOr<std::pair<std::uint16_t, std::uint16_t>> set_queue_count(
       std::uint16_t sqs, std::uint16_t cqs);
@@ -149,8 +153,17 @@ class NvmeDriver {
     return last_submit_cost_ns_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches the trace recorder; host-side stage events (kSubmit,
+  /// kDoorbell, kCqDoorbell) flow into it.
+  void set_tracer(obs::TraceRecorder* tracer) noexcept { tracer_ = tracer; }
+
+  /// Publishes the driver's counters into `metrics` as `driver.*`.
+  void bind_metrics(obs::MetricsRegistry& metrics);
+
   /// Direct ring access for white-box tests (ordering invariants).
   [[nodiscard]] nvme::SqRing& sq_for_test(std::uint16_t qid);
+  /// Direct CQ access for trace-reconciliation tests.
+  [[nodiscard]] nvme::CqRing& cq_for_test(std::uint16_t qid);
 
   // ---- concurrency test hooks ----
 
@@ -214,6 +227,14 @@ class NvmeDriver {
   /// registers `pending` under it — one pending_mutex hold, so two racing
   /// submitters can never be handed the same CID.
   std::uint16_t register_pending(QueuePair& qp, Pending pending);
+  /// Records the kDoorbell point event *before* the BAR write (so trace
+  /// order matches device-visible publish order) and rings the SQ tail.
+  /// `entries` is how many ring slots this doorbell publishes. Call with
+  /// the SQ lock held, like a bare ring_sq_tail().
+  void ring_sq_traced(std::uint16_t qid, std::uint32_t tail,
+                      std::uint64_t entries, std::uint16_t cid,
+                      std::uint8_t flags);
+
   /// Atomic BandSlim stream-id allocation (never returns 0).
   std::uint16_t allocate_stream_id() noexcept;
   /// Atomic OOO payload-id allocation (returns 1..0x7fffffff).
@@ -261,6 +282,11 @@ class NvmeDriver {
   std::atomic<std::uint16_t> next_stream_id_{1};   // BandSlim stream ids
   std::atomic<std::uint32_t> next_payload_id_{1};  // OOO payload ids
   std::atomic<Nanoseconds> last_submit_cost_ns_{0};
+
+  obs::TraceRecorder* tracer_ = nullptr;
+  // Registry-owned metrics, cached by bind_metrics(); null when unbound.
+  obs::Counter* submissions_metric_ = nullptr;
+  obs::Histogram* submit_cost_metric_ = nullptr;
 };
 
 }  // namespace bx::driver

@@ -21,6 +21,7 @@ void SqRing::push_slot(ConstByteSpan slot64) noexcept {
   BX_ASSERT_MSG(free_slots() > 0, "SQ overflow");
   memory_.write(slot_addr(tail_), slot64);
   tail_ = (tail_ + 1) % depth_;
+  ++slots_pushed_;
 }
 
 CqRing::CqRing(DmaMemory& memory, std::uint16_t qid, std::uint32_t depth)
@@ -45,6 +46,7 @@ CompletionQueueEntry CqRing::pop() noexcept {
   BX_ASSERT_MSG(cqe.phase() == expected_phase_, "pop without available CQE");
   head_ = (head_ + 1) % depth_;
   if (head_ == 0) expected_phase_ = !expected_phase_;
+  ++cqes_popped_;
   return cqe;
 }
 

@@ -47,6 +47,12 @@ class SqRing {
     return head_cache_;
   }
 
+  /// Lifetime count of slots pushed (SQEs + inline chunks); the trace
+  /// invariant tests reconcile this against doorbell-published entries.
+  [[nodiscard]] std::uint64_t slots_pushed() const noexcept {
+    return slots_pushed_;
+  }
+
   /// The per-SQ driver spinlock (std::mutex here; the kernel uses a
   /// spinlock, but the mutual-exclusion semantics are what matters).
   [[nodiscard]] std::mutex& lock() noexcept { return mutex_; }
@@ -59,6 +65,7 @@ class SqRing {
   std::mutex mutex_;
   std::uint32_t tail_ = 0;        // host writes here
   std::uint32_t head_cache_ = 0;  // last head reported by the device
+  std::uint64_t slots_pushed_ = 0;
 };
 
 class CqRing {
@@ -86,6 +93,12 @@ class CqRing {
 
   [[nodiscard]] std::uint32_t head() const noexcept { return head_; }
 
+  /// Lifetime count of CQEs consumed; reconciled against kCqDoorbell
+  /// trace events by the invariant tests.
+  [[nodiscard]] std::uint64_t cqes_popped() const noexcept {
+    return cqes_popped_;
+  }
+
  private:
   DmaMemory& memory_;
   std::uint16_t qid_;
@@ -93,6 +106,7 @@ class CqRing {
   DmaBuffer ring_;
   std::uint32_t head_ = 0;
   bool expected_phase_ = true;  // device starts writing with phase=1
+  std::uint64_t cqes_popped_ = 0;
 };
 
 }  // namespace bx::nvme

@@ -48,6 +48,8 @@ enum class LogPageId : std::uint8_t {
   kSmart = 0x02,
   /// Vendor log: transfer-path statistics (ByteExpress instrumentation).
   kVendorTransferStats = 0xc0,
+  /// Vendor log: per-stage firmware timing statistics (observability).
+  kVendorStageStats = 0xc1,
 };
 
 /// Layout of the vendor transfer-stats log page (LID 0xC0) — the
@@ -63,6 +65,25 @@ struct TransferStatsLog {
   std::uint64_t fetch_stage_total_ns = 0;
 };
 static_assert(sizeof(TransferStatsLog) == 64);
+
+/// Layout of the vendor stage-stats log page (LID 0xC1): cumulative
+/// {count, total_ns} per device-side pipeline stage for I/O queues
+/// (admin-queue work is excluded). Accumulated always-on in firmware,
+/// independently of the host-side trace recorder.
+struct StageStatsLog {
+  struct Entry {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  Entry sqe_fetch;
+  Entry chunk_fetch;
+  Entry prp_dma;
+  Entry sgl_dma;
+  Entry exec;
+  Entry completion;
+  std::uint64_t reserved[4] = {};
+};
+static_assert(sizeof(StageStatsLog) == 128);
 
 enum class IoOpcode : std::uint8_t {
   kFlush = 0x00,

@@ -1,0 +1,229 @@
+#include "obs/invariants.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace bx::obs {
+namespace {
+
+std::string describe(const TraceEvent& e) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "seq=%llu %s q%u cid=%u slot=%u flags=%u aux=%llu",
+                static_cast<unsigned long long>(e.seq),
+                std::string(stage_name(e.stage)).c_str(), e.qid, e.cid, e.slot,
+                e.flags, static_cast<unsigned long long>(e.aux));
+  return buf;
+}
+
+// Per-queue adjacency state: after a non-OOO inline kSqeFetch announcing N
+// queue-local chunks, the next N fetch-side events on that queue must be
+// its kChunkFetch events at consecutive ring slots.
+struct PendingChunks {
+  std::uint64_t remaining = 0;
+  std::uint32_t next_slot = 0;  // expected ring index of the next chunk
+  std::uint16_t cid = 0;
+};
+
+}  // namespace
+
+std::string TraceCheckResult::summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "submits=%llu completions=%llu sqe_fetches=%llu "
+                "chunk_fetches=%llu doorbells=%llu violations=%zu",
+                static_cast<unsigned long long>(submits),
+                static_cast<unsigned long long>(completions),
+                static_cast<unsigned long long>(sqe_fetches),
+                static_cast<unsigned long long>(chunk_fetches),
+                static_cast<unsigned long long>(doorbells),
+                violations.size());
+  return buf;
+}
+
+TraceCheckResult check_trace_invariants(const std::vector<TraceEvent>& events,
+                                        const TraceCheckOptions& options) {
+  TraceCheckResult result;
+  const auto violate = [&result](const TraceEvent& e, const std::string& why) {
+    if (result.violations.size() < 64) {
+      result.violations.push_back(why + " at [" + describe(e) + "]");
+    }
+  };
+
+  // Invariant 1 state: ring slots published by doorbells vs fetched by the
+  // device, per queue. Both are prefix counts over seq order.
+  std::map<std::uint16_t, std::uint64_t> published;
+  std::map<std::uint16_t, std::uint64_t> fetched;
+  // Invariant 2 state.
+  std::map<std::uint16_t, PendingChunks> pending_chunks;
+  // Invariant 3 state: (qid, cid) pairs with an open completion obligation.
+  std::set<std::pair<std::uint16_t, std::uint16_t>> in_flight;
+  // With allow_submit_completion_race: completions recorded ahead of their
+  // submit, waiting to be consumed. Multiset-by-count since CIDs recycle.
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::uint64_t> early_done;
+  // Invariant 5 state: completions posted vs CQ head doorbells, per queue.
+  std::map<std::uint16_t, std::uint64_t> completed_per_q;
+  std::map<std::uint16_t, std::uint64_t> cq_doorbells_per_q;
+
+  std::uint64_t last_seq = 0;
+  Nanoseconds last_end = 0;
+  bool first = true;
+
+  for (const TraceEvent& e : events) {
+    // Snapshot ordering sanity: seq strictly increases.
+    if (!first && e.seq <= last_seq) {
+      violate(e, "trace not sorted by seq (snapshot corrupted)");
+    }
+    // Invariant 4: intervals are well-formed and end times never regress.
+    if (e.start > e.end) {
+      violate(e, "interval with start > end");
+    }
+    if (options.require_monotonic && !first && e.end < last_end) {
+      violate(e, "end timestamp regressed vs previously recorded event");
+    }
+    last_seq = e.seq;
+    if (e.end > last_end || first) last_end = e.end;
+    first = false;
+
+    const bool aux = (e.flags & kFlagAuxCommand) != 0;
+    const bool ooo_cmd = (e.flags & kFlagOooCommand) != 0;
+    const bool ooo_chunk = (e.flags & kFlagOooChunk) != 0;
+
+    // A queue-local chunk burst may only be interrupted by host-side or
+    // per-command device events of *other* queues; on this queue, device
+    // fetch events must be exactly the announced chunks.
+    const bool device_fetch_event = e.stage == TraceStage::kSqeFetch ||
+                                    e.stage == TraceStage::kChunkFetch;
+    if (device_fetch_event) {
+      auto it = pending_chunks.find(e.qid);
+      if (it != pending_chunks.end() && it->second.remaining > 0) {
+        PendingChunks& pend = it->second;
+        if (e.stage != TraceStage::kChunkFetch || ooo_chunk) {
+          violate(e, "expected queue-local inline chunk fetch for cid=" +
+                         std::to_string(pend.cid) + ", got something else");
+          pending_chunks.erase(it);
+        } else {
+          if (e.slot != pend.next_slot &&
+              !(options.queue_depth == 0 && e.slot == 0)) {
+            violate(e, "inline chunk not adjacent: expected slot " +
+                           std::to_string(pend.next_slot));
+          }
+          if (e.cid != pend.cid) {
+            violate(e, "inline chunk cid mismatch: expected cid=" +
+                           std::to_string(pend.cid));
+          }
+          --pend.remaining;
+          pend.next_slot = options.queue_depth != 0
+                               ? (e.slot + 1) % options.queue_depth
+                               : e.slot + 1;
+          if (pend.remaining == 0) pending_chunks.erase(it);
+        }
+      }
+    }
+
+    switch (e.stage) {
+      case TraceStage::kSubmit: {
+        if (!aux) {
+          ++result.submits;
+          const auto key = std::make_pair(e.qid, e.cid);
+          if (options.allow_submit_completion_race) {
+            if (auto it = early_done.find(key); it != early_done.end()) {
+              if (--it->second == 0) early_done.erase(it);
+              break;  // obligation already closed by the early completion
+            }
+          }
+          if (!in_flight.insert(key).second) {
+            violate(e, "cid resubmitted while still in flight");
+          }
+        }
+        break;
+      }
+      case TraceStage::kDoorbell: {
+        ++result.doorbells;
+        published[e.qid] += e.aux;
+        break;
+      }
+      case TraceStage::kSqeFetch: {
+        ++result.sqe_fetches;
+        // Invariant 1: the device may only fetch published slots.
+        if (++fetched[e.qid] > published[e.qid]) {
+          violate(e, "SQE fetched beyond published doorbell tail");
+        }
+        // Invariant 2: arm the adjacency state machine for queue-local
+        // inline chunks (OOO commands stripe chunks anywhere).
+        if (!ooo_cmd && e.aux > 0) {
+          PendingChunks& pend = pending_chunks[e.qid];
+          if (pend.remaining > 0) {
+            violate(e, "new inline command fetched mid-chunk-burst");
+          }
+          pend.remaining = e.aux;
+          pend.cid = e.cid;
+          pend.next_slot = options.queue_depth != 0
+                               ? (e.slot + 1) % options.queue_depth
+                               : e.slot + 1;
+        }
+        break;
+      }
+      case TraceStage::kChunkFetch: {
+        ++result.chunk_fetches;
+        if (++fetched[e.qid] > published[e.qid]) {
+          violate(e, "chunk fetched beyond published doorbell tail");
+        }
+        break;
+      }
+      case TraceStage::kCompletion: {
+        ++result.completions;
+        ++completed_per_q[e.qid];
+        const auto key = std::make_pair(e.qid, e.cid);
+        if (in_flight.erase(key) == 0) {
+          if (options.allow_submit_completion_race) {
+            ++early_done[key];
+          } else {
+            violate(e, "completion without a matching open submit");
+          }
+        }
+        break;
+      }
+      case TraceStage::kCqDoorbell: {
+        // Invariant 5: the host can only consume posted completions.
+        if (++cq_doorbells_per_q[e.qid] > completed_per_q[e.qid]) {
+          violate(e, "CQ head doorbell ahead of posted completions");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [qid, pend] : pending_chunks) {
+    if (pend.remaining > 0) {
+      TraceEvent synthetic;
+      synthetic.qid = qid;
+      synthetic.cid = pend.cid;
+      violate(synthetic, "trace ended mid inline chunk burst (" +
+                             std::to_string(pend.remaining) +
+                             " chunks outstanding)");
+    }
+  }
+  for (const auto& [key, count] : early_done) {
+    TraceEvent synthetic;
+    synthetic.qid = key.first;
+    synthetic.cid = key.second;
+    violate(synthetic, "completion without a matching submit (" +
+                           std::to_string(count) + " unconsumed)");
+  }
+  if (options.require_all_completed && !in_flight.empty()) {
+    for (const auto& [qid, cid] : in_flight) {
+      TraceEvent synthetic;
+      synthetic.qid = qid;
+      synthetic.cid = cid;
+      violate(synthetic, "submitted command never completed");
+    }
+  }
+  return result;
+}
+
+}  // namespace bx::obs

@@ -1,0 +1,75 @@
+// Trace-driven protocol invariant checker.
+//
+// Walks a TraceRecorder snapshot in seq order and verifies the structural
+// guarantees the paper's submission path relies on, as observable through
+// the event stream alone:
+//
+//   1. Doorbell-before-fetch — per queue, the device never fetches more
+//      ring slots than host doorbells have published (kDoorbell events
+//      carry the published-entry count, so ring wraparound is handled by
+//      counting, not by comparing tail values).
+//   2. Queue-local inline adjacency — after an inline (non-OOO) command's
+//      kSqeFetch, the next fetch-side events on that queue are exactly its
+//      kChunkFetch events, at consecutive ring slots of the *same* SQ
+//      (§3.3.2); nothing may interleave on that queue mid-transaction.
+//   3. One completion per CID — every non-auxiliary kSubmit(qid, cid)
+//      opens an obligation closed by exactly one kCompletion(qid, cid);
+//      a second completion, a completion with no open submit, or a CID
+//      reused while still in flight are violations. (BandSlim fragments
+//      are auxiliary: they carry the protocol's cid 0 and never open an
+//      obligation.)
+//   4. Monotonic timestamps — event end times never decrease in record
+//      order, and every interval has start <= end. (Optional: under real
+//      OS threads the global seq and the clock are sampled separately, so
+//      TSan runs disable this check.)
+//   5. CQ doorbells trail completions — a kCqDoorbell on a queue never
+//      outnumbers the completions posted to it.
+//
+// The checker is pure library code so tests AND the fuzzer can use it as
+// an oracle over arbitrary schedules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bx::obs {
+
+struct TraceCheckOptions {
+  /// Verify timestamp monotonicity (disable for OS-thread schedules).
+  bool require_monotonic = true;
+  /// Tolerate a completion recorded before its submit. The driver records
+  /// kSubmit when the submission path returns — after the doorbell that
+  /// publishes the command — so under OS threads a fast device can fetch,
+  /// execute and record kCompletion first. When set, such a completion is
+  /// held as a credit that the late kSubmit must consume; unmatched credits
+  /// are still violations. Leave false for deterministic schedules.
+  bool allow_submit_completion_race = false;
+  /// Require every opened submit obligation to be completed by the end of
+  /// the trace (set when the scenario drained before snapshotting).
+  bool require_all_completed = true;
+  /// SQ ring depth for exact slot-adjacency checks. 0 = unknown: a wrap is
+  /// then only accepted when the next slot is 0.
+  std::uint32_t queue_depth = 0;
+};
+
+struct TraceCheckResult {
+  std::vector<std::string> violations;
+
+  // Convenience tallies over the walked trace.
+  std::uint64_t submits = 0;       // non-auxiliary kSubmit events
+  std::uint64_t completions = 0;   // kCompletion events
+  std::uint64_t sqe_fetches = 0;   // kSqeFetch events (incl. auxiliary)
+  std::uint64_t chunk_fetches = 0; // kChunkFetch events
+  std::uint64_t doorbells = 0;     // kDoorbell events
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] TraceCheckResult check_trace_invariants(
+    const std::vector<TraceEvent>& events, const TraceCheckOptions& options);
+
+}  // namespace bx::obs

@@ -1,0 +1,110 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace bx::obs {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::expose_counter(std::string_view name,
+                                     const Counter* counter) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  exposed_counters_[std::string(name)] = counter;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = counters_.find(name); it != counters_.end()) {
+    return it->second->value();
+  }
+  if (const auto it = exposed_counters_.find(name);
+      it != exposed_counters_.end()) {
+    return it->second->value();
+  }
+  return 0;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // std::map iteration is name-sorted, which keeps the dump deterministic;
+  // merge owned and exposed counters into one sorted stream.
+  std::vector<std::pair<std::string_view, std::uint64_t>> counter_rows;
+  counter_rows.reserve(counters_.size() + exposed_counters_.size());
+  for (const auto& [name, c] : counters_) {
+    counter_rows.emplace_back(name, c->value());
+  }
+  for (const auto& [name, c] : exposed_counters_) {
+    counter_rows.emplace_back(name, c->value());
+  }
+  std::sort(counter_rows.begin(), counter_rows.end());
+
+  std::string out = "{";
+  bool first = true;
+  char entry[256];
+  const auto append = [&](const char* text) {
+    if (!first) out += ", ";
+    out += text;
+    first = false;
+  };
+  for (const auto& [name, value] : counter_rows) {
+    std::snprintf(entry, sizeof(entry), "\"%s\": %llu",
+                  std::string(name).c_str(),
+                  static_cast<unsigned long long>(value));
+    append(entry);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(entry, sizeof(entry), "\"%s\": %lld", name.c_str(),
+                  static_cast<long long>(gauge->value()));
+    append(entry);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const LatencyHistogram snap = histogram->snapshot();
+    std::snprintf(entry, sizeof(entry),
+                  "\"%s\": {\"count\": %llu, \"mean_ns\": %.1f, "
+                  "\"p50_ns\": %llu, \"p99_ns\": %llu, \"max_ns\": %llu}",
+                  name.c_str(),
+                  static_cast<unsigned long long>(snap.count()), snap.mean(),
+                  static_cast<unsigned long long>(snap.percentile(50)),
+                  static_cast<unsigned long long>(snap.percentile(99)),
+                  static_cast<unsigned long long>(snap.max()));
+    append(entry);
+  }
+  out += "}";
+  return out;
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  return registry.to_json();
+}
+
+}  // namespace bx::obs

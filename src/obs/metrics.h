@@ -1,0 +1,120 @@
+// Named metrics registry: counters, gauges and latency histograms with a
+// deterministic JSON export.
+//
+// Two ownership modes:
+//   * registry-owned — counter()/gauge()/histogram() create (or look up)
+//     a metric and hand back a reference that stays valid for the
+//     registry's lifetime, so hot paths cache the pointer once and then
+//     update lock-free;
+//   * borrowed — expose_counter() publishes a component-owned Counter
+//     (e.g. the controller's transfer-path counters, which also feed the
+//     0xC0 log page) under a name, without copying or double counting.
+//
+// Counters and gauges are relaxed atomics: safe from any thread, exact
+// once the system quiesces — the same contract as pcie::TrafficCounter.
+// Histograms take a mutex per record; keep them off per-TLP paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+
+namespace bx::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  void record(std::uint64_t value) noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.record(value);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_.count();
+  }
+  [[nodiscard]] LatencyHistogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histogram_;
+  }
+  void reset() noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    histogram_.reset();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  LatencyHistogram histogram_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Creates or looks up a registry-owned metric. References stay valid
+  /// for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Publishes a component-owned counter under `name`. The component must
+  /// outlive any read of the registry (in the Testbed both live and die
+  /// together).
+  void expose_counter(std::string_view name, const Counter* counter);
+
+  /// Value of a named counter (owned or exposed); 0 if unknown.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Deterministic JSON object, keys sorted: counters and gauges as
+  /// numbers, histograms as {count, mean_ns, p50_ns, p99_ns, max_ns}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, const Counter*, std::less<>> exposed_counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The `bx::obs::to_json` export entry point for metrics.
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry);
+
+}  // namespace bx::obs

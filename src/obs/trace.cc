@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bx::obs {
+
+std::string_view stage_name(TraceStage stage) noexcept {
+  switch (stage) {
+    case TraceStage::kSubmit: return "submit";
+    case TraceStage::kDoorbell: return "doorbell";
+    case TraceStage::kSqeFetch: return "sqe_fetch";
+    case TraceStage::kChunkFetch: return "chunk_fetch";
+    case TraceStage::kPrpDma: return "prp_dma";
+    case TraceStage::kSglDma: return "sgl_dma";
+    case TraceStage::kNandIo: return "nand_io";
+    case TraceStage::kExec: return "exec";
+    case TraceStage::kCompletion: return "completion";
+    case TraceStage::kCqDoorbell: return "cq_doorbell";
+    case TraceStage::kCount_: break;
+  }
+  return "?";
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (!enabled()) return;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (stored_.fetch_add(1, std::memory_order_relaxed) >=
+      capacity_.load(std::memory_order_relaxed)) {
+    stored_.fetch_sub(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Shard& shard = shards_[event.qid % kShards];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.events.push_back(event);
+}
+
+void TraceRecorder::record_in_device_context(TraceEvent event) {
+  if (!enabled()) return;
+  if (device_context_valid_) {
+    event.qid = device_qid_;
+    event.cid = device_cid_;
+  }
+  record(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> merged;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    merged.insert(merged.end(), shard.events.begin(), shard.events.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  return merged;
+}
+
+void TraceRecorder::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.events.clear();
+  }
+  stored_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::dump(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 96);
+  char line[192];
+  for (const TraceEvent& e : events) {
+    std::snprintf(
+        line, sizeof(line),
+        "%8llu [%12lld %12lld] %-11s q%-3u cid%-5u slot=%-5u flags=%u "
+        "aux=%llu bytes=%llu\n",
+        static_cast<unsigned long long>(e.seq),
+        static_cast<long long>(e.start), static_cast<long long>(e.end),
+        std::string(stage_name(e.stage)).c_str(), e.qid, e.cid, e.slot,
+        e.flags, static_cast<unsigned long long>(e.aux),
+        static_cast<unsigned long long>(e.bytes));
+    out += line;
+  }
+  return out;
+}
+
+StageBreakdown stage_breakdown(const std::vector<TraceEvent>& events) {
+  StageBreakdown breakdown;
+  for (const TraceEvent& e : events) {
+    const auto index = static_cast<std::size_t>(e.stage);
+    if (index >= kStageCount) continue;
+    StageBreakdown::StageStats& stats = breakdown.stages[index];
+    const std::uint64_t duration =
+        e.end >= e.start ? static_cast<std::uint64_t>(e.end - e.start) : 0;
+    ++stats.count;
+    stats.total_ns += duration;
+    stats.durations.record(duration);
+  }
+  return breakdown;
+}
+
+std::string to_json(const StageBreakdown& breakdown) {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const StageBreakdown::StageStats& stats = breakdown.stages[i];
+    if (stats.count == 0) continue;
+    char entry[256];
+    std::snprintf(
+        entry, sizeof(entry),
+        "%s\"%s\": {\"count\": %llu, \"total_ns\": %llu, \"p50_ns\": %llu, "
+        "\"p99_ns\": %llu}",
+        first ? "" : ", ",
+        std::string(stage_name(static_cast<TraceStage>(i))).c_str(),
+        static_cast<unsigned long long>(stats.count),
+        static_cast<unsigned long long>(stats.total_ns),
+        static_cast<unsigned long long>(stats.durations.percentile(50)),
+        static_cast<unsigned long long>(stats.durations.percentile(99)));
+    out += entry;
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace bx::obs

@@ -1,0 +1,207 @@
+// Structured command tracing for the simulated NVMe pipeline.
+//
+// Every instrumented layer (driver, controller, SSD executor) appends
+// TraceEvents to one TraceRecorder owned by the Testbed. An event is an
+// *interval* [start, end] of simulated time attributed to one pipeline
+// stage of one command, keyed by (qid, cid). The "primary" stages tile a
+// command's end-to-end latency with no gaps or overlaps, so summing the
+// primary durations of a QD1 command reproduces Completion::latency_ns
+// exactly (tests/trace_latency_accounting_test.cc asserts this).
+// kDoorbell and kNandIo are nested annotation events: they overlap a
+// primary interval and are excluded from latency accounting.
+//
+// Thread safety: the recorder is sharded by qid (shard mutex + vector),
+// with a global atomic sequence number, so the PR-1 multi-submitter path
+// stays clean under TSan. snapshot() merges shards in seq order. Device
+// -side layers that do not know (qid, cid) — the SSD executor — read them
+// from the recorder's device context, which the controller sets around
+// executor dispatch; all device-side code runs under the Testbed firmware
+// mutex, so the context needs no atomics.
+//
+// Determinism: events carry only simulated time and the seq counter, so
+// two runs of the same seeded scenario produce byte-identical dump()
+// output (tests/trace_golden_test.cc asserts this).
+//
+// Cost when disabled: configure with -DBX_OBS_TRACE=OFF and enabled() is
+// a compile-time false — every instrumentation site is
+// `if (tracer && tracer->enabled())`, which the compiler folds away.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace bx::obs {
+
+enum class TraceStage : std::uint8_t {
+  kSubmit = 0,   // host: build + insert + doorbell, one per driver-level op
+  kDoorbell,     // host: one SQ tail doorbell MMIO (annotation, in kSubmit)
+  kSqeFetch,     // device: 64 B SQE DMA fetch + fetch firmware cost
+  kChunkFetch,   // device: one inline-chunk slot fetch (+ copy/track cost)
+  kPrpDma,       // device: PRP gather/scatter incl. list fetches + setup
+  kSglDma,       // device: SGL gather/scatter incl. setup
+  kNandIo,       // device: FTL/NAND or write-cache work (annotation, in kExec)
+  kExec,         // device: executor dispatch + run (and BandSlim stream fw)
+  kCompletion,   // device: CQE post firmware + CQE write + MSI-X
+  kCqDoorbell,   // host: completion handling + CQ head doorbell MMIO
+  kCount_,
+};
+
+inline constexpr std::size_t kStageCount =
+    static_cast<std::size_t>(TraceStage::kCount_);
+
+[[nodiscard]] std::string_view stage_name(TraceStage stage) noexcept;
+
+/// Stages whose intervals partition a command's latency window. kDoorbell
+/// and kNandIo are annotations nested inside primary intervals.
+[[nodiscard]] constexpr bool is_primary_stage(TraceStage stage) noexcept {
+  return stage != TraceStage::kDoorbell && stage != TraceStage::kNandIo;
+}
+
+// TraceEvent::flags bits.
+/// Auxiliary command: a BandSlim fragment (cid is the protocol's 0, not a
+/// real command id) or BandSlim stream-setup firmware work. Auxiliary
+/// kSubmit/kSqeFetch events never open a completion obligation.
+inline constexpr std::uint8_t kFlagAuxCommand = 1u << 0;
+/// The command is an OOO-marked inline command (chunks are self-describing
+/// and need not be queue-local).
+inline constexpr std::uint8_t kFlagOooCommand = 1u << 1;
+/// The chunk is a self-describing OOO chunk (carries payload_id, no cid).
+inline constexpr std::uint8_t kFlagOooChunk = 1u << 2;
+
+/// One interval of simulated time attributed to a pipeline stage. Field
+/// meaning per stage (unused fields are zero):
+///   kSubmit:     bytes=payload, aux=TransferMethod as int
+///   kDoorbell:   slot=new tail value, aux=ring entries published
+///   kSqeFetch:   slot=ring index, aux=expected queue-local chunk count,
+///                bytes=inline length
+///   kChunkFetch: slot=ring index, aux=chunk index within command,
+///                bytes=chunk payload bytes
+///   kPrpDma/kSglDma: bytes=payload length, aux=0 gather / 1 scatter
+///   kNandIo:     bytes=bytes moved, aux=0 write / 1 read
+///   kExec:       bytes=payload length
+///   kCompletion: (none)
+///   kCqDoorbell: slot=new CQ head value
+struct TraceEvent {
+  std::uint64_t seq = 0;    // global record order (filled by the recorder)
+  Nanoseconds start = 0;    // sim-clock interval start
+  Nanoseconds end = 0;      // sim-clock interval end (>= start)
+  TraceStage stage = TraceStage::kSubmit;
+  std::uint8_t flags = 0;
+  std::uint16_t qid = 0;
+  std::uint16_t cid = 0;
+  std::uint32_t slot = 0;
+  std::uint64_t aux = 0;
+  std::uint64_t bytes = 0;
+};
+
+class TraceRecorder {
+ public:
+#ifdef BX_OBS_TRACE_DISABLED
+  static constexpr bool kCompiledIn = false;
+#else
+  static constexpr bool kCompiledIn = true;
+#endif
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  /// Folds to `false` at compile time when tracing is configured out; all
+  /// instrumentation sites guard on this.
+  [[nodiscard]] bool enabled() const noexcept {
+    return kCompiledIn && enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Events kept before new ones are dropped (memory bound for very long
+  /// benchmark runs); dropped events are counted, never silently lost.
+  void set_capacity(std::uint64_t max_events) noexcept {
+    capacity_.store(max_events, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends `event` (seq is assigned here). Safe from any thread.
+  void record(TraceEvent event);
+
+  /// Appends `event` with (qid, cid) filled from the device context — for
+  /// device-side layers below the controller (e.g. the SSD executor).
+  void record_in_device_context(TraceEvent event);
+
+  /// The (qid, cid) the device firmware is currently executing. Set by the
+  /// controller around executor dispatch; only touched under the firmware
+  /// mutex, so plain fields suffice.
+  void set_device_context(std::uint16_t qid, std::uint16_t cid) noexcept {
+    device_qid_ = qid;
+    device_cid_ = cid;
+    device_context_valid_ = true;
+  }
+  void clear_device_context() noexcept { device_context_valid_ = false; }
+
+  /// All events so far, merged across shards in seq order.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Drops all recorded events (seq keeps counting upward).
+  void clear();
+
+  [[nodiscard]] std::uint64_t events_recorded() const noexcept {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  /// Deterministic multi-line text rendering of a snapshot — what the
+  /// golden tests diff byte-for-byte.
+  [[nodiscard]] static std::string dump(const std::vector<TraceEvent>& events);
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> capacity_{1u << 20};
+  std::atomic<std::uint64_t> stored_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::array<Shard, kShards> shards_;
+
+  std::uint16_t device_qid_ = 0;
+  std::uint16_t device_cid_ = 0;
+  bool device_context_valid_ = false;
+};
+
+/// Per-stage latency distribution derived from a trace snapshot — the
+/// "per-stage p50/p99" the benches export.
+struct StageBreakdown {
+  struct StageStats {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    LatencyHistogram durations;
+  };
+  std::array<StageStats, kStageCount> stages{};
+
+  [[nodiscard]] const StageStats& of(TraceStage stage) const noexcept {
+    return stages[static_cast<std::size_t>(stage)];
+  }
+};
+
+[[nodiscard]] StageBreakdown stage_breakdown(
+    const std::vector<TraceEvent>& events);
+
+/// JSON object keyed by stage name with count/total/p50/p99 per stage.
+[[nodiscard]] std::string to_json(const StageBreakdown& breakdown);
+
+}  // namespace bx::obs

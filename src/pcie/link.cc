@@ -34,6 +34,27 @@ Nanoseconds PcieLink::serialize_time(std::uint64_t wire_bytes) const noexcept {
       std::llround(double(wire_bytes) / config_.bytes_per_ns()));
 }
 
+void PcieLink::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    tlps_metric_ = wire_bytes_metric_ = data_bytes_metric_ = nullptr;
+    return;
+  }
+  tlps_metric_ = &metrics->counter("pcie.tlps");
+  wire_bytes_metric_ = &metrics->counter("pcie.wire_bytes");
+  data_bytes_metric_ = &metrics->counter("pcie.data_bytes");
+}
+
+void PcieLink::record(Direction dir, TrafficClass cls, std::uint64_t tlps,
+                      std::uint64_t data_bytes,
+                      std::uint64_t wire_bytes) noexcept {
+  counter_.record(dir, cls, tlps, data_bytes, wire_bytes);
+  if (tlps_metric_ != nullptr) {
+    tlps_metric_->add(tlps);
+    wire_bytes_metric_->add(wire_bytes);
+    data_bytes_metric_->add(data_bytes);
+  }
+}
+
 Nanoseconds PcieLink::post_write(Direction dir, TrafficClass cls,
                                  std::uint64_t data_bytes) noexcept {
   const std::uint32_t mps = config_.max_payload_size;
@@ -46,7 +67,7 @@ Nanoseconds PcieLink::post_write(Direction dir, TrafficClass cls,
     wire += tlp_wire_bytes(TlpType::kMemoryWrite, chunk, config_.overhead);
     remaining -= chunk;
   }
-  counter_.record(dir, cls, tlps, data_bytes, wire);
+  record(dir, cls, tlps, data_bytes, wire);
   const Nanoseconds t = config_.propagation_ns + serialize_time(wire);
   clock_.advance(t);
   return t;
@@ -65,7 +86,7 @@ Nanoseconds PcieLink::read(Direction data_dir, TrafficClass cls,
   const std::uint64_t requests = div_ceil(data_bytes, mrrs);
   const std::uint64_t req_wire =
       requests * tlp_wire_bytes(TlpType::kMemoryRead, 0, config_.overhead);
-  counter_.record(req_dir, cls, requests, 0, req_wire);
+  record(req_dir, cls, requests, 0, req_wire);
 
   // Completions with data, split at MaxPayloadSize.
   const std::uint64_t cpls = div_ceil(data_bytes, mps);
@@ -77,7 +98,7 @@ Nanoseconds PcieLink::read(Direction data_dir, TrafficClass cls,
     cpl_wire += tlp_wire_bytes(TlpType::kCompletion, chunk, config_.overhead);
     remaining -= chunk;
   }
-  counter_.record(data_dir, cls, cpls, data_bytes, cpl_wire);
+  record(data_dir, cls, cpls, data_bytes, cpl_wire);
 
   // Round trip: request propagation + its serialization, then completion
   // propagation + serialization of the data stream.

@@ -16,6 +16,7 @@
 
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "pcie/tlp.h"
 #include "pcie/traffic_counter.h"
 
@@ -63,10 +64,20 @@ class PcieLink {
   [[nodiscard]] Nanoseconds serialize_time(std::uint64_t wire_bytes)
       const noexcept;
 
+  /// Mirrors every record into `pcie.tlps` / `pcie.wire_bytes` /
+  /// `pcie.data_bytes` counters of `metrics` (pass nullptr to detach).
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
+  void record(Direction dir, TrafficClass cls, std::uint64_t tlps,
+              std::uint64_t data_bytes, std::uint64_t wire_bytes) noexcept;
+
   LinkConfig config_;
   SimClock& clock_;
   TrafficCounter& counter_;
+  obs::Counter* tlps_metric_ = nullptr;
+  obs::Counter* wire_bytes_metric_ = nullptr;
+  obs::Counter* data_bytes_metric_ = nullptr;
 };
 
 }  // namespace bx::pcie

@@ -88,6 +88,18 @@ SsdDevice::SsdDevice(SimClock& clock, Config config)
       write_cache_(ftl_, clock, config.write_cache),
       scratch_(config.scratch_bytes, 0) {}
 
+void SsdDevice::record_nand(Nanoseconds start, std::uint64_t bytes,
+                            bool read) noexcept {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  obs::TraceEvent e;
+  e.stage = obs::TraceStage::kNandIo;
+  e.start = start;
+  e.end = clock_.now();
+  e.aux = read ? 1 : 0;
+  e.bytes = bytes;
+  tracer_->record_in_device_context(e);
+}
+
 ExecResult SsdDevice::execute(const nvme::SubmissionQueueEntry& sqe,
                               ConstByteSpan payload) {
   clock_.advance(config_.cpu_dispatch_ns);
@@ -129,6 +141,7 @@ ExecResult SsdDevice::do_block_write(const nvme::SubmissionQueueEntry& sqe,
     return ExecResult::error(
         StatusField::generic(GenericStatus::kDataTransferError));
   }
+  const Nanoseconds nand_start = clock_.now();
   for (std::uint32_t i = 0; i < fields.block_count; ++i) {
     const ConstByteSpan block =
         payload.subspan(std::size_t{i} * kBlockSize, kBlockSize);
@@ -143,6 +156,7 @@ ExecResult SsdDevice::do_block_write(const nvme::SubmissionQueueEntry& sqe,
           StatusField::generic(GenericStatus::kInternalError));
     }
   }
+  record_nand(nand_start, payload.size(), /*read=*/false);
   return ExecResult::success();
 }
 
@@ -154,6 +168,7 @@ ExecResult SsdDevice::do_block_read(const nvme::SubmissionQueueEntry& sqe) {
   }
   ExecResult result;
   result.read_data.assign(std::size_t{fields.block_count} * kBlockSize, 0);
+  const Nanoseconds nand_start = clock_.now();
   for (std::uint32_t i = 0; i < fields.block_count; ++i) {
     const ByteSpan block{
         result.read_data.data() + std::size_t{i} * kBlockSize, kBlockSize};
@@ -166,6 +181,7 @@ ExecResult SsdDevice::do_block_read(const nvme::SubmissionQueueEntry& sqe) {
     }
     // Unwritten LBAs read back as zeroes, like a real SSD.
   }
+  record_nand(nand_start, result.read_data.size(), /*read=*/true);
   return result;
 }
 
@@ -186,6 +202,7 @@ ExecResult SsdDevice::do_partial_write(const nvme::SubmissionQueueEntry& sqe,
 
   // Read-modify-write in the device's page buffer: the host only shipped
   // the changed bytes.
+  const Nanoseconds nand_start = clock_.now();
   ByteVec page(kBlockSize, 0);
   const Status read = config_.enable_write_cache
                           ? write_cache_.read(lba, page)
@@ -203,6 +220,7 @@ ExecResult SsdDevice::do_partial_write(const nvme::SubmissionQueueEntry& sqe,
     return ExecResult::error(
         StatusField::generic(GenericStatus::kInternalError));
   }
+  record_nand(nand_start, kBlockSize, /*read=*/false);
   return ExecResult::success();
 }
 

@@ -17,6 +17,7 @@
 #include "kv/kv_engine.h"
 #include "nand/ftl.h"
 #include "nand/nand_flash.h"
+#include "obs/trace.h"
 #include "ssd/write_cache.h"
 
 namespace bx::ssd {
@@ -66,7 +67,15 @@ class SsdDevice : public controller::CommandExecutor {
   /// The block-path write cache (valid only when enabled in the config).
   [[nodiscard]] WriteCache& write_cache() noexcept { return write_cache_; }
 
+  /// Attaches the trace recorder; NAND/FTL work is reported as kNandIo
+  /// events through the recorder's device context (the SSD does not know
+  /// which (qid, cid) it is serving).
+  void set_tracer(obs::TraceRecorder* tracer) noexcept { tracer_ = tracer; }
+
  private:
+  /// Records a kNandIo annotation [start, now] via the device context.
+  void record_nand(Nanoseconds start, std::uint64_t bytes,
+                   bool read) noexcept;
   controller::ExecResult do_block_write(const nvme::SubmissionQueueEntry& sqe,
                                         ConstByteSpan payload);
   controller::ExecResult do_block_read(const nvme::SubmissionQueueEntry& sqe);
@@ -100,6 +109,7 @@ class SsdDevice : public controller::CommandExecutor {
   WriteCache write_cache_;
   ByteVec scratch_;
   std::uint32_t scratch_valid_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;
 };
 
 }  // namespace bx::ssd

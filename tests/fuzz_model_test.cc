@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "core/testbed.h"
+#include "obs/invariants.h"
 #include "test_util.h"
 #include "workload/mixgraph.h"
 
@@ -20,6 +21,25 @@ using core::Testbed;
 using driver::IoRequest;
 using driver::TransferMethod;
 using nvme::IoOpcode;
+
+// Oracle: after any random schedule, the full command trace must satisfy
+// every protocol invariant (doorbell-before-fetch, inline adjacency, one
+// completion per CID, monotonic time). Strict options — these schedules
+// are single-threaded and drain fully.
+void expect_trace_invariants_hold(Testbed& testbed,
+                                  const core::TestbedConfig& config) {
+  const std::vector<obs::TraceEvent> events = testbed.trace().snapshot();
+  ASSERT_FALSE(events.empty());
+  obs::TraceCheckOptions options;
+  options.queue_depth = config.driver.io_queue_depth;
+  const obs::TraceCheckResult result =
+      obs::check_trace_invariants(events, options);
+  EXPECT_TRUE(result.ok()) << result.summary() << "\nfirst violations:\n"
+                           << (result.violations.empty()
+                                   ? std::string()
+                                   : result.violations.front());
+  EXPECT_EQ(result.submits, result.completions);
+}
 
 TransferMethod random_method(Rng& rng) {
   static constexpr TransferMethod kMethods[] = {
@@ -102,12 +122,15 @@ TEST_P(FuzzSeed, KvStoreMatchesReferenceModel) {
       EXPECT_EQ(*got, it->second) << key;
     }
   }
+
+  expect_trace_invariants_hold(testbed, config);
 }
 
 // Block namespace under random writes/reads vs a shadow array.
 TEST_P(FuzzSeed, BlockNamespaceMatchesShadow) {
   Rng rng(GetParam() ^ 0xb10c);
-  Testbed testbed(test::small_testbed_config());
+  const auto config = test::small_testbed_config();
+  Testbed testbed(config);
   const std::uint64_t lbas = 48;
   std::map<std::uint64_t, ByteVec> shadow;
 
@@ -155,12 +178,15 @@ TEST_P(FuzzSeed, BlockNamespaceMatchesShadow) {
       }
     }
   }
+
+  expect_trace_invariants_hold(testbed, config);
 }
 
 // Raw scratch last-writer-wins across random methods and sizes.
 TEST_P(FuzzSeed, ScratchLastWriterWins) {
   Rng rng(GetParam() ^ 0x5c4a7c);
-  Testbed testbed(test::small_testbed_config());
+  const auto config = test::small_testbed_config();
+  Testbed testbed(config);
   for (int i = 0; i < 120; ++i) {
     const std::uint32_t size =
         1 + static_cast<std::uint32_t>(rng.next_below(6000));
@@ -179,6 +205,8 @@ TEST_P(FuzzSeed, ScratchLastWriterWins) {
     ASSERT_EQ(verify->bytes_returned, size) << "op " << i;
     EXPECT_EQ(read_back, payload) << "op " << i;
   }
+
+  expect_trace_invariants_hold(testbed, config);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
