@@ -13,6 +13,7 @@ namespace {
 // Report state for the BENCH_<binary>.json artifact, written once at
 // process exit so every measured row of a bench lands in one file.
 std::string g_report_name;        // binary basename, set by from_args()
+std::string g_config_json;        // run-config block, set by from_args()
 std::vector<std::string> g_rows;  // pre-rendered JSON row objects
 
 void write_report() {
@@ -23,12 +24,9 @@ void write_report() {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
-               g_report_name.c_str());
-  for (std::size_t i = 0; i < g_rows.size(); ++i) {
-    std::fprintf(out, "%s\n    %s", i == 0 ? "" : ",", g_rows[i].c_str());
-  }
-  std::fprintf(out, "%s]\n}\n", g_rows.empty() ? "" : "\n  ");
+  const std::string document =
+      render_report(g_report_name, g_config_json, g_rows);
+  std::fwrite(document.data(), 1, document.size(), out);
   std::fclose(out);
   std::printf("report: %s (%zu rows)\n", path.c_str(), g_rows.size());
 }
@@ -52,6 +50,7 @@ BenchEnv BenchEnv::from_args(int argc, const char* const* argv) {
     g_report_name = name.empty() ? "bench" : name;
     std::atexit(write_report);
   }
+  g_config_json = render_config_json(env);
   return env;
 }
 
@@ -145,24 +144,116 @@ void report_row(core::Testbed& testbed, const core::RunStats& stats) {
   if (g_report_name.empty()) return;
   const obs::StageBreakdown breakdown =
       obs::stage_breakdown(testbed.trace().snapshot());
-  char head[512];
+  // Close the final partial window so the row's timeseries covers the
+  // whole run (each measured run resets counters first, so the sampler
+  // holds exactly this run's windows).
+  testbed.telemetry().flush(testbed.clock().now());
+  g_rows.push_back(render_report_row(stats, breakdown,
+                                     testbed.trace().dropped(),
+                                     testbed.telemetry().samples(),
+                                     testbed.telemetry().link_rate()));
+}
+
+std::string render_config_json(const BenchEnv& env) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"seed\": %lld, \"pcie_gen\": %lld, \"pcie_lanes\": %lld, "
+      "\"queues\": %lld, \"depth\": %lld, \"ops\": %llu, "
+      "\"telemetry_window_ns\": %lld}",
+      static_cast<long long>(env.config.get_int("seed", 0)),
+      static_cast<long long>(env.config.get_int("pcie.gen", 2)),
+      static_cast<long long>(env.config.get_int("pcie.lanes", 8)),
+      static_cast<long long>(env.config.get_int("queues", 2)),
+      static_cast<long long>(env.config.get_int("depth", 256)),
+      static_cast<unsigned long long>(env.ops),
+      static_cast<long long>(obs::TelemetryConfig{}.window_ns));
+  return buf;
+}
+
+std::string render_timeseries_json(
+    const std::vector<obs::TelemetrySample>& samples, double bytes_per_ns,
+    std::size_t max_points) {
+  const std::vector<obs::TelemetrySample> points =
+      obs::Telemetry::downsample(samples, max_points);
+  std::string out = "[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const obs::TelemetrySample& s = points[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"start_ns\": %lld, \"end_ns\": %lld, "
+        "\"payload_bytes\": %llu, "
+        "\"down_mwr_wire\": %llu, \"down_mrd_wire\": %llu, "
+        "\"down_cpl_wire\": %llu, \"up_mwr_wire\": %llu, "
+        "\"up_mrd_wire\": %llu, \"up_cpl_wire\": %llu, "
+        "\"util_down\": %.4f, \"util_up\": %.4f}",
+        i == 0 ? "" : ", ", static_cast<long long>(s.start_ns),
+        static_cast<long long>(s.end_ns),
+        static_cast<unsigned long long>(s.payload_bytes),
+        static_cast<unsigned long long>(
+            s.of(obs::LinkDir::kDownstream, obs::TlpKind::kMWr).wire_bytes),
+        static_cast<unsigned long long>(
+            s.of(obs::LinkDir::kDownstream, obs::TlpKind::kMRd).wire_bytes),
+        static_cast<unsigned long long>(
+            s.of(obs::LinkDir::kDownstream, obs::TlpKind::kCpl).wire_bytes),
+        static_cast<unsigned long long>(
+            s.of(obs::LinkDir::kUpstream, obs::TlpKind::kMWr).wire_bytes),
+        static_cast<unsigned long long>(
+            s.of(obs::LinkDir::kUpstream, obs::TlpKind::kMRd).wire_bytes),
+        static_cast<unsigned long long>(
+            s.of(obs::LinkDir::kUpstream, obs::TlpKind::kCpl).wire_bytes),
+        s.utilization(obs::LinkDir::kDownstream, bytes_per_ns),
+        s.utilization(obs::LinkDir::kUpstream, bytes_per_ns));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+std::string render_report_row(const core::RunStats& stats,
+                              const obs::StageBreakdown& breakdown,
+                              std::uint64_t trace_events_dropped,
+                              const std::vector<obs::TelemetrySample>& samples,
+                              double bytes_per_ns) {
+  char head[576];
   std::snprintf(
       head, sizeof(head),
-      "{\"label\": \"%s\", \"ops\": %llu, \"payload_bytes\": %llu, "
+      "{\"label\": \"%s\", \"method\": \"%s\", \"ops\": %llu, "
+      "\"payload_bytes\": %llu, "
       "\"wire_bytes\": %llu, \"data_bytes\": %llu, "
       "\"mean_latency_ns\": %.1f, \"p50_latency_ns\": %llu, "
       "\"p99_latency_ns\": %llu, \"kops\": %.1f, "
       "\"trace_events_dropped\": %llu, \"stages\": ",
-      stats.label.c_str(), static_cast<unsigned long long>(stats.ops),
+      stats.label.c_str(), stats.method.c_str(),
+      static_cast<unsigned long long>(stats.ops),
       static_cast<unsigned long long>(stats.payload_bytes),
       static_cast<unsigned long long>(stats.wire_bytes),
       static_cast<unsigned long long>(stats.data_bytes),
       stats.mean_latency_ns(),
       static_cast<unsigned long long>(stats.latency.percentile(50)),
       static_cast<unsigned long long>(stats.latency.percentile(99)),
-      stats.kops(),
-      static_cast<unsigned long long>(testbed.trace().dropped()));
-  g_rows.push_back(std::string(head) + obs::to_json(breakdown) + "}");
+      stats.kops(), static_cast<unsigned long long>(trace_events_dropped));
+  return std::string(head) + obs::to_json(breakdown) +
+         ", \"timeseries\": " +
+         render_timeseries_json(samples, bytes_per_ns) + "}";
+}
+
+std::string render_report(std::string_view bench_name,
+                          std::string_view config_json,
+                          const std::vector<std::string>& rows) {
+  std::string out = "{\n  \"bench\": \"";
+  out.append(bench_name);
+  out += "\",\n  \"schema_version\": " +
+         std::to_string(kReportSchemaVersion) + ",\n  \"config\": ";
+  out.append(config_json.empty() ? std::string_view("{}") : config_json);
+  out += ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += rows[i];
+  }
+  out += rows.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
 }
 
 }  // namespace bx::bench

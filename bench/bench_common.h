@@ -9,17 +9,21 @@
 // Besides the human-readable tables, every bench binary writes a
 // machine-readable BENCH_<binary>.json next to the cwd at exit: one row
 // per measured configuration with the traffic counters, latency
-// percentiles, and the per-stage p50/p99 breakdown derived from the
-// command trace (see docs/OBSERVABILITY.md). CI uploads these as
-// artifacts.
+// percentiles, the per-stage p50/p99 breakdown derived from the command
+// trace, and a downsampled `timeseries` section of the run's telemetry
+// windows (see docs/OBSERVABILITY.md and docs/TELEMETRY.md). The document
+// carries `schema_version` and a run-config block so consumers can detect
+// layout changes and reproduce the run. CI uploads these as artifacts.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/config.h"
 #include "core/measurement.h"
 #include "core/testbed.h"
+#include "obs/telemetry.h"
 #include "workload/mixgraph.h"
 
 namespace bx::bench {
@@ -60,10 +64,38 @@ core::RunStats run_kv_puts(core::Testbed& testbed, kv::KvClient& client,
 core::RunStats sweep(core::Testbed& testbed, driver::TransferMethod method,
                      std::uint32_t payload_size, std::uint64_t ops);
 
-/// Appends one row (stats + the current trace's stage breakdown) to the
-/// report written at exit. The report file is BENCH_<binary>.json; it is
-/// written even when no rows were recorded, so every bench produces an
-/// artifact.
+/// Appends one row (stats + the current trace's stage breakdown + the
+/// telemetry timeseries) to the report written at exit. The report file is
+/// BENCH_<binary>.json; it is written even when no rows were recorded, so
+/// every bench produces an artifact.
 void report_row(core::Testbed& testbed, const core::RunStats& stats);
+
+// --- report rendering (pure; unit-tested by tests/bench_report_test.cc) ---
+
+/// Report document layout version. Bump when field names/shape change.
+inline constexpr int kReportSchemaVersion = 2;
+
+/// The `config` block: the knobs that determine the run (seed, link
+/// generation/lanes, queue topology, ops per point).
+[[nodiscard]] std::string render_config_json(const BenchEnv& env);
+
+/// The `timeseries` array: telemetry windows downsampled to at most
+/// `max_points`, each with per-direction wire bytes by TLP kind, payload
+/// bytes, and link utilization.
+[[nodiscard]] std::string render_timeseries_json(
+    const std::vector<obs::TelemetrySample>& samples, double bytes_per_ns,
+    std::size_t max_points = 48);
+
+/// One `rows[]` element for `stats` given the run's trace breakdown and
+/// telemetry samples.
+[[nodiscard]] std::string render_report_row(
+    const core::RunStats& stats, const obs::StageBreakdown& breakdown,
+    std::uint64_t trace_events_dropped,
+    const std::vector<obs::TelemetrySample>& samples, double bytes_per_ns);
+
+/// The whole BENCH_*.json document.
+[[nodiscard]] std::string render_report(std::string_view bench_name,
+                                        std::string_view config_json,
+                                        const std::vector<std::string>& rows);
 
 }  // namespace bx::bench

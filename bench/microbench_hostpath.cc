@@ -21,11 +21,29 @@ TestbedConfig bench_config() {
   config.ssd.geometry.ways = 2;
   config.ssd.geometry.blocks_per_die = 64;
   config.ssd.geometry.pages_per_block = 64;
+  // Hot-path purity: with the sampler off no component holds a Telemetry
+  // pointer, so the residual cost is one null check per link primitive.
+  // BM_RawWriteTelemetry measures the enabled delta.
+  config.telemetry.enabled = false;
   return config;
 }
 
 void BM_RawWrite(benchmark::State& state, TransferMethod method) {
   Testbed testbed(bench_config());
+  ByteVec payload(static_cast<std::size_t>(state.range(0)));
+  bx::fill_pattern(payload, 1);
+  for (auto _ : state) {
+    auto completion = testbed.raw_write(payload, method);
+    benchmark::DoNotOptimize(completion);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+
+void BM_RawWriteTelemetry(benchmark::State& state, TransferMethod method) {
+  TestbedConfig config = bench_config();
+  config.telemetry.enabled = true;
+  Testbed testbed(config);
   ByteVec payload(static_cast<std::size_t>(state.range(0)));
   bx::fill_pattern(payload, 1);
   for (auto _ : state) {
@@ -68,6 +86,9 @@ BENCHMARK_CAPTURE(BM_RawWrite, byteexpress, TransferMethod::kByteExpress)
     ->Arg(64)
     ->Arg(4096);
 BENCHMARK_CAPTURE(BM_RawWrite, bandslim, TransferMethod::kBandSlim)
+    ->Arg(64);
+BENCHMARK_CAPTURE(BM_RawWriteTelemetry, byteexpress,
+                  TransferMethod::kByteExpress)
     ->Arg(64);
 BENCHMARK(BM_PrpChainBuild)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 BENCHMARK(BM_KvPut)->Arg(64)->Arg(1024);

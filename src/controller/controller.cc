@@ -89,6 +89,8 @@ bool Controller::poll_once() {
       // Round-robin arbitration continues at the next queue. (During a
       // ByteExpress transaction process_one() itself stays queue-local.)
       rr_cursor_ = static_cast<std::uint16_t>((qid + 1) % n);
+      inline_backlog_.set(static_cast<std::int64_t>(
+          streams_.size() + deferred_.size() + reassembly_.in_flight()));
       return true;
     }
   }
@@ -685,6 +687,7 @@ void Controller::bind_metrics(obs::MetricsRegistry& metrics) const {
   metrics.expose_counter("ctrl.sgl_transactions", &sgl_transactions_);
   metrics.expose_counter("ctrl.completions_posted", &completions_posted_);
   metrics.expose_counter("ctrl.ooo_reassembled", &ooo_reassembled_);
+  metrics.expose_gauge("ctrl.inline_backlog", &inline_backlog_);
 }
 
 void Controller::record_stage(const obs::TraceEvent& event) {
@@ -708,6 +711,9 @@ void Controller::record_stage(const obs::TraceEvent& event) {
     if (entry != nullptr) {
       ++entry->count;
       entry->total_ns += event.end - event.start;
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->on_stage(event.stage, event.end - event.start);
     }
   }
   if (tracer_ != nullptr && tracer_->enabled()) tracer_->record(event);

@@ -31,6 +31,7 @@
 #include "nvme/spec.h"
 #include "nvme/timing.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "pcie/bar.h"
 #include "pcie/link.h"
@@ -117,6 +118,13 @@ class Controller {
 
   /// Attaches the trace recorder; device-side stage events flow into it.
   void set_tracer(obs::TraceRecorder* tracer) noexcept { tracer_ = tracer; }
+
+  /// Feeds I/O-queue stage intervals and the inline-chunk backlog gauge
+  /// into the windowed sampler (pass nullptr to detach).
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+    if (telemetry_ != nullptr) telemetry_->set_backlog_gauge(&inline_backlog_);
+  }
 
   /// Publishes the controller's counters into `metrics` as `ctrl.*`.
   void bind_metrics(obs::MetricsRegistry& metrics) const;
@@ -232,7 +240,12 @@ class Controller {
   obs::Counter ooo_reassembled_;
 
   nvme::StageStatsLog stage_log_;
+  // Inline transfer work the firmware is still holding: open BandSlim
+  // streams + deferred OOO commands + reassembly payloads in flight.
+  // Updated by poll_once(); sampled by the telemetry windows.
+  obs::Gauge inline_backlog_;
   obs::TraceRecorder* tracer_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace bx::controller

@@ -10,6 +10,7 @@ RunStats run_write_sweep(Testbed& testbed, driver::TransferMethod method,
                          std::uint32_t payload_size, std::uint64_t ops) {
   RunStats stats;
   stats.label = std::string(driver::transfer_method_name(method));
+  stats.method = stats.label;
   stats.ops = ops;
 
   ByteVec payload(payload_size);

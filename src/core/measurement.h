@@ -15,6 +15,10 @@ namespace bx::core {
 
 struct RunStats {
   std::string label;
+  /// Canonical transfer-method name (transfer_method_name()) when the run
+  /// measured one method; empty for mixed/unknown runs. Ends up as the
+  /// "method" field of BENCH_*.json rows.
+  std::string method;
   std::uint64_t ops = 0;
   std::uint64_t payload_bytes = 0;
 

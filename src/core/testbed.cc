@@ -21,6 +21,16 @@ Testbed::Testbed(TestbedConfig config)
   driver_->set_tracer(&trace_);
   driver_->bind_metrics(metrics_);
 
+  // Windowed sampler: components only get the pointer when telemetry is
+  // enabled, so a disabled run pays one null check per link primitive.
+  telemetry_.configure(config.telemetry);
+  telemetry_.set_link_rate(link_.config().bytes_per_ns());
+  obs::Telemetry* telemetry =
+      config.telemetry.enabled ? &telemetry_ : nullptr;
+  link_.set_telemetry(telemetry);
+  controller_->set_telemetry(telemetry);
+  driver_->set_telemetry(telemetry);
+
   const auto admin = driver_->admin_queue_info();
   controller_->set_admin_queue(admin.sq_addr, admin.sq_depth, admin.cq_addr,
                                admin.cq_depth);
@@ -64,6 +74,7 @@ void Testbed::reset_counters() {
   traffic_.reset();
   controller_->reset_fetch_stats();
   trace_.clear();
+  telemetry_.clear(clock_.now());
 }
 
 }  // namespace bx::core

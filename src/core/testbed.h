@@ -21,6 +21,7 @@
 #include "hostmem/dma_memory.h"
 #include "kv/kv_client.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "pcie/bar.h"
 #include "pcie/link.h"
@@ -37,6 +38,10 @@ struct TestbedConfig {
   /// Runtime switch for the end-to-end trace recorder (compile-time gate:
   /// -DBX_OBS_TRACE). Metrics and the 0xC1 stage log stay on regardless.
   bool trace_enabled = true;
+  /// Windowed time-series sampler (PCM-style link telemetry). With
+  /// `telemetry.enabled = false` no component receives a Telemetry
+  /// pointer, so the hot-path cost is one null check per link primitive.
+  obs::TelemetryConfig telemetry{};
 };
 
 class Testbed {
@@ -62,6 +67,10 @@ class Testbed {
   [[nodiscard]] obs::TraceRecorder& trace() noexcept { return trace_; }
   /// The named-metrics registry every layer binds its counters into.
   [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// The windowed link sampler (empty when config.telemetry.enabled is
+  /// false — no hooks fire). Call telemetry().flush(clock().now()) before
+  /// reading samples so the final partial window is closed.
+  [[nodiscard]] obs::Telemetry& telemetry() noexcept { return telemetry_; }
   [[nodiscard]] DmaMemory& memory() noexcept { return memory_; }
   [[nodiscard]] pcie::BarSpace& bar() noexcept { return bar_; }
   [[nodiscard]] pcie::PcieLink& link() noexcept { return link_; }
@@ -90,6 +99,7 @@ class Testbed {
   /// Declared before the components that record into them.
   obs::TraceRecorder trace_;
   obs::MetricsRegistry metrics_;
+  obs::Telemetry telemetry_;
   /// The controller models ONE firmware core; concurrent host threads all
   /// pump through this lock so firmware state never races.
   std::mutex firmware_mutex_;

@@ -83,6 +83,21 @@ Status NvmeDriver::init_io_queues() {
     }
 
     io_queues_.push_back(std::move(qp));
+
+    // Publish the queue's occupancy gauges now that the pair exists (the
+    // registry/telemetry pointers were stored by bind_metrics() /
+    // set_telemetry() during testbed assembly, which precedes this call).
+    QueuePair& created = *io_queues_.back();
+    if (metrics_ != nullptr) {
+      const std::string prefix = "driver.q" + std::to_string(i);
+      metrics_->expose_gauge(prefix + ".sq_occupancy",
+                             &created.sq_occupancy);
+      metrics_->expose_gauge(prefix + ".inflight", &created.inflight);
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->register_queue(i, &created.sq_occupancy,
+                                 &created.inflight);
+    }
   }
   return Status::ok();
 }
@@ -102,6 +117,7 @@ nvme::CqRing& NvmeDriver::cq_for_test(std::uint16_t qid) {
 }
 
 void NvmeDriver::bind_metrics(obs::MetricsRegistry& metrics) {
+  metrics_ = &metrics;
   submissions_metric_ = &metrics.counter("driver.submissions");
   submit_cost_metric_ = &metrics.histogram("driver.submit_cost_ns");
 }
@@ -126,6 +142,7 @@ void NvmeDriver::ring_sq_traced(std::uint16_t qid, std::uint32_t tail,
     tracer_->record(event);
   }
   doorbell_.ring_sq_tail(qid, tail);
+  if (telemetry_ != nullptr) telemetry_->on_sq_doorbell(qid);
 }
 
 std::size_t NvmeDriver::pending_count_for_test(std::uint16_t qid) {
@@ -300,6 +317,7 @@ std::uint16_t NvmeDriver::register_pending(QueuePair& qp, Pending pending) {
     cid = qp.next_cid.fetch_add(1, std::memory_order_relaxed);
   } while (qp.pending.count(cid) != 0);
   qp.pending.emplace(cid, std::move(pending));
+  qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
   return cid;
 }
 
@@ -334,6 +352,7 @@ Status NvmeDriver::submit_plain(QueuePair& qp,
         const Nanoseconds start = link_.clock().now();
         link_.clock().advance(config_.timing.sqe_insert_ns);
         qp.sq->push_slot(sqe_bytes(sqe));
+        qp.sq_occupancy.set(qp.sq->occupancy());
         last_submit_cost_ns_.store(link_.clock().now() - start,
                                    std::memory_order_relaxed);
         // Ring while still holding the ring lock: if the doorbell moved
@@ -395,6 +414,7 @@ bool NvmeDriver::submit_inline_locked(QueuePair& qp,
         offset += take;
       }
     }
+    qp.sq_occupancy.set(qp.sq->occupancy());
     last_submit_cost_ns_.store(link_.clock().now() - start,
                                std::memory_order_relaxed);
     // One doorbell for the command and all of its chunks, rung before the
@@ -493,6 +513,7 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
   const auto abandon = [&qp, cid] {
     std::lock_guard<std::mutex> lock(qp.pending_mutex);
     qp.pending.erase(cid);
+    qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
   };
 
   switch (method) {
@@ -532,6 +553,9 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
       return internal_error("unreachable");
   }
 
+  if (telemetry_ != nullptr && is_write_direction(request.opcode)) {
+    telemetry_->on_payload(request.write_data.size());
+  }
   if (tracer_ != nullptr && tracer_->enabled()) {
     obs::TraceEvent event;
     event.stage = obs::TraceStage::kSubmit;
@@ -582,6 +606,7 @@ StatusOr<Completion> NvmeDriver::wait(const Submitted& handle) {
       if (it->second.done) {
         Pending pending = std::move(it->second);
         qp.pending.erase(it);
+        qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
         Completion completion;
         completion.status = pending.cqe.status();
         completion.dw0 = pending.cqe.dw0;
@@ -624,6 +649,7 @@ std::size_t NvmeDriver::poll_completions(std::uint16_t qid) {
     qp.cq->pop();
     link_.clock().advance(config_.timing.completion_handle_ns);
     doorbell_.ring_cq_head(qid, qp.cq->head());
+    if (telemetry_ != nullptr) telemetry_->on_cq_doorbell(qid);
     if (tracer_ != nullptr && tracer_->enabled()) {
       obs::TraceEvent event;
       event.stage = obs::TraceStage::kCqDoorbell;
@@ -645,6 +671,7 @@ void NvmeDriver::reap_one(QueuePair& qp,
   {
     std::lock_guard<std::mutex> lock(qp.sq->lock());
     qp.sq->note_head(cqe.sq_head);
+    qp.sq_occupancy.set(qp.sq->occupancy());
   }
   std::lock_guard<std::mutex> lock(qp.pending_mutex);
   auto it = qp.pending.find(cqe.cid);
@@ -721,6 +748,7 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
       if (queue(qids[j]).sq->free_slots() < need) {
         std::lock_guard<std::mutex> plock(home.pending_mutex);
         home.pending.erase(cid);
+        home.inflight.set(static_cast<std::int64_t>(home.pending.size()));
         return resource_exhausted("stripe queue " +
                                   std::to_string(qids[j]) + " lacks space");
       }
@@ -759,11 +787,16 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
 
     // One doorbell per touched queue, rung while the locks are held.
     for (const std::uint16_t qid : ordered) {
-      ring_sq_traced(qid, queue(qid).sq->tail(), published[qid], cid,
+      QueuePair& touched = queue(qid);
+      touched.sq_occupancy.set(touched.sq->occupancy());
+      ring_sq_traced(qid, touched.sq->tail(), published[qid], cid,
                      obs::kFlagOooCommand);
     }
   }
 
+  if (telemetry_ != nullptr) {
+    telemetry_->on_payload(request.write_data.size());
+  }
   if (tracer_ != nullptr && tracer_->enabled()) {
     obs::TraceEvent event;
     event.stage = obs::TraceStage::kSubmit;
@@ -801,6 +834,7 @@ StatusOr<Completion> NvmeDriver::execute_admin(
   if (!status.is_ok()) {
     std::lock_guard<std::mutex> lock(admin_.pending_mutex);
     admin_.pending.erase(cid);
+    admin_.inflight.set(static_cast<std::int64_t>(admin_.pending.size()));
     return status;
   }
   if (tracer_ != nullptr && tracer_->enabled()) {

@@ -46,6 +46,7 @@
 #include "nvme/spec.h"
 #include "nvme/timing.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "pcie/bar.h"
 #include "pcie/link.h"
@@ -157,8 +158,16 @@ class NvmeDriver {
   /// kDoorbell, kCqDoorbell) flow into it.
   void set_tracer(obs::TraceRecorder* tracer) noexcept { tracer_ = tracer; }
 
-  /// Publishes the driver's counters into `metrics` as `driver.*`.
+  /// Publishes the driver's counters into `metrics` as `driver.*`. The
+  /// registry is remembered so init_io_queues() can expose per-queue
+  /// occupancy gauges as they are created.
   void bind_metrics(obs::MetricsRegistry& metrics);
+
+  /// Attaches the telemetry sampler: payload bytes, doorbell counts and
+  /// the per-queue gauges registered by init_io_queues() flow into it.
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
 
   /// Direct ring access for white-box tests (ordering invariants).
   [[nodiscard]] nvme::SqRing& sq_for_test(std::uint16_t qid);
@@ -204,6 +213,12 @@ class NvmeDriver {
     /// Guards `pending` (and the CID-uniqueness check).
     std::mutex pending_mutex;
     std::unordered_map<std::uint16_t, Pending> pending;
+    /// Component-owned occupancy gauges, published via expose_gauge() and
+    /// sampled by Telemetry at window close. sq_occupancy mirrors
+    /// SqRing::occupancy() (updated under the SQ lock); inflight mirrors
+    /// pending.size() (updated under pending_mutex).
+    obs::Gauge sq_occupancy;
+    obs::Gauge inflight;
   };
 
   [[nodiscard]] QueuePair& queue(std::uint16_t qid);
@@ -284,6 +299,10 @@ class NvmeDriver {
   std::atomic<Nanoseconds> last_submit_cost_ns_{0};
 
   obs::TraceRecorder* tracer_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
+  /// Kept from bind_metrics() so init_io_queues() can expose the
+  /// per-queue gauges (queue pairs do not exist yet at bind time).
+  obs::MetricsRegistry* metrics_ = nullptr;
   // Registry-owned metrics, cached by bind_metrics(); null when unbound.
   obs::Counter* submissions_metric_ = nullptr;
   obs::Histogram* submit_cost_metric_ = nullptr;

@@ -38,6 +38,13 @@ class SqRing {
   /// full/empty disambiguation rule.
   [[nodiscard]] std::uint32_t free_slots() const noexcept;
 
+  /// Occupied slots from the host's view: pushed entries the device has
+  /// not yet consumed per the cached head (SQEs + inline chunks). Feeds
+  /// the per-queue telemetry gauge.
+  [[nodiscard]] std::uint32_t occupancy() const noexcept {
+    return (tail_ + depth_ - head_cache_) % depth_;
+  }
+
   /// Writes one 64-byte slot at the tail and advances it.
   void push_slot(ConstByteSpan slot64) noexcept;
 

@@ -42,6 +42,11 @@ void MetricsRegistry::expose_counter(std::string_view name,
   exposed_counters_[std::string(name)] = counter;
 }
 
+void MetricsRegistry::expose_gauge(std::string_view name, const Gauge* gauge) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  exposed_gauges_[std::string(name)] = gauge;
+}
+
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = counters_.find(name); it != counters_.end()) {
@@ -54,19 +59,50 @@ std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
   return 0;
 }
 
-std::string MetricsRegistry::to_json() const {
+std::int64_t MetricsRegistry::gauge_value(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  // std::map iteration is name-sorted, which keeps the dump deterministic;
-  // merge owned and exposed counters into one sorted stream.
-  std::vector<std::pair<std::string_view, std::uint64_t>> counter_rows;
-  counter_rows.reserve(counters_.size() + exposed_counters_.size());
+  if (const auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second->value();
+  }
+  if (const auto it = exposed_gauges_.find(name);
+      it != exposed_gauges_.end()) {
+    return it->second->value();
+  }
+  return 0;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  // std::map iteration is name-sorted, which keeps consumers deterministic;
+  // merge owned and exposed metrics into one sorted stream per family.
+  snap.counters.reserve(counters_.size() + exposed_counters_.size());
   for (const auto& [name, c] : counters_) {
-    counter_rows.emplace_back(name, c->value());
+    snap.counters.emplace_back(name, c->value());
   }
   for (const auto& [name, c] : exposed_counters_) {
-    counter_rows.emplace_back(name, c->value());
+    snap.counters.emplace_back(name, c->value());
   }
-  std::sort(counter_rows.begin(), counter_rows.end());
+  std::sort(snap.counters.begin(), snap.counters.end());
+
+  snap.gauges.reserve(gauges_.size() + exposed_gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  for (const auto& [name, g] : exposed_gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
 
   std::string out = "{";
   bool first = true;
@@ -76,27 +112,26 @@ std::string MetricsRegistry::to_json() const {
     out += text;
     first = false;
   };
-  for (const auto& [name, value] : counter_rows) {
-    std::snprintf(entry, sizeof(entry), "\"%s\": %llu",
-                  std::string(name).c_str(),
+  for (const auto& [name, value] : snap.counters) {
+    std::snprintf(entry, sizeof(entry), "\"%s\": %llu", name.c_str(),
                   static_cast<unsigned long long>(value));
     append(entry);
   }
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [name, value] : snap.gauges) {
     std::snprintf(entry, sizeof(entry), "\"%s\": %lld", name.c_str(),
-                  static_cast<long long>(gauge->value()));
+                  static_cast<long long>(value));
     append(entry);
   }
-  for (const auto& [name, histogram] : histograms_) {
-    const LatencyHistogram snap = histogram->snapshot();
+  for (const auto& [name, histogram] : snap.histograms) {
     std::snprintf(entry, sizeof(entry),
                   "\"%s\": {\"count\": %llu, \"mean_ns\": %.1f, "
                   "\"p50_ns\": %llu, \"p99_ns\": %llu, \"max_ns\": %llu}",
                   name.c_str(),
-                  static_cast<unsigned long long>(snap.count()), snap.mean(),
-                  static_cast<unsigned long long>(snap.percentile(50)),
-                  static_cast<unsigned long long>(snap.percentile(99)),
-                  static_cast<unsigned long long>(snap.max()));
+                  static_cast<unsigned long long>(histogram.count()),
+                  histogram.mean(),
+                  static_cast<unsigned long long>(histogram.percentile(50)),
+                  static_cast<unsigned long long>(histogram.percentile(99)),
+                  static_cast<unsigned long long>(histogram.max()));
     append(entry);
   }
   out += "}";

@@ -12,16 +12,24 @@
 //
 // Counters and gauges are relaxed atomics: safe from any thread, exact
 // once the system quiesces — the same contract as pcie::TrafficCounter.
-// Histograms take a mutex per record; keep them off per-TLP paths.
+// Histograms are lock-striped (one mutex + LatencyHistogram per stripe,
+// hashed by thread), so concurrent recorders on hot per-command paths
+// contend only when they share a stripe; snapshot() merges the stripes
+// into one exact LatencyHistogram.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/histogram.h"
 
@@ -61,25 +69,57 @@ class Gauge {
 class Histogram {
  public:
   void record(std::uint64_t value) noexcept {
-    std::lock_guard<std::mutex> lock(mutex_);
-    histogram_.record(value);
+    Stripe& stripe = stripes_[stripe_index()];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    stripe.histogram.record(value);
   }
   [[nodiscard]] std::uint64_t count() const noexcept {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return histogram_.count();
+    std::uint64_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      total += stripe.histogram.count();
+    }
+    return total;
   }
+  /// Exact merge of all stripes — identical distribution to the former
+  /// single-mutex histogram (stripes share the bucket layout).
   [[nodiscard]] LatencyHistogram snapshot() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return histogram_;
+    LatencyHistogram merged;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      merged.merge(stripe.histogram);
+    }
+    return merged;
   }
   void reset() noexcept {
-    std::lock_guard<std::mutex> lock(mutex_);
-    histogram_.reset();
+    for (Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      stripe.histogram.reset();
+    }
   }
 
  private:
-  mutable std::mutex mutex_;
-  LatencyHistogram histogram_;
+  static constexpr std::size_t kStripes = 8;
+  struct alignas(64) Stripe {  // one cache line each, no false sharing
+    mutable std::mutex mutex;
+    LatencyHistogram histogram;
+  };
+
+  [[nodiscard]] static std::size_t stripe_index() noexcept {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+           kStripes;
+  }
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// A name-sorted point-in-time copy of a registry's metrics (owned and
+/// exposed merged) — the input to the Prometheus exporter and anything
+/// else that needs to iterate without holding registry locks.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, LatencyHistogram>> histograms;
 };
 
 class MetricsRegistry {
@@ -99,8 +139,20 @@ class MetricsRegistry {
   /// together).
   void expose_counter(std::string_view name, const Counter* counter);
 
+  /// Publishes a component-owned gauge under `name` — the Gauge analog of
+  /// expose_counter, used for occupancy/backlog gauges that live in the
+  /// driver's queue pairs and the controller. Re-exposing a name replaces
+  /// the pointer (queue pairs are rebuilt by init_io_queues()).
+  void expose_gauge(std::string_view name, const Gauge* gauge);
+
   /// Value of a named counter (owned or exposed); 0 if unknown.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Value of a named gauge (owned or exposed); 0 if unknown.
+  [[nodiscard]] std::int64_t gauge_value(std::string_view name) const;
+
+  /// Name-sorted copy of every metric (owned and exposed merged).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Deterministic JSON object, keys sorted: counters and gauges as
   /// numbers, histograms as {count, mean_ns, p50_ns, p99_ns, max_ns}.
@@ -111,6 +163,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, const Counter*, std::less<>> exposed_counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, const Gauge*, std::less<>> exposed_gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 

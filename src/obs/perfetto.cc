@@ -1,0 +1,405 @@
+#include "obs/perfetto.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace bx::obs {
+
+namespace {
+
+// Host-side stages render under pid 1, device-side under pid 2, the
+// telemetry counter tracks under pid 3. tid = qid + 1 (tid 0 renders
+// poorly in some viewers).
+constexpr int kHostPid = 1;
+constexpr int kDevicePid = 2;
+constexpr int kLinkPid = 3;
+
+bool is_host_stage(TraceStage stage) noexcept {
+  return stage == TraceStage::kSubmit || stage == TraceStage::kDoorbell ||
+         stage == TraceStage::kCqDoorbell;
+}
+
+void append_ts(std::string& out, const char* key, Nanoseconds ns) {
+  char buffer[64];
+  // Microseconds at nanosecond precision: exact, deterministic.
+  std::snprintf(buffer, sizeof(buffer), "\"%s\": %llu.%03u", key,
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buffer;
+}
+
+void append_slice(std::string& out, const TraceEvent& event, bool& first) {
+  const bool host = is_host_stage(event.stage);
+  const int pid = host ? kHostPid : kDevicePid;
+  const int tid = event.qid + 1;
+  char buffer[256];
+  if (!first) out += ",\n";
+  first = false;
+  out += "    {\"name\": \"";
+  out += stage_name(event.stage);
+  out += "\", \"cat\": ";
+  out += host ? "\"host\"" : "\"device\"";
+  if (event.stage == TraceStage::kDoorbell) {
+    out += ", \"ph\": \"i\", \"s\": \"t\", ";
+    append_ts(out, "ts", event.start);
+  } else {
+    out += ", \"ph\": \"X\", ";
+    append_ts(out, "ts", event.start);
+    out += ", ";
+    append_ts(out, "dur", event.end - event.start);
+  }
+  std::snprintf(buffer, sizeof(buffer),
+                ", \"pid\": %d, \"tid\": %d, \"args\": {\"seq\": %llu, "
+                "\"cid\": %u, \"slot\": %u, \"aux\": %llu, \"bytes\": %llu, "
+                "\"flags\": %u}}",
+                pid, tid, static_cast<unsigned long long>(event.seq),
+                unsigned(event.cid), unsigned(event.slot),
+                static_cast<unsigned long long>(event.aux),
+                static_cast<unsigned long long>(event.bytes),
+                unsigned(event.flags));
+  out += buffer;
+}
+
+void append_counter(std::string& out, const char* name, Nanoseconds ts,
+                    const std::string& args, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "    {\"name\": \"";
+  out += name;
+  out += "\", \"ph\": \"C\", ";
+  append_ts(out, "ts", ts);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), ", \"pid\": %d, \"args\": {",
+                kLinkPid);
+  out += buffer;
+  out += args;
+  out += "}}";
+}
+
+void append_metadata(std::string& out, int pid, std::optional<int> tid,
+                     const char* key, const std::string& name, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  char buffer[192];
+  if (tid.has_value()) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"ph\": \"M\", \"pid\": %d, "
+                  "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
+                  key, pid, *tid, name.c_str());
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"ph\": \"M\", \"pid\": %d, "
+                  "\"args\": {\"name\": \"%s\"}}",
+                  key, pid, name.c_str());
+  }
+  out += buffer;
+}
+
+}  // namespace
+
+std::string to_perfetto_json(const std::vector<TraceEvent>& events,
+                             const std::vector<TelemetrySample>& samples,
+                             double bytes_per_ns) {
+  std::vector<TraceEvent> sorted(events);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start != b.start ? a.start < b.start : a.seq < b.seq;
+            });
+
+  // (pid, qid) pairs that need thread_name metadata, in sorted order.
+  std::set<std::pair<int, std::uint16_t>> threads;
+  for (const TraceEvent& event : sorted) {
+    threads.emplace(is_host_stage(event.stage) ? kHostPid : kDevicePid,
+                    event.qid);
+  }
+
+  std::string out = "{\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+  bool first = true;
+  append_metadata(out, kHostPid, std::nullopt, "process_name", "host", first);
+  append_metadata(out, kDevicePid, std::nullopt, "process_name", "device",
+                  first);
+  if (!samples.empty()) {
+    append_metadata(out, kLinkPid, std::nullopt, "process_name", "link",
+                    first);
+  }
+  for (const auto& [pid, qid] : threads) {
+    append_metadata(out, pid, qid + 1, "thread_name",
+                    "q" + std::to_string(qid), first);
+  }
+
+  for (const TraceEvent& event : sorted) append_slice(out, event, first);
+
+  char args[256];
+  for (const TelemetrySample& sample : samples) {
+    const auto down = std::size_t(LinkDir::kDownstream);
+    const auto up = std::size_t(LinkDir::kUpstream);
+    for (std::size_t kind = 0; kind < kTlpKinds; ++kind) {
+      std::snprintf(args, sizeof(args), "\"down\": %llu, \"up\": %llu",
+                    static_cast<unsigned long long>(
+                        sample.flow[down][kind].wire_bytes),
+                    static_cast<unsigned long long>(
+                        sample.flow[up][kind].wire_bytes));
+      const std::string name =
+          "link." +
+          std::string(tlp_kind_name(static_cast<TlpKind>(kind))) +
+          "_wire_bytes";
+      append_counter(out, name.c_str(), sample.start_ns, args, first);
+    }
+    std::snprintf(args, sizeof(args), "\"down\": %.2f, \"up\": %.2f",
+                  100.0 * sample.utilization(LinkDir::kDownstream,
+                                             bytes_per_ns),
+                  100.0 * sample.utilization(LinkDir::kUpstream,
+                                             bytes_per_ns));
+    append_counter(out, "link.utilization_pct", sample.start_ns, args, first);
+    std::snprintf(args, sizeof(args), "\"value\": %llu",
+                  static_cast<unsigned long long>(sample.payload_bytes));
+    append_counter(out, "host.payload_bytes", sample.start_ns, args, first);
+    std::snprintf(args, sizeof(args), "\"value\": %lld",
+                  static_cast<long long>(sample.backlog));
+    append_counter(out, "ctrl.backlog", sample.start_ns, args, first);
+    for (const QueueWindow& qw : sample.queues) {
+      std::snprintf(args, sizeof(args),
+                    "\"sq_occupancy\": %lld, \"inflight\": %lld",
+                    static_cast<long long>(qw.sq_occupancy),
+                    static_cast<long long>(qw.inflight));
+      const std::string name = "q" + std::to_string(qw.qid) + ".occupancy";
+      append_counter(out, name.c_str(), sample.start_ns, args, first);
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Structural checker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Scans one top-level JSON object body (between its braces) and returns
+/// the raw value text of `key`, or nullopt. Depth- and string-aware; no
+/// full JSON parse.
+std::optional<std::string_view> object_field(std::string_view body,
+                                             std::string_view key) {
+  std::size_t i = 0;
+  const auto skip_string = [&](std::size_t from) {
+    std::size_t j = from + 1;  // past the opening quote
+    while (j < body.size()) {
+      if (body[j] == '\\') {
+        j += 2;
+      } else if (body[j] == '"') {
+        return j + 1;
+      } else {
+        ++j;
+      }
+    }
+    return j;
+  };
+  while (i < body.size()) {
+    while (i < body.size() &&
+           (std::isspace(static_cast<unsigned char>(body[i])) != 0 ||
+            body[i] == ',')) {
+      ++i;
+    }
+    if (i >= body.size() || body[i] != '"') break;
+    const std::size_t key_start = i + 1;
+    const std::size_t key_end_quote = skip_string(i) - 1;
+    const std::string_view this_key =
+        body.substr(key_start, key_end_quote - key_start);
+    i = key_end_quote + 1;
+    while (i < body.size() &&
+           (std::isspace(static_cast<unsigned char>(body[i])) != 0 ||
+            body[i] == ':')) {
+      ++i;
+    }
+    // Capture the value: scalar until top-level ',', or a balanced
+    // object/array/string.
+    const std::size_t value_start = i;
+    if (i < body.size() && body[i] == '"') {
+      i = skip_string(i);
+    } else if (i < body.size() && (body[i] == '{' || body[i] == '[')) {
+      int depth = 0;
+      while (i < body.size()) {
+        if (body[i] == '"') {
+          i = skip_string(i);
+          continue;
+        }
+        if (body[i] == '{' || body[i] == '[') ++depth;
+        if (body[i] == '}' || body[i] == ']') {
+          --depth;
+          if (depth == 0) {
+            ++i;
+            break;
+          }
+        }
+        ++i;
+      }
+    } else {
+      while (i < body.size() && body[i] != ',') ++i;
+    }
+    if (this_key == key) {
+      std::string_view value = body.substr(value_start, i - value_start);
+      while (!value.empty() &&
+             std::isspace(static_cast<unsigned char>(value.back())) != 0) {
+        value.remove_suffix(1);
+      }
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> string_field(std::string_view body,
+                                             std::string_view key) {
+  const auto raw = object_field(body, key);
+  if (!raw.has_value() || raw->size() < 2 || raw->front() != '"' ||
+      raw->back() != '"') {
+    return std::nullopt;
+  }
+  return raw->substr(1, raw->size() - 2);
+}
+
+std::optional<double> number_field(std::string_view body,
+                                   std::string_view key) {
+  const auto raw = object_field(body, key);
+  if (!raw.has_value() || raw->empty()) return std::nullopt;
+  char* end = nullptr;
+  const std::string text(*raw);
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+PerfettoCheck check_perfetto_json(std::string_view json) {
+  PerfettoCheck result;
+  const auto fail = [&result](std::string message) {
+    if (result.error.empty()) result.error = std::move(message);
+    return result;
+  };
+
+  const std::size_t array_key = json.find("\"traceEvents\"");
+  if (array_key == std::string_view::npos) {
+    return fail("no traceEvents array");
+  }
+  std::size_t i = json.find('[', array_key);
+  if (i == std::string_view::npos) return fail("traceEvents is not an array");
+  ++i;
+
+  std::set<int> process_pids;
+  std::set<std::pair<int, int>> thread_ids;
+  std::map<std::pair<int, int>, int> open_begins;  // B/E nesting per thread
+  bool have_slice_ts = false;
+  double last_slice_ts = 0.0;
+
+  while (i < json.size()) {
+    while (i < json.size() &&
+           (std::isspace(static_cast<unsigned char>(json[i])) != 0 ||
+            json[i] == ',')) {
+      ++i;
+    }
+    if (i >= json.size()) return fail("unterminated traceEvents array");
+    if (json[i] == ']') break;
+    if (json[i] != '{') return fail("non-object element in traceEvents");
+
+    // Find the matching close brace (string-aware).
+    std::size_t j = i;
+    int depth = 0;
+    while (j < json.size()) {
+      const char c = json[j];
+      if (c == '"') {
+        ++j;
+        while (j < json.size() && json[j] != '"') {
+          j += json[j] == '\\' ? 2 : 1;
+        }
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        if (depth == 0) break;
+      }
+      ++j;
+    }
+    if (j >= json.size()) return fail("unbalanced braces in traceEvents");
+    const std::string_view body = json.substr(i + 1, j - i - 1);
+    i = j + 1;
+
+    const auto ph = string_field(body, "ph");
+    if (!ph.has_value() || ph->empty()) return fail("event without ph");
+    const auto pid = number_field(body, "pid");
+    const auto tid = number_field(body, "tid");
+    const auto ts = number_field(body, "ts");
+
+    if (*ph == "M") {
+      ++result.metadata_events;
+      const auto name = string_field(body, "name");
+      if (!name.has_value()) return fail("metadata event without name");
+      if (!pid.has_value()) return fail("metadata event without pid");
+      if (*name == "process_name") {
+        process_pids.insert(int(*pid));
+      } else if (*name == "thread_name") {
+        if (!tid.has_value()) return fail("thread_name without tid");
+        thread_ids.emplace(int(*pid), int(*tid));
+      }
+      continue;
+    }
+
+    if (*ph == "X" || *ph == "B" || *ph == "E" || *ph == "i") {
+      if (!pid.has_value() || !tid.has_value()) {
+        return fail("slice event without pid/tid");
+      }
+      if (!ts.has_value()) return fail("slice event without ts");
+      if (process_pids.count(int(*pid)) == 0) {
+        return fail("slice pid not introduced by process_name metadata");
+      }
+      if (thread_ids.count({int(*pid), int(*tid)}) == 0) {
+        return fail("slice tid not introduced by thread_name metadata");
+      }
+      if (*ph == "X") {
+        ++result.slice_events;
+        const auto dur = number_field(body, "dur");
+        if (!dur.has_value() || *dur < 0) return fail("X event without dur");
+        if (have_slice_ts && *ts < last_slice_ts) {
+          return fail("non-monotonic slice ts");
+        }
+        have_slice_ts = true;
+        last_slice_ts = *ts;
+      } else if (*ph == "B") {
+        ++open_begins[{int(*pid), int(*tid)}];
+      } else if (*ph == "E") {
+        if (--open_begins[{int(*pid), int(*tid)}] < 0) {
+          return fail("E event without matching B");
+        }
+      } else {
+        ++result.instant_events;
+      }
+      continue;
+    }
+
+    if (*ph == "C") {
+      ++result.counter_events;
+      if (!ts.has_value()) return fail("counter event without ts");
+      if (!pid.has_value()) return fail("counter event without pid");
+      continue;
+    }
+    // Unknown phases are tolerated (the format has many); they just are
+    // not validated.
+  }
+
+  for (const auto& [thread, open] : open_begins) {
+    (void)thread;
+    if (open != 0) return fail("unbalanced B/E events");
+  }
+  return result;
+}
+
+}  // namespace bx::obs

@@ -1,0 +1,334 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace bx::obs {
+
+namespace {
+
+/// Maps a dotted metric name onto the Prometheus charset with the project
+/// prefix: "driver.submit_cost_ns" -> "bx_driver_submit_cost_ns".
+std::string sanitize(std::string_view name) {
+  std::string out = "bx_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void emit_header(std::string& out, const std::string& name,
+                 const char* type, const std::string& help) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+void emit_u64(std::string& out, const std::string& name,
+              const std::string& labels, std::uint64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " %llu\n",
+                static_cast<unsigned long long>(value));
+  out += name + labels + buffer;
+}
+
+void emit_i64(std::string& out, const std::string& name,
+              const std::string& labels, std::int64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " %lld\n",
+                static_cast<long long>(value));
+  out += name + labels + buffer;
+}
+
+void emit_f64(std::string& out, const std::string& name,
+              const std::string& labels, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " %.6f\n", value);
+  out += name + labels + buffer;
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const MetricsSnapshot& snapshot,
+                               const Telemetry* telemetry) {
+  std::string out;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = sanitize(name) + "_total";
+    emit_header(out, prom, "counter", "Counter " + name);
+    emit_u64(out, prom, "", value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = sanitize(name);
+    emit_header(out, prom, "gauge", "Gauge " + name);
+    emit_i64(out, prom, "", value);
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string prom = sanitize(name);
+    emit_header(out, prom, "summary", "Latency histogram " + name);
+    emit_u64(out, prom, "{quantile=\"0.5\"}", histogram.percentile(50));
+    emit_u64(out, prom, "{quantile=\"0.9\"}", histogram.percentile(90));
+    emit_u64(out, prom, "{quantile=\"0.99\"}", histogram.percentile(99));
+    emit_u64(out, prom, "{quantile=\"1\"}", histogram.max());
+    emit_u64(out, prom + "_sum", "",
+             static_cast<std::uint64_t>(
+                 std::llround(histogram.mean() * double(histogram.count()))));
+    emit_u64(out, prom + "_count", "", histogram.count());
+  }
+
+  if (telemetry == nullptr) return out;
+
+  const std::vector<TelemetrySample> samples = telemetry->samples();
+  const auto totals = Telemetry::sum_flows(samples);
+
+  emit_header(out, "bx_telemetry_windows_total", "counter",
+              "Telemetry windows closed");
+  emit_u64(out, "bx_telemetry_windows_total", "",
+           telemetry->windows_closed());
+  emit_header(out, "bx_telemetry_windows_dropped_total", "counter",
+              "Telemetry windows dropped by the ring bound");
+  emit_u64(out, "bx_telemetry_windows_dropped_total", "",
+           telemetry->windows_dropped());
+
+  const auto label = [](LinkDir dir, TlpKind kind) {
+    return std::string("{direction=\"") + std::string(link_dir_name(dir)) +
+           "\",tlp=\"" + std::string(tlp_kind_name(kind)) + "\"}";
+  };
+  emit_header(out, "bx_link_tlps_total", "counter",
+              "TLPs over the retained telemetry windows");
+  for (std::size_t dir = 0; dir < kLinkDirs; ++dir) {
+    for (std::size_t kind = 0; kind < kTlpKinds; ++kind) {
+      emit_u64(out, "bx_link_tlps_total",
+               label(LinkDir(dir), TlpKind(kind)), totals[dir][kind].tlps);
+    }
+  }
+  emit_header(out, "bx_link_data_bytes_total", "counter",
+              "TLP data bytes over the retained telemetry windows");
+  for (std::size_t dir = 0; dir < kLinkDirs; ++dir) {
+    for (std::size_t kind = 0; kind < kTlpKinds; ++kind) {
+      emit_u64(out, "bx_link_data_bytes_total",
+               label(LinkDir(dir), TlpKind(kind)),
+               totals[dir][kind].data_bytes);
+    }
+  }
+  emit_header(out, "bx_link_wire_bytes_total", "counter",
+              "TLP wire bytes over the retained telemetry windows");
+  for (std::size_t dir = 0; dir < kLinkDirs; ++dir) {
+    for (std::size_t kind = 0; kind < kTlpKinds; ++kind) {
+      emit_u64(out, "bx_link_wire_bytes_total",
+               label(LinkDir(dir), TlpKind(kind)),
+               totals[dir][kind].wire_bytes);
+    }
+  }
+
+  std::uint64_t payload = 0;
+  for (const TelemetrySample& sample : samples) {
+    payload += sample.payload_bytes;
+  }
+  emit_header(out, "bx_payload_bytes_total", "counter",
+              "Application payload bytes over the retained windows");
+  emit_u64(out, "bx_payload_bytes_total", "", payload);
+
+  if (!samples.empty()) {
+    const TelemetrySample& last = samples.back();
+    emit_header(out, "bx_link_utilization_ratio", "gauge",
+                "Link utilization in the last telemetry window");
+    for (std::size_t dir = 0; dir < kLinkDirs; ++dir) {
+      emit_f64(out, "bx_link_utilization_ratio",
+               "{direction=\"" + std::string(link_dir_name(LinkDir(dir))) +
+                   "\"}",
+               last.utilization(LinkDir(dir), telemetry->link_rate()));
+    }
+    emit_header(out, "bx_queue_sq_occupancy", "gauge",
+                "SQ occupancy at the last window close");
+    for (const QueueWindow& qw : last.queues) {
+      emit_i64(out, "bx_queue_sq_occupancy",
+               "{queue=\"" + std::to_string(qw.qid) + "\"}",
+               qw.sq_occupancy);
+    }
+    emit_header(out, "bx_queue_inflight", "gauge",
+                "In-flight commands at the last window close");
+    for (const QueueWindow& qw : last.queues) {
+      emit_i64(out, "bx_queue_inflight",
+               "{queue=\"" + std::to_string(qw.qid) + "\"}", qw.inflight);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition lint
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Family a sample belongs to: summaries/histograms attach _sum/_count
+/// (and _bucket) samples to their base family name.
+std::string_view family_of(std::string_view name,
+                           const std::set<std::string, std::less<>>& typed) {
+  for (const std::string_view suffix : {"_sum", "_count", "_bucket"}) {
+    if (name.size() > suffix.size() && name.ends_with(suffix)) {
+      const std::string_view base =
+          name.substr(0, name.size() - suffix.size());
+      if (typed.count(base) != 0) return base;
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+PrometheusLint lint_prometheus(std::string_view text) {
+  PrometheusLint result;
+  const auto fail = [&result](std::string message) {
+    if (result.error.empty()) result.error = std::move(message);
+    return result;
+  };
+
+  std::set<std::string, std::less<>> helped;
+  std::set<std::string, std::less<>> typed;
+  std::set<std::string> seen_samples;
+
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, (eol == std::string_view::npos ? text.size() : eol) -
+                             pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = " (line " + std::to_string(line_no) + ")";
+
+    if (line.starts_with("# HELP ")) {
+      const std::string_view rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      const std::string_view name =
+          space == std::string_view::npos ? rest : rest.substr(0, space);
+      if (!valid_metric_name(name)) return fail("bad HELP name" + where);
+      if (!helped.insert(std::string(name)).second) {
+        return fail("duplicate HELP for " + std::string(name) + where);
+      }
+      if (typed.count(name) != 0) {
+        return fail("HELP after TYPE for " + std::string(name) + where);
+      }
+      continue;
+    }
+    if (line.starts_with("# TYPE ")) {
+      const std::string_view rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      if (space == std::string_view::npos) {
+        return fail("TYPE without a type" + where);
+      }
+      const std::string_view name = rest.substr(0, space);
+      const std::string_view type = rest.substr(space + 1);
+      if (!valid_metric_name(name)) return fail("bad TYPE name" + where);
+      if (type != "counter" && type != "gauge" && type != "summary" &&
+          type != "histogram" && type != "untyped") {
+        return fail("unknown type '" + std::string(type) + "'" + where);
+      }
+      if (!typed.insert(std::string(name)).second) {
+        return fail("duplicate TYPE for " + std::string(name) + where);
+      }
+      ++result.families;
+      continue;
+    }
+    if (line.starts_with("#")) continue;  // plain comment
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t name_end = 0;
+    while (name_end < line.size() && line[name_end] != '{' &&
+           line[name_end] != ' ') {
+      ++name_end;
+    }
+    const std::string_view name = line.substr(0, name_end);
+    if (!valid_metric_name(name)) {
+      return fail("bad sample name '" + std::string(name) + "'" + where);
+    }
+    std::size_t cursor = name_end;
+    std::string labels;
+    if (cursor < line.size() && line[cursor] == '{') {
+      const std::size_t close = line.find('}', cursor);
+      if (close == std::string_view::npos) {
+        return fail("unterminated label set" + where);
+      }
+      labels = std::string(line.substr(cursor, close - cursor + 1));
+      // Each label must be name="value".
+      std::string_view body = line.substr(cursor + 1, close - cursor - 1);
+      while (!body.empty()) {
+        const std::size_t eq = body.find('=');
+        if (eq == std::string_view::npos || eq == 0) {
+          return fail("malformed label pair" + where);
+        }
+        if (!valid_metric_name(body.substr(0, eq))) {
+          return fail("bad label name" + where);
+        }
+        if (eq + 1 >= body.size() || body[eq + 1] != '"') {
+          return fail("unquoted label value" + where);
+        }
+        const std::size_t value_end = body.find('"', eq + 2);
+        if (value_end == std::string_view::npos) {
+          return fail("unterminated label value" + where);
+        }
+        body.remove_prefix(value_end + 1);
+        if (!body.empty()) {
+          if (body.front() != ',') return fail("malformed label set" + where);
+          body.remove_prefix(1);
+        }
+      }
+      cursor = close + 1;
+    }
+    if (cursor >= line.size() || line[cursor] != ' ') {
+      return fail("sample without value" + where);
+    }
+    const std::string value_text(line.substr(cursor + 1));
+    char* end = nullptr;
+    (void)std::strtod(value_text.c_str(), &end);
+    bool numeric = end != value_text.c_str();
+    if (numeric) {
+      // Optional timestamp after the value; nothing else.
+      while (*end == ' ' || (*end >= '0' && *end <= '9') || *end == '-') {
+        ++end;
+      }
+      numeric = *end == '\0' || *end == '\r';
+    }
+    if (!numeric && value_text != "+Inf" && value_text != "-Inf" &&
+        value_text != "NaN") {
+      return fail("non-numeric sample value" + where);
+    }
+    if (typed.count(family_of(name, typed)) == 0) {
+      return fail("sample '" + std::string(name) +
+                  "' without a preceding TYPE" + where);
+    }
+    if (!seen_samples.insert(std::string(name) + labels).second) {
+      return fail("duplicate sample " + std::string(name) + labels + where);
+    }
+    ++result.samples;
+  }
+  return result;
+}
+
+}  // namespace bx::obs

@@ -1,0 +1,41 @@
+// Prometheus text-exposition snapshot writer.
+//
+// Renders a MetricsSnapshot (plus, optionally, telemetry aggregates) in
+// the Prometheus text exposition format, version 0.0.4: HELP/TYPE header
+// lines followed by samples, names sanitized to the Prometheus charset
+// with a `bx_` prefix, counters suffixed `_total`, histograms rendered as
+// summaries (quantile-labelled samples plus `_sum`/`_count`).
+//
+// The simulation has no HTTP endpoint — the "scrape" is a file written at
+// the end of a run (bxmon `prom=` flag, CI artifact). lint_prometheus()
+// is the format test both the exporter tests and bxmon run over the
+// output: name charset, HELP-before-TYPE-before-samples per family, no
+// duplicate samples.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace bx::obs {
+
+/// Renders `snapshot` (and `telemetry`'s window aggregates, when non-null
+/// — flush() it first so totals reconcile) as text exposition.
+[[nodiscard]] std::string to_prometheus_text(const MetricsSnapshot& snapshot,
+                                             const Telemetry* telemetry);
+
+/// Result of the exposition-format lint; `ok()` iff no violation found.
+struct PrometheusLint {
+  std::string error;  // empty when the exposition is well-formed
+  std::size_t samples = 0;
+  std::size_t families = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Lints `text` against the exposition format rules described above.
+[[nodiscard]] PrometheusLint lint_prometheus(std::string_view text);
+
+}  // namespace bx::obs

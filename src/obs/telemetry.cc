@@ -1,0 +1,319 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bx::obs {
+
+namespace {
+
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+std::string_view link_dir_name(LinkDir dir) noexcept {
+  return dir == LinkDir::kDownstream ? "downstream" : "upstream";
+}
+
+std::string_view tlp_kind_name(TlpKind kind) noexcept {
+  switch (kind) {
+    case TlpKind::kMWr: return "mwr";
+    case TlpKind::kMRd: return "mrd";
+    case TlpKind::kCpl: return "cpl";
+  }
+  return "?";
+}
+
+FlowCell TelemetrySample::dir_total(LinkDir dir) const noexcept {
+  FlowCell total;
+  for (const FlowCell& cell : flow[static_cast<std::size_t>(dir)]) {
+    total += cell;
+  }
+  return total;
+}
+
+std::uint64_t TelemetrySample::wire_bytes() const noexcept {
+  return dir_total(LinkDir::kDownstream).wire_bytes +
+         dir_total(LinkDir::kUpstream).wire_bytes;
+}
+
+double TelemetrySample::utilization(LinkDir dir,
+                                    double bytes_per_ns) const noexcept {
+  if (end_ns <= start_ns || bytes_per_ns <= 0.0) return 0.0;
+  const double serialize_ns =
+      double(dir_total(dir).wire_bytes) / bytes_per_ns;
+  return serialize_ns / double(end_ns - start_ns);
+}
+
+double TelemetrySample::amplification() const noexcept {
+  return payload_bytes == 0 ? 0.0
+                            : double(wire_bytes()) / double(payload_bytes);
+}
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(config), window_end_(config.window_ns) {}
+
+void Telemetry::configure(const TelemetryConfig& config) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = config;
+  window_end_.store(window_start_ + config_.window_ns, kRelaxed);
+}
+
+void Telemetry::register_queue(std::uint16_t qid, const Gauge* sq_occupancy,
+                               const Gauge* inflight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queues_.size() <= qid) queues_.resize(qid + 1u);
+  auto source = std::make_unique<QueueSource>();
+  source->qid = qid;
+  source->sq_occupancy = sq_occupancy;
+  source->inflight = inflight;
+  queues_[qid] = std::move(source);
+}
+
+void Telemetry::on_tlps(LinkDir dir, TlpKind kind, std::uint64_t tlps,
+                        std::uint64_t data_bytes,
+                        std::uint64_t wire_bytes) noexcept {
+  AtomicFlow& cell =
+      flows_[static_cast<std::size_t>(dir)][static_cast<std::size_t>(kind)];
+  cell.tlps.fetch_add(tlps, kRelaxed);
+  cell.data_bytes.fetch_add(data_bytes, kRelaxed);
+  cell.wire_bytes.fetch_add(wire_bytes, kRelaxed);
+}
+
+void Telemetry::on_payload(std::uint64_t bytes) noexcept {
+  payload_bytes_.fetch_add(bytes, kRelaxed);
+}
+
+void Telemetry::on_stage(TraceStage stage, Nanoseconds duration) noexcept {
+  const auto index = static_cast<std::size_t>(stage);
+  stage_count_[index].fetch_add(1, kRelaxed);
+  stage_ns_[index].fetch_add(duration, kRelaxed);
+}
+
+void Telemetry::on_sq_doorbell(std::uint16_t qid) noexcept {
+  if (qid < queues_.size() && queues_[qid] != nullptr) {
+    queues_[qid]->sq_doorbells.fetch_add(1, kRelaxed);
+  }
+}
+
+void Telemetry::on_cq_doorbell(std::uint16_t qid) noexcept {
+  if (qid < queues_.size() && queues_[qid] != nullptr) {
+    queues_[qid]->cq_doorbells.fetch_add(1, kRelaxed);
+  }
+}
+
+void Telemetry::close_window_locked(Nanoseconds end) {
+  TelemetrySample sample;
+  sample.index = next_index_++;
+  sample.start_ns = window_start_;
+  sample.end_ns = end;
+
+  for (std::size_t dir = 0; dir < kLinkDirs; ++dir) {
+    for (std::size_t kind = 0; kind < kTlpKinds; ++kind) {
+      const AtomicFlow& cumulative = flows_[dir][kind];
+      FlowCell now;
+      now.tlps = cumulative.tlps.load(kRelaxed);
+      now.data_bytes = cumulative.data_bytes.load(kRelaxed);
+      now.wire_bytes = cumulative.wire_bytes.load(kRelaxed);
+      FlowCell& last = last_flows_[dir][kind];
+      sample.flow[dir][kind].tlps = now.tlps - last.tlps;
+      sample.flow[dir][kind].data_bytes = now.data_bytes - last.data_bytes;
+      sample.flow[dir][kind].wire_bytes = now.wire_bytes - last.wire_bytes;
+      last = now;
+    }
+  }
+
+  const std::uint64_t payload_now = payload_bytes_.load(kRelaxed);
+  sample.payload_bytes = payload_now - last_payload_bytes_;
+  last_payload_bytes_ = payload_now;
+
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const std::uint64_t count_now = stage_count_[i].load(kRelaxed);
+    const std::uint64_t ns_now = stage_ns_[i].load(kRelaxed);
+    sample.stage_count[i] = count_now - last_stage_count_[i];
+    sample.stage_ns[i] = ns_now - last_stage_ns_[i];
+    last_stage_count_[i] = count_now;
+    last_stage_ns_[i] = ns_now;
+  }
+
+  sample.backlog = backlog_ != nullptr ? backlog_->value() : 0;
+
+  for (const auto& source : queues_) {
+    if (source == nullptr) continue;
+    QueueWindow qw;
+    qw.qid = source->qid;
+    qw.sq_occupancy =
+        source->sq_occupancy != nullptr ? source->sq_occupancy->value() : 0;
+    qw.inflight = source->inflight != nullptr ? source->inflight->value() : 0;
+    const std::uint64_t sq_now = source->sq_doorbells.load(kRelaxed);
+    const std::uint64_t cq_now = source->cq_doorbells.load(kRelaxed);
+    qw.sq_doorbells = sq_now - source->last_sq_doorbells;
+    qw.cq_doorbells = cq_now - source->last_cq_doorbells;
+    source->last_sq_doorbells = sq_now;
+    source->last_cq_doorbells = cq_now;
+    sample.queues.push_back(qw);
+  }
+
+  ring_.push_back(std::move(sample));
+  if (ring_.size() > config_.max_windows) {
+    ring_.pop_front();
+    windows_dropped_.fetch_add(1, kRelaxed);
+  }
+  windows_closed_.fetch_add(1, kRelaxed);
+
+  window_start_ = end;
+  window_end_.store(end + config_.window_ns, kRelaxed);
+}
+
+void Telemetry::advance_to(Nanoseconds now) {
+  if (!config_.enabled) return;
+  if (now < window_end_.load(kRelaxed)) return;  // fast path
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Re-check under the lock: another thread may have rolled the window.
+  while (now >= window_end_.load(kRelaxed)) {
+    close_window_locked(window_start_ + config_.window_ns);
+  }
+}
+
+void Telemetry::flush(Nanoseconds now) {
+  if (!config_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (now >= window_end_.load(kRelaxed)) {
+    close_window_locked(window_start_ + config_.window_ns);
+  }
+  // Close the in-progress partial window (delta residuals -> sample) so
+  // sample sums match cumulative counters exactly. The window grid
+  // restarts at `now`.
+  if (now > window_start_) close_window_locked(now);
+}
+
+void Telemetry::clear(Nanoseconds now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_index_ = 0;
+  windows_closed_.store(0, kRelaxed);
+  windows_dropped_.store(0, kRelaxed);
+  // Re-baseline deltas at the current cumulative values: the hooks keep
+  // counting upward, only the sampling restarts.
+  for (std::size_t dir = 0; dir < kLinkDirs; ++dir) {
+    for (std::size_t kind = 0; kind < kTlpKinds; ++kind) {
+      const AtomicFlow& cumulative = flows_[dir][kind];
+      last_flows_[dir][kind].tlps = cumulative.tlps.load(kRelaxed);
+      last_flows_[dir][kind].data_bytes = cumulative.data_bytes.load(kRelaxed);
+      last_flows_[dir][kind].wire_bytes = cumulative.wire_bytes.load(kRelaxed);
+    }
+  }
+  last_payload_bytes_ = payload_bytes_.load(kRelaxed);
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    last_stage_count_[i] = stage_count_[i].load(kRelaxed);
+    last_stage_ns_[i] = stage_ns_[i].load(kRelaxed);
+  }
+  for (const auto& source : queues_) {
+    if (source == nullptr) continue;
+    source->last_sq_doorbells = source->sq_doorbells.load(kRelaxed);
+    source->last_cq_doorbells = source->cq_doorbells.load(kRelaxed);
+  }
+  window_start_ = now;
+  window_end_.store(now + config_.window_ns, kRelaxed);
+}
+
+std::vector<TelemetrySample> Telemetry::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::array<std::array<FlowCell, kTlpKinds>, kLinkDirs> Telemetry::sum_flows(
+    const std::vector<TelemetrySample>& samples) {
+  std::array<std::array<FlowCell, kTlpKinds>, kLinkDirs> total{};
+  for (const TelemetrySample& sample : samples) {
+    for (std::size_t dir = 0; dir < kLinkDirs; ++dir) {
+      for (std::size_t kind = 0; kind < kTlpKinds; ++kind) {
+        total[dir][kind] += sample.flow[dir][kind];
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<TelemetrySample> Telemetry::downsample(
+    std::vector<TelemetrySample> samples, std::size_t max_points) {
+  if (max_points == 0 || samples.size() <= max_points) return samples;
+  // Merge runs of ceil(n / max_points) adjacent windows. Sums accumulate;
+  // gauges (occupancy, backlog) keep the run's final value, matching the
+  // point-in-time semantics of a coarser sampling window.
+  const std::size_t stride =
+      (samples.size() + max_points - 1) / max_points;
+  std::vector<TelemetrySample> merged;
+  merged.reserve((samples.size() + stride - 1) / stride);
+  for (std::size_t begin = 0; begin < samples.size(); begin += stride) {
+    const std::size_t end = std::min(begin + stride, samples.size());
+    TelemetrySample out = samples[end - 1];  // gauges + end_ns from the last
+    out.index = merged.size();
+    out.start_ns = samples[begin].start_ns;
+    for (std::size_t i = begin; i + 1 < end; ++i) {
+      const TelemetrySample& add = samples[i];
+      for (std::size_t dir = 0; dir < kLinkDirs; ++dir) {
+        for (std::size_t kind = 0; kind < kTlpKinds; ++kind) {
+          out.flow[dir][kind] += add.flow[dir][kind];
+        }
+      }
+      out.payload_bytes += add.payload_bytes;
+      for (std::size_t s = 0; s < kStageCount; ++s) {
+        out.stage_count[s] += add.stage_count[s];
+        out.stage_ns[s] += add.stage_ns[s];
+      }
+      for (const QueueWindow& qw : add.queues) {
+        for (QueueWindow& target : out.queues) {
+          if (target.qid == qw.qid) {
+            target.sq_doorbells += qw.sq_doorbells;
+            target.cq_doorbells += qw.cq_doorbells;
+          }
+        }
+      }
+    }
+    merged.push_back(std::move(out));
+  }
+  return merged;
+}
+
+std::string Telemetry::dump_tsv(const std::vector<TelemetrySample>& samples,
+                                double bytes_per_ns) {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "# bx-telemetry v1 bytes_per_ns=%.6f\n",
+                bytes_per_ns);
+  out += line;
+  out +=
+      "# index\tstart_ns\tend_ns"
+      "\tmwr_tlps_down\tmwr_data_down\tmwr_wire_down"
+      "\tmrd_tlps_down\tmrd_data_down\tmrd_wire_down"
+      "\tcpl_tlps_down\tcpl_data_down\tcpl_wire_down"
+      "\tmwr_tlps_up\tmwr_data_up\tmwr_wire_up"
+      "\tmrd_tlps_up\tmrd_data_up\tmrd_wire_up"
+      "\tcpl_tlps_up\tcpl_data_up\tcpl_wire_up"
+      "\tpayload_bytes\tbacklog\n";
+  for (const TelemetrySample& sample : samples) {
+    std::snprintf(line, sizeof(line), "%llu\t%llu\t%llu",
+                  static_cast<unsigned long long>(sample.index),
+                  static_cast<unsigned long long>(sample.start_ns),
+                  static_cast<unsigned long long>(sample.end_ns));
+    out += line;
+    for (std::size_t dir = 0; dir < kLinkDirs; ++dir) {
+      for (std::size_t kind = 0; kind < kTlpKinds; ++kind) {
+        const FlowCell& cell = sample.flow[dir][kind];
+        std::snprintf(line, sizeof(line), "\t%llu\t%llu\t%llu",
+                      static_cast<unsigned long long>(cell.tlps),
+                      static_cast<unsigned long long>(cell.data_bytes),
+                      static_cast<unsigned long long>(cell.wire_bytes));
+        out += line;
+      }
+    }
+    std::snprintf(line, sizeof(line), "\t%llu\t%lld\n",
+                  static_cast<unsigned long long>(sample.payload_bytes),
+                  static_cast<long long>(sample.backlog));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bx::obs

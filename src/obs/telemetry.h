@@ -1,0 +1,266 @@
+// PCM-style time-series telemetry for the simulated PCIe link.
+//
+// The paper's headline evidence is an Intel PCM trace: PCIe MWr/MRd/Cpl
+// traffic sampled over time while a workload runs. Telemetry reproduces
+// that view for the modeled link: simulated time is divided into fixed
+// windows (Config::window_ns, default 10 us) and at every window boundary
+// the sampler snapshots
+//   * per-direction, per-TLP-kind link counters (TLPs, data bytes, wire
+//     bytes) as deltas over the window,
+//   * the payload bytes the host handed to the driver (for the
+//     amplification ratio),
+//   * controller stage-duration deltas (same taxonomy as TraceStage),
+//   * per-queue gauges (SQ occupancy, in-flight commands) and doorbell
+//     deltas, plus the controller's inline-chunk backlog gauge,
+// into an in-memory ring of TelemetrySample records.
+//
+// Hot-path hooks (on_tlps / on_payload / on_stage / on_*_doorbell) only
+// bump relaxed cumulative atomics — no locks, no allocation — so they are
+// safe from any submitter thread and cheap enough for per-TLP call sites.
+// Window rolling happens in advance_to(now): a relaxed fast path returns
+// while `now` is inside the current window; the slow path takes a mutex
+// and closes every expired window by delta-ing the cumulative counters
+// against the previous snapshot. Because every sample is a telescoping
+// difference of the same cumulative counters, the sum of per-window
+// deltas equals the counter totals *exactly* once flush() has closed the
+// final partial window (tests/traffic_conservation_test.cc asserts this
+// against pcie::TrafficCounter for every transfer method).
+//
+// Layering: bx_obs sits below bx_pcie, so this header cannot name
+// pcie::Direction. LinkDir mirrors its numeric values (kDownstream=0,
+// kUpstream=1); PcieLink casts when calling on_tlps().
+//
+// Consumers: obs::to_perfetto_json() (counter tracks), obs::
+// to_prometheus_text() (exposition snapshot), the bxmon CLI (per-window
+// table), and bench_common (the `timeseries` section of BENCH_*.json).
+// See docs/TELEMETRY.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace bx::obs {
+
+/// Link direction, numerically identical to pcie::Direction (bx_obs cannot
+/// include pcie headers — the dependency points the other way).
+enum class LinkDir : std::uint8_t { kDownstream = 0, kUpstream = 1 };
+inline constexpr std::size_t kLinkDirs = 2;
+
+/// TLP kind, matching how PCM attributes PCIe bandwidth.
+enum class TlpKind : std::uint8_t { kMWr = 0, kMRd = 1, kCpl = 2 };
+inline constexpr std::size_t kTlpKinds = 3;
+
+[[nodiscard]] std::string_view link_dir_name(LinkDir dir) noexcept;
+[[nodiscard]] std::string_view tlp_kind_name(TlpKind kind) noexcept;
+
+struct TelemetryConfig {
+  bool enabled = true;
+  /// Window length in simulated nanoseconds (PCM-style sampling period).
+  Nanoseconds window_ns = 10'000;
+  /// Samples kept before the oldest are dropped (memory bound for long
+  /// runs); drops are counted, never silent.
+  std::size_t max_windows = 1u << 16;
+};
+
+/// One (TLPs, data bytes, wire bytes) cell — the per-window analog of
+/// pcie::TrafficCell.
+struct FlowCell {
+  std::uint64_t tlps = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+
+  FlowCell& operator+=(const FlowCell& other) noexcept {
+    tlps += other.tlps;
+    data_bytes += other.data_bytes;
+    wire_bytes += other.wire_bytes;
+    return *this;
+  }
+};
+
+/// Per-queue state captured at a window boundary: gauges are sampled
+/// (point-in-time), doorbells are deltas over the window.
+struct QueueWindow {
+  std::uint16_t qid = 0;
+  std::int64_t sq_occupancy = 0;
+  std::int64_t inflight = 0;
+  std::uint64_t sq_doorbells = 0;
+  std::uint64_t cq_doorbells = 0;
+};
+
+/// One closed telemetry window.
+struct TelemetrySample {
+  std::uint64_t index = 0;
+  Nanoseconds start_ns = 0;
+  Nanoseconds end_ns = 0;
+
+  /// flow[LinkDir][TlpKind], deltas over the window.
+  std::array<std::array<FlowCell, kTlpKinds>, kLinkDirs> flow{};
+  /// Application payload bytes submitted during the window.
+  std::uint64_t payload_bytes = 0;
+  /// Controller stage-duration deltas (TraceStage taxonomy).
+  std::array<std::uint64_t, kStageCount> stage_count{};
+  std::array<std::uint64_t, kStageCount> stage_ns{};
+  /// Controller inline backlog gauge at window close (BandSlim streams +
+  /// deferred OOO commands + in-flight reassemblies).
+  std::int64_t backlog = 0;
+  std::vector<QueueWindow> queues;
+
+  [[nodiscard]] const FlowCell& of(LinkDir dir, TlpKind kind) const noexcept {
+    return flow[static_cast<std::size_t>(dir)][static_cast<std::size_t>(kind)];
+  }
+  /// Sum over TLP kinds for one direction.
+  [[nodiscard]] FlowCell dir_total(LinkDir dir) const noexcept;
+  /// Wire bytes over both directions and all kinds.
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept;
+  /// Fraction of the window the link spent serializing `dir` traffic at
+  /// `bytes_per_ns` (PcieLink's effective rate). 0 for an empty window.
+  [[nodiscard]] double utilization(LinkDir dir, double bytes_per_ns)
+      const noexcept;
+  /// Wire bytes per payload byte within the window (0 when no payload).
+  [[nodiscard]] double amplification() const noexcept;
+};
+
+class Telemetry {
+ public:
+  explicit Telemetry(TelemetryConfig config = {});
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  /// Reconfigures the sampler. Call during testbed assembly, before
+  /// traffic flows.
+  void configure(const TelemetryConfig& config);
+  [[nodiscard]] const TelemetryConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+
+  /// The link's effective data rate, for utilization percentages. Set by
+  /// the Testbed from LinkConfig::bytes_per_ns().
+  void set_link_rate(double bytes_per_ns) noexcept {
+    bytes_per_ns_ = bytes_per_ns;
+  }
+  [[nodiscard]] double link_rate() const noexcept { return bytes_per_ns_; }
+
+  // ---- registration (single-threaded testbed assembly) ----
+
+  /// Registers queue `qid`'s occupancy gauges for sampling at window
+  /// close. The gauges are component-owned (the driver's QueuePair) and
+  /// must outlive the Telemetry reads; re-registering a qid replaces the
+  /// previous pointers. NOT thread-safe against concurrent hooks: call
+  /// before submitter threads start (same rule as init_io_queues()).
+  void register_queue(std::uint16_t qid, const Gauge* sq_occupancy,
+                      const Gauge* inflight);
+  /// Registers the controller's inline-backlog gauge.
+  void set_backlog_gauge(const Gauge* backlog) noexcept { backlog_ = backlog; }
+
+  // ---- hot-path hooks (relaxed atomics; any thread) ----
+
+  void on_tlps(LinkDir dir, TlpKind kind, std::uint64_t tlps,
+               std::uint64_t data_bytes, std::uint64_t wire_bytes) noexcept;
+  void on_payload(std::uint64_t bytes) noexcept;
+  void on_stage(TraceStage stage, Nanoseconds duration) noexcept;
+  void on_sq_doorbell(std::uint16_t qid) noexcept;
+  void on_cq_doorbell(std::uint16_t qid) noexcept;
+
+  // ---- window rolling ----
+
+  /// Closes every window that `now` has moved past. The common case (still
+  /// inside the current window) is one relaxed load.
+  void advance_to(Nanoseconds now);
+  /// advance_to(now), then closes the in-progress partial window so that
+  /// sample sums reconcile exactly with cumulative counters. The next
+  /// window starts at `now`.
+  void flush(Nanoseconds now);
+  /// Drops all samples and re-baselines deltas at `now` (the Testbed's
+  /// reset_counters() analog — cumulative hooks keep counting upward).
+  void clear(Nanoseconds now);
+
+  // ---- consumption ----
+
+  [[nodiscard]] std::vector<TelemetrySample> samples() const;
+  [[nodiscard]] std::uint64_t windows_closed() const noexcept {
+    return windows_closed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t windows_dropped() const noexcept {
+    return windows_dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Sums flow cells over `samples` (conservation checks, summaries).
+  [[nodiscard]] static std::array<std::array<FlowCell, kTlpKinds>, kLinkDirs>
+  sum_flows(const std::vector<TelemetrySample>& samples);
+
+  /// Merges adjacent windows until at most `max_points` remain. Sums
+  /// (flows, payload, stages, doorbells) are preserved exactly; gauges
+  /// keep the last-window value. Used to bound BENCH_*.json timeseries
+  /// sections and bxmon tables.
+  [[nodiscard]] static std::vector<TelemetrySample> downsample(
+      std::vector<TelemetrySample> samples, std::size_t max_points);
+
+  /// Deterministic TSV rendering of `samples` — the bxmon dump/ingest
+  /// format. The header comment embeds `bytes_per_ns` so an ingesting
+  /// bxmon can recompute utilization.
+  [[nodiscard]] static std::string dump_tsv(
+      const std::vector<TelemetrySample>& samples, double bytes_per_ns);
+
+ private:
+  struct AtomicFlow {
+    std::atomic<std::uint64_t> tlps{0};
+    std::atomic<std::uint64_t> data_bytes{0};
+    std::atomic<std::uint64_t> wire_bytes{0};
+  };
+  /// Per-queue cumulative doorbell counters plus the sampled gauges.
+  /// unique_ptr because atomics are immovable and the vector resizes at
+  /// registration time.
+  struct QueueSource {
+    std::uint16_t qid = 0;
+    const Gauge* sq_occupancy = nullptr;
+    const Gauge* inflight = nullptr;
+    std::atomic<std::uint64_t> sq_doorbells{0};
+    std::atomic<std::uint64_t> cq_doorbells{0};
+    std::uint64_t last_sq_doorbells = 0;  // under mutex_
+    std::uint64_t last_cq_doorbells = 0;  // under mutex_
+  };
+
+  void close_window_locked(Nanoseconds end);
+
+  TelemetryConfig config_;
+  double bytes_per_ns_ = 1.0;
+
+  // Cumulative hot-path counters (relaxed; exact once quiesced).
+  std::array<std::array<AtomicFlow, kTlpKinds>, kLinkDirs> flows_{};
+  std::atomic<std::uint64_t> payload_bytes_{0};
+  std::array<std::atomic<std::uint64_t>, kStageCount> stage_count_{};
+  std::array<std::atomic<std::uint64_t>, kStageCount> stage_ns_{};
+  /// Indexed by qid; slots for unregistered qids (e.g. the admin queue)
+  /// are null and their doorbells are not tracked.
+  std::vector<std::unique_ptr<QueueSource>> queues_;
+  const Gauge* backlog_ = nullptr;
+
+  /// End of the currently open window — the advance_to() fast-path guard.
+  std::atomic<Nanoseconds> window_end_;
+  std::atomic<std::uint64_t> windows_closed_{0};
+  std::atomic<std::uint64_t> windows_dropped_{0};
+
+  // Window-rolling state, all under mutex_.
+  mutable std::mutex mutex_;
+  Nanoseconds window_start_ = 0;
+  std::uint64_t next_index_ = 0;
+  std::array<std::array<FlowCell, kTlpKinds>, kLinkDirs> last_flows_{};
+  std::uint64_t last_payload_bytes_ = 0;
+  std::array<std::uint64_t, kStageCount> last_stage_count_{};
+  std::array<std::uint64_t, kStageCount> last_stage_ns_{};
+  std::deque<TelemetrySample> ring_;
+};
+
+}  // namespace bx::obs

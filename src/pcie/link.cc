@@ -55,6 +55,16 @@ void PcieLink::record(Direction dir, TrafficClass cls, std::uint64_t tlps,
   }
 }
 
+void PcieLink::telemetry_tlps(Direction dir, obs::TlpKind kind,
+                              std::uint64_t tlps, std::uint64_t data_bytes,
+                              std::uint64_t wire_bytes) noexcept {
+  // pcie::Direction and obs::LinkDir share numeric values (bx_obs sits
+  // below bx_pcie and cannot include this header).
+  telemetry_->on_tlps(
+      static_cast<obs::LinkDir>(static_cast<std::uint8_t>(dir)), kind, tlps,
+      data_bytes, wire_bytes);
+}
+
 Nanoseconds PcieLink::post_write(Direction dir, TrafficClass cls,
                                  std::uint64_t data_bytes) noexcept {
   const std::uint32_t mps = config_.max_payload_size;
@@ -70,6 +80,10 @@ Nanoseconds PcieLink::post_write(Direction dir, TrafficClass cls,
   record(dir, cls, tlps, data_bytes, wire);
   const Nanoseconds t = config_.propagation_ns + serialize_time(wire);
   clock_.advance(t);
+  if (telemetry_ != nullptr) {
+    telemetry_tlps(dir, obs::TlpKind::kMWr, tlps, data_bytes, wire);
+    telemetry_->advance_to(clock_.now());
+  }
   return t;
 }
 
@@ -105,6 +119,11 @@ Nanoseconds PcieLink::read(Direction data_dir, TrafficClass cls,
   const Nanoseconds t = 2 * config_.propagation_ns +
                         serialize_time(req_wire) + serialize_time(cpl_wire);
   clock_.advance(t);
+  if (telemetry_ != nullptr) {
+    telemetry_tlps(req_dir, obs::TlpKind::kMRd, requests, 0, req_wire);
+    telemetry_tlps(data_dir, obs::TlpKind::kCpl, cpls, data_bytes, cpl_wire);
+    telemetry_->advance_to(clock_.now());
+  }
   return t;
 }
 

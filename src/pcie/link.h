@@ -17,6 +17,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "pcie/tlp.h"
 #include "pcie/traffic_counter.h"
 
@@ -68,9 +69,20 @@ class PcieLink {
   /// `pcie.data_bytes` counters of `metrics` (pass nullptr to detach).
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Feeds every TLP batch into `telemetry` by direction and kind
+  /// (MWr/MRd/Cpl), and rolls its sampling window forward after each
+  /// primitive advances the clock (pass nullptr to detach — the disabled
+  /// cost is one pointer check per primitive).
+  void set_telemetry(obs::Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
  private:
   void record(Direction dir, TrafficClass cls, std::uint64_t tlps,
               std::uint64_t data_bytes, std::uint64_t wire_bytes) noexcept;
+  void telemetry_tlps(Direction dir, obs::TlpKind kind, std::uint64_t tlps,
+                      std::uint64_t data_bytes,
+                      std::uint64_t wire_bytes) noexcept;
 
   LinkConfig config_;
   SimClock& clock_;
@@ -78,6 +90,7 @@ class PcieLink {
   obs::Counter* tlps_metric_ = nullptr;
   obs::Counter* wire_bytes_metric_ = nullptr;
   obs::Counter* data_bytes_metric_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace bx::pcie

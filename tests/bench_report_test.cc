@@ -1,0 +1,115 @@
+// BENCH_*.json report layout: schema_version, config block, per-row
+// method + timeseries section. Tests the pure render_* functions from
+// bench_common so report-consumer breakage shows up here, not in CI
+// artifact diffing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace bx::bench {
+namespace {
+
+obs::TelemetrySample sample_at(std::uint64_t index, Nanoseconds start,
+                               Nanoseconds end, std::uint64_t wire) {
+  obs::TelemetrySample sample;
+  sample.index = index;
+  sample.start_ns = start;
+  sample.end_ns = end;
+  auto& mwr = sample.flow[std::size_t(obs::LinkDir::kDownstream)]
+                         [std::size_t(obs::TlpKind::kMWr)];
+  mwr.tlps = 1;
+  mwr.data_bytes = wire > 32 ? wire - 32 : 0;
+  mwr.wire_bytes = wire;
+  sample.payload_bytes = wire / 2;
+  return sample;
+}
+
+TEST(BenchReportTest, DocumentCarriesSchemaVersionAndConfig) {
+  BenchEnv env;  // default knobs, no argv
+  const std::string config_json = render_config_json(env);
+  for (const char* key :
+       {"\"seed\"", "\"pcie_gen\"", "\"pcie_lanes\"", "\"queues\"",
+        "\"depth\"", "\"ops\"", "\"telemetry_window_ns\""}) {
+    EXPECT_NE(config_json.find(key), std::string::npos) << key;
+  }
+
+  const std::string doc =
+      render_report("fig5_payload_sweep", config_json, /*rows=*/{});
+  EXPECT_NE(doc.find("\"bench\": \"fig5_payload_sweep\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_EQ(kReportSchemaVersion, 2);
+  EXPECT_NE(doc.find("\"config\": {"), std::string::npos);
+  EXPECT_NE(doc.find("\"rows\": ["), std::string::npos);
+}
+
+TEST(BenchReportTest, RowCarriesMethodStagesAndTimeseries) {
+  core::RunStats stats;
+  stats.label = "byteexpress/256B";
+  stats.method = "byteexpress";
+  stats.ops = 10;
+  stats.payload_bytes = 2560;
+  stats.wire_bytes = 4000;
+  stats.data_bytes = 3000;
+  stats.total_time_ns = 50'000;
+  stats.latency.record(1'000);
+
+  const obs::StageBreakdown breakdown = obs::stage_breakdown({});
+  std::vector<obs::TelemetrySample> samples = {
+      sample_at(0, 0, 10'000, 400),
+      sample_at(1, 10'000, 20'000, 500),
+  };
+  const std::string row = render_report_row(
+      stats, breakdown, /*trace_events_dropped=*/0, samples,
+      /*bytes_per_ns=*/4.0);
+
+  EXPECT_NE(row.find("\"label\": \"byteexpress/256B\""), std::string::npos);
+  EXPECT_NE(row.find("\"method\": \"byteexpress\""), std::string::npos);
+  EXPECT_NE(row.find("\"stages\": "), std::string::npos);
+  EXPECT_NE(row.find("\"timeseries\": ["), std::string::npos);
+  EXPECT_NE(row.find("\"down_mwr_wire\": 400"), std::string::npos);
+  EXPECT_NE(row.find("\"down_mwr_wire\": 500"), std::string::npos);
+}
+
+TEST(BenchReportTest, TimeseriesDownsamplesToMaxPoints) {
+  std::vector<obs::TelemetrySample> samples;
+  std::uint64_t total_wire = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    samples.push_back(
+        sample_at(i, Nanoseconds(i * 100), Nanoseconds((i + 1) * 100),
+                  64 + i));
+    total_wire += 64 + i;
+  }
+  const std::string json =
+      render_timeseries_json(samples, /*bytes_per_ns=*/4.0,
+                             /*max_points=*/16);
+
+  std::size_t points = 0;
+  for (std::size_t pos = json.find("\"start_ns\""); pos != std::string::npos;
+       pos = json.find("\"start_ns\"", pos + 1)) {
+    ++points;
+  }
+  EXPECT_LE(points, 16u);
+  EXPECT_GT(points, 0u);
+
+  // Downsampling preserves the wire-byte sum: re-add the rendered
+  // down_mwr_wire values.
+  std::uint64_t rendered_wire = 0;
+  const std::string key = "\"down_mwr_wire\": ";
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + 1)) {
+    rendered_wire += std::stoull(json.substr(pos + key.size()));
+  }
+  EXPECT_EQ(rendered_wire, total_wire);
+
+  // Empty runs render an empty array, not invalid JSON.
+  EXPECT_EQ(render_timeseries_json({}, 4.0), "[]");
+}
+
+}  // namespace
+}  // namespace bx::bench

@@ -1,0 +1,304 @@
+// Windowed telemetry sampler: window-grid semantics, exact conservation
+// against the TrafficCounter under QD>1 multi-queue load, ring bounds,
+// downsampling, reset semantics, the disabled path, and the TSV dump.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/testbed.h"
+#include "driver/request.h"
+#include "obs/telemetry.h"
+#include "test_util.h"
+
+namespace bx {
+namespace {
+
+using core::Testbed;
+using driver::TransferMethod;
+using obs::LinkDir;
+using obs::Telemetry;
+using obs::TelemetryConfig;
+using obs::TelemetrySample;
+using obs::TlpKind;
+
+TelemetryConfig tiny_config(Nanoseconds window_ns,
+                            std::size_t max_windows = 1u << 16) {
+  TelemetryConfig config;
+  config.window_ns = window_ns;
+  config.max_windows = max_windows;
+  return config;
+}
+
+TEST(TelemetryWindowTest, AdvanceClosesExpiredWindowsOnTheGrid) {
+  Telemetry telemetry(tiny_config(100));
+  telemetry.on_tlps(LinkDir::kDownstream, TlpKind::kMWr, 2, 128, 192);
+  telemetry.advance_to(50);  // still inside [0, 100): nothing closes
+  EXPECT_EQ(telemetry.windows_closed(), 0u);
+
+  telemetry.advance_to(250);  // closes [0,100) and [100,200)
+  const std::vector<TelemetrySample> samples = telemetry.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].start_ns, 0);
+  EXPECT_EQ(samples[0].end_ns, 100);
+  EXPECT_EQ(samples[1].start_ns, 100);
+  EXPECT_EQ(samples[1].end_ns, 200);
+  // All traffic recorded before the first close lands in window 0.
+  EXPECT_EQ(samples[0].of(LinkDir::kDownstream, TlpKind::kMWr).tlps, 2u);
+  EXPECT_EQ(samples[0].of(LinkDir::kDownstream, TlpKind::kMWr).data_bytes,
+            128u);
+  EXPECT_EQ(samples[0].of(LinkDir::kDownstream, TlpKind::kMWr).wire_bytes,
+            192u);
+  EXPECT_EQ(samples[1].wire_bytes(), 0u);
+}
+
+TEST(TelemetryWindowTest, FlushClosesPartialWindowAndConservesSums) {
+  Telemetry telemetry(tiny_config(100));
+  telemetry.on_tlps(LinkDir::kDownstream, TlpKind::kMWr, 3, 100, 196);
+  telemetry.advance_to(150);
+  telemetry.on_tlps(LinkDir::kUpstream, TlpKind::kCpl, 1, 64, 92);
+  telemetry.on_payload(300);
+  telemetry.flush(150);  // partial window [100, 150)
+
+  const std::vector<TelemetrySample> samples = telemetry.samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples.back().start_ns, 100);
+  EXPECT_EQ(samples.back().end_ns, 150);
+
+  const auto totals = Telemetry::sum_flows(samples);
+  EXPECT_EQ(totals[0][std::size_t(TlpKind::kMWr)].tlps, 3u);
+  EXPECT_EQ(totals[0][std::size_t(TlpKind::kMWr)].wire_bytes, 196u);
+  EXPECT_EQ(totals[1][std::size_t(TlpKind::kCpl)].data_bytes, 64u);
+  std::uint64_t payload = 0;
+  for (const TelemetrySample& s : samples) payload += s.payload_bytes;
+  EXPECT_EQ(payload, 300u);
+}
+
+TEST(TelemetryWindowTest, RingCapDropsOldestAndCounts) {
+  Telemetry telemetry(tiny_config(100, /*max_windows=*/4));
+  telemetry.advance_to(1000);  // closes 10 empty windows
+  EXPECT_EQ(telemetry.windows_closed(), 10u);
+  EXPECT_EQ(telemetry.windows_dropped(), 6u);
+  const std::vector<TelemetrySample> samples = telemetry.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples.front().index, 6u);
+  EXPECT_EQ(samples.back().index, 9u);
+}
+
+TEST(TelemetryWindowTest, DownsamplePreservesSumsAndSpan) {
+  Telemetry telemetry(tiny_config(10));
+  for (int i = 0; i < 100; ++i) {
+    telemetry.on_tlps(LinkDir::kDownstream, TlpKind::kMWr, 1,
+                      std::uint64_t(i), std::uint64_t(i) + 32);
+    telemetry.on_payload(std::uint64_t(i));
+    telemetry.advance_to((i + 1) * 10);
+  }
+  const std::vector<TelemetrySample> full = telemetry.samples();
+  ASSERT_EQ(full.size(), 100u);
+  const std::vector<TelemetrySample> thin = Telemetry::downsample(full, 7);
+  ASSERT_LE(thin.size(), 7u);
+  EXPECT_EQ(thin.front().start_ns, full.front().start_ns);
+  EXPECT_EQ(thin.back().end_ns, full.back().end_ns);
+
+  const auto want = Telemetry::sum_flows(full);
+  const auto got = Telemetry::sum_flows(thin);
+  for (std::size_t dir = 0; dir < obs::kLinkDirs; ++dir) {
+    for (std::size_t kind = 0; kind < obs::kTlpKinds; ++kind) {
+      EXPECT_EQ(got[dir][kind].tlps, want[dir][kind].tlps);
+      EXPECT_EQ(got[dir][kind].data_bytes, want[dir][kind].data_bytes);
+      EXPECT_EQ(got[dir][kind].wire_bytes, want[dir][kind].wire_bytes);
+    }
+  }
+  std::uint64_t want_payload = 0, got_payload = 0;
+  for (const TelemetrySample& s : full) want_payload += s.payload_bytes;
+  for (const TelemetrySample& s : thin) got_payload += s.payload_bytes;
+  EXPECT_EQ(got_payload, want_payload);
+}
+
+TEST(TelemetryWindowTest, DumpTsvHasHeaderAndOneRowPerWindow) {
+  Telemetry telemetry(tiny_config(100));
+  telemetry.on_tlps(LinkDir::kUpstream, TlpKind::kMWr, 1, 16, 48);
+  telemetry.flush(130);
+  const std::string tsv = Telemetry::dump_tsv(telemetry.samples(), 4.0);
+  EXPECT_NE(tsv.find("# bx-telemetry v1 bytes_per_ns=4.000000"),
+            std::string::npos);
+  EXPECT_NE(tsv.find("payload_bytes\tbacklog"), std::string::npos);
+  std::size_t lines = 0;
+  for (const char c : tsv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, telemetry.samples().size() + 2);  // 2 header comments
+}
+
+// --- testbed integration ---
+
+/// Closed-loop driver load: `ops` inline writes at `qd` outstanding per
+/// queue, round-robin over all I/O queues.
+void run_closed_loop(Testbed& bed, std::uint64_t ops, std::uint32_t qd,
+                     std::uint32_t payload_size, TransferMethod method) {
+  const std::uint16_t queues = bed.config().driver.io_queue_count;
+  ByteVec payload(payload_size);
+  fill_pattern(payload, payload_size);
+  driver::IoRequest request;
+  request.opcode = nvme::IoOpcode::kVendorRawWrite;
+  request.method = method;
+  request.write_data = payload;
+
+  std::vector<driver::Submitted> inflight;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto qid = static_cast<std::uint16_t>(1 + i % queues);
+    auto handle = bed.driver().submit(request, qid);
+    ASSERT_TRUE(handle.is_ok());
+    inflight.push_back(*handle);
+    if (inflight.size() >= std::size_t{qd} * queues) {
+      auto completion = bed.driver().wait(inflight.front());
+      ASSERT_TRUE(completion.is_ok() && completion->ok());
+      inflight.erase(inflight.begin());
+    }
+  }
+  for (const driver::Submitted& handle : inflight) {
+    auto completion = bed.driver().wait(handle);
+    ASSERT_TRUE(completion.is_ok() && completion->ok());
+  }
+}
+
+// The tentpole acceptance check: a QD>1 multi-queue run yields >= 50
+// windows whose per-direction sums reconcile *exactly* with the
+// TrafficCounter, whose payload sums match what the host submitted, and
+// whose per-queue doorbell deltas match the BAR write counts.
+TEST(TelemetryTestbedTest, MultiQueueQd4ReconcilesExactly) {
+  core::TestbedConfig config = test::small_testbed_config(/*io_queues=*/4);
+  config.telemetry.window_ns = 2'000;
+  Testbed bed(config);
+  bed.reset_counters();  // re-baseline past the queue-creation traffic
+
+  constexpr std::uint64_t kOps = 300;
+  constexpr std::uint32_t kPayload = 256;
+  run_closed_loop(bed, kOps, /*qd=*/4, kPayload,
+                  TransferMethod::kByteExpress);
+
+  bed.telemetry().flush(bed.clock().now());
+  const std::vector<TelemetrySample> samples = bed.telemetry().samples();
+  EXPECT_GE(samples.size(), 50u) << "window too coarse for this run";
+  EXPECT_EQ(bed.telemetry().windows_dropped(), 0u);
+
+  // Per-direction sums over all windows == TrafficCounter totals, exactly.
+  const auto totals = Telemetry::sum_flows(samples);
+  for (std::size_t dir = 0; dir < obs::kLinkDirs; ++dir) {
+    const pcie::TrafficCell want =
+        bed.traffic().total(static_cast<pcie::Direction>(dir));
+    obs::FlowCell got;
+    for (std::size_t kind = 0; kind < obs::kTlpKinds; ++kind) {
+      got += totals[dir][kind];
+    }
+    EXPECT_EQ(got.tlps, want.tlps) << "dir " << dir;
+    EXPECT_EQ(got.data_bytes, want.data_bytes) << "dir " << dir;
+    EXPECT_EQ(got.wire_bytes, want.wire_bytes) << "dir " << dir;
+  }
+
+  // Payload accounting: every submitted byte shows up once.
+  std::uint64_t payload = 0;
+  for (const TelemetrySample& s : samples) payload += s.payload_bytes;
+  EXPECT_EQ(payload, kOps * kPayload);
+
+  // Doorbell deltas per queue == BAR register write counts. (reset_
+  // counters() does not reset the BAR counters, so compare run deltas via
+  // the telemetry re-baseline: sums start at zero after reset.)
+  std::uint64_t sq_doorbells[5] = {};
+  std::uint64_t cq_doorbells[5] = {};
+  for (const TelemetrySample& s : samples) {
+    for (const obs::QueueWindow& q : s.queues) {
+      ASSERT_LE(q.qid, 4);
+      sq_doorbells[q.qid] += q.sq_doorbells;
+      cq_doorbells[q.qid] += q.cq_doorbells;
+    }
+  }
+  std::uint64_t sq_total = 0;
+  for (std::uint16_t qid = 1; qid <= 4; ++qid) {
+    sq_total += sq_doorbells[qid];
+    EXPECT_EQ(cq_doorbells[qid], kOps / 4)
+        << "every command completes once on q" << qid;
+  }
+  EXPECT_EQ(sq_total, kOps) << "one SQ ring per inline command";
+}
+
+TEST(TelemetryTestbedTest, StageWindowsReconcileWithStageLog) {
+  core::TestbedConfig config = test::small_testbed_config();
+  config.telemetry.window_ns = 2'000;
+  Testbed bed(config);
+
+  ByteVec payload(200);
+  fill_pattern(payload, 7);
+  for (int i = 0; i < 25; ++i) {
+    auto completion =
+        bed.raw_write(payload, TransferMethod::kByteExpress, 1);
+    ASSERT_TRUE(completion.is_ok() && completion->ok());
+  }
+  bed.telemetry().flush(bed.clock().now());
+
+  const nvme::StageStatsLog& log = bed.controller().stage_stats();
+  std::uint64_t fetch_count = 0, fetch_ns = 0, chunk_count = 0,
+                completion_count = 0;
+  for (const TelemetrySample& s : bed.telemetry().samples()) {
+    fetch_count += s.stage_count[std::size_t(obs::TraceStage::kSqeFetch)];
+    fetch_ns += s.stage_ns[std::size_t(obs::TraceStage::kSqeFetch)];
+    chunk_count += s.stage_count[std::size_t(obs::TraceStage::kChunkFetch)];
+    completion_count +=
+        s.stage_count[std::size_t(obs::TraceStage::kCompletion)];
+  }
+  EXPECT_EQ(fetch_count, log.sqe_fetch.count);
+  EXPECT_EQ(fetch_ns, log.sqe_fetch.total_ns);
+  EXPECT_EQ(chunk_count, log.chunk_fetch.count);
+  EXPECT_EQ(completion_count, log.completion.count);
+}
+
+TEST(TelemetryTestbedTest, ResetCountersRestartsSampling) {
+  core::TestbedConfig config = test::small_testbed_config();
+  config.telemetry.window_ns = 2'000;
+  Testbed bed(config);
+
+  ByteVec payload(128);
+  fill_pattern(payload, 3);
+  auto first = bed.raw_write(payload, TransferMethod::kPrp, 1);
+  ASSERT_TRUE(first.is_ok() && first->ok());
+
+  bed.reset_counters();
+  EXPECT_TRUE(bed.telemetry().samples().empty());
+  EXPECT_EQ(bed.telemetry().windows_closed(), 0u);
+
+  auto second = bed.raw_write(payload, TransferMethod::kByteExpress, 1);
+  ASSERT_TRUE(second.is_ok() && second->ok());
+  bed.telemetry().flush(bed.clock().now());
+
+  // Post-reset samples reconcile with the post-reset traffic counters.
+  const auto totals = Telemetry::sum_flows(bed.telemetry().samples());
+  for (std::size_t dir = 0; dir < obs::kLinkDirs; ++dir) {
+    obs::FlowCell got;
+    for (std::size_t kind = 0; kind < obs::kTlpKinds; ++kind) {
+      got += totals[dir][kind];
+    }
+    const pcie::TrafficCell want =
+        bed.traffic().total(static_cast<pcie::Direction>(dir));
+    EXPECT_EQ(got.wire_bytes, want.wire_bytes) << "dir " << dir;
+    EXPECT_EQ(got.tlps, want.tlps) << "dir " << dir;
+  }
+}
+
+TEST(TelemetryTestbedTest, DisabledTelemetryStaysEmpty) {
+  core::TestbedConfig config = test::small_testbed_config();
+  config.telemetry.enabled = false;
+  Testbed bed(config);
+
+  ByteVec payload(512);
+  fill_pattern(payload, 11);
+  for (int i = 0; i < 5; ++i) {
+    auto completion =
+        bed.raw_write(payload, TransferMethod::kByteExpress, 1);
+    ASSERT_TRUE(completion.is_ok() && completion->ok());
+  }
+  bed.telemetry().flush(bed.clock().now());
+  EXPECT_TRUE(bed.telemetry().samples().empty());
+  EXPECT_EQ(bed.telemetry().windows_closed(), 0u);
+}
+
+}  // namespace
+}  // namespace bx

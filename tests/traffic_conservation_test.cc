@@ -11,6 +11,8 @@
 
 #include "common/bytes.h"
 #include "core/stress.h"
+#include "driver/request.h"
+#include "obs/telemetry.h"
 #include "core/testbed.h"
 #include "nvme/bandslim_wire.h"
 #include "nvme/inline_wire.h"
@@ -276,6 +278,56 @@ TEST(TrafficConservationAdditivityTest, MixedSequenceSumsExactly) {
                 expected[d][c].wire_bytes)
           << "dir " << d << " class " << c;
     }
+  }
+}
+
+// The windowed telemetry sampler must account for the same bytes as the
+// TrafficCounter: for every transfer method, the per-window MWr/MRd/Cpl
+// sums (over all closed windows plus the flushed partial) equal the
+// per-direction TrafficCounter totals exactly. Both observers hang off
+// the same PcieLink primitives, so any drift means a window boundary
+// dropped or double-counted a delta.
+TEST(TelemetryConservationTest, WindowSumsMatchTrafficCountersPerMethod) {
+  constexpr TransferMethod kMethods[] = {
+      TransferMethod::kPrp,           TransferMethod::kSgl,
+      TransferMethod::kByteExpress,   TransferMethod::kByteExpressOoo,
+      TransferMethod::kBandSlim,
+  };
+  for (const TransferMethod method : kMethods) {
+    core::TestbedConfig config = test::small_testbed_config();
+    config.telemetry.window_ns = 1'000;  // many windows even at 20 ops
+    Testbed bed(config);
+    bed.reset_counters();  // re-baseline both observers past queue setup
+
+    ByteVec payload(300);
+    fill_pattern(payload, 0x5a);
+    for (int i = 0; i < 20; ++i) {
+      auto completion = bed.raw_write(payload, method, 1);
+      ASSERT_TRUE(completion.is_ok() && completion->ok());
+    }
+    bed.telemetry().flush(bed.clock().now());
+
+    const auto sums = obs::Telemetry::sum_flows(bed.telemetry().samples());
+    ASSERT_GT(bed.telemetry().samples().size(), 1u);
+    for (std::size_t dir = 0; dir < obs::kLinkDirs; ++dir) {
+      obs::FlowCell window_total;
+      for (std::size_t kind = 0; kind < obs::kTlpKinds; ++kind) {
+        window_total += sums[dir][kind];
+      }
+      const TrafficCell counter_total =
+          bed.traffic().total(static_cast<Direction>(dir));
+      const std::string_view name = driver::transfer_method_name(method);
+      EXPECT_EQ(window_total.tlps, counter_total.tlps)
+          << name << " dir " << dir;
+      EXPECT_EQ(window_total.data_bytes, counter_total.data_bytes)
+          << name << " dir " << dir;
+      EXPECT_EQ(window_total.wire_bytes, counter_total.wire_bytes)
+          << name << " dir " << dir;
+    }
+    // MRd carries no data payload by construction; all read data rides
+    // completions.
+    EXPECT_EQ(sums[0][std::size_t(obs::TlpKind::kMRd)].data_bytes, 0u);
+    EXPECT_EQ(sums[1][std::size_t(obs::TlpKind::kMRd)].data_bytes, 0u);
   }
 }
 

@@ -1,0 +1,408 @@
+// bxmon — PCM-style run reporter for the ByteExpress testbed.
+//
+// Two modes:
+//   * run (default): builds a Testbed, drives a closed-loop QD>1 write
+//     workload across every requested transfer method on the configured
+//     I/O queues, then renders the telemetry windows as a utilization/QD
+//     table plus a per-method traffic summary. Optional exports:
+//       perfetto=<file>  Chrome trace_event JSON (open in ui.perfetto.dev)
+//       prom=<file>      Prometheus text exposition snapshot
+//       tsv=<file>       raw window dump (Telemetry::dump_tsv)
+//     Every export is self-checked (structural checker / format lint)
+//     before it is written; a failed check is a fatal error.
+//   * ingest: input=<file.tsv> re-renders a previous run's dump without
+//     simulating anything (the header embeds the link rate).
+//
+// Examples:
+//   bxmon ops=5000 qd=8 queues=4 payload=256 perfetto=run.json prom=run.prom
+//   bxmon methods=prp,byteexpress payload=1024 window=5000
+//   bxmon input=run.tsv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/config.h"
+#include "core/testbed.h"
+#include "driver/request.h"
+#include "obs/perfetto.h"
+#include "obs/prometheus.h"
+#include "obs/telemetry.h"
+
+namespace bx {
+namespace {
+
+struct MethodSummary {
+  std::string name;
+  std::uint64_t ops = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t data_bytes = 0;
+  Nanoseconds time_ns = 0;
+  double mean_latency_ns = 0;
+};
+
+bool parse_method(std::string_view name, driver::TransferMethod& out) {
+  using driver::TransferMethod;
+  static constexpr TransferMethod kAll[] = {
+      TransferMethod::kPrp,           TransferMethod::kSgl,
+      TransferMethod::kByteExpress,   TransferMethod::kByteExpressOoo,
+      TransferMethod::kBandSlim,      TransferMethod::kHybrid,
+  };
+  for (const TransferMethod method : kAll) {
+    if (name == driver::transfer_method_name(method)) {
+      out = method;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> split_csv(std::string_view list) {
+  std::vector<std::string> out;
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    out.emplace_back(list.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bxmon: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), out);
+  std::fclose(out);
+  return true;
+}
+
+void print_window_table(const std::vector<obs::TelemetrySample>& samples,
+                        double bytes_per_ns, std::size_t max_rows) {
+  const std::vector<obs::TelemetrySample> rows =
+      obs::Telemetry::downsample(samples, max_rows);
+  std::printf(
+      "  win      t_start_us   dur_us   down%%    up%%    mwr_wire   "
+      "mrd_wire   cpl_wire    payload  backlog  qd\n");
+  for (const obs::TelemetrySample& s : rows) {
+    obs::FlowCell mwr, mrd, cpl;
+    for (std::size_t dir = 0; dir < obs::kLinkDirs; ++dir) {
+      mwr += s.flow[dir][static_cast<std::size_t>(obs::TlpKind::kMWr)];
+      mrd += s.flow[dir][static_cast<std::size_t>(obs::TlpKind::kMRd)];
+      cpl += s.flow[dir][static_cast<std::size_t>(obs::TlpKind::kCpl)];
+    }
+    std::int64_t inflight = 0;
+    for (const obs::QueueWindow& q : s.queues) inflight += q.inflight;
+    std::printf(
+        "  %-8llu %-12.1f %-8.1f %-8.2f %-6.2f %-10llu %-10llu %-11llu "
+        "%-8llu %-8lld %lld\n",
+        static_cast<unsigned long long>(s.index), double(s.start_ns) / 1e3,
+        double(s.end_ns - s.start_ns) / 1e3,
+        100.0 * s.utilization(obs::LinkDir::kDownstream, bytes_per_ns),
+        100.0 * s.utilization(obs::LinkDir::kUpstream, bytes_per_ns),
+        static_cast<unsigned long long>(mwr.wire_bytes),
+        static_cast<unsigned long long>(mrd.wire_bytes),
+        static_cast<unsigned long long>(cpl.wire_bytes),
+        static_cast<unsigned long long>(s.payload_bytes),
+        static_cast<long long>(s.backlog), static_cast<long long>(inflight));
+  }
+}
+
+void print_totals(const std::vector<obs::TelemetrySample>& samples) {
+  const auto totals = obs::Telemetry::sum_flows(samples);
+  std::printf("  totals by direction/kind (tlps / data / wire bytes):\n");
+  for (std::size_t dir = 0; dir < obs::kLinkDirs; ++dir) {
+    for (std::size_t kind = 0; kind < obs::kTlpKinds; ++kind) {
+      const obs::FlowCell& cell = totals[dir][kind];
+      if (cell.tlps == 0 && cell.wire_bytes == 0) continue;
+      std::printf(
+          "    %-10s %-4s %12llu %14llu %14llu\n",
+          std::string(obs::link_dir_name(static_cast<obs::LinkDir>(dir)))
+              .c_str(),
+          std::string(obs::tlp_kind_name(static_cast<obs::TlpKind>(kind)))
+              .c_str(),
+          static_cast<unsigned long long>(cell.tlps),
+          static_cast<unsigned long long>(cell.data_bytes),
+          static_cast<unsigned long long>(cell.wire_bytes));
+    }
+  }
+}
+
+/// Parses a Telemetry::dump_tsv document (the `tsv=` output / `input=`
+/// ingest format). Returns false on any malformed line.
+bool parse_tsv(const std::string& text,
+               std::vector<obs::TelemetrySample>& samples,
+               double& bytes_per_ns) {
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      const std::size_t key = line.find("bytes_per_ns=");
+      if (key != std::string::npos) {
+        bytes_per_ns = std::strtod(line.c_str() + key + 13, nullptr);
+        saw_header = true;
+      }
+      continue;
+    }
+    // 23 tab-separated fields: index, start, end, 6x(tlps,data,wire),
+    // payload, backlog.
+    std::vector<long long> fields;
+    const char* cursor = line.c_str();
+    for (;;) {
+      char* end = nullptr;
+      fields.push_back(std::strtoll(cursor, &end, 10));
+      if (end == cursor) return false;
+      cursor = end;
+      if (*cursor == '\t') {
+        ++cursor;
+      } else {
+        break;
+      }
+    }
+    if (fields.size() != 23 || *cursor != '\0') return false;
+    obs::TelemetrySample s;
+    s.index = static_cast<std::uint64_t>(fields[0]);
+    s.start_ns = fields[1];
+    s.end_ns = fields[2];
+    std::size_t i = 3;
+    for (std::size_t dir = 0; dir < obs::kLinkDirs; ++dir) {
+      for (std::size_t kind = 0; kind < obs::kTlpKinds; ++kind) {
+        s.flow[dir][kind].tlps = static_cast<std::uint64_t>(fields[i++]);
+        s.flow[dir][kind].data_bytes =
+            static_cast<std::uint64_t>(fields[i++]);
+        s.flow[dir][kind].wire_bytes =
+            static_cast<std::uint64_t>(fields[i++]);
+      }
+    }
+    s.payload_bytes = static_cast<std::uint64_t>(fields[i++]);
+    s.backlog = fields[i++];
+    samples.push_back(std::move(s));
+  }
+  return saw_header || !samples.empty();
+}
+
+int ingest(const std::string& path, std::size_t max_rows) {
+  std::FILE* in = std::fopen(path.c_str(), "r");
+  if (in == nullptr) {
+    std::fprintf(stderr, "bxmon: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(in);
+
+  std::vector<obs::TelemetrySample> samples;
+  double bytes_per_ns = 1.0;
+  if (!parse_tsv(text, samples, bytes_per_ns)) {
+    std::fprintf(stderr, "bxmon: %s is not a bx-telemetry dump\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("bxmon ingest: %s (%zu windows, link %.3f B/ns)\n",
+              path.c_str(), samples.size(), bytes_per_ns);
+  print_window_table(samples, bytes_per_ns, max_rows);
+  print_totals(samples);
+  return 0;
+}
+
+int run(const Config& config) {
+  const std::string method_list =
+      config.get_string("methods", "prp,sgl,byteexpress,byteexpress_ooo,"
+                                   "bandslim");
+  std::vector<driver::TransferMethod> methods;
+  for (const std::string& name : split_csv(method_list)) {
+    driver::TransferMethod method;
+    if (!parse_method(name, method)) {
+      std::fprintf(stderr, "bxmon: unknown method '%s'\n", name.c_str());
+      return 2;
+    }
+    methods.push_back(method);
+  }
+
+  const auto ops = static_cast<std::uint64_t>(config.get_int("ops", 2000));
+  const auto payload_size =
+      static_cast<std::uint32_t>(config.get_int("payload", 256));
+  const auto qd = static_cast<std::uint32_t>(config.get_int("qd", 4));
+  const auto queue_count =
+      static_cast<std::uint16_t>(config.get_int("queues", 2));
+  const std::size_t max_rows =
+      static_cast<std::size_t>(config.get_int("rows", 40));
+
+  core::TestbedConfig testbed_config;
+  testbed_config.link.generation =
+      static_cast<int>(config.get_int("pcie.gen", 2));
+  testbed_config.link.lanes =
+      static_cast<int>(config.get_int("pcie.lanes", 8));
+  testbed_config.driver.io_queue_count = queue_count;
+  testbed_config.driver.io_queue_depth =
+      static_cast<std::uint32_t>(config.get_int("depth", 256));
+  testbed_config.telemetry.window_ns = config.get_int("window", 10'000);
+  core::Testbed testbed(testbed_config);
+
+  std::printf("bxmon: %zu method(s), %llu ops each, payload %u B, "
+              "QD %u x %u queue(s), window %lld ns\n",
+              methods.size(), static_cast<unsigned long long>(ops),
+              payload_size, qd, queue_count,
+              static_cast<long long>(testbed_config.telemetry.window_ns));
+
+  ByteVec payload(payload_size);
+  fill_pattern(payload, payload_size);
+
+  // One run over all methods with no counter resets in between, so the
+  // trace + telemetry cover the whole session and the Perfetto export
+  // shows the methods back to back. Per-method traffic comes from
+  // before/after counter snapshots.
+  std::vector<MethodSummary> summaries;
+  for (const driver::TransferMethod method : methods) {
+    MethodSummary summary;
+    summary.name = driver::transfer_method_name(method);
+    const auto before = testbed.traffic().total();
+    const Nanoseconds start = testbed.clock().now();
+    double latency_sum = 0;
+
+    // Closed loop at qd outstanding per queue, round-robin over queues.
+    std::vector<driver::Submitted> inflight;
+    const std::size_t target_depth = std::size_t{qd} * queue_count;
+    driver::IoRequest request;
+    request.opcode = nvme::IoOpcode::kVendorRawWrite;
+    request.method = method;
+    request.write_data = payload;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const auto qid = static_cast<std::uint16_t>(1 + i % queue_count);
+      auto handle = testbed.driver().submit(request, qid);
+      if (!handle.is_ok()) {
+        std::fprintf(stderr, "bxmon: submit failed (%s): %s\n",
+                     summary.name.c_str(),
+                     handle.status().to_string().c_str());
+        return 1;
+      }
+      inflight.push_back(*handle);
+      if (inflight.size() >= target_depth) {
+        auto completion = testbed.driver().wait(inflight.front());
+        if (!completion.is_ok() || !completion->ok()) {
+          std::fprintf(stderr, "bxmon: wait failed (%s)\n",
+                       summary.name.c_str());
+          return 1;
+        }
+        latency_sum += double(completion->latency_ns);
+        inflight.erase(inflight.begin());
+      }
+    }
+    for (const driver::Submitted& handle : inflight) {
+      auto completion = testbed.driver().wait(handle);
+      if (!completion.is_ok() || !completion->ok()) {
+        std::fprintf(stderr, "bxmon: drain failed (%s)\n",
+                     summary.name.c_str());
+        return 1;
+      }
+      latency_sum += double(completion->latency_ns);
+    }
+
+    const auto after = testbed.traffic().total();
+    summary.ops = ops;
+    summary.payload_bytes = std::uint64_t{payload_size} * ops;
+    summary.wire_bytes = after.wire_bytes - before.wire_bytes;
+    summary.data_bytes = after.data_bytes - before.data_bytes;
+    summary.time_ns = testbed.clock().now() - start;
+    summary.mean_latency_ns = ops == 0 ? 0 : latency_sum / double(ops);
+    summaries.push_back(std::move(summary));
+  }
+
+  testbed.telemetry().flush(testbed.clock().now());
+  const std::vector<obs::TelemetrySample> samples =
+      testbed.telemetry().samples();
+  const double rate = testbed.telemetry().link_rate();
+
+  std::printf("\nwindows: %zu closed (%llu dropped)\n", samples.size(),
+              static_cast<unsigned long long>(
+                  testbed.telemetry().windows_dropped()));
+  print_window_table(samples, rate, max_rows);
+  print_totals(samples);
+
+  std::printf("\n  method            ops      wireB/op   amp     mean_ns   "
+              "Kops\n");
+  for (const MethodSummary& s : summaries) {
+    std::printf("  %-16s %-8llu %-10.1f %-7.2f %-9.0f %.1f\n",
+                s.name.c_str(), static_cast<unsigned long long>(s.ops),
+                s.ops == 0 ? 0.0 : double(s.wire_bytes) / double(s.ops),
+                s.payload_bytes == 0
+                    ? 0.0
+                    : double(s.wire_bytes) / double(s.payload_bytes),
+                s.mean_latency_ns,
+                s.time_ns == 0 ? 0.0
+                               : double(s.ops) * 1e6 / double(s.time_ns));
+  }
+
+  // Exports, each self-checked before writing.
+  const std::string perfetto_path = config.get_string("perfetto", "");
+  if (!perfetto_path.empty()) {
+    const std::string json =
+        obs::to_perfetto_json(testbed.trace().snapshot(), samples, rate);
+    const obs::PerfettoCheck check = obs::check_perfetto_json(json);
+    if (!check.ok()) {
+      std::fprintf(stderr, "bxmon: perfetto self-check failed: %s\n",
+                   check.error.c_str());
+      return 1;
+    }
+    if (!write_file(perfetto_path, json)) return 1;
+    std::printf("\nperfetto: %s (%zu slices, %zu counter events) — open in "
+                "ui.perfetto.dev\n",
+                perfetto_path.c_str(), check.slice_events,
+                check.counter_events);
+  }
+  const std::string prom_path = config.get_string("prom", "");
+  if (!prom_path.empty()) {
+    const std::string text = obs::to_prometheus_text(
+        testbed.metrics().snapshot(), &testbed.telemetry());
+    const obs::PrometheusLint lint = obs::lint_prometheus(text);
+    if (!lint.ok()) {
+      std::fprintf(stderr, "bxmon: prometheus lint failed: %s\n",
+                   lint.error.c_str());
+      return 1;
+    }
+    if (!write_file(prom_path, text)) return 1;
+    std::printf("prometheus: %s (%zu samples in %zu families)\n",
+                prom_path.c_str(), lint.samples, lint.families);
+  }
+  const std::string tsv_path = config.get_string("tsv", "");
+  if (!tsv_path.empty()) {
+    if (!write_file(tsv_path, obs::Telemetry::dump_tsv(samples, rate))) {
+      return 1;
+    }
+    std::printf("tsv: %s (%zu windows)\n", tsv_path.c_str(), samples.size());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bx
+
+int main(int argc, char** argv) {
+  bx::Config config;
+  const bx::Status parsed = config.parse_args(argc, argv);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "bxmon: bad arguments: %s\n",
+                 parsed.to_string().c_str());
+    return 2;
+  }
+  const std::string input = config.get_string("input", "");
+  if (!input.empty()) {
+    return bx::ingest(
+        input, static_cast<std::size_t>(config.get_int("rows", 40)));
+  }
+  return bx::run(config);
+}
