@@ -81,6 +81,10 @@ nvme::SqSlot Controller::fetch_slot(std::uint16_t qid, bool chunk) {
 }
 
 bool Controller::poll_once() {
+  // Recovery housekeeping runs only under fault injection: without an
+  // injector no chunk is ever lost and no completion diverted, so the
+  // healthy fast path (and its golden traces) stays byte-identical.
+  const bool recovered = injector_ != nullptr && service_fault_recovery();
   const std::uint16_t n = config_.max_queues;
   for (std::uint16_t i = 0; i < n; ++i) {
     const auto qid = static_cast<std::uint16_t>((rr_cursor_ + i) % n);
@@ -94,7 +98,50 @@ bool Controller::poll_once() {
       return true;
     }
   }
-  return false;
+  return recovered;
+}
+
+bool Controller::service_fault_recovery() {
+  bool progress = false;
+  const Nanoseconds now = link_.clock().now();
+
+  for (std::size_t i = 0; i < delayed_.size();) {
+    if (delayed_[i].release_ns <= now) {
+      const DelayedCompletion d = delayed_[i];
+      delayed_.erase(delayed_.begin() + static_cast<std::ptrdiff_t>(i));
+      post_completion_now(d.qid, d.sqe, d.status, d.dw0);
+      progress = true;
+    } else {
+      ++i;
+    }
+  }
+
+  for (std::size_t i = 0; i < deferred_.size();) {
+    if (deferred_[i].deadline_ns != 0 && now > deferred_[i].deadline_ns) {
+      const DeferredInline item = deferred_[i];
+      deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(i));
+      const std::uint32_t payload_id = inw::sqe_ooo_payload_id(item.sqe);
+      reassembly_.drop(payload_id);
+      corrupt_payloads_.erase(payload_id);
+      deferred_evictions_.increment();
+      commands_processed_.increment();
+      // Retryable: the host re-sends the command and all of its chunks.
+      post_completion(
+          item.qid, item.sqe,
+          nvme::StatusField::generic(nvme::GenericStatus::kDataTransferError),
+          0);
+      progress = true;
+    } else {
+      ++i;
+    }
+  }
+
+  for (const std::uint32_t payload_id : reassembly_.evict_expired(now)) {
+    corrupt_payloads_.erase(payload_id);
+    reassembly_evictions_.increment();
+    progress = true;
+  }
+  return progress;
 }
 
 void Controller::run_until_idle() {
@@ -179,7 +226,11 @@ void Controller::process_one(std::uint16_t qid) {
       // created, so no fragment-processing cost applies — this is what
       // keeps BandSlim competitive for tiny payloads (§3.2/§4.3).
       commands_processed_.increment();
-      execute_and_complete(qid, sqe, stream.buffer);
+      const fault::FaultKind fault =
+          injector_ != nullptr
+              ? injector_->next_command_fault(/*inline_command=*/true)
+              : fault::FaultKind::kNone;
+      complete_with_fault(qid, sqe, stream.buffer, fault);
     } else {
       const Nanoseconds setup_start = link_.clock().now();
       link_.clock().advance(config_.timing.bandslim_fragment_fw_ns);
@@ -259,6 +310,10 @@ void Controller::handle_io(std::uint16_t qid,
       }
       const std::uint32_t payload_id = inw::sqe_ooo_payload_id(sqe);
       fetch_stage_hist_.record(last_fetch_cost_ns_);
+      fault::FaultKind fault =
+          injector_ != nullptr
+              ? injector_->next_command_fault(/*inline_command=*/true)
+              : fault::FaultKind::kNone;
       if (reassembly_.complete(payload_id)) {
         auto payload = reassembly_.take(payload_id, inline_len);
         commands_processed_.increment();
@@ -270,9 +325,22 @@ void Controller::handle_io(std::uint16_t qid,
                           0);
           return;
         }
-        execute_and_complete(qid, sqe, *payload);
+        // A kChunkCorrupt drawn after every chunk already passed its CRC
+        // degenerates to the Data Transfer Error it would have caused.
+        complete_with_fault(qid, sqe, *payload, fault);
       } else {
-        deferred_.push_back(DeferredInline{sqe, qid});
+        if (fault == fault::FaultKind::kChunkCorrupt) {
+          // Apply the corruption physically: the next chunk of this
+          // payload gets a byte flipped, fails its CRC, and the deferred
+          // command later times out into a retryable error.
+          corrupt_payloads_.insert(payload_id);
+          fault = fault::FaultKind::kNone;
+        }
+        const Nanoseconds deadline =
+            injector_ != nullptr && config_.deferred_ttl_ns > 0
+                ? link_.clock().now() + config_.deferred_ttl_ns
+                : 0;
+        deferred_.push_back(DeferredInline{sqe, qid, deadline, fault});
       }
       return;
     }
@@ -343,7 +411,13 @@ void Controller::handle_io(std::uint16_t qid,
     last_fetch_cost_ns_ = link_.clock().now() - fetch_start;
     fetch_stage_hist_.record(last_fetch_cost_ns_);
     commands_processed_.increment();
-    execute_and_complete(qid, sqe, payload);
+    // Drawn only after the chunk slots were consumed from the ring — a
+    // faulted command must not desynchronize the queue-local protocol.
+    const fault::FaultKind fault =
+        injector_ != nullptr
+            ? injector_->next_command_fault(/*inline_command=*/true)
+            : fault::FaultKind::kNone;
+    complete_with_fault(qid, sqe, payload, fault);
     return;
   }
 
@@ -363,7 +437,13 @@ void Controller::handle_io(std::uint16_t qid,
     }
     payload = std::move(gathered).value();
   }
-  execute_and_complete(qid, sqe, payload);
+  // Drawn only for commands that reached their completion point, so every
+  // counted fault costs the host exactly one failed attempt.
+  const fault::FaultKind fault =
+      injector_ != nullptr
+          ? injector_->next_command_fault(/*inline_command=*/false)
+          : fault::FaultKind::kNone;
+  complete_with_fault(qid, sqe, payload, fault);
 }
 
 void Controller::handle_ooo_chunk(const nvme::SqSlot& slot, std::uint16_t qid,
@@ -371,8 +451,18 @@ void Controller::handle_ooo_chunk(const nvme::SqSlot& slot, std::uint16_t qid,
                                   Nanoseconds fetch_start) {
   const auto header = inw::decode_ooo_header(slot);
   link_.clock().advance(config_.timing.reassembly_track_ns);
+  ConstByteSpan data = inw::ooo_chunk_data(slot, header);
+  ByteVec corrupted;
+  if (injector_ != nullptr &&
+      corrupt_payloads_.erase(header.payload_id) > 0) {
+    // Injected kChunkCorrupt: flip one byte so the CRC32-C check rejects
+    // the chunk; the payload stays incomplete until its TTL fires.
+    corrupted.assign(data.begin(), data.end());
+    if (!corrupted.empty()) corrupted[0] ^= 0xff;
+    data = corrupted;
+  }
   const Status status =
-      reassembly_.accept(header, inw::ooo_chunk_data(slot, header));
+      reassembly_.accept(header, data, link_.clock().now());
   if (!status.is_ok() && status.code() != StatusCode::kAlreadyExists) {
     BX_LOG_WARN << "OOO chunk rejected: " << status.to_string();
   }
@@ -436,7 +526,11 @@ void Controller::handle_fragment(std::uint16_t qid,
                       0);
     } else {
       commands_processed_.increment();
-      execute_and_complete(stream.qid, stream.header, stream.buffer);
+      const fault::FaultKind fault =
+          injector_ != nullptr
+              ? injector_->next_command_fault(/*inline_command=*/true)
+              : fault::FaultKind::kNone;
+      complete_with_fault(stream.qid, stream.header, stream.buffer, fault);
     }
     streams_.erase(it);
   }
@@ -616,10 +710,72 @@ void Controller::execute_and_complete(std::uint16_t qid,
   post_completion(qid, sqe, result.status, dw0);
 }
 
+void Controller::complete_with_fault(std::uint16_t qid,
+                                     const SubmissionQueueEntry& sqe,
+                                     ConstByteSpan payload,
+                                     fault::FaultKind fault) {
+  switch (fault) {
+    case fault::FaultKind::kNone:
+      execute_and_complete(qid, sqe, payload);
+      return;
+    case fault::FaultKind::kChunkCorrupt:
+      // The device detected a CRC mismatch while assembling the payload:
+      // the command fails without executing, retryably.
+      post_completion(
+          qid, sqe,
+          nvme::StatusField::generic(nvme::GenericStatus::kDataTransferError),
+          0);
+      return;
+    case fault::FaultKind::kErrorCompletion:
+      post_completion(
+          qid, sqe,
+          nvme::StatusField::generic(nvme::GenericStatus::kInternalError), 0);
+      return;
+    case fault::FaultKind::kErrorRetryable:
+      post_completion(
+          qid, sqe,
+          nvme::StatusField::generic(nvme::GenericStatus::kNamespaceNotReady),
+          0);
+      return;
+    case fault::FaultKind::kCompletionDrop:
+    case fault::FaultKind::kCompletionDelay:
+      // The command executes normally; only its completion is diverted
+      // (consumed by the post_completion wrapper). A later host retry
+      // after the timeout re-executes the command — standard NVMe abort
+      // -and-resubmit semantics.
+      completion_fault_ = fault;
+      execute_and_complete(qid, sqe, payload);
+      completion_fault_ = fault::FaultKind::kNone;
+      return;
+  }
+}
+
 void Controller::post_completion(std::uint16_t qid,
                                  const SubmissionQueueEntry& sqe,
                                  nvme::StatusField status,
                                  std::uint32_t dw0) {
+  if (completion_fault_ == fault::FaultKind::kCompletionDrop) {
+    completion_fault_ = fault::FaultKind::kNone;
+    lost_.push_back(LostCompletion{qid, sqe.cid});
+    completions_dropped_.increment();
+    return;
+  }
+  if (completion_fault_ == fault::FaultKind::kCompletionDelay) {
+    completion_fault_ = fault::FaultKind::kNone;
+    const Nanoseconds delay =
+        injector_ != nullptr ? injector_->policy().delay_ns : 0;
+    delayed_.push_back(DelayedCompletion{qid, sqe, status, dw0,
+                                         link_.clock().now() + delay});
+    completions_delayed_.increment();
+    return;
+  }
+  post_completion_now(qid, sqe, status, dw0);
+}
+
+void Controller::post_completion_now(std::uint16_t qid,
+                                     const SubmissionQueueEntry& sqe,
+                                     nvme::StatusField status,
+                                     std::uint32_t dw0) {
   const SqState& sq = sqs_[qid];
   BX_ASSERT(sq.valid);
   CqState& cq = cqs_[sq.cqid];
@@ -687,6 +843,12 @@ void Controller::bind_metrics(obs::MetricsRegistry& metrics) const {
   metrics.expose_counter("ctrl.sgl_transactions", &sgl_transactions_);
   metrics.expose_counter("ctrl.completions_posted", &completions_posted_);
   metrics.expose_counter("ctrl.ooo_reassembled", &ooo_reassembled_);
+  metrics.expose_counter("ctrl.completions_dropped", &completions_dropped_);
+  metrics.expose_counter("ctrl.completions_delayed", &completions_delayed_);
+  metrics.expose_counter("ctrl.deferred_evictions", &deferred_evictions_);
+  metrics.expose_counter("ctrl.reassembly_evictions",
+                         &reassembly_evictions_);
+  metrics.expose_counter("ctrl.commands_aborted", &commands_aborted_);
   metrics.expose_gauge("ctrl.inline_backlog", &inline_backlog_);
 }
 
@@ -719,6 +881,38 @@ void Controller::record_stage(const obs::TraceEvent& event) {
   if (tracer_ != nullptr && tracer_->enabled()) tracer_->record(event);
 }
 
+bool Controller::abort_command(std::uint16_t sqid, std::uint16_t cid) {
+  for (std::size_t i = 0; i < lost_.size(); ++i) {
+    if (lost_[i].qid == sqid && lost_[i].cid == cid) {
+      lost_.erase(lost_.begin() + static_cast<std::ptrdiff_t>(i));
+      commands_aborted_.increment();
+      return true;
+    }
+  }
+  for (std::size_t i = 0; i < delayed_.size(); ++i) {
+    if (delayed_[i].qid == sqid && delayed_[i].sqe.cid == cid) {
+      // Scrubbed before release: the host is about to recycle this CID,
+      // and a late CQE for the old incarnation must never surface.
+      delayed_.erase(delayed_.begin() + static_cast<std::ptrdiff_t>(i));
+      commands_aborted_.increment();
+      return true;
+    }
+  }
+  for (std::size_t i = 0; i < deferred_.size(); ++i) {
+    if (deferred_[i].qid == sqid && deferred_[i].sqe.cid == cid) {
+      const std::uint32_t payload_id =
+          inw::sqe_ooo_payload_id(deferred_[i].sqe);
+      reassembly_.drop(payload_id);
+      corrupt_payloads_.erase(payload_id);
+      deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(i));
+      commands_processed_.increment();
+      commands_aborted_.increment();
+      return true;
+    }
+  }
+  return false;
+}
+
 void Controller::drain_deferred() {
   for (std::size_t i = 0; i < deferred_.size();) {
     const std::uint32_t payload_id =
@@ -736,7 +930,7 @@ void Controller::drain_deferred() {
                             nvme::VendorStatus::kInlineLengthMismatch),
                         0);
       } else {
-        execute_and_complete(item.qid, item.sqe, *payload);
+        complete_with_fault(item.qid, item.sqe, *payload, item.fault);
       }
     } else {
       ++i;
@@ -899,6 +1093,19 @@ void Controller::handle_admin(const SubmissionQueueEntry& sqe) {
       const std::uint8_t fid = sqe.cdw10 & 0xff;
       const auto it = features_.find(fid);
       dw0 = it == features_.end() ? 0 : it->second;
+      break;
+    }
+    case nvme::AdminOpcode::kAbort: {
+      const auto sqid = static_cast<std::uint16_t>(sqe.cdw10 & 0xffff);
+      const auto cid = static_cast<std::uint16_t>(sqe.cdw10 >> 16);
+      if (sqid == 0 || sqid >= config_.max_queues || !sqs_[sqid].valid) {
+        status = nvme::StatusField::generic(nvme::GenericStatus::kInvalidField);
+        break;
+      }
+      // DW0 bit 0 clear = the command was found and aborted. The aborted
+      // I/O command gets no CQE from us — the host driver synthesizes an
+      // Abort Requested completion after this admin command succeeds.
+      dw0 = abort_command(sqid, cid) ? 0 : 1;
       break;
     }
     default:

@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/histogram.h"
+#include "fault/fault.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "controller/executor.h"
@@ -61,6 +63,12 @@ class Controller {
     /// each CQ (1 = every CQE, the OpenSSD behaviour). The host driver
     /// also polls CQ memory, so correctness never depends on interrupts.
     std::uint32_t interrupt_coalescing = 1;
+    /// Sim-time a deferred OOO command may wait for missing chunks before
+    /// the firmware gives up and posts a retryable Data Transfer Error.
+    /// Must stay below the driver's command timeout so the device fails
+    /// the command before the host aborts it. Active only under fault
+    /// injection — without an injector chunks are never lost. 0 disables.
+    Nanoseconds deferred_ttl_ns = 1'000'000;  // 1 ms
   };
 
   Controller(DmaMemory& memory, pcie::PcieLink& link, pcie::BarSpace& bar,
@@ -129,6 +137,14 @@ class Controller {
   /// Publishes the controller's counters into `metrics` as `ctrl.*`.
   void bind_metrics(obs::MetricsRegistry& metrics) const;
 
+  /// Attaches the command-fault injector (pass nullptr to detach). With an
+  /// injector attached the firmware also runs its recovery housekeeping
+  /// (deferred-OOO TTL, reassembly TTL, delayed-completion release) at the
+  /// top of every poll_once().
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
  private:
   struct SqState {
     bool valid = false;
@@ -157,6 +173,27 @@ class Controller {
   struct DeferredInline {
     nvme::SubmissionQueueEntry sqe{};
     std::uint16_t qid = 0;
+    /// Sim-time after which the firmware stops waiting for chunks and
+    /// posts a retryable error (0 = no deadline; set when an injector is
+    /// attached).
+    Nanoseconds deadline_ns = 0;
+    /// Fault drawn for this command at fetch, applied when it completes.
+    fault::FaultKind fault = fault::FaultKind::kNone;
+  };
+  /// A completion the injector delayed; posted once sim-time passes
+  /// release_ns (unless the host Aborts the command first).
+  struct DelayedCompletion {
+    std::uint16_t qid = 0;
+    nvme::SubmissionQueueEntry sqe{};
+    nvme::StatusField status{};
+    std::uint32_t dw0 = 0;
+    Nanoseconds release_ns = 0;
+  };
+  /// A completion the injector dropped; remembered so a host Abort can
+  /// confirm the command existed.
+  struct LostCompletion {
+    std::uint16_t qid = 0;
+    std::uint16_t cid = 0;
   };
 
   [[nodiscard]] std::uint32_t available(std::uint16_t qid) const noexcept;
@@ -197,9 +234,34 @@ class Controller {
   [[nodiscard]] std::uint64_t prp_transfer_bytes(
       std::uint64_t length, std::size_t page_count) const noexcept;
 
+  /// Diversion wrapper: consumes a pending completion fault (drop/delay)
+  /// before delegating to post_completion_now.
   void post_completion(std::uint16_t qid,
                        const nvme::SubmissionQueueEntry& sqe,
                        nvme::StatusField status, std::uint32_t dw0);
+  /// Builds and posts the CQE unconditionally (the original post path).
+  void post_completion_now(std::uint16_t qid,
+                           const nvme::SubmissionQueueEntry& sqe,
+                           nvme::StatusField status, std::uint32_t dw0);
+
+  /// Applies the fault drawn for a command at its completion point:
+  /// kNone executes normally; corrupt/error kinds post the corresponding
+  /// NVMe error status instead of executing; drop/delay kinds execute but
+  /// divert the completion.
+  void complete_with_fault(std::uint16_t qid,
+                           const nvme::SubmissionQueueEntry& sqe,
+                           ConstByteSpan payload, fault::FaultKind fault);
+
+  /// Recovery housekeeping (runs when an injector is attached): releases
+  /// due delayed completions, expires deferred OOO commands past their
+  /// TTL, and reclaims stale reassembly slots. Returns true if any work
+  /// was done.
+  bool service_fault_recovery();
+
+  /// Removes all firmware-side state of (sqid, cid) — lost or delayed
+  /// completions and deferred OOO commands. Returns true when the command
+  /// was found (Abort completion DW0 bit 0 clear).
+  bool abort_command(std::uint16_t sqid, std::uint16_t cid);
 
   /// Accumulates a device-side stage interval into the 0xC1 stage log
   /// (I/O queues only) and forwards it to the tracer when enabled.
@@ -238,6 +300,11 @@ class Controller {
   obs::Counter sgl_transactions_;
   obs::Counter completions_posted_;
   obs::Counter ooo_reassembled_;
+  obs::Counter completions_dropped_;
+  obs::Counter completions_delayed_;
+  obs::Counter deferred_evictions_;
+  obs::Counter reassembly_evictions_;
+  obs::Counter commands_aborted_;
 
   nvme::StageStatsLog stage_log_;
   // Inline transfer work the firmware is still holding: open BandSlim
@@ -246,6 +313,16 @@ class Controller {
   obs::Gauge inline_backlog_;
   obs::TraceRecorder* tracer_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+
+  fault::FaultInjector* injector_ = nullptr;
+  std::vector<DelayedCompletion> delayed_;
+  std::vector<LostCompletion> lost_;
+  /// Payload ids whose next arriving OOO chunk gets one byte flipped
+  /// (kChunkCorrupt drawn while the payload was still incomplete).
+  std::unordered_set<std::uint32_t> corrupt_payloads_;
+  /// Completion fault pending for the command currently completing; the
+  /// post_completion wrapper consumes it.
+  fault::FaultKind completion_fault_ = fault::FaultKind::kNone;
 };
 
 }  // namespace bx::controller

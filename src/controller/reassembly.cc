@@ -48,7 +48,7 @@ ReassemblyEngine::Slot* ReassemblyEngine::acquire(
 }
 
 Status ReassemblyEngine::accept(const inw::OooChunkHeader& header,
-                                ConstByteSpan data) {
+                                ConstByteSpan data, Nanoseconds now) {
   if (header.magic != inw::kOooChunkMagic) {
     return invalid_argument("bad chunk magic");
   }
@@ -84,6 +84,7 @@ Status ReassemblyEngine::accept(const inw::OooChunkHeader& header,
   }
   slot->bitmap[word] |= bit;
   ++slot->received;
+  slot->last_update_ns = now;
   // Direct placement at the chunk's DRAM offset (§3.3.2) — no buffering of
   // out-of-order arrivals is needed.
   std::memcpy(slot->staging.data() +
@@ -113,6 +114,21 @@ StatusOr<ByteVec> ReassemblyEngine::take(std::uint32_t payload_id,
   slot->staging.clear();
   slot->bitmap.clear();
   return out;
+}
+
+std::vector<std::uint32_t> ReassemblyEngine::evict_expired(Nanoseconds now) {
+  std::vector<std::uint32_t> evicted;
+  if (config_.ttl_ns == 0) return evicted;
+  for (auto& slot : slots_) {
+    if (slot.in_use && now > slot.last_update_ns &&
+        now - slot.last_update_ns > config_.ttl_ns) {
+      evicted.push_back(slot.payload_id);
+      slot.in_use = false;
+      slot.staging.clear();
+      slot.bitmap.clear();
+    }
+  }
+  return evicted;
 }
 
 void ReassemblyEngine::drop(std::uint32_t payload_id) noexcept {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/sim_clock.h"
 #include "common/status.h"
 #include "nvme/inline_wire.h"
 
@@ -27,6 +28,11 @@ class ReassemblyEngine {
     std::uint32_t slots = 64;
     /// Maximum chunks per payload the bitmap covers.
     std::uint32_t max_chunks = 1024;
+    /// Sim-time a slot may sit without a new chunk before evict_expired()
+    /// reclaims it. Must stay below the driver's command timeout so the
+    /// device gives up (and frees the slot) before the host aborts. A
+    /// value of 0 disables TTL eviction.
+    Nanoseconds ttl_ns = 1'000'000;  // 1 ms
   };
 
   explicit ReassemblyEngine(Config config);
@@ -34,9 +40,17 @@ class ReassemblyEngine {
   /// Accepts one chunk. Returns kResourceExhausted when all slots are busy
   /// with other payloads, kDataLoss on CRC mismatch, kInvalidArgument on a
   /// malformed header, kAlreadyExists for a duplicate chunk (idempotently
-  /// ignored — duplicates can occur after retries).
+  /// ignored — duplicates can occur after retries). `now` stamps the slot
+  /// for TTL eviction; callers without a clock may pass 0.
   Status accept(const nvme::inline_chunk::OooChunkHeader& header,
-                ConstByteSpan data);
+                ConstByteSpan data, Nanoseconds now = 0);
+
+  /// Reclaims every slot whose last chunk arrived more than ttl_ns before
+  /// `now` — the fix for the slot leak where one lost chunk pinned a slot
+  /// forever. Complete-but-untaken payloads expire too (their command was
+  /// itself lost or aborted). Returns the evicted payload ids so the
+  /// caller can fail any commands still waiting on them.
+  std::vector<std::uint32_t> evict_expired(Nanoseconds now);
 
   /// True once every chunk of `payload_id` has arrived.
   [[nodiscard]] bool complete(std::uint32_t payload_id) const noexcept;
@@ -60,6 +74,7 @@ class ReassemblyEngine {
     std::uint32_t payload_id = 0;
     std::uint16_t total_chunks = 0;
     std::uint16_t received = 0;
+    Nanoseconds last_update_ns = 0;     // sim-time of the newest chunk
     std::vector<std::uint64_t> bitmap;  // 1 bit per chunk
     ByteVec staging;                    // device DRAM, not SRAM
   };

@@ -38,6 +38,7 @@
 
 #include "common/status.h"
 #include "driver/request.h"
+#include "fault/fault.h"
 #include "nvme/spec.h"
 #include "obs/trace.h"
 
@@ -92,5 +93,61 @@ struct StressResult {
 /// Builds a testbed per `options` and runs the full schedule. Never
 /// throws; invariant violations come back in the result.
 StressResult run_stress(const StressOptions& options);
+
+// --- Fault-sweep stress mode -------------------------------------------
+//
+// run_fault_sweep() drives seeded execute() calls through a testbed with a
+// fault injector attached (see docs/FAULTS.md) and recovery timing tuned
+// tight enough that every fault resolves within the run. Afterwards it
+// checks the sweep's hard invariants:
+//
+//   1. Accounting — every injected fault is accounted for exactly once:
+//      faults.injected == faults.recovered + faults.degraded +
+//      faults.failed (read back from the metrics registry, the same
+//      counters bxmon and the Prometheus exporter publish).
+//   2. No hangs, no leaks — every execute() returns (timeouts are bounded
+//      by the driver deadline) and no pending entries survive the sweep.
+//   3. Structural traffic conservation — identities that hold even under
+//      retries and drops because both sides are measured: 64 B on the wire
+//      per fetched slot, 16 B per posted CQE, 4 B per doorbell write.
+
+struct FaultSweepOptions {
+  std::uint64_t seed = 0xfa017;
+  driver::TransferMethod method = driver::TransferMethod::kByteExpress;
+  std::uint32_t ops = 64;
+  std::uint32_t max_payload_bytes = 1024;
+  /// Injection policy; the sweep builds the testbed with this policy and
+  /// its own (short) recovery clocks. Leave delay_ns at the default so
+  /// delayed completions always out-wait the driver timeout.
+  fault::FaultPolicy faults{};
+};
+
+struct FaultSweepResult {
+  /// First invariant violation (internal error), or OK.
+  Status status = Status::ok();
+  std::string failure;
+
+  std::uint64_t ops_attempted = 0;
+  /// execute() resolved to device success (possibly after retries).
+  std::uint64_t ops_ok = 0;
+  /// execute() surfaced a final device error Status to the caller.
+  std::uint64_t ops_error = 0;
+
+  /// Fault accounting, read back from the metrics registry.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t faults_recovered = 0;
+  std::uint64_t faults_degraded = 0;
+  std::uint64_t faults_failed = 0;
+  std::uint64_t tlp_replays = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t degradations = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return status.is_ok(); }
+};
+
+/// Builds a faulted testbed per `options` and runs the sweep. Never
+/// throws; invariant violations come back in the result.
+FaultSweepResult run_fault_sweep(const FaultSweepOptions& options);
 
 }  // namespace bx::core

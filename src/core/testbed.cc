@@ -21,6 +21,17 @@ Testbed::Testbed(TestbedConfig config)
   driver_->set_tracer(&trace_);
   driver_->bind_metrics(metrics_);
 
+  // Fault injection: constructed only when the policy draws anything, so
+  // healthy testbeds never take the recovery-housekeeping paths.
+  if (config.faults.any()) {
+    injector_ =
+        std::make_unique<fault::FaultInjector>(config.fault_seed,
+                                               config.faults);
+    injector_->bind_metrics(metrics_);
+    link_.set_fault_injector(injector_.get());
+    controller_->set_fault_injector(injector_.get());
+  }
+
   // Windowed sampler: components only get the pointer when telemetry is
   // enabled, so a disabled run pays one null check per link primitive.
   telemetry_.configure(config.telemetry);

@@ -18,6 +18,7 @@
 #include "core/calibration.h"
 #include "csd/csd_client.h"
 #include "driver/nvme_driver.h"
+#include "fault/fault.h"
 #include "hostmem/dma_memory.h"
 #include "kv/kv_client.h"
 #include "obs/metrics.h"
@@ -42,6 +43,12 @@ struct TestbedConfig {
   /// `telemetry.enabled = false` no component receives a Telemetry
   /// pointer, so the hot-path cost is one null check per link primitive.
   obs::TelemetryConfig telemetry{};
+  /// Seeded fault-injection policy (see docs/FAULTS.md). With the default
+  /// all-zero policy no injector is constructed and no component takes a
+  /// pointer, so healthy runs are byte-identical to a build without the
+  /// fault subsystem.
+  fault::FaultPolicy faults{};
+  std::uint64_t fault_seed = 0x5eed;
 };
 
 class Testbed {
@@ -71,6 +78,10 @@ class Testbed {
   /// false — no hooks fire). Call telemetry().flush(clock().now()) before
   /// reading samples so the final partial window is closed.
   [[nodiscard]] obs::Telemetry& telemetry() noexcept { return telemetry_; }
+  /// The fault injector, or nullptr when config.faults is all-zero.
+  [[nodiscard]] fault::FaultInjector* fault_injector() noexcept {
+    return injector_.get();
+  }
   [[nodiscard]] DmaMemory& memory() noexcept { return memory_; }
   [[nodiscard]] pcie::BarSpace& bar() noexcept { return bar_; }
   [[nodiscard]] pcie::PcieLink& link() noexcept { return link_; }
@@ -108,6 +119,7 @@ class Testbed {
   pcie::TrafficCounter traffic_;
   pcie::PcieLink link_;
   pcie::BarSpace bar_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<ssd::SsdDevice> device_;
   std::unique_ptr<controller::Controller> controller_;
   std::unique_ptr<driver::NvmeDriver> driver_;

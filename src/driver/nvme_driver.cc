@@ -120,6 +120,14 @@ void NvmeDriver::bind_metrics(obs::MetricsRegistry& metrics) {
   metrics_ = &metrics;
   submissions_metric_ = &metrics.counter("driver.submissions");
   submit_cost_metric_ = &metrics.histogram("driver.submit_cost_ns");
+  metrics.expose_counter("driver.timeouts", &timeouts_);
+  metrics.expose_counter("driver.aborts_sent", &aborts_sent_);
+  metrics.expose_counter("driver.retries", &retries_);
+  metrics.expose_counter("driver.inline_fallback_prp", &inline_fallbacks_);
+  metrics.expose_counter("driver.degradations", &degradations_);
+  metrics.expose_counter("faults.recovered", &faults_recovered_);
+  metrics.expose_counter("faults.degraded", &faults_degraded_);
+  metrics.expose_counter("faults.failed", &faults_failed_);
 }
 
 void NvmeDriver::ring_sq_traced(std::uint16_t qid, std::uint32_t tail,
@@ -176,8 +184,27 @@ bool NvmeDriver::is_read_direction(nvme::IoOpcode opcode) noexcept {
   }
 }
 
-StatusOr<TransferMethod> NvmeDriver::resolve_method(
-    const IoRequest& request) const {
+bool NvmeDriver::is_retryable(nvme::StatusField status) noexcept {
+  if (status.type != nvme::StatusCodeType::kGeneric) return false;
+  switch (static_cast<nvme::GenericStatus>(status.code)) {
+    case nvme::GenericStatus::kDataTransferError:
+    case nvme::GenericStatus::kNamespaceNotReady:
+    case nvme::GenericStatus::kAbortRequested:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool NvmeDriver::is_inline_method(TransferMethod method) noexcept {
+  return method == TransferMethod::kByteExpress ||
+         method == TransferMethod::kByteExpressOoo ||
+         method == TransferMethod::kBandSlim;
+}
+
+StatusOr<NvmeDriver::ResolvedMethod> NvmeDriver::resolve_method(
+    const IoRequest& request, std::uint16_t qid) const {
+  ResolvedMethod resolved;
   TransferMethod method = request.method;
   const std::uint64_t len = request.write_data.size();
 
@@ -188,9 +215,7 @@ StatusOr<TransferMethod> NvmeDriver::resolve_method(
                  : TransferMethod::kPrp;
   }
 
-  const bool inline_like = method == TransferMethod::kByteExpress ||
-                           method == TransferMethod::kByteExpressOoo ||
-                           method == TransferMethod::kBandSlim;
+  bool inline_like = is_inline_method(method);
   if (inline_like) {
     // Inline transfer only exists host->device; reads and zero-length
     // commands use the native path. A payload whose command + chunks can
@@ -207,9 +232,25 @@ StatusOr<TransferMethod> NvmeDriver::resolve_method(
             "payload cannot go inline and PRP fallback is disabled");
       }
       method = TransferMethod::kPrp;
+      resolved.feasibility_fallback = true;
+      inline_like = false;
     }
   }
-  return method;
+
+  // Graceful degradation: a queue that keeps failing inline commands
+  // routes them through PRP until its re-probe time passes.
+  if (inline_like && config_.degrade_threshold > 0 && qid >= 1 &&
+      qid <= io_queues_.size()) {
+    const QueuePair& qp = *io_queues_[qid - 1];
+    if (link_.clock().now() <
+        qp.degraded_until.load(std::memory_order_relaxed)) {
+      method = TransferMethod::kPrp;
+      resolved.degraded = true;
+    }
+  }
+
+  resolved.method = method;
+  return resolved;
 }
 
 nvme::SubmissionQueueEntry NvmeDriver::build_base_sqe(
@@ -460,7 +501,8 @@ Status NvmeDriver::submit_bandslim(QueuePair& qp,
 
 StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
                                                    std::uint16_t qid,
-                                                   TransferMethod method) {
+                                                   TransferMethod method,
+                                                   std::uint8_t submit_flags) {
   QueuePair& qp = queue(qid);
 
   // Validate block I/O geometry up front.
@@ -482,6 +524,9 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
   Pending pending;
   const Nanoseconds submit_time = link_.clock().now();
   pending.submit_time_ns = submit_time;
+  if (config_.command_timeout_ns > 0) {
+    pending.deadline_ns = submit_time + config_.command_timeout_ns;
+  }
 
   switch (method) {
     case TransferMethod::kPrp: {
@@ -565,8 +610,9 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
     event.cid = cid;
     event.aux = static_cast<std::uint64_t>(method);
     event.bytes = request.write_data.size();
+    event.flags = submit_flags;
     if (method == TransferMethod::kByteExpressOoo) {
-      event.flags = obs::kFlagOooCommand;
+      event.flags |= obs::kFlagOooCommand;
     }
     tracer_->record(event);
   }
@@ -588,53 +634,115 @@ StatusOr<Submitted> NvmeDriver::submit(const IoRequest& request,
   if (qid == 0 || qid > io_queues_.size()) {
     return invalid_argument("bad I/O qid " + std::to_string(qid));
   }
-  auto method = resolve_method(request);
-  BX_RETURN_IF_ERROR(method.status());
-  return submit_with_method(request, qid, *method);
+  auto resolved = resolve_method(request, qid);
+  BX_RETURN_IF_ERROR(resolved.status());
+  std::uint8_t flags = 0;
+  if (resolved->feasibility_fallback || resolved->degraded) {
+    flags = obs::kFlagMethodFallback;
+  }
+  if (resolved->feasibility_fallback) inline_fallbacks_.increment();
+  return submit_with_method(request, qid, resolved->method, flags);
+}
+
+Completion NvmeDriver::finish_pending_locked(
+    QueuePair& qp, std::unordered_map<std::uint16_t, Pending>::iterator it) {
+  Pending pending = std::move(it->second);
+  qp.pending.erase(it);
+  qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
+  Completion completion;
+  completion.status = pending.cqe.status();
+  completion.dw0 = pending.cqe.dw0;
+  completion.latency_ns = link_.clock().now() - pending.submit_time_ns;
+  if (!pending.read_target.empty() && completion.status.is_success()) {
+    const std::uint32_t returned =
+        std::min<std::uint32_t>(pending.cqe.dw0, pending.read_length);
+    ByteVec staging(returned);
+    if (returned > 0 && pending.data.valid()) {
+      pending.data.read(0, {staging.data(), returned});
+      std::memcpy(pending.read_target.data(), staging.data(), returned);
+    }
+    completion.bytes_returned = returned;
+  }
+  return completion;
 }
 
 StatusOr<Completion> NvmeDriver::wait(const Submitted& handle) {
   QueuePair& qp = queue(handle.qid);
-  int idle_spins = 0;
+  // With a deadline armed, each idle iteration advances the sim clock by
+  // poll_idle_advance_ns, so the timeout is reached after a bounded number
+  // of spins; size the no-progress bound accordingly.
+  const std::uint64_t idle_spin_limit =
+      config_.command_timeout_ns > 0 && config_.poll_idle_advance_ns > 0
+          ? std::max<std::uint64_t>(
+                10000, 2 * (config_.command_timeout_ns /
+                            config_.poll_idle_advance_ns) +
+                           10000)
+          : 10000;
+  std::uint64_t idle_spins = 0;
   for (;;) {
+    Nanoseconds deadline = 0;
     {
       std::lock_guard<std::mutex> lock(qp.pending_mutex);
       auto it = qp.pending.find(handle.cid);
       if (it == qp.pending.end()) {
         return internal_error("waiting on unknown cid");
       }
-      if (it->second.done) {
-        Pending pending = std::move(it->second);
-        qp.pending.erase(it);
-        qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
-        Completion completion;
-        completion.status = pending.cqe.status();
-        completion.dw0 = pending.cqe.dw0;
-        completion.latency_ns =
-            link_.clock().now() - pending.submit_time_ns;
-        if (!pending.read_target.empty() && completion.status.is_success()) {
-          const std::uint32_t returned =
-              std::min<std::uint32_t>(pending.cqe.dw0, pending.read_length);
-          ByteVec staging(returned);
-          if (returned > 0 && pending.data.valid()) {
-            pending.data.read(0, {staging.data(), returned});
-            std::memcpy(pending.read_target.data(), staging.data(), returned);
-          }
-          completion.bytes_returned = returned;
-        }
-        return completion;
-      }
+      if (it->second.done) return finish_pending_locked(qp, it);
+      deadline = it->second.deadline_ns;
+    }
+    if (deadline != 0 && link_.clock().now() >= deadline) {
+      return recover_timed_out(qp, handle);
     }
     const bool progressed = pump_once();
     poll_completions(handle.qid);
     if (!progressed) {
-      if (++idle_spins > 10000) {
+      if (deadline != 0) {
+        // Device silent while a deadline is armed: move sim-time forward
+        // so the timeout can fire (the clock only advances with work).
+        link_.clock().advance(config_.poll_idle_advance_ns);
+      }
+      if (++idle_spins > idle_spin_limit) {
         return internal_error("device made no progress while waiting");
       }
     } else {
       idle_spins = 0;
     }
   }
+}
+
+StatusOr<Completion> NvmeDriver::recover_timed_out(QueuePair& qp,
+                                                   const Submitted& handle) {
+  timeouts_.increment();
+  // NVMe timeout recovery: Abort the stuck command (CDW10 = SQID | CID<<16)
+  // before giving up on it, so the controller scrubs any late completion
+  // that could otherwise land on a recycled CID.
+  nvme::SubmissionQueueEntry abort;
+  abort.opcode = static_cast<std::uint8_t>(nvme::AdminOpcode::kAbort);
+  abort.cdw10 =
+      std::uint32_t{handle.qid} | (std::uint32_t{handle.cid} << 16);
+  aborts_sent_.increment();
+  auto aborted = execute_admin(abort);
+  if (!aborted.status().is_ok()) {
+    BX_LOG_WARN << "Abort admin command failed: "
+                << aborted.status().to_string();
+  }
+  // The real completion may have raced the abort — honor it if so.
+  poll_completions(handle.qid);
+  std::lock_guard<std::mutex> lock(qp.pending_mutex);
+  auto it = qp.pending.find(handle.cid);
+  if (it == qp.pending.end()) {
+    return internal_error("timed-out command vanished while aborting");
+  }
+  if (it->second.done) return finish_pending_locked(qp, it);
+  const Nanoseconds submit_time = it->second.submit_time_ns;
+  qp.pending.erase(it);
+  qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
+  Completion completion;
+  completion.status =
+      nvme::StatusField::generic(nvme::GenericStatus::kAbortRequested);
+  completion.dw0 = 0;
+  completion.latency_ns = link_.clock().now() - submit_time;
+  return completion;
 }
 
 std::size_t NvmeDriver::poll_completions(std::uint16_t qid) {
@@ -685,9 +793,60 @@ void NvmeDriver::reap_one(QueuePair& qp,
 
 StatusOr<Completion> NvmeDriver::execute(const IoRequest& request,
                                          std::uint16_t qid) {
-  auto handle = submit(request, qid);
-  BX_RETURN_IF_ERROR(handle.status());
-  return wait(*handle);
+  if (qid == 0 || qid > io_queues_.size()) {
+    return invalid_argument("bad I/O qid " + std::to_string(qid));
+  }
+  QueuePair& qp = queue(qid);
+  std::uint32_t failed_attempts = 0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    auto resolved = resolve_method(request, qid);
+    BX_RETURN_IF_ERROR(resolved.status());
+    std::uint8_t flags = 0;
+    if (resolved->feasibility_fallback || resolved->degraded) {
+      flags = obs::kFlagMethodFallback;
+    }
+    if (resolved->feasibility_fallback) inline_fallbacks_.increment();
+    const bool inline_attempt = is_inline_method(resolved->method);
+    auto handle = submit_with_method(request, qid, resolved->method, flags);
+    BX_RETURN_IF_ERROR(handle.status());
+    auto completion = wait(*handle);
+    BX_RETURN_IF_ERROR(completion.status());
+    if (completion->status.is_success()) {
+      if (inline_attempt) qp.inline_failures.store(0, std::memory_order_relaxed);
+      // Every failed attempt that this success redeems was one injected
+      // fault; classify it so injected == recovered + degraded + failed.
+      if (failed_attempts > 0) {
+        if (resolved->degraded) {
+          faults_degraded_.add(failed_attempts);
+        } else {
+          faults_recovered_.add(failed_attempts);
+        }
+      }
+      return completion;
+    }
+    ++failed_attempts;
+    if (inline_attempt && config_.degrade_threshold > 0) {
+      const std::uint32_t fails =
+          qp.inline_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (fails >= config_.degrade_threshold) {
+        qp.degraded_until.store(
+            link_.clock().now() + config_.degrade_reprobe_ns,
+            std::memory_order_relaxed);
+        qp.inline_failures.store(0, std::memory_order_relaxed);
+        degradations_.increment();
+      }
+    }
+    if (!is_retryable(completion->status) || attempt >= config_.max_retries) {
+      faults_failed_.add(failed_attempts);
+      return completion;
+    }
+    retries_.increment();
+    // Deterministic sim-clock exponential backoff before the next attempt.
+    const Nanoseconds backoff = std::min<Nanoseconds>(
+        config_.retry_backoff_cap_ns,
+        config_.retry_backoff_base_ns << std::min<std::uint32_t>(attempt, 20));
+    link_.clock().advance(backoff);
+  }
 }
 
 StatusOr<Completion> NvmeDriver::execute_ooo_striped(
@@ -713,6 +872,9 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
 
   Pending initial;
   initial.submit_time_ns = link_.clock().now();
+  if (config_.command_timeout_ns > 0) {
+    initial.deadline_ns = initial.submit_time_ns + config_.command_timeout_ns;
+  }
   const std::uint16_t cid = register_pending(home, std::move(initial));
   sqe.cid = cid;
 

@@ -67,6 +67,34 @@ class NvmeDriver {
     /// Fall back to PRP instead of failing when a payload cannot go inline
     /// (read-direction command, too large, queue too shallow).
     bool auto_fallback_to_prp = true;
+
+    // ---- error recovery (see docs/FAULTS.md) ----
+
+    /// Sim-time an I/O command may stay in flight before wait() declares
+    /// it timed out, sends an Abort, and synthesizes an Abort Requested
+    /// completion. 0 disables timeouts (pre-recovery behaviour). Keep it
+    /// above Controller::Config::deferred_ttl_ns and the reassembly TTL
+    /// so the device fails a stuck command before the host abandons it.
+    Nanoseconds command_timeout_ns = 50'000'000;  // 50 ms
+    /// Sim-time wait() advances the clock per idle poll iteration while a
+    /// deadline is armed — the simulation's stand-in for host wall-clock
+    /// passing while the device is silent. Healthy commands complete
+    /// without ever hitting an idle iteration, so this never perturbs
+    /// fault-free timing.
+    Nanoseconds poll_idle_advance_ns = 1'000;  // 1 µs
+    /// Retries execute() performs on a retryable error completion
+    /// (Data Transfer Error, Namespace Not Ready, Abort Requested).
+    std::uint32_t max_retries = 4;
+    /// Exponential backoff before each retry: base << attempt, capped.
+    /// Advanced on the sim clock, so retry schedules are deterministic.
+    Nanoseconds retry_backoff_base_ns = 20'000;  // 20 µs
+    Nanoseconds retry_backoff_cap_ns = 1'000'000;  // 1 ms
+    /// Graceful degradation: after this many consecutive failed inline
+    /// attempts on a queue, route that queue's inline requests through
+    /// PRP until degrade_reprobe_ns of sim-time passes, then re-probe
+    /// inline. 0 disables degradation.
+    std::uint32_t degrade_threshold = 8;
+    Nanoseconds degrade_reprobe_ns = 10'000'000;  // 10 ms
   };
 
   /// Advances the device model; returns true if it made progress. The
@@ -193,6 +221,9 @@ class NvmeDriver {
     bool done = false;
     nvme::CompletionQueueEntry cqe{};
     Nanoseconds submit_time_ns = 0;
+    /// Sim-time after which wait() times the command out (0 = never; the
+    /// admin queue and timeout-disabled configs).
+    Nanoseconds deadline_ns = 0;
     // Keep the DMA buffer and PRP list pages alive until completion.
     DmaBuffer data;
     nvme::PrpChain chain;
@@ -219,16 +250,37 @@ class NvmeDriver {
     /// pending.size() (updated under pending_mutex).
     obs::Gauge sq_occupancy;
     obs::Gauge inflight;
+    /// Consecutive failed inline attempts on this queue (graceful
+    /// degradation bookkeeping; reset by any inline success).
+    std::atomic<std::uint32_t> inline_failures{0};
+    /// Sim-time until which inline requests on this queue are routed
+    /// through PRP (0 = healthy).
+    std::atomic<Nanoseconds> degraded_until{0};
+  };
+
+  /// How resolve_method() arrived at the transfer method actually used.
+  struct ResolvedMethod {
+    TransferMethod method = TransferMethod::kPrp;
+    /// The inline request could not go inline (read direction, too large,
+    /// ring too shallow) and fell back to PRP.
+    bool feasibility_fallback = false;
+    /// The queue is in degraded mode, so the inline request went PRP.
+    bool degraded = false;
   };
 
   [[nodiscard]] QueuePair& queue(std::uint16_t qid);
-  /// Resolves hybrid switching and inline-feasibility fallbacks; fails
-  /// with kFailedPrecondition when the payload cannot go inline and
+  /// Resolves hybrid switching, inline-feasibility fallbacks and queue
+  /// degradation (all reported in the result); fails with
+  /// kFailedPrecondition when the payload cannot go inline and
   /// auto_fallback_to_prp is disabled.
-  [[nodiscard]] StatusOr<TransferMethod> resolve_method(
-      const IoRequest& request) const;
+  [[nodiscard]] StatusOr<ResolvedMethod> resolve_method(
+      const IoRequest& request, std::uint16_t qid) const;
   static bool is_write_direction(nvme::IoOpcode opcode) noexcept;
   static bool is_read_direction(nvme::IoOpcode opcode) noexcept;
+  /// True for statuses the NVMe "do not retry" logic treats as transient:
+  /// Data Transfer Error, Namespace Not Ready, Abort Requested.
+  static bool is_retryable(nvme::StatusField status) noexcept;
+  static bool is_inline_method(TransferMethod method) noexcept;
 
   /// Builds the opcode/nsid/cdw fields common to every method.
   nvme::SubmissionQueueEntry build_base_sqe(const IoRequest& request) const;
@@ -272,15 +324,29 @@ class NvmeDriver {
   Status submit_bandslim(QueuePair& qp, nvme::SubmissionQueueEntry sqe,
                          const IoRequest& request);
 
+  /// `submit_flags` is OR-ed into the kSubmit trace event's flags
+  /// (kFlagMethodFallback when the method was changed by the driver).
   StatusOr<Submitted> submit_with_method(const IoRequest& request,
                                          std::uint16_t qid,
-                                         TransferMethod method);
+                                         TransferMethod method,
+                                         std::uint8_t submit_flags = 0);
 
   /// Runs one admin command synchronously.
   StatusOr<Completion> execute_admin(nvme::SubmissionQueueEntry sqe);
 
   void reap_one(QueuePair& qp, const nvme::CompletionQueueEntry& cqe);
   bool pump_once();
+
+  /// Builds the Completion for a done Pending and erases it. Call with
+  /// qp.pending_mutex held; `it` must be valid and done.
+  Completion finish_pending_locked(
+      QueuePair& qp, std::unordered_map<std::uint16_t, Pending>::iterator it);
+
+  /// Timeout path of wait(): sends an Abort admin command for the stuck
+  /// (qid, cid), reaps any completion that raced the abort, and otherwise
+  /// synthesizes a retryable Abort Requested completion.
+  StatusOr<Completion> recover_timed_out(QueuePair& qp,
+                                         const Submitted& handle);
 
   DmaMemory& memory_;
   pcie::PcieLink& link_;
@@ -306,6 +372,24 @@ class NvmeDriver {
   // Registry-owned metrics, cached by bind_metrics(); null when unbound.
   obs::Counter* submissions_metric_ = nullptr;
   obs::Histogram* submit_cost_metric_ = nullptr;
+
+  // Component-owned recovery counters (always live; exposed as driver.*
+  // and faults.* by bind_metrics). The faults_* trio classifies every
+  // failed attempt of an execute() command at resolution:
+  //   recovered — the command eventually succeeded with its own method,
+  //   degraded  — the command succeeded only after degrading to PRP,
+  //   failed    — the command's final status is an error.
+  // Under the one-fault-per-command injection scheme this makes
+  //   faults.injected == faults.recovered + faults.degraded + faults.failed
+  // an exact invariant (asserted by the fault-sweep tests).
+  obs::Counter timeouts_;
+  obs::Counter aborts_sent_;
+  obs::Counter retries_;
+  obs::Counter inline_fallbacks_;
+  obs::Counter degradations_;
+  obs::Counter faults_recovered_;
+  obs::Counter faults_degraded_;
+  obs::Counter faults_failed_;
 };
 
 }  // namespace bx::driver

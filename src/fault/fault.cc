@@ -1,0 +1,123 @@
+#include "fault/fault.h"
+
+namespace bx::fault {
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kChunkCorrupt:
+      return "chunk_corrupt";
+    case FaultKind::kErrorCompletion:
+      return "error_completion";
+    case FaultKind::kErrorRetryable:
+      return "error_retryable";
+    case FaultKind::kCompletionDrop:
+      return "completion_drop";
+    case FaultKind::kCompletionDelay:
+      return "completion_delay";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultPolicy policy)
+    : rng_(seed), policy_(policy) {}
+
+FaultKind FaultInjector::next_command_fault(bool inline_command) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.empty()) {
+    FaultKind kind = armed_.front();
+    armed_.pop_front();
+    count(kind);
+    return kind;
+  }
+  if (policy_.inline_only && !inline_command) {
+    // Deliberately no RNG draw: whether a PRP command passes through must
+    // not perturb the fault schedule of the inline commands around it.
+    return FaultKind::kNone;
+  }
+  const double draw = rng_.next_double();
+  double threshold = 0.0;
+  FaultKind kind = FaultKind::kNone;
+  if (draw < (threshold += policy_.chunk_corrupt)) {
+    kind = FaultKind::kChunkCorrupt;
+  } else if (draw < (threshold += policy_.error_completion)) {
+    kind = FaultKind::kErrorCompletion;
+  } else if (draw < (threshold += policy_.error_retryable)) {
+    kind = FaultKind::kErrorRetryable;
+  } else if (draw < (threshold += policy_.completion_drop)) {
+    kind = FaultKind::kCompletionDrop;
+  } else if (draw < (threshold += policy_.completion_delay)) {
+    kind = FaultKind::kCompletionDelay;
+  }
+  // Chunk corruption only has a CRC to trip on inline commands; for a
+  // PRP/SGL command it degenerates to a plain Data Transfer Error
+  // completion, which the controller applies identically.
+  count(kind);
+  return kind;
+}
+
+bool FaultInjector::next_tlp_replay() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (policy_.tlp_replay <= 0.0) {
+    return false;
+  }
+  const bool replay = rng_.next_bool(policy_.tlp_replay);
+  if (replay) {
+    tlp_replays_.increment();
+  }
+  return replay;
+}
+
+void FaultInjector::arm(FaultKind kind, std::uint32_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    armed_.push_back(kind);
+  }
+}
+
+void FaultInjector::set_policy(const FaultPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  policy_ = policy;
+}
+
+FaultPolicy FaultInjector::policy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return policy_;
+}
+
+void FaultInjector::bind_metrics(obs::MetricsRegistry& registry) const {
+  registry.expose_counter("faults.injected", &injected_);
+  registry.expose_counter("faults.injected_corrupt", &injected_corrupt_);
+  registry.expose_counter("faults.injected_error", &injected_error_);
+  registry.expose_counter("faults.injected_error_retryable",
+                          &injected_error_retryable_);
+  registry.expose_counter("faults.injected_drop", &injected_drop_);
+  registry.expose_counter("faults.injected_delay", &injected_delay_);
+  registry.expose_counter("faults.tlp_replays", &tlp_replays_);
+}
+
+void FaultInjector::count(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return;
+    case FaultKind::kChunkCorrupt:
+      injected_corrupt_.increment();
+      break;
+    case FaultKind::kErrorCompletion:
+      injected_error_.increment();
+      break;
+    case FaultKind::kErrorRetryable:
+      injected_error_retryable_.increment();
+      break;
+    case FaultKind::kCompletionDrop:
+      injected_drop_.increment();
+      break;
+    case FaultKind::kCompletionDelay:
+      injected_delay_.increment();
+      break;
+  }
+  injected_.increment();
+}
+
+}  // namespace bx::fault

@@ -1,0 +1,150 @@
+// Seeded, policy-driven fault injection for the simulated transport.
+//
+// One FaultInjector is shared by the PCIe link and the controller (the
+// Testbed creates it when the configured FaultPolicy has any nonzero
+// probability). Two independent fault planes:
+//
+//  * Command-level faults (next_command_fault): drawn once per fetched
+//    command on the device side, at most ONE fault per command. The
+//    controller applies the drawn kind at the point where the command
+//    would otherwise complete — corrupting an inline chunk (surfaces as
+//    Data Transfer Error), substituting an error completion (fatal or
+//    retryable), dropping the completion entirely (the host must time
+//    out and Abort), or delaying it past the driver's deadline. Every
+//    non-kNone draw increments `faults.injected`, which the acceptance
+//    invariant ties to the driver-side classification counters:
+//        faults.injected == faults.recovered + faults.degraded
+//                           + faults.failed
+//    (see docs/FAULTS.md). For that equality to hold exactly, each
+//    injected fault must cost the driver exactly one failed attempt —
+//    which is why delays default to longer than the driver timeout (a
+//    delayed completion is always reaped as a timeout, then scrubbed by
+//    the Abort) and why the reassembly/deferred TTLs are shorter than
+//    the timeout (the device surfaces a retryable error before the host
+//    gives up on its own).
+//
+//  * TLP replays (next_tlp_replay): drawn per link primitive. A replay
+//    models the PCIe data-link layer retransmitting a TLP after an
+//    LCRC/sequence error: it is invisible to both host and device logic
+//    and consumes only wire bytes and time. Replays are counted in
+//    `faults.tlp_replays` and deliberately NOT in `faults.injected` —
+//    they never need recovery, so they sit outside the accounting
+//    equality. Data-byte conservation invariants still hold because a
+//    replay records zero data bytes and zero logical TLPs.
+//
+// Determinism: all draws come from one bx::Rng under a mutex, and every
+// consumer runs under the Testbed firmware mutex (command draws) or the
+// link's internal ordering (replay draws), so a fixed seed plus a fixed
+// workload yields a byte-identical fault schedule. arm() lets tests
+// force specific kinds for the next N draws without touching the RNG
+// stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "obs/metrics.h"
+
+namespace bx::fault {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  /// Flip a byte of one inline chunk so its CRC32-C check fails on the
+  /// device; surfaces as a Data Transfer Error completion (retryable).
+  kChunkCorrupt,
+  /// Replace the completion with a fatal Internal Error status.
+  kErrorCompletion,
+  /// Replace the completion with Namespace Not Ready (retryable).
+  kErrorRetryable,
+  /// Never post the completion; the host must time out and Abort.
+  kCompletionDrop,
+  /// Post the completion only after FaultPolicy::delay_ns of simulated
+  /// time. With the default delay > driver timeout this behaves like a
+  /// drop that the host's Abort races against.
+  kCompletionDelay,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+
+/// Per-draw probabilities. They are cumulative across one uniform draw,
+/// so their sum must be <= 1.0 (the remainder is "no fault").
+struct FaultPolicy {
+  double chunk_corrupt = 0.0;
+  double error_completion = 0.0;
+  double error_retryable = 0.0;
+  double completion_drop = 0.0;
+  double completion_delay = 0.0;
+  /// Sim-time a kCompletionDelay completion is held before posting.
+  /// Default exceeds NvmeDriver::Config::command_timeout_ns so a
+  /// delayed completion always costs the host a timeout (keeps the
+  /// fault-accounting equality exact; see header comment).
+  Nanoseconds delay_ns = 100'000'000;  // 100 ms
+  /// Restrict command faults to inline (ByteExpress/OOO/BandSlim)
+  /// commands; PRP/SGL commands then never draw (and never count).
+  bool inline_only = false;
+  /// Per-link-primitive probability of a data-link TLP replay.
+  double tlp_replay = 0.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return chunk_corrupt > 0 || error_completion > 0 || error_retryable > 0 ||
+           completion_drop > 0 || completion_delay > 0 || tlp_replay > 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultPolicy policy);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Draws the fault (if any) for one fetched command. Armed faults are
+  /// consumed first; otherwise one uniform draw is walked over the
+  /// policy's cumulative thresholds. With `inline_only` set, non-inline
+  /// commands return kNone without consuming a draw. Every non-kNone
+  /// result increments faults.injected and the per-kind counter.
+  [[nodiscard]] FaultKind next_command_fault(bool inline_command);
+
+  /// Draws whether one link primitive suffers a data-link TLP replay.
+  [[nodiscard]] bool next_tlp_replay();
+
+  /// Forces the next `count` command draws to return `kind`, bypassing
+  /// the RNG (deterministic single-fault tests).
+  void arm(FaultKind kind, std::uint32_t count = 1);
+
+  void set_policy(const FaultPolicy& policy);
+  [[nodiscard]] FaultPolicy policy() const;
+
+  /// Exposes faults.injected, faults.injected_<kind>, and
+  /// faults.tlp_replays. In Prometheus text exposition the first
+  /// renders as `bx_faults_injected_total`.
+  void bind_metrics(obs::MetricsRegistry& registry) const;
+
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return injected_.value();
+  }
+  [[nodiscard]] std::uint64_t tlp_replays() const noexcept {
+    return tlp_replays_.value();
+  }
+
+ private:
+  void count(FaultKind kind);
+
+  mutable std::mutex mutex_;
+  Rng rng_;
+  FaultPolicy policy_;
+  std::deque<FaultKind> armed_;
+
+  obs::Counter injected_;
+  obs::Counter injected_corrupt_;
+  obs::Counter injected_error_;
+  obs::Counter injected_error_retryable_;
+  obs::Counter injected_drop_;
+  obs::Counter injected_delay_;
+  obs::Counter tlp_replays_;
+};
+
+}  // namespace bx::fault

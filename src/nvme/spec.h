@@ -32,6 +32,8 @@ enum class AdminOpcode : std::uint8_t {
   kDeleteIoCq = 0x04,
   kCreateIoCq = 0x05,
   kIdentify = 0x06,
+  /// CDW10 = SQID | (CID << 16); completion DW0 bit 0 clear = aborted.
+  kAbort = 0x08,
   kSetFeatures = 0x09,
   kGetFeatures = 0x0a,
 };
@@ -125,9 +127,15 @@ enum class GenericStatus : std::uint8_t {
   kInvalidField = 0x02,
   kDataTransferError = 0x04,
   kInternalError = 0x06,
+  /// The command was cancelled by a host Abort (retryable: the host
+  /// itself asked for the cancellation, usually after a timeout).
+  kAbortRequested = 0x07,
   kInvalidNamespace = 0x0b,
   kLbaOutOfRange = 0x80,
   kCapacityExceeded = 0x81,
+  /// Transient device-side condition; the host should retry (the NVMe
+  /// "Namespace Not Ready, retry possible" semantics).
+  kNamespaceNotReady = 0x82,
 };
 
 enum class VendorStatus : std::uint8_t {

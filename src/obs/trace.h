@@ -76,6 +76,10 @@ inline constexpr std::uint8_t kFlagAuxCommand = 1u << 0;
 inline constexpr std::uint8_t kFlagOooCommand = 1u << 1;
 /// The chunk is a self-describing OOO chunk (carries payload_id, no cid).
 inline constexpr std::uint8_t kFlagOooChunk = 1u << 2;
+/// The submission's transfer method was changed by the driver (inline
+/// request routed through PRP: feasibility fallback or a degraded queue) —
+/// set on kSubmit so traffic accounting can explain the extra PRP bytes.
+inline constexpr std::uint8_t kFlagMethodFallback = 1u << 3;
 
 /// One interval of simulated time attributed to a pipeline stage. Field
 /// meaning per stage (unused fields are zero):

@@ -65,6 +65,22 @@ void PcieLink::telemetry_tlps(Direction dir, obs::TlpKind kind,
       data_bytes, wire_bytes);
 }
 
+Nanoseconds PcieLink::maybe_replay(Direction dir, TrafficClass cls,
+                                   obs::TlpKind kind,
+                                   std::uint64_t wire_bytes) noexcept {
+  if (injector_ == nullptr || !injector_->next_tlp_replay()) {
+    return 0;
+  }
+  // The retransmitted TLP costs wire bytes and time only: no data bytes
+  // and no logical TLP, so per-TLP/data-byte conservation checks see the
+  // same logical traffic with or without replays.
+  record(dir, cls, 0, 0, wire_bytes);
+  if (telemetry_ != nullptr) {
+    telemetry_tlps(dir, kind, 0, 0, wire_bytes);
+  }
+  return config_.propagation_ns + serialize_time(wire_bytes);
+}
+
 Nanoseconds PcieLink::post_write(Direction dir, TrafficClass cls,
                                  std::uint64_t data_bytes) noexcept {
   const std::uint32_t mps = config_.max_payload_size;
@@ -78,7 +94,13 @@ Nanoseconds PcieLink::post_write(Direction dir, TrafficClass cls,
     remaining -= chunk;
   }
   record(dir, cls, tlps, data_bytes, wire);
-  const Nanoseconds t = config_.propagation_ns + serialize_time(wire);
+  Nanoseconds t = config_.propagation_ns + serialize_time(wire);
+  t += maybe_replay(
+      dir, cls, obs::TlpKind::kMWr,
+      tlp_wire_bytes(TlpType::kMemoryWrite,
+                     static_cast<std::uint32_t>(
+                         data_bytes < mps ? data_bytes : mps),
+                     config_.overhead));
   clock_.advance(t);
   if (telemetry_ != nullptr) {
     telemetry_tlps(dir, obs::TlpKind::kMWr, tlps, data_bytes, wire);
@@ -116,8 +138,14 @@ Nanoseconds PcieLink::read(Direction data_dir, TrafficClass cls,
 
   // Round trip: request propagation + its serialization, then completion
   // propagation + serialization of the data stream.
-  const Nanoseconds t = 2 * config_.propagation_ns +
-                        serialize_time(req_wire) + serialize_time(cpl_wire);
+  Nanoseconds t = 2 * config_.propagation_ns +
+                  serialize_time(req_wire) + serialize_time(cpl_wire);
+  t += maybe_replay(
+      data_dir, cls, obs::TlpKind::kCpl,
+      tlp_wire_bytes(TlpType::kCompletion,
+                     static_cast<std::uint32_t>(
+                         data_bytes < mps ? data_bytes : mps),
+                     config_.overhead));
   clock_.advance(t);
   if (telemetry_ != nullptr) {
     telemetry_tlps(req_dir, obs::TlpKind::kMRd, requests, 0, req_wire);

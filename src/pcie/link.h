@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "fault/fault.h"
 #include "pcie/tlp.h"
 #include "pcie/traffic_counter.h"
 
@@ -77,7 +78,20 @@ class PcieLink {
     telemetry_ = telemetry;
   }
 
+  /// Draws one data-link TLP replay per primitive from `injector` (pass
+  /// nullptr to detach). A replay retransmits one TLP after an
+  /// LCRC/sequence error: extra wire bytes and time, zero data bytes and
+  /// zero logical TLPs, invisible to host and device logic — so the
+  /// data-byte conservation invariants hold unchanged under replays.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
  private:
+  /// Accounts one replayed TLP of `wire_bytes` when the injector fires;
+  /// returns the extra link time (0 when it does not).
+  Nanoseconds maybe_replay(Direction dir, TrafficClass cls, obs::TlpKind kind,
+                           std::uint64_t wire_bytes) noexcept;
   void record(Direction dir, TrafficClass cls, std::uint64_t tlps,
               std::uint64_t data_bytes, std::uint64_t wire_bytes) noexcept;
   void telemetry_tlps(Direction dir, obs::TlpKind kind, std::uint64_t tlps,
@@ -91,6 +105,7 @@ class PcieLink {
   obs::Counter* wire_bytes_metric_ = nullptr;
   obs::Counter* data_bytes_metric_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace bx::pcie

@@ -1,11 +1,15 @@
 // Failure injection across the stack: NAND bad blocks under the KV/block
 // paths, protocol violations on the wire (inline length mismatch, orphan
-// fragments, corrupt OOO chunks), and resource exhaustion behaviour.
+// fragments, corrupt OOO chunks), resource exhaustion behaviour, and the
+// seeded end-to-end fault sweeps (injector + driver recovery, see
+// docs/FAULTS.md).
 #include <gtest/gtest.h>
 
 #include <cstring>
 
+#include "core/stress.h"
 #include "core/testbed.h"
+#include "fault/fault.h"
 #include "nvme/bandslim_wire.h"
 #include "nvme/inline_wire.h"
 #include "test_util.h"
@@ -291,6 +295,303 @@ TEST(CorruptChunkTest, OooCrcFailureDoesNotCompleteCommand) {
           .is_ok());
   EXPECT_TRUE(engine.complete(1));
   EXPECT_EQ(*engine.take(1, payload.size()), payload);
+}
+
+// ---- Seeded end-to-end fault sweeps ------------------------------------
+
+fault::FaultPolicy mixed_fault_policy() {
+  fault::FaultPolicy policy;
+  policy.chunk_corrupt = 0.06;
+  policy.error_completion = 0.03;
+  policy.error_retryable = 0.06;
+  policy.completion_drop = 0.03;
+  policy.completion_delay = 0.03;
+  policy.tlp_replay = 0.01;
+  return policy;
+}
+
+class FaultSweepTest : public ::testing::TestWithParam<TransferMethod> {};
+
+// Every transfer method survives a seeded mixed-fault sweep: every
+// injected fault is accounted for (recovered, degraded, or surfaced as a
+// final error), nothing hangs or leaks, and the structural traffic
+// identities hold under retries and drops.
+TEST_P(FaultSweepTest, EveryInjectedFaultAccounted) {
+  core::FaultSweepOptions options;
+  options.seed = 0xfa017;
+  options.method = GetParam();
+  options.ops = 48;
+  options.faults = mixed_fault_policy();
+  const core::FaultSweepResult result = core::run_fault_sweep(options);
+  ASSERT_TRUE(result.ok()) << result.failure;
+  EXPECT_EQ(result.ops_attempted, options.ops);
+  // The policy is aggressive enough that a 48-op sweep always draws
+  // faults (checked against the fixed seed).
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_EQ(result.faults_injected, result.faults_recovered +
+                                        result.faults_degraded +
+                                        result.faults_failed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, FaultSweepTest,
+    ::testing::Values(TransferMethod::kPrp, TransferMethod::kSgl,
+                      TransferMethod::kByteExpress,
+                      TransferMethod::kByteExpressOoo,
+                      TransferMethod::kBandSlim),
+    [](const ::testing::TestParamInfo<TransferMethod>& info) {
+      return std::string(driver::transfer_method_name(info.param));
+    });
+
+TEST(FaultSweepTest, SameSeedSameSchedule) {
+  core::FaultSweepOptions options;
+  options.seed = 0xdecaf;
+  options.method = TransferMethod::kByteExpressOoo;
+  options.ops = 32;
+  options.faults = mixed_fault_policy();
+  const core::FaultSweepResult a = core::run_fault_sweep(options);
+  const core::FaultSweepResult b = core::run_fault_sweep(options);
+  ASSERT_TRUE(a.ok()) << a.failure;
+  ASSERT_TRUE(b.ok()) << b.failure;
+  EXPECT_EQ(a.ops_ok, b.ops_ok);
+  EXPECT_EQ(a.ops_error, b.ops_error);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.faults_recovered, b.faults_recovered);
+  EXPECT_EQ(a.faults_degraded, b.faults_degraded);
+  EXPECT_EQ(a.faults_failed, b.faults_failed);
+  EXPECT_EQ(a.tlp_replays, b.tlp_replays);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.retries, b.retries);
+}
+
+/// A testbed with a fault injector attached but a zeroed policy, so tests
+/// can arm() specific faults deterministically.
+core::TestbedConfig armed_testbed_config() {
+  auto config = test::small_testbed_config();
+  config.faults.completion_drop = 1.0;  // forces injector construction
+  config.driver.command_timeout_ns = 2'000'000;
+  config.driver.poll_idle_advance_ns = 1'000;
+  config.driver.retry_backoff_base_ns = 10'000;
+  config.controller.deferred_ttl_ns = 500'000;
+  config.controller.reassembly.ttl_ns = 500'000;
+  return config;
+}
+
+// A dropped completion must be reaped by the driver's deadline: timeout,
+// Abort to scrub the lost CQE, one retry, success — and the fault counts
+// as recovered.
+TEST(FaultRecoveryTest, DroppedCompletionTimesOutAbortsAndRetries) {
+  Testbed bed(armed_testbed_config());
+  ASSERT_NE(bed.fault_injector(), nullptr);
+  bed.fault_injector()->set_policy({});
+  bed.fault_injector()->arm(fault::FaultKind::kCompletionDrop);
+
+  ByteVec payload(256);
+  fill_pattern(payload, 5);
+  auto completion = bed.raw_write(payload, TransferMethod::kByteExpress);
+  ASSERT_TRUE(completion.is_ok());
+  EXPECT_TRUE(completion->ok());
+
+  const auto& metrics = bed.metrics();
+  EXPECT_EQ(metrics.counter_value("faults.injected"), 1u);
+  EXPECT_EQ(metrics.counter_value("faults.injected_drop"), 1u);
+  EXPECT_EQ(metrics.counter_value("driver.timeouts"), 1u);
+  EXPECT_EQ(metrics.counter_value("driver.aborts_sent"), 1u);
+  EXPECT_EQ(metrics.counter_value("driver.retries"), 1u);
+  EXPECT_EQ(metrics.counter_value("faults.recovered"), 1u);
+  EXPECT_EQ(metrics.counter_value("ctrl.completions_dropped"), 1u);
+  EXPECT_EQ(metrics.counter_value("ctrl.commands_aborted"), 1u);
+  // The device stays healthy afterwards.
+  auto again = bed.raw_write(payload, TransferMethod::kByteExpress);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_TRUE(again->ok());
+}
+
+// A delayed completion out-waits the driver deadline, so it behaves like
+// a drop the Abort scrubs before it can land on a recycled CID.
+TEST(FaultRecoveryTest, DelayedCompletionIsScrubbedByAbort) {
+  Testbed bed(armed_testbed_config());
+  bed.fault_injector()->set_policy({});
+  bed.fault_injector()->arm(fault::FaultKind::kCompletionDelay);
+
+  ByteVec payload(128);
+  fill_pattern(payload, 6);
+  auto completion = bed.raw_write(payload, TransferMethod::kByteExpress);
+  ASSERT_TRUE(completion.is_ok());
+  EXPECT_TRUE(completion->ok());
+  const auto& metrics = bed.metrics();
+  EXPECT_EQ(metrics.counter_value("faults.injected_delay"), 1u);
+  EXPECT_EQ(metrics.counter_value("driver.timeouts"), 1u);
+  EXPECT_EQ(metrics.counter_value("faults.recovered"), 1u);
+  EXPECT_EQ(metrics.counter_value("ctrl.completions_delayed"), 1u);
+}
+
+// A fatal (non-retryable) error completion surfaces to the caller as the
+// final device status and counts as a failed fault.
+TEST(FaultRecoveryTest, FatalErrorCompletionSurfacesToCaller) {
+  Testbed bed(armed_testbed_config());
+  bed.fault_injector()->set_policy({});
+  bed.fault_injector()->arm(fault::FaultKind::kErrorCompletion);
+
+  ByteVec payload(64);
+  fill_pattern(payload, 7);
+  auto completion = bed.raw_write(payload, TransferMethod::kByteExpress);
+  ASSERT_TRUE(completion.is_ok());
+  EXPECT_FALSE(completion->ok());
+  EXPECT_EQ(completion->status.code,
+            static_cast<std::uint8_t>(nvme::GenericStatus::kInternalError));
+  const auto& metrics = bed.metrics();
+  EXPECT_EQ(metrics.counter_value("faults.injected"), 1u);
+  EXPECT_EQ(metrics.counter_value("faults.failed"), 1u);
+  EXPECT_EQ(metrics.counter_value("driver.retries"), 0u);
+}
+
+// N consecutive inline failures degrade the queue to PRP; the degraded
+// attempt succeeds (inline_only faults skip PRP), and after the re-probe
+// window the queue goes back to inline.
+TEST(FaultRecoveryTest, ConsecutiveInlineFailuresDegradeToPrpThenReprobe) {
+  auto config = armed_testbed_config();
+  config.faults = {};
+  config.faults.inline_only = true;
+  config.faults.chunk_corrupt = 1.0;  // every inline command faults
+  config.driver.degrade_threshold = 2;
+  config.driver.degrade_reprobe_ns = 1'000'000;
+  Testbed bed(config);
+
+  ByteVec payload(256);
+  fill_pattern(payload, 8);
+  auto completion = bed.raw_write(payload, TransferMethod::kByteExpress);
+  ASSERT_TRUE(completion.is_ok());
+  EXPECT_TRUE(completion->ok());
+
+  const auto& metrics = bed.metrics();
+  EXPECT_EQ(metrics.counter_value("driver.degradations"), 1u);
+  EXPECT_EQ(metrics.counter_value("faults.injected"), 2u);
+  EXPECT_EQ(metrics.counter_value("faults.degraded"), 2u);
+  EXPECT_EQ(metrics.counter_value("faults.recovered"), 0u);
+  // The winning attempt went over PRP.
+  EXPECT_EQ(bed.traffic()
+                .cell(pcie::Direction::kDownstream,
+                      pcie::TrafficClass::kDataPrp)
+                .data_bytes,
+            4096u);
+  // The degraded submit is flagged in the trace.
+  bool saw_fallback_flag = false;
+  for (const auto& event : bed.trace().snapshot()) {
+    if (event.stage == obs::TraceStage::kSubmit &&
+        (event.flags & obs::kFlagMethodFallback) != 0) {
+      saw_fallback_flag = true;
+    }
+  }
+  EXPECT_TRUE(saw_fallback_flag);
+
+  // After the re-probe window (and with the fault cleared) the queue
+  // returns to inline: no new PRP bytes.
+  bed.fault_injector()->set_policy({});
+  bed.clock().advance(2'000'000);
+  auto after = bed.raw_write(payload, TransferMethod::kByteExpress);
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_TRUE(after->ok());
+  EXPECT_EQ(bed.traffic()
+                .cell(pcie::Direction::kDownstream,
+                      pcie::TrafficClass::kDataPrp)
+                .data_bytes,
+            4096u);
+}
+
+// The silent inline->PRP feasibility fallback is observable: counter plus
+// a flagged kSubmit trace event.
+TEST(FaultRecoveryTest, FeasibilityFallbackEmitsCounterAndTraceFlag) {
+  auto config = test::small_testbed_config(1, 16);
+  config.driver.max_inline_bytes = 8192;
+  Testbed bed(config);
+  ByteVec payload(4096);  // 65 inline entries can never fit a 16-deep ring
+  fill_pattern(payload, 9);
+  auto completion = bed.raw_write(payload, TransferMethod::kByteExpress);
+  ASSERT_TRUE(completion.is_ok());
+  EXPECT_TRUE(completion->ok());
+  EXPECT_EQ(bed.metrics().counter_value("driver.inline_fallback_prp"), 1u);
+  bool saw_fallback_flag = false;
+  for (const auto& event : bed.trace().snapshot()) {
+    if (event.stage == obs::TraceStage::kSubmit &&
+        (event.flags & obs::kFlagMethodFallback) != 0) {
+      saw_fallback_flag = true;
+    }
+  }
+  EXPECT_TRUE(saw_fallback_flag);
+}
+
+// ---- Reassembly hardening ----------------------------------------------
+
+TEST(ReassemblyHardeningTest, ExpiredSlotsAreEvictedAndReusable) {
+  controller::ReassemblyEngine engine(
+      {.slots = 1, .max_chunks = 8, .ttl_ns = 1'000});
+  ByteVec chunk_data(32);
+  fill_pattern(chunk_data, 1);
+  auto chunk = nvme::inline_chunk::encode_ooo_chunk(7, 0, 2, chunk_data);
+  const auto header = nvme::inline_chunk::decode_ooo_header(chunk);
+  ASSERT_TRUE(engine
+                  .accept(header,
+                          nvme::inline_chunk::ooo_chunk_data(chunk, header),
+                          /*now=*/100)
+                  .is_ok());
+
+  // Within the TTL nothing is evicted.
+  EXPECT_TRUE(engine.evict_expired(1'000).empty());
+  // Past the TTL the stale slot is reclaimed and reported.
+  const auto evicted = engine.evict_expired(5'000);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 7u);
+
+  // The slot is reusable: a fresh payload reassembles fine.
+  ByteVec payload(40);
+  fill_pattern(payload, 2);
+  auto fresh = nvme::inline_chunk::encode_ooo_chunk(8, 0, 1, payload);
+  const auto fresh_header = nvme::inline_chunk::decode_ooo_header(fresh);
+  ASSERT_TRUE(
+      engine
+          .accept(fresh_header,
+                  nvme::inline_chunk::ooo_chunk_data(fresh, fresh_header),
+                  /*now=*/6'000)
+          .is_ok());
+  EXPECT_TRUE(engine.complete(8));
+  EXPECT_EQ(*engine.take(8, payload.size()), payload);
+}
+
+// Regression: a chunk announcing zero or too many total chunks must be
+// rejected before any bitmap state is touched.
+TEST(ReassemblyHardeningTest, BadChunkTotalRejectedBeforeBitmap) {
+  controller::ReassemblyEngine engine({.slots = 2, .max_chunks = 4});
+  ByteVec data(16);
+  fill_pattern(data, 3);
+
+  auto zero_total = nvme::inline_chunk::encode_ooo_chunk(1, 0, 1, data);
+  auto header = nvme::inline_chunk::decode_ooo_header(zero_total);
+  header.total_chunks = 0;
+  EXPECT_EQ(engine
+                .accept(header,
+                        nvme::inline_chunk::ooo_chunk_data(zero_total, header))
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  header.total_chunks = 5;  // > max_chunks
+  header.chunk_no = 0;
+  EXPECT_EQ(engine
+                .accept(header,
+                        nvme::inline_chunk::ooo_chunk_data(zero_total, header))
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // No slot was consumed by either rejection.
+  ByteVec payload(32);
+  fill_pattern(payload, 4);
+  auto good = nvme::inline_chunk::encode_ooo_chunk(2, 0, 1, payload);
+  const auto good_header = nvme::inline_chunk::decode_ooo_header(good);
+  ASSERT_TRUE(engine
+                  .accept(good_header,
+                          nvme::inline_chunk::ooo_chunk_data(good, good_header))
+                  .is_ok());
+  EXPECT_TRUE(engine.complete(2));
 }
 
 }  // namespace

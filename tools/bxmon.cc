@@ -17,6 +17,9 @@
 //   bxmon ops=5000 qd=8 queues=4 payload=256 perfetto=run.json prom=run.prom
 //   bxmon methods=prp,byteexpress payload=1024 window=5000
 //   bxmon input=run.tsv
+//   bxmon fault.rate=0.05 fault.seed=7 ops=500   (faulted run, see
+//     docs/FAULTS.md — ops go through the driver's retry path and the
+//     fault/recovery counter section is printed after the summary)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +30,7 @@
 #include "common/config.h"
 #include "core/testbed.h"
 #include "driver/request.h"
+#include "fault/fault.h"
 #include "obs/perfetto.h"
 #include "obs/prometheus.h"
 #include "obs/telemetry.h"
@@ -131,6 +135,38 @@ void print_totals(const std::vector<obs::TelemetrySample>& samples) {
           static_cast<unsigned long long>(cell.wire_bytes));
     }
   }
+}
+
+/// Fault-injection and recovery counters (docs/FAULTS.md). Printed only
+/// when an injector was attached; the accounting line mirrors the sweep
+/// invariant `injected == recovered + degraded + failed`.
+void print_fault_section(const obs::MetricsRegistry& metrics) {
+  const auto value = [&](const char* name) {
+    return static_cast<unsigned long long>(metrics.counter_value(name));
+  };
+  std::printf("\n  faults: injected %llu (corrupt %llu, error %llu, "
+              "retryable %llu, drop %llu, delay %llu), tlp replays %llu\n",
+              value("faults.injected"), value("faults.injected_corrupt"),
+              value("faults.injected_error"),
+              value("faults.injected_error_retryable"),
+              value("faults.injected_drop"), value("faults.injected_delay"),
+              value("faults.tlp_replays"));
+  std::printf("  recovery: recovered %llu + degraded %llu + failed %llu; "
+              "timeouts %llu, aborts %llu, retries %llu, degradations %llu, "
+              "inline fallbacks %llu\n",
+              value("faults.recovered"), value("faults.degraded"),
+              value("faults.failed"), value("driver.timeouts"),
+              value("driver.aborts_sent"), value("driver.retries"),
+              value("driver.degradations"),
+              value("driver.inline_fallback_prp"));
+  std::printf("  device: completions dropped %llu, delayed %llu, commands "
+              "aborted %llu, deferred evictions %llu, reassembly evictions "
+              "%llu\n",
+              value("ctrl.completions_dropped"),
+              value("ctrl.completions_delayed"),
+              value("ctrl.commands_aborted"),
+              value("ctrl.deferred_evictions"),
+              value("ctrl.reassembly_evictions"));
 }
 
 /// Parses a Telemetry::dump_tsv document (the `tsv=` output / `input=`
@@ -251,6 +287,27 @@ int run(const Config& config) {
   testbed_config.driver.io_queue_depth =
       static_cast<std::uint32_t>(config.get_int("depth", 256));
   testbed_config.telemetry.window_ns = config.get_int("window", 10'000);
+
+  // Faulted mode: fault.rate spreads one per-command fault probability
+  // over the injector's kinds (retryable-heavy), and the recovery clocks
+  // are tightened so drops resolve within the run (docs/FAULTS.md).
+  const double fault_rate = config.get_double("fault.rate", 0.0);
+  if (fault_rate > 0) {
+    fault::FaultPolicy policy;
+    policy.chunk_corrupt = fault_rate * 0.4;
+    policy.error_retryable = fault_rate * 0.2;
+    policy.error_completion = fault_rate * 0.1;
+    policy.completion_drop = fault_rate * 0.1;
+    policy.completion_delay = fault_rate * 0.1;
+    policy.tlp_replay = fault_rate * 0.1;
+    testbed_config.faults = policy;
+    testbed_config.fault_seed =
+        static_cast<std::uint64_t>(config.get_int("fault.seed", 0xfa017));
+    testbed_config.driver.command_timeout_ns = 2'000'000;
+    testbed_config.driver.poll_idle_advance_ns = 1'000;
+    testbed_config.controller.deferred_ttl_ns = 500'000;
+    testbed_config.controller.reassembly.ttl_ns = 500'000;
+  }
   core::Testbed testbed(testbed_config);
 
   std::printf("bxmon: %zu method(s), %llu ops each, payload %u B, "
@@ -267,6 +324,7 @@ int run(const Config& config) {
   // shows the methods back to back. Per-method traffic comes from
   // before/after counter snapshots.
   std::vector<MethodSummary> summaries;
+  std::uint64_t op_errors = 0;
   for (const driver::TransferMethod method : methods) {
     MethodSummary summary;
     summary.name = driver::transfer_method_name(method);
@@ -275,41 +333,59 @@ int run(const Config& config) {
     double latency_sum = 0;
 
     // Closed loop at qd outstanding per queue, round-robin over queues.
+    // Faulted runs go through execute() instead (the driver's retry /
+    // degradation path) and tolerate final device errors — those are the
+    // point of the run and show up in the fault section.
     std::vector<driver::Submitted> inflight;
     const std::size_t target_depth = std::size_t{qd} * queue_count;
     driver::IoRequest request;
     request.opcode = nvme::IoOpcode::kVendorRawWrite;
     request.method = method;
     request.write_data = payload;
-    for (std::uint64_t i = 0; i < ops; ++i) {
-      const auto qid = static_cast<std::uint16_t>(1 + i % queue_count);
-      auto handle = testbed.driver().submit(request, qid);
-      if (!handle.is_ok()) {
-        std::fprintf(stderr, "bxmon: submit failed (%s): %s\n",
-                     summary.name.c_str(),
-                     handle.status().to_string().c_str());
-        return 1;
+    if (fault_rate > 0) {
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        const auto qid = static_cast<std::uint16_t>(1 + i % queue_count);
+        auto completion = testbed.driver().execute(request, qid);
+        if (!completion.is_ok()) {
+          std::fprintf(stderr, "bxmon: execute failed (%s): %s\n",
+                       summary.name.c_str(),
+                       completion.status().to_string().c_str());
+          return 1;
+        }
+        if (!completion->ok()) ++op_errors;
+        latency_sum += double(completion->latency_ns);
       }
-      inflight.push_back(*handle);
-      if (inflight.size() >= target_depth) {
-        auto completion = testbed.driver().wait(inflight.front());
+    } else {
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        const auto qid = static_cast<std::uint16_t>(1 + i % queue_count);
+        auto handle = testbed.driver().submit(request, qid);
+        if (!handle.is_ok()) {
+          std::fprintf(stderr, "bxmon: submit failed (%s): %s\n",
+                       summary.name.c_str(),
+                       handle.status().to_string().c_str());
+          return 1;
+        }
+        inflight.push_back(*handle);
+        if (inflight.size() >= target_depth) {
+          auto completion = testbed.driver().wait(inflight.front());
+          if (!completion.is_ok() || !completion->ok()) {
+            std::fprintf(stderr, "bxmon: wait failed (%s)\n",
+                         summary.name.c_str());
+            return 1;
+          }
+          latency_sum += double(completion->latency_ns);
+          inflight.erase(inflight.begin());
+        }
+      }
+      for (const driver::Submitted& handle : inflight) {
+        auto completion = testbed.driver().wait(handle);
         if (!completion.is_ok() || !completion->ok()) {
-          std::fprintf(stderr, "bxmon: wait failed (%s)\n",
+          std::fprintf(stderr, "bxmon: drain failed (%s)\n",
                        summary.name.c_str());
           return 1;
         }
         latency_sum += double(completion->latency_ns);
-        inflight.erase(inflight.begin());
       }
-    }
-    for (const driver::Submitted& handle : inflight) {
-      auto completion = testbed.driver().wait(handle);
-      if (!completion.is_ok() || !completion->ok()) {
-        std::fprintf(stderr, "bxmon: drain failed (%s)\n",
-                     summary.name.c_str());
-        return 1;
-      }
-      latency_sum += double(completion->latency_ns);
     }
 
     const auto after = testbed.traffic().total();
@@ -345,6 +421,12 @@ int run(const Config& config) {
                 s.mean_latency_ns,
                 s.time_ns == 0 ? 0.0
                                : double(s.ops) * 1e6 / double(s.time_ns));
+  }
+
+  if (testbed.fault_injector() != nullptr) {
+    print_fault_section(testbed.metrics());
+    std::printf("  ops with a final error status: %llu\n",
+                static_cast<unsigned long long>(op_errors));
   }
 
   // Exports, each self-checked before writing.
