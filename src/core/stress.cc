@@ -55,14 +55,6 @@ std::uint32_t slots_for(TransferMethod method, std::uint64_t len) {
   return 0;
 }
 
-/// SQ doorbells one op must ring: one per command. ByteExpress rings once
-/// for the command plus all chunks; BandSlim rings per serialized command.
-std::uint64_t doorbells_for(TransferMethod method, std::uint64_t len) {
-  return method == TransferMethod::kBandSlim
-             ? nvme::bandslim::commands_for(len)
-             : 1;
-}
-
 /// Mirrors NvmeDriver::resolve_method for the write-only ops the harness
 /// issues (len >= 1 and <= max_inline, so only the hybrid switch matters).
 TransferMethod effective_method(TransferMethod method, std::uint64_t len,
@@ -432,19 +424,48 @@ StressResult run_stress(const StressOptions& options) {
         bed.controller().transfer_stats();
     const CellSnapshot traffic_before = snapshot_traffic(bed.traffic());
 
-    // ---- submit phase.
-    const auto submit_op = [&](Op& op) {
-      driver::IoRequest request;
-      request.opcode = nvme::IoOpcode::kVendorRawWrite;
-      request.method = op.method;
-      request.write_data = {op.payload.data(), op.payload.size()};
-      auto handle = bed.driver().submit(request, op.qid);
-      if (!handle.is_ok()) {
-        sink.fail("submit failed: " + handle.status().message());
+    // ---- submit phase. The unit of scheduling is a *batch*: with
+    // batch_depth 1 every batch is a single op and goes through the
+    // classic submit() path; with batch_depth > 1 each submitter's FIFO
+    // list is cut into runs of consecutive same-queue ops (<= depth)
+    // issued via submit_batch(), which coalesces their doorbells.
+    const std::uint32_t batch_depth =
+        std::max<std::uint32_t>(1, options.batch_depth);
+    const auto submit_unit = [&](std::vector<Op*>& batch) {
+      if (batch_depth <= 1) {
+        Op& op = *batch.front();
+        driver::IoRequest request;
+        request.opcode = nvme::IoOpcode::kVendorRawWrite;
+        request.method = op.method;
+        request.write_data = {op.payload.data(), op.payload.size()};
+        auto handle = bed.driver().submit(request, op.qid);
+        if (!handle.is_ok()) {
+          sink.fail("submit failed: " + handle.status().message());
+          return;
+        }
+        op.handle = *handle;
+        op.submitted = true;
         return;
       }
-      op.handle = *handle;
-      op.submitted = true;
+      std::vector<driver::IoRequest> requests;
+      requests.reserve(batch.size());
+      for (Op* op : batch) {
+        driver::IoRequest request;
+        request.opcode = nvme::IoOpcode::kVendorRawWrite;
+        request.method = op->method;
+        request.write_data = {op->payload.data(), op->payload.size()};
+        requests.push_back(request);
+      }
+      auto batched = bed.driver().submit_batch(
+          {requests.data(), requests.size()}, batch.front()->qid);
+      if (!batched.is_ok()) {
+        sink.fail("submit_batch failed: " + batched.status().message());
+        return;
+      }
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i]->handle = batched->handles[i];
+        batch[i]->submitted = true;
+      }
     };
     const auto reap_op = [&](Op& op) {
       if (!op.submitted) return;
@@ -458,77 +479,105 @@ StressResult run_stress(const StressOptions& options) {
       }
     };
 
-    // Per-submitter FIFO work lists.
+    // Per-submitter FIFO work lists, then cut into batch units.
     std::vector<std::vector<Op*>> assigned(options.submitters);
     for (auto& op : ops) assigned[op->submitter].push_back(op.get());
+    std::vector<std::vector<std::vector<Op*>>> units(options.submitters);
+    for (std::uint16_t s = 0; s < options.submitters; ++s) {
+      std::size_t i = 0;
+      while (i < assigned[s].size()) {
+        std::vector<Op*> batch{assigned[s][i++]};
+        while (batch.size() < batch_depth && i < assigned[s].size() &&
+               assigned[s][i]->qid == batch.front()->qid) {
+          batch.push_back(assigned[s][i++]);
+        }
+        units[s].push_back(std::move(batch));
+      }
+    }
+
+    // Invariant-2 expectation under coalescing: within one batch, each
+    // maximal run of coalescable (non-BandSlim) commands shares exactly
+    // one doorbell MWr; a BandSlim op breaks the run and rings once per
+    // serialized command. Depth 1 degenerates to one bell per command.
+    std::vector<std::uint64_t> expected_sq_db(options.io_queues + 1, 0);
+    for (std::uint16_t s = 0; s < options.submitters; ++s) {
+      for (const auto& batch : units[s]) {
+        const std::uint16_t qid = batch.front()->qid;
+        bool in_run = false;
+        for (const Op* op : batch) {
+          if (op->method == TransferMethod::kBandSlim) {
+            expected_sq_db[qid] +=
+                nvme::bandslim::commands_for(op->payload.size());
+            in_run = false;
+          } else if (!in_run) {
+            ++expected_sq_db[qid];
+            in_run = true;
+          }
+        }
+      }
+    }
+
+    const auto verify_round_layout = [&] {
+      for (std::uint16_t qid = 1; qid <= options.io_queues; ++qid) {
+        std::vector<Op*> queue_ops;
+        for (auto& op : ops) {
+          if (op->qid == qid) queue_ops.push_back(op.get());
+        }
+        verify_ring_layout(bed, qid, start_tails[qid], queue_ops, sink);
+      }
+    };
 
     if (options.use_os_threads) {
-      const auto phase = [&](const std::function<void(Op&)>& step) {
+      const auto phase = [&](auto& lists, const auto& step) {
         std::vector<std::thread> threads;
         threads.reserve(options.submitters);
         for (std::uint16_t s = 0; s < options.submitters; ++s) {
           threads.emplace_back([&, s] {
-            for (Op* op : assigned[s]) {
+            for (auto& unit : lists[s]) {
               if (sink.failed()) return;
-              step(*op);
+              step(unit);
             }
           });
         }
         for (auto& thread : threads) thread.join();
       };
-      phase(submit_op);
-      if (!sink.failed()) {
-        for (std::uint16_t qid = 1; qid <= options.io_queues; ++qid) {
-          std::vector<Op*> queue_ops;
-          for (auto& op : ops) {
-            if (op->qid == qid) queue_ops.push_back(op.get());
-          }
-          verify_ring_layout(bed, qid, start_tails[qid], queue_ops, sink);
-        }
-      }
-      phase(reap_op);
+      phase(units, [&](std::vector<Op*>& batch) { submit_unit(batch); });
+      if (!sink.failed()) verify_round_layout();
+      phase(assigned, [&](Op* op) { reap_op(*op); });
     } else {
       // Cooperative deterministic interleaving: the scheduler RNG picks
       // which submitter performs its next step.
-      const auto drain = [&](const std::function<void(Op&)>& step) {
+      const auto drain = [&](auto& lists, const auto& step) {
         std::vector<std::size_t> cursor(options.submitters, 0);
         std::vector<std::uint16_t> live;
         for (std::uint16_t s = 0; s < options.submitters; ++s) {
-          if (!assigned[s].empty()) live.push_back(s);
+          if (!lists[s].empty()) live.push_back(s);
         }
         while (!live.empty() && !sink.failed()) {
           const std::size_t pick = rng() % live.size();
           const std::uint16_t s = live[pick];
-          step(*assigned[s][cursor[s]]);
-          if (++cursor[s] == assigned[s].size()) {
+          step(lists[s][cursor[s]]);
+          if (++cursor[s] == lists[s].size()) {
             live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
           }
         }
       };
-      drain(submit_op);
-      if (!sink.failed()) {
-        for (std::uint16_t qid = 1; qid <= options.io_queues; ++qid) {
-          std::vector<Op*> queue_ops;
-          for (auto& op : ops) {
-            if (op->qid == qid) queue_ops.push_back(op.get());
-          }
-          verify_ring_layout(bed, qid, start_tails[qid], queue_ops, sink);
-        }
-      }
-      drain(reap_op);
+      drain(units, [&](std::vector<Op*>& batch) { submit_unit(batch); });
+      if (!sink.failed()) verify_round_layout();
+      drain(assigned, [&](Op* op) { reap_op(*op); });
     }
     result.ops_submitted += ops.size();
     if (sink.failed()) break;
     result.ops_completed += ops.size();
 
-    // ---- invariant 2: doorbell counts per queue.
+    // ---- invariant 2: doorbell counts per queue. The expectation was
+    // computed per batch above (coalesced accounting); commands still get
+    // one CQ doorbell each — CQE reaping is not coalesced.
     for (std::uint16_t qid = 1; qid <= options.io_queues; ++qid) {
-      std::uint64_t expected_sq = 0;
+      const std::uint64_t expected_sq = expected_sq_db[qid];
       std::uint64_t commands = 0;
       for (const auto& op : ops) {
-        if (op->qid != qid) continue;
-        expected_sq += doorbells_for(op->method, op->payload.size());
-        ++commands;
+        if (op->qid == qid) ++commands;
       }
       const std::uint64_t got_sq =
           bed.bar().sq_doorbell_writes(qid) - sq_db_before[qid];
@@ -713,33 +762,62 @@ FaultSweepResult run_fault_sweep(const FaultSweepOptions& options) {
   const CellSnapshot traffic_before = snapshot_traffic(bed.traffic());
   const std::uint64_t db_before = doorbell_writes();
 
-  for (std::uint32_t i = 0; i < options.ops && !sink.failed(); ++i) {
-    const std::uint32_t len =
-        1 + static_cast<std::uint32_t>(rng() % payload_cap);
-    ByteVec payload(len);
-    const auto fill = static_cast<Byte>(rng());
-    for (std::uint32_t b = 0; b < len; ++b) {
-      payload[b] = static_cast<Byte>(fill + b * 7);
+  const std::uint32_t batch_depth =
+      std::max<std::uint32_t>(1, options.batch_depth);
+  std::uint32_t issued = 0;
+  while (issued < options.ops && !sink.failed()) {
+    const std::uint32_t group =
+        std::min(batch_depth, options.ops - issued);
+    std::vector<ByteVec> payloads(group);
+    std::vector<driver::IoRequest> requests(group);
+    for (std::uint32_t g = 0; g < group; ++g) {
+      const std::uint32_t len =
+          1 + static_cast<std::uint32_t>(rng() % payload_cap);
+      payloads[g].resize(len);
+      const auto fill = static_cast<Byte>(rng());
+      for (std::uint32_t b = 0; b < len; ++b) {
+        payloads[g][b] = static_cast<Byte>(fill + b * 7);
+      }
+      requests[g].opcode = nvme::IoOpcode::kVendorRawWrite;
+      requests[g].method = effective_method(options.method, len, config.driver);
+      requests[g].write_data = {payloads[g].data(), payloads[g].size()};
     }
-    driver::IoRequest request;
-    request.opcode = nvme::IoOpcode::kVendorRawWrite;
-    request.method = effective_method(options.method, len, config.driver);
-    request.write_data = {payload.data(), payload.size()};
-    ++result.ops_attempted;
-    auto completion = bed.driver().execute(request, 1);
-    if (!completion.is_ok()) {
-      // execute() only fails this way on harness bugs (hang detection,
-      // unknown cid) — every injected fault must come back as a
-      // Completion with a device status.
-      sink.fail("execute() error on op " + std::to_string(i) + ": " +
-                completion.status().message());
-      break;
-    }
-    if (completion->status.is_success()) {
-      ++result.ops_ok;
+    result.ops_attempted += group;
+    if (batch_depth <= 1) {
+      auto completion = bed.driver().execute(requests[0], 1);
+      if (!completion.is_ok()) {
+        // execute() only fails this way on harness bugs (hang detection,
+        // unknown cid) — every injected fault must come back as a
+        // Completion with a device status.
+        sink.fail("execute() error on op " + std::to_string(issued) + ": " +
+                  completion.status().message());
+        break;
+      }
+      if (completion->status.is_success()) {
+        ++result.ops_ok;
+      } else {
+        ++result.ops_error;
+      }
     } else {
-      ++result.ops_error;
+      // Batched sweep: a fault on command k of the batch must resolve
+      // through the same retry tail as execute(), leaving the other
+      // group-1 commands untouched.
+      auto completions = bed.driver().execute_batch(
+          {requests.data(), requests.size()}, 1);
+      if (!completions.is_ok()) {
+        sink.fail("execute_batch() error at op " + std::to_string(issued) +
+                  ": " + completions.status().message());
+        break;
+      }
+      for (const driver::Completion& completion : *completions) {
+        if (completion.status.is_success()) {
+          ++result.ops_ok;
+        } else {
+          ++result.ops_error;
+        }
+      }
     }
+    issued += group;
   }
 
   const obs::MetricsRegistry& metrics = bed.metrics();

@@ -58,6 +58,12 @@ struct StressOptions {
   /// false: seeded cooperative interleaving on one OS thread
   /// (deterministic); true: real threads (for TSan).
   bool use_os_threads = false;
+  /// 1: each op submitted individually (one doorbell per command, the
+  /// PR 1 path). > 1: each submitter groups runs of up to batch_depth
+  /// consecutive same-queue ops and issues them via submit_batch(), so a
+  /// run of coalescable commands shares ONE doorbell MWr. Invariant 2's
+  /// expected doorbell counts switch to the coalesced accounting.
+  std::uint32_t batch_depth = 1;
   /// Record the full event trace of the run and return it in
   /// StressResult::trace_events (for the trace-invariant tests).
   bool capture_trace = false;
@@ -116,6 +122,11 @@ struct FaultSweepOptions {
   driver::TransferMethod method = driver::TransferMethod::kByteExpress;
   std::uint32_t ops = 64;
   std::uint32_t max_payload_bytes = 1024;
+  /// 1: ops go through execute() one at a time. > 1: ops are issued in
+  /// groups of batch_depth via execute_batch(), exercising the batched
+  /// retry tail — a fault on command k of a batch must resolve without
+  /// poisoning the other commands, with accounting still exact.
+  std::uint32_t batch_depth = 1;
   /// Injection policy; the sweep builds the testbed with this policy and
   /// its own (short) recovery clocks. Leave delay_ns at the default so
   /// delayed completions always out-wait the driver timeout.

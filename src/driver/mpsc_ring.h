@@ -1,0 +1,128 @@
+// Bounded lock-free MPSC ring for cross-core request handoff.
+//
+// This is the reactor model's mailbox (SPDK calls it the thread "ring"):
+// any producer core may post work with try_push(), but exactly one
+// consumer — the reactor that owns the target queue pair — drains it with
+// try_pop(). The implementation is the classic bounded sequence-number
+// queue (Vyukov): each cell carries a ticket whose value tells producers
+// and the consumer whether the cell is free, full, or still being filled,
+// so no slot is ever read before its payload store is published.
+//
+// Ordering guarantees relied on by tests/reactor_test.cc:
+//   * per-producer FIFO — one thread's pushes are popped in push order,
+//     because a producer claims strictly increasing cell positions in
+//     program order;
+//   * no loss, no duplication — each successful try_push() is matched by
+//     exactly one try_pop() observing that element;
+//   * try_pop() never blocks on a claimed-but-unfilled cell: it returns
+//     false and the consumer retries, so a preempted producer cannot
+//     deadlock the reactor.
+//
+// All synchronization is acquire/release on the cell sequence numbers —
+// no mutexes — so the ring is safe (and TSan-clean) with any number of
+// producers against the single consumer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace bx::driver {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` must be a power of two (ring index arithmetic is a mask).
+  explicit MpscRing(std::size_t capacity)
+      : capacity_(capacity),
+        mask_(capacity - 1),
+        cells_(std::make_unique<Cell[]>(capacity)) {
+    BX_ASSERT_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                  "MpscRing capacity must be a power of two >= 2");
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Producer side (any thread). Returns false when the ring is full.
+  bool try_push(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        // Cell is free for this ticket; claim it.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          // Publish: the consumer's acquire load of sequence sees the
+          // value store above.
+          cell.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failed: pos was reloaded; retry with the new ticket.
+      } else if (dif < 0) {
+        // The cell still holds an element from `capacity` tickets ago:
+        // the ring is full.
+        return false;
+      } else {
+        // Another producer claimed this ticket; advance.
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer side (single thread only). Returns false when the ring is
+  /// empty *or* the next cell's producer has claimed but not yet filled
+  /// it (retry later — never spins on another thread).
+  bool try_pop(T& out) {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+    const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                              static_cast<std::intptr_t>(pos + 1);
+    if (dif != 0) return false;  // empty, or producer mid-fill
+    out = std::move(cell.value);
+    cell.value = T{};
+    // Release the cell for the producer `capacity` tickets later.
+    cell.sequence.store(pos + capacity_, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Approximate occupancy (exact when quiesced); feeds the reactor's
+  /// ring-occupancy gauge. Safe from any thread.
+  [[nodiscard]] std::size_t occupancy() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  /// Producers race on tail_ with CAS; head_ is advanced only by the
+  /// single consumer but stays atomic (relaxed) so occupancy() can be
+  /// sampled from any thread.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace bx::driver

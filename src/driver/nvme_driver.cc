@@ -18,6 +18,21 @@ ConstByteSpan sqe_bytes(const nvme::SubmissionQueueEntry& sqe) {
   return {reinterpret_cast<const Byte*>(&sqe), sizeof(sqe)};
 }
 
+/// Takes the SQ submit lock unless the ring is exclusively owned
+/// (reactor mode, where the owner thread is the only submitter and the
+/// lock would be pure overhead on the hot path).
+class SqGuard {
+ public:
+  explicit SqGuard(nvme::SqRing& sq) {
+    if (!sq.exclusive_owner()) {
+      lock_ = std::unique_lock<std::mutex>(sq.lock());
+    }
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
 }  // namespace
 
 NvmeDriver::NvmeDriver(DmaMemory& memory, pcie::PcieLink& link,
@@ -93,6 +108,10 @@ Status NvmeDriver::init_io_queues() {
       metrics_->expose_gauge(prefix + ".sq_occupancy",
                              &created.sq_occupancy);
       metrics_->expose_gauge(prefix + ".inflight", &created.inflight);
+      metrics_->expose_counter(prefix + ".sq_doorbells",
+                               &created.sq_doorbells);
+      metrics_->expose_counter(prefix + ".sq_entries", &created.sq_entries);
+      metrics_->expose_counter(prefix + ".commands", &created.commands);
     }
     if (telemetry_ != nullptr) {
       telemetry_->register_queue(i, &created.sq_occupancy,
@@ -128,6 +147,12 @@ void NvmeDriver::bind_metrics(obs::MetricsRegistry& metrics) {
   metrics.expose_counter("faults.recovered", &faults_recovered_);
   metrics.expose_counter("faults.degraded", &faults_degraded_);
   metrics.expose_counter("faults.failed", &faults_failed_);
+  metrics.expose_counter("driver.batches", &batches_);
+  metrics.expose_counter("driver.batched_commands", &batched_commands_);
+  metrics.expose_counter("driver.sq_doorbells", &total_sq_doorbells_);
+  metrics.expose_counter("driver.commands", &total_commands_);
+  metrics.expose_gauge("driver.doorbells_per_kop", &doorbells_per_kop_);
+  batch_size_metric_ = &metrics.histogram("driver.batch_size");
 }
 
 void NvmeDriver::ring_sq_traced(std::uint16_t qid, std::uint32_t tail,
@@ -150,7 +175,23 @@ void NvmeDriver::ring_sq_traced(std::uint16_t qid, std::uint32_t tail,
     tracer_->record(event);
   }
   doorbell_.ring_sq_tail(qid, tail);
-  if (telemetry_ != nullptr) telemetry_->on_sq_doorbell(qid);
+  // Doorbell accounting counts BAR writes, not commands: a coalesced
+  // batch bumps sq_doorbells once while sq_entries advances by the whole
+  // run (the PR 1 counters assumed one ring per submit; batching broke
+  // that assumption, so the books are kept here, at the single place
+  // every SQ ring goes through).
+  QueuePair& qp = queue(qid);
+  qp.sq_doorbells.increment();
+  qp.sq_entries.add(entries);
+  if (qid != 0) {
+    total_sq_doorbells_.increment();
+    const std::uint64_t commands = total_commands_.value();
+    if (commands > 0) {
+      doorbells_per_kop_.set(static_cast<std::int64_t>(
+          total_sq_doorbells_.value() * 1000 / commands));
+    }
+  }
+  if (telemetry_ != nullptr) telemetry_->on_sq_doorbell(qid, entries);
 }
 
 std::size_t NvmeDriver::pending_count_for_test(std::uint16_t qid) {
@@ -388,7 +429,7 @@ Status NvmeDriver::submit_plain(QueuePair& qp,
   int idle_spins = 0;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(qp.sq->lock());
+      SqGuard lock(*qp.sq);
       if (qp.sq->free_slots() >= 1) {
         const Nanoseconds start = link_.clock().now();
         link_.clock().advance(config_.timing.sqe_insert_ns);
@@ -418,6 +459,42 @@ Status NvmeDriver::submit_plain(QueuePair& qp,
   }
 }
 
+std::uint32_t NvmeDriver::push_command_locked(
+    QueuePair& qp, const nvme::SubmissionQueueEntry& sqe,
+    ConstByteSpan inline_payload) {
+  link_.clock().advance(config_.timing.sqe_insert_ns);
+  qp.sq->push_slot(sqe_bytes(sqe));
+  if (inline_payload.empty()) return 1;
+  const bool ooo = nvme::inline_chunk::sqe_is_ooo(sqe);
+  const std::uint32_t chunks =
+      ooo ? nvme::inline_chunk::ooo_chunks_for(inline_payload.size())
+          : nvme::inline_chunk::raw_chunks_for(inline_payload.size());
+  std::size_t offset = 0;
+  for (std::uint32_t i = 0; i < chunks; ++i) {
+    link_.clock().advance(config_.timing.chunk_insert_ns);
+    if (ooo) {
+      const std::size_t take =
+          std::min<std::size_t>(nvme::inline_chunk::kOooChunkCapacity,
+                                inline_payload.size() - offset);
+      const auto slot = nvme::inline_chunk::encode_ooo_chunk(
+          nvme::inline_chunk::sqe_ooo_payload_id(sqe),
+          static_cast<std::uint16_t>(i), static_cast<std::uint16_t>(chunks),
+          inline_payload.subspan(offset, take));
+      qp.sq->push_slot({slot.raw, sizeof(slot.raw)});
+      offset += take;
+    } else {
+      const std::size_t take = std::min<std::size_t>(
+          nvme::inline_chunk::kRawChunkCapacity,
+          inline_payload.size() - offset);
+      const auto slot = nvme::inline_chunk::encode_raw_chunk(
+          inline_payload.subspan(offset, take));
+      qp.sq->push_slot({slot.raw, sizeof(slot.raw)});
+      offset += take;
+    }
+  }
+  return 1 + chunks;
+}
+
 bool NvmeDriver::submit_inline_locked(QueuePair& qp,
                                       const nvme::SubmissionQueueEntry& sqe,
                                       ConstByteSpan payload) {
@@ -428,40 +505,17 @@ bool NvmeDriver::submit_inline_locked(QueuePair& qp,
   {
     // §3.3.2: command + chunks inserted under one hold of the SQ lock, so
     // the entries are consecutive and in order.
-    std::lock_guard<std::mutex> lock(qp.sq->lock());
+    SqGuard lock(*qp.sq);
     if (qp.sq->free_slots() < 1 + chunks) return false;
     const Nanoseconds start = link_.clock().now();
-    link_.clock().advance(config_.timing.sqe_insert_ns);
-    qp.sq->push_slot(sqe_bytes(sqe));
-    std::size_t offset = 0;
-    for (std::uint32_t i = 0; i < chunks; ++i) {
-      link_.clock().advance(config_.timing.chunk_insert_ns);
-      if (ooo) {
-        const std::size_t take =
-            std::min<std::size_t>(nvme::inline_chunk::kOooChunkCapacity,
-                                  payload.size() - offset);
-        const auto slot = nvme::inline_chunk::encode_ooo_chunk(
-            nvme::inline_chunk::sqe_ooo_payload_id(sqe),
-            static_cast<std::uint16_t>(i), static_cast<std::uint16_t>(chunks),
-            payload.subspan(offset, take));
-        qp.sq->push_slot({slot.raw, sizeof(slot.raw)});
-        offset += take;
-      } else {
-        const std::size_t take = std::min<std::size_t>(
-            nvme::inline_chunk::kRawChunkCapacity, payload.size() - offset);
-        const auto slot =
-            nvme::inline_chunk::encode_raw_chunk(payload.subspan(offset, take));
-        qp.sq->push_slot({slot.raw, sizeof(slot.raw)});
-        offset += take;
-      }
-    }
+    const std::uint32_t pushed = push_command_locked(qp, sqe, payload);
     qp.sq_occupancy.set(qp.sq->occupancy());
     last_submit_cost_ns_.store(link_.clock().now() - start,
                                std::memory_order_relaxed);
     // One doorbell for the command and all of its chunks, rung before the
     // lock drops so racing submitters cannot regress the tail register.
     ring_sq_traced(qp.sq->qid(), qp.sq->tail(),
-                   /*entries=*/1 + std::uint64_t{chunks}, sqe.cid,
+                   /*entries=*/pushed, sqe.cid,
                    ooo ? obs::kFlagOooCommand : 0);
   }
   return true;
@@ -621,6 +675,8 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
     submit_cost_metric_->record(
         static_cast<std::uint64_t>(last_submit_cost()));
   }
+  qp.commands.increment();
+  total_commands_.increment();
 
   Submitted handle;
   handle.qid = qid;
@@ -777,7 +833,7 @@ std::size_t NvmeDriver::poll_completions(std::uint16_t qid) {
 void NvmeDriver::reap_one(QueuePair& qp,
                           const nvme::CompletionQueueEntry& cqe) {
   {
-    std::lock_guard<std::mutex> lock(qp.sq->lock());
+    SqGuard lock(*qp.sq);
     qp.sq->note_head(cqe.sq_head);
     qp.sq_occupancy.set(qp.sq->occupancy());
   }
@@ -796,27 +852,36 @@ StatusOr<Completion> NvmeDriver::execute(const IoRequest& request,
   if (qid == 0 || qid > io_queues_.size()) {
     return invalid_argument("bad I/O qid " + std::to_string(qid));
   }
+  auto resolved = resolve_method(request, qid);
+  BX_RETURN_IF_ERROR(resolved.status());
+  std::uint8_t flags = 0;
+  if (resolved->feasibility_fallback || resolved->degraded) {
+    flags = obs::kFlagMethodFallback;
+  }
+  if (resolved->feasibility_fallback) inline_fallbacks_.increment();
+  auto handle = submit_with_method(request, qid, resolved->method, flags);
+  BX_RETURN_IF_ERROR(handle.status());
+  auto completion = wait(*handle);
+  BX_RETURN_IF_ERROR(completion.status());
+  return finish_with_retries(request, qid, *std::move(completion), *resolved);
+}
+
+StatusOr<Completion> NvmeDriver::finish_with_retries(const IoRequest& request,
+                                                     std::uint16_t qid,
+                                                     Completion completion,
+                                                     ResolvedMethod resolved) {
   QueuePair& qp = queue(qid);
   std::uint32_t failed_attempts = 0;
   for (std::uint32_t attempt = 0;; ++attempt) {
-    auto resolved = resolve_method(request, qid);
-    BX_RETURN_IF_ERROR(resolved.status());
-    std::uint8_t flags = 0;
-    if (resolved->feasibility_fallback || resolved->degraded) {
-      flags = obs::kFlagMethodFallback;
-    }
-    if (resolved->feasibility_fallback) inline_fallbacks_.increment();
-    const bool inline_attempt = is_inline_method(resolved->method);
-    auto handle = submit_with_method(request, qid, resolved->method, flags);
-    BX_RETURN_IF_ERROR(handle.status());
-    auto completion = wait(*handle);
-    BX_RETURN_IF_ERROR(completion.status());
-    if (completion->status.is_success()) {
-      if (inline_attempt) qp.inline_failures.store(0, std::memory_order_relaxed);
+    const bool inline_attempt = is_inline_method(resolved.method);
+    if (completion.status.is_success()) {
+      if (inline_attempt) {
+        qp.inline_failures.store(0, std::memory_order_relaxed);
+      }
       // Every failed attempt that this success redeems was one injected
       // fault; classify it so injected == recovered + degraded + failed.
       if (failed_attempts > 0) {
-        if (resolved->degraded) {
+        if (resolved.degraded) {
           faults_degraded_.add(failed_attempts);
         } else {
           faults_recovered_.add(failed_attempts);
@@ -836,7 +901,7 @@ StatusOr<Completion> NvmeDriver::execute(const IoRequest& request,
         degradations_.increment();
       }
     }
-    if (!is_retryable(completion->status) || attempt >= config_.max_retries) {
+    if (!is_retryable(completion.status) || attempt >= config_.max_retries) {
       faults_failed_.add(failed_attempts);
       return completion;
     }
@@ -846,7 +911,331 @@ StatusOr<Completion> NvmeDriver::execute(const IoRequest& request,
         config_.retry_backoff_cap_ns,
         config_.retry_backoff_base_ns << std::min<std::uint32_t>(attempt, 20));
     link_.clock().advance(backoff);
+
+    auto next_resolved = resolve_method(request, qid);
+    BX_RETURN_IF_ERROR(next_resolved.status());
+    resolved = *next_resolved;
+    std::uint8_t flags = 0;
+    if (resolved.feasibility_fallback || resolved.degraded) {
+      flags = obs::kFlagMethodFallback;
+    }
+    if (resolved.feasibility_fallback) inline_fallbacks_.increment();
+    auto handle = submit_with_method(request, qid, resolved.method, flags);
+    BX_RETURN_IF_ERROR(handle.status());
+    auto next = wait(*handle);
+    BX_RETURN_IF_ERROR(next.status());
+    completion = *std::move(next);
   }
+}
+
+StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
+    std::span<const IoRequest> requests, std::uint16_t qid) {
+  if (qid == 0 || qid > io_queues_.size()) {
+    return invalid_argument("bad I/O qid " + std::to_string(qid));
+  }
+  if (requests.empty()) return invalid_argument("empty batch");
+  QueuePair& qp = queue(qid);
+  const std::uint64_t bar_db_before = bar_.sq_doorbell_writes(qid);
+
+  // ---- phase 1: prepare every request outside the ring lock — method
+  // resolution, geometry validation, PRP/SGL staging, CID registration.
+  struct Prepared {
+    nvme::SubmissionQueueEntry sqe{};
+    const IoRequest* request = nullptr;
+    ResolvedMethod resolved{};
+    std::uint8_t submit_flags = 0;
+    /// Ring slots (SQE + inline chunks); 0 marks a BandSlim request,
+    /// which cannot coalesce and goes through its serialized path.
+    std::uint32_t slots = 0;
+    ConstByteSpan inline_payload{};
+    Nanoseconds submit_time = 0;
+    std::uint16_t cid = 0;
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(requests.size());
+
+  // Registered-but-unsubmitted pendings must not leak on an error exit.
+  const auto abandon_from = [&](std::size_t first_unsubmitted) {
+    std::lock_guard<std::mutex> lock(qp.pending_mutex);
+    for (std::size_t j = first_unsubmitted; j < prepared.size(); ++j) {
+      qp.pending.erase(prepared[j].cid);
+    }
+    qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
+  };
+
+  for (const IoRequest& request : requests) {
+    Prepared prep;
+    prep.request = &request;
+    auto resolved = resolve_method(request, qid);
+    if (!resolved.is_ok()) {
+      abandon_from(0);
+      return resolved.status();
+    }
+    prep.resolved = *resolved;
+    if (prep.resolved.feasibility_fallback || prep.resolved.degraded) {
+      prep.submit_flags = obs::kFlagMethodFallback;
+    }
+    if (prep.resolved.feasibility_fallback) inline_fallbacks_.increment();
+
+    if (request.opcode == nvme::IoOpcode::kWrite &&
+        request.write_data.size() !=
+            std::uint64_t{request.block_count} * kBlockSize) {
+      abandon_from(0);
+      return invalid_argument("write_data must be block_count * 4096 bytes");
+    }
+    if (request.opcode == nvme::IoOpcode::kRead &&
+        request.read_buffer.size() !=
+            std::uint64_t{request.block_count} * kBlockSize) {
+      abandon_from(0);
+      return invalid_argument("read_buffer must be block_count * 4096 bytes");
+    }
+
+    prep.sqe = build_base_sqe(request);
+    Pending pending;
+    prep.submit_time = link_.clock().now();
+    pending.submit_time_ns = prep.submit_time;
+    if (config_.command_timeout_ns > 0) {
+      pending.deadline_ns = prep.submit_time + config_.command_timeout_ns;
+    }
+
+    switch (prep.resolved.method) {
+      case TransferMethod::kPrp: {
+        const Status status = attach_data_prp(qp, prep.sqe, pending, request);
+        if (!status.is_ok()) {
+          abandon_from(0);
+          return status;
+        }
+        prep.slots = 1;
+        break;
+      }
+      case TransferMethod::kSgl: {
+        const Status status = attach_data_sgl(qp, prep.sqe, pending, request);
+        if (!status.is_ok()) {
+          abandon_from(0);
+          return status;
+        }
+        prep.slots = 1;
+        break;
+      }
+      case TransferMethod::kByteExpress:
+      case TransferMethod::kByteExpressOoo: {
+        prep.sqe.set_inline_length(
+            static_cast<std::uint32_t>(request.write_data.size()));
+        std::uint32_t chunks;
+        if (prep.resolved.method == TransferMethod::kByteExpressOoo) {
+          nvme::inline_chunk::mark_sqe_ooo(prep.sqe, allocate_payload_id());
+          chunks =
+              nvme::inline_chunk::ooo_chunks_for(request.write_data.size());
+        } else {
+          chunks =
+              nvme::inline_chunk::raw_chunks_for(request.write_data.size());
+        }
+        prep.inline_payload = request.write_data;
+        prep.slots = 1 + chunks;
+        break;
+      }
+      case TransferMethod::kBandSlim:
+        prep.slots = 0;
+        break;
+      case TransferMethod::kHybrid:
+        abandon_from(0);
+        return internal_error("hybrid must be resolved before submission");
+    }
+
+    prep.cid = register_pending(qp, std::move(pending));
+    prep.sqe.cid = prep.cid;
+    prepared.push_back(prep);
+  }
+
+  // Per-command bookkeeping (trace, telemetry, counters) happens once per
+  // command regardless of how many doorbells the batch ends up needing.
+  for (const Prepared& prep : prepared) {
+    const IoRequest& request = *prep.request;
+    if (telemetry_ != nullptr && is_write_direction(request.opcode)) {
+      telemetry_->on_payload(request.write_data.size());
+    }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      obs::TraceEvent event;
+      event.stage = obs::TraceStage::kSubmit;
+      event.start = prep.submit_time;
+      event.end = link_.clock().now();
+      event.qid = qid;
+      event.cid = prep.cid;
+      event.aux = static_cast<std::uint64_t>(prep.resolved.method);
+      event.bytes = request.write_data.size();
+      event.flags = prep.submit_flags;
+      if (prep.resolved.method == TransferMethod::kByteExpressOoo) {
+        event.flags |= obs::kFlagOooCommand;
+      }
+      tracer_->record(event);
+    }
+    if (submissions_metric_ != nullptr) submissions_metric_->increment();
+    qp.commands.increment();
+    total_commands_.increment();
+    batched_commands_.increment();
+  }
+
+  // ---- phase 2: lay the SQEs plus their inline chunk runs back-to-back
+  // under one lock hold and publish each contiguous run with a single
+  // doorbell MWr. Ring backpressure (or a BandSlim request) ends a run;
+  // the remainder coalesces under the next bell.
+  BatchResult result;
+  result.handles.reserve(requests.size());
+  result.resolved.reserve(requests.size());
+  std::size_t i = 0;
+  int idle_spins = 0;
+  while (i < prepared.size()) {
+    if (prepared[i].slots == 0) {
+      // BandSlim: header + serialized fragment commands, one doorbell
+      // each by construction (§3.2) — it can never share a bell.
+      const Status status =
+          submit_bandslim(qp, prepared[i].sqe, *prepared[i].request);
+      if (!status.is_ok()) {
+        abandon_from(i);
+        return status;
+      }
+      ++i;
+      continue;
+    }
+    std::uint64_t run_entries = 0;
+    std::uint64_t run_commands = 0;
+    {
+      SqGuard guard(*qp.sq);
+      const Nanoseconds start = link_.clock().now();
+      std::uint16_t last_cid = 0;
+      std::uint8_t bell_flags = 0;
+      while (i < prepared.size() && prepared[i].slots > 0 &&
+             qp.sq->free_slots() >= prepared[i].slots) {
+        const Prepared& prep = prepared[i];
+        push_command_locked(qp, prep.sqe, prep.inline_payload);
+        run_entries += prep.slots;
+        ++run_commands;
+        last_cid = prep.cid;
+        if (prep.resolved.method == TransferMethod::kByteExpressOoo) {
+          bell_flags |= obs::kFlagOooCommand;
+        }
+        ++i;
+      }
+      if (run_commands > 0) {
+        qp.sq_occupancy.set(qp.sq->occupancy());
+        last_submit_cost_ns_.store(link_.clock().now() - start,
+                                   std::memory_order_relaxed);
+        // ONE doorbell covers every command and chunk of the run, rung
+        // before the lock drops (tail-regression rule unchanged).
+        ring_sq_traced(qid, qp.sq->tail(), run_entries, last_cid,
+                       bell_flags);
+      }
+    }
+    if (run_commands > 0) {
+      idle_spins = 0;
+      batches_.increment();
+      if (batch_size_metric_ != nullptr) {
+        batch_size_metric_->record(run_commands);
+      }
+      if (submit_cost_metric_ != nullptr) {
+        submit_cost_metric_->record(
+            static_cast<std::uint64_t>(last_submit_cost()));
+      }
+      result.entries += run_entries;
+    } else if (i < prepared.size() && prepared[i].slots > 0) {
+      // The next command does not fit: reap and let the device drain,
+      // bounded so a wedged device surfaces as an error, not a hang.
+      poll_completions(qid);
+      if (pump_once()) {
+        idle_spins = 0;
+      } else if (++idle_spins > 10000) {
+        abandon_from(i);
+        return resource_exhausted(
+            "SQ full and device made no progress during batch");
+      }
+    }
+  }
+
+  for (const Prepared& prep : prepared) {
+    Submitted handle;
+    handle.qid = qid;
+    handle.cid = prep.cid;
+    handle.submit_time_ns = prep.submit_time;
+    result.handles.push_back(handle);
+    result.resolved.push_back(prep.resolved);
+  }
+  result.doorbells = bar_.sq_doorbell_writes(qid) - bar_db_before;
+  return result;
+}
+
+StatusOr<std::vector<Completion>> NvmeDriver::execute_batch(
+    std::span<const IoRequest> requests, std::uint16_t qid) {
+  auto batch = submit_batch(requests, qid);
+  BX_RETURN_IF_ERROR(batch.status());
+  std::vector<Completion> completions;
+  completions.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto first = wait(batch->handles[i]);
+    BX_RETURN_IF_ERROR(first.status());
+    // The shared retry tail: a fault on command i recovers (or degrades,
+    // or fails) exactly as execute() would, without touching the other
+    // commands of the batch.
+    auto final_completion = finish_with_retries(
+        requests[i], qid, *std::move(first), batch->resolved[i]);
+    BX_RETURN_IF_ERROR(final_completion.status());
+    completions.push_back(*std::move(final_completion));
+  }
+  return completions;
+}
+
+StatusOr<NvmeDriver::PipelineResult> NvmeDriver::write_pipeline(
+    ConstByteSpan payload, std::uint32_t chunk_bytes, std::uint32_t depth,
+    std::uint16_t qid, TransferMethod method) {
+  if (qid == 0 || qid > io_queues_.size()) {
+    return invalid_argument("bad I/O qid " + std::to_string(qid));
+  }
+  if (payload.empty()) {
+    return invalid_argument("write_pipeline needs a payload");
+  }
+  if (chunk_bytes == 0 || depth == 0) {
+    return invalid_argument("chunk_bytes and depth must be positive");
+  }
+
+  const std::uint64_t db_before = bar_.sq_doorbell_writes(qid);
+  PipelineResult result;
+  std::vector<IoRequest> group;
+  group.reserve(depth);
+  std::size_t offset = 0;
+  while (offset < payload.size()) {
+    group.clear();
+    while (group.size() < depth && offset < payload.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(chunk_bytes, payload.size() - offset);
+      IoRequest request;
+      request.opcode = nvme::IoOpcode::kVendorRawWrite;
+      request.method = method;
+      request.write_data = payload.subspan(offset, take);
+      group.push_back(request);
+      offset += take;
+    }
+    auto completions =
+        execute_batch({group.data(), group.size()}, qid);
+    BX_RETURN_IF_ERROR(completions.status());
+    result.commands += completions->size();
+    for (const Completion& completion : *completions) {
+      if (!completion.status.is_success()) ++result.errors;
+    }
+  }
+  result.payload_bytes = payload.size();
+  result.doorbells = bar_.sq_doorbell_writes(qid) - db_before;
+  return result;
+}
+
+void NvmeDriver::claim_exclusive(std::uint16_t qid) {
+  queue(qid).sq->set_exclusive_owner(true);
+}
+
+void NvmeDriver::release_exclusive(std::uint16_t qid) {
+  queue(qid).sq->set_exclusive_owner(false);
+}
+
+bool NvmeDriver::is_exclusive(std::uint16_t qid) {
+  return queue(qid).sq->exclusive_owner();
 }
 
 StatusOr<Completion> NvmeDriver::execute_ooo_striped(
@@ -892,6 +1281,18 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
     std::vector<std::uint16_t> ordered(qids);
     std::sort(ordered.begin(), ordered.end());
     ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
+    // Exclusively-owned queues elide their SQ lock on the owner path, so
+    // striping into one from here would race with its reactor; refuse.
+    for (const std::uint16_t qid : ordered) {
+      if (queue(qid).sq->exclusive_owner()) {
+        std::lock_guard<std::mutex> plock(home.pending_mutex);
+        home.pending.erase(cid);
+        home.inflight.set(static_cast<std::int64_t>(home.pending.size()));
+        return failed_precondition(
+            "stripe queue " + std::to_string(qid) +
+            " is exclusively owned by a reactor");
+      }
+    }
     std::vector<std::unique_lock<std::mutex>> locks;
     locks.reserve(ordered.size());
     for (const std::uint16_t qid : ordered) {
@@ -976,6 +1377,8 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
     submit_cost_metric_->record(
         static_cast<std::uint64_t>(last_submit_cost()));
   }
+  home.commands.increment();
+  total_commands_.increment();
 
   Submitted handle;
   handle.qid = qids.front();

@@ -25,6 +25,20 @@
 // qid order. Doorbells are rung while the ring lock is held, so BAR tail
 // values never regress when two submitters race.
 // Command/stream/payload identifiers come from atomic allocators.
+//
+// Reactor ownership (sharded per-core model, see driver/reactor.h): a
+// queue claimed with claim_exclusive(qid) elides the SQ submit lock —
+// the owner thread is then the only thread allowed to submit, poll or
+// wait on that queue; cross-core work reaches it through the reactor's
+// MPSC ring. execute_ooo_striped() must never include a claimed queue
+// in its stripe set.
+//
+// Batched submission (§3.3 doorbell coalescing): submit_batch() prepares
+// every request of a batch, then lays the SQEs and their inline chunk
+// runs back-to-back in the ring under a single lock hold and rings ONE
+// doorbell MWr covering all of them. write_pipeline() slices a large
+// payload into inline commands and keeps `depth` of them per doorbell,
+// the npu-nvme write_pipeline(depth 4-8) shape.
 #pragma once
 
 #include <atomic>
@@ -32,6 +46,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -166,6 +181,78 @@ class NvmeDriver {
   StatusOr<Submitted> submit(const IoRequest& request, std::uint16_t qid);
   StatusOr<Completion> wait(const Submitted& handle);
 
+  // ---- batched submission (doorbell coalescing) ----
+
+  /// How resolve_method() arrived at the transfer method actually used.
+  struct ResolvedMethod {
+    TransferMethod method = TransferMethod::kPrp;
+    /// The inline request could not go inline (read direction, too large,
+    /// ring too shallow) and fell back to PRP.
+    bool feasibility_fallback = false;
+    /// The queue is in degraded mode, so the inline request went PRP.
+    bool degraded = false;
+  };
+
+  struct BatchResult {
+    /// One handle per request, in request order; pair each with wait().
+    std::vector<Submitted> handles;
+    /// How each request's method was resolved (execute_batch's retry
+    /// classification needs the first-attempt view).
+    std::vector<ResolvedMethod> resolved;
+    /// SQ doorbell MWr writes this batch rang. 1 when the whole batch
+    /// coalesced under one bell; more when ring backpressure split it or
+    /// a BandSlim request forced its serialized per-command path.
+    std::uint64_t doorbells = 0;
+    /// Ring slots published (SQEs + inline chunks) by the batch.
+    std::uint64_t entries = 0;
+  };
+
+  /// Prepares every request (method resolution, PRP/SGL staging, CID
+  /// registration) outside the ring lock, then pushes all SQEs plus
+  /// their inline chunk runs contiguously under one SQ lock hold and
+  /// rings a single doorbell covering the whole batch. Preparation is
+  /// all-or-nothing: a request that fails validation fails the batch
+  /// before anything is pushed. BandSlim requests cannot coalesce (their
+  /// fragments are serialized commands by construction); they flush the
+  /// current run and ring their own doorbells.
+  StatusOr<BatchResult> submit_batch(std::span<const IoRequest> requests,
+                                     std::uint16_t qid);
+
+  /// Synchronous batch: submit_batch(), then wait for each command and
+  /// run the same retry/degradation tail as execute() — a fault on
+  /// command k of the batch recovers (or degrades, or fails) per the
+  /// fault-accounting invariant without disturbing the other commands.
+  StatusOr<std::vector<Completion>> execute_batch(
+      std::span<const IoRequest> requests, std::uint16_t qid);
+
+  struct PipelineResult {
+    std::uint64_t commands = 0;
+    /// SQ doorbell MWr writes over the whole pipeline (BAR delta, so
+    /// retries are included) — doorbells/op = doorbells / commands.
+    std::uint64_t doorbells = 0;
+    std::uint64_t payload_bytes = 0;
+    /// Commands whose final device status was an error.
+    std::uint64_t errors = 0;
+  };
+
+  /// npu-nvme-style pipelined write: slices `payload` into
+  /// `chunk_bytes`-sized commands and issues them `depth` at a time,
+  /// each group coalesced under one doorbell via execute_batch().
+  StatusOr<PipelineResult> write_pipeline(
+      ConstByteSpan payload, std::uint32_t chunk_bytes, std::uint32_t depth,
+      std::uint16_t qid = 1,
+      TransferMethod method = TransferMethod::kByteExpress);
+
+  // ---- reactor queue ownership ----
+
+  /// Marks `qid`'s SQ as exclusively owned: submit paths skip the SQ
+  /// lock. From claim until release, only the owning thread may submit,
+  /// poll or wait on this queue (the reactor contract); other threads
+  /// must hand requests to the owner via its MPSC ring.
+  void claim_exclusive(std::uint16_t qid);
+  void release_exclusive(std::uint16_t qid);
+  [[nodiscard]] bool is_exclusive(std::uint16_t qid);
+
   /// Reaps any ready completions on `qid`; returns how many were reaped.
   std::size_t poll_completions(std::uint16_t qid);
 
@@ -256,16 +343,14 @@ class NvmeDriver {
     /// Sim-time until which inline requests on this queue are routed
     /// through PRP (0 = healthy).
     std::atomic<Nanoseconds> degraded_until{0};
-  };
-
-  /// How resolve_method() arrived at the transfer method actually used.
-  struct ResolvedMethod {
-    TransferMethod method = TransferMethod::kPrp;
-    /// The inline request could not go inline (read direction, too large,
-    /// ring too shallow) and fell back to PRP.
-    bool feasibility_fallback = false;
-    /// The queue is in degraded mode, so the inline request went PRP.
-    bool degraded = false;
+    /// Per-queue doorbell accounting (exposed as driver.qN.* by
+    /// init_io_queues). sq_doorbells counts BAR MWr writes — one per
+    /// ring, NOT one per command, so coalesced batches keep
+    /// sq_entries / sq_doorbells > 1 and doorbells/op = sq_doorbells /
+    /// commands < 1.
+    obs::Counter sq_doorbells;
+    obs::Counter sq_entries;
+    obs::Counter commands;
   };
 
   [[nodiscard]] QueuePair& queue(std::uint16_t qid);
@@ -319,6 +404,22 @@ class NvmeDriver {
   bool submit_inline_locked(QueuePair& qp,
                             const nvme::SubmissionQueueEntry& sqe,
                             ConstByteSpan payload);
+
+  /// Pushes one SQE and (when `inline_payload` is non-empty) its inline
+  /// chunk run at the tail; returns slots pushed. Requires the SQ lock
+  /// (or exclusive ownership) and prior free_slots() headroom.
+  std::uint32_t push_command_locked(QueuePair& qp,
+                                    const nvme::SubmissionQueueEntry& sqe,
+                                    ConstByteSpan inline_payload);
+
+  /// The shared retry/degradation tail of execute()/execute_batch():
+  /// classifies `completion` (and every later attempt) into the
+  /// faults.{recovered,degraded,failed} trio, resubmitting with backoff
+  /// while the status is retryable.
+  StatusOr<Completion> finish_with_retries(const IoRequest& request,
+                                           std::uint16_t qid,
+                                           Completion completion,
+                                           ResolvedMethod resolved);
 
   /// BandSlim: header command + serialized fragment commands.
   Status submit_bandslim(QueuePair& qp, nvme::SubmissionQueueEntry sqe,
@@ -390,6 +491,18 @@ class NvmeDriver {
   obs::Counter faults_recovered_;
   obs::Counter faults_degraded_;
   obs::Counter faults_failed_;
+
+  // Batched-submission accounting (exposed as driver.* by bind_metrics).
+  // total_sq_doorbells_/total_commands_ cover the I/O queues only, so
+  // doorbells_per_kop_ = 1000 * doorbells / commands is the I/O-path
+  // coalescing figure (1000 = one bell per command; < 1000 = coalesced;
+  // > 1000 = BandSlim-style serialized fragments).
+  obs::Counter batches_;
+  obs::Counter batched_commands_;
+  obs::Counter total_sq_doorbells_;
+  obs::Counter total_commands_;
+  obs::Gauge doorbells_per_kop_;
+  obs::Histogram* batch_size_metric_ = nullptr;  // registry-owned
 };
 
 }  // namespace bx::driver

@@ -90,9 +90,11 @@ void Telemetry::on_stage(TraceStage stage, Nanoseconds duration) noexcept {
   stage_ns_[index].fetch_add(duration, kRelaxed);
 }
 
-void Telemetry::on_sq_doorbell(std::uint16_t qid) noexcept {
+void Telemetry::on_sq_doorbell(std::uint16_t qid,
+                               std::uint64_t entries) noexcept {
   if (qid < queues_.size() && queues_[qid] != nullptr) {
     queues_[qid]->sq_doorbells.fetch_add(1, kRelaxed);
+    queues_[qid]->sq_entries.fetch_add(entries, kRelaxed);
   }
 }
 
@@ -146,10 +148,13 @@ void Telemetry::close_window_locked(Nanoseconds end) {
         source->sq_occupancy != nullptr ? source->sq_occupancy->value() : 0;
     qw.inflight = source->inflight != nullptr ? source->inflight->value() : 0;
     const std::uint64_t sq_now = source->sq_doorbells.load(kRelaxed);
+    const std::uint64_t entries_now = source->sq_entries.load(kRelaxed);
     const std::uint64_t cq_now = source->cq_doorbells.load(kRelaxed);
     qw.sq_doorbells = sq_now - source->last_sq_doorbells;
+    qw.sq_entries = entries_now - source->last_sq_entries;
     qw.cq_doorbells = cq_now - source->last_cq_doorbells;
     source->last_sq_doorbells = sq_now;
+    source->last_sq_entries = entries_now;
     source->last_cq_doorbells = cq_now;
     sample.queues.push_back(qw);
   }
@@ -211,6 +216,7 @@ void Telemetry::clear(Nanoseconds now) {
   for (const auto& source : queues_) {
     if (source == nullptr) continue;
     source->last_sq_doorbells = source->sq_doorbells.load(kRelaxed);
+    source->last_sq_entries = source->sq_entries.load(kRelaxed);
     source->last_cq_doorbells = source->cq_doorbells.load(kRelaxed);
   }
   window_start_ = now;
@@ -266,6 +272,7 @@ std::vector<TelemetrySample> Telemetry::downsample(
         for (QueueWindow& target : out.queues) {
           if (target.qid == qw.qid) {
             target.sq_doorbells += qw.sq_doorbells;
+            target.sq_entries += qw.sq_entries;
             target.cq_doorbells += qw.cq_doorbells;
           }
         }

@@ -95,6 +95,10 @@ struct QueueWindow {
   std::int64_t sq_occupancy = 0;
   std::int64_t inflight = 0;
   std::uint64_t sq_doorbells = 0;
+  /// SQ slots (SQEs + inline chunks) published by those doorbells; with
+  /// batched submission sq_entries / sq_doorbells is the per-window
+  /// coalescing factor (1.0 = no coalescing).
+  std::uint64_t sq_entries = 0;
   std::uint64_t cq_doorbells = 0;
 };
 
@@ -170,7 +174,9 @@ class Telemetry {
                std::uint64_t data_bytes, std::uint64_t wire_bytes) noexcept;
   void on_payload(std::uint64_t bytes) noexcept;
   void on_stage(TraceStage stage, Nanoseconds duration) noexcept;
-  void on_sq_doorbell(std::uint16_t qid) noexcept;
+  /// `entries` is the number of SQ slots the doorbell published — 1 on
+  /// the unbatched path, the whole coalesced run on the batched path.
+  void on_sq_doorbell(std::uint16_t qid, std::uint64_t entries = 1) noexcept;
   void on_cq_doorbell(std::uint16_t qid) noexcept;
 
   // ---- window rolling ----
@@ -227,8 +233,10 @@ class Telemetry {
     const Gauge* sq_occupancy = nullptr;
     const Gauge* inflight = nullptr;
     std::atomic<std::uint64_t> sq_doorbells{0};
+    std::atomic<std::uint64_t> sq_entries{0};
     std::atomic<std::uint64_t> cq_doorbells{0};
     std::uint64_t last_sq_doorbells = 0;  // under mutex_
+    std::uint64_t last_sq_entries = 0;    // under mutex_
     std::uint64_t last_cq_doorbells = 0;  // under mutex_
   };
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 #include "core/stress.h"
 #include "core/testbed.h"
@@ -343,6 +344,79 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(driver::transfer_method_name(info.param));
     });
 
+// ---- Batched-path fault sweeps -----------------------------------------
+//
+// The same sweep driven through execute_batch(): a fault on command k of
+// an N-command batch must resolve through the identical retry/degrade/
+// fail semantics without poisoning the other N-1 commands, and the
+// accounting identity stays exact.
+
+class BatchedFaultSweepTest
+    : public ::testing::TestWithParam<TransferMethod> {};
+
+TEST_P(BatchedFaultSweepTest, AccountingExactUnderBatchedSubmission) {
+  core::FaultSweepOptions options;
+  options.seed = 0xfa017;
+  options.method = GetParam();
+  options.ops = 48;
+  options.batch_depth = 6;  // 8 batches of 6
+  options.faults = mixed_fault_policy();
+  const core::FaultSweepResult result = core::run_fault_sweep(options);
+  ASSERT_TRUE(result.ok()) << result.failure;
+  EXPECT_EQ(result.ops_attempted, options.ops);
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_EQ(result.faults_injected, result.faults_recovered +
+                                        result.faults_degraded +
+                                        result.faults_failed);
+  EXPECT_EQ(result.ops_ok + result.ops_error, result.ops_attempted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, BatchedFaultSweepTest,
+    ::testing::Values(TransferMethod::kPrp, TransferMethod::kSgl,
+                      TransferMethod::kByteExpress,
+                      TransferMethod::kByteExpressOoo,
+                      TransferMethod::kBandSlim),
+    [](const ::testing::TestParamInfo<TransferMethod>& info) {
+      return std::string(driver::transfer_method_name(info.param));
+    });
+
+TEST(BatchedFaultSweepTest, SameSeedSameScheduleAtDepth8) {
+  core::FaultSweepOptions options;
+  options.seed = 0xdecaf;
+  options.method = TransferMethod::kByteExpress;
+  options.ops = 32;
+  options.batch_depth = 8;
+  options.faults = mixed_fault_policy();
+  const core::FaultSweepResult a = core::run_fault_sweep(options);
+  const core::FaultSweepResult b = core::run_fault_sweep(options);
+  ASSERT_TRUE(a.ok()) << a.failure;
+  ASSERT_TRUE(b.ok()) << b.failure;
+  EXPECT_EQ(a.ops_ok, b.ops_ok);
+  EXPECT_EQ(a.ops_error, b.ops_error);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.faults_recovered, b.faults_recovered);
+  EXPECT_EQ(a.faults_degraded, b.faults_degraded);
+  EXPECT_EQ(a.faults_failed, b.faults_failed);
+}
+
+TEST(BatchedFaultSweepTest, DepthSweepKeepsAccountingExact) {
+  for (const std::uint32_t depth : {2u, 4u, 8u}) {
+    core::FaultSweepOptions options;
+    options.seed = 0xfa017 + depth;
+    options.method = TransferMethod::kByteExpress;
+    options.ops = 32;
+    options.batch_depth = depth;
+    options.faults = mixed_fault_policy();
+    const core::FaultSweepResult result = core::run_fault_sweep(options);
+    ASSERT_TRUE(result.ok()) << "depth " << depth << ": " << result.failure;
+    EXPECT_EQ(result.faults_injected, result.faults_recovered +
+                                          result.faults_degraded +
+                                          result.faults_failed)
+        << "depth " << depth;
+  }
+}
+
 TEST(FaultSweepTest, SameSeedSameSchedule) {
   core::FaultSweepOptions options;
   options.seed = 0xdecaf;
@@ -375,6 +449,73 @@ core::TestbedConfig armed_testbed_config() {
   config.controller.deferred_ttl_ns = 500'000;
   config.controller.reassembly.ttl_ns = 500'000;
   return config;
+}
+
+// One dropped CQE inside a 6-command batch: the faulted command times
+// out, gets aborted and retried (recovered), and the other five commands
+// complete untouched — no extra retries, nothing leaked.
+TEST(BatchedFaultRecoveryTest, DroppedCqeOnOneCommandSparesTheRest) {
+  Testbed bed(armed_testbed_config());
+  bed.fault_injector()->set_policy({});
+  bed.fault_injector()->arm(fault::FaultKind::kCompletionDrop);
+
+  std::vector<ByteVec> payloads;
+  std::vector<IoRequest> requests;
+  for (int i = 0; i < 6; ++i) {
+    payloads.emplace_back(100 + i * 20, static_cast<Byte>(0x30 + i));
+  }
+  for (const ByteVec& payload : payloads) {
+    IoRequest request;
+    request.opcode = IoOpcode::kVendorRawWrite;
+    request.method = TransferMethod::kByteExpress;
+    request.write_data = {payload.data(), payload.size()};
+    requests.push_back(request);
+  }
+  auto completions = bed.driver().execute_batch(
+      {requests.data(), requests.size()}, 1);
+  ASSERT_TRUE(completions.is_ok()) << completions.status().message();
+  ASSERT_EQ(completions->size(), 6u);
+  for (const driver::Completion& completion : *completions) {
+    EXPECT_TRUE(completion.ok()) << "the recovered command must succeed too";
+  }
+  const auto& metrics = bed.metrics();
+  EXPECT_EQ(metrics.counter_value("faults.injected"), 1u);
+  EXPECT_EQ(metrics.counter_value("faults.recovered"), 1u);
+  EXPECT_EQ(metrics.counter_value("driver.timeouts"), 1u);
+  EXPECT_EQ(metrics.counter_value("driver.retries"), 1u)
+      << "only the faulted command may retry";
+  EXPECT_EQ(bed.driver().pending_count_for_test(1), 0u);
+}
+
+// A fatal error on one command of a batch surfaces on exactly that
+// command; the other completions stay clean and the fault counts failed.
+TEST(BatchedFaultRecoveryTest, FatalErrorPoisonsOnlyItsOwnCommand) {
+  Testbed bed(armed_testbed_config());
+  bed.fault_injector()->set_policy({});
+  bed.fault_injector()->arm(fault::FaultKind::kErrorCompletion);
+
+  std::vector<ByteVec> payloads(5, ByteVec(150, Byte{0x62}));
+  std::vector<IoRequest> requests;
+  for (const ByteVec& payload : payloads) {
+    IoRequest request;
+    request.opcode = IoOpcode::kVendorRawWrite;
+    request.method = TransferMethod::kByteExpress;
+    request.write_data = {payload.data(), payload.size()};
+    requests.push_back(request);
+  }
+  auto completions = bed.driver().execute_batch(
+      {requests.data(), requests.size()}, 1);
+  ASSERT_TRUE(completions.is_ok()) << completions.status().message();
+  int failed = 0;
+  for (const driver::Completion& completion : *completions) {
+    if (!completion.ok()) ++failed;
+  }
+  EXPECT_EQ(failed, 1) << "exactly the armed command fails";
+  const auto& metrics = bed.metrics();
+  EXPECT_EQ(metrics.counter_value("faults.injected"), 1u);
+  EXPECT_EQ(metrics.counter_value("faults.failed"), 1u);
+  EXPECT_EQ(metrics.counter_value("driver.retries"), 0u);
+  EXPECT_EQ(bed.driver().pending_count_for_test(1), 0u);
 }
 
 // A dropped completion must be reaped by the driver's deadline: timeout,

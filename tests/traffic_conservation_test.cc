@@ -11,6 +11,7 @@
 
 #include "common/bytes.h"
 #include "core/stress.h"
+#include "driver/nvme_driver.h"
 #include "driver/request.h"
 #include "obs/telemetry.h"
 #include "core/testbed.h"
@@ -159,8 +160,10 @@ TEST_P(TrafficConservationTest, EveryByteAccounted) {
                     TrafficClass::kCommandFetch, fetch.request,
                     "cmd-fetch MRd");
 
-  // Doorbells: one SQ ring per command (the inline invariant: one ring
-  // covers the SQE and all its chunks), one CQ-head ring for the CQE.
+  // Doorbells: one SQ ring per single-submit command (the inline
+  // invariant: one ring covers the SQE and all its chunks), one CQ-head
+  // ring for the CQE. Batched submissions coalesce further — see the
+  // BatchedTrafficConservationTest cases below.
   const std::uint64_t sq_rings =
       method == TransferMethod::kBandSlim ? slots : 1;
   EXPECT_EQ(after.sq_doorbells - before.sq_doorbells, sq_rings);
@@ -328,6 +331,199 @@ TEST(TelemetryConservationTest, WindowSumsMatchTrafficCountersPerMethod) {
     // completions.
     EXPECT_EQ(sums[0][std::size_t(obs::TlpKind::kMRd)].data_bytes, 0u);
     EXPECT_EQ(sums[1][std::size_t(obs::TlpKind::kMRd)].data_bytes, 0u);
+  }
+}
+
+// ------------------------------------------------- batched submissions
+//
+// A coalesced batch shares one SQ doorbell MWr across its whole run, so
+// the doorbell class must account 1 + N rings (1 SQ + N CQ-head), not
+// N + N. Everything else — fetch, CQE, MSI-X, data — stays strictly
+// per-command.
+
+driver::IoRequest make_batch_write(const ByteVec& payload,
+                                   TransferMethod method) {
+  driver::IoRequest request;
+  request.opcode = nvme::IoOpcode::kVendorRawWrite;
+  request.method = method;
+  request.write_data = {payload.data(), payload.size()};
+  return request;
+}
+
+/// N distinct MWr TLPs of `each` bytes apiece (CQEs and MSI-X vectors are
+/// never merged, unlike expect_write's single large transfer).
+CellExpect expect_writes(std::uint64_t count, std::uint64_t each) {
+  CellExpect e;
+  e.tlps = count;
+  e.data = count * each;
+  e.wire = count * (each + kMwrOverhead);
+  return e;
+}
+
+TEST(BatchedTrafficConservationTest, CoalescedBatchEveryByteAccounted) {
+  Testbed bed(test::small_testbed_config());
+  constexpr std::uint16_t kQid = 1;
+  const std::vector<Case> mix = {
+      {TransferMethod::kByteExpress, 150},
+      {TransferMethod::kPrp, 900},
+      {TransferMethod::kSgl, 333},
+      {TransferMethod::kByteExpressOoo, 500},
+      {TransferMethod::kByteExpress, 60},
+      {TransferMethod::kSgl, 1024},
+  };
+  std::vector<ByteVec> payloads;
+  std::vector<driver::IoRequest> requests;
+  for (const Case& item : mix) {
+    payloads.emplace_back(item.len, Byte{0x5a});
+  }
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    requests.push_back(make_batch_write(payloads[i], mix[i].method));
+  }
+  const auto n = static_cast<std::uint64_t>(mix.size());
+
+  const Snapshot before = Snapshot::take(bed, kQid);
+  auto completions = bed.driver().execute_batch(
+      {requests.data(), requests.size()}, kQid);
+  ASSERT_TRUE(completions.is_ok()) << completions.status().message();
+  for (const driver::Completion& completion : *completions) {
+    ASSERT_TRUE(completion.ok());
+  }
+  const Snapshot after = Snapshot::take(bed, kQid);
+
+  // Fetch: one 64 B slot read per SQE or chunk, regardless of batching.
+  std::uint64_t slots = 0;
+  for (const Case& item : mix) slots += slots_for(item.method, item.len);
+  ReadExpect fetch;
+  fetch.request.tlps = slots;
+  fetch.request.wire = slots * kMrdWire;
+  fetch.data.tlps = slots;
+  fetch.data.data = slots * 64;
+  fetch.data.wire = slots * (64 + kCplOverhead);
+  expect_cell_delta(before, after, Direction::kDownstream,
+                    TrafficClass::kCommandFetch, fetch.data, "cmd-fetch");
+  expect_cell_delta(before, after, Direction::kUpstream,
+                    TrafficClass::kCommandFetch, fetch.request,
+                    "cmd-fetch MRd");
+
+  // The whole coalescable batch shares ONE SQ doorbell; CQ-head rings
+  // stay one per CQE.
+  EXPECT_EQ(after.sq_doorbells - before.sq_doorbells, 1u);
+  EXPECT_EQ(after.cq_doorbells - before.cq_doorbells, n);
+  expect_cell_delta(before, after, Direction::kDownstream,
+                    TrafficClass::kDoorbell, expect_writes(1 + n, 4),
+                    "doorbell");
+
+  // One 16 B CQE and one 4 B MSI-X per command, as distinct TLPs.
+  expect_cell_delta(before, after, Direction::kUpstream,
+                    TrafficClass::kCompletion, expect_writes(n, 16), "CQE");
+  expect_cell_delta(before, after, Direction::kUpstream,
+                    TrafficClass::kInterrupt, expect_writes(n, 4), "MSI-X");
+
+  // Data classes sum per command exactly as in the single-submit cases.
+  ReadExpect prp{}, sgl{};
+  auto accumulate = [](ReadExpect& into, const ReadExpect& delta) {
+    into.request.tlps += delta.request.tlps;
+    into.request.wire += delta.request.wire;
+    into.data.tlps += delta.data.tlps;
+    into.data.data += delta.data.data;
+    into.data.wire += delta.data.wire;
+  };
+  for (const Case& item : mix) {
+    if (item.method == TransferMethod::kPrp) {
+      accumulate(prp, expect_read(align_up(item.len, 4096)));
+    }
+    if (item.method == TransferMethod::kSgl) {
+      accumulate(sgl, expect_read(item.len));
+    }
+  }
+  expect_cell_delta(before, after, Direction::kDownstream,
+                    TrafficClass::kDataPrp, prp.data, "PRP data");
+  expect_cell_delta(before, after, Direction::kUpstream,
+                    TrafficClass::kDataPrp, prp.request, "PRP MRd");
+  expect_cell_delta(before, after, Direction::kDownstream,
+                    TrafficClass::kDataSgl, sgl.data, "SGL data");
+  expect_cell_delta(before, after, Direction::kUpstream,
+                    TrafficClass::kDataSgl, sgl.request, "SGL MRd");
+  expect_cell_delta(before, after, Direction::kDownstream,
+                    TrafficClass::kPrpList, {}, "PRP list");
+  expect_cell_delta(before, after, Direction::kDownstream,
+                    TrafficClass::kOther, {}, "other down");
+  expect_cell_delta(before, after, Direction::kUpstream,
+                    TrafficClass::kOther, {}, "other up");
+}
+
+// Batching is pure doorbell savings: the batched delta must equal the
+// sum of single-submit deltas in every class except kDoorbell, where it
+// saves exactly N-1 four-byte MWr TLPs.
+TEST(BatchedTrafficConservationTest, BatchSavesExactlyNMinusOneDoorbells) {
+  const std::vector<Case> mix = {
+      {TransferMethod::kByteExpress, 200},
+      {TransferMethod::kPrp, 900},
+      {TransferMethod::kSgl, 333},
+      {TransferMethod::kByteExpressOoo, 500},
+  };
+  const auto n = static_cast<std::uint64_t>(mix.size());
+
+  // Single-submit reference deltas.
+  Testbed solo(test::small_testbed_config());
+  const Snapshot solo_before = Snapshot::take(solo, 1);
+  for (const Case& item : mix) {
+    ByteVec payload(item.len, Byte{0xc3});
+    auto completion = solo.raw_write(payload, item.method, 1);
+    ASSERT_TRUE(completion.is_ok() && completion->ok());
+  }
+  const Snapshot solo_after = Snapshot::take(solo, 1);
+
+  // The same mix as one coalesced batch on a fresh testbed.
+  Testbed batched(test::small_testbed_config());
+  std::vector<ByteVec> payloads;
+  std::vector<driver::IoRequest> requests;
+  for (const Case& item : mix) {
+    payloads.emplace_back(item.len, Byte{0xc3});
+  }
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    requests.push_back(make_batch_write(payloads[i], mix[i].method));
+  }
+  const Snapshot batch_before = Snapshot::take(batched, 1);
+  auto completions = batched.driver().execute_batch(
+      {requests.data(), requests.size()}, 1);
+  ASSERT_TRUE(completions.is_ok()) << completions.status().message();
+  for (const driver::Completion& completion : *completions) {
+    ASSERT_TRUE(completion.ok());
+  }
+  const Snapshot batch_after = Snapshot::take(batched, 1);
+
+  EXPECT_EQ(solo_after.sq_doorbells - solo_before.sq_doorbells, n);
+  EXPECT_EQ(batch_after.sq_doorbells - batch_before.sq_doorbells, 1u);
+  EXPECT_EQ(batch_after.cq_doorbells - batch_before.cq_doorbells,
+            solo_after.cq_doorbells - solo_before.cq_doorbells);
+
+  const auto kBell = static_cast<int>(TrafficClass::kDoorbell);
+  for (int d = 0; d < 2; ++d) {
+    for (int c = 0; c < 8; ++c) {
+      const std::uint64_t solo_tlps =
+          solo_after.cells[d][c].tlps - solo_before.cells[d][c].tlps;
+      const std::uint64_t solo_data = solo_after.cells[d][c].data_bytes -
+                                      solo_before.cells[d][c].data_bytes;
+      const std::uint64_t solo_wire = solo_after.cells[d][c].wire_bytes -
+                                      solo_before.cells[d][c].wire_bytes;
+      const std::uint64_t batch_tlps =
+          batch_after.cells[d][c].tlps - batch_before.cells[d][c].tlps;
+      const std::uint64_t batch_data = batch_after.cells[d][c].data_bytes -
+                                       batch_before.cells[d][c].data_bytes;
+      const std::uint64_t batch_wire = batch_after.cells[d][c].wire_bytes -
+                                       batch_before.cells[d][c].wire_bytes;
+      if (d == static_cast<int>(Direction::kDownstream) && c == kBell) {
+        EXPECT_EQ(batch_tlps, solo_tlps - (n - 1)) << "doorbell TLPs";
+        EXPECT_EQ(batch_data, solo_data - 4 * (n - 1)) << "doorbell data";
+        EXPECT_EQ(batch_wire, solo_wire - (4 + kMwrOverhead) * (n - 1))
+            << "doorbell wire";
+      } else {
+        EXPECT_EQ(batch_tlps, solo_tlps) << "dir " << d << " class " << c;
+        EXPECT_EQ(batch_data, solo_data) << "dir " << d << " class " << c;
+        EXPECT_EQ(batch_wire, solo_wire) << "dir " << d << " class " << c;
+      }
+    }
   }
 }
 
