@@ -40,6 +40,8 @@ Controller::Controller(DmaMemory& memory, pcie::PcieLink& link,
       config_(config),
       sqs_(config.max_queues),
       cqs_(config.max_queues),
+      arb_(config.max_queues),
+      grants_(config.max_queues, 0),
       reassembly_(config.reassembly) {
   BX_ASSERT(config.max_queues >= 2);
   BX_ASSERT(config.max_queues <= bar.max_queues());
@@ -80,21 +82,89 @@ nvme::SqSlot Controller::fetch_slot(std::uint16_t qid, bool chunk) {
   return slot;
 }
 
+void Controller::set_queue_arbitration(std::uint16_t qid,
+                                       std::uint32_t weight, bool urgent) {
+  BX_ASSERT_MSG(qid < arb_.size(), "bad qid");
+  BX_ASSERT_MSG(weight >= 1, "WRR weight must be >= 1");
+  arb_[qid].weight = weight;
+  arb_[qid].urgent = urgent;
+}
+
+void Controller::serve(std::uint16_t qid) {
+  process_one(qid);
+  ++grants_[qid];
+  inline_backlog_.set(static_cast<std::int64_t>(
+      streams_.size() + deferred_.size() + reassembly_.in_flight()));
+}
+
+int Controller::pick_wrr() {
+  // The admin queue is latency-critical control plane (Abort during
+  // fault recovery, queue management) and its traffic is sparse — it
+  // bypasses arbitration entirely.
+  if (available(0) > 0) return 0;
+
+  const std::uint16_t n = config_.max_queues;
+  bool any_urgent = false;
+  bool any_normal = false;
+  for (std::uint16_t qid = 1; qid < n; ++qid) {
+    if (available(qid) == 0) continue;
+    (arb_[qid].urgent ? any_urgent : any_normal) = true;
+  }
+  if (!any_urgent && !any_normal) return -1;
+
+  // Urgent class preempts normal, but only urgent_burst_limit times in a
+  // row while a normal queue is actually waiting — then one normal grant
+  // is forced (the starvation bound tenant_isolation_test asserts).
+  bool pick_urgent = any_urgent;
+  if (any_urgent && any_normal) {
+    if (urgent_run_ >= config_.urgent_burst_limit) {
+      pick_urgent = false;
+      urgent_run_ = 0;
+    } else {
+      ++urgent_run_;
+    }
+  } else if (any_normal) {
+    urgent_run_ = 0;
+  }
+
+  // Smooth WRR within the chosen class: every candidate earns its weight,
+  // the highest credit wins (tie -> lowest qid), the winner pays the
+  // round's total. Long-run grant shares converge to the weight ratios
+  // with bounded deviation, with a deterministic schedule.
+  std::int64_t total = 0;
+  int winner = -1;
+  for (std::uint16_t qid = 1; qid < n; ++qid) {
+    if (available(qid) == 0 || arb_[qid].urgent != pick_urgent) continue;
+    arb_[qid].credit += arb_[qid].weight;
+    total += arb_[qid].weight;
+    if (winner < 0 || arb_[qid].credit > arb_[winner].credit) winner = qid;
+  }
+  BX_ASSERT(winner >= 0);
+  arb_[winner].credit -= total;
+  return winner;
+}
+
 bool Controller::poll_once() {
   // Recovery housekeeping runs only under fault injection: without an
   // injector no chunk is ever lost and no completion diverted, so the
   // healthy fast path (and its golden traces) stays byte-identical.
   const bool recovered = injector_ != nullptr && service_fault_recovery();
+
+  if (config_.wrr_arbitration) {
+    const int pick = pick_wrr();
+    if (pick < 0) return recovered;
+    serve(static_cast<std::uint16_t>(pick));
+    return true;
+  }
+
   const std::uint16_t n = config_.max_queues;
   for (std::uint16_t i = 0; i < n; ++i) {
     const auto qid = static_cast<std::uint16_t>((rr_cursor_ + i) % n);
     if (available(qid) > 0) {
-      process_one(qid);
       // Round-robin arbitration continues at the next queue. (During a
       // ByteExpress transaction process_one() itself stays queue-local.)
       rr_cursor_ = static_cast<std::uint16_t>((qid + 1) % n);
-      inline_backlog_.set(static_cast<std::int64_t>(
-          streams_.size() + deferred_.size() + reassembly_.in_flight()));
+      serve(qid);
       return true;
     }
   }
@@ -228,7 +298,7 @@ void Controller::process_one(std::uint16_t qid) {
       commands_processed_.increment();
       const fault::FaultKind fault =
           injector_ != nullptr
-              ? injector_->next_command_fault(/*inline_command=*/true)
+              ? injector_->next_command_fault(/*inline_command=*/true, qid)
               : fault::FaultKind::kNone;
       complete_with_fault(qid, sqe, stream.buffer, fault);
     } else {
@@ -312,7 +382,7 @@ void Controller::handle_io(std::uint16_t qid,
       fetch_stage_hist_.record(last_fetch_cost_ns_);
       fault::FaultKind fault =
           injector_ != nullptr
-              ? injector_->next_command_fault(/*inline_command=*/true)
+              ? injector_->next_command_fault(/*inline_command=*/true, qid)
               : fault::FaultKind::kNone;
       if (reassembly_.complete(payload_id)) {
         auto payload = reassembly_.take(payload_id, inline_len);
@@ -415,7 +485,7 @@ void Controller::handle_io(std::uint16_t qid,
     // faulted command must not desynchronize the queue-local protocol.
     const fault::FaultKind fault =
         injector_ != nullptr
-            ? injector_->next_command_fault(/*inline_command=*/true)
+            ? injector_->next_command_fault(/*inline_command=*/true, qid)
             : fault::FaultKind::kNone;
     complete_with_fault(qid, sqe, payload, fault);
     return;
@@ -441,7 +511,7 @@ void Controller::handle_io(std::uint16_t qid,
   // counted fault costs the host exactly one failed attempt.
   const fault::FaultKind fault =
       injector_ != nullptr
-          ? injector_->next_command_fault(/*inline_command=*/false)
+          ? injector_->next_command_fault(/*inline_command=*/false, qid)
           : fault::FaultKind::kNone;
   complete_with_fault(qid, sqe, payload, fault);
 }
@@ -528,7 +598,8 @@ void Controller::handle_fragment(std::uint16_t qid,
       commands_processed_.increment();
       const fault::FaultKind fault =
           injector_ != nullptr
-              ? injector_->next_command_fault(/*inline_command=*/true)
+              ? injector_->next_command_fault(/*inline_command=*/true,
+                                              stream.qid)
               : fault::FaultKind::kNone;
       complete_with_fault(stream.qid, stream.header, stream.buffer, fault);
     }

@@ -69,6 +69,16 @@ class Controller {
     /// the command before the host aborts it. Active only under fault
     /// injection — without an injector chunks are never lost. 0 disables.
     Nanoseconds deferred_ttl_ns = 1'000'000;  // 1 ms
+    /// QoS arbitration (docs/TENANCY.md). Off keeps the legacy plain
+    /// round-robin poll loop byte-identical (golden traces). On, the
+    /// poll loop serves backlogged queues by smooth weighted round-robin
+    /// over the weights set via set_queue_arbitration(), with
+    /// urgent-class queues preempting normal ones up to the burst bound.
+    bool wrr_arbitration = false;
+    /// Consecutive urgent-class grants allowed while a normal-class
+    /// queue is backlogged before one normal grant is forced (the
+    /// urgent-preemption starvation bound).
+    std::uint32_t urgent_burst_limit = 8;
   };
 
   Controller(DmaMemory& memory, pcie::PcieLink& link, pcie::BarSpace& bar,
@@ -145,6 +155,22 @@ class Controller {
     injector_ = injector;
   }
 
+  // ---- QoS arbitration (Config::wrr_arbitration) ----
+
+  /// Sets queue `qid`'s arbitration class: SWRR weight (>= 1) and the
+  /// urgent flag. Survives CreateIoSq re-creation (keyed by qid, not by
+  /// queue state). Call under the firmware mutex, like poll_once().
+  void set_queue_arbitration(std::uint16_t qid, std::uint32_t weight,
+                             bool urgent = false);
+
+  /// Scheduling grants the poll loop has given queue `qid` (one per
+  /// poll_once() that picked it; a grant may process a whole inline
+  /// transaction). Counted in both arbitration modes — the WRR
+  /// conformance tests measure long-run shares from these.
+  [[nodiscard]] std::uint64_t grants(std::uint16_t qid) const noexcept {
+    return qid < grants_.size() ? grants_[qid] : 0;
+  }
+
  private:
   struct SqState {
     bool valid = false;
@@ -196,7 +222,28 @@ class Controller {
     std::uint16_t cid = 0;
   };
 
+  /// Per-queue arbitration state, indexed by qid. Deliberately separate
+  /// from SqState so a CreateIoSq re-creating a queue does not reset the
+  /// tenant's configured class or its SWRR credit.
+  struct QueueArb {
+    std::uint32_t weight = 1;
+    bool urgent = false;
+    /// Smooth-WRR credit: each selection adds every backlogged
+    /// candidate's weight to its credit, picks the max (tie -> lowest
+    /// qid) and subtracts the candidates' weight sum from the winner —
+    /// exact long-run proportional shares, deterministically.
+    std::int64_t credit = 0;
+  };
+
   [[nodiscard]] std::uint32_t available(std::uint16_t qid) const noexcept;
+
+  /// WRR-mode queue selection: admin first, then urgent-class candidates
+  /// up to the burst bound, SWRR within the chosen class. Returns -1
+  /// when no queue is backlogged.
+  [[nodiscard]] int pick_wrr();
+  /// Serves one grant on `qid`: process_one + grant accounting + backlog
+  /// gauge (the shared tail of both arbitration modes).
+  void serve(std::uint16_t qid);
 
   /// DMA-fetches the SQ entry at the queue's head and advances the head.
   /// `chunk` selects the cheaper chunk-fetch firmware cost.
@@ -282,6 +329,10 @@ class Controller {
   std::vector<SqState> sqs_;
   std::vector<CqState> cqs_;
   std::uint16_t rr_cursor_ = 0;
+  std::vector<QueueArb> arb_;
+  std::vector<std::uint64_t> grants_;
+  /// Consecutive urgent grants taken while a normal candidate waited.
+  std::uint32_t urgent_run_ = 0;
   std::uint64_t namespace_blocks_ = 0;
 
   std::unordered_map<std::uint16_t, FragmentStream> streams_;

@@ -243,6 +243,40 @@ bool NvmeDriver::is_inline_method(TransferMethod method) noexcept {
          method == TransferMethod::kBandSlim;
 }
 
+std::uint32_t NvmeDriver::inline_slots_for(
+    TransferMethod method, std::uint64_t payload_len) noexcept {
+  switch (method) {
+    case TransferMethod::kByteExpress:
+      return nvme::inline_chunk::raw_chunks_for(payload_len);
+    case TransferMethod::kByteExpressOoo:
+      return nvme::inline_chunk::ooo_chunks_for(payload_len);
+    default:
+      // PRP/SGL carry no chunks; BandSlim fragments recycle slot by slot
+      // and never hold a run of the ring.
+      return 0;
+  }
+}
+
+Status NvmeDriver::gate_admit(const IoRequest& request, std::uint16_t qid,
+                              TransferMethod method, Pending& pending) {
+  if (gate_ == nullptr) return Status::ok();
+  const std::uint32_t slots =
+      inline_slots_for(method, request.write_data.size());
+  BX_RETURN_IF_ERROR(gate_->admit(request, qid, slots, link_.clock().now()));
+  pending.gated = true;
+  pending.tenant = request.tenant;
+  pending.gated_slots = slots;
+  return Status::ok();
+}
+
+void NvmeDriver::gate_release(Pending& pending, bool completed) noexcept {
+  if (!pending.gated) return;
+  pending.gated = false;
+  if (gate_ != nullptr) {
+    gate_->release(pending.tenant, pending.gated_slots, completed);
+  }
+}
+
 StatusOr<NvmeDriver::ResolvedMethod> NvmeDriver::resolve_method(
     const IoRequest& request, std::uint16_t qid) const {
   ResolvedMethod resolved;
@@ -606,12 +640,21 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
       return internal_error("hybrid must be resolved before submission");
   }
 
+  // One admission decision per command, taken before any ring slot is
+  // claimed; a rejection surfaces the gate's status unchanged (staging is
+  // undone by Pending's RAII — nothing was published).
+  BX_RETURN_IF_ERROR(gate_admit(request, qid, method, pending));
+
   const std::uint16_t cid = register_pending(qp, std::move(pending));
   sqe.cid = cid;
 
-  const auto abandon = [&qp, cid] {
+  const auto abandon = [this, &qp, cid] {
     std::lock_guard<std::mutex> lock(qp.pending_mutex);
-    qp.pending.erase(cid);
+    auto it = qp.pending.find(cid);
+    if (it != qp.pending.end()) {
+      gate_release(it->second, /*completed=*/false);
+      qp.pending.erase(it);
+    }
     qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
   };
 
@@ -662,6 +705,7 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
     event.end = link_.clock().now();
     event.qid = qid;
     event.cid = cid;
+    event.tenant = request.tenant;
     event.aux = static_cast<std::uint64_t>(method);
     event.bytes = request.write_data.size();
     event.flags = submit_flags;
@@ -703,6 +747,7 @@ StatusOr<Submitted> NvmeDriver::submit(const IoRequest& request,
 Completion NvmeDriver::finish_pending_locked(
     QueuePair& qp, std::unordered_map<std::uint16_t, Pending>::iterator it) {
   Pending pending = std::move(it->second);
+  gate_release(pending, /*completed=*/true);
   qp.pending.erase(it);
   qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
   Completion completion;
@@ -766,6 +811,23 @@ StatusOr<Completion> NvmeDriver::wait(const Submitted& handle) {
   }
 }
 
+StatusOr<Completion> NvmeDriver::wait_resolved(const IoRequest& request,
+                                               const Submitted& handle) {
+  if (handle.qid == 0 || handle.qid > io_queues_.size()) {
+    return invalid_argument("bad I/O qid " + std::to_string(handle.qid));
+  }
+  auto completion = wait(handle);
+  BX_RETURN_IF_ERROR(completion.status());
+  // Re-resolve for the retry tail: if the queue degraded while this
+  // command was in flight, retries route through PRP and their failed
+  // attempts classify as degraded — the same view execute() would take
+  // for a command submitted now.
+  auto resolved = resolve_method(request, handle.qid);
+  BX_RETURN_IF_ERROR(resolved.status());
+  return finish_with_retries(request, handle.qid, *std::move(completion),
+                             *resolved);
+}
+
 StatusOr<Completion> NvmeDriver::recover_timed_out(QueuePair& qp,
                                                    const Submitted& handle) {
   timeouts_.increment();
@@ -791,6 +853,9 @@ StatusOr<Completion> NvmeDriver::recover_timed_out(QueuePair& qp,
   }
   if (it->second.done) return finish_pending_locked(qp, it);
   const Nanoseconds submit_time = it->second.submit_time_ns;
+  // The synthesized Abort Requested completion resolves the command, so
+  // its gate charge is paid here, exactly once, like any completion.
+  gate_release(it->second, /*completed=*/true);
   qp.pending.erase(it);
   qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
   Completion completion;
@@ -912,8 +977,16 @@ StatusOr<Completion> NvmeDriver::finish_with_retries(const IoRequest& request,
         config_.retry_backoff_base_ns << std::min<std::uint32_t>(attempt, 20));
     link_.clock().advance(backoff);
 
+    // A retry that cannot even be submitted (method resolution failure,
+    // gate rejection, wedged device) still ends the command — classify
+    // the accumulated failed attempts before surfacing the error, or the
+    // injected == recovered + degraded + failed invariant would leak.
+    const auto fail_with = [&](const Status& status) {
+      faults_failed_.add(failed_attempts);
+      return status;
+    };
     auto next_resolved = resolve_method(request, qid);
-    BX_RETURN_IF_ERROR(next_resolved.status());
+    if (!next_resolved.is_ok()) return fail_with(next_resolved.status());
     resolved = *next_resolved;
     std::uint8_t flags = 0;
     if (resolved.feasibility_fallback || resolved.degraded) {
@@ -921,9 +994,9 @@ StatusOr<Completion> NvmeDriver::finish_with_retries(const IoRequest& request,
     }
     if (resolved.feasibility_fallback) inline_fallbacks_.increment();
     auto handle = submit_with_method(request, qid, resolved.method, flags);
-    BX_RETURN_IF_ERROR(handle.status());
+    if (!handle.is_ok()) return fail_with(handle.status());
     auto next = wait(*handle);
-    BX_RETURN_IF_ERROR(next.status());
+    if (!next.is_ok()) return fail_with(next.status());
     completion = *std::move(next);
   }
 }
@@ -954,11 +1027,15 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
   std::vector<Prepared> prepared;
   prepared.reserve(requests.size());
 
-  // Registered-but-unsubmitted pendings must not leak on an error exit.
+  // Registered-but-unsubmitted pendings must not leak on an error exit
+  // (and their gate admissions must be paid back).
   const auto abandon_from = [&](std::size_t first_unsubmitted) {
     std::lock_guard<std::mutex> lock(qp.pending_mutex);
     for (std::size_t j = first_unsubmitted; j < prepared.size(); ++j) {
-      qp.pending.erase(prepared[j].cid);
+      auto it = qp.pending.find(prepared[j].cid);
+      if (it == qp.pending.end()) continue;
+      gate_release(it->second, /*completed=*/false);
+      qp.pending.erase(it);
     }
     qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
   };
@@ -1042,6 +1119,18 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
         return internal_error("hybrid must be resolved before submission");
     }
 
+    // Per-command admission, same point in the lifecycle as the unbatched
+    // path: after staging, before the command can claim ring slots. A
+    // rejection fails the whole batch before anything is published
+    // (preparation is all-or-nothing), releasing the earlier commands'
+    // admissions.
+    const Status admitted =
+        gate_admit(request, qid, prep.resolved.method, pending);
+    if (!admitted.is_ok()) {
+      abandon_from(0);
+      return admitted;
+    }
+
     prep.cid = register_pending(qp, std::move(pending));
     prep.sqe.cid = prep.cid;
     prepared.push_back(prep);
@@ -1061,6 +1150,7 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
       event.end = link_.clock().now();
       event.qid = qid;
       event.cid = prep.cid;
+      event.tenant = request.tenant;
       event.aux = static_cast<std::uint64_t>(prep.resolved.method);
       event.bytes = request.write_data.size();
       event.flags = prep.submit_flags;
@@ -1264,8 +1354,22 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
   if (config_.command_timeout_ns > 0) {
     initial.deadline_ns = initial.submit_time_ns + config_.command_timeout_ns;
   }
+  BX_RETURN_IF_ERROR(gate_admit(request, qids.front(),
+                                TransferMethod::kByteExpressOoo, initial));
   const std::uint16_t cid = register_pending(home, std::move(initial));
   sqe.cid = cid;
+
+  // Undoes the registration (and pays back the gate admission) on the
+  // refusal paths below, before anything was published.
+  const auto abandon = [this, &home, cid] {
+    std::lock_guard<std::mutex> plock(home.pending_mutex);
+    auto it = home.pending.find(cid);
+    if (it != home.pending.end()) {
+      gate_release(it->second, /*completed=*/false);
+      home.pending.erase(it);
+    }
+    home.inflight.set(static_cast<std::int64_t>(home.pending.size()));
+  };
 
   const Nanoseconds submit_time = link_.clock().now();
   const std::uint32_t chunks =
@@ -1281,22 +1385,24 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
     std::vector<std::uint16_t> ordered(qids);
     std::sort(ordered.begin(), ordered.end());
     ordered.erase(std::unique(ordered.begin(), ordered.end()), ordered.end());
-    // Exclusively-owned queues elide their SQ lock on the owner path, so
-    // striping into one from here would race with its reactor; refuse.
-    for (const std::uint16_t qid : ordered) {
-      if (queue(qid).sq->exclusive_owner()) {
-        std::lock_guard<std::mutex> plock(home.pending_mutex);
-        home.pending.erase(cid);
-        home.inflight.set(static_cast<std::int64_t>(home.pending.size()));
-        return failed_precondition(
-            "stripe queue " + std::to_string(qid) +
-            " is exclusively owned by a reactor");
-      }
-    }
     std::vector<std::unique_lock<std::mutex>> locks;
     locks.reserve(ordered.size());
     for (const std::uint16_t qid : ordered) {
       locks.emplace_back(queue(qid).sq->lock());
+    }
+    // Exclusively-owned queues elide their SQ lock on the owner path, so
+    // holding the mutex does not exclude a reactor — refuse, with a typed
+    // status the caller can branch on. Checked UNDER the locks so a
+    // claim_exclusive() that raced the acquisition above is still seen;
+    // claiming a queue after this point while the stripe submit is in
+    // flight violates the reactor ownership contract (see the header).
+    for (const std::uint16_t qid : ordered) {
+      if (queue(qid).sq->exclusive_owner()) {
+        abandon();
+        return failed_precondition(
+            "stripe queue " + std::to_string(qid) +
+            " is exclusively owned by a reactor");
+      }
     }
 
     // Capacity check: the command occupies one slot on the home queue, and
@@ -1309,9 +1415,7 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
                            (j < chunks % qids.size() ? 1 : 0);
       if (j == 0) ++need;  // the command itself
       if (queue(qids[j]).sq->free_slots() < need) {
-        std::lock_guard<std::mutex> plock(home.pending_mutex);
-        home.pending.erase(cid);
-        home.inflight.set(static_cast<std::int64_t>(home.pending.size()));
+        abandon();
         return resource_exhausted("stripe queue " +
                                   std::to_string(qids[j]) + " lacks space");
       }
@@ -1368,6 +1472,7 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
     event.flags = obs::kFlagOooCommand;
     event.qid = qids.front();
     event.cid = cid;
+    event.tenant = request.tenant;
     event.aux = static_cast<std::uint64_t>(TransferMethod::kByteExpressOoo);
     event.bytes = request.write_data.size();
     tracer_->record(event);

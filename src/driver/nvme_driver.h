@@ -55,6 +55,7 @@
 #include "common/sim_clock.h"
 #include "common/status.h"
 #include "driver/request.h"
+#include "driver/submission_gate.h"
 #include "hostmem/dma_memory.h"
 #include "nvme/prp.h"
 #include "nvme/queue.h"
@@ -181,6 +182,17 @@ class NvmeDriver {
   StatusOr<Submitted> submit(const IoRequest& request, std::uint16_t qid);
   StatusOr<Completion> wait(const Submitted& handle);
 
+  /// Waits for `handle` and then runs the same retry/degradation tail as
+  /// execute() — fault classification included — so async callers that
+  /// stack many submissions before reaping (the tenant virtual queues)
+  /// keep the faults.injected == recovered + degraded + failed equality
+  /// exact. `request` must be the request passed to submit(), with its
+  /// payload spans still valid (retries resubmit it; each resubmission
+  /// is re-admitted through the submission gate). The transfer method is
+  /// re-resolved per attempt, same as the execute() tail.
+  StatusOr<Completion> wait_resolved(const IoRequest& request,
+                                     const Submitted& handle);
+
   // ---- batched submission (doorbell coalescing) ----
 
   /// How resolve_method() arrived at the transfer method actually used.
@@ -258,6 +270,9 @@ class NvmeDriver {
 
   /// §3.3.2 OOO extension: the command goes to `qids.front()` and the
   /// self-describing chunks are striped round-robin across all of `qids`.
+  /// Fails with kFailedPrecondition (checked under the stripe locks) when
+  /// any stripe queue is exclusively owned by a reactor, and with
+  /// kResourceExhausted when a stripe queue lacks ring space.
   StatusOr<Completion> execute_ooo_striped(
       const IoRequest& request, const std::vector<std::uint16_t>& qids);
 
@@ -272,6 +287,13 @@ class NvmeDriver {
   /// Attaches the trace recorder; host-side stage events (kSubmit,
   /// kDoorbell, kCqDoorbell) flow into it.
   void set_tracer(obs::TraceRecorder* tracer) noexcept { tracer_ = tracer; }
+
+  /// Attaches the admission gate (null detaches). Every I/O submission
+  /// path then consults it once per command before claiming ring slots
+  /// and pairs each successful admit() with one release() when the
+  /// command resolves (see driver/submission_gate.h for the contract).
+  /// Assembly-time only: must not change while commands are in flight.
+  void set_submission_gate(SubmissionGate* gate) noexcept { gate_ = gate; }
 
   /// Publishes the driver's counters into `metrics` as `driver.*`. The
   /// registry is remembered so init_io_queues() can expose per-queue
@@ -316,6 +338,13 @@ class NvmeDriver {
     nvme::PrpChain chain;
     ByteSpan read_target{};
     std::uint32_t read_length = 0;
+    /// Gate bookkeeping: set when the submission gate admitted this
+    /// command; the driver then owes exactly one release(tenant,
+    /// gated_slots) when the pending resolves (completion, timeout, or
+    /// abandoned submission).
+    bool gated = false;
+    std::uint16_t tenant = 0;
+    std::uint32_t gated_slots = 0;
   };
 
   struct QueuePair {
@@ -465,8 +494,21 @@ class NvmeDriver {
   std::atomic<std::uint32_t> next_payload_id_{1};  // OOO payload ids
   std::atomic<Nanoseconds> last_submit_cost_ns_{0};
 
+  /// Inline-chunk slots a command of `method` occupies beyond its SQE —
+  /// what the submission gate charges against the inline budget.
+  static std::uint32_t inline_slots_for(TransferMethod method,
+                                        std::uint64_t payload_len) noexcept;
+  /// Consults the gate (when attached) for one command about to claim
+  /// ring slots; fills `pending`'s gate bookkeeping on admission.
+  Status gate_admit(const IoRequest& request, std::uint16_t qid,
+                    TransferMethod method, Pending& pending);
+  /// Pays the release owed by `pending`'s admission, if any (idempotent:
+  /// clears the gated flag).
+  void gate_release(Pending& pending, bool completed) noexcept;
+
   obs::TraceRecorder* tracer_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+  SubmissionGate* gate_ = nullptr;
   /// Kept from bind_metrics() so init_io_queues() can expose the
   /// per-queue gauges (queue pairs do not exist yet at bind time).
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -53,6 +53,11 @@ struct IoRequest {
   nvme::KvKeyFields key{};
 
   TransferMethod method = TransferMethod::kPrp;
+
+  /// Owning tenant (0 = untenanted). Tags trace events, routes the
+  /// request through the driver's SubmissionGate (admission control and
+  /// rate limiting), and attributes completions in per-tenant telemetry.
+  std::uint16_t tenant = 0;
 };
 
 struct Completion {

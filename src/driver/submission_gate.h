@@ -1,0 +1,56 @@
+// Admission-control hook point of the host driver.
+//
+// The driver is transport only — it knows nothing about tenants, rate
+// limits or QoS policy. SubmissionGate is the seam where such policy
+// plugs in: when a gate is attached (NvmeDriver::set_submission_gate),
+// every I/O submission path consults it exactly once per command BEFORE
+// claiming any ring slot, and pairs every successful admit() with
+// exactly one release() when the command resolves (completion, timeout
+// recovery, or abandoned submission). tenant::AdmissionController is
+// the production implementation (token-bucket rate limits plus an
+// inline-chunk-budget cap, see docs/TENANCY.md); tests substitute
+// counting fakes.
+//
+// Locking contract: admit() is called from submitter threads with no
+// driver locks held; release() may be called with a queue's
+// pending_mutex held (the completion path resolves pendings under it).
+// A gate implementation must therefore never call back into the driver
+// and must not acquire locks that can be held while calling the driver
+// — its internal mutex is the innermost lock in the order documented in
+// docs/CONCURRENCY.md.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "driver/request.h"
+
+namespace bx::driver {
+
+class SubmissionGate {
+ public:
+  virtual ~SubmissionGate() = default;
+
+  /// One admission decision for one command, taken before any ring slot
+  /// is claimed. `inline_slots` is the number of inline-chunk SQ slots
+  /// the command will occupy beyond its SQE (0 for PRP/SGL/BandSlim).
+  /// A non-OK return rejects the command — the driver surfaces the
+  /// status unchanged and charges nothing; kResourceExhausted is the
+  /// conventional rejection code (budget or rate exceeded). An OK
+  /// return charges the tenant's budgets and obliges the driver to call
+  /// release() exactly once for this command.
+  [[nodiscard]] virtual Status admit(const IoRequest& request,
+                                     std::uint16_t qid,
+                                     std::uint32_t inline_slots,
+                                     Nanoseconds now) = 0;
+
+  /// Returns the budget charged by one successful admit(). `completed`
+  /// is true when the command reached the device and resolved (any
+  /// final status, including synthesized timeout completions), false
+  /// when the submission was abandoned before publish.
+  virtual void release(std::uint16_t tenant, std::uint32_t inline_slots,
+                       bool completed) noexcept = 0;
+};
+
+}  // namespace bx::driver

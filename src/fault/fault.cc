@@ -23,7 +23,8 @@ const char* fault_kind_name(FaultKind kind) noexcept {
 FaultInjector::FaultInjector(std::uint64_t seed, FaultPolicy policy)
     : rng_(seed), policy_(policy) {}
 
-FaultKind FaultInjector::next_command_fault(bool inline_command) {
+FaultKind FaultInjector::next_command_fault(bool inline_command,
+                                            std::uint16_t qid) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!armed_.empty()) {
     FaultKind kind = armed_.front();
@@ -34,6 +35,11 @@ FaultKind FaultInjector::next_command_fault(bool inline_command) {
   if (policy_.inline_only && !inline_command) {
     // Deliberately no RNG draw: whether a PRP command passes through must
     // not perturb the fault schedule of the inline commands around it.
+    return FaultKind::kNone;
+  }
+  if (policy_.qid_filter != 0 && qid != policy_.qid_filter) {
+    // Same rule: traffic on unfiltered queues must not perturb the fault
+    // schedule of the targeted queue.
     return FaultKind::kNone;
   }
   const double draw = rng_.next_double();

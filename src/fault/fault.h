@@ -85,6 +85,12 @@ struct FaultPolicy {
   /// Restrict command faults to inline (ByteExpress/OOO/BandSlim)
   /// commands; PRP/SGL commands then never draw (and never count).
   bool inline_only = false;
+  /// Restrict command faults to one hardware queue (0 = all queues).
+  /// Commands on other queues return kNone without consuming a draw, so
+  /// a fault storm aimed at one tenant's queue cannot perturb either the
+  /// fault schedule or the completions of its neighbors (the tenant
+  /// isolation tests aim storms at the aggressor's queue this way).
+  std::uint16_t qid_filter = 0;
   /// Per-link-primitive probability of a data-link TLP replay.
   double tlp_replay = 0.0;
 
@@ -101,12 +107,15 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  /// Draws the fault (if any) for one fetched command. Armed faults are
-  /// consumed first; otherwise one uniform draw is walked over the
-  /// policy's cumulative thresholds. With `inline_only` set, non-inline
-  /// commands return kNone without consuming a draw. Every non-kNone
-  /// result increments faults.injected and the per-kind counter.
-  [[nodiscard]] FaultKind next_command_fault(bool inline_command);
+  /// Draws the fault (if any) for one fetched command on queue `qid`.
+  /// Armed faults are consumed first (they ignore the policy filters);
+  /// otherwise one uniform draw is walked over the policy's cumulative
+  /// thresholds. With `inline_only` set, non-inline commands return
+  /// kNone without consuming a draw; with `qid_filter` set, so do
+  /// commands on other queues. Every non-kNone result increments
+  /// faults.injected and the per-kind counter.
+  [[nodiscard]] FaultKind next_command_fault(bool inline_command,
+                                             std::uint16_t qid = 0);
 
   /// Draws whether one link primitive suffers a data-link TLP replay.
   [[nodiscard]] bool next_tlp_replay();

@@ -57,10 +57,11 @@ void append_slice(std::string& out, const TraceEvent& event, bool& first) {
   }
   std::snprintf(buffer, sizeof(buffer),
                 ", \"pid\": %d, \"tid\": %d, \"args\": {\"seq\": %llu, "
-                "\"cid\": %u, \"slot\": %u, \"aux\": %llu, \"bytes\": %llu, "
-                "\"flags\": %u}}",
+                "\"cid\": %u, \"tenant\": %u, \"slot\": %u, \"aux\": %llu, "
+                "\"bytes\": %llu, \"flags\": %u}}",
                 pid, tid, static_cast<unsigned long long>(event.seq),
-                unsigned(event.cid), unsigned(event.slot),
+                unsigned(event.cid), unsigned(event.tenant),
+                unsigned(event.slot),
                 static_cast<unsigned long long>(event.aux),
                 static_cast<unsigned long long>(event.bytes),
                 unsigned(event.flags));
@@ -170,6 +171,20 @@ std::string to_perfetto_json(const std::vector<TraceEvent>& events,
                     static_cast<long long>(qw.sq_occupancy),
                     static_cast<long long>(qw.inflight));
       const std::string name = "q" + std::to_string(qw.qid) + ".occupancy";
+      append_counter(out, name.c_str(), sample.start_ns, args, first);
+    }
+    for (const TenantWindow& tw : sample.tenants) {
+      std::snprintf(args, sizeof(args),
+                    "\"admitted\": %llu, \"rejected\": %llu, "
+                    "\"payload_bytes\": %llu, \"completions\": %llu, "
+                    "\"inflight_slots\": %lld",
+                    static_cast<unsigned long long>(tw.admitted),
+                    static_cast<unsigned long long>(tw.rejected),
+                    static_cast<unsigned long long>(tw.payload_bytes),
+                    static_cast<unsigned long long>(tw.completions),
+                    static_cast<long long>(tw.inflight_slots));
+      const std::string name =
+          "tenant.t" + std::to_string(tw.tenant) + ".service";
       append_counter(out, name.c_str(), sample.start_ns, args, first);
     }
   }

@@ -70,6 +70,28 @@ void Telemetry::register_queue(std::uint16_t qid, const Gauge* sq_occupancy,
   queues_[qid] = std::move(source);
 }
 
+void Telemetry::register_tenant(std::uint16_t tenant, const Counter* admitted,
+                                const Counter* rejected,
+                                const Counter* payload_bytes,
+                                const Counter* completions,
+                                const Gauge* inflight_slots) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TenantSource source;
+  source.tenant = tenant;
+  source.admitted = admitted;
+  source.rejected = rejected;
+  source.payload_bytes = payload_bytes;
+  source.completions = completions;
+  source.inflight_slots = inflight_slots;
+  for (TenantSource& existing : tenants_) {
+    if (existing.tenant == tenant) {
+      existing = source;  // re-registration replaces (fresh delta baseline)
+      return;
+    }
+  }
+  tenants_.push_back(source);
+}
+
 void Telemetry::on_tlps(LinkDir dir, TlpKind kind, std::uint64_t tlps,
                         std::uint64_t data_bytes,
                         std::uint64_t wire_bytes) noexcept {
@@ -159,6 +181,30 @@ void Telemetry::close_window_locked(Nanoseconds end) {
     sample.queues.push_back(qw);
   }
 
+  for (TenantSource& source : tenants_) {
+    TenantWindow tw;
+    tw.tenant = source.tenant;
+    const std::uint64_t admitted_now =
+        source.admitted != nullptr ? source.admitted->value() : 0;
+    const std::uint64_t rejected_now =
+        source.rejected != nullptr ? source.rejected->value() : 0;
+    const std::uint64_t payload_now =
+        source.payload_bytes != nullptr ? source.payload_bytes->value() : 0;
+    const std::uint64_t completions_now =
+        source.completions != nullptr ? source.completions->value() : 0;
+    tw.admitted = admitted_now - source.last_admitted;
+    tw.rejected = rejected_now - source.last_rejected;
+    tw.payload_bytes = payload_now - source.last_payload_bytes;
+    tw.completions = completions_now - source.last_completions;
+    tw.inflight_slots =
+        source.inflight_slots != nullptr ? source.inflight_slots->value() : 0;
+    source.last_admitted = admitted_now;
+    source.last_rejected = rejected_now;
+    source.last_payload_bytes = payload_now;
+    source.last_completions = completions_now;
+    sample.tenants.push_back(tw);
+  }
+
   ring_.push_back(std::move(sample));
   if (ring_.size() > config_.max_windows) {
     ring_.pop_front();
@@ -219,6 +265,16 @@ void Telemetry::clear(Nanoseconds now) {
     source->last_sq_entries = source->sq_entries.load(kRelaxed);
     source->last_cq_doorbells = source->cq_doorbells.load(kRelaxed);
   }
+  for (TenantSource& source : tenants_) {
+    source.last_admitted =
+        source.admitted != nullptr ? source.admitted->value() : 0;
+    source.last_rejected =
+        source.rejected != nullptr ? source.rejected->value() : 0;
+    source.last_payload_bytes =
+        source.payload_bytes != nullptr ? source.payload_bytes->value() : 0;
+    source.last_completions =
+        source.completions != nullptr ? source.completions->value() : 0;
+  }
   window_start_ = now;
   window_end_.store(now + config_.window_ns, kRelaxed);
 }
@@ -274,6 +330,16 @@ std::vector<TelemetrySample> Telemetry::downsample(
             target.sq_doorbells += qw.sq_doorbells;
             target.sq_entries += qw.sq_entries;
             target.cq_doorbells += qw.cq_doorbells;
+          }
+        }
+      }
+      for (const TenantWindow& tw : add.tenants) {
+        for (TenantWindow& target : out.tenants) {
+          if (target.tenant == tw.tenant) {
+            target.admitted += tw.admitted;
+            target.rejected += tw.rejected;
+            target.payload_bytes += tw.payload_bytes;
+            target.completions += tw.completions;
           }
         }
       }

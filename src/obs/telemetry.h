@@ -102,6 +102,19 @@ struct QueueWindow {
   std::uint64_t cq_doorbells = 0;
 };
 
+/// Per-tenant state captured at a window boundary: service counters are
+/// deltas over the window (sampled from the admission controller's and
+/// scheduler's component-owned counters), inflight_slots is a gauge.
+struct TenantWindow {
+  std::uint16_t tenant = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t completions = 0;
+  /// In-flight inline SQ slots charged against the tenant's budget.
+  std::int64_t inflight_slots = 0;
+};
+
 /// One closed telemetry window.
 struct TelemetrySample {
   std::uint64_t index = 0;
@@ -119,6 +132,8 @@ struct TelemetrySample {
   /// deferred OOO commands + in-flight reassemblies).
   std::int64_t backlog = 0;
   std::vector<QueueWindow> queues;
+  /// Per-tenant service deltas (empty when no tenants are registered).
+  std::vector<TenantWindow> tenants;
 
   [[nodiscard]] const FlowCell& of(LinkDir dir, TlpKind kind) const noexcept {
     return flow[static_cast<std::size_t>(dir)][static_cast<std::size_t>(kind)];
@@ -167,6 +182,17 @@ class Telemetry {
                       const Gauge* inflight);
   /// Registers the controller's inline-backlog gauge.
   void set_backlog_gauge(const Gauge* backlog) noexcept { backlog_ = backlog; }
+
+  /// Registers tenant `tenant`'s service counters for delta sampling at
+  /// window close (and its in-flight-slots gauge for point sampling).
+  /// The counters are component-owned (tenant::AdmissionController /
+  /// tenant::TenantScheduler) and must outlive the Telemetry reads; any
+  /// pointer may be null (that column samples as 0). Same threading rule
+  /// as register_queue: call during single-threaded assembly.
+  void register_tenant(std::uint16_t tenant, const Counter* admitted,
+                       const Counter* rejected, const Counter* payload_bytes,
+                       const Counter* completions,
+                       const Gauge* inflight_slots);
 
   // ---- hot-path hooks (relaxed atomics; any thread) ----
 
@@ -250,9 +276,25 @@ class Telemetry {
   std::atomic<std::uint64_t> payload_bytes_{0};
   std::array<std::atomic<std::uint64_t>, kStageCount> stage_count_{};
   std::array<std::atomic<std::uint64_t>, kStageCount> stage_ns_{};
+  /// Per-tenant sampled counters plus the last-seen values the window
+  /// deltas telescope against (last_* under mutex_).
+  struct TenantSource {
+    std::uint16_t tenant = 0;
+    const Counter* admitted = nullptr;
+    const Counter* rejected = nullptr;
+    const Counter* payload_bytes = nullptr;
+    const Counter* completions = nullptr;
+    const Gauge* inflight_slots = nullptr;
+    std::uint64_t last_admitted = 0;
+    std::uint64_t last_rejected = 0;
+    std::uint64_t last_payload_bytes = 0;
+    std::uint64_t last_completions = 0;
+  };
+
   /// Indexed by qid; slots for unregistered qids (e.g. the admin queue)
   /// are null and their doorbells are not tracked.
   std::vector<std::unique_ptr<QueueSource>> queues_;
+  std::vector<TenantSource> tenants_;
   const Gauge* backlog_ = nullptr;
 
   /// End of the currently open window — the advance_to() fast-path guard.

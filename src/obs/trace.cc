@@ -74,12 +74,12 @@ std::string TraceRecorder::dump(const std::vector<TraceEvent>& events) {
   for (const TraceEvent& e : events) {
     std::snprintf(
         line, sizeof(line),
-        "%8llu [%12lld %12lld] %-11s q%-3u cid%-5u slot=%-5u flags=%u "
-        "aux=%llu bytes=%llu\n",
+        "%8llu [%12lld %12lld] %-11s q%-3u cid%-5u ten%-3u slot=%-5u "
+        "flags=%u aux=%llu bytes=%llu\n",
         static_cast<unsigned long long>(e.seq),
         static_cast<long long>(e.start), static_cast<long long>(e.end),
-        std::string(stage_name(e.stage)).c_str(), e.qid, e.cid, e.slot,
-        e.flags, static_cast<unsigned long long>(e.aux),
+        std::string(stage_name(e.stage)).c_str(), e.qid, e.cid, e.tenant,
+        e.slot, e.flags, static_cast<unsigned long long>(e.aux),
         static_cast<unsigned long long>(e.bytes));
     out += line;
   }

@@ -102,6 +102,10 @@ struct TraceEvent {
   std::uint8_t flags = 0;
   std::uint16_t qid = 0;
   std::uint16_t cid = 0;
+  /// Owning tenant of the command (0 = untenanted). Host-side events
+  /// carry it from IoRequest::tenant; it survives into the Perfetto
+  /// export as a slice arg (tests/exporters_test.cc).
+  std::uint16_t tenant = 0;
   std::uint32_t slot = 0;
   std::uint64_t aux = 0;
   std::uint64_t bytes = 0;

@@ -1,0 +1,162 @@
+#include "tenant/tenant.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace bx::tenant {
+
+namespace {
+
+/// Token scale: one byte of budget is kScale scaled tokens, so a rate of
+/// R bytes/second refills exactly R scaled tokens per nanosecond.
+constexpr unsigned __int128 kScale = 1'000'000'000;
+
+}  // namespace
+
+TokenBucket::TokenBucket(std::uint64_t rate_bytes_per_sec,
+                         std::uint64_t burst_bytes)
+    : rate_(rate_bytes_per_sec), burst_(burst_bytes) {
+  tokens_scaled_ = static_cast<unsigned __int128>(burst_) * kScale;
+}
+
+void TokenBucket::refill(Nanoseconds now) {
+  if (now <= last_ns_) return;  // monotone guard; sim-time never regresses
+  const auto elapsed = static_cast<unsigned __int128>(now - last_ns_);
+  last_ns_ = now;
+  const unsigned __int128 cap = static_cast<unsigned __int128>(burst_) * kScale;
+  tokens_scaled_ += elapsed * rate_;
+  if (tokens_scaled_ > cap) tokens_scaled_ = cap;
+}
+
+bool TokenBucket::try_consume(std::uint64_t bytes, Nanoseconds now) {
+  if (rate_ == 0) return true;  // unlimited
+  refill(now);
+  const unsigned __int128 need = static_cast<unsigned __int128>(bytes) * kScale;
+  if (tokens_scaled_ < need) return false;
+  tokens_scaled_ -= need;
+  return true;
+}
+
+std::uint64_t TokenBucket::available(Nanoseconds now) {
+  if (rate_ == 0) return UINT64_MAX;
+  refill(now);
+  return static_cast<std::uint64_t>(tokens_scaled_ / kScale);
+}
+
+AdmissionController::AdmissionController(
+    const std::vector<TenantConfig>& tenants) {
+  for (const TenantConfig& config : tenants) {
+    BX_ASSERT_MSG(config.id != 0, "tenant id 0 is reserved for untenanted");
+    BX_ASSERT_MSG(config.weight >= 1, "tenant WRR weight must be >= 1");
+    BX_ASSERT_MSG(states_.find(config.id) == states_.end(),
+                  "duplicate tenant id");
+    State state{config,
+                TokenBucket(config.rate_bytes_per_sec, config.burst_bytes),
+                0,
+                std::make_unique<TenantCounters>()};
+    states_.emplace(config.id, std::move(state));
+    ids_.push_back(config.id);
+  }
+}
+
+Status AdmissionController::admit(const driver::IoRequest& request,
+                                  std::uint16_t /*qid*/,
+                                  std::uint32_t inline_slots, Nanoseconds now) {
+  if (request.tenant == 0) return Status::ok();  // untenanted bypasses
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = states_.find(request.tenant);
+  if (it == states_.end()) {
+    // A tenant id the scheduler never registered is a wiring bug, not
+    // backpressure — do not count it as a rejection.
+    return failed_precondition("unknown tenant " +
+                               std::to_string(request.tenant));
+  }
+  State& state = it->second;
+  const std::uint64_t payload =
+      request.write_data.size() + request.read_buffer.size();
+  if (state.config.max_payload_bytes != 0 &&
+      payload > state.config.max_payload_bytes) {
+    state.counters->rejected.increment();
+    return resource_exhausted("tenant " + std::to_string(request.tenant) +
+                              " payload " + std::to_string(payload) +
+                              " exceeds per-command cap " +
+                              std::to_string(state.config.max_payload_bytes));
+  }
+  if (state.config.inline_slot_budget != 0 &&
+      state.inflight_slots + inline_slots > state.config.inline_slot_budget) {
+    state.counters->rejected.increment();
+    return resource_exhausted("tenant " + std::to_string(request.tenant) +
+                              " inline-slot budget exhausted (" +
+                              std::to_string(state.inflight_slots) + "+" +
+                              std::to_string(inline_slots) + " > " +
+                              std::to_string(state.config.inline_slot_budget) +
+                              ")");
+  }
+  if (!state.bucket.try_consume(payload, now)) {
+    state.counters->rejected.increment();
+    return resource_exhausted("tenant " + std::to_string(request.tenant) +
+                              " rate limit exceeded");
+  }
+  state.inflight_slots += inline_slots;
+  state.counters->inflight_slots.set(state.inflight_slots);
+  state.counters->admitted.increment();
+  state.counters->payload_bytes.add(payload);
+  return Status::ok();
+}
+
+void AdmissionController::release(std::uint16_t tenant,
+                                  std::uint32_t inline_slots,
+                                  bool completed) noexcept {
+  if (tenant == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = states_.find(tenant);
+  if (it == states_.end()) return;
+  State& state = it->second;
+  BX_ASSERT_MSG(state.inflight_slots >= inline_slots,
+                "gate release exceeds charged inline slots");
+  state.inflight_slots -= inline_slots;
+  state.counters->inflight_slots.set(state.inflight_slots);
+  if (completed) state.counters->completions.increment();
+}
+
+bool AdmissionController::would_admit(std::uint16_t tenant,
+                                      std::uint64_t payload_bytes,
+                                      std::uint32_t inline_slots,
+                                      Nanoseconds now) {
+  if (tenant == 0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = states_.find(tenant);
+  if (it == states_.end()) return false;
+  State& state = it->second;
+  if (state.config.max_payload_bytes != 0 &&
+      payload_bytes > state.config.max_payload_bytes) {
+    return false;
+  }
+  if (state.config.inline_slot_budget != 0 &&
+      state.inflight_slots + inline_slots > state.config.inline_slot_budget) {
+    return false;
+  }
+  return state.bucket.available(now) >= payload_bytes;
+}
+
+const AdmissionController::TenantCounters* AdmissionController::counters(
+    std::uint16_t tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = states_.find(tenant);
+  return it == states_.end() ? nullptr : it->second.counters.get();
+}
+
+const TenantConfig* AdmissionController::config(std::uint16_t tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = states_.find(tenant);
+  return it == states_.end() ? nullptr : &it->second.config;
+}
+
+std::uint32_t AdmissionController::inflight_slots(std::uint16_t tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = states_.find(tenant);
+  return it == states_.end() ? 0 : it->second.inflight_slots;
+}
+
+}  // namespace bx::tenant

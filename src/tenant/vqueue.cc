@@ -1,0 +1,77 @@
+#include "tenant/vqueue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bx::tenant {
+
+VirtualQueue::VirtualQueue(driver::NvmeDriver& driver, std::uint16_t tenant,
+                           std::uint16_t hw_qid, std::uint32_t depth)
+    : driver_(driver), tenant_(tenant), hw_qid_(hw_qid), depth_(depth) {
+  BX_ASSERT_MSG(depth_ >= 1, "virtual queue depth must be >= 1");
+  BX_ASSERT_MSG(tenant_ != 0, "virtual queues belong to real tenants");
+}
+
+StatusOr<std::uint64_t> VirtualQueue::submit_write(
+    ConstByteSpan payload, driver::TransferMethod method) {
+  driver::IoRequest request;
+  request.opcode = nvme::IoOpcode::kVendorRawWrite;
+  request.write_data = payload;
+  request.method = method;
+  return submit(std::move(request));
+}
+
+StatusOr<std::uint64_t> VirtualQueue::submit(driver::IoRequest request) {
+  if (inflight_.size() >= depth_) {
+    ++rejected_local_;
+    return resource_exhausted("virtual queue of tenant " +
+                              std::to_string(tenant_) + " is full (depth " +
+                              std::to_string(depth_) + ")");
+  }
+  Slot slot;
+  slot.vcid = next_vcid_++;
+  if (!request.write_data.empty()) {
+    // Own the payload until completion; the driver keeps the span.
+    slot.payload.assign(request.write_data.begin(), request.write_data.end());
+    request.write_data = ConstByteSpan(slot.payload);
+  }
+  request.tenant = tenant_;
+  auto submitted = driver_.submit(request, hw_qid_);
+  if (!submitted.is_ok()) return submitted.status();
+  slot.handle = submitted.value();
+  slot.request = request;
+  ++submitted_;
+  inflight_.push_back(std::move(slot));
+  // The span must reference the slot's own storage (the deque never
+  // invalidates other elements, and this slot just moved in).
+  Slot& stored = inflight_.back();
+  if (!stored.payload.empty()) {
+    stored.request.write_data = ConstByteSpan(stored.payload);
+  }
+  return stored.vcid;
+}
+
+StatusOr<driver::Completion> VirtualQueue::wait(std::uint64_t vcid) {
+  auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                         [vcid](const Slot& s) { return s.vcid == vcid; });
+  if (it == inflight_.end()) {
+    return not_found("virtual CID " + std::to_string(vcid) +
+                     " is not in flight on tenant " + std::to_string(tenant_));
+  }
+  auto completion = driver_.wait_resolved(it->request, it->handle);
+  inflight_.erase(it);
+  return completion;
+}
+
+Status VirtualQueue::drain(std::vector<driver::Completion>* out) {
+  while (!inflight_.empty()) {
+    auto completion = driver_.wait_resolved(inflight_.front().request,
+                                            inflight_.front().handle);
+    inflight_.pop_front();
+    if (!completion.is_ok()) return completion.status();
+    if (out != nullptr) out->push_back(completion.value());
+  }
+  return Status::ok();
+}
+
+}  // namespace bx::tenant

@@ -518,6 +518,95 @@ TEST(BatchedFaultRecoveryTest, FatalErrorPoisonsOnlyItsOwnCommand) {
   EXPECT_EQ(bed.driver().pending_count_for_test(1), 0u);
 }
 
+// Inline→PRP degradation tripping in the MIDDLE of a batch: every
+// command of the batch is submitted inline before the first fault is
+// observed, the consecutive-failure counter crosses degrade_threshold
+// while later batch members are still outstanding, and their retries must
+// re-resolve to PRP — the whole batch still completes, every fault is
+// classified as degraded, and the degraded submits carry the fallback
+// trace flag.
+TEST(BatchedFaultRecoveryTest, MidBatchDegradationReroutesRemainderToPrp) {
+  auto config = armed_testbed_config();
+  config.faults = {};
+  config.faults.inline_only = true;
+  config.faults.chunk_corrupt = 1.0;  // every inline attempt faults
+  config.driver.degrade_threshold = 2;
+  config.driver.degrade_reprobe_ns = 10'000'000;
+  Testbed bed(config);
+
+  constexpr int kBatch = 6;
+  std::vector<ByteVec> payloads;
+  std::vector<IoRequest> requests;
+  for (int i = 0; i < kBatch; ++i) {
+    payloads.emplace_back(200 + i * 16, static_cast<Byte>(0x40 + i));
+  }
+  for (const ByteVec& payload : payloads) {
+    IoRequest request;
+    request.opcode = IoOpcode::kVendorRawWrite;
+    request.method = TransferMethod::kByteExpress;
+    request.write_data = {payload.data(), payload.size()};
+    requests.push_back(request);
+  }
+  auto completions = bed.driver().execute_batch(
+      {requests.data(), requests.size()}, 1);
+  ASSERT_TRUE(completions.is_ok()) << completions.status().message();
+  ASSERT_EQ(completions->size(), static_cast<std::size_t>(kBatch));
+  for (const driver::Completion& completion : *completions) {
+    EXPECT_TRUE(completion.ok())
+        << "every batch member must resolve through the PRP reroute";
+  }
+
+  const auto& metrics = bed.metrics();
+  // The queue degraded while the batch was in flight. The whole batch was
+  // submitted inline before the first fault was reaped, so commands
+  // already in flight keep faulting and may re-trip the threshold — at
+  // least one degradation, never more than batch/threshold.
+  EXPECT_GE(metrics.counter_value("driver.degradations"), 1u);
+  EXPECT_LE(metrics.counter_value("driver.degradations"),
+            static_cast<std::uint64_t>(kBatch) / 2u);
+  // With inline-only faults at p=1.0 no inline attempt can succeed, so
+  // every injected fault resolves via the PRP fallback: the degraded
+  // bucket holds ALL of them and nothing recovers inline or fails.
+  EXPECT_GT(metrics.counter_value("faults.injected"), 0u);
+  EXPECT_EQ(metrics.counter_value("faults.injected"),
+            metrics.counter_value("faults.degraded"));
+  EXPECT_EQ(metrics.counter_value("faults.recovered"), 0u);
+  EXPECT_EQ(metrics.counter_value("faults.failed"), 0u);
+  // All six commands landed over PRP in the end (one page each).
+  EXPECT_EQ(bed.traffic()
+                .cell(pcie::Direction::kDownstream,
+                      pcie::TrafficClass::kDataPrp)
+                .data_bytes,
+            static_cast<std::uint64_t>(kBatch) * 4096u);
+  // The rerouted submits are visible in the trace as method fallbacks.
+  int fallback_submits = 0;
+  for (const auto& event : bed.trace().snapshot()) {
+    if (event.stage == obs::TraceStage::kSubmit &&
+        (event.flags & obs::kFlagMethodFallback) != 0) {
+      ++fallback_submits;
+    }
+  }
+  EXPECT_EQ(fallback_submits, kBatch);
+  EXPECT_EQ(bed.driver().pending_count_for_test(1), 0u);
+
+  // Clear the fault and out-wait the re-probe window: the next batch goes
+  // inline again (no new PRP bytes).
+  bed.fault_injector()->set_policy({});
+  bed.clock().advance(20'000'000);
+  auto again = bed.driver().execute_batch(
+      {requests.data(), requests.size()}, 1);
+  ASSERT_TRUE(again.is_ok()) << again.status().message();
+  for (const driver::Completion& completion : *again) {
+    EXPECT_TRUE(completion.ok());
+  }
+  EXPECT_EQ(bed.traffic()
+                .cell(pcie::Direction::kDownstream,
+                      pcie::TrafficClass::kDataPrp)
+                .data_bytes,
+            static_cast<std::uint64_t>(kBatch) * 4096u)
+      << "post-reprobe batch must not add PRP traffic";
+}
+
 // A dropped completion must be reaped by the driver's deadline: timeout,
 // Abort to scrub the lost CQE, one retry, success — and the fault counts
 // as recovered.

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <random>
 #include <thread>
 #include <vector>
@@ -58,6 +59,78 @@ TEST(MpscRingTest, WrapsAroundManyTimes) {
     }
   }
   EXPECT_EQ(next_pop, next_push);
+}
+
+// Property check against a reference model: for every seeded random
+// push/pop interleaving, try_push succeeds iff the ring holds fewer than
+// `capacity` elements, try_pop succeeds iff it is non-empty, and the pop
+// order is exactly the push order. Small capacities force the sequence
+// numbers across the wraparound boundary thousands of times.
+TEST(MpscRingTest, PropertyRandomizedAgainstReferenceModel) {
+  for (const std::size_t capacity : {2ul, 4ul, 16ul}) {
+    for (const std::uint64_t seed : {7ull, 0xfeedull, 0x5ca1ab1eull}) {
+      MpscRing<std::uint64_t> ring(capacity);
+      std::deque<std::uint64_t> model;
+      std::mt19937_64 rng(seed);
+      std::uint64_t next_value = 0;
+      for (int step = 0; step < 20000; ++step) {
+        if (rng() & 1) {
+          const bool pushed = ring.try_push(next_value);
+          ASSERT_EQ(pushed, model.size() < capacity)
+              << "capacity " << capacity << " seed " << seed << " step "
+              << step << ": push admission must track occupancy exactly";
+          if (pushed) model.push_back(next_value++);
+        } else {
+          std::uint64_t out = 0;
+          const bool popped = ring.try_pop(out);
+          ASSERT_EQ(popped, !model.empty())
+              << "capacity " << capacity << " seed " << seed << " step "
+              << step << ": pop must succeed iff non-empty";
+          if (popped) {
+            ASSERT_EQ(out, model.front()) << "FIFO violated";
+            model.pop_front();
+          }
+        }
+        ASSERT_EQ(ring.occupancy(), model.size());
+      }
+    }
+  }
+}
+
+// The sequence-number ABA hazard lives at the full-ring boundary: a cell
+// re-used `capacity` tickets later must present a *different* sequence
+// value to a producer still holding the old ticket, or a stale push
+// would overwrite a live element. Oscillate a capacity-2 ring between
+// full and empty for many thousands of cycles so head/tail run far past
+// several index wraps, asserting rejection-at-full and exact element
+// identity throughout.
+TEST(MpscRingTest, FullBoundaryRejectionSurvivesSequenceWraps) {
+  MpscRing<std::uint64_t> ring(2);
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  for (int cycle = 0; cycle < 50000; ++cycle) {
+    ASSERT_TRUE(ring.try_push(pushed));
+    ++pushed;
+    ASSERT_TRUE(ring.try_push(pushed));
+    ++pushed;
+    // Full: the next ticket's cell still holds the element from
+    // `capacity` tickets ago and must refuse, not recycle (ABA).
+    ASSERT_FALSE(ring.try_push(0xdeadu));
+    ASSERT_EQ(ring.occupancy(), 2u);
+    std::uint64_t out = 0;
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_EQ(out, popped++);
+    // One free slot: exactly one push fits again.
+    ASSERT_TRUE(ring.try_push(pushed));
+    ++pushed;
+    ASSERT_FALSE(ring.try_push(0xdeadu));
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_EQ(out, popped++);
+    ASSERT_TRUE(ring.try_pop(out));
+    ASSERT_EQ(out, popped++);
+    ASSERT_FALSE(ring.try_pop(out)) << "empty after draining the cycle";
+  }
+  EXPECT_EQ(pushed, popped);
 }
 
 struct Tagged {
@@ -329,8 +402,13 @@ TEST(ReactorTest, OooStripingRefusesClaimedQueues) {
   request.write_data = {payload.data(), payload.size()};
 
   auto striped = bed.driver().execute_ooo_striped(request, {1, 2});
-  EXPECT_FALSE(striped.is_ok());
+  ASSERT_FALSE(striped.is_ok());
+  // Typed contract: a claimed stripe queue is a wiring error
+  // (kFailedPrecondition), not generic internal failure — callers route
+  // on this code to re-plan the stripe set.
+  EXPECT_EQ(striped.status().code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(bed.driver().pending_count_for_test(1), 0u);
+  EXPECT_EQ(bed.driver().pending_count_for_test(2), 0u);
 
   // Unclaimed stripe sets still work, and release restores striping.
   bed.driver().release_exclusive(2);

@@ -18,6 +18,8 @@
 #include "nvme/bandslim_wire.h"
 #include "nvme/inline_wire.h"
 #include "obs/trace.h"
+#include "tenant/scheduler.h"
+#include "tenant/tenant.h"
 #include "test_util.h"
 
 namespace bx {
@@ -259,6 +261,61 @@ TEST(GoldenTrace, SameScenarioIsByteIdentical) {
   const std::string second = run();
   EXPECT_FALSE(first.empty());
   EXPECT_EQ(first, second);
+}
+
+// Per-tenant trace attribution is part of the golden dump format: submit
+// events record the owning tenant in the `ten` column, untenanted events
+// read ten0, and the whole tenant-tagged dump is byte-identical across
+// same-seed runs.
+TEST(GoldenTrace, TenantTagsSurviveDumpByteIdentically) {
+  const auto run = [] {
+    core::TestbedConfig config = test::small_testbed_config(2);
+    config.controller.wrr_arbitration = true;
+    Testbed bed(config);
+    tenant::SchedulerConfig sched_config;
+    tenant::TenantConfig t1;
+    t1.id = 1;
+    t1.hw_qid = 1;
+    tenant::TenantConfig t2;
+    t2.id = 2;
+    t2.hw_qid = 2;
+    sched_config.tenants = {t1, t2};
+    tenant::TenantScheduler sched(bed, sched_config);
+    // Drop the admin-setup trace so only the tenant I/O below remains.
+    bed.reset_counters();
+    const ByteVec payload = patterned(kPayloadBytes);
+    for (int i = 0; i < 2; ++i) {
+      for (const std::uint16_t tenant : {1, 2}) {
+        auto completion = sched.execute_write(
+            tenant, ConstByteSpan(payload), TransferMethod::kByteExpress);
+        EXPECT_TRUE(completion.is_ok() && completion->ok());
+      }
+    }
+    // One untenanted write: its submit must carry tenant 0, not inherit a
+    // stale tag from the tenant commands around it.
+    auto untenanted = bed.raw_write(payload, TransferMethod::kByteExpress);
+    EXPECT_TRUE(untenanted.is_ok() && untenanted->ok());
+    return bed.trace().snapshot();
+  };
+
+  const std::vector<TraceEvent> events = run();
+  int submits_t1 = 0;
+  int submits_t2 = 0;
+  int submits_untenanted = 0;
+  for (const TraceEvent& event : events) {
+    if (event.stage != TraceStage::kSubmit) continue;
+    if (event.tenant == 1) ++submits_t1;
+    if (event.tenant == 2) ++submits_t2;
+    if (event.tenant == 0) ++submits_untenanted;
+  }
+  EXPECT_EQ(submits_t1, 2);
+  EXPECT_EQ(submits_t2, 2);
+  EXPECT_EQ(submits_untenanted, 1);
+  // The dump renders the tags (the `ten` column) and is deterministic.
+  const std::string dump = obs::TraceRecorder::dump(events);
+  EXPECT_NE(dump.find("ten1"), std::string::npos);
+  EXPECT_NE(dump.find("ten2"), std::string::npos);
+  EXPECT_EQ(dump, obs::TraceRecorder::dump(run()));
 }
 
 TEST(GoldenTrace, CooperativeStressTraceIsDeterministic) {

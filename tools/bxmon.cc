@@ -22,6 +22,10 @@
 //   bxmon fault.rate=0.05 fault.seed=7 ops=500   (faulted run, see
 //     docs/FAULTS.md — ops go through the driver's retry path and the
 //     fault/recovery counter section is printed after the summary)
+//   bxmon tenants=2 tenant.weights=3,1 ops=2000   (multi-tenant mode:
+//     each tenant gets a virtual queue on its own hardware queue under
+//     WRR arbitration; prints the per-tenant admission/latency/grant
+//     section, see docs/TENANCY.md)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +41,8 @@
 #include "obs/perfetto.h"
 #include "obs/prometheus.h"
 #include "obs/telemetry.h"
+#include "tenant/scheduler.h"
+#include "tenant/tenant.h"
 
 namespace bx {
 namespace {
@@ -170,6 +176,130 @@ void print_fault_section(const obs::MetricsRegistry& metrics) {
               value("ctrl.commands_aborted"),
               value("ctrl.deferred_evictions"),
               value("ctrl.reassembly_evictions"));
+}
+
+/// Multi-tenant mode (`tenants=N`): one tenant per hardware queue under
+/// WRR arbitration, a closed loop of ByteExpress writes round-robin over
+/// the tenants, then the per-tenant admission / latency / grant section
+/// plus the per-window TenantWindow deltas (docs/TENANCY.md).
+int run_tenants(const Config& config) {
+  const auto tenant_count =
+      static_cast<std::uint16_t>(config.get_int("tenants", 2));
+  const auto ops = static_cast<std::uint64_t>(config.get_int("ops", 2000));
+  const auto payload_size =
+      static_cast<std::uint32_t>(config.get_int("payload", 256));
+  if (tenant_count == 0) {
+    std::fprintf(stderr, "bxmon: tenants must be >= 1\n");
+    return 2;
+  }
+
+  core::TestbedConfig testbed_config;
+  testbed_config.link.generation =
+      static_cast<int>(config.get_int("pcie.gen", 2));
+  testbed_config.link.lanes =
+      static_cast<int>(config.get_int("pcie.lanes", 8));
+  testbed_config.driver.io_queue_count = tenant_count;
+  testbed_config.driver.io_queue_depth =
+      static_cast<std::uint32_t>(config.get_int("depth", 256));
+  testbed_config.telemetry.window_ns = config.get_int("window", 10'000);
+  testbed_config.controller.wrr_arbitration = true;
+  core::Testbed testbed(testbed_config);
+
+  const std::vector<std::string> weight_list =
+      split_csv(config.get_string("tenant.weights", ""));
+  tenant::SchedulerConfig sched_config;
+  for (std::uint16_t i = 0; i < tenant_count; ++i) {
+    tenant::TenantConfig tc;
+    tc.id = static_cast<std::uint16_t>(i + 1);
+    tc.hw_qid = static_cast<std::uint16_t>(i + 1);
+    if (i < weight_list.size()) {
+      const long weight = std::strtol(weight_list[i].c_str(), nullptr, 10);
+      tc.weight = weight > 0 ? static_cast<std::uint32_t>(weight) : 1u;
+    }
+    tc.rate_bytes_per_sec = static_cast<std::uint64_t>(
+        config.get_int("tenant.rate", 0));
+    tc.inline_slot_budget = static_cast<std::uint32_t>(
+        config.get_int("tenant.slots", 0));
+    sched_config.tenants.push_back(tc);
+  }
+  tenant::TenantScheduler sched(testbed, sched_config);
+
+  std::printf("bxmon: %u tenant(s), %llu ops total, payload %u B, WRR "
+              "arbitration on, window %lld ns\n",
+              tenant_count, static_cast<unsigned long long>(ops),
+              payload_size,
+              static_cast<long long>(testbed_config.telemetry.window_ns));
+
+  ByteVec payload(payload_size);
+  fill_pattern(payload, payload_size);
+  std::uint64_t gate_rejections = 0;
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto tenant = static_cast<std::uint16_t>(1 + i % tenant_count);
+    auto completion = sched.execute_write(
+        tenant, ConstByteSpan(payload),
+        driver::TransferMethod::kByteExpress);
+    if (!completion.is_ok()) {
+      if (completion.status().code() == StatusCode::kResourceExhausted) {
+        ++gate_rejections;  // backpressure is a result, not an error
+        continue;
+      }
+      std::fprintf(stderr, "bxmon: tenant %u write failed: %s\n", tenant,
+                   completion.status().to_string().c_str());
+      return 1;
+    }
+  }
+  testbed.telemetry().flush(testbed.clock().now());
+
+  std::printf("\n  tenant   admitted  rejected  complete  payloadB   "
+              "p50_ns    p99_ns    errors  grants\n");
+  for (const std::uint16_t tenant : sched.tenant_ids()) {
+    const tenant::AdmissionController::TenantCounters* counters =
+        sched.admission().counters(tenant);
+    const LatencyHistogram latency = sched.latency(tenant);
+    std::printf("  t%-7u %-9llu %-9llu %-9llu %-10llu %-9llu %-9llu "
+                "%-7llu %llu\n",
+                tenant,
+                static_cast<unsigned long long>(counters->admitted.value()),
+                static_cast<unsigned long long>(counters->rejected.value()),
+                static_cast<unsigned long long>(
+                    counters->completions.value()),
+                static_cast<unsigned long long>(
+                    counters->payload_bytes.value()),
+                static_cast<unsigned long long>(latency.percentile(50)),
+                static_cast<unsigned long long>(latency.percentile(99)),
+                static_cast<unsigned long long>(sched.errors(tenant)),
+                static_cast<unsigned long long>(sched.hw_grants(tenant)));
+  }
+  if (gate_rejections > 0) {
+    std::printf("  gate backpressure: %llu ops rejected at admission\n",
+                static_cast<unsigned long long>(gate_rejections));
+  }
+
+  // Per-window tenant deltas: the same TenantWindow columns the Perfetto
+  // export renders as tenant.t<id>.service counter tracks.
+  const std::vector<obs::TelemetrySample> samples =
+      testbed.telemetry().samples();
+  const std::size_t max_rows =
+      static_cast<std::size_t>(config.get_int("rows", 40));
+  const std::vector<obs::TelemetrySample> rows =
+      obs::Telemetry::downsample(samples, max_rows);
+  std::printf("\n  win      t_start_us   tenant  admitted  complete  "
+              "payloadB  inflight\n");
+  for (const obs::TelemetrySample& s : rows) {
+    for (const obs::TenantWindow& tw : s.tenants) {
+      if (tw.admitted == 0 && tw.completions == 0 && tw.inflight_slots == 0) {
+        continue;
+      }
+      std::printf("  %-8llu %-12.1f t%-6u %-9llu %-9llu %-9llu %lld\n",
+                  static_cast<unsigned long long>(s.index),
+                  double(s.start_ns) / 1e3, tw.tenant,
+                  static_cast<unsigned long long>(tw.admitted),
+                  static_cast<unsigned long long>(tw.completions),
+                  static_cast<unsigned long long>(tw.payload_bytes),
+                  static_cast<long long>(tw.inflight_slots));
+    }
+  }
+  return 0;
 }
 
 /// Parses a Telemetry::dump_tsv document (the `tsv=` output / `input=`
@@ -568,6 +698,9 @@ int main(int argc, char** argv) {
   if (!input.empty()) {
     return bx::ingest(
         input, static_cast<std::size_t>(config.get_int("rows", 40)));
+  }
+  if (config.contains("tenants")) {
+    return bx::run_tenants(config);
   }
   return bx::run(config);
 }
