@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "nvme/bandslim_wire.h"
+#include "nvme/inline_read_wire.h"
 #include "nvme/inline_wire.h"
 #include "nvme/prp.h"
 #include "nvme/sgl.h"
@@ -12,6 +13,7 @@
 namespace bx::controller {
 
 namespace inw = nvme::inline_chunk;
+namespace inr = nvme::inline_read;
 namespace bsw = nvme::bandslim;
 using nvme::SubmissionQueueEntry;
 using pcie::Direction;
@@ -42,7 +44,8 @@ Controller::Controller(DmaMemory& memory, pcie::PcieLink& link,
       cqs_(config.max_queues),
       arb_(config.max_queues),
       grants_(config.max_queues, 0),
-      reassembly_(config.reassembly) {
+      reassembly_(config.reassembly),
+      read_rings_(config.max_queues) {
   BX_ASSERT(config.max_queues >= 2);
   BX_ASSERT(config.max_queues <= bar.max_queues());
   BX_ASSERT(config.chunk_fetch_batch >= 1);
@@ -179,7 +182,7 @@ bool Controller::service_fault_recovery() {
     if (delayed_[i].release_ns <= now) {
       const DelayedCompletion d = delayed_[i];
       delayed_.erase(delayed_.begin() + static_cast<std::ptrdiff_t>(i));
-      post_completion_now(d.qid, d.sqe, d.status, d.dw0);
+      post_completion_now(d.qid, d.sqe, d.status, d.dw0, d.dw1);
       progress = true;
     } else {
       ++i;
@@ -508,10 +511,16 @@ void Controller::handle_io(std::uint16_t qid,
     payload = std::move(gathered).value();
   }
   // Drawn only for commands that reached their completion point, so every
-  // counted fault costs the host exactly one failed attempt.
+  // counted fault costs the host exactly one failed attempt. A command
+  // returning its payload over the inline-read ring counts as inline for
+  // `inline_only` fault policies — the ring is the byte-granular path
+  // those policies target.
+  const bool inline_path = config_.enable_inline_read &&
+                           inr::sqe_wants_inline_read(sqe) &&
+                           read_rings_[qid].valid;
   const fault::FaultKind fault =
       injector_ != nullptr
-          ? injector_->next_command_fault(/*inline_command=*/false, qid)
+          ? injector_->next_command_fault(inline_path, qid)
           : fault::FaultKind::kNone;
   complete_with_fault(qid, sqe, payload, fault);
 }
@@ -762,23 +771,99 @@ void Controller::execute_and_complete(std::uint16_t qid,
   }
 
   std::uint32_t dw0 = result.dw0;
+  std::uint32_t dw1 = 0;
   if (result.status.is_success() && !result.read_data.empty()) {
     const std::uint64_t declared = io_data_length(sqe);
-    const Status scattered =
-        scatter_host_data(qid, sqe, result.read_data, declared);
-    if (!scattered.is_ok()) {
-      post_completion(
+    // Never return more than the host asked for: a KV value larger than
+    // the destination buffer is clamped to the declared length exactly as
+    // the scatter path clamps it (DW0 still reports the full size, so the
+    // client can grow its buffer and retry).
+    const std::uint64_t inline_len =
+        std::min<std::uint64_t>(result.read_data.size(), declared);
+    if (inline_read_eligible(qid, sqe, inline_len)) {
+      // ByteExpress-R: the payload returns as chunk MWr TLPs into the
+      // queue's completion ring; the CQE (below) carries the slot range.
+      dw1 = emit_inline_read(
           qid, sqe,
-          nvme::StatusField::generic(nvme::GenericStatus::kDataTransferError),
-          0);
-      return;
+          ConstByteSpan(result.read_data)
+              .subspan(0, static_cast<std::size_t>(inline_len)));
+    } else {
+      const Status scattered =
+          scatter_host_data(qid, sqe, result.read_data, declared);
+      if (!scattered.is_ok()) {
+        post_completion(
+            qid, sqe,
+            nvme::StatusField::generic(
+                nvme::GenericStatus::kDataTransferError),
+            0);
+        return;
+      }
     }
     if (dw0 == 0) {
       dw0 = static_cast<std::uint32_t>(
           std::min<std::uint64_t>(result.read_data.size(), declared));
     }
   }
-  post_completion(qid, sqe, result.status, dw0);
+  post_completion(qid, sqe, result.status, dw0, dw1);
+}
+
+bool Controller::inline_read_eligible(
+    std::uint16_t qid, const SubmissionQueueEntry& sqe,
+    std::uint64_t data_len) const noexcept {
+  if (!config_.enable_inline_read || !inr::sqe_wants_inline_read(sqe)) {
+    return false;
+  }
+  const ReadRing& ring = read_rings_[qid];
+  return ring.valid && data_len > 0 &&
+         inr::read_chunks_for(data_len) <= ring.slots;
+}
+
+std::uint32_t Controller::emit_inline_read(std::uint16_t qid,
+                                           const SubmissionQueueEntry& sqe,
+                                           ConstByteSpan data) {
+  ReadRing& ring = read_rings_[qid];
+  const std::uint32_t chunks = inr::read_chunks_for(data.size());
+  const std::uint32_t first_slot = ring.cursor;
+  const Nanoseconds emit_start = link_.clock().now();
+  std::uint64_t offset = 0;
+  for (std::uint32_t i = 0; i < chunks; ++i) {
+    const std::uint64_t take =
+        std::min<std::uint64_t>(inr::kReadChunkCapacity, data.size() - offset);
+    nvme::SqSlot slot = inr::encode_read_chunk(
+        qid, sqe.cid, static_cast<std::uint16_t>(i),
+        static_cast<std::uint16_t>(chunks),
+        data.subspan(static_cast<std::size_t>(offset),
+                     static_cast<std::size_t>(take)));
+    if (corrupt_next_read_chunk_) {
+      // Injected kChunkCorrupt: flip one payload byte after the CRC was
+      // computed — the host-side CRC32-C check must reject the chunk.
+      slot.raw[inr::kReadHeaderBytes] ^= 0xff;
+      corrupt_next_read_chunk_ = false;
+    }
+    link_.clock().advance(config_.timing.chunk_copy_ns);
+    // One 64-byte MWr TLP per ring slot — the symmetric counterpart of the
+    // write path's per-slot chunk fetch, and the unit the reverse-direction
+    // conservation tests count exactly.
+    link_.post_write(Direction::kUpstream, TrafficClass::kDataInlineRead,
+                     inr::kReadSlotBytes);
+    memory_.write(ring.base + std::uint64_t{ring.cursor} * inr::kReadSlotBytes,
+                  {slot.raw, sizeof(slot.raw)});
+    ring.cursor = (ring.cursor + 1) % ring.slots;
+    offset += take;
+    inline_read_chunks_.increment();
+  }
+  inline_read_completions_.increment();
+  obs::TraceEvent e;
+  e.stage = obs::TraceStage::kReadChunkWrite;
+  e.start = emit_start;
+  e.end = link_.clock().now();
+  e.qid = qid;
+  e.cid = sqe.cid;
+  e.slot = first_slot;
+  e.aux = chunks;
+  e.bytes = data.size();
+  record_stage(e);
+  return inr::encode_read_cqe_dw1(first_slot, chunks);
 }
 
 void Controller::complete_with_fault(std::uint16_t qid,
@@ -790,6 +875,17 @@ void Controller::complete_with_fault(std::uint16_t qid,
       execute_and_complete(qid, sqe, payload);
       return;
     case fault::FaultKind::kChunkCorrupt:
+      if (config_.enable_inline_read && inr::sqe_wants_inline_read(sqe) &&
+          read_rings_[qid].valid) {
+        // Inline-read command: apply the corruption physically to an
+        // emitted chunk so the *host-side* CRC check has to catch it
+        // (zero-undetected-corruption acceptance criterion). The host
+        // rewrites the completion to a retryable Data Transfer Error.
+        corrupt_next_read_chunk_ = true;
+        execute_and_complete(qid, sqe, payload);
+        corrupt_next_read_chunk_ = false;
+        return;
+      }
       // The device detected a CRC mismatch while assembling the payload:
       // the command fails without executing, retryably.
       post_completion(
@@ -824,7 +920,7 @@ void Controller::complete_with_fault(std::uint16_t qid,
 void Controller::post_completion(std::uint16_t qid,
                                  const SubmissionQueueEntry& sqe,
                                  nvme::StatusField status,
-                                 std::uint32_t dw0) {
+                                 std::uint32_t dw0, std::uint32_t dw1) {
   if (completion_fault_ == fault::FaultKind::kCompletionDrop) {
     completion_fault_ = fault::FaultKind::kNone;
     lost_.push_back(LostCompletion{qid, sqe.cid});
@@ -835,18 +931,18 @@ void Controller::post_completion(std::uint16_t qid,
     completion_fault_ = fault::FaultKind::kNone;
     const Nanoseconds delay =
         injector_ != nullptr ? injector_->policy().delay_ns : 0;
-    delayed_.push_back(DelayedCompletion{qid, sqe, status, dw0,
+    delayed_.push_back(DelayedCompletion{qid, sqe, status, dw0, dw1,
                                          link_.clock().now() + delay});
     completions_delayed_.increment();
     return;
   }
-  post_completion_now(qid, sqe, status, dw0);
+  post_completion_now(qid, sqe, status, dw0, dw1);
 }
 
 void Controller::post_completion_now(std::uint16_t qid,
                                      const SubmissionQueueEntry& sqe,
                                      nvme::StatusField status,
-                                     std::uint32_t dw0) {
+                                     std::uint32_t dw0, std::uint32_t dw1) {
   const SqState& sq = sqs_[qid];
   BX_ASSERT(sq.valid);
   CqState& cq = cqs_[sq.cqid];
@@ -854,6 +950,7 @@ void Controller::post_completion_now(std::uint16_t qid,
 
   nvme::CompletionQueueEntry cqe;
   cqe.dw0 = dw0;
+  cqe.dw1 = dw1;
   cqe.sq_head = static_cast<std::uint16_t>(sq.head);
   cqe.sq_id = qid;
   cqe.cid = sqe.cid;
@@ -920,6 +1017,9 @@ void Controller::bind_metrics(obs::MetricsRegistry& metrics) const {
   metrics.expose_counter("ctrl.reassembly_evictions",
                          &reassembly_evictions_);
   metrics.expose_counter("ctrl.commands_aborted", &commands_aborted_);
+  metrics.expose_counter("ctrl.inline_read_completions",
+                         &inline_read_completions_);
+  metrics.expose_counter("ctrl.inline_read_chunks", &inline_read_chunks_);
   metrics.expose_gauge("ctrl.inline_backlog", &inline_backlog_);
 }
 
@@ -936,6 +1036,9 @@ void Controller::record_stage(const obs::TraceEvent& event) {
       case obs::TraceStage::kPrpDma: entry = &stage_log_.prp_dma; break;
       case obs::TraceStage::kSglDma: entry = &stage_log_.sgl_dma; break;
       case obs::TraceStage::kExec: entry = &stage_log_.exec; break;
+      case obs::TraceStage::kReadChunkWrite:
+        entry = &stage_log_.read_chunk;
+        break;
       case obs::TraceStage::kCompletion:
         entry = &stage_log_.completion;
         break;
@@ -1072,6 +1175,7 @@ void Controller::handle_admin(const SubmissionQueueEntry& sqe) {
         break;
       }
       sqs_[qid].valid = false;
+      read_rings_[qid].valid = false;
       break;
     }
     case nvme::AdminOpcode::kDeleteIoCq: {
@@ -1164,6 +1268,23 @@ void Controller::handle_admin(const SubmissionQueueEntry& sqe) {
       const std::uint8_t fid = sqe.cdw10 & 0xff;
       const auto it = features_.find(fid);
       dw0 = it == features_.end() ? 0 : it->second;
+      break;
+    }
+    case nvme::AdminOpcode::kVendorReadRing: {
+      // ByteExpress-R ring advertisement: CDW10 = QID | (slots << 16),
+      // DPTR1 = ring base. Rejected when the firmware has inline reads
+      // disabled (the driver then degrades to PRP/SGL reads) or the
+      // parameters are malformed. The slot count is capped by the CQE
+      // DW1 encoding (15-bit first-slot field).
+      const auto qid = static_cast<std::uint16_t>(sqe.cdw10 & 0xffff);
+      const std::uint32_t slots = sqe.cdw10 >> 16;
+      if (!config_.enable_inline_read || qid == 0 ||
+          qid >= config_.max_queues || !sqs_[qid].valid || sqe.dptr1 == 0 ||
+          slots < 2 || slots > (1u << 15)) {
+        status = nvme::StatusField::generic(nvme::GenericStatus::kInvalidField);
+        break;
+      }
+      read_rings_[qid] = ReadRing{true, sqe.dptr1, slots, 0};
       break;
     }
     case nvme::AdminOpcode::kAbort: {

@@ -49,6 +49,11 @@ class Controller {
     /// inline length is an invalid field (forward-compatibility tests).
     bool byteexpress_enabled = true;
     bool enable_ooo_reassembly = true;
+    /// ByteExpress-R firmware support switch: with inline reads disabled
+    /// the controller rejects kVendorReadRing advertisements (Invalid
+    /// Field) and ignores the SQE inline-read marker, so the driver falls
+    /// back to PRP/SGL reads (forward-compatibility tests).
+    bool enable_inline_read = true;
     ReassemblyEngine::Config reassembly{};
     /// SQ entries fetched per chunk DMA read (1 = the paper's
     /// entry-at-a-time OpenSSD implementation; >1 is the batched-fetch
@@ -213,7 +218,19 @@ class Controller {
     nvme::SubmissionQueueEntry sqe{};
     nvme::StatusField status{};
     std::uint32_t dw0 = 0;
+    std::uint32_t dw1 = 0;
     Nanoseconds release_ns = 0;
+  };
+  /// ByteExpress-R: one queue's host-side inline-read completion ring, as
+  /// advertised by the driver via kVendorReadRing. The cursor is the next
+  /// slot the firmware will write; the driver's slot-reservation gate
+  /// guarantees at most `slots` chunks are outstanding, so the firmware
+  /// never overwrites a slot the host has not consumed.
+  struct ReadRing {
+    bool valid = false;
+    std::uint64_t base = 0;
+    std::uint32_t slots = 0;
+    std::uint32_t cursor = 0;
   };
   /// A completion the injector dropped; remembered so a host Abort can
   /// confirm the command existed.
@@ -276,6 +293,17 @@ class Controller {
                            ConstByteSpan data,
                            std::uint64_t declared_length);
 
+  /// ByteExpress-R: true when this command's read payload should return
+  /// inline through the queue's completion ring instead of PRP/SGL.
+  [[nodiscard]] bool inline_read_eligible(
+      std::uint16_t qid, const nvme::SubmissionQueueEntry& sqe,
+      std::uint64_t data_len) const noexcept;
+  /// Emits `data` as CRC-framed chunk MWr TLPs into the queue's completion
+  /// ring and returns the CQE DW1 encoding (flag | first slot | chunks).
+  std::uint32_t emit_inline_read(std::uint16_t qid,
+                                 const nvme::SubmissionQueueEntry& sqe,
+                                 ConstByteSpan data);
+
   /// Bytes a PRP data transaction moves for `length` payload bytes across
   /// `page_count` pages, honoring the configured transfer unit.
   [[nodiscard]] std::uint64_t prp_transfer_bytes(
@@ -285,11 +313,13 @@ class Controller {
   /// before delegating to post_completion_now.
   void post_completion(std::uint16_t qid,
                        const nvme::SubmissionQueueEntry& sqe,
-                       nvme::StatusField status, std::uint32_t dw0);
+                       nvme::StatusField status, std::uint32_t dw0,
+                       std::uint32_t dw1 = 0);
   /// Builds and posts the CQE unconditionally (the original post path).
   void post_completion_now(std::uint16_t qid,
                            const nvme::SubmissionQueueEntry& sqe,
-                           nvme::StatusField status, std::uint32_t dw0);
+                           nvme::StatusField status, std::uint32_t dw0,
+                           std::uint32_t dw1 = 0);
 
   /// Applies the fault drawn for a command at its completion point:
   /// kNone executes normally; corrupt/error kinds post the corresponding
@@ -339,6 +369,8 @@ class Controller {
   std::unordered_map<std::uint8_t, std::uint32_t> features_;
   ReassemblyEngine reassembly_;
   std::vector<DeferredInline> deferred_;
+  /// Per-qid inline-read completion rings (ByteExpress-R).
+  std::vector<ReadRing> read_rings_;
 
   Nanoseconds last_fetch_cost_ns_ = 0;
   LatencyHistogram fetch_stage_hist_;
@@ -356,6 +388,8 @@ class Controller {
   obs::Counter deferred_evictions_;
   obs::Counter reassembly_evictions_;
   obs::Counter commands_aborted_;
+  obs::Counter inline_read_completions_;
+  obs::Counter inline_read_chunks_;
 
   nvme::StageStatsLog stage_log_;
   // Inline transfer work the firmware is still holding: open BandSlim
@@ -374,6 +408,10 @@ class Controller {
   /// Completion fault pending for the command currently completing; the
   /// post_completion wrapper consumes it.
   fault::FaultKind completion_fault_ = fault::FaultKind::kNone;
+  /// kChunkCorrupt drawn for an inline-read command: the next
+  /// emit_inline_read flips one payload byte after the CRC is computed,
+  /// so the host-side CRC check must catch it.
+  bool corrupt_next_read_chunk_ = false;
 };
 
 }  // namespace bx::controller

@@ -1,5 +1,6 @@
 #include "controller/reassembly.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/crc32c.h"
@@ -153,6 +154,66 @@ std::size_t ReassemblyEngine::tracking_sram_bytes() const noexcept {
     bytes += 8 + slot.bitmap.size() * sizeof(std::uint64_t);
   }
   return bytes;
+}
+
+// -------------------------------------------------------- ReadReassembler
+
+namespace inr = nvme::inline_read;
+
+ReadReassembler::ReadReassembler(std::uint16_t qid, std::uint16_t cid,
+                                 std::uint32_t declared_length)
+    : qid_(qid), cid_(cid), declared_length_(declared_length) {
+  BX_ASSERT(declared_length > 0);
+  total_chunks_ =
+      static_cast<std::uint16_t>(inr::read_chunks_for(declared_length));
+  bitmap_.assign((total_chunks_ + 63u) / 64u, 0);
+  staging_.assign(declared_length, 0);
+}
+
+Status ReadReassembler::accept(const nvme::SqSlot& slot) {
+  if (!inr::is_read_chunk(slot)) {
+    return invalid_argument("not a read chunk (stale or foreign slot)");
+  }
+  const inr::ReadChunkHeader header = inr::decode_read_header(slot);
+  if (header.version != 1) {
+    return invalid_argument("unknown read chunk version");
+  }
+  if (header.qid != qid_ || header.cid != cid_) {
+    return invalid_argument("read chunk addressed to another command");
+  }
+  if (header.total_chunks != total_chunks_) {
+    return invalid_argument("inconsistent total chunk count");
+  }
+  if (header.chunk_no >= total_chunks_) {
+    return invalid_argument("chunk number out of range");
+  }
+  const std::uint32_t offset =
+      std::uint32_t{header.chunk_no} * inr::kReadChunkCapacity;
+  const std::uint32_t expected_len =
+      std::min(inr::kReadChunkCapacity, declared_length_ - offset);
+  if (header.data_len != expected_len) {
+    return invalid_argument("chunk data length mismatch");
+  }
+  const ConstByteSpan data = inr::read_chunk_data(slot, header);
+  if (crc32c(data) != header.crc) {
+    return data_loss("read chunk CRC mismatch");
+  }
+  const std::size_t word = header.chunk_no / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (header.chunk_no % 64);
+  if ((bitmap_[word] & bit) != 0) {
+    return already_exists("duplicate read chunk");
+  }
+  bitmap_[word] |= bit;
+  ++received_;
+  std::memcpy(staging_.data() + offset, data.data(), data.size());
+  return Status::ok();
+}
+
+StatusOr<ByteVec> ReadReassembler::take() {
+  if (!complete()) {
+    return failed_precondition("inline read payload incomplete");
+  }
+  return std::move(staging_);
 }
 
 }  // namespace bx::controller

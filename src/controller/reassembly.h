@@ -17,6 +17,7 @@
 #include "common/bytes.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "nvme/inline_read_wire.h"
 #include "nvme/inline_wire.h"
 
 namespace bx::controller {
@@ -86,6 +87,48 @@ class ReassemblyEngine {
 
   Config config_;
   std::vector<Slot> slots_;
+};
+
+/// Driver-side counterpart of ReassemblyEngine for ByteExpress-R inline
+/// read completions: validates and reassembles the chunk sequence the
+/// controller wrote into one queue's host completion ring for a single
+/// command. One instance covers one command (the ring is per-queue and
+/// the CQE names the slot range, so no cross-command multiplexing is
+/// needed); the bitmap still guards against duplicates and the header
+/// checks catch every framing violation a stale or misdirected slot can
+/// produce — including the CQE-arriving-before-the-last-chunk case, where
+/// the slot still holds an old magic/cid/chunk_no.
+class ReadReassembler {
+ public:
+  ReadReassembler(std::uint16_t qid, std::uint16_t cid,
+                  std::uint32_t declared_length);
+
+  /// Validates one ring slot and places its data. Returns
+  /// kInvalidArgument on any framing violation (bad magic, wrong
+  /// qid/cid, inconsistent totals, bad lengths), kDataLoss on CRC
+  /// mismatch, kAlreadyExists for a duplicate chunk number.
+  Status accept(const nvme::SqSlot& slot);
+
+  [[nodiscard]] bool complete() const noexcept {
+    return received_ == total_chunks_;
+  }
+  [[nodiscard]] std::uint16_t total_chunks() const noexcept {
+    return total_chunks_;
+  }
+  [[nodiscard]] std::uint16_t received() const noexcept { return received_; }
+
+  /// Returns the reassembled payload (exactly declared_length bytes).
+  /// Fails with kFailedPrecondition while chunks are missing.
+  StatusOr<ByteVec> take();
+
+ private:
+  std::uint16_t qid_ = 0;
+  std::uint16_t cid_ = 0;
+  std::uint32_t declared_length_ = 0;
+  std::uint16_t total_chunks_ = 0;
+  std::uint16_t received_ = 0;
+  std::vector<std::uint64_t> bitmap_;
+  ByteVec staging_;
 };
 
 }  // namespace bx::controller

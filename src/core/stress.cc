@@ -66,14 +66,16 @@ TransferMethod effective_method(TransferMethod method, std::uint64_t len,
   return method;
 }
 
+constexpr int kTrafficClasses = static_cast<int>(pcie::TrafficClass::kCount_);
+
 struct CellSnapshot {
-  pcie::TrafficCell cells[2][8];
+  pcie::TrafficCell cells[2][kTrafficClasses];
 };
 
 CellSnapshot snapshot_traffic(pcie::TrafficCounter& traffic) {
   CellSnapshot snap;
   for (int d = 0; d < 2; ++d) {
-    for (int c = 0; c < 8; ++c) {
+    for (int c = 0; c < kTrafficClasses; ++c) {
       snap.cells[d][c] = traffic.cell(static_cast<pcie::Direction>(d),
                                       static_cast<pcie::TrafficClass>(c));
     }

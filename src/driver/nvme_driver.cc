@@ -4,11 +4,15 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "controller/reassembly.h"
 #include "nvme/bandslim_wire.h"
+#include "nvme/inline_read_wire.h"
 #include "nvme/inline_wire.h"
 #include "nvme/sgl.h"
 
 namespace bx::driver {
+
+namespace inr = nvme::inline_read;
 
 namespace {
 
@@ -65,6 +69,13 @@ NvmeDriver::QueueInfo NvmeDriver::admin_queue_info() const {
 Status NvmeDriver::init_io_queues() {
   if (!pump_) return failed_precondition("no device attached (pump unset)");
   io_queues_.clear();
+  inline_read_supported_ = false;
+  // Flips false at the first rejected ring advertisement: a controller
+  // without inline-read firmware support downgrades the whole session to
+  // PRP/SGL reads instead of failing initialization.
+  bool read_rings_accepted = config_.inline_read_enabled &&
+                             config_.read_ring_slots >= 2 &&
+                             config_.read_ring_slots <= (1u << 15);
   for (std::uint16_t i = 1; i <= config_.io_queue_count; ++i) {
     auto qp = std::make_unique<QueuePair>();
     qp->sq = std::make_unique<nvme::SqRing>(memory_, i,
@@ -99,6 +110,29 @@ Status NvmeDriver::init_io_queues() {
 
     io_queues_.push_back(std::move(qp));
 
+    // ByteExpress-R: allocate the host completion ring adjacent to the CQ
+    // and advertise it so the controller can return small read payloads
+    // inline (docs/READPATH.md). Advertised after CreateIoSq — the
+    // controller validates the target SQ exists.
+    if (read_rings_accepted) {
+      QueuePair& ring_owner = *io_queues_.back();
+      ring_owner.read_ring = memory_.allocate(
+          std::uint64_t{config_.read_ring_slots} * nvme::kChunkSize);
+      ring_owner.read_ring_slots = config_.read_ring_slots;
+      nvme::SubmissionQueueEntry advertise;
+      advertise.opcode =
+          static_cast<std::uint8_t>(nvme::AdminOpcode::kVendorReadRing);
+      advertise.dptr1 = ring_owner.read_ring.addr();
+      advertise.cdw10 = std::uint32_t{i} | (config_.read_ring_slots << 16);
+      auto advertised = execute_admin(advertise);
+      BX_RETURN_IF_ERROR(advertised.status());
+      if (!advertised->ok()) {
+        read_rings_accepted = false;
+        ring_owner.read_ring = DmaBuffer();
+        ring_owner.read_ring_slots = 0;
+      }
+    }
+
     // Publish the queue's occupancy gauges now that the pair exists (the
     // registry/telemetry pointers were stored by bind_metrics() /
     // set_telemetry() during testbed assembly, which precedes this call).
@@ -118,6 +152,7 @@ Status NvmeDriver::init_io_queues() {
                                  &created.inflight);
     }
   }
+  inline_read_supported_ = read_rings_accepted;
   return Status::ok();
 }
 
@@ -135,6 +170,10 @@ nvme::CqRing& NvmeDriver::cq_for_test(std::uint16_t qid) {
   return *queue(qid).cq;
 }
 
+DmaBuffer& NvmeDriver::read_ring_for_test(std::uint16_t qid) {
+  return queue(qid).read_ring;
+}
+
 void NvmeDriver::bind_metrics(obs::MetricsRegistry& metrics) {
   metrics_ = &metrics;
   submissions_metric_ = &metrics.counter("driver.submissions");
@@ -144,6 +183,18 @@ void NvmeDriver::bind_metrics(obs::MetricsRegistry& metrics) {
   metrics.expose_counter("driver.retries", &retries_);
   metrics.expose_counter("driver.inline_fallback_prp", &inline_fallbacks_);
   metrics.expose_counter("driver.degradations", &degradations_);
+  metrics.expose_counter("driver.inline_read.attempts",
+                         &inline_read_attempts_);
+  metrics.expose_counter("driver.inline_read.completions",
+                         &inline_read_completions_);
+  metrics.expose_counter("driver.inline_read.chunks", &inline_read_chunks_);
+  metrics.expose_counter("driver.inline_read.bytes", &inline_read_bytes_);
+  metrics.expose_counter("driver.inline_read.crc_errors",
+                         &inline_read_crc_errors_);
+  metrics.expose_counter("driver.inline_read.fallback_prp",
+                         &inline_read_fallbacks_);
+  metrics.expose_counter("driver.inline_read.degradations",
+                         &inline_read_degradations_);
   metrics.expose_counter("faults.recovered", &faults_recovered_);
   metrics.expose_counter("faults.degraded", &faults_degraded_);
   metrics.expose_counter("faults.failed", &faults_failed_);
@@ -257,11 +308,46 @@ std::uint32_t NvmeDriver::inline_slots_for(
   }
 }
 
+std::uint64_t NvmeDriver::read_length_of(const IoRequest& request) noexcept {
+  if (request.opcode == nvme::IoOpcode::kRead) {
+    return std::uint64_t{request.block_count} * kBlockSize;
+  }
+  return request.read_buffer.size();
+}
+
+bool NvmeDriver::reserve_read_slots(QueuePair& qp,
+                                    std::uint32_t slots) noexcept {
+  std::uint32_t reserved =
+      qp.read_ring_reserved.load(std::memory_order_relaxed);
+  for (;;) {
+    if (reserved + slots > qp.read_ring_slots) return false;
+    if (qp.read_ring_reserved.compare_exchange_weak(
+            reserved, reserved + slots, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+void NvmeDriver::release_read_slots(QueuePair& qp,
+                                    Pending& pending) noexcept {
+  if (pending.read_slots_reserved == 0) return;
+  qp.read_ring_reserved.fetch_sub(pending.read_slots_reserved,
+                                  std::memory_order_acq_rel);
+  pending.read_slots_reserved = 0;
+}
+
 Status NvmeDriver::gate_admit(const IoRequest& request, std::uint16_t qid,
-                              TransferMethod method, Pending& pending) {
+                              const ResolvedMethod& resolved,
+                              Pending& pending) {
   if (gate_ == nullptr) return Status::ok();
-  const std::uint32_t slots =
-      inline_slots_for(method, request.write_data.size());
+  std::uint32_t slots =
+      inline_slots_for(resolved.method, request.write_data.size());
+  // An inline read claims completion-ring slots instead of SQ chunk
+  // slots; both draw on the same per-tenant inline budget.
+  if (resolved.inline_read) {
+    slots += inr::read_chunks_for(read_length_of(request));
+  }
   BX_RETURN_IF_ERROR(gate_->admit(request, qid, slots, link_.clock().now()));
   pending.gated = true;
   pending.tenant = request.tenant;
@@ -321,6 +407,28 @@ StatusOr<NvmeDriver::ResolvedMethod> NvmeDriver::resolve_method(
         qp.degraded_until.load(std::memory_order_relaxed)) {
       method = TransferMethod::kPrp;
       resolved.degraded = true;
+    }
+  }
+
+  // ByteExpress-R: a small read additionally requests inline return
+  // through the queue's completion ring. `method` keeps the PRP/SGL
+  // resolution it would otherwise use — that is the fallback if the
+  // ring-slot reservation fails at submit time, and the return path if
+  // the queue's read side is degraded.
+  if (config_.inline_read_enabled && inline_read_supported_ &&
+      is_read_direction(request.opcode) && !request.discard_read_data &&
+      qid >= 1 && qid <= io_queues_.size()) {
+    const std::uint64_t read_len = read_length_of(request);
+    const QueuePair& qp = *io_queues_[qid - 1];
+    if (read_len > 0 && read_len <= config_.max_inline_read_bytes &&
+        inr::read_chunks_for(read_len) <= qp.read_ring_slots) {
+      if (config_.degrade_threshold > 0 &&
+          link_.clock().now() <
+              qp.read_degraded_until.load(std::memory_order_relaxed)) {
+        resolved.degraded = true;
+      } else {
+        resolved.inline_read = true;
+      }
     }
   }
 
@@ -589,9 +697,10 @@ Status NvmeDriver::submit_bandslim(QueuePair& qp,
 
 StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
                                                    std::uint16_t qid,
-                                                   TransferMethod method,
+                                                   ResolvedMethod resolved,
                                                    std::uint8_t submit_flags) {
   QueuePair& qp = queue(qid);
+  const TransferMethod method = resolved.method;
 
   // Validate block I/O geometry up front.
   if (request.opcode == nvme::IoOpcode::kWrite) {
@@ -616,34 +725,66 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
     pending.deadline_ns = submit_time + config_.command_timeout_ns;
   }
 
-  switch (method) {
-    case TransferMethod::kPrp: {
-      BX_RETURN_IF_ERROR(attach_data_prp(qp, sqe, pending, request));
-      break;
+  // ByteExpress-R: claim the completion-ring slots before staging. A
+  // full ring is not an error — the read falls back to the PRP/SGL
+  // method resolve_method() kept as the fallback.
+  if (resolved.inline_read) {
+    const std::uint32_t chunks =
+        inr::read_chunks_for(read_length_of(request));
+    if (reserve_read_slots(qp, chunks)) {
+      pending.inline_read = true;
+      pending.read_slots_reserved = chunks;
+      inline_read_attempts_.increment();
+    } else {
+      resolved.inline_read = false;
+      inline_read_fallbacks_.increment();
+      submit_flags |= obs::kFlagMethodFallback;
     }
-    case TransferMethod::kSgl: {
-      BX_RETURN_IF_ERROR(attach_data_sgl(qp, sqe, pending, request));
-      break;
-    }
-    case TransferMethod::kByteExpress:
-    case TransferMethod::kByteExpressOoo: {
-      sqe.set_inline_length(
-          static_cast<std::uint32_t>(request.write_data.size()));
-      if (method == TransferMethod::kByteExpressOoo) {
-        nvme::inline_chunk::mark_sqe_ooo(sqe, allocate_payload_id());
+  }
+
+  if (pending.inline_read) {
+    // No PRP/SGL staging: the payload arrives through the completion
+    // ring, so the command crosses the link bare.
+    inr::mark_sqe_inline_read(sqe);
+    pending.read_target = request.read_buffer;
+    pending.read_length =
+        static_cast<std::uint32_t>(read_length_of(request));
+  } else {
+    switch (method) {
+      case TransferMethod::kPrp: {
+        BX_RETURN_IF_ERROR(attach_data_prp(qp, sqe, pending, request));
+        break;
       }
-      break;
+      case TransferMethod::kSgl: {
+        BX_RETURN_IF_ERROR(attach_data_sgl(qp, sqe, pending, request));
+        break;
+      }
+      case TransferMethod::kByteExpress:
+      case TransferMethod::kByteExpressOoo: {
+        sqe.set_inline_length(
+            static_cast<std::uint32_t>(request.write_data.size()));
+        if (method == TransferMethod::kByteExpressOoo) {
+          nvme::inline_chunk::mark_sqe_ooo(sqe, allocate_payload_id());
+        }
+        break;
+      }
+      case TransferMethod::kBandSlim:
+        break;
+      case TransferMethod::kHybrid:
+        return internal_error("hybrid must be resolved before submission");
     }
-    case TransferMethod::kBandSlim:
-      break;
-    case TransferMethod::kHybrid:
-      return internal_error("hybrid must be resolved before submission");
   }
 
   // One admission decision per command, taken before any ring slot is
   // claimed; a rejection surfaces the gate's status unchanged (staging is
   // undone by Pending's RAII — nothing was published).
-  BX_RETURN_IF_ERROR(gate_admit(request, qid, method, pending));
+  {
+    const Status admitted = gate_admit(request, qid, resolved, pending);
+    if (!admitted.is_ok()) {
+      release_read_slots(qp, pending);
+      return admitted;
+    }
+  }
 
   const std::uint16_t cid = register_pending(qp, std::move(pending));
   sqe.cid = cid;
@@ -653,6 +794,7 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
     auto it = qp.pending.find(cid);
     if (it != qp.pending.end()) {
       gate_release(it->second, /*completed=*/false);
+      release_read_slots(qp, it->second);
       qp.pending.erase(it);
     }
     qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
@@ -741,7 +883,57 @@ StatusOr<Submitted> NvmeDriver::submit(const IoRequest& request,
     flags = obs::kFlagMethodFallback;
   }
   if (resolved->feasibility_fallback) inline_fallbacks_.increment();
-  return submit_with_method(request, qid, resolved->method, flags);
+  return submit_with_method(request, qid, *resolved, flags);
+}
+
+void NvmeDriver::consume_inline_read_locked(QueuePair& qp,
+                                            Pending& pending) {
+  const nvme::CompletionQueueEntry& cqe = pending.cqe;
+  // DW0 may report more than was transferred (a KV value larger than the
+  // destination buffer); the controller clamps the inline emission to the
+  // declared length, so the reassembled payload is the min of the two.
+  const std::uint32_t length =
+      std::min<std::uint32_t>(cqe.dw0, pending.read_length);
+  const std::uint32_t chunks = inr::cqe_read_chunks(cqe);
+  const std::uint32_t first = inr::cqe_read_first_slot(cqe);
+  // Any violation rewrites the completion to a retryable Data Transfer
+  // Error: the retry tail resubmits (and, past the degradation
+  // threshold, routes the queue's reads back through PRP).
+  const auto fail = [&pending] {
+    pending.cqe.set_status(nvme::StatusField::generic(
+        nvme::GenericStatus::kDataTransferError));
+  };
+  if (length == 0 || chunks != inr::read_chunks_for(length) ||
+      qp.read_ring_slots == 0) {
+    fail();
+    return;
+  }
+  controller::ReadReassembler reassembler(cqe.sq_id, cqe.cid, length);
+  nvme::SqSlot slot;
+  for (std::uint32_t i = 0; i < chunks; ++i) {
+    const std::uint64_t offset =
+        std::uint64_t{(first + i) % qp.read_ring_slots} *
+        inr::kReadSlotBytes;
+    qp.read_ring.read(offset, {slot.raw, sizeof(slot.raw)});
+    const Status accepted = reassembler.accept(slot);
+    if (!accepted.is_ok()) {
+      if (accepted.code() == StatusCode::kDataLoss) {
+        inline_read_crc_errors_.increment();
+      }
+      fail();
+      return;
+    }
+  }
+  auto payload = reassembler.take();
+  if (!payload.is_ok() || payload->size() > pending.read_target.size()) {
+    fail();
+    return;
+  }
+  std::memcpy(pending.read_target.data(), payload->data(),
+              payload->size());
+  inline_read_completions_.increment();
+  inline_read_chunks_.add(chunks);
+  inline_read_bytes_.add(length);
 }
 
 Completion NvmeDriver::finish_pending_locked(
@@ -750,6 +942,22 @@ Completion NvmeDriver::finish_pending_locked(
   gate_release(pending, /*completed=*/true);
   qp.pending.erase(it);
   qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
+  if (pending.inline_read) {
+    if (pending.cqe.status().is_success()) {
+      if (inr::cqe_is_inline_read(pending.cqe)) {
+        // Ring reads below are plain host-DRAM loads — the point of the
+        // design: the payload already crossed the link as MWr chunks.
+        consume_inline_read_locked(qp, pending);
+      } else if (pending.cqe.dw0 != 0) {
+        // The command was marked inline but the controller neither
+        // emitted chunks nor failed it; with no PRP buffer staged the
+        // data went nowhere. Retryable — the retry re-resolves.
+        pending.cqe.set_status(nvme::StatusField::generic(
+            nvme::GenericStatus::kDataTransferError));
+      }
+    }
+    release_read_slots(qp, pending);
+  }
   Completion completion;
   completion.status = pending.cqe.status();
   completion.dw0 = pending.cqe.dw0;
@@ -757,8 +965,10 @@ Completion NvmeDriver::finish_pending_locked(
   if (!pending.read_target.empty() && completion.status.is_success()) {
     const std::uint32_t returned =
         std::min<std::uint32_t>(pending.cqe.dw0, pending.read_length);
-    ByteVec staging(returned);
-    if (returned > 0 && pending.data.valid()) {
+    // Inline reads were copied out of the completion ring above; the
+    // PRP/SGL path copies out of the staging DMA buffer here.
+    if (!pending.inline_read && returned > 0 && pending.data.valid()) {
+      ByteVec staging(returned);
       pending.data.read(0, {staging.data(), returned});
       std::memcpy(pending.read_target.data(), staging.data(), returned);
     }
@@ -854,8 +1064,12 @@ StatusOr<Completion> NvmeDriver::recover_timed_out(QueuePair& qp,
   if (it->second.done) return finish_pending_locked(qp, it);
   const Nanoseconds submit_time = it->second.submit_time_ns;
   // The synthesized Abort Requested completion resolves the command, so
-  // its gate charge is paid here, exactly once, like any completion.
+  // its gate charge is paid here, exactly once, like any completion. An
+  // inline read's ring-slot reservation is paid back the same way — the
+  // abandoned slots may be overwritten by later commands, which is safe
+  // because nothing will ever read them (docs/READPATH.md).
   gate_release(it->second, /*completed=*/true);
+  release_read_slots(qp, it->second);
   qp.pending.erase(it);
   qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
   Completion completion;
@@ -924,7 +1138,7 @@ StatusOr<Completion> NvmeDriver::execute(const IoRequest& request,
     flags = obs::kFlagMethodFallback;
   }
   if (resolved->feasibility_fallback) inline_fallbacks_.increment();
-  auto handle = submit_with_method(request, qid, resolved->method, flags);
+  auto handle = submit_with_method(request, qid, *resolved, flags);
   BX_RETURN_IF_ERROR(handle.status());
   auto completion = wait(*handle);
   BX_RETURN_IF_ERROR(completion.status());
@@ -942,6 +1156,9 @@ StatusOr<Completion> NvmeDriver::finish_with_retries(const IoRequest& request,
     if (completion.status.is_success()) {
       if (inline_attempt) {
         qp.inline_failures.store(0, std::memory_order_relaxed);
+      }
+      if (resolved.inline_read) {
+        qp.read_inline_failures.store(0, std::memory_order_relaxed);
       }
       // Every failed attempt that this success redeems was one injected
       // fault; classify it so injected == recovered + degraded + failed.
@@ -964,6 +1181,21 @@ StatusOr<Completion> NvmeDriver::finish_with_retries(const IoRequest& request,
             std::memory_order_relaxed);
         qp.inline_failures.store(0, std::memory_order_relaxed);
         degradations_.increment();
+      }
+    }
+    // Read-side degradation mirrors the write-inline path: N consecutive
+    // failed inline-read attempts route the queue's reads through PRP
+    // until the re-probe time passes.
+    if (resolved.inline_read && config_.degrade_threshold > 0) {
+      const std::uint32_t fails =
+          qp.read_inline_failures.fetch_add(1, std::memory_order_relaxed) +
+          1;
+      if (fails >= config_.degrade_threshold) {
+        qp.read_degraded_until.store(
+            link_.clock().now() + config_.degrade_reprobe_ns,
+            std::memory_order_relaxed);
+        qp.read_inline_failures.store(0, std::memory_order_relaxed);
+        inline_read_degradations_.increment();
       }
     }
     if (!is_retryable(completion.status) || attempt >= config_.max_retries) {
@@ -993,7 +1225,7 @@ StatusOr<Completion> NvmeDriver::finish_with_retries(const IoRequest& request,
       flags = obs::kFlagMethodFallback;
     }
     if (resolved.feasibility_fallback) inline_fallbacks_.increment();
-    auto handle = submit_with_method(request, qid, resolved.method, flags);
+    auto handle = submit_with_method(request, qid, resolved, flags);
     if (!handle.is_ok()) return fail_with(handle.status());
     auto next = wait(*handle);
     if (!next.is_ok()) return fail_with(next.status());
@@ -1035,6 +1267,7 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
       auto it = qp.pending.find(prepared[j].cid);
       if (it == qp.pending.end()) continue;
       gate_release(it->second, /*completed=*/false);
+      release_read_slots(qp, it->second);
       qp.pending.erase(it);
     }
     qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
@@ -1075,48 +1308,77 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
       pending.deadline_ns = prep.submit_time + config_.command_timeout_ns;
     }
 
-    switch (prep.resolved.method) {
-      case TransferMethod::kPrp: {
-        const Status status = attach_data_prp(qp, prep.sqe, pending, request);
-        if (!status.is_ok()) {
+    // ByteExpress-R reservation, same point in the lifecycle as the
+    // unbatched path; a full ring falls back to the resolved PRP/SGL
+    // staging below.
+    if (prep.resolved.inline_read) {
+      const std::uint32_t chunks =
+          inr::read_chunks_for(read_length_of(request));
+      if (reserve_read_slots(qp, chunks)) {
+        pending.inline_read = true;
+        pending.read_slots_reserved = chunks;
+        inline_read_attempts_.increment();
+        inr::mark_sqe_inline_read(prep.sqe);
+        pending.read_target = request.read_buffer;
+        pending.read_length =
+            static_cast<std::uint32_t>(read_length_of(request));
+      } else {
+        prep.resolved.inline_read = false;
+        inline_read_fallbacks_.increment();
+        prep.submit_flags |= obs::kFlagMethodFallback;
+      }
+    }
+
+    if (pending.inline_read) {
+      // Bare SQE; the payload returns through the completion ring.
+      prep.slots = 1;
+    } else {
+      switch (prep.resolved.method) {
+        case TransferMethod::kPrp: {
+          const Status status =
+              attach_data_prp(qp, prep.sqe, pending, request);
+          if (!status.is_ok()) {
+            abandon_from(0);
+            return status;
+          }
+          prep.slots = 1;
+          break;
+        }
+        case TransferMethod::kSgl: {
+          const Status status =
+              attach_data_sgl(qp, prep.sqe, pending, request);
+          if (!status.is_ok()) {
+            abandon_from(0);
+            return status;
+          }
+          prep.slots = 1;
+          break;
+        }
+        case TransferMethod::kByteExpress:
+        case TransferMethod::kByteExpressOoo: {
+          prep.sqe.set_inline_length(
+              static_cast<std::uint32_t>(request.write_data.size()));
+          std::uint32_t chunks;
+          if (prep.resolved.method == TransferMethod::kByteExpressOoo) {
+            nvme::inline_chunk::mark_sqe_ooo(prep.sqe,
+                                             allocate_payload_id());
+            chunks = nvme::inline_chunk::ooo_chunks_for(
+                request.write_data.size());
+          } else {
+            chunks = nvme::inline_chunk::raw_chunks_for(
+                request.write_data.size());
+          }
+          prep.inline_payload = request.write_data;
+          prep.slots = 1 + chunks;
+          break;
+        }
+        case TransferMethod::kBandSlim:
+          prep.slots = 0;
+          break;
+        case TransferMethod::kHybrid:
           abandon_from(0);
-          return status;
-        }
-        prep.slots = 1;
-        break;
+          return internal_error("hybrid must be resolved before submission");
       }
-      case TransferMethod::kSgl: {
-        const Status status = attach_data_sgl(qp, prep.sqe, pending, request);
-        if (!status.is_ok()) {
-          abandon_from(0);
-          return status;
-        }
-        prep.slots = 1;
-        break;
-      }
-      case TransferMethod::kByteExpress:
-      case TransferMethod::kByteExpressOoo: {
-        prep.sqe.set_inline_length(
-            static_cast<std::uint32_t>(request.write_data.size()));
-        std::uint32_t chunks;
-        if (prep.resolved.method == TransferMethod::kByteExpressOoo) {
-          nvme::inline_chunk::mark_sqe_ooo(prep.sqe, allocate_payload_id());
-          chunks =
-              nvme::inline_chunk::ooo_chunks_for(request.write_data.size());
-        } else {
-          chunks =
-              nvme::inline_chunk::raw_chunks_for(request.write_data.size());
-        }
-        prep.inline_payload = request.write_data;
-        prep.slots = 1 + chunks;
-        break;
-      }
-      case TransferMethod::kBandSlim:
-        prep.slots = 0;
-        break;
-      case TransferMethod::kHybrid:
-        abandon_from(0);
-        return internal_error("hybrid must be resolved before submission");
     }
 
     // Per-command admission, same point in the lifecycle as the unbatched
@@ -1124,9 +1386,9 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
     // rejection fails the whole batch before anything is published
     // (preparation is all-or-nothing), releasing the earlier commands'
     // admissions.
-    const Status admitted =
-        gate_admit(request, qid, prep.resolved.method, pending);
+    const Status admitted = gate_admit(request, qid, prep.resolved, pending);
     if (!admitted.is_ok()) {
+      release_read_slots(qp, pending);
       abandon_from(0);
       return admitted;
     }
@@ -1354,8 +1616,9 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
   if (config_.command_timeout_ns > 0) {
     initial.deadline_ns = initial.submit_time_ns + config_.command_timeout_ns;
   }
-  BX_RETURN_IF_ERROR(gate_admit(request, qids.front(),
-                                TransferMethod::kByteExpressOoo, initial));
+  ResolvedMethod striped;
+  striped.method = TransferMethod::kByteExpressOoo;
+  BX_RETURN_IF_ERROR(gate_admit(request, qids.front(), striped, initial));
   const std::uint16_t cid = register_pending(home, std::move(initial));
   sqe.cid = cid;
 

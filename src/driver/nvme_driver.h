@@ -84,6 +84,22 @@ class NvmeDriver {
     /// (read-direction command, too large, queue too shallow).
     bool auto_fallback_to_prp = true;
 
+    // ---- ByteExpress-R inline read completions (docs/READPATH.md) ----
+
+    /// Master switch: allocate a per-queue host completion ring next to
+    /// the CQ, advertise it via kVendorReadRing at queue creation, and
+    /// request inline return for small reads. If the controller rejects
+    /// the advertisement (firmware support off), inline reads are
+    /// disabled for the session and every read goes PRP/SGL.
+    bool inline_read_enabled = true;
+    /// Reads at or below this many bytes return inline when ring slots
+    /// are available; larger reads use the native PRP/SGL return.
+    std::uint32_t max_inline_read_bytes = 4096;
+    /// Completion-ring slots per I/O queue (64 B each). Bounds the
+    /// inline-read data in flight per queue; reservation failure falls
+    /// back to PRP. Capped at 2^15 by the CQE DW1 slot encoding.
+    std::uint32_t read_ring_slots = 256;
+
     // ---- error recovery (see docs/FAULTS.md) ----
 
     /// Sim-time an I/O command may stay in flight before wait() declares
@@ -203,6 +219,11 @@ class NvmeDriver {
     bool feasibility_fallback = false;
     /// The queue is in degraded mode, so the inline request went PRP.
     bool degraded = false;
+    /// ByteExpress-R: the read returns inline through the queue's
+    /// completion ring (no PRP/SGL staging; `method` is what the read
+    /// would fall back to). Cleared at submit time when the ring-slot
+    /// reservation fails (ring full -> PRP fallback).
+    bool inline_read = false;
   };
 
   struct BatchResult {
@@ -310,6 +331,14 @@ class NvmeDriver {
   [[nodiscard]] nvme::SqRing& sq_for_test(std::uint16_t qid);
   /// Direct CQ access for trace-reconciliation tests.
   [[nodiscard]] nvme::CqRing& cq_for_test(std::uint16_t qid);
+  /// Direct completion-ring access for white-box read-path tests
+  /// (ordering-violation injection pokes stale bytes into slots).
+  [[nodiscard]] DmaBuffer& read_ring_for_test(std::uint16_t qid);
+  /// Whether the controller accepted the ring advertisements (false when
+  /// firmware support is off or inline reads are disabled by config).
+  [[nodiscard]] bool inline_read_supported() const noexcept {
+    return inline_read_supported_;
+  }
 
   // ---- concurrency test hooks ----
 
@@ -345,6 +374,12 @@ class NvmeDriver {
     bool gated = false;
     std::uint16_t tenant = 0;
     std::uint32_t gated_slots = 0;
+    /// ByteExpress-R bookkeeping: the command was submitted as an inline
+    /// read holding `read_slots_reserved` completion-ring slots, released
+    /// exactly once when the pending resolves (after the payload is
+    /// copied out of the ring, or on any failure path).
+    bool inline_read = false;
+    std::uint32_t read_slots_reserved = 0;
   };
 
   struct QueuePair {
@@ -372,6 +407,19 @@ class NvmeDriver {
     /// Sim-time until which inline requests on this queue are routed
     /// through PRP (0 = healthy).
     std::atomic<Nanoseconds> degraded_until{0};
+    /// ByteExpress-R: the host completion ring adjacent to the CQ
+    /// (read_ring_slots x 64 B), its slot count, and the outstanding
+    /// slot reservation. Reservations are claimed by CAS at submit and
+    /// released after copy-out, so the sum of in-flight reservations
+    /// never exceeds the ring — which (with the per-queue FIFO
+    /// completion order) keeps the controller's cursor from overwriting
+    /// unconsumed slots; see docs/READPATH.md.
+    DmaBuffer read_ring;
+    std::uint32_t read_ring_slots = 0;
+    std::atomic<std::uint32_t> read_ring_reserved{0};
+    /// Read-path degradation mirrors the write-inline trio above.
+    std::atomic<std::uint32_t> read_inline_failures{0};
+    std::atomic<Nanoseconds> read_degraded_until{0};
     /// Per-queue doorbell accounting (exposed as driver.qN.* by
     /// init_io_queues). sq_doorbells counts BAR MWr writes — one per
     /// ring, NOT one per command, so coalesced batches keep
@@ -456,10 +504,26 @@ class NvmeDriver {
 
   /// `submit_flags` is OR-ed into the kSubmit trace event's flags
   /// (kFlagMethodFallback when the method was changed by the driver).
+  /// `resolved.inline_read` may be cleared here (ring-full fallback).
   StatusOr<Submitted> submit_with_method(const IoRequest& request,
                                          std::uint16_t qid,
-                                         TransferMethod method,
+                                         ResolvedMethod resolved,
                                          std::uint8_t submit_flags = 0);
+
+  /// ByteExpress-R: read length a request declares (read_buffer size, or
+  /// the block length for LBA reads).
+  static std::uint64_t read_length_of(const IoRequest& request) noexcept;
+  /// Claims `slots` completion-ring slots on `qp` (CAS loop); false when
+  /// the ring lacks space.
+  static bool reserve_read_slots(QueuePair& qp, std::uint32_t slots) noexcept;
+  /// Pays back `pending`'s completion-ring reservation, if any. Idempotent:
+  /// clears read_slots_reserved so every resolution path can call it.
+  static void release_read_slots(QueuePair& qp, Pending& pending) noexcept;
+  /// Copies an inline-read payload out of the ring and validates framing
+  /// + CRC via ReadReassembler. On any violation rewrites the pending's
+  /// completion status to a retryable Data Transfer Error. Call with
+  /// pending_mutex held (ring reads are plain host-DRAM loads).
+  void consume_inline_read_locked(QueuePair& qp, Pending& pending);
 
   /// Runs one admin command synchronously.
   StatusOr<Completion> execute_admin(nvme::SubmissionQueueEntry sqe);
@@ -499,9 +563,11 @@ class NvmeDriver {
   static std::uint32_t inline_slots_for(TransferMethod method,
                                         std::uint64_t payload_len) noexcept;
   /// Consults the gate (when attached) for one command about to claim
-  /// ring slots; fills `pending`'s gate bookkeeping on admission.
+  /// ring slots; fills `pending`'s gate bookkeeping on admission. Inline
+  /// reads are charged their completion-ring slot count against the same
+  /// per-tenant inline budget as write chunks (docs/TENANCY.md).
   Status gate_admit(const IoRequest& request, std::uint16_t qid,
-                    TransferMethod method, Pending& pending);
+                    const ResolvedMethod& resolved, Pending& pending);
   /// Pays the release owed by `pending`'s admission, if any (idempotent:
   /// clears the gated flag).
   void gate_release(Pending& pending, bool completed) noexcept;
@@ -509,6 +575,9 @@ class NvmeDriver {
   obs::TraceRecorder* tracer_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   SubmissionGate* gate_ = nullptr;
+  /// Set by init_io_queues() once every queue's kVendorReadRing
+  /// advertisement succeeded; immutable while submitters run.
+  bool inline_read_supported_ = false;
   /// Kept from bind_metrics() so init_io_queues() can expose the
   /// per-queue gauges (queue pairs do not exist yet at bind time).
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -533,6 +602,15 @@ class NvmeDriver {
   obs::Counter faults_recovered_;
   obs::Counter faults_degraded_;
   obs::Counter faults_failed_;
+
+  // ByteExpress-R read-path counters (exposed as driver.inline_read.*).
+  obs::Counter inline_read_attempts_;
+  obs::Counter inline_read_completions_;
+  obs::Counter inline_read_chunks_;
+  obs::Counter inline_read_bytes_;
+  obs::Counter inline_read_crc_errors_;
+  obs::Counter inline_read_fallbacks_;
+  obs::Counter inline_read_degradations_;
 
   // Batched-submission accounting (exposed as driver.* by bind_metrics).
   // total_sq_doorbells_/total_commands_ cover the I/O queues only, so

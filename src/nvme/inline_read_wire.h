@@ -1,0 +1,126 @@
+// ByteExpress-R inline read-completion wire format.
+//
+// The write direction inlines payloads into SQ slots; the read direction
+// has no symmetric container, so ByteExpress-R gives each I/O queue a
+// host-side *completion ring* adjacent to the CQ. The controller returns a
+// small read payload as chunked MWr TLPs into that ring — one 64-byte slot
+// per chunk, each self-describing and CRC32-C protected — and only then
+// posts the CQE, which carries an inline-read flag, the first ring slot,
+// and the chunk count in DW1. The driver validates framing and CRC per
+// chunk (a corrupted chunk surfaces as a retryable Data Transfer Error,
+// mirroring the write path's device-side CRC check) and reassembles the
+// payload without any PRP/SGL DMA.
+//
+// Slot layout mirrors the OOO write chunk: a 16-byte header followed by up
+// to 48 bytes of payload. The magic byte differs (0xfe vs the OOO 0xff) so
+// a misdirected write chunk can never masquerade as a read chunk, and the
+// header identifies the command by (qid, cid) instead of a payload ID —
+// the ring is per-queue and CIDs are unique among in-flight commands.
+#pragma once
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/status.h"
+#include "nvme/spec.h"
+
+namespace bx::nvme::inline_read {
+
+/// First byte of a read chunk slot. Distinct from the OOO write-chunk
+/// magic (0xff) and from every defined opcode.
+inline constexpr std::uint8_t kReadChunkMagic = 0xfe;
+inline constexpr std::uint32_t kReadHeaderBytes = 16;
+/// Payload bytes per ring slot: 64-byte slot minus the header.
+inline constexpr std::uint32_t kReadChunkCapacity =
+    kChunkSize - kReadHeaderBytes;  // 48
+/// Ring slot size (one chunk per slot).
+inline constexpr std::uint32_t kReadSlotBytes = kChunkSize;  // 64
+
+constexpr std::uint32_t read_chunks_for(std::uint64_t len) noexcept {
+  return static_cast<std::uint32_t>(div_ceil(len, kReadChunkCapacity));
+}
+
+struct ReadChunkHeader {
+  std::uint8_t magic = kReadChunkMagic;
+  std::uint8_t version = 1;
+  std::uint16_t chunk_no = 0;      // 0-based
+  std::uint16_t cid = 0;           // command this chunk answers
+  std::uint16_t qid = 0;           // queue that owns the ring
+  std::uint16_t total_chunks = 0;
+  std::uint16_t data_len = 0;      // bytes of payload in this chunk
+  std::uint32_t crc = 0;           // CRC32-C of the chunk data
+};
+static_assert(sizeof(ReadChunkHeader) == kReadHeaderBytes);
+
+inline SqSlot encode_read_chunk(std::uint16_t qid, std::uint16_t cid,
+                                std::uint16_t chunk_no,
+                                std::uint16_t total_chunks,
+                                ConstByteSpan data) noexcept {
+  BX_ASSERT(data.size() <= kReadChunkCapacity);
+  ReadChunkHeader header;
+  header.chunk_no = chunk_no;
+  header.cid = cid;
+  header.qid = qid;
+  header.total_chunks = total_chunks;
+  header.data_len = static_cast<std::uint16_t>(data.size());
+  header.crc = crc32c(data);
+  SqSlot slot;
+  std::memcpy(slot.raw, &header, sizeof(header));
+  std::memcpy(slot.raw + kReadHeaderBytes, data.data(), data.size());
+  return slot;
+}
+
+inline bool is_read_chunk(const SqSlot& slot) noexcept {
+  return slot.raw[0] == kReadChunkMagic;
+}
+
+inline ReadChunkHeader decode_read_header(const SqSlot& slot) noexcept {
+  ReadChunkHeader header;
+  std::memcpy(&header, slot.raw, sizeof(header));
+  return header;
+}
+
+inline ConstByteSpan read_chunk_data(const SqSlot& slot,
+                                     const ReadChunkHeader& header) noexcept {
+  return {slot.raw + kReadHeaderBytes, header.data_len};
+}
+
+// -------------------------------------------------------- SQE/CQE marking
+
+/// SQE marking for inline-read requests: CDW3 bit 30. Disjoint from the
+/// OOO write marker (bit 31 + inline_length > 0); read commands carry
+/// inline_length == 0, so the two can never collide.
+inline constexpr std::uint32_t kSqeInlineReadFlag = 0x40000000u;
+
+inline void mark_sqe_inline_read(SubmissionQueueEntry& sqe) noexcept {
+  sqe.cdw3 |= kSqeInlineReadFlag;
+}
+inline bool sqe_wants_inline_read(const SubmissionQueueEntry& sqe) noexcept {
+  return (sqe.cdw3 & kSqeInlineReadFlag) != 0;
+}
+
+/// CQE DW1 encoding for inline-read completions:
+///   bit  31    — inline-read flag (DW1 == 0 for every other completion)
+///   bits 30:16 — ring slot index of the first chunk
+///   bits 15:0  — chunk count
+inline constexpr std::uint32_t kCqeInlineReadFlag = 0x80000000u;
+
+inline std::uint32_t encode_read_cqe_dw1(std::uint32_t first_slot,
+                                         std::uint32_t chunks) noexcept {
+  BX_ASSERT(first_slot < (1u << 15));
+  BX_ASSERT(chunks < (1u << 16));
+  return kCqeInlineReadFlag | (first_slot << 16) | chunks;
+}
+inline bool cqe_is_inline_read(const CompletionQueueEntry& cqe) noexcept {
+  return (cqe.dw1 & kCqeInlineReadFlag) != 0;
+}
+inline std::uint32_t cqe_read_first_slot(
+    const CompletionQueueEntry& cqe) noexcept {
+  return (cqe.dw1 >> 16) & 0x7fffu;
+}
+inline std::uint32_t cqe_read_chunks(
+    const CompletionQueueEntry& cqe) noexcept {
+  return cqe.dw1 & 0xffffu;
+}
+
+}  // namespace bx::nvme::inline_read

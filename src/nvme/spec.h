@@ -36,6 +36,11 @@ enum class AdminOpcode : std::uint8_t {
   kAbort = 0x08,
   kSetFeatures = 0x09,
   kGetFeatures = 0x0a,
+  /// Vendor: advertise a host-side inline-read completion ring for one
+  /// I/O queue (ByteExpress-R). CDW10 = QID | (slot count << 16); DPTR1 =
+  /// ring base address. Rejected with Invalid Field when the controller
+  /// has inline reads disabled — the driver then falls back to PRP reads.
+  kVendorReadRing = 0xc1,
 };
 
 /// Identify CNS values (CDW10 bits 7:0).
@@ -83,7 +88,9 @@ struct StageStatsLog {
   Entry sgl_dma;
   Entry exec;
   Entry completion;
-  std::uint64_t reserved[4] = {};
+  /// ByteExpress-R: device->host inline read-chunk emission.
+  Entry read_chunk;
+  std::uint64_t reserved[2] = {};
 };
 static_assert(sizeof(StageStatsLog) == 128);
 

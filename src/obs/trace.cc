@@ -15,6 +15,7 @@ std::string_view stage_name(TraceStage stage) noexcept {
     case TraceStage::kSglDma: return "sgl_dma";
     case TraceStage::kNandIo: return "nand_io";
     case TraceStage::kExec: return "exec";
+    case TraceStage::kReadChunkWrite: return "read_chunk";
     case TraceStage::kCompletion: return "completion";
     case TraceStage::kCqDoorbell: return "cq_doorbell";
     case TraceStage::kCount_: break;

@@ -50,6 +50,7 @@ enum class TraceStage : std::uint8_t {
   kSglDma,       // device: SGL gather/scatter incl. setup
   kNandIo,       // device: FTL/NAND or write-cache work (annotation, in kExec)
   kExec,         // device: executor dispatch + run (and BandSlim stream fw)
+  kReadChunkWrite,  // device: inline read-chunk MWr emission (ByteExpress-R)
   kCompletion,   // device: CQE post firmware + CQE write + MSI-X
   kCqDoorbell,   // host: completion handling + CQ head doorbell MMIO
   kCount_,

@@ -15,6 +15,7 @@ std::string_view traffic_class_name(TrafficClass cls) noexcept {
     case TrafficClass::kCompletion: return "completion";
     case TrafficClass::kDoorbell: return "doorbell";
     case TrafficClass::kInterrupt: return "interrupt";
+    case TrafficClass::kDataInlineRead: return "data_inl_rd";
     case TrafficClass::kOther: return "other";
     case TrafficClass::kCount_: break;
   }

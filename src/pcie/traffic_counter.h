@@ -24,6 +24,7 @@ enum class TrafficClass : std::uint8_t {
   kCompletion,        // 16 B CQE write-back
   kDoorbell,          // host MMIO doorbell write
   kInterrupt,         // MSI-X posted write
+  kDataInlineRead,    // ByteExpress-R inline read chunk (dev -> host MWr)
   kOther,
   kCount_,
 };

@@ -1,6 +1,7 @@
 #include "tenant/isolation.h"
 
 #include <algorithm>
+#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
@@ -95,6 +96,8 @@ struct PhaseOutcome {
   std::uint64_t faults_recovered = 0;
   std::uint64_t faults_degraded = 0;
   std::uint64_t faults_failed = 0;
+  std::uint64_t inline_read_completions = 0;
+  std::uint64_t inline_read_crc_errors = 0;
 };
 
 void fill_payload(Rng& rng, ByteVec& payload, std::uint32_t len) {
@@ -122,6 +125,43 @@ PhaseOutcome run_phase(const IsolationOptions& options, bool with_aggressor) {
   ByteVec payload;
 
   std::uint64_t attempted[2] = {0, 0};  // [victim, aggressor]
+
+  // Read-mode destination buffers. VirtualQueue does not own read
+  // buffers, so each one must stay at a stable address until its
+  // completion drains; a deque never relocates elements and is cleared
+  // only after drain_all() returns.
+  std::deque<ByteVec> read_buffers;
+
+  // Submits one victim op: a write of the prepared payload, or — in
+  // reader-victim mode — an inline read of `len` bytes.
+  const auto submit_victim = [&](std::uint32_t len) {
+    VirtualQueue& vq = sched.vqueue(kVictimId);
+    if (!options.victim_reads) {
+      return vq.submit_write(ConstByteSpan(payload), options.method);
+    }
+    read_buffers.emplace_back(len);
+    driver::IoRequest request;
+    request.opcode = nvme::IoOpcode::kVendorRawRead;
+    request.read_buffer = ByteSpan(read_buffers.back());
+    request.method = options.method;
+    return vq.submit(std::move(request));
+  };
+
+  if (options.victim_reads) {
+    // Seed the device scratch so victim reads have data to return. The
+    // write is untenanted (bypasses the gate) and happens before the
+    // probe, so it perturbs neither phase's schedule nor its counters.
+    Rng seed_rng(options.seed ^ 0x5eed);
+    fill_payload(seed_rng, payload,
+                 std::max(options.victim_payload_bytes,
+                          options.probe_victim_payload_bytes));
+    const auto seeded =
+        bed.raw_write(ConstByteSpan(payload), options.method, kVictimQid);
+    if (!seeded.is_ok()) {
+      fail("reader-victim scratch seed failed: " +
+           seeded.status().to_string());
+    }
+  }
 
   // Retires every in-flight command of both tenants, recording latencies
   // only when `record` is set (the probe is excluded from percentiles).
@@ -159,8 +199,7 @@ PhaseOutcome run_phase(const IsolationOptions& options, bool with_aggressor) {
          i < options.probe_ops && out.status.is_ok(); ++i) {
       fill_payload(probe_rng, payload, options.probe_victim_payload_bytes);
       ++attempted[kVictimId - 1];
-      auto victim_op = sched.vqueue(kVictimId).submit_write(
-          ConstByteSpan(payload), options.method);
+      auto victim_op = submit_victim(options.probe_victim_payload_bytes);
       if (!victim_op.is_ok()) {
         fail("victim probe submit failed: " + victim_op.status().to_string());
       }
@@ -196,6 +235,7 @@ PhaseOutcome run_phase(const IsolationOptions& options, bool with_aggressor) {
                         static_cast<double>(victim_grants + aggressor_grants);
     }
     drain_all(/*record=*/false);
+    read_buffers.clear();
   }
   for (std::uint32_t round = 0;
        round < options.rounds && out.status.is_ok(); ++round) {
@@ -224,8 +264,10 @@ PhaseOutcome run_phase(const IsolationOptions& options, bool with_aggressor) {
       if (op.tenant == kAggressorId && !with_aggressor) continue;
       fill_payload(rng, payload, op.len);
       ++attempted[op.tenant - 1];
-      auto vcid = sched.vqueue(op.tenant).submit_write(
-          ConstByteSpan(payload), options.method);
+      auto vcid = op.tenant == kVictimId
+                      ? submit_victim(op.len)
+                      : sched.vqueue(op.tenant).submit_write(
+                            ConstByteSpan(payload), options.method);
       if (vcid.is_ok()) continue;
       if (vcid.status().code() != StatusCode::kResourceExhausted) {
         fail("tenant " + std::to_string(op.tenant) +
@@ -239,6 +281,7 @@ PhaseOutcome run_phase(const IsolationOptions& options, bool with_aggressor) {
     // keeps arbitrating over both backlogs regardless of which handle
     // is being waited on).
     drain_all(/*record=*/true);
+    read_buffers.clear();
   }
 
   bed.telemetry().flush(bed.clock().now());
@@ -273,6 +316,10 @@ PhaseOutcome run_phase(const IsolationOptions& options, bool with_aggressor) {
   out.faults_recovered = metrics.counter_value("faults.recovered");
   out.faults_degraded = metrics.counter_value("faults.degraded");
   out.faults_failed = metrics.counter_value("faults.failed");
+  out.inline_read_completions =
+      metrics.counter_value("driver.inline_read.completions");
+  out.inline_read_crc_errors =
+      metrics.counter_value("driver.inline_read.crc_errors");
 
   // ---- structural invariants ------------------------------------------
   for (const IsolationTenantStats* stats : {&out.victim, &out.aggressor}) {
@@ -377,6 +424,8 @@ IsolationResult run_isolation_sweep(const IsolationOptions& options) {
   result.faults_recovered = contended.faults_recovered;
   result.faults_degraded = contended.faults_degraded;
   result.faults_failed = contended.faults_failed;
+  result.inline_read_completions = contended.inline_read_completions;
+  result.inline_read_crc_errors = contended.inline_read_crc_errors;
   if (solo.victim.p99_ns > 0) {
     result.p99_interference = static_cast<double>(contended.victim.p99_ns) /
                               static_cast<double>(solo.victim.p99_ns);

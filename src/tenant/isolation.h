@@ -64,6 +64,13 @@ struct IsolationOptions {
   double oversize_probability = 0.25;
   std::uint32_t oversize_bytes = 8192;
   driver::TransferMethod method = driver::TransferMethod::kByteExpress;
+  /// When set, every victim op (probe and rounds) is an inline READ of
+  /// victim_payload_bytes instead of a write — the ByteExpress-R
+  /// reader-tenant scenario: the victim's payloads travel device-to-host
+  /// through the CRC-protected completion ring while the aggressor
+  /// floods the host-to-device inline path. The device scratch is
+  /// seeded once, untenanted, before the probe.
+  bool victim_reads = false;
 
   // Queueing geometry.
   std::uint32_t queue_depth = 256;
@@ -148,6 +155,11 @@ struct IsolationResult {
   std::uint64_t faults_recovered = 0;
   std::uint64_t faults_degraded = 0;
   std::uint64_t faults_failed = 0;
+
+  // Contended-phase read-path counters (driver.inline_read.*); only the
+  // victim issues reads, so with victim_reads these attribute to it.
+  std::uint64_t inline_read_completions = 0;
+  std::uint64_t inline_read_crc_errors = 0;
 
   [[nodiscard]] bool ok() const noexcept { return status.is_ok(); }
 };

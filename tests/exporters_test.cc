@@ -64,6 +64,35 @@ TEST(PerfettoTest, FiveMethodRunPassesStructuralCheck) {
   EXPECT_GE(check.metadata_events, 3u) << "host/device/link process names";
 }
 
+// ByteExpress-R: an inline read renders its device-side chunk burst as a
+// "read_chunk" slice on the device track, and the export still passes
+// the structural checker (monotonic, properly nested, valid JSON).
+TEST(PerfettoTest, InlineReadRendersReadChunkSlice) {
+  core::TestbedConfig config = test::small_testbed_config();
+  config.telemetry.window_ns = 2'000;
+  Testbed bed(config);
+  ByteVec payload(320);
+  fill_pattern(payload, 13);
+  auto seeded = bed.raw_write(payload, TransferMethod::kPrp, 1);
+  ASSERT_TRUE(seeded.is_ok() && seeded->ok());
+  ByteVec out(payload.size());
+  driver::IoRequest read;
+  read.opcode = nvme::IoOpcode::kVendorRawRead;
+  read.read_buffer = out;
+  auto completion = bed.driver().execute(read, 1);
+  ASSERT_TRUE(completion.is_ok() && completion->ok());
+  bed.telemetry().flush(bed.clock().now());
+
+  const std::string json =
+      obs::to_perfetto_json(bed.trace().snapshot(), bed.telemetry().samples(),
+                            bed.telemetry().link_rate());
+  const PerfettoCheck check = obs::check_perfetto_json(json);
+  EXPECT_TRUE(check.ok()) << check.error;
+  EXPECT_GT(check.slice_events, 0u);
+  EXPECT_NE(json.find("\"read_chunk\""), std::string::npos)
+      << "inline read chunk burst missing from the export";
+}
+
 TEST(PerfettoTest, SameSeedRunsRenderByteIdentical) {
   std::string renders[2];
   for (std::string& render : renders) {

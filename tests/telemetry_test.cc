@@ -9,7 +9,9 @@
 #include "common/bytes.h"
 #include "core/testbed.h"
 #include "driver/request.h"
+#include "nvme/inline_read_wire.h"
 #include "obs/telemetry.h"
+#include "pcie/traffic_counter.h"
 #include "test_util.h"
 
 namespace bx {
@@ -249,6 +251,76 @@ TEST(TelemetryTestbedTest, StageWindowsReconcileWithStageLog) {
   EXPECT_EQ(fetch_ns, log.sqe_fetch.total_ns);
   EXPECT_EQ(chunk_count, log.chunk_fetch.count);
   EXPECT_EQ(completion_count, log.completion.count);
+}
+
+// ByteExpress-R reverse-direction conservation: over a run of inline
+// reads the windowed upstream MWr flows telescope exactly to the traffic
+// counter, and decompose exactly into the three posted-write classes the
+// read path emits — chunk MWrs into the completion ring, CQE write-backs
+// and MSI-X interrupts. No read byte crosses upstream any other way.
+TEST(TelemetryTestbedTest, InlineReadWindowsReconcileUpstreamMwrExactly) {
+  namespace inr = nvme::inline_read;
+  core::TestbedConfig config = test::small_testbed_config();
+  config.telemetry.window_ns = 2'000;
+  Testbed bed(config);
+
+  constexpr std::uint32_t kPayload = 300;
+  ByteVec payload(kPayload);
+  fill_pattern(payload, 11);
+  auto seeded = bed.raw_write(payload, TransferMethod::kPrp, 1);
+  ASSERT_TRUE(seeded.is_ok() && seeded->ok());
+  bed.reset_counters();
+
+  constexpr std::uint64_t kOps = 40;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    ByteVec out(kPayload);
+    driver::IoRequest read;
+    read.opcode = nvme::IoOpcode::kVendorRawRead;
+    read.read_buffer = out;
+    auto completion = bed.driver().execute(read, 1);
+    ASSERT_TRUE(completion.is_ok() && completion->ok());
+    ASSERT_EQ(out, payload);
+  }
+  bed.telemetry().flush(bed.clock().now());
+
+  // Per-direction window sums == TrafficCounter totals, exactly.
+  const auto totals = Telemetry::sum_flows(bed.telemetry().samples());
+  for (std::size_t dir = 0; dir < obs::kLinkDirs; ++dir) {
+    obs::FlowCell got;
+    for (std::size_t kind = 0; kind < obs::kTlpKinds; ++kind) {
+      got += totals[dir][kind];
+    }
+    const pcie::TrafficCell want =
+        bed.traffic().total(static_cast<pcie::Direction>(dir));
+    EXPECT_EQ(got.tlps, want.tlps) << "dir " << dir;
+    EXPECT_EQ(got.data_bytes, want.data_bytes) << "dir " << dir;
+    EXPECT_EQ(got.wire_bytes, want.wire_bytes) << "dir " << dir;
+  }
+
+  // The chunk class alone carries exactly chunks-per-read 64 B slots.
+  const std::uint32_t chunks = inr::read_chunks_for(kPayload);
+  const pcie::TrafficCell chunk_cell = bed.traffic().cell(
+      pcie::Direction::kUpstream, pcie::TrafficClass::kDataInlineRead);
+  EXPECT_EQ(chunk_cell.tlps, kOps * chunks);
+  EXPECT_EQ(chunk_cell.data_bytes, kOps * chunks * inr::kReadSlotBytes);
+
+  // Upstream MWr decomposition: chunks + CQEs + MSI-X, nothing else.
+  const pcie::TrafficCell cqe_cell = bed.traffic().cell(
+      pcie::Direction::kUpstream, pcie::TrafficClass::kCompletion);
+  const pcie::TrafficCell msix_cell = bed.traffic().cell(
+      pcie::Direction::kUpstream, pcie::TrafficClass::kInterrupt);
+  const obs::FlowCell& up_mwr =
+      totals[std::size_t(LinkDir::kUpstream)][std::size_t(TlpKind::kMWr)];
+  EXPECT_EQ(up_mwr.tlps, chunk_cell.tlps + cqe_cell.tlps + msix_cell.tlps);
+  EXPECT_EQ(up_mwr.data_bytes,
+            chunk_cell.data_bytes + cqe_cell.data_bytes + msix_cell.data_bytes);
+  EXPECT_EQ(up_mwr.wire_bytes,
+            chunk_cell.wire_bytes + cqe_cell.wire_bytes + msix_cell.wire_bytes);
+  // And the PRP scatter path stayed cold.
+  EXPECT_EQ(bed.traffic()
+                .cell(pcie::Direction::kUpstream, pcie::TrafficClass::kDataPrp)
+                .tlps,
+            0u);
 }
 
 TEST(TelemetryTestbedTest, ResetCountersRestartsSampling) {

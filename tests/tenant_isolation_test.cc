@@ -426,6 +426,50 @@ TEST(IsolationSweep, DeterministicAcrossSeeds) {
   }
 }
 
+TEST(IsolationSweep, ReaderVictimUnharmedByInlineWriteAggressor) {
+  // ByteExpress-R mixed-direction scenario: the victim's payloads travel
+  // device-to-host through the CRC-protected inline completion ring
+  // while the aggressor floods the host-to-device inline write path
+  // under the full fault storm (confined to its queue). The reader must
+  // keep the write-victim isolation bounds.
+  IsolationOptions options = adversarial_options(0x15e7e);
+  options.victim_reads = true;
+  const IsolationResult result = run_isolation_sweep(options);
+  ASSERT_TRUE(result.ok()) << result.failure;
+  // The victim's reads actually used the inline completion ring, and the
+  // host-side CRC saw no corruption (the storm cannot reach its queue).
+  EXPECT_GT(result.inline_read_completions, 0u);
+  EXPECT_EQ(result.inline_read_crc_errors, 0u);
+  // Every read completed cleanly despite the storm next door.
+  EXPECT_EQ(result.victim.errors, 0u);
+  EXPECT_EQ(result.victim.completions, result.victim.admitted);
+  // Fault identity still holds with mixed-direction inline traffic.
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_EQ(result.faults_injected, result.faults_recovered +
+                                        result.faults_degraded +
+                                        result.faults_failed);
+  // Isolation acceptance bounds apply to the reader tenant unchanged.
+  ASSERT_GT(result.victim_solo.p99_ns, 0u);
+  EXPECT_LE(result.p99_interference, 2.0)
+      << "solo p99 " << result.victim_solo.p99_ns << " contended p99 "
+      << result.victim.p99_ns;
+  EXPECT_NEAR(result.victim_saturated_share, result.expected_grant_share,
+              0.2 * result.expected_grant_share);
+}
+
+TEST(IsolationSweep, ReaderVictimDeterministicAcrossRuns) {
+  IsolationOptions options = adversarial_options(0x15e7f);
+  options.victim_reads = true;
+  const IsolationResult first = run_isolation_sweep(options);
+  const IsolationResult second = run_isolation_sweep(options);
+  ASSERT_TRUE(first.ok()) << first.failure;
+  ASSERT_TRUE(second.ok()) << second.failure;
+  EXPECT_EQ(first.victim.p99_ns, second.victim.p99_ns);
+  EXPECT_EQ(first.victim.admitted, second.victim.admitted);
+  EXPECT_EQ(first.inline_read_completions, second.inline_read_completions);
+  EXPECT_EQ(first.faults_injected, second.faults_injected);
+}
+
 TEST(IsolationSweep, RateLimitedAggressorIsThrottled) {
   IsolationOptions options = adversarial_options(0x15e7d);
   options.storm = {};

@@ -16,6 +16,7 @@
 #include "core/stress.h"
 #include "core/testbed.h"
 #include "nvme/bandslim_wire.h"
+#include "nvme/inline_read_wire.h"
 #include "nvme/inline_wire.h"
 #include "obs/trace.h"
 #include "tenant/scheduler.h"
@@ -223,6 +224,73 @@ TEST(GoldenTrace, BandSlim) {
   expect_golden(TransferMethod::kBandSlim, expect_bandslim(kPayloadBytes));
 }
 
+// ---- ByteExpress-R read-path goldens ------------------------------------
+
+// Seeds the device scratch through queue 2, so the read under test is
+// cid 0 on queue 1 and its trace is authored from the wire constants
+// alone (reset_counters drops the seed write's events).
+std::vector<TraceEvent> run_one_read(Testbed& bed, std::uint32_t size) {
+  const ByteVec payload = patterned(size);
+  auto seeded = bed.raw_write(payload, TransferMethod::kPrp, 2);
+  EXPECT_TRUE(seeded.is_ok() && seeded->ok());
+  bed.reset_counters();
+  ByteVec out(size);
+  IoRequest read;
+  read.opcode = nvme::IoOpcode::kVendorRawRead;
+  read.read_buffer = out;
+  read.method = TransferMethod::kPrp;
+  auto completion = bed.driver().execute(read, 1);
+  EXPECT_TRUE(completion.is_ok() && completion->ok());
+  EXPECT_EQ(out, payload);
+  return bed.trace().snapshot();
+}
+
+// An inline read is one device-side kReadChunkWrite burst between exec
+// and the CQE: the payload leaves as chunk MWr TLPs into the completion
+// ring, so no PRP/SGL DMA stage appears at all.
+TEST(GoldenTrace, InlineRead) {
+  namespace inr = nvme::inline_read;
+  const std::uint32_t chunks = inr::read_chunks_for(kPayloadBytes);
+  std::vector<ExpectedEvent> ex;
+  ex.push_back({TraceStage::kDoorbell, 0, 1, 0, 1, 0});
+  ex.push_back({TraceStage::kSubmit, 0, 1, 0,
+                static_cast<std::uint64_t>(TransferMethod::kPrp), 0});
+  ex.push_back({TraceStage::kSqeFetch, 0, 1, 0, 0, 0});
+  ex.push_back({TraceStage::kExec, 0, 1, 0, 0, 0});
+  ex.push_back({TraceStage::kReadChunkWrite, 0, 1, 0, chunks, kPayloadBytes});
+  ex.push_back({TraceStage::kCompletion, 0, 1, 0, 0, 0});
+  ex.push_back({TraceStage::kCqDoorbell, 0, 1, 0, 0, 0});
+
+  Testbed bed(test::small_testbed_config(2));
+  const std::vector<TraceEvent> events = run_one_read(bed, kPayloadBytes);
+  EXPECT_EQ(render_expected(ex), render_actual(events))
+      << "full recorded trace:\n"
+      << obs::TraceRecorder::dump(events);
+}
+
+// With inline read completions off, the same read scatters through the
+// PRP path instead: a kPrpDma stage (aux=1 marks scatter direction)
+// replaces the chunk burst.
+TEST(GoldenTrace, ReadPrpFallbackWhenInlineDisabled) {
+  std::vector<ExpectedEvent> ex;
+  ex.push_back({TraceStage::kDoorbell, 0, 1, 0, 1, 0});
+  ex.push_back({TraceStage::kSubmit, 0, 1, 0,
+                static_cast<std::uint64_t>(TransferMethod::kPrp), 0});
+  ex.push_back({TraceStage::kSqeFetch, 0, 1, 0, 0, 0});
+  ex.push_back({TraceStage::kExec, 0, 1, 0, 0, 0});
+  ex.push_back({TraceStage::kPrpDma, 0, 1, 0, 1, kPayloadBytes});
+  ex.push_back({TraceStage::kCompletion, 0, 1, 0, 0, 0});
+  ex.push_back({TraceStage::kCqDoorbell, 0, 1, 0, 0, 0});
+
+  core::TestbedConfig config = test::small_testbed_config(2);
+  config.driver.inline_read_enabled = false;
+  Testbed bed(config);
+  const std::vector<TraceEvent> events = run_one_read(bed, kPayloadBytes);
+  EXPECT_EQ(render_expected(ex), render_actual(events))
+      << "full recorded trace:\n"
+      << obs::TraceRecorder::dump(events);
+}
+
 // A header-only BandSlim put (payload fits the 24 embedded bytes) must
 // not emit any fragment or stream-setup events.
 TEST(GoldenTrace, BandSlimHeaderOnly) {
@@ -255,6 +323,14 @@ TEST(GoldenTrace, SameScenarioIsByteIdentical) {
     striped.write_data = payload;
     auto completion = bed.driver().execute_ooo_striped(striped, {1, 2});
     EXPECT_TRUE(completion.is_ok() && completion->ok());
+    // One inline read so the device-to-host chunk stage is part of the
+    // determinism contract too.
+    ByteVec out(kPayloadBytes);
+    IoRequest read;
+    read.opcode = nvme::IoOpcode::kVendorRawRead;
+    read.read_buffer = out;
+    auto reread = bed.driver().execute(read, 1);
+    EXPECT_TRUE(reread.is_ok() && reread->ok());
     return obs::TraceRecorder::dump(bed.trace().snapshot());
   };
   const std::string first = run();

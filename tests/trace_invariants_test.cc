@@ -100,9 +100,10 @@ TEST(TraceInvariants, CooperativeStressSchedulesPass) {
         obs::check_trace_invariants(stress.trace_events, check);
     EXPECT_TRUE(result.ok()) << "seed " << seed << "\n"
                              << diagnose(result, stress.trace_events);
-    // The trace also holds the init-time admin traffic: one CQ-create and
-    // one SQ-create per I/O queue on top of the harness's own ops.
-    const std::uint64_t setup_cmds = 2ull * options.io_queues;
+    // The trace also holds the init-time admin traffic: one CQ-create,
+    // one SQ-create, and one inline-read-ring advertise per I/O queue on
+    // top of the harness's own ops.
+    const std::uint64_t setup_cmds = 3ull * options.io_queues;
     EXPECT_EQ(result.submits, stress.ops_submitted + setup_cmds)
         << "seed " << seed;
     EXPECT_EQ(result.completions, stress.ops_completed + setup_cmds)
@@ -133,7 +134,7 @@ TEST(TraceInvariants, OsThreadStressSchedulesPass) {
   const TraceCheckResult result =
       obs::check_trace_invariants(stress.trace_events, check);
   EXPECT_TRUE(result.ok()) << diagnose(result, stress.trace_events);
-  const std::uint64_t setup_cmds = 2ull * options.io_queues;
+  const std::uint64_t setup_cmds = 3ull * options.io_queues;
   EXPECT_EQ(result.submits, stress.ops_submitted + setup_cmds);
   EXPECT_EQ(result.completions, stress.ops_completed + setup_cmds);
 }

@@ -83,15 +83,17 @@ CellExpect expect_write(std::uint64_t bytes) {
   return e;
 }
 
+constexpr int kClasses = static_cast<int>(TrafficClass::kCount_);
+
 struct Snapshot {
-  TrafficCell cells[2][8];
+  TrafficCell cells[2][kClasses];
   std::uint64_t sq_doorbells = 0;
   std::uint64_t cq_doorbells = 0;
 
   static Snapshot take(Testbed& bed, std::uint16_t qid) {
     Snapshot snap;
     for (int d = 0; d < 2; ++d) {
-      for (int c = 0; c < 8; ++c) {
+      for (int c = 0; c < kClasses; ++c) {
         snap.cells[d][c] = bed.traffic().cell(
             static_cast<Direction>(d), static_cast<TrafficClass>(c));
       }
@@ -196,9 +198,14 @@ TEST_P(TrafficConservationTest, EveryByteAccounted) {
                     TrafficClass::kDataSgl, sgl.request, "SGL MRd");
 
   // Nothing else may move: payloads here never need a PRP list
-  // (<= 2 pages) and no other class is touched.
+  // (<= 2 pages), writes never touch the inline-read completion ring,
+  // and no other class is touched.
   expect_cell_delta(before, after, Direction::kDownstream,
                     TrafficClass::kPrpList, {}, "PRP list");
+  expect_cell_delta(before, after, Direction::kUpstream,
+                    TrafficClass::kDataInlineRead, {}, "inline-read up");
+  expect_cell_delta(before, after, Direction::kDownstream,
+                    TrafficClass::kDataInlineRead, {}, "inline-read down");
   expect_cell_delta(before, after, Direction::kDownstream,
                     TrafficClass::kOther, {}, "other down");
   expect_cell_delta(before, after, Direction::kUpstream,
@@ -243,7 +250,7 @@ TEST(TrafficConservationAdditivityTest, MixedSequenceSumsExactly) {
 
   // Per-op deltas measured on one testbed...
   Testbed solo(test::small_testbed_config());
-  TrafficCell expected[2][8] = {};
+  TrafficCell expected[2][kClasses] = {};
   for (const Case& item : sequence) {
     ByteVec payload(item.len, Byte{0x5a});
     const Snapshot before = Snapshot::take(solo, 1);
@@ -251,7 +258,7 @@ TEST(TrafficConservationAdditivityTest, MixedSequenceSumsExactly) {
     ASSERT_TRUE(completion.is_ok() && completion->ok());
     const Snapshot after = Snapshot::take(solo, 1);
     for (int d = 0; d < 2; ++d) {
-      for (int c = 0; c < 8; ++c) {
+      for (int c = 0; c < kClasses; ++c) {
         expected[d][c].add(
             after.cells[d][c].tlps - before.cells[d][c].tlps,
             after.cells[d][c].data_bytes - before.cells[d][c].data_bytes,
@@ -270,7 +277,7 @@ TEST(TrafficConservationAdditivityTest, MixedSequenceSumsExactly) {
   }
   const Snapshot after = Snapshot::take(combined, 1);
   for (int d = 0; d < 2; ++d) {
-    for (int c = 0; c < 8; ++c) {
+    for (int c = 0; c < kClasses; ++c) {
       EXPECT_EQ(after.cells[d][c].tlps - before.cells[d][c].tlps,
                 expected[d][c].tlps)
           << "dir " << d << " class " << c;
@@ -446,6 +453,8 @@ TEST(BatchedTrafficConservationTest, CoalescedBatchEveryByteAccounted) {
                     TrafficClass::kDataSgl, sgl.request, "SGL MRd");
   expect_cell_delta(before, after, Direction::kDownstream,
                     TrafficClass::kPrpList, {}, "PRP list");
+  expect_cell_delta(before, after, Direction::kUpstream,
+                    TrafficClass::kDataInlineRead, {}, "inline-read up");
   expect_cell_delta(before, after, Direction::kDownstream,
                     TrafficClass::kOther, {}, "other down");
   expect_cell_delta(before, after, Direction::kUpstream,
@@ -500,7 +509,7 @@ TEST(BatchedTrafficConservationTest, BatchSavesExactlyNMinusOneDoorbells) {
 
   const auto kBell = static_cast<int>(TrafficClass::kDoorbell);
   for (int d = 0; d < 2; ++d) {
-    for (int c = 0; c < 8; ++c) {
+    for (int c = 0; c < kClasses; ++c) {
       const std::uint64_t solo_tlps =
           solo_after.cells[d][c].tlps - solo_before.cells[d][c].tlps;
       const std::uint64_t solo_data = solo_after.cells[d][c].data_bytes -

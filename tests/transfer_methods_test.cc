@@ -133,7 +133,12 @@ TEST(ByteExpressTest, TrafficFarBelowPrpForSmallPayloads) {
 }
 
 TEST(ByteExpressTest, ReadDirectionFallsBackToPrp) {
-  Testbed testbed(test::small_testbed_config());
+  // Inline read completions are a separate mechanism (ByteExpress-R);
+  // with them disabled, the write-direction inline method must silently
+  // fall back to PRP for reads.
+  auto config = test::small_testbed_config();
+  config.driver.inline_read_enabled = false;
+  Testbed testbed(config);
   ByteVec payload(100);
   fill_pattern(payload, 2);
   ASSERT_TRUE(
@@ -151,6 +156,34 @@ TEST(ByteExpressTest, ReadDirectionFallsBackToPrp) {
   EXPECT_GT(testbed.traffic()
                 .cell(Direction::kUpstream, TrafficClass::kDataPrp)
                 .data_bytes,
+            0u);
+}
+
+TEST(ByteExpressTest, SmallReadUsesInlineCompletionRing) {
+  // With ByteExpress-R enabled (the default), a small read rides the
+  // host completion ring: data returns as inline MWr chunks, not PRP.
+  Testbed testbed(test::small_testbed_config());
+  ByteVec payload(100);
+  fill_pattern(payload, 2);
+  ASSERT_TRUE(
+      testbed.raw_write(payload, TransferMethod::kByteExpress).is_ok());
+
+  ByteVec out(100);
+  IoRequest read;
+  read.opcode = IoOpcode::kVendorRawRead;
+  read.read_buffer = out;
+  read.method = TransferMethod::kByteExpress;
+  testbed.reset_counters();
+  auto completion = testbed.driver().execute(read, 1);
+  ASSERT_TRUE(completion.is_ok() && completion->ok());
+  EXPECT_TRUE(verify_pattern(out, 2));
+  EXPECT_EQ(testbed.traffic()
+                .cell(Direction::kUpstream, TrafficClass::kDataPrp)
+                .data_bytes,
+            0u);
+  EXPECT_GT(testbed.traffic()
+                .cell(Direction::kUpstream, TrafficClass::kDataInlineRead)
+                .tlps,
             0u);
 }
 
