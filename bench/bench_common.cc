@@ -1,10 +1,12 @@
 #include "bench_common.h"
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "obs/attribution.h"
 #include "obs/trace.h"
 
 namespace bx::bench {
@@ -148,10 +150,16 @@ void report_row(core::Testbed& testbed, const core::RunStats& stats) {
   // whole run (each measured run resets counters first, so the sampler
   // holds exactly this run's windows).
   testbed.telemetry().flush(testbed.clock().now());
+  SamplingStats sampling;
+  sampling.seen = testbed.trace().commands_seen();
+  sampling.kept = testbed.trace().commands_kept();
+  sampling.sampled_out = testbed.trace().commands_sampled_out();
+  sampling.events_sampled_out = testbed.trace().events_sampled_out();
   g_rows.push_back(render_report_row(stats, breakdown,
                                      testbed.trace().dropped(),
                                      testbed.telemetry().samples(),
-                                     testbed.telemetry().link_rate()));
+                                     testbed.telemetry().link_rate(),
+                                     sampling));
 }
 
 std::string render_config_json(const BenchEnv& env) {
@@ -211,11 +219,53 @@ std::string render_timeseries_json(
   return out;
 }
 
+namespace {
+
+/// The `waits` attribution block: completions attributed and per-segment
+/// nanoseconds, summed over the run's telemetry windows. All segments are
+/// present even when zero, so consumers (bxdiff, jq in CI) can index
+/// unconditionally; the segment values sum exactly to the attributed
+/// latency total (the additivity invariant, window-aggregated).
+std::string render_waits_json(
+    const std::vector<obs::TelemetrySample>& samples) {
+  std::uint64_t count = 0;
+  std::array<std::uint64_t, obs::kWaitSegmentCount> ns{};
+  for (const obs::TelemetrySample& sample : samples) {
+    count += sample.wait_count;
+    for (std::size_t s = 0; s < obs::kWaitSegmentCount; ++s) {
+      ns[s] += sample.wait_ns[s];
+    }
+  }
+  std::string out = "{\"count\": " + std::to_string(count);
+  for (std::size_t s = 0; s < obs::kWaitSegmentCount; ++s) {
+    out += ", \"";
+    out += obs::wait_segment_name(obs::WaitSegment(s));
+    out += "\": " + std::to_string(ns[s]);
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_sampling_json(const SamplingStats& sampling) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"seen\": %llu, \"kept\": %llu, \"sampled_out\": %llu, "
+                "\"events_sampled_out\": %llu}",
+                static_cast<unsigned long long>(sampling.seen),
+                static_cast<unsigned long long>(sampling.kept),
+                static_cast<unsigned long long>(sampling.sampled_out),
+                static_cast<unsigned long long>(sampling.events_sampled_out));
+  return buf;
+}
+
+}  // namespace
+
 std::string render_report_row(const core::RunStats& stats,
                               const obs::StageBreakdown& breakdown,
                               std::uint64_t trace_events_dropped,
                               const std::vector<obs::TelemetrySample>& samples,
-                              double bytes_per_ns) {
+                              double bytes_per_ns,
+                              const SamplingStats& sampling) {
   char head[576];
   std::snprintf(
       head, sizeof(head),
@@ -235,6 +285,8 @@ std::string render_report_row(const core::RunStats& stats,
       static_cast<unsigned long long>(stats.latency.percentile(99)),
       stats.kops(), static_cast<unsigned long long>(trace_events_dropped));
   return std::string(head) + obs::to_json(breakdown) +
+         ", \"waits\": " + render_waits_json(samples) +
+         ", \"sampling\": " + render_sampling_json(sampling) +
          ", \"timeseries\": " +
          render_timeseries_json(samples, bytes_per_ns) + "}";
 }

@@ -86,12 +86,25 @@ inline constexpr int kReportSchemaVersion = 2;
     const std::vector<obs::TelemetrySample>& samples, double bytes_per_ns,
     std::size_t max_points = 48);
 
+/// Tail-based trace-sampling accounting for the run (obs::TraceRecorder
+/// counters). All-zero when sampling was never enabled.
+struct SamplingStats {
+  std::uint64_t seen = 0;
+  std::uint64_t kept = 0;
+  std::uint64_t sampled_out = 0;
+  std::uint64_t events_sampled_out = 0;
+};
+
 /// One `rows[]` element for `stats` given the run's trace breakdown and
-/// telemetry samples.
+/// telemetry samples. Besides the stage breakdown, each row carries a
+/// `waits` attribution block (per-segment nanoseconds summed over the
+/// run's telemetry windows — the queue-depth-aware wait/service
+/// decomposition) and a `sampling` accounting block.
 [[nodiscard]] std::string render_report_row(
     const core::RunStats& stats, const obs::StageBreakdown& breakdown,
     std::uint64_t trace_events_dropped,
-    const std::vector<obs::TelemetrySample>& samples, double bytes_per_ns);
+    const std::vector<obs::TelemetrySample>& samples, double bytes_per_ns,
+    const SamplingStats& sampling = {});
 
 /// The whole BENCH_*.json document.
 [[nodiscard]] std::string render_report(std::string_view bench_name,

@@ -7,6 +7,17 @@
 #include "common/status.h"
 
 namespace bx {
+namespace {
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  return a != 0 && b > UINT64_MAX / a ? UINT64_MAX : a * b;
+}
+
+}  // namespace
 
 LatencyHistogram::LatencyHistogram()
     // +2 range groups: the linear sub-16 region plus the top range that
@@ -19,6 +30,9 @@ std::size_t LatencyHistogram::bucket_index(std::uint64_t value) noexcept {
   const int range = msb - kSubBucketBits + 1;
   const auto sub = static_cast<std::size_t>(
       (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  // range <= 63 - kSubBucketBits + 1 = kRanges + 1, so the largest index
+  // (UINT64_MAX's) is (kRanges + 2) * kSubBuckets - 1 — the final bucket
+  // the constructor allocates. The BX_ASSERT in record_n backstops this.
   return static_cast<std::size_t>(range) * kSubBuckets + sub + kSubBuckets;
 }
 
@@ -42,19 +56,19 @@ void LatencyHistogram::record_n(std::uint64_t value,
   if (count == 0) return;
   const std::size_t index = bucket_index(value);
   BX_ASSERT(index < buckets_.size());
-  buckets_[index] += count;
-  count_ += count;
-  sum_ += value * count;
+  buckets_[index] = saturating_add(buckets_[index], count);
+  count_ = saturating_add(count_, count);
+  sum_ = saturating_add(sum_, saturating_mul(value, count));
   min_ = std::min(min_, value);
   max_ = std::max(max_, value);
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    buckets_[i] += other.buckets_[i];
+    buckets_[i] = saturating_add(buckets_[i], other.buckets_[i]);
   }
-  count_ += other.count_;
-  sum_ += other.sum_;
+  count_ = saturating_add(count_, other.count_);
+  sum_ = saturating_add(sum_, other.sum_);
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }
@@ -126,8 +140,9 @@ std::uint64_t ExactCounter::count_of(std::uint64_t value) const noexcept {
 double ExactCounter::cdf(std::uint64_t value) const noexcept {
   if (total_ == 0) return 0.0;
   std::uint64_t below = 0;
+  // value + 1 would wrap at UINT64_MAX; compare first instead.
   const std::uint64_t limit =
-      std::min<std::uint64_t>(value + 1, counts_.size());
+      value >= counts_.size() ? counts_.size() : value + 1;
   for (std::uint64_t i = 0; i < limit; ++i) below += counts_[i];
   return static_cast<double>(below) / double(total_);
 }

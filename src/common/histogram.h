@@ -3,6 +3,17 @@
 // LatencyHistogram uses log-linear buckets (HdrHistogram-style: power-of-two
 // ranges, 16 linear sub-buckets each) so percentiles stay within ~6% of the
 // true value across nine decades without storing raw samples.
+//
+// Edge-case contract (tested by tests/common_test.cc):
+//   * Every uint64 value maps to a real bucket — the top range group holds
+//     values with the MSB at bit 63, so UINT64_MAX lands in the last
+//     bucket, never out of range.
+//   * The internal value sum saturates at UINT64_MAX instead of wrapping;
+//     once saturated, mean() is a lower bound (percentiles, count, min and
+//     max are unaffected). Reaching saturation needs ~2^64 total recorded
+//     nanoseconds, far beyond any simulated run.
+//   * percentile() of an empty histogram is 0, and p is clamped to
+//     [0, 100]; p0/p100 return the exact observed min/max.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +26,8 @@ class LatencyHistogram {
  public:
   LatencyHistogram();
 
+  /// Records `value` (`count` times). The value sum saturates at
+  /// UINT64_MAX rather than wrapping — see the class comment.
   void record(std::uint64_t value) noexcept;
   void record_n(std::uint64_t value, std::uint64_t count) noexcept;
   void merge(const LatencyHistogram& other) noexcept;
@@ -58,7 +71,9 @@ class ExactCounter {
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
 
-  /// Fraction of recorded values that are <= `value`.
+  /// Fraction of recorded values that are <= `value`. Counts in-domain
+  /// values only: overflow recordings (>= domain) never contribute, so
+  /// cdf(UINT64_MAX) is total-overflow over total, not 1.0.
   [[nodiscard]] double cdf(std::uint64_t value) const noexcept;
 
  private:

@@ -1,0 +1,287 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace bx::json {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<ValuePtr> parse_document() {
+    skip_ws();
+    auto value = parse_value();
+    if (!value.is_ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  Status error(const std::string& what) const {
+    return invalid_argument("json: " + what + " at offset " +
+                            std::to_string(pos_));
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  StatusOr<ValuePtr> parse_value() {
+    if (depth_ > kMaxDepth) return error("nesting too deep");
+    if (eof()) return error("unexpected end of input");
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return parse_string_value();
+      case 't':
+      case 'f':
+        return parse_bool();
+      case 'n':
+        if (!consume_literal("null")) return error("bad literal");
+        return std::make_shared<Value>();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  StatusOr<ValuePtr> parse_bool() {
+    auto value = std::make_shared<Value>();
+    value->kind = Kind::kBool;
+    if (consume_literal("true")) {
+      value->boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      value->boolean = false;
+      return value;
+    }
+    return error("bad literal");
+  }
+
+  StatusOr<ValuePtr> parse_number() {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (!eof() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") return error("bad number");
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE) {
+      return error("bad number '" + token + "'");
+    }
+    auto value = std::make_shared<Value>();
+    value->kind = Kind::kNumber;
+    value->number = parsed;
+    if (integral) {
+      errno = 0;
+      char* iend = nullptr;
+      const long long exact = std::strtoll(token.c_str(), &iend, 10);
+      if (iend == token.c_str() + token.size() && errno != ERANGE) {
+        value->integer = static_cast<std::int64_t>(exact);
+        value->is_integer = true;
+      }
+    }
+    return value;
+  }
+
+  StatusOr<std::string> parse_string() {
+    if (eof() || peek() != '"') return error("expected string");
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (eof()) return error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) return error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Bench reports are ASCII; decode BMP escapes as UTF-8 without
+          // surrogate-pair handling (a lone surrogate is an input error).
+          if (pos_ + 4 > text_.size()) return error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return error("bad \\u escape");
+            }
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return error("unsupported surrogate escape");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0U | (code >> 6U)));
+            out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+          } else {
+            out.push_back(static_cast<char>(0xE0U | (code >> 12U)));
+            out.push_back(static_cast<char>(0x80U | ((code >> 6U) & 0x3FU)));
+            out.push_back(static_cast<char>(0x80U | (code & 0x3FU)));
+          }
+          break;
+        }
+        default:
+          return error("bad escape");
+      }
+    }
+  }
+
+  StatusOr<ValuePtr> parse_string_value() {
+    auto text = parse_string();
+    if (!text.is_ok()) return text.status();
+    auto value = std::make_shared<Value>();
+    value->kind = Kind::kString;
+    value->string = std::move(*text);
+    return value;
+  }
+
+  StatusOr<ValuePtr> parse_array() {
+    ++pos_;  // '['
+    ++depth_;
+    auto value = std::make_shared<Value>();
+    value->kind = Kind::kArray;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      --depth_;
+      return value;
+    }
+    while (true) {
+      skip_ws();
+      auto item = parse_value();
+      if (!item.is_ok()) return item;
+      value->items.push_back(std::move(*item));
+      skip_ws();
+      if (eof()) return error("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') break;
+      if (c != ',') return error("expected ',' or ']'");
+    }
+    --depth_;
+    return value;
+  }
+
+  StatusOr<ValuePtr> parse_object() {
+    ++pos_;  // '{'
+    ++depth_;
+    auto value = std::make_shared<Value>();
+    value->kind = Kind::kObject;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      --depth_;
+      return value;
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.is_ok()) return key.status();
+      skip_ws();
+      if (eof() || text_[pos_++] != ':') return error("expected ':'");
+      skip_ws();
+      auto member = parse_value();
+      if (!member.is_ok()) return member;
+      // Duplicate keys: last wins (matches common parser behaviour).
+      value->members[std::move(*key)] = std::move(*member);
+      skip_ws();
+      if (eof()) return error("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') break;
+      if (c != ',') return error("expected ',' or '}'");
+    }
+    --depth_;
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::get(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = members.find(std::string(key));
+  if (it == members.end()) return nullptr;
+  return it->second.get();
+}
+
+StatusOr<ValuePtr> parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+StatusOr<ValuePtr> parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return not_found("json: cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace bx::json

@@ -1,0 +1,76 @@
+// Minimal recursive-descent JSON reader for tooling (bxdiff, tests).
+//
+// The repo's bench reports (BENCH_*.json) are machine-written by
+// bench_common.cc / microbench_multiqueue.cc, so this reader only needs
+// honest RFC 8259 structure — objects, arrays, strings, numbers, bools,
+// null — not streaming performance or byte-perfect round-tripping. Values
+// are held in an owning tree; numbers keep their double value plus an
+// exact int64 when the literal was integral. No external dependencies
+// (the toolchain constraint that motivated writing this at all).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bx::json {
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+enum class Kind : std::uint8_t {
+  kNull,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+class Value {
+ public:
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Exact integer value when the literal had no '.', 'e' or overflow.
+  std::int64_t integer = 0;
+  bool is_integer = false;
+  std::string string;
+  std::vector<ValuePtr> items;                 // kArray
+  std::map<std::string, ValuePtr> members;     // kObject (sorted keys)
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* get(std::string_view key) const;
+  /// Convenience accessors returning a fallback on kind mismatch.
+  [[nodiscard]] double number_or(double fallback) const noexcept {
+    return is_number() ? number : fallback;
+  }
+  [[nodiscard]] std::string string_or(std::string fallback) const {
+    return is_string() ? string : fallback;
+  }
+};
+
+/// Parses one JSON document (leading/trailing whitespace tolerated).
+/// Returns kInvalidArgument with a position-annotated message on error.
+[[nodiscard]] StatusOr<ValuePtr> parse(std::string_view text);
+
+/// Reads and parses a JSON file. kNotFound when the file cannot be read.
+[[nodiscard]] StatusOr<ValuePtr> parse_file(const std::string& path);
+
+}  // namespace bx::json

@@ -198,6 +198,12 @@ bool Controller::service_fault_recovery() {
       corrupt_payloads_.erase(payload_id);
       deferred_evictions_.increment();
       commands_processed_.increment();
+      if (tracer_ != nullptr && tracer_->enabled() &&
+          now > item.defer_start_ns) {
+        tracer_->note_command_wait(
+            item.qid, item.sqe.cid,
+            static_cast<std::uint64_t>(now - item.defer_start_ns));
+      }
       // Retryable: the host re-sends the command and all of its chunks.
       post_completion(
           item.qid, item.sqe,
@@ -413,7 +419,8 @@ void Controller::handle_io(std::uint16_t qid,
             injector_ != nullptr && config_.deferred_ttl_ns > 0
                 ? link_.clock().now() + config_.deferred_ttl_ns
                 : 0;
-        deferred_.push_back(DeferredInline{sqe, qid, deadline, fault});
+        deferred_.push_back(
+            DeferredInline{sqe, qid, deadline, fault, link_.clock().now()});
       }
       return;
     }
@@ -1094,6 +1101,15 @@ void Controller::drain_deferred() {
     if (reassembly_.complete(payload_id)) {
       const DeferredInline item = deferred_[i];
       deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(i));
+      // Report how long the command sat waiting for its striped chunks —
+      // the host books it as the kReassembly segment of the breakdown.
+      if (tracer_ != nullptr && tracer_->enabled() &&
+          link_.clock().now() > item.defer_start_ns) {
+        tracer_->note_command_wait(
+            item.qid, item.sqe.cid,
+            static_cast<std::uint64_t>(link_.clock().now() -
+                                       item.defer_start_ns));
+      }
       auto payload =
           reassembly_.take(payload_id, item.sqe.inline_length());
       commands_processed_.increment();

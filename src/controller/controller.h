@@ -210,6 +210,10 @@ class Controller {
     Nanoseconds deadline_ns = 0;
     /// Fault drawn for this command at fetch, applied when it completes.
     fault::FaultKind fault = fault::FaultKind::kNone;
+    /// Sim-time the command entered the deferred list; the time until it
+    /// leaves (reassembled or evicted) is reported to the TraceRecorder as
+    /// the command's kReassembly wait (obs/attribution.h).
+    Nanoseconds defer_start_ns = 0;
   };
   /// A completion the injector delayed; posted once sim-time passes
   /// release_ns (unless the host Aborts the command first).

@@ -146,6 +146,8 @@ Status NvmeDriver::init_io_queues() {
                                &created.sq_doorbells);
       metrics_->expose_counter(prefix + ".sq_entries", &created.sq_entries);
       metrics_->expose_counter(prefix + ".commands", &created.commands);
+      metrics_->expose_gauge(prefix + ".read_ring_occupancy",
+                             &created.read_ring_occupancy);
     }
     if (telemetry_ != nullptr) {
       telemetry_->register_queue(i, &created.sq_occupancy,
@@ -204,6 +206,19 @@ void NvmeDriver::bind_metrics(obs::MetricsRegistry& metrics) {
   metrics.expose_counter("driver.commands", &total_commands_);
   metrics.expose_gauge("driver.doorbells_per_kop", &doorbells_per_kop_);
   batch_size_metric_ = &metrics.histogram("driver.batch_size");
+  // Per-method wait-breakdown histograms, "driver.wait.<method>.<segment>".
+  // kHybrid resolves before submission so its row stays unbound.
+  for (std::size_t m = 0; m < wait_hists_.size(); ++m) {
+    const auto method = static_cast<TransferMethod>(m);
+    if (method == TransferMethod::kHybrid) continue;
+    const std::string prefix =
+        "driver.wait." + std::string(transfer_method_name(method)) + ".";
+    for (std::size_t s = 0; s < obs::kWaitSegmentCount; ++s) {
+      wait_hists_[m][s] = &metrics.histogram(
+          prefix + std::string(obs::wait_segment_name(
+                       static_cast<obs::WaitSegment>(s))));
+    }
+  }
 }
 
 void NvmeDriver::ring_sq_traced(std::uint16_t qid, std::uint32_t tail,
@@ -324,6 +339,8 @@ bool NvmeDriver::reserve_read_slots(QueuePair& qp,
     if (qp.read_ring_reserved.compare_exchange_weak(
             reserved, reserved + slots, std::memory_order_acq_rel,
             std::memory_order_relaxed)) {
+      qp.read_ring_occupancy.set(
+          static_cast<std::int64_t>(reserved + slots));
       return true;
     }
   }
@@ -332,8 +349,10 @@ bool NvmeDriver::reserve_read_slots(QueuePair& qp,
 void NvmeDriver::release_read_slots(QueuePair& qp,
                                     Pending& pending) noexcept {
   if (pending.read_slots_reserved == 0) return;
-  qp.read_ring_reserved.fetch_sub(pending.read_slots_reserved,
-                                  std::memory_order_acq_rel);
+  const std::uint32_t before = qp.read_ring_reserved.fetch_sub(
+      pending.read_slots_reserved, std::memory_order_acq_rel);
+  qp.read_ring_occupancy.set(
+      static_cast<std::int64_t>(before - pending.read_slots_reserved));
   pending.read_slots_reserved = 0;
 }
 
@@ -535,6 +554,7 @@ Status NvmeDriver::attach_data_sgl(QueuePair& qp,
 }
 
 std::uint16_t NvmeDriver::register_pending(QueuePair& qp, Pending pending) {
+  const std::uint16_t tenant = pending.tenant;
   std::lock_guard<std::mutex> lock(qp.pending_mutex);
   std::uint16_t cid;
   do {
@@ -542,6 +562,12 @@ std::uint16_t NvmeDriver::register_pending(QueuePair& qp, Pending pending) {
   } while (qp.pending.count(cid) != 0);
   qp.pending.emplace(cid, std::move(pending));
   qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
+  // Open the command's attribution entry before any slot is published, so
+  // every device-side stage event lands inside its window. Lock order:
+  // pending_mutex -> TraceRecorder table mutex (never the reverse).
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->begin_command(qp.sq->qid(), cid, tenant);
+  }
   return cid;
 }
 
@@ -567,7 +593,9 @@ std::uint32_t NvmeDriver::allocate_payload_id() noexcept {
 }
 
 Status NvmeDriver::submit_plain(QueuePair& qp,
-                                const nvme::SubmissionQueueEntry& sqe) {
+                                const nvme::SubmissionQueueEntry& sqe,
+                                SubmitMarks* marks) {
+  const Nanoseconds entry_time = link_.clock().now();
   int idle_spins = 0;
   for (;;) {
     {
@@ -579,6 +607,12 @@ Status NvmeDriver::submit_plain(QueuePair& qp,
         qp.sq_occupancy.set(qp.sq->occupancy());
         last_submit_cost_ns_.store(link_.clock().now() - start,
                                    std::memory_order_relaxed);
+        if (marks != nullptr) {
+          marks->acquire_ns = start;
+          marks->slot_wait_ns +=
+              static_cast<std::uint64_t>(start - entry_time);
+          marks->push_end_ns = link_.clock().now();
+        }
         // Ring while still holding the ring lock: if the doorbell moved
         // outside, a submitter that pushed a later tail could ring first
         // and a stale earlier tail would then regress the BAR register,
@@ -587,6 +621,7 @@ Status NvmeDriver::submit_plain(QueuePair& qp,
                              nvme::IoOpcode::kVendorBandSlimFragment);
         ring_sq_traced(qp.sq->qid(), qp.sq->tail(), /*entries=*/1, sqe.cid,
                        aux ? obs::kFlagAuxCommand : 0);
+        if (marks != nullptr) marks->bell_end_ns = link_.clock().now();
         return Status::ok();
       }
     }
@@ -639,7 +674,8 @@ std::uint32_t NvmeDriver::push_command_locked(
 
 bool NvmeDriver::submit_inline_locked(QueuePair& qp,
                                       const nvme::SubmissionQueueEntry& sqe,
-                                      ConstByteSpan payload) {
+                                      ConstByteSpan payload,
+                                      SubmitMarks* marks) {
   const bool ooo = nvme::inline_chunk::sqe_is_ooo(sqe);
   const std::uint32_t chunks =
       ooo ? nvme::inline_chunk::ooo_chunks_for(payload.size())
@@ -654,24 +690,30 @@ bool NvmeDriver::submit_inline_locked(QueuePair& qp,
     qp.sq_occupancy.set(qp.sq->occupancy());
     last_submit_cost_ns_.store(link_.clock().now() - start,
                                std::memory_order_relaxed);
+    if (marks != nullptr) {
+      marks->acquire_ns = start;
+      marks->push_end_ns = link_.clock().now();
+    }
     // One doorbell for the command and all of its chunks, rung before the
     // lock drops so racing submitters cannot regress the tail register.
     ring_sq_traced(qp.sq->qid(), qp.sq->tail(),
                    /*entries=*/pushed, sqe.cid,
                    ooo ? obs::kFlagOooCommand : 0);
+    if (marks != nullptr) marks->bell_end_ns = link_.clock().now();
   }
   return true;
 }
 
 Status NvmeDriver::submit_bandslim(QueuePair& qp,
                                    nvme::SubmissionQueueEntry sqe,
-                                   const IoRequest& request) {
+                                   const IoRequest& request,
+                                   SubmitMarks* marks) {
   const ConstByteSpan payload = request.write_data;
   const std::uint16_t stream = allocate_stream_id();
 
   const std::uint32_t embedded =
       nvme::bandslim::encode_header(sqe, stream, payload);
-  BX_RETURN_IF_ERROR(submit_plain(qp, sqe));
+  BX_RETURN_IF_ERROR(submit_plain(qp, sqe, marks));
 
   // Dedicated fragment commands, serialized by the host ordering layer
   // (§3.2: "payload fragments must be sent through serialized CMDs").
@@ -689,7 +731,7 @@ Status NvmeDriver::submit_bandslim(QueuePair& qp,
     fragment.last = offset + fragment.length == payload.size();
     const auto frag_sqe = nvme::bandslim::encode_fragment(
         fragment, /*cid=*/0, payload.subspan(offset, fragment.length));
-    BX_RETURN_IF_ERROR(submit_plain(qp, frag_sqe));
+    BX_RETURN_IF_ERROR(submit_plain(qp, frag_sqe, marks));
     offset += fragment.length;
   }
   return Status::ok();
@@ -719,10 +761,23 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
   nvme::SubmissionQueueEntry sqe = build_base_sqe(request);
 
   Pending pending;
-  const Nanoseconds submit_time = link_.clock().now();
+  const Nanoseconds entry_time = link_.clock().now();
+  // Reactor-posted requests backdate the latency window to the instant the
+  // request entered the MPSC ring (IoRequest::origin_ns), so ring residency
+  // is measured and attributed as kRingWait instead of silently vanishing.
+  // The timeout deadline still runs from driver entry: queueing ahead of
+  // the driver must not consume the command's execution budget.
+  const Nanoseconds submit_time =
+      request.origin_ns != 0 && request.origin_ns <= entry_time
+          ? request.origin_ns
+          : entry_time;
   pending.submit_time_ns = submit_time;
+  pending.ring_wait_ns =
+      static_cast<std::uint64_t>(entry_time - submit_time);
+  pending.method = method;
+  pending.tenant = request.tenant;
   if (config_.command_timeout_ns > 0) {
-    pending.deadline_ns = submit_time + config_.command_timeout_ns;
+    pending.deadline_ns = entry_time + config_.command_timeout_ns;
   }
 
   // ByteExpress-R: claim the completion-ring slots before staging. A
@@ -779,11 +834,14 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
   // claimed; a rejection surfaces the gate's status unchanged (staging is
   // undone by Pending's RAII — nothing was published).
   {
+    const Nanoseconds gate_start = link_.clock().now();
     const Status admitted = gate_admit(request, qid, resolved, pending);
     if (!admitted.is_ok()) {
       release_read_slots(qp, pending);
       return admitted;
     }
+    pending.gate_wait_ns =
+        static_cast<std::uint64_t>(link_.clock().now() - gate_start);
   }
 
   const std::uint16_t cid = register_pending(qp, std::move(pending));
@@ -800,10 +858,12 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
     qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
   };
 
+  SubmitMarks marks;
+  const Nanoseconds publish_start = link_.clock().now();
   switch (method) {
     case TransferMethod::kPrp:
     case TransferMethod::kSgl: {
-      const Status status = submit_plain(qp, sqe);
+      const Status status = submit_plain(qp, sqe, &marks);
       if (!status.is_ok()) {
         abandon();
         return status;
@@ -814,7 +874,7 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
     case TransferMethod::kByteExpressOoo: {
       // Wait for ring space if the queue is saturated with inline chunks.
       int idle_spins = 0;
-      while (!submit_inline_locked(qp, sqe, request.write_data)) {
+      while (!submit_inline_locked(qp, sqe, request.write_data, &marks)) {
         poll_completions(qid);
         if (pump_once()) {
           idle_spins = 0;
@@ -823,10 +883,16 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
           return resource_exhausted("SQ too shallow for inline payload");
         }
       }
+      // Backpressure spent in the retry loop above = time from the first
+      // attempt until ring space was finally secured.
+      marks.slot_wait_ns = marks.acquire_ns >= publish_start
+                               ? static_cast<std::uint64_t>(
+                                     marks.acquire_ns - publish_start)
+                               : 0;
       break;
     }
     case TransferMethod::kBandSlim: {
-      const Status status = submit_bandslim(qp, sqe, request);
+      const Status status = submit_bandslim(qp, sqe, request, &marks);
       if (!status.is_ok()) {
         abandon();
         return status;
@@ -835,6 +901,19 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
     }
     case TransferMethod::kHybrid:
       return internal_error("unreachable");
+  }
+  {
+    // Publish the attribution marks into the registered pending. The
+    // device may already have completed the command (reap sets done but
+    // never erases; only the waiter erases, and the handle has not been
+    // returned yet), so the entry is still present.
+    std::lock_guard<std::mutex> lock(qp.pending_mutex);
+    auto it = qp.pending.find(cid);
+    if (it != qp.pending.end()) {
+      it->second.slot_wait_ns = marks.slot_wait_ns;
+      it->second.push_end_ns = marks.push_end_ns;
+      it->second.bell_end_ns = marks.bell_end_ns;
+    }
   }
 
   if (telemetry_ != nullptr && is_write_direction(request.opcode)) {
@@ -938,6 +1017,7 @@ void NvmeDriver::consume_inline_read_locked(QueuePair& qp,
 
 Completion NvmeDriver::finish_pending_locked(
     QueuePair& qp, std::unordered_map<std::uint16_t, Pending>::iterator it) {
+  const std::uint16_t cid = it->first;
   Pending pending = std::move(it->second);
   gate_release(pending, /*completed=*/true);
   qp.pending.erase(it);
@@ -974,7 +1054,90 @@ Completion NvmeDriver::finish_pending_locked(
     }
     completion.bytes_returned = returned;
   }
+  attribute_completion(qp.sq->qid(), cid, pending, completion);
   return completion;
+}
+
+void NvmeDriver::attribute_completion(std::uint16_t qid, std::uint16_t cid,
+                                      const Pending& pending,
+                                      Completion& completion) {
+  const auto total = static_cast<std::uint64_t>(completion.latency_ns);
+  // Close the attribution entry: the recorder derives the device report
+  // passively from the stage events the firmware already recorded, and
+  // applies the tail-sampling keep/drop decision for the buffered events.
+  obs::DeviceReport report;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    report = tracer_->finish_command(qid, cid, link_.clock().now(),
+                                     completion.latency_ns);
+  }
+
+  std::array<std::uint64_t, obs::kWaitSegmentCount> want{};
+  const auto seg = [](obs::WaitSegment s) {
+    return static_cast<std::size_t>(s);
+  };
+  want[seg(obs::WaitSegment::kGateWait)] = pending.gate_wait_ns;
+  want[seg(obs::WaitSegment::kRingWait)] = pending.ring_wait_ns;
+  want[seg(obs::WaitSegment::kSlotWait)] = pending.slot_wait_ns;
+  const Nanoseconds bell_end = pending.bell_end_ns;
+  const std::uint64_t hold =
+      pending.push_end_ns != 0 && bell_end > pending.push_end_ns
+          ? static_cast<std::uint64_t>(bell_end - pending.push_end_ns)
+          : 0;
+  want[seg(obs::WaitSegment::kBellHold)] = hold;
+  // Host-side build cost between entering the driver and the doorbell,
+  // net of the measured waits: SQE build, PRP/SGL staging, chunk pushes.
+  std::uint64_t host_build = 0;
+  if (bell_end > pending.submit_time_ns) {
+    const auto host_span =
+        static_cast<std::uint64_t>(bell_end - pending.submit_time_ns);
+    const std::uint64_t waits = want[seg(obs::WaitSegment::kGateWait)] +
+                                want[seg(obs::WaitSegment::kRingWait)] +
+                                want[seg(obs::WaitSegment::kSlotWait)] + hold;
+    host_build = host_span > waits ? host_span - waits : 0;
+  }
+  const Nanoseconds reap_end =
+      pending.submit_time_ns + static_cast<Nanoseconds>(total);
+  if (bell_end == 0) {
+    // No doorbell mark (defensive: a path that never published) — the
+    // whole window is host-side service.
+    want[seg(obs::WaitSegment::kService)] = total;
+  } else if (report.valid && report.cqe_end != 0) {
+    want[seg(obs::WaitSegment::kService)] = host_build + report.service_ns;
+    want[seg(obs::WaitSegment::kReassembly)] = report.wait_ns;
+    if (reap_end > report.cqe_end) {
+      want[seg(obs::WaitSegment::kDelivery)] =
+          static_cast<std::uint64_t>(reap_end - report.cqe_end);
+    }
+    // Device residency between the stages (arbitration, injected delays)
+    // is the remainder -> kArbWait via make_additive.
+  } else {
+    // No CQE ever arrived (timeout -> synthesized Abort, tracing off):
+    // the command left the host and never came back, so everything after
+    // the doorbell books as controller residency (kArbWait).
+    want[seg(obs::WaitSegment::kService)] = host_build;
+  }
+  completion.breakdown = obs::make_additive(total, want);
+
+  if (qid == 0) return;  // admin: attributed but not published
+  const auto method_index = static_cast<std::size_t>(pending.method);
+  if (method_index < wait_hists_.size()) {
+    for (std::size_t s = 0; s < obs::kWaitSegmentCount; ++s) {
+      if (wait_hists_[method_index][s] != nullptr) {
+        wait_hists_[method_index][s]->record(completion.breakdown.ns[s]);
+      }
+    }
+  }
+  if (pending.tenant != 0 && metrics_ != nullptr) {
+    const std::string prefix =
+        "tenant.t" + std::to_string(pending.tenant) + ".wait.";
+    for (std::size_t s = 0; s < obs::kWaitSegmentCount; ++s) {
+      metrics_
+          ->histogram(prefix + std::string(obs::wait_segment_name(
+                                   static_cast<obs::WaitSegment>(s))))
+          .record(completion.breakdown.ns[s]);
+    }
+  }
+  if (telemetry_ != nullptr) telemetry_->on_wait(completion.breakdown);
 }
 
 StatusOr<Completion> NvmeDriver::wait(const Submitted& handle) {
@@ -1062,7 +1225,6 @@ StatusOr<Completion> NvmeDriver::recover_timed_out(QueuePair& qp,
     return internal_error("timed-out command vanished while aborting");
   }
   if (it->second.done) return finish_pending_locked(qp, it);
-  const Nanoseconds submit_time = it->second.submit_time_ns;
   // The synthesized Abort Requested completion resolves the command, so
   // its gate charge is paid here, exactly once, like any completion. An
   // inline read's ring-slot reservation is paid back the same way — the
@@ -1070,13 +1232,18 @@ StatusOr<Completion> NvmeDriver::recover_timed_out(QueuePair& qp,
   // because nothing will ever read them (docs/READPATH.md).
   gate_release(it->second, /*completed=*/true);
   release_read_slots(qp, it->second);
+  const Pending pending = std::move(it->second);
   qp.pending.erase(it);
   qp.inflight.set(static_cast<std::int64_t>(qp.pending.size()));
   Completion completion;
   completion.status =
       nvme::StatusField::generic(nvme::GenericStatus::kAbortRequested);
   completion.dw0 = 0;
-  completion.latency_ns = link_.clock().now() - submit_time;
+  completion.latency_ns = link_.clock().now() - pending.submit_time_ns;
+  // The command never produced a CQE: everything after the doorbell is
+  // controller residency, so the breakdown books it as kArbWait (the
+  // attribution entry is closed without a device report).
+  attribute_completion(qp.sq->qid(), handle.cid, pending, completion);
   return completion;
 }
 
@@ -1255,6 +1422,11 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
     ConstByteSpan inline_payload{};
     Nanoseconds submit_time = 0;
     std::uint16_t cid = 0;
+    /// Attribution marks gathered during phase 2 and published into the
+    /// registered Pending once the whole batch is on the ring.
+    std::uint64_t slot_wait_ns = 0;
+    Nanoseconds push_end_ns = 0;
+    Nanoseconds bell_end_ns = 0;
   };
   std::vector<Prepared> prepared;
   prepared.reserve(requests.size());
@@ -1302,10 +1474,20 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
 
     prep.sqe = build_base_sqe(request);
     Pending pending;
-    prep.submit_time = link_.clock().now();
+    // Same backdating rule as the unbatched path: a reactor-posted request
+    // measures (and attributes) its MPSC-ring residency as kRingWait.
+    const Nanoseconds entry_time = link_.clock().now();
+    prep.submit_time =
+        request.origin_ns != 0 && request.origin_ns <= entry_time
+            ? request.origin_ns
+            : entry_time;
     pending.submit_time_ns = prep.submit_time;
+    pending.ring_wait_ns =
+        static_cast<std::uint64_t>(entry_time - prep.submit_time);
+    pending.method = prep.resolved.method;
+    pending.tenant = request.tenant;
     if (config_.command_timeout_ns > 0) {
-      pending.deadline_ns = prep.submit_time + config_.command_timeout_ns;
+      pending.deadline_ns = entry_time + config_.command_timeout_ns;
     }
 
     // ByteExpress-R reservation, same point in the lifecycle as the
@@ -1386,12 +1568,15 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
     // rejection fails the whole batch before anything is published
     // (preparation is all-or-nothing), releasing the earlier commands'
     // admissions.
+    const Nanoseconds gate_start = link_.clock().now();
     const Status admitted = gate_admit(request, qid, prep.resolved, pending);
     if (!admitted.is_ok()) {
       release_read_slots(qp, pending);
       abandon_from(0);
       return admitted;
     }
+    pending.gate_wait_ns =
+        static_cast<std::uint64_t>(link_.clock().now() - gate_start);
 
     prep.cid = register_pending(qp, std::move(pending));
     prep.sqe.cid = prep.cid;
@@ -1436,16 +1621,21 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
   result.resolved.reserve(requests.size());
   std::size_t i = 0;
   int idle_spins = 0;
+  const Nanoseconds phase2_start = link_.clock().now();
   while (i < prepared.size()) {
     if (prepared[i].slots == 0) {
       // BandSlim: header + serialized fragment commands, one doorbell
       // each by construction (§3.2) — it can never share a bell.
+      SubmitMarks marks;
       const Status status =
-          submit_bandslim(qp, prepared[i].sqe, *prepared[i].request);
+          submit_bandslim(qp, prepared[i].sqe, *prepared[i].request, &marks);
       if (!status.is_ok()) {
         abandon_from(i);
         return status;
       }
+      prepared[i].slot_wait_ns = marks.slot_wait_ns;
+      prepared[i].push_end_ns = marks.push_end_ns;
+      prepared[i].bell_end_ns = marks.bell_end_ns;
       ++i;
       continue;
     }
@@ -1454,12 +1644,19 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
     {
       SqGuard guard(*qp.sq);
       const Nanoseconds start = link_.clock().now();
+      const std::size_t run_first = i;
       std::uint16_t last_cid = 0;
       std::uint8_t bell_flags = 0;
       while (i < prepared.size() && prepared[i].slots > 0 &&
              qp.sq->free_slots() >= prepared[i].slots) {
-        const Prepared& prep = prepared[i];
+        Prepared& prep = prepared[i];
+        // Every command of the run secured its slots when the run's lock
+        // hold began; time since phase-2 start is ring backpressure (the
+        // reap/pump drains between runs).
+        prep.slot_wait_ns =
+            static_cast<std::uint64_t>(start - phase2_start);
         push_command_locked(qp, prep.sqe, prep.inline_payload);
+        prep.push_end_ns = link_.clock().now();
         run_entries += prep.slots;
         ++run_commands;
         last_cid = prep.cid;
@@ -1476,6 +1673,13 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
         // before the lock drops (tail-regression rule unchanged).
         ring_sq_traced(qid, qp.sq->tail(), run_entries, last_cid,
                        bell_flags);
+        // The shared bell closes every command's coalescing hold: a
+        // command pushed early in the run waited under the bell while the
+        // rest of the run was laid down (kBellHold).
+        const Nanoseconds bell_end = link_.clock().now();
+        for (std::size_t j = run_first; j < i; ++j) {
+          prepared[j].bell_end_ns = bell_end;
+        }
       }
     }
     if (run_commands > 0) {
@@ -1500,6 +1704,20 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
         return resource_exhausted(
             "SQ full and device made no progress during batch");
       }
+    }
+  }
+
+  {
+    // Publish the attribution marks into the registered pendings under one
+    // lock hold. Completions may already be reaped (done set) but never
+    // erased — only the waiter erases, and no handle has been returned.
+    std::lock_guard<std::mutex> lock(qp.pending_mutex);
+    for (const Prepared& prep : prepared) {
+      auto it = qp.pending.find(prep.cid);
+      if (it == qp.pending.end()) continue;
+      it->second.slot_wait_ns = prep.slot_wait_ns;
+      it->second.push_end_ns = prep.push_end_ns;
+      it->second.bell_end_ns = prep.bell_end_ns;
     }
   }
 
@@ -1613,12 +1831,17 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
 
   Pending initial;
   initial.submit_time_ns = link_.clock().now();
+  initial.method = TransferMethod::kByteExpressOoo;
+  initial.tenant = request.tenant;
   if (config_.command_timeout_ns > 0) {
     initial.deadline_ns = initial.submit_time_ns + config_.command_timeout_ns;
   }
   ResolvedMethod striped;
   striped.method = TransferMethod::kByteExpressOoo;
+  const Nanoseconds gate_start = link_.clock().now();
   BX_RETURN_IF_ERROR(gate_admit(request, qids.front(), striped, initial));
+  initial.gate_wait_ns =
+      static_cast<std::uint64_t>(link_.clock().now() - gate_start);
   const std::uint16_t cid = register_pending(home, std::move(initial));
   sqe.cid = cid;
 
@@ -1638,6 +1861,8 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
   const std::uint32_t chunks =
       nvme::inline_chunk::ooo_chunks_for(request.write_data.size());
 
+  Nanoseconds stripe_push_end = 0;
+  Nanoseconds stripe_bell_end = 0;
   {
     // Hold every stripe queue's SQ lock for the whole capacity check +
     // push + doorbell sequence, acquired in ascending qid order (the one
@@ -1705,6 +1930,7 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
     }
     last_submit_cost_ns_.store(link_.clock().now() - submit_time,
                                std::memory_order_relaxed);
+    stripe_push_end = link_.clock().now();
 
     // Entries published per queue by this submission: the command on the
     // home queue, chunks round-robin over the (possibly repeating) stripe
@@ -1721,6 +1947,17 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
       touched.sq_occupancy.set(touched.sq->occupancy());
       ring_sq_traced(qid, touched.sq->tail(), published[qid], cid,
                      obs::kFlagOooCommand);
+    }
+    // The command is only fully handed off once every stripe queue's bell
+    // has rung; until then the earlier bells coalesce under the lock hold.
+    stripe_bell_end = link_.clock().now();
+  }
+  {
+    std::lock_guard<std::mutex> plock(home.pending_mutex);
+    auto it = home.pending.find(cid);
+    if (it != home.pending.end()) {
+      it->second.push_end_ns = stripe_push_end;
+      it->second.bell_end_ns = stripe_bell_end;
     }
   }
 
@@ -1763,12 +2000,22 @@ StatusOr<Completion> NvmeDriver::execute_admin(
   initial.submit_time_ns = submit_time;
   const std::uint16_t cid = register_pending(admin_, std::move(initial));
   sqe.cid = cid;
-  const Status status = submit_plain(admin_, sqe);
+  SubmitMarks marks;
+  const Status status = submit_plain(admin_, sqe, &marks);
   if (!status.is_ok()) {
     std::lock_guard<std::mutex> lock(admin_.pending_mutex);
     admin_.pending.erase(cid);
     admin_.inflight.set(static_cast<std::int64_t>(admin_.pending.size()));
     return status;
+  }
+  {
+    std::lock_guard<std::mutex> lock(admin_.pending_mutex);
+    auto it = admin_.pending.find(cid);
+    if (it != admin_.pending.end()) {
+      it->second.slot_wait_ns = marks.slot_wait_ns;
+      it->second.push_end_ns = marks.push_end_ns;
+      it->second.bell_end_ns = marks.bell_end_ns;
+    }
   }
   if (tracer_ != nullptr && tracer_->enabled()) {
     obs::TraceEvent event;

@@ -41,6 +41,7 @@
 // the npu-nvme write_pipeline(depth 4-8) shape.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -151,6 +152,11 @@ class NvmeDriver {
   NvmeDriver& operator=(const NvmeDriver&) = delete;
 
   void set_pump(Pump pump) { pump_ = std::move(pump); }
+
+  /// The simulation clock the driver advances (the link's). Posting layers
+  /// (Reactor) stamp IoRequest::origin_ns from it so queueing ahead of the
+  /// driver is measured, not lost.
+  [[nodiscard]] SimClock& clock() noexcept { return link_.clock(); }
 
   /// Admin queue ring addresses, for controller registration at attach.
   [[nodiscard]] QueueInfo admin_queue_info() const;
@@ -380,6 +386,28 @@ class NvmeDriver {
     /// copied out of the ring, or on any failure path).
     bool inline_read = false;
     std::uint32_t read_slots_reserved = 0;
+    /// Latency-attribution marks (obs/attribution.h). The resolved
+    /// transfer method keys the per-method wait histograms; the wait
+    /// durations are measured by the submit path and bell_end_ns anchors
+    /// the host->device handoff (0 = never rung, e.g. admin commands).
+    TransferMethod method = TransferMethod::kPrp;
+    std::uint64_t gate_wait_ns = 0;
+    std::uint64_t ring_wait_ns = 0;
+    std::uint64_t slot_wait_ns = 0;
+    Nanoseconds push_end_ns = 0;
+    Nanoseconds bell_end_ns = 0;
+  };
+
+  /// Sim-time marks a submission primitive reports back so the caller can
+  /// fill the Pending's attribution fields: backpressure wait spent
+  /// inside the call (accumulates across calls — BandSlim fragments), the
+  /// instant ring space was secured, the instant the SQE (+ chunk run)
+  /// was fully pushed, and the instant its doorbell was rung.
+  struct SubmitMarks {
+    std::uint64_t slot_wait_ns = 0;
+    Nanoseconds acquire_ns = 0;
+    Nanoseconds push_end_ns = 0;
+    Nanoseconds bell_end_ns = 0;
   };
 
   struct QueuePair {
@@ -417,6 +445,11 @@ class NvmeDriver {
     DmaBuffer read_ring;
     std::uint32_t read_ring_slots = 0;
     std::atomic<std::uint32_t> read_ring_reserved{0};
+    /// Mirror of read_ring_reserved published as the
+    /// driver.q<id>.read_ring_occupancy gauge (bxmon's inline-read
+    /// section and telemetry sample it; the atomic itself stays the
+    /// source of truth for the CAS reservation protocol).
+    obs::Gauge read_ring_occupancy;
     /// Read-path degradation mirrors the write-inline trio above.
     std::atomic<std::uint32_t> read_inline_failures{0};
     std::atomic<Nanoseconds> read_degraded_until{0};
@@ -472,15 +505,18 @@ class NvmeDriver {
   /// Pushes `sqe` (and nothing else) under the SQ lock and rings the bell
   /// before releasing it. Applies backpressure when the ring is full:
   /// reaps/pumps until a slot frees, failing with kResourceExhausted only
-  /// if the device stops making progress.
-  Status submit_plain(QueuePair& qp, const nvme::SubmissionQueueEntry& sqe);
+  /// if the device stops making progress. `marks`, when given, receives
+  /// the attribution marks (slot wait accumulates across calls).
+  Status submit_plain(QueuePair& qp, const nvme::SubmissionQueueEntry& sqe,
+                      SubmitMarks* marks = nullptr);
 
   /// The ByteExpress host path: SQE + raw chunks under one lock hold, one
   /// doorbell (rung before the lock is released). Returns false if the
-  /// ring lacks space.
+  /// ring lacks space; on success fills `marks` (push/bell instants).
   bool submit_inline_locked(QueuePair& qp,
                             const nvme::SubmissionQueueEntry& sqe,
-                            ConstByteSpan payload);
+                            ConstByteSpan payload,
+                            SubmitMarks* marks = nullptr);
 
   /// Pushes one SQE and (when `inline_payload` is non-empty) its inline
   /// chunk run at the tail; returns slots pushed. Requires the SQ lock
@@ -498,9 +534,13 @@ class NvmeDriver {
                                            Completion completion,
                                            ResolvedMethod resolved);
 
-  /// BandSlim: header command + serialized fragment commands.
+  /// BandSlim: header command + serialized fragment commands. `marks`
+  /// accumulates the slot wait across the whole serialized sequence; the
+  /// final fragment's push/bell instants win (the command is only fully
+  /// handed off once its last fragment is published).
   Status submit_bandslim(QueuePair& qp, nvme::SubmissionQueueEntry sqe,
-                         const IoRequest& request);
+                         const IoRequest& request,
+                         SubmitMarks* marks = nullptr);
 
   /// `submit_flags` is OR-ed into the kSubmit trace event's flags
   /// (kFlagMethodFallback when the method was changed by the driver).
@@ -535,6 +575,14 @@ class NvmeDriver {
   /// qp.pending_mutex held; `it` must be valid and done.
   Completion finish_pending_locked(
       QueuePair& qp, std::unordered_map<std::uint16_t, Pending>::iterator it);
+
+  /// Closes the command's attribution entry (device report), builds the
+  /// exact wait/service breakdown for `completion` (segments sum to
+  /// latency_ns by construction) and publishes it to the per-method /
+  /// per-tenant wait histograms and telemetry. Called once on every
+  /// resolution path — reaped completions and synthesized timeouts alike.
+  void attribute_completion(std::uint16_t qid, std::uint16_t cid,
+                            const Pending& pending, Completion& completion);
 
   /// Timeout path of wait(): sends an Abort admin command for the stuck
   /// (qid, cid), reaps any completion that raced the abort, and otherwise
@@ -623,6 +671,13 @@ class NvmeDriver {
   obs::Counter total_commands_;
   obs::Gauge doorbells_per_kop_;
   obs::Histogram* batch_size_metric_ = nullptr;  // registry-owned
+
+  /// Per-method x per-segment wait-breakdown histograms
+  /// ("driver.wait.<method>.<segment>", registry-owned, cached by
+  /// bind_metrics; null when unbound). Indexed [TransferMethod][segment];
+  /// kHybrid resolves before submission so its row stays empty.
+  std::array<std::array<obs::Histogram*, obs::kWaitSegmentCount>, 6>
+      wait_hists_{};
 };
 
 }  // namespace bx::driver

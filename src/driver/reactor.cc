@@ -46,6 +46,12 @@ bool Reactor::post(IoRequest request, CompletionCallback on_complete) {
   }
   Posted posted;
   posted.request = request;
+  // Stamp the MPSC-ring entry time: the driver backdates the command's
+  // latency window to it, so ring residency is measured and attributed as
+  // obs::WaitSegment::kRingWait instead of silently vanishing.
+  if (posted.request.origin_ns == 0) {
+    posted.request.origin_ns = driver_.clock().now();
+  }
   posted.on_complete = std::move(on_complete);
   if (!ring_.try_push(std::move(posted))) {
     rejected_.fetch_add(1, std::memory_order_relaxed);

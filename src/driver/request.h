@@ -8,6 +8,7 @@
 #include "common/bytes.h"
 #include "common/sim_clock.h"
 #include "nvme/spec.h"
+#include "obs/attribution.h"
 
 namespace bx::driver {
 
@@ -58,6 +59,13 @@ struct IoRequest {
   /// request through the driver's SubmissionGate (admission control and
   /// rate limiting), and attributes completions in per-tenant telemetry.
   std::uint16_t tenant = 0;
+
+  /// Sim-time the request was handed to a posting layer (0 = submitted
+  /// directly). The reactor stamps this when the request enters its MPSC
+  /// ring; the driver then backdates the command's latency window to it,
+  /// so ring residency is measured and attributed as
+  /// obs::WaitSegment::kRingWait instead of silently vanishing.
+  Nanoseconds origin_ns = 0;
 };
 
 struct Completion {
@@ -65,8 +73,15 @@ struct Completion {
   std::uint32_t dw0 = 0;
   /// Bytes copied into read_buffer (read-direction commands).
   std::uint32_t bytes_returned = 0;
-  /// Simulated submit-to-reap latency of the whole command.
+  /// Simulated submit-to-reap latency of the whole command. For a
+  /// reactor-posted request this starts at IoRequest::origin_ns, so ring
+  /// residency is part of the measured window.
   Nanoseconds latency_ns = 0;
+  /// Wait/service decomposition of latency_ns, valid at any queue depth:
+  /// the segments sum EXACTLY to latency_ns for every completed command
+  /// (obs::check_breakdown_additivity; the retry tail reports the final
+  /// attempt, matching latency_ns).
+  obs::LatencyBreakdown breakdown{};
 
   [[nodiscard]] bool ok() const noexcept { return status.is_success(); }
 };

@@ -226,4 +226,17 @@ TraceCheckResult check_trace_invariants(const std::vector<TraceEvent>& events,
   return result;
 }
 
+std::vector<std::string> check_breakdown_invariants(
+    const std::vector<BreakdownSample>& samples) {
+  std::vector<std::string> violations;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const std::string violation = check_breakdown_additivity(
+        samples[i].breakdown, samples[i].latency_ns);
+    if (!violation.empty()) {
+      violations.push_back("sample " + std::to_string(i) + ": " + violation);
+    }
+  }
+  return violations;
+}
+
 }  // namespace bx::obs

@@ -72,4 +72,18 @@ struct TraceCheckResult {
 [[nodiscard]] TraceCheckResult check_trace_invariants(
     const std::vector<TraceEvent>& events, const TraceCheckOptions& options);
 
+/// One completed command's latency decomposition, as collected by a test
+/// or harness from Completion::{latency_ns, breakdown}.
+struct BreakdownSample {
+  LatencyBreakdown breakdown;
+  std::uint64_t latency_ns = 0;
+};
+
+/// Additivity invariant over a batch of completions: for every sample the
+/// wait/service segments must sum EXACTLY to latency_ns (zero residual,
+/// any queue depth, any path). Returns one violation string per failing
+/// sample, indexed for diagnosis.
+[[nodiscard]] std::vector<std::string> check_breakdown_invariants(
+    const std::vector<BreakdownSample>& samples);
+
 }  // namespace bx::obs

@@ -165,6 +165,20 @@ std::string to_perfetto_json(const std::vector<TraceEvent>& events,
     std::snprintf(args, sizeof(args), "\"value\": %lld",
                   static_cast<long long>(sample.backlog));
     append_counter(out, "ctrl.backlog", sample.start_ns, args, first);
+    if (sample.wait_count > 0) {
+      // Wait-attribution track: per-window nanoseconds in each
+      // obs::WaitSegment, summed over the completions of the window.
+      std::string wait_args;
+      for (std::size_t s = 0; s < kWaitSegmentCount; ++s) {
+        char pair[48];
+        std::snprintf(pair, sizeof(pair), "%s\"%s\": %llu",
+                      s == 0 ? "" : ", ",
+                      std::string(wait_segment_name(WaitSegment(s))).c_str(),
+                      static_cast<unsigned long long>(sample.wait_ns[s]));
+        wait_args += pair;
+      }
+      append_counter(out, "driver.wait_ns", sample.start_ns, wait_args, first);
+    }
     for (const QueueWindow& qw : sample.queues) {
       std::snprintf(args, sizeof(args),
                     "\"sq_occupancy\": %lld, \"inflight\": %lld",

@@ -126,6 +126,13 @@ void Telemetry::on_cq_doorbell(std::uint16_t qid) noexcept {
   }
 }
 
+void Telemetry::on_wait(const LatencyBreakdown& breakdown) noexcept {
+  wait_count_.fetch_add(1, kRelaxed);
+  for (std::size_t i = 0; i < kWaitSegmentCount; ++i) {
+    wait_ns_[i].fetch_add(breakdown.ns[i], kRelaxed);
+  }
+}
+
 void Telemetry::close_window_locked(Nanoseconds end) {
   TelemetrySample sample;
   sample.index = next_index_++;
@@ -158,6 +165,15 @@ void Telemetry::close_window_locked(Nanoseconds end) {
     sample.stage_ns[i] = ns_now - last_stage_ns_[i];
     last_stage_count_[i] = count_now;
     last_stage_ns_[i] = ns_now;
+  }
+
+  const std::uint64_t wait_count_now = wait_count_.load(kRelaxed);
+  sample.wait_count = wait_count_now - last_wait_count_;
+  last_wait_count_ = wait_count_now;
+  for (std::size_t i = 0; i < kWaitSegmentCount; ++i) {
+    const std::uint64_t ns_now = wait_ns_[i].load(kRelaxed);
+    sample.wait_ns[i] = ns_now - last_wait_ns_[i];
+    last_wait_ns_[i] = ns_now;
   }
 
   sample.backlog = backlog_ != nullptr ? backlog_->value() : 0;
@@ -259,6 +275,10 @@ void Telemetry::clear(Nanoseconds now) {
     last_stage_count_[i] = stage_count_[i].load(kRelaxed);
     last_stage_ns_[i] = stage_ns_[i].load(kRelaxed);
   }
+  last_wait_count_ = wait_count_.load(kRelaxed);
+  for (std::size_t i = 0; i < kWaitSegmentCount; ++i) {
+    last_wait_ns_[i] = wait_ns_[i].load(kRelaxed);
+  }
   for (const auto& source : queues_) {
     if (source == nullptr) continue;
     source->last_sq_doorbells = source->sq_doorbells.load(kRelaxed);
@@ -323,6 +343,10 @@ std::vector<TelemetrySample> Telemetry::downsample(
       for (std::size_t s = 0; s < kStageCount; ++s) {
         out.stage_count[s] += add.stage_count[s];
         out.stage_ns[s] += add.stage_ns[s];
+      }
+      out.wait_count += add.wait_count;
+      for (std::size_t s = 0; s < kWaitSegmentCount; ++s) {
+        out.wait_ns[s] += add.wait_ns[s];
       }
       for (const QueueWindow& qw : add.queues) {
         for (QueueWindow& target : out.queues) {

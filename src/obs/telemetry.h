@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "common/sim_clock.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -131,6 +132,12 @@ struct TelemetrySample {
   /// Controller inline backlog gauge at window close (BandSlim streams +
   /// deferred OOO commands + in-flight reassemblies).
   std::int64_t backlog = 0;
+  /// Wait/service attribution over the window: commands whose breakdown
+  /// was reported, and the per-segment nanosecond sums (LatencyBreakdown
+  /// taxonomy — obs/attribution.h). wait_ns summed over all segments
+  /// equals the total latency of those commands, exactly (additivity).
+  std::uint64_t wait_count = 0;
+  std::array<std::uint64_t, kWaitSegmentCount> wait_ns{};
   std::vector<QueueWindow> queues;
   /// Per-tenant service deltas (empty when no tenants are registered).
   std::vector<TenantWindow> tenants;
@@ -204,6 +211,10 @@ class Telemetry {
   /// the unbatched path, the whole coalesced run on the batched path.
   void on_sq_doorbell(std::uint16_t qid, std::uint64_t entries = 1) noexcept;
   void on_cq_doorbell(std::uint16_t qid) noexcept;
+  /// One completed command's wait/service breakdown (driver
+  /// attribute_completion). Segment sums telescope into per-window deltas
+  /// like every other cumulative counter.
+  void on_wait(const LatencyBreakdown& breakdown) noexcept;
 
   // ---- window rolling ----
 
@@ -276,6 +287,8 @@ class Telemetry {
   std::atomic<std::uint64_t> payload_bytes_{0};
   std::array<std::atomic<std::uint64_t>, kStageCount> stage_count_{};
   std::array<std::atomic<std::uint64_t>, kStageCount> stage_ns_{};
+  std::atomic<std::uint64_t> wait_count_{0};
+  std::array<std::atomic<std::uint64_t>, kWaitSegmentCount> wait_ns_{};
   /// Per-tenant sampled counters plus the last-seen values the window
   /// deltas telescope against (last_* under mutex_).
   struct TenantSource {
@@ -310,6 +323,8 @@ class Telemetry {
   std::uint64_t last_payload_bytes_ = 0;
   std::array<std::uint64_t, kStageCount> last_stage_count_{};
   std::array<std::uint64_t, kStageCount> last_stage_ns_{};
+  std::uint64_t last_wait_count_ = 0;
+  std::array<std::uint64_t, kWaitSegmentCount> last_wait_ns_{};
   std::deque<TelemetrySample> ring_;
 };
 

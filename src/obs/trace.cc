@@ -23,9 +23,29 @@ std::string_view stage_name(TraceStage stage) noexcept {
   return "?";
 }
 
-void TraceRecorder::record(TraceEvent event) {
-  if (!enabled()) return;
-  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+namespace {
+
+/// Device-side primary stages whose durations make up a command's device
+/// service time. kNandIo nests inside kExec and kDoorbell/kSubmit/
+/// kCqDoorbell are host-side.
+bool is_device_service_stage(TraceStage stage) noexcept {
+  switch (stage) {
+    case TraceStage::kSqeFetch:
+    case TraceStage::kChunkFetch:
+    case TraceStage::kPrpDma:
+    case TraceStage::kSglDma:
+    case TraceStage::kExec:
+    case TraceStage::kReadChunkWrite:
+    case TraceStage::kCompletion:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::store_event(const TraceEvent& event) {
   if (stored_.fetch_add(1, std::memory_order_relaxed) >=
       capacity_.load(std::memory_order_relaxed)) {
     stored_.fetch_sub(1, std::memory_order_relaxed);
@@ -37,6 +57,37 @@ void TraceRecorder::record(TraceEvent event) {
   shard.events.push_back(event);
 }
 
+void TraceRecorder::record(TraceEvent event) {
+  if (!enabled()) return;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    auto it = open_.find(command_key(event.qid, event.cid));
+    if (it != open_.end()) {
+      OpenCommand& open = it->second;
+      if (is_device_service_stage(event.stage)) {
+        DeviceReport& report = open.report;
+        if (!report.valid) {
+          report.valid = true;
+          report.fetch_start = event.start;
+        }
+        if (event.end >= event.start) {
+          report.service_ns +=
+              static_cast<std::uint64_t>(event.end - event.start);
+        }
+        if (event.stage == TraceStage::kCompletion) {
+          report.cqe_end = event.end;
+        }
+      }
+      if (open.buffering) {
+        open.buffered.push_back(event);
+        return;
+      }
+    }
+  }
+  store_event(event);
+}
+
 void TraceRecorder::record_in_device_context(TraceEvent event) {
   if (!enabled()) return;
   if (device_context_valid_) {
@@ -44,6 +95,100 @@ void TraceRecorder::record_in_device_context(TraceEvent event) {
     event.cid = device_cid_;
   }
   record(event);
+}
+
+void TraceRecorder::begin_command(std::uint16_t qid, std::uint16_t cid,
+                                  std::uint16_t tenant) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  OpenCommand& open = open_[command_key(qid, cid)];
+  open = OpenCommand{};
+  open.tenant = tenant;
+  open.buffering = sampling_.enabled;
+}
+
+void TraceRecorder::note_command_wait(std::uint16_t qid, std::uint16_t cid,
+                                      std::uint64_t wait_ns) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  auto it = open_.find(command_key(qid, cid));
+  if (it != open_.end()) it->second.report.wait_ns += wait_ns;
+}
+
+DeviceReport TraceRecorder::finish_command(std::uint16_t qid,
+                                           std::uint16_t cid, Nanoseconds now,
+                                           Nanoseconds latency_ns) {
+  DeviceReport report;
+  commands_seen_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<TraceEvent> buffered;
+  bool keep = true;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    auto it = open_.find(command_key(qid, cid));
+    if (it == open_.end()) {
+      // Unknown (recorder cleared mid-flight, or bracketing disabled):
+      // nothing was buffered, so nothing can be sampled out.
+      commands_kept_.fetch_add(1, std::memory_order_relaxed);
+      return report;
+    }
+    report = it->second.report;
+    buffered = std::move(it->second.buffered);
+    const bool buffering = it->second.buffering;
+    open_.erase(it);
+    if (buffering) {
+      keep = sampling_.keep_threshold_ns > 0 &&
+             latency_ns >= sampling_.keep_threshold_ns;
+      if (!keep && sampling_.top_k > 0 && sampling_.window_ns > 0) {
+        const std::uint64_t window =
+            static_cast<std::uint64_t>(now) /
+            static_cast<std::uint64_t>(sampling_.window_ns);
+        if (window != topk_window_index_) {
+          topk_window_index_ = window;
+          topk_heap_.clear();
+        }
+        const auto min_heap = [](Nanoseconds a, Nanoseconds b) {
+          return a > b;
+        };
+        if (topk_heap_.size() < sampling_.top_k) {
+          topk_heap_.push_back(latency_ns);
+          std::push_heap(topk_heap_.begin(), topk_heap_.end(), min_heap);
+          keep = true;
+        } else if (latency_ns > topk_heap_.front()) {
+          std::pop_heap(topk_heap_.begin(), topk_heap_.end(), min_heap);
+          topk_heap_.back() = latency_ns;
+          std::push_heap(topk_heap_.begin(), topk_heap_.end(), min_heap);
+          keep = true;
+        }
+      }
+      if (!keep && sampling_.sample_every > 0) {
+        keep = residual_counter_++ % sampling_.sample_every == 0;
+      }
+    }
+  }
+  if (keep) {
+    commands_kept_.fetch_add(1, std::memory_order_relaxed);
+    // Buffered events keep their original seq, so snapshot() interleaves
+    // them correctly with everything stored while they were pending.
+    for (const TraceEvent& event : buffered) store_event(event);
+  } else {
+    commands_sampled_out_.fetch_add(1, std::memory_order_relaxed);
+    events_sampled_out_.fetch_add(buffered.size(),
+                                  std::memory_order_relaxed);
+  }
+  return report;
+}
+
+void TraceRecorder::configure_sampling(const SamplingConfig& config) {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  sampling_ = config;
+  topk_window_index_ = 0;
+  topk_heap_.clear();
+  residual_counter_ = 0;
+}
+
+SamplingConfig TraceRecorder::sampling_config() const {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  return sampling_;
 }
 
 std::vector<TraceEvent> TraceRecorder::snapshot() const {
@@ -66,6 +211,17 @@ void TraceRecorder::clear() {
   }
   stored_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    open_.clear();
+    topk_window_index_ = 0;
+    topk_heap_.clear();
+    residual_counter_ = 0;
+  }
+  commands_seen_.store(0, std::memory_order_relaxed);
+  commands_kept_.store(0, std::memory_order_relaxed);
+  commands_sampled_out_.store(0, std::memory_order_relaxed);
+  events_sampled_out_.store(0, std::memory_order_relaxed);
 }
 
 std::string TraceRecorder::dump(const std::vector<TraceEvent>& events) {

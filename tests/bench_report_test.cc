@@ -74,6 +74,51 @@ TEST(BenchReportTest, RowCarriesMethodStagesAndTimeseries) {
   EXPECT_NE(row.find("\"timeseries\": ["), std::string::npos);
   EXPECT_NE(row.find("\"down_mwr_wire\": 400"), std::string::npos);
   EXPECT_NE(row.find("\"down_mwr_wire\": 500"), std::string::npos);
+
+  // Sampling defaults to all-zero when the caller passes no stats (the
+  // legacy 5-argument call shape stays valid).
+  EXPECT_NE(row.find("\"sampling\": {\"seen\": 0"), std::string::npos);
+}
+
+TEST(BenchReportTest, RowCarriesWaitsAttributionAndSampling) {
+  core::RunStats stats;
+  stats.label = "attr";
+  stats.method = "byteexpress";
+  stats.ops = 4;
+  stats.total_time_ns = 10'000;
+  stats.latency.record(2'500);
+
+  std::vector<obs::TelemetrySample> samples = {
+      sample_at(0, 0, 10'000, 400),
+      sample_at(1, 10'000, 20'000, 500),
+  };
+  // Window-aggregated wait attribution: 3 + 1 completions, segments split
+  // across windows must sum in the rendered block.
+  samples[0].wait_count = 3;
+  samples[0].wait_ns[std::size_t(obs::WaitSegment::kService)] = 6'000;
+  samples[0].wait_ns[std::size_t(obs::WaitSegment::kBellHold)] = 250;
+  samples[1].wait_count = 1;
+  samples[1].wait_ns[std::size_t(obs::WaitSegment::kService)] = 1'500;
+  samples[1].wait_ns[std::size_t(obs::WaitSegment::kDelivery)] = 40;
+
+  SamplingStats sampling;
+  sampling.seen = 100;
+  sampling.kept = 12;
+  sampling.sampled_out = 88;
+  sampling.events_sampled_out = 704;
+
+  const std::string row = render_report_row(
+      stats, obs::stage_breakdown({}), /*trace_events_dropped=*/0, samples,
+      /*bytes_per_ns=*/4.0, sampling);
+
+  EXPECT_NE(row.find("\"waits\": {\"count\": 4"), std::string::npos);
+  EXPECT_NE(row.find("\"service\": 7500"), std::string::npos);
+  EXPECT_NE(row.find("\"bell\": 250"), std::string::npos);
+  EXPECT_NE(row.find("\"delivery\": 40"), std::string::npos);
+  EXPECT_NE(row.find("\"gate\": 0"), std::string::npos);
+  EXPECT_NE(row.find("\"sampling\": {\"seen\": 100, \"kept\": 12, "
+                     "\"sampled_out\": 88, \"events_sampled_out\": 704}"),
+            std::string::npos);
 }
 
 TEST(BenchReportTest, TimeseriesDownsamplesToMaxPoints) {

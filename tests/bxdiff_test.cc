@@ -1,0 +1,232 @@
+// Self-test for the bxdiff perf-regression gate (tools/bxdiff_lib.cc) and
+// the minimal JSON reader underneath it. The acceptance bar from the CI
+// gate's point of view: two identical-seed reports diff clean, and an
+// injected 10% latency slowdown is flagged.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bxdiff_lib.h"
+#include "common/json.h"
+
+namespace bx {
+namespace {
+
+using tools::DiffConfig;
+using tools::DiffReport;
+using tools::diff_reports;
+
+// ---------------------------------------------------------------------------
+// JSON reader.
+
+TEST(JsonTest, ParsesScalarsAndStructure) {
+  const auto doc = json::parse(
+      R"({"name": "x", "n": 42, "f": -2.5e1, "flag": true, "none": null,)"
+      R"( "arr": [1, 2, 3], "nested": {"k": "v\n\t\"q\""}})");
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  const json::Value& root = **doc;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.get("name")->string, "x");
+  EXPECT_TRUE(root.get("n")->is_integer);
+  EXPECT_EQ(root.get("n")->integer, 42);
+  EXPECT_DOUBLE_EQ(root.get("f")->number, -25.0);
+  EXPECT_FALSE(root.get("f")->is_integer);
+  EXPECT_TRUE(root.get("flag")->boolean);
+  EXPECT_EQ(root.get("none")->kind, json::Kind::kNull);
+  ASSERT_EQ(root.get("arr")->items.size(), 3U);
+  EXPECT_EQ(root.get("arr")->items[1]->integer, 2);
+  EXPECT_EQ(root.get("nested")->get("k")->string, "v\n\t\"q\"");
+  EXPECT_EQ(root.get("absent"), nullptr);
+}
+
+TEST(JsonTest, ParsesUnicodeEscapes) {
+  const auto doc = json::parse(R"({"s": "a\u00e9\u20ac"})");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ((*doc)->get("s")->string, "a\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").is_ok());
+  EXPECT_FALSE(json::parse("{").is_ok());
+  EXPECT_FALSE(json::parse("{\"a\": }").is_ok());
+  EXPECT_FALSE(json::parse("[1, 2,]").is_ok());
+  EXPECT_FALSE(json::parse("nul").is_ok());
+  EXPECT_FALSE(json::parse("{} trailing").is_ok());
+  EXPECT_FALSE(json::parse("\"unterminated").is_ok());
+  EXPECT_FALSE(json::parse("{\"s\": \"\\ud800\"}").is_ok());
+}
+
+TEST(JsonTest, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_FALSE(json::parse(deep).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// bxdiff on bench_common (schema 2) reports.
+
+std::string schema2_report(double p99_scale, double kops_scale,
+                           bool include_sgl_row) {
+  char row[512];
+  std::string out =
+      "{\"bench\": \"ablation_read_path\", \"schema_version\": 2, "
+      "\"config\": {}, \"rows\": [";
+  std::snprintf(row, sizeof(row),
+                "{\"label\": \"inline_512\", \"method\": \"byteexpress-r\", "
+                "\"ops\": 20000, \"wire_bytes\": 4096000, "
+                "\"mean_latency_ns\": 2100.0, \"p50_latency_ns\": 2000, "
+                "\"p99_latency_ns\": %.1f, \"kops\": %.1f}",
+                4000.0 * p99_scale, 480.0 * kops_scale);
+  out += row;
+  if (include_sgl_row) {
+    out +=
+        ", {\"label\": \"sgl_512\", \"method\": \"sgl\", \"ops\": 20000, "
+        "\"wire_bytes\": 11264000, \"mean_latency_ns\": 3500.0, "
+        "\"p50_latency_ns\": 3400, \"p99_latency_ns\": 6000, "
+        "\"kops\": 300.0}";
+  }
+  out += "]}";
+  return out;
+}
+
+DiffReport must_diff(const std::string& baseline, const std::string& candidate,
+                     const DiffConfig& config = DiffConfig{}) {
+  const auto base = json::parse(baseline);
+  const auto cand = json::parse(candidate);
+  EXPECT_TRUE(base.is_ok()) << base.status().to_string();
+  EXPECT_TRUE(cand.is_ok()) << cand.status().to_string();
+  auto report = diff_reports(**base, **cand, config);
+  EXPECT_TRUE(report.is_ok()) << report.status().to_string();
+  return *report;
+}
+
+TEST(BxdiffTest, IdenticalReportsDiffClean) {
+  const std::string doc = schema2_report(1.0, 1.0, true);
+  const DiffReport report = must_diff(doc, doc);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.regressions, 0U);
+  EXPECT_EQ(report.improvements, 0U);
+  EXPECT_TRUE(report.missing_rows.empty());
+  EXPECT_GT(report.metrics_compared, 0U);
+}
+
+TEST(BxdiffTest, TenPercentSlowdownIsFlagged) {
+  const DiffReport report = must_diff(schema2_report(1.0, 1.0, true),
+                                      schema2_report(1.15, 1.0, true));
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(report.regressions, 1U);
+  bool found = false;
+  for (const auto& delta : report.deltas) {
+    if (!delta.regressed) continue;
+    found = true;
+    EXPECT_EQ(delta.row_key, "inline_512/byteexpress-r");
+    EXPECT_EQ(delta.metric, "p99_latency_ns");
+    EXPECT_NEAR(delta.rel_change, 0.15, 1e-9);
+  }
+  EXPECT_TRUE(found);
+  const std::string text = tools::render_diff_report(report, false);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+}
+
+TEST(BxdiffTest, ThroughputDropIsFlaggedAndLatencyDropIsImprovement) {
+  // kops is higher-is-better: a 20% drop regresses. p99 falling 20% at the
+  // same time is an improvement, not a regression.
+  const DiffReport report = must_diff(schema2_report(1.0, 1.0, true),
+                                      schema2_report(0.8, 0.8, true));
+  EXPECT_EQ(report.regressions, 1U);
+  EXPECT_EQ(report.improvements, 1U);
+  for (const auto& delta : report.deltas) {
+    if (delta.regressed) {
+      EXPECT_EQ(delta.metric, "kops");
+    }
+    if (delta.improved) {
+      EXPECT_EQ(delta.metric, "p99_latency_ns");
+    }
+  }
+}
+
+TEST(BxdiffTest, SmallWobbleBelowThresholdIsClean) {
+  // 3% movement is inside the default 10% threshold.
+  const DiffReport report = must_diff(schema2_report(1.0, 1.0, true),
+                                      schema2_report(1.03, 0.97, true));
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(BxdiffTest, AbsoluteFloorSuppressesTinyBaselines) {
+  // 50% relative blowup on a 40 ns p50 is 20 ns of movement — below the
+  // 50 ns floor, so deterministic-noise territory, not a regression.
+  const std::string base =
+      "{\"bench\": \"b\", \"schema_version\": 2, \"rows\": ["
+      "{\"label\": \"tiny\", \"p50_latency_ns\": 40}]}";
+  const std::string cand =
+      "{\"bench\": \"b\", \"schema_version\": 2, \"rows\": ["
+      "{\"label\": \"tiny\", \"p50_latency_ns\": 60}]}";
+  EXPECT_TRUE(must_diff(base, cand).clean());
+}
+
+TEST(BxdiffTest, MissingRowFailsTheGate) {
+  const DiffReport report = must_diff(schema2_report(1.0, 1.0, true),
+                                      schema2_report(1.0, 1.0, false));
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(report.missing_rows.size(), 1U);
+  EXPECT_EQ(report.missing_rows[0], "sgl_512/sgl");
+}
+
+TEST(BxdiffTest, NewCandidateRowIsInformationalOnly) {
+  const DiffReport report = must_diff(schema2_report(1.0, 1.0, false),
+                                      schema2_report(1.0, 1.0, true));
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(report.new_rows.size(), 1U);
+  EXPECT_EQ(report.new_rows[0], "sgl_512/sgl");
+}
+
+TEST(BxdiffTest, BenchNameMismatchIsAnError) {
+  const std::string a = "{\"bench\": \"a\", \"rows\": []}";
+  const std::string b = "{\"bench\": \"b\", \"rows\": []}";
+  const auto pa = json::parse(a);
+  const auto pb = json::parse(b);
+  ASSERT_TRUE(pa.is_ok() && pb.is_ok());
+  EXPECT_FALSE(diff_reports(**pa, **pb, DiffConfig{}).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// bxdiff on microbench_multiqueue (schema 1) scaling-sweep reports.
+
+std::string sweep_report(double sim_ns_scale) {
+  char row[256];
+  std::string out =
+      "{\n  \"schema_version\": 1,\n  \"bench\": \"microbench_multiqueue\",\n"
+      "  \"config\": {\"ops_per_point\": 8192},\n  \"rows\": [\n";
+  const int points[][2] = {{1, 1}, {1, 8}, {4, 8}};
+  for (int i = 0; i < 3; ++i) {
+    std::snprintf(row, sizeof(row),
+                  "    {\"queues\": %d, \"depth\": %d, \"commands\": 8192, "
+                  "\"sq_doorbells\": 1024, \"doorbells_per_op\": 0.125, "
+                  "\"sim_ns\": %.0f, \"ops_per_sec\": %.1f}%s\n",
+                  points[i][0], points[i][1], 5.0e6 * sim_ns_scale * (i + 1),
+                  8192.0 / (5.0e-3 * sim_ns_scale * (i + 1)),
+                  i < 2 ? "," : "");
+    out += row;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+TEST(BxdiffTest, SweepReportIdenticalDiffsClean) {
+  const std::string doc = sweep_report(1.0);
+  const DiffReport report = must_diff(doc, doc);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.metrics_compared, 9U);  // 3 rows x 3 metrics
+}
+
+TEST(BxdiffTest, SweepSlowdownFlagsSimNsAndOpsPerSec) {
+  const DiffReport report = must_diff(sweep_report(1.0), sweep_report(1.12));
+  EXPECT_FALSE(report.clean());
+  // All three rows regress on both sim_ns (up) and ops_per_sec (down).
+  EXPECT_EQ(report.regressions, 6U);
+}
+
+}  // namespace
+}  // namespace bx

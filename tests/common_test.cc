@@ -237,6 +237,70 @@ TEST(HistogramTest, HugeValuesDoNotOverflowBuckets) {
   EXPECT_EQ(hist.max(), UINT64_MAX / 2);
 }
 
+TEST(HistogramTest, EmptyPercentileClampsAndStaysZero) {
+  LatencyHistogram hist;
+  // Out-of-range p on an empty histogram: no UB, no crash, just 0.
+  EXPECT_EQ(hist.percentile(-5.0), 0u);
+  EXPECT_EQ(hist.percentile(0), 0u);
+  EXPECT_EQ(hist.percentile(100), 0u);
+  EXPECT_EQ(hist.percentile(250.0), 0u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeP) {
+  LatencyHistogram hist;
+  hist.record(10);
+  hist.record(90);
+  // p < 0 behaves as p0 (exact min), p > 100 as p100 (exact max).
+  EXPECT_EQ(hist.percentile(-1.0), 10u);
+  EXPECT_EQ(hist.percentile(101.0), 90u);
+}
+
+TEST(HistogramTest, Uint64MaxLandsInTopBucketExactly) {
+  LatencyHistogram hist;
+  hist.record(UINT64_MAX);
+  hist.record(UINT64_MAX - 1);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.max(), UINT64_MAX);
+  // Midpoint estimates clamp to the observed extremes, so percentiles of
+  // top-bucket values never exceed uint64 range.
+  EXPECT_EQ(hist.percentile(100), UINT64_MAX);
+  EXPECT_GE(hist.percentile(50), UINT64_MAX - 1);
+}
+
+TEST(HistogramTest, SumSaturatesInsteadOfWrapping) {
+  LatencyHistogram hist;
+  // Two near-max values: the exact sum would wrap uint64; the histogram
+  // pins it at UINT64_MAX and mean() degrades to a (huge) lower bound.
+  hist.record(UINT64_MAX - 1);
+  hist.record(UINT64_MAX - 1);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_GE(hist.mean(), double(UINT64_MAX) / 4.0);
+
+  // Same for record_n's value*count product...
+  LatencyHistogram bulk;
+  bulk.record_n(UINT64_MAX / 2, 1000);
+  EXPECT_EQ(bulk.count(), 1000u);
+  EXPECT_GE(bulk.mean(), double(UINT64_MAX) / 1e4);
+
+  // ...and for merge() of two saturated sums.
+  hist.merge(bulk);
+  EXPECT_EQ(hist.count(), 1002u);
+  EXPECT_GE(hist.mean(), double(UINT64_MAX) / 1e4);
+  EXPECT_EQ(hist.max(), UINT64_MAX - 1);
+}
+
+TEST(ExactCounterTest, CdfAtUint64MaxDoesNotWrap) {
+  ExactCounter counter(10);
+  counter.record(3);
+  counter.record(9999);  // overflow bucket
+  // In-domain values only: the overflow recording never contributes, even
+  // at the top of the query range (value + 1 must not wrap to 0).
+  EXPECT_NEAR(counter.cdf(UINT64_MAX), 0.5, 1e-9);
+  EXPECT_NEAR(counter.cdf(3), 0.5, 1e-9);
+  EXPECT_NEAR(counter.cdf(2), 0.0, 1e-9);
+}
+
 TEST(ExactCounterTest, CountsAndCdf) {
   ExactCounter counter(100);
   for (std::uint64_t v = 0; v < 50; ++v) counter.record(v);

@@ -13,6 +13,7 @@
 #include "fault/fault.h"
 #include "nvme/bandslim_wire.h"
 #include "nvme/inline_wire.h"
+#include "obs/invariants.h"
 #include "test_util.h"
 #include "workload/mixgraph.h"
 
@@ -23,6 +24,20 @@ using core::Testbed;
 using driver::IoRequest;
 using driver::TransferMethod;
 using nvme::IoOpcode;
+
+/// Wait/service additivity must survive every recovery path — retries,
+/// timeout+Abort scrubs, inline→PRP degradation, even final-error
+/// completions: the breakdown reports the final attempt and its segments
+/// sum EXACTLY to latency_ns (obs::check_breakdown_invariants).
+void expect_breakdown_additive(const driver::Completion& completion) {
+  std::vector<obs::BreakdownSample> sample(1);
+  sample[0].breakdown = completion.breakdown;
+  sample[0].latency_ns = static_cast<std::uint64_t>(completion.latency_ns);
+  for (const std::string& violation :
+       obs::check_breakdown_invariants(sample)) {
+    ADD_FAILURE() << violation;
+  }
+}
 
 TEST(NandFailureTest, BlockWritesSurviveBadBlocks) {
   auto config = test::small_testbed_config();
@@ -477,6 +492,7 @@ TEST(BatchedFaultRecoveryTest, DroppedCqeOnOneCommandSparesTheRest) {
   ASSERT_EQ(completions->size(), 6u);
   for (const driver::Completion& completion : *completions) {
     EXPECT_TRUE(completion.ok()) << "the recovered command must succeed too";
+    expect_breakdown_additive(completion);
   }
   const auto& metrics = bed.metrics();
   EXPECT_EQ(metrics.counter_value("faults.injected"), 1u);
@@ -509,6 +525,7 @@ TEST(BatchedFaultRecoveryTest, FatalErrorPoisonsOnlyItsOwnCommand) {
   int failed = 0;
   for (const driver::Completion& completion : *completions) {
     if (!completion.ok()) ++failed;
+    expect_breakdown_additive(completion);  // error completions included
   }
   EXPECT_EQ(failed, 1) << "exactly the armed command fails";
   const auto& metrics = bed.metrics();
@@ -554,6 +571,7 @@ TEST(BatchedFaultRecoveryTest, MidBatchDegradationReroutesRemainderToPrp) {
   for (const driver::Completion& completion : *completions) {
     EXPECT_TRUE(completion.ok())
         << "every batch member must resolve through the PRP reroute";
+    expect_breakdown_additive(completion);  // exact across the degradation
   }
 
   const auto& metrics = bed.metrics();
@@ -621,6 +639,7 @@ TEST(FaultRecoveryTest, DroppedCompletionTimesOutAbortsAndRetries) {
   auto completion = bed.raw_write(payload, TransferMethod::kByteExpress);
   ASSERT_TRUE(completion.is_ok());
   EXPECT_TRUE(completion->ok());
+  expect_breakdown_additive(*completion);  // timeout + Abort + retry path
 
   const auto& metrics = bed.metrics();
   EXPECT_EQ(metrics.counter_value("faults.injected"), 1u);
@@ -649,6 +668,7 @@ TEST(FaultRecoveryTest, DelayedCompletionIsScrubbedByAbort) {
   auto completion = bed.raw_write(payload, TransferMethod::kByteExpress);
   ASSERT_TRUE(completion.is_ok());
   EXPECT_TRUE(completion->ok());
+  expect_breakdown_additive(*completion);
   const auto& metrics = bed.metrics();
   EXPECT_EQ(metrics.counter_value("faults.injected_delay"), 1u);
   EXPECT_EQ(metrics.counter_value("driver.timeouts"), 1u);
@@ -668,6 +688,7 @@ TEST(FaultRecoveryTest, FatalErrorCompletionSurfacesToCaller) {
   auto completion = bed.raw_write(payload, TransferMethod::kByteExpress);
   ASSERT_TRUE(completion.is_ok());
   EXPECT_FALSE(completion->ok());
+  expect_breakdown_additive(*completion);  // additive even on final error
   EXPECT_EQ(completion->status.code,
             static_cast<std::uint8_t>(nvme::GenericStatus::kInternalError));
   const auto& metrics = bed.metrics();
@@ -693,6 +714,7 @@ TEST(FaultRecoveryTest, ConsecutiveInlineFailuresDegradeToPrpThenReprobe) {
   auto completion = bed.raw_write(payload, TransferMethod::kByteExpress);
   ASSERT_TRUE(completion.is_ok());
   EXPECT_TRUE(completion->ok());
+  expect_breakdown_additive(*completion);  // inline→PRP degradation path
 
   const auto& metrics = bed.metrics();
   EXPECT_EQ(metrics.counter_value("driver.degradations"), 1u);
@@ -740,6 +762,7 @@ TEST(FaultRecoveryTest, FeasibilityFallbackEmitsCounterAndTraceFlag) {
   auto completion = bed.raw_write(payload, TransferMethod::kByteExpress);
   ASSERT_TRUE(completion.is_ok());
   EXPECT_TRUE(completion->ok());
+  expect_breakdown_additive(*completion);
   EXPECT_EQ(bed.metrics().counter_value("driver.inline_fallback_prp"), 1u);
   bool saw_fallback_flag = false;
   for (const auto& event : bed.trace().snapshot()) {
@@ -777,6 +800,7 @@ TEST(ReadFaultRecoveryTest, CorruptReadChunkCaughtByHostCrcAndRetried) {
   ASSERT_TRUE(completion.is_ok());
   EXPECT_TRUE(completion->ok());
   EXPECT_EQ(out, payload);
+  expect_breakdown_additive(*completion);  // host-CRC reject + retry
 
   const auto& metrics = bed.metrics();
   EXPECT_EQ(metrics.counter_value("driver.inline_read.crc_errors"), 1u);
@@ -802,6 +826,7 @@ TEST(ReadFaultRecoveryTest, DroppedReadCompletionTimesOutAndRecovers) {
   ASSERT_TRUE(completion.is_ok());
   EXPECT_TRUE(completion->ok());
   EXPECT_EQ(out, payload);
+  expect_breakdown_additive(*completion);
   const auto& metrics = bed.metrics();
   EXPECT_EQ(metrics.counter_value("driver.timeouts"), 1u);
   EXPECT_EQ(metrics.counter_value("faults.recovered"), 1u);
@@ -821,6 +846,7 @@ TEST(ReadFaultRecoveryTest, DelayedReadCompletionIsScrubbedByAbort) {
   ASSERT_TRUE(completion.is_ok());
   EXPECT_TRUE(completion->ok());
   EXPECT_EQ(out, payload);
+  expect_breakdown_additive(*completion);
   const auto& metrics = bed.metrics();
   EXPECT_EQ(metrics.counter_value("faults.injected_delay"), 1u);
   EXPECT_EQ(metrics.counter_value("driver.timeouts"), 1u);
@@ -848,6 +874,7 @@ TEST(ReadFaultRecoveryTest, ConsecutiveReadFailuresDegradeToPrpThenReprobe) {
   ASSERT_TRUE(completion.is_ok());
   EXPECT_TRUE(completion->ok());
   EXPECT_EQ(out, payload);
+  expect_breakdown_additive(*completion);  // read-path degradation
 
   const auto& metrics = bed.metrics();
   EXPECT_EQ(metrics.counter_value("driver.inline_read.degradations"), 1u);

@@ -1,0 +1,70 @@
+// bxdiff — compare a candidate BENCH_*.json report against a committed
+// golden baseline and fail (exit 1) on metric regressions.
+//
+// Usage:
+//   bxdiff <baseline.json> <candidate.json> [--threshold=0.10]
+//          [--floor-scale=1.0] [--verbose]
+//
+// Exit codes: 0 clean, 1 regression or missing coverage, 2 usage/parse
+// error. CI runs this for every bench with a baseline under
+// bench/baselines/ and uploads the text output as an artifact.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bxdiff_lib.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bxdiff <baseline.json> <candidate.json>\n"
+               "              [--threshold=REL] [--floor-scale=X] "
+               "[--verbose]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bx::tools::DiffConfig config;
+  bool verbose = false;
+  std::string paths[2];
+  int path_count = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      config.rel_threshold = std::atof(arg.c_str() + 12);
+      if (config.rel_threshold < 0.0) {
+        usage();
+        return 2;
+      }
+    } else if (arg.rfind("--floor-scale=", 0) == 0) {
+      config.floor_scale = std::atof(arg.c_str() + 14);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bxdiff: unknown flag %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else if (path_count < 2) {
+      paths[path_count++] = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (path_count != 2) {
+    usage();
+    return 2;
+  }
+
+  const auto report = bx::tools::diff_files(paths[0], paths[1], config);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "bxdiff: %s\n", report.status().to_string().c_str());
+    return 2;
+  }
+  std::fputs(bx::tools::render_diff_report(*report, verbose).c_str(), stdout);
+  return report->clean() ? 0 : 1;
+}

@@ -3,8 +3,13 @@
 // Two modes:
 //   * run (default): builds a Testbed, drives a closed-loop QD>1 write
 //     workload across every requested transfer method on the configured
-//     I/O queues, then renders the telemetry windows as a utilization/QD
-//     table plus a per-method traffic summary. Optional exports:
+//     I/O queues (plus an optional reads=N raw-read phase that exercises
+//     the ByteExpress-R inline-read ring), then renders the telemetry
+//     windows as a utilization/QD table, a per-method traffic summary,
+//     the per-method wait/service attribution table (driver.wait.*
+//     histograms, docs/OBSERVABILITY.md) and the inline-read counter
+//     section. `bxmon waits` (or waits=1) skips the window/traffic
+//     tables and prints just the attribution view. Optional exports:
 //       perfetto=<file>  Chrome trace_event JSON (open in ui.perfetto.dev)
 //       prom=<file>      Prometheus text exposition snapshot
 //       tsv=<file>       raw window dump (Telemetry::dump_tsv)
@@ -18,6 +23,10 @@
 //   bxmon methods=prp,byteexpress payload=1024 window=5000
 //   bxmon batch=8 ops=4000   (coalesced submit_batch groups; the doorbell
 //     coalescing section shows entries/doorbell per queue)
+//   bxmon waits ops=4000 qd=16   (attribution only: per-method wait
+//     segment table — gate/ring/slot/bell/arb/service/reassembly/delivery)
+//   bxmon reads=2000 payload=256   (raw-read phase after the writes; the
+//     inline-read section shows ring attempts/chunks/crc/fallbacks)
 //   bxmon input=run.tsv
 //   bxmon fault.rate=0.05 fault.seed=7 ops=500   (faulted run, see
 //     docs/FAULTS.md — ops go through the driver's retry path and the
@@ -38,6 +47,8 @@
 #include "core/testbed.h"
 #include "driver/request.h"
 #include "fault/fault.h"
+#include "obs/attribution.h"
+#include "obs/metrics.h"
 #include "obs/perfetto.h"
 #include "obs/prometheus.h"
 #include "obs/telemetry.h"
@@ -176,6 +187,74 @@ void print_fault_section(const obs::MetricsRegistry& metrics) {
               value("ctrl.commands_aborted"),
               value("ctrl.deferred_evictions"),
               value("ctrl.reassembly_evictions"));
+}
+
+/// Per-method wait/service attribution: one line per (method, segment)
+/// with a non-empty "driver.wait.<method>.<segment>" histogram. The
+/// segments partition each command's latency_ns exactly (additivity is
+/// enforced by obs::invariants), so the mean column sums to the method's
+/// mean latency.
+void print_waits_section(const obs::MetricsRegistry& metrics,
+                         const std::vector<MethodSummary>& summaries) {
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  const auto find_hist =
+      [&snap](const std::string& name) -> const LatencyHistogram* {
+    for (const auto& [hist_name, hist] : snap.histograms) {
+      if (hist_name == name) return &hist;
+    }
+    return nullptr;
+  };
+  std::printf("\n  wait attribution (ns per command by segment, "
+              "segments sum to latency):\n");
+  std::printf("    method            segment        count      mean       "
+              "p50       p99\n");
+  for (const MethodSummary& s : summaries) {
+    for (std::size_t seg = 0; seg < obs::kWaitSegmentCount; ++seg) {
+      const auto segment = static_cast<obs::WaitSegment>(seg);
+      const std::string name =
+          "driver.wait." + s.name + "." +
+          std::string(obs::wait_segment_name(segment));
+      const LatencyHistogram* hist = find_hist(name);
+      if (hist == nullptr || hist->count() == 0) continue;
+      std::printf("    %-16s  %-11s %8llu %9.0f %9llu %9llu\n",
+                  s.name.c_str(),
+                  std::string(obs::wait_segment_name(segment)).c_str(),
+                  static_cast<unsigned long long>(hist->count()),
+                  hist->mean(),
+                  static_cast<unsigned long long>(hist->percentile(50)),
+                  static_cast<unsigned long long>(hist->percentile(99)));
+    }
+  }
+}
+
+/// ByteExpress-R inline-read counters (docs/READPATH.md): ring attempts
+/// vs completions, chunk/byte volume, CRC rejections, PRP fallbacks and
+/// degradations, plus the per-queue completion-ring occupancy gauge.
+void print_inline_read_section(const obs::MetricsRegistry& metrics,
+                               std::uint16_t queue_count) {
+  const auto value = [&](const char* name) {
+    return static_cast<unsigned long long>(metrics.counter_value(name));
+  };
+  std::printf("\n  inline reads (ByteExpress-R completion ring):\n");
+  std::printf("    attempts %llu, completions %llu, chunks %llu, "
+              "bytes %llu\n",
+              value("driver.inline_read.attempts"),
+              value("driver.inline_read.completions"),
+              value("driver.inline_read.chunks"),
+              value("driver.inline_read.bytes"));
+  std::printf("    crc errors %llu, prp fallbacks %llu, degradations "
+              "%llu\n",
+              value("driver.inline_read.crc_errors"),
+              value("driver.inline_read.fallback_prp"),
+              value("driver.inline_read.degradations"));
+  std::printf("    ring occupancy (reserved slots):");
+  for (std::uint16_t qid = 1; qid <= queue_count; ++qid) {
+    const std::string name =
+        "driver.q" + std::to_string(qid) + ".read_ring_occupancy";
+    std::printf(" q%u=%lld", qid,
+                static_cast<long long>(metrics.gauge_value(name)));
+  }
+  std::printf("\n");
 }
 
 /// Multi-tenant mode (`tenants=N`): one tenant per hardware queue under
@@ -403,6 +482,9 @@ int run(const Config& config) {
   }
 
   const auto ops = static_cast<std::uint64_t>(config.get_int("ops", 2000));
+  const auto reads =
+      static_cast<std::uint64_t>(config.get_int("reads", 0));
+  const bool waits_mode = config.get_int("waits", 0) != 0;
   const auto payload_size =
       static_cast<std::uint32_t>(config.get_int("payload", 256));
   const auto qd = static_cast<std::uint32_t>(config.get_int("qd", 4));
@@ -578,16 +660,39 @@ int run(const Config& config) {
     summaries.push_back(std::move(summary));
   }
 
+  // Optional raw-read phase: kVendorRawRead round-robin over the queues,
+  // reading back the payload the write loops stored. Small payloads go
+  // over the ByteExpress-R inline ring (chunks in the host completion
+  // ring, CRC-checked), so this populates the inline-read section.
+  if (reads > 0) {
+    ByteVec read_out(payload_size);
+    driver::IoRequest read;
+    read.opcode = nvme::IoOpcode::kVendorRawRead;
+    read.read_buffer = read_out;
+    for (std::uint64_t i = 0; i < reads; ++i) {
+      const auto qid = static_cast<std::uint16_t>(1 + i % queue_count);
+      auto completion = testbed.driver().execute(read, qid);
+      if (!completion.is_ok()) {
+        std::fprintf(stderr, "bxmon: read failed: %s\n",
+                     completion.status().to_string().c_str());
+        return 1;
+      }
+      if (!completion->ok()) ++op_errors;
+    }
+  }
+
   testbed.telemetry().flush(testbed.clock().now());
   const std::vector<obs::TelemetrySample> samples =
       testbed.telemetry().samples();
   const double rate = testbed.telemetry().link_rate();
 
-  std::printf("\nwindows: %zu closed (%llu dropped)\n", samples.size(),
-              static_cast<unsigned long long>(
-                  testbed.telemetry().windows_dropped()));
-  print_window_table(samples, rate, max_rows);
-  print_totals(samples);
+  if (!waits_mode) {
+    std::printf("\nwindows: %zu closed (%llu dropped)\n", samples.size(),
+                static_cast<unsigned long long>(
+                    testbed.telemetry().windows_dropped()));
+    print_window_table(samples, rate, max_rows);
+    print_totals(samples);
+  }
 
   std::printf("\n  method            ops      wireB/op   amp     mean_ns   "
               "Kops\n");
@@ -607,7 +712,7 @@ int run(const Config& config) {
   // summed over the same telemetry windows the table renders. 1.00 means
   // every ring published one entry (no batching); submit_batch pushes
   // this toward the batch size.
-  {
+  if (!waits_mode) {
     std::vector<std::uint64_t> bells(std::size_t{queue_count} + 1, 0);
     std::vector<std::uint64_t> entries(std::size_t{queue_count} + 1, 0);
     for (const obs::TelemetrySample& s : samples) {
@@ -635,6 +740,9 @@ int run(const Config& config) {
                 static_cast<unsigned long long>(
                     testbed.metrics().counter_value("driver.batched_commands")));
   }
+
+  print_waits_section(testbed.metrics(), summaries);
+  print_inline_read_section(testbed.metrics(), queue_count);
 
   if (testbed.fault_injector() != nullptr) {
     print_fault_section(testbed.metrics());
@@ -693,6 +801,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bxmon: bad arguments: %s\n",
                  parsed.to_string().c_str());
     return 2;
+  }
+  // `bxmon waits` — bare mode word, equivalent to waits=1 (parse_args
+  // skips tokens without '=').
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "waits") == 0) config.set("waits", "1");
   }
   const std::string input = config.get_string("input", "");
   if (!input.empty()) {
