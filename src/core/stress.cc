@@ -49,9 +49,10 @@ std::uint32_t slots_for(TransferMethod method, std::uint64_t len) {
     case TransferMethod::kBandSlim:
       return nvme::bandslim::commands_for(len);
     case TransferMethod::kHybrid:
+    case TransferMethod::kAuto:
       break;
   }
-  BX_ASSERT_MSG(false, "hybrid must be resolved before budgeting");
+  BX_ASSERT_MSG(false, "hybrid/auto must be resolved before budgeting");
   return 0;
 }
 
@@ -304,7 +305,8 @@ void verify_ring_layout(Testbed& bed, std::uint16_t qid,
       case TransferMethod::kSgl:
         break;
       case TransferMethod::kHybrid:
-        return fail_at(index, "unresolved hybrid op");
+      case TransferMethod::kAuto:
+        return fail_at(index, "unresolved hybrid/auto op");
     }
   }
 

@@ -21,6 +21,18 @@ Testbed::Testbed(TestbedConfig config)
   driver_->set_tracer(&trace_);
   driver_->bind_metrics(metrics_);
 
+  // Adaptive kAuto selection: built only on request; metrics must bind
+  // BEFORE init_io_queues() so register_queue() can expose the per-queue
+  // policy.qN.congested gauges.
+  if (config.policy_enabled) {
+    policy::AdaptivePolicyConfig pconfig = config.policy;
+    pconfig.max_inline_bytes = config.driver.max_inline_bytes;
+    pconfig.link_bytes_per_ns = link_.config().bytes_per_ns();
+    policy_ = std::make_unique<policy::AdaptivePolicy>(pconfig);
+    policy_->bind_metrics(metrics_);
+    driver_->set_method_policy(policy_.get());
+  }
+
   // Fault injection: constructed only when the policy draws anything, so
   // healthy testbeds never take the recovery-housekeeping paths.
   if (config.faults.any()) {
@@ -41,6 +53,9 @@ Testbed::Testbed(TestbedConfig config)
   link_.set_telemetry(telemetry);
   controller_->set_telemetry(telemetry);
   driver_->set_telemetry(telemetry);
+  // The policy learns on the window grid (EWMAs, hysteresis) and its
+  // decision counters feed the per-window policy_* sample fields.
+  if (policy_ != nullptr) policy_->attach_telemetry(telemetry_);
 
   const auto admin = driver_->admin_queue_info();
   controller_->set_admin_queue(admin.sq_addr, admin.sq_depth, admin.cq_addr,

@@ -25,6 +25,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "pcie/bar.h"
+#include "policy/adaptive_policy.h"
 #include "pcie/link.h"
 #include "pcie/traffic_counter.h"
 #include "ssd/ssd_device.h"
@@ -49,6 +50,14 @@ struct TestbedConfig {
   /// fault subsystem.
   fault::FaultPolicy faults{};
   std::uint64_t fault_seed = 0x5eed;
+  /// Adaptive method selection (TransferMethod::kAuto, docs/POLICY.md).
+  /// When enabled an AdaptivePolicy is built and attached to the driver
+  /// and telemetry; otherwise kAuto degrades to kHybrid semantics. The
+  /// feasibility mirror (`policy.max_inline_bytes`) and link rate
+  /// (`policy.link_bytes_per_ns`) are overwritten at assembly from the
+  /// driver and link configs so they cannot drift.
+  bool policy_enabled = false;
+  policy::AdaptivePolicyConfig policy{};
 };
 
 class Testbed {
@@ -81,6 +90,11 @@ class Testbed {
   /// The fault injector, or nullptr when config.faults is all-zero.
   [[nodiscard]] fault::FaultInjector* fault_injector() noexcept {
     return injector_.get();
+  }
+  /// The adaptive kAuto policy, or nullptr when config.policy_enabled is
+  /// false.
+  [[nodiscard]] policy::AdaptivePolicy* method_policy() noexcept {
+    return policy_.get();
   }
   [[nodiscard]] DmaMemory& memory() noexcept { return memory_; }
   [[nodiscard]] pcie::BarSpace& bar() noexcept { return bar_; }
@@ -120,6 +134,7 @@ class Testbed {
   pcie::PcieLink link_;
   pcie::BarSpace bar_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<policy::AdaptivePolicy> policy_;
   std::unique_ptr<ssd::SsdDevice> device_;
   std::unique_ptr<controller::Controller> controller_;
   std::unique_ptr<driver::NvmeDriver> driver_;

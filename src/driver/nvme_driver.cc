@@ -153,6 +153,10 @@ Status NvmeDriver::init_io_queues() {
       telemetry_->register_queue(i, &created.sq_occupancy,
                                  &created.inflight);
     }
+    if (policy_ != nullptr) {
+      policy_->register_queue(i, config_.io_queue_depth,
+                              &created.sq_occupancy, &created.inflight);
+    }
   }
   inline_read_supported_ = read_rings_accepted;
   return Status::ok();
@@ -207,10 +211,14 @@ void NvmeDriver::bind_metrics(obs::MetricsRegistry& metrics) {
   metrics.expose_gauge("driver.doorbells_per_kop", &doorbells_per_kop_);
   batch_size_metric_ = &metrics.histogram("driver.batch_size");
   // Per-method wait-breakdown histograms, "driver.wait.<method>.<segment>".
-  // kHybrid resolves before submission so its row stays unbound.
+  // kHybrid and kAuto resolve before submission so their rows stay
+  // unbound — completed commands land in their resolved method's row.
   for (std::size_t m = 0; m < wait_hists_.size(); ++m) {
     const auto method = static_cast<TransferMethod>(m);
-    if (method == TransferMethod::kHybrid) continue;
+    if (method == TransferMethod::kHybrid ||
+        method == TransferMethod::kAuto) {
+      continue;
+    }
     const std::string prefix =
         "driver.wait." + std::string(transfer_method_name(method)) + ".";
     for (std::size_t s = 0; s < obs::kWaitSegmentCount; ++s) {
@@ -388,9 +396,43 @@ StatusOr<NvmeDriver::ResolvedMethod> NvmeDriver::resolve_method(
   TransferMethod method = request.method;
   const std::uint64_t len = request.write_data.size();
 
+  // The largest payload that can actually go inline on this queue: the
+  // config cap AND the ring-capacity bound (command + chunks must fit the
+  // depth - 1 usable slots).
+  const std::uint64_t inline_cap = std::min<std::uint64_t>(
+      config_.max_inline_bytes,
+      std::uint64_t{config_.io_queue_depth - 2} * nvme::kChunkSize);
+
+  if (method == TransferMethod::kAuto) {
+    if (policy_ != nullptr) {
+      // Keep the policy's window-driven signals fresh at decision time:
+      // close any telemetry windows the clock has moved past (one relaxed
+      // load when still inside the current window).
+      const Nanoseconds now = link_.clock().now();
+      if (telemetry_ != nullptr) telemetry_->advance_to(now);
+      const PolicyDecision decision = policy_->decide(request, qid, now);
+      if (decision.shed) {
+        return resource_exhausted(
+            "adaptive policy sheds load on qid " + std::to_string(qid) +
+            " (overload watermark crossed; retry after drain)");
+      }
+      method = decision.method;
+      resolved.auto_decided = true;
+    } else {
+      // No policy attached: kAuto degrades to the static hybrid rule.
+      method = TransferMethod::kHybrid;
+    }
+  }
+
   if (method == TransferMethod::kHybrid) {
-    method = (is_write_direction(request.opcode) && len > 0 &&
-              len <= config_.hybrid_threshold_bytes)
+    // Clamp the hybrid cut to what can actually go inline: a threshold
+    // configured above max_inline_bytes (or the ring bound) must classify
+    // oversized payloads as PRP outright, not as ByteExpress commands
+    // that immediately take the feasibility-fallback branch and inflate
+    // driver.inline_fallback_prp.
+    const std::uint64_t cut =
+        std::min<std::uint64_t>(config_.hybrid_threshold_bytes, inline_cap);
+    method = (is_write_direction(request.opcode) && len > 0 && len <= cut)
                  ? TransferMethod::kByteExpress
                  : TransferMethod::kPrp;
   }
@@ -826,7 +868,9 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
       case TransferMethod::kBandSlim:
         break;
       case TransferMethod::kHybrid:
-        return internal_error("hybrid must be resolved before submission");
+      case TransferMethod::kAuto:
+        return internal_error(
+            "hybrid/auto must be resolved before submission");
     }
   }
 
@@ -900,6 +944,7 @@ StatusOr<Submitted> NvmeDriver::submit_with_method(const IoRequest& request,
       break;
     }
     case TransferMethod::kHybrid:
+    case TransferMethod::kAuto:
       return internal_error("unreachable");
   }
   {
@@ -961,6 +1006,7 @@ StatusOr<Submitted> NvmeDriver::submit(const IoRequest& request,
   if (resolved->feasibility_fallback || resolved->degraded) {
     flags = obs::kFlagMethodFallback;
   }
+  if (resolved->auto_decided) flags |= obs::kFlagAutoPolicy;
   if (resolved->feasibility_fallback) inline_fallbacks_.increment();
   return submit_with_method(request, qid, *resolved, flags);
 }
@@ -1138,6 +1184,12 @@ void NvmeDriver::attribute_completion(std::uint16_t qid, std::uint16_t cid,
     }
   }
   if (telemetry_ != nullptr) telemetry_->on_wait(completion.breakdown);
+  // Feed the adaptive policy's per-queue signal EWMAs. Called under
+  // pending_mutex, which is why MethodPolicy::on_outcome must stay
+  // innermost and never call back into the driver.
+  if (policy_ != nullptr) {
+    policy_->on_outcome(qid, pending.method, completion);
+  }
 }
 
 StatusOr<Completion> NvmeDriver::wait(const Submitted& handle) {
@@ -1304,6 +1356,7 @@ StatusOr<Completion> NvmeDriver::execute(const IoRequest& request,
   if (resolved->feasibility_fallback || resolved->degraded) {
     flags = obs::kFlagMethodFallback;
   }
+  if (resolved->auto_decided) flags |= obs::kFlagAutoPolicy;
   if (resolved->feasibility_fallback) inline_fallbacks_.increment();
   auto handle = submit_with_method(request, qid, *resolved, flags);
   BX_RETURN_IF_ERROR(handle.status());
@@ -1371,9 +1424,16 @@ StatusOr<Completion> NvmeDriver::finish_with_retries(const IoRequest& request,
     }
     retries_.increment();
     // Deterministic sim-clock exponential backoff before the next attempt.
-    const Nanoseconds backoff = std::min<Nanoseconds>(
-        config_.retry_backoff_cap_ns,
-        config_.retry_backoff_base_ns << std::min<std::uint32_t>(attempt, 20));
+    // Saturate BEFORE shifting: base << shift can wrap 64 bits when the
+    // configured base is large, and a wrapped product slips under the cap
+    // comparison (a 2^62 base at attempt 2 used to back off by 0 ns). The
+    // shift is safe exactly when base <= cap >> shift; otherwise the true
+    // product exceeds the cap and the cap wins without ever computing it.
+    const std::uint32_t shift = std::min<std::uint32_t>(attempt, 20);
+    const Nanoseconds backoff =
+        config_.retry_backoff_base_ns > (config_.retry_backoff_cap_ns >> shift)
+            ? config_.retry_backoff_cap_ns
+            : config_.retry_backoff_base_ns << shift;
     link_.clock().advance(backoff);
 
     // A retry that cannot even be submitted (method resolution failure,
@@ -1391,6 +1451,7 @@ StatusOr<Completion> NvmeDriver::finish_with_retries(const IoRequest& request,
     if (resolved.feasibility_fallback || resolved.degraded) {
       flags = obs::kFlagMethodFallback;
     }
+    if (resolved.auto_decided) flags |= obs::kFlagAutoPolicy;
     if (resolved.feasibility_fallback) inline_fallbacks_.increment();
     auto handle = submit_with_method(request, qid, resolved, flags);
     if (!handle.is_ok()) return fail_with(handle.status());
@@ -1456,6 +1517,9 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
     prep.resolved = *resolved;
     if (prep.resolved.feasibility_fallback || prep.resolved.degraded) {
       prep.submit_flags = obs::kFlagMethodFallback;
+    }
+    if (prep.resolved.auto_decided) {
+      prep.submit_flags |= obs::kFlagAutoPolicy;
     }
     if (prep.resolved.feasibility_fallback) inline_fallbacks_.increment();
 
@@ -1558,8 +1622,10 @@ StatusOr<NvmeDriver::BatchResult> NvmeDriver::submit_batch(
           prep.slots = 0;
           break;
         case TransferMethod::kHybrid:
+        case TransferMethod::kAuto:
           abandon_from(0);
-          return internal_error("hybrid must be resolved before submission");
+          return internal_error(
+              "hybrid/auto must be resolved before submission");
       }
     }
 
@@ -1821,6 +1887,19 @@ StatusOr<Completion> NvmeDriver::execute_ooo_striped(
   }
   if (request.write_data.size() > config_.max_inline_bytes) {
     return invalid_argument("payload too large for inline transfer");
+  }
+  // Striping is an explicit caller choice, so a kAuto request keeps its
+  // OOO method — but the policy's overload backpressure still applies:
+  // the home queue sheds before the stripe set claims any slots.
+  if (request.method == TransferMethod::kAuto && policy_ != nullptr) {
+    const Nanoseconds now = link_.clock().now();
+    if (telemetry_ != nullptr) telemetry_->advance_to(now);
+    if (policy_->decide(request, qids.front(), now).shed) {
+      return resource_exhausted(
+          "adaptive policy sheds load on qid " +
+          std::to_string(qids.front()) +
+          " (overload watermark crossed; retry after drain)");
+    }
   }
 
   QueuePair& home = queue(qids.front());

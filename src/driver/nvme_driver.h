@@ -55,6 +55,7 @@
 
 #include "common/sim_clock.h"
 #include "common/status.h"
+#include "driver/method_policy.h"
 #include "driver/request.h"
 #include "driver/submission_gate.h"
 #include "hostmem/dma_memory.h"
@@ -230,6 +231,9 @@ class NvmeDriver {
     /// would fall back to). Cleared at submit time when the ring-slot
     /// reservation fails (ring full -> PRP fallback).
     bool inline_read = false;
+    /// The method was chosen by the attached MethodPolicy (the request
+    /// came in as kAuto) — sets kFlagAutoPolicy on the kSubmit event.
+    bool auto_decided = false;
   };
 
   struct BatchResult {
@@ -321,6 +325,14 @@ class NvmeDriver {
   /// command resolves (see driver/submission_gate.h for the contract).
   /// Assembly-time only: must not change while commands are in flight.
   void set_submission_gate(SubmissionGate* gate) noexcept { gate_ = gate; }
+
+  /// Attaches the transfer-method policy (null detaches). Requests
+  /// submitted with TransferMethod::kAuto are then resolved by the policy
+  /// in resolve_method() — including the overload-shedding decision — and
+  /// completed commands are fed back through MethodPolicy::on_outcome().
+  /// Attach BEFORE init_io_queues() so the policy receives every queue's
+  /// register_queue() call. Assembly-time only, like the gate.
+  void set_method_policy(MethodPolicy* policy) noexcept { policy_ = policy; }
 
   /// Publishes the driver's counters into `metrics` as `driver.*`. The
   /// registry is remembered so init_io_queues() can expose per-queue
@@ -623,6 +635,7 @@ class NvmeDriver {
   obs::TraceRecorder* tracer_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
   SubmissionGate* gate_ = nullptr;
+  MethodPolicy* policy_ = nullptr;
   /// Set by init_io_queues() once every queue's kVendorReadRing
   /// advertisement succeeded; immutable while submitters run.
   bool inline_read_supported_ = false;
@@ -675,8 +688,9 @@ class NvmeDriver {
   /// Per-method x per-segment wait-breakdown histograms
   /// ("driver.wait.<method>.<segment>", registry-owned, cached by
   /// bind_metrics; null when unbound). Indexed [TransferMethod][segment];
-  /// kHybrid resolves before submission so its row stays empty.
-  std::array<std::array<obs::Histogram*, obs::kWaitSegmentCount>, 6>
+  /// kHybrid and kAuto resolve before submission so their rows stay
+  /// empty (commands land in their resolved method's row).
+  std::array<std::array<obs::Histogram*, obs::kWaitSegmentCount>, 7>
       wait_hists_{};
 };
 

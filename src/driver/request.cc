@@ -10,6 +10,7 @@ std::string_view transfer_method_name(TransferMethod method) noexcept {
     case TransferMethod::kByteExpressOoo: return "byteexpress_ooo";
     case TransferMethod::kBandSlim: return "bandslim";
     case TransferMethod::kHybrid: return "hybrid";
+    case TransferMethod::kAuto: return "auto";
   }
   return "?";
 }

@@ -16,7 +16,11 @@ namespace bx::driver {
 /// kBandSlim is the CMD-based prior work; kByteExpress is the paper's
 /// queue-local inline transfer; kByteExpressOoo is the §3.3.2 future-work
 /// identifier-based variant; kHybrid switches ByteExpress<->PRP at a
-/// threshold (§4.2's suggested optimization).
+/// static threshold (§4.2's suggested optimization); kAuto delegates the
+/// choice per command to the attached driver::MethodPolicy (live
+/// congestion signals + overload backpressure, docs/POLICY.md) and
+/// behaves like kHybrid when no policy is attached. kHybrid and kAuto
+/// always resolve to a concrete method before submission.
 enum class TransferMethod : std::uint8_t {
   kPrp,
   kSgl,
@@ -24,6 +28,7 @@ enum class TransferMethod : std::uint8_t {
   kByteExpressOoo,
   kBandSlim,
   kHybrid,
+  kAuto,
 };
 
 std::string_view transfer_method_name(TransferMethod method) noexcept;

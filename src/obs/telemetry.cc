@@ -92,6 +92,19 @@ void Telemetry::register_tenant(std::uint16_t tenant, const Counter* admitted,
   tenants_.push_back(source);
 }
 
+void Telemetry::register_policy(const Counter* inline_decisions,
+                                const Counter* dma_decisions,
+                                const Counter* rejects,
+                                const Gauge* shedding_queues) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  policy_ = PolicySource{};
+  policy_.inline_decisions = inline_decisions;
+  policy_.dma_decisions = dma_decisions;
+  policy_.rejects = rejects;
+  policy_.shedding_queues = shedding_queues;
+  policy_registered_ = true;
+}
+
 void Telemetry::on_tlps(LinkDir dir, TlpKind kind, std::uint64_t tlps,
                         std::uint64_t data_bytes,
                         std::uint64_t wire_bytes) noexcept {
@@ -221,6 +234,27 @@ void Telemetry::close_window_locked(Nanoseconds end) {
     sample.tenants.push_back(tw);
   }
 
+  if (policy_registered_) {
+    const std::uint64_t inline_now = policy_.inline_decisions != nullptr
+                                         ? policy_.inline_decisions->value()
+                                         : 0;
+    const std::uint64_t dma_now =
+        policy_.dma_decisions != nullptr ? policy_.dma_decisions->value() : 0;
+    const std::uint64_t rejects_now =
+        policy_.rejects != nullptr ? policy_.rejects->value() : 0;
+    sample.policy_inline = inline_now - policy_.last_inline;
+    sample.policy_dma = dma_now - policy_.last_dma;
+    sample.policy_rejects = rejects_now - policy_.last_rejects;
+    sample.policy_shedding = policy_.shedding_queues != nullptr
+                                 ? policy_.shedding_queues->value()
+                                 : 0;
+    policy_.last_inline = inline_now;
+    policy_.last_dma = dma_now;
+    policy_.last_rejects = rejects_now;
+  }
+
+  if (observer_ != nullptr) observer_->on_window(sample);
+
   ring_.push_back(std::move(sample));
   if (ring_.size() > config_.max_windows) {
     ring_.pop_front();
@@ -295,6 +329,15 @@ void Telemetry::clear(Nanoseconds now) {
     source.last_completions =
         source.completions != nullptr ? source.completions->value() : 0;
   }
+  if (policy_registered_) {
+    policy_.last_inline = policy_.inline_decisions != nullptr
+                              ? policy_.inline_decisions->value()
+                              : 0;
+    policy_.last_dma =
+        policy_.dma_decisions != nullptr ? policy_.dma_decisions->value() : 0;
+    policy_.last_rejects =
+        policy_.rejects != nullptr ? policy_.rejects->value() : 0;
+  }
   window_start_ = now;
   window_end_.store(now + config_.window_ns, kRelaxed);
 }
@@ -367,6 +410,9 @@ std::vector<TelemetrySample> Telemetry::downsample(
           }
         }
       }
+      out.policy_inline += add.policy_inline;
+      out.policy_dma += add.policy_dma;
+      out.policy_rejects += add.policy_rejects;
     }
     merged.push_back(std::move(out));
   }

@@ -141,6 +141,14 @@ struct TelemetrySample {
   std::vector<QueueWindow> queues;
   /// Per-tenant service deltas (empty when no tenants are registered).
   std::vector<TenantWindow> tenants;
+  /// Adaptive-policy activity over the window (all zero until
+  /// register_policy() is called — see docs/POLICY.md): kAuto decisions
+  /// resolved inline / descriptor-DMA (SGL or PRP) and shed rejections
+  /// are deltas; shedding queues is a gauge sampled at window close.
+  std::uint64_t policy_inline = 0;
+  std::uint64_t policy_dma = 0;
+  std::uint64_t policy_rejects = 0;
+  std::int64_t policy_shedding = 0;
 
   [[nodiscard]] const FlowCell& of(LinkDir dir, TlpKind kind) const noexcept {
     return flow[static_cast<std::size_t>(dir)][static_cast<std::size_t>(kind)];
@@ -159,6 +167,18 @@ struct TelemetrySample {
 
 class Telemetry {
  public:
+  /// Consumer of every closed window, invoked synchronously from
+  /// close_window_locked() with the telemetry mutex held. The observer
+  /// must only update its own (innermost-locked) state: calling back into
+  /// Telemetry, the driver or the link from on_window() deadlocks. The
+  /// adaptive policy (policy::AdaptivePolicy) uses this to run its EWMA
+  /// updates and hysteresis transitions on the window grid.
+  class WindowObserver {
+   public:
+    virtual ~WindowObserver() = default;
+    virtual void on_window(const TelemetrySample& sample) = 0;
+  };
+
   explicit Telemetry(TelemetryConfig config = {});
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
@@ -200,6 +220,20 @@ class Telemetry {
                        const Counter* rejected, const Counter* payload_bytes,
                        const Counter* completions,
                        const Gauge* inflight_slots);
+
+  /// Registers the adaptive policy's decision counters for delta sampling
+  /// at window close (TelemetrySample::policy_*) plus its shedding-queues
+  /// gauge for point sampling. Counters are component-owned
+  /// (policy::AdaptivePolicy) and must outlive the reads; any pointer may
+  /// be null. Single-threaded assembly, same rule as register_queue.
+  void register_policy(const Counter* inline_decisions,
+                       const Counter* dma_decisions, const Counter* rejects,
+                       const Gauge* shedding_queues);
+
+  /// Attaches the window observer (null detaches). Assembly-time only.
+  void set_window_observer(WindowObserver* observer) noexcept {
+    observer_ = observer;
+  }
 
   // ---- hot-path hooks (relaxed atomics; any thread) ----
 
@@ -304,10 +338,25 @@ class Telemetry {
     std::uint64_t last_completions = 0;
   };
 
+  /// The adaptive policy's sampled counters (register_policy), with the
+  /// last-seen values its window deltas telescope against (under mutex_).
+  struct PolicySource {
+    const Counter* inline_decisions = nullptr;
+    const Counter* dma_decisions = nullptr;
+    const Counter* rejects = nullptr;
+    const Gauge* shedding_queues = nullptr;
+    std::uint64_t last_inline = 0;
+    std::uint64_t last_dma = 0;
+    std::uint64_t last_rejects = 0;
+  };
+
   /// Indexed by qid; slots for unregistered qids (e.g. the admin queue)
   /// are null and their doorbells are not tracked.
   std::vector<std::unique_ptr<QueueSource>> queues_;
   std::vector<TenantSource> tenants_;
+  PolicySource policy_;
+  bool policy_registered_ = false;
+  WindowObserver* observer_ = nullptr;
   const Gauge* backlog_ = nullptr;
 
   /// End of the currently open window — the advance_to() fast-path guard.

@@ -93,6 +93,11 @@ inline constexpr std::uint8_t kFlagOooChunk = 1u << 2;
 /// request routed through PRP: feasibility fallback or a degraded queue) —
 /// set on kSubmit so traffic accounting can explain the extra PRP bytes.
 inline constexpr std::uint8_t kFlagMethodFallback = 1u << 3;
+/// The submission's transfer method was chosen by the adaptive policy
+/// (TransferMethod::kAuto resolved through driver::MethodPolicy) — set on
+/// kSubmit so traces distinguish policy decisions from caller-pinned
+/// methods (docs/POLICY.md).
+inline constexpr std::uint8_t kFlagAutoPolicy = 1u << 4;
 
 /// One interval of simulated time attributed to a pipeline stage. Field
 /// meaning per stage (unused fields are zero):

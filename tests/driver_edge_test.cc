@@ -117,5 +117,65 @@ TEST(DriverEdgeTest, InterleavedAsyncAcrossQueuesCompleteIndependently) {
   EXPECT_TRUE(testbed.driver().wait(*h2)->ok());
 }
 
+// Regression: with a huge backoff base, `base << attempt` wrapped to zero
+// at attempt 2 (2^62 << 2 mod 2^64 == 0) BEFORE the outer min with the
+// cap, so retries 2+ slept 0 ns. The fixed code saturates the shift
+// (base > cap >> shift  =>  cap), so every retry advances the clock by at
+// least the cap.
+TEST(DriverEdgeTest, RetryBackoffShiftSaturatesAtCap) {
+  auto config = test::small_testbed_config();
+  config.driver.retry_backoff_base_ns = std::uint64_t{1} << 62;
+  config.driver.retry_backoff_cap_ns = 1'000'000;  // 1 ms
+  config.driver.max_retries = 4;
+  config.faults.error_retryable = 1e-9;  // constructs the injector
+  Testbed testbed(config);
+  ASSERT_NE(testbed.fault_injector(), nullptr);
+  testbed.fault_injector()->arm(fault::FaultKind::kErrorRetryable, 3);
+
+  ByteVec payload(64);
+  fill_pattern(payload, 7);
+  const Nanoseconds start = testbed.clock().now();
+  auto completion = testbed.raw_write(payload, TransferMethod::kPrp);
+  ASSERT_TRUE(completion.is_ok());
+  EXPECT_TRUE(completion->ok());
+  // Three retryable faults -> three backoffs; the wrap bug slept only
+  // once (attempt 1), so the elapsed floor distinguishes the two.
+  EXPECT_GE(testbed.clock().now() - start,
+            3u * config.driver.retry_backoff_cap_ns);
+}
+
+// Regression: a hybrid threshold above max_inline_bytes classified
+// mid-size payloads as ByteExpress and then took the feasibility
+// fallback, inflating driver.inline_fallback_prp on every such write.
+// resolve_method now clamps the threshold to the inline cap first, so
+// the payload resolves to PRP outright and the fallback counter stays a
+// pure infeasibility signal.
+TEST(DriverEdgeTest, HybridThresholdClampedToInlineCap) {
+  auto config = test::small_testbed_config();
+  config.driver.hybrid_threshold_bytes = 16'384;  // > max_inline_bytes
+  Testbed testbed(config);
+  ASSERT_GT(config.driver.hybrid_threshold_bytes,
+            config.driver.max_inline_bytes);
+
+  // Inside the configured threshold, above the inline cap (8192).
+  ByteVec payload(12'000);
+  fill_pattern(payload, 3);
+  auto completion = testbed.raw_write(payload, TransferMethod::kHybrid);
+  ASSERT_TRUE(completion.is_ok());
+  EXPECT_TRUE(completion->ok());
+  EXPECT_EQ(testbed.metrics().counter_value("driver.inline_fallback_prp"),
+            0u);
+
+  // Payloads under the cap still go inline through the clamped cutoff
+  // (2 chunk inserts on top of the SQE insert — the ByteExpress submit
+  // signature).
+  ByteVec small(128);
+  fill_pattern(small, 4);
+  ASSERT_TRUE(testbed.raw_write(small, TransferMethod::kHybrid)->ok());
+  const auto& timing = testbed.config().driver.timing;
+  EXPECT_EQ(testbed.driver().last_submit_cost(),
+            timing.sqe_insert_ns + 2 * timing.chunk_insert_ns);
+}
+
 }  // namespace
 }  // namespace bx

@@ -35,6 +35,12 @@
 //     each tenant gets a virtual queue on its own hardware queue under
 //     WRR arbitration; prints the per-tenant admission/latency/grant
 //     section, see docs/TENANCY.md)
+//   bxmon policy ops=4000 qd=8   (adaptive-selection mode: the testbed
+//     attaches an AdaptivePolicy, methods default to kAuto with a mixed
+//     small/large payload pattern (payload.large=N overrides the large
+//     size), and the policy section prints the decision/backpressure
+//     counters, per-queue congestion gauges, and per-window policy
+//     deltas, see docs/POLICY.md)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +80,7 @@ bool parse_method(std::string_view name, driver::TransferMethod& out) {
       TransferMethod::kPrp,           TransferMethod::kSgl,
       TransferMethod::kByteExpress,   TransferMethod::kByteExpressOoo,
       TransferMethod::kBandSlim,      TransferMethod::kHybrid,
+      TransferMethod::kAuto,
   };
   for (const TransferMethod method : kAll) {
     if (name == driver::transfer_method_name(method)) {
@@ -255,6 +262,62 @@ void print_inline_read_section(const obs::MetricsRegistry& metrics,
                 static_cast<long long>(metrics.gauge_value(name)));
   }
   std::printf("\n");
+}
+
+/// Adaptive-policy section (`bxmon policy`, docs/POLICY.md): cumulative
+/// decision/backpressure counters, the per-queue congestion gauges, and
+/// the per-window policy deltas sampled by the telemetry.
+void print_policy_section(const obs::MetricsRegistry& metrics,
+                          const std::vector<obs::TelemetrySample>& samples,
+                          std::uint16_t queue_count,
+                          std::size_t max_rows) {
+  const auto value = [&](const char* name) {
+    return static_cast<unsigned long long>(metrics.counter_value(name));
+  };
+  std::printf("\n  adaptive policy (TransferMethod::kAuto):\n");
+  std::printf("    decisions: inline %llu, dma %llu; rejects %llu "
+              "(kResourceExhausted backpressure)\n",
+              value("policy.decisions.inline"),
+              value("policy.decisions.dma"), value("policy.rejects"));
+  std::printf("    mode switches %llu, shed enters %llu / exits %llu, "
+              "shedding queues now %lld\n",
+              value("policy.mode_switches"), value("policy.shed_enters"),
+              value("policy.shed_exits"),
+              static_cast<long long>(
+                  metrics.gauge_value("policy.shedding_queues")));
+  std::printf("    congested now:");
+  for (std::uint16_t qid = 1; qid <= queue_count; ++qid) {
+    const std::string name =
+        "policy.q" + std::to_string(qid) + ".congested";
+    std::printf(" q%u=%lld", qid,
+                static_cast<long long>(metrics.gauge_value(name)));
+  }
+  std::printf("\n");
+
+  std::vector<const obs::TelemetrySample*> active;
+  for (const obs::TelemetrySample& s : samples) {
+    if (s.policy_inline + s.policy_dma + s.policy_rejects > 0) {
+      active.push_back(&s);
+    }
+  }
+  if (active.empty()) return;
+  std::printf("    per-window deltas (%zu active windows, last %zu "
+              "shown):\n",
+              active.size(), std::min(active.size(), max_rows));
+  std::printf("    %-8s %-12s %-10s %-8s %-8s %-9s\n", "window",
+              "end_ns", "inline", "dma", "rejects", "shedding");
+  const std::size_t begin =
+      active.size() > max_rows ? active.size() - max_rows : 0;
+  for (std::size_t i = begin; i < active.size(); ++i) {
+    const obs::TelemetrySample& s = *active[i];
+    std::printf("    %-8llu %-12llu %-10llu %-8llu %-8llu %-9lld\n",
+                static_cast<unsigned long long>(s.index),
+                static_cast<unsigned long long>(s.end_ns),
+                static_cast<unsigned long long>(s.policy_inline),
+                static_cast<unsigned long long>(s.policy_dma),
+                static_cast<unsigned long long>(s.policy_rejects),
+                static_cast<long long>(s.policy_shedding));
+  }
 }
 
 /// Multi-tenant mode (`tenants=N`): one tenant per hardware queue under
@@ -468,9 +531,14 @@ int ingest(const std::string& path, std::size_t max_rows) {
 }
 
 int run(const Config& config) {
-  const std::string method_list =
-      config.get_string("methods", "prp,sgl,byteexpress,byteexpress_ooo,"
-                                   "bandslim");
+  // `bxmon policy` — adaptive-selection mode: the testbed attaches an
+  // AdaptivePolicy, the workload defaults to kAuto with a mixed
+  // small/large payload pattern, and the policy section is printed.
+  const bool policy_mode = config.get_int("policy", 0) != 0;
+  const std::string method_list = config.get_string(
+      "methods", policy_mode ? "auto"
+                             : "prp,sgl,byteexpress,byteexpress_ooo,"
+                               "bandslim");
   std::vector<driver::TransferMethod> methods;
   for (const std::string& name : split_csv(method_list)) {
     driver::TransferMethod method;
@@ -485,8 +553,10 @@ int run(const Config& config) {
   const auto reads =
       static_cast<std::uint64_t>(config.get_int("reads", 0));
   const bool waits_mode = config.get_int("waits", 0) != 0;
-  const auto payload_size =
-      static_cast<std::uint32_t>(config.get_int("payload", 256));
+  // Policy mode keeps the small payload under the adaptive inline cutoff
+  // (128 B default) so the mixed pattern exercises both decision branches.
+  const auto payload_size = static_cast<std::uint32_t>(
+      config.get_int("payload", policy_mode ? 96 : 256));
   const auto qd = static_cast<std::uint32_t>(config.get_int("qd", 4));
   const auto batch =
       static_cast<std::uint32_t>(config.get_int("batch", 1));
@@ -504,6 +574,7 @@ int run(const Config& config) {
   testbed_config.driver.io_queue_depth =
       static_cast<std::uint32_t>(config.get_int("depth", 256));
   testbed_config.telemetry.window_ns = config.get_int("window", 10'000);
+  testbed_config.policy_enabled = policy_mode;
 
   // Faulted mode: fault.rate spreads one per-command fault probability
   // over the injector's kinds (retryable-heavy), and the recovery clocks
@@ -535,6 +606,12 @@ int run(const Config& config) {
 
   ByteVec payload(payload_size);
   fill_pattern(payload, payload_size);
+  // Policy mode interleaves a large payload (`payload.large`, default
+  // 4096 B) every fourth op so kAuto renders both decisions in one run.
+  const auto large_size = static_cast<std::uint32_t>(
+      config.get_int("payload.large", 4'096));
+  ByteVec large_payload(large_size);
+  fill_pattern(large_payload, large_size);
 
   // One run over all methods with no counter resets in between, so the
   // trace + telemetry cover the whole session and the Perfetto export
@@ -554,6 +631,7 @@ int run(const Config& config) {
     // degradation path) and tolerate final device errors — those are the
     // point of the run and show up in the fault section.
     std::vector<driver::Submitted> inflight;
+    std::uint64_t mixed_payload_bytes = 0;
     const std::size_t target_depth = std::size_t{qd} * queue_count;
     driver::IoRequest request;
     request.opcode = nvme::IoOpcode::kVendorRawWrite;
@@ -620,6 +698,11 @@ int run(const Config& config) {
     } else {
       for (std::uint64_t i = 0; i < ops; ++i) {
         const auto qid = static_cast<std::uint16_t>(1 + i % queue_count);
+        if (policy_mode) {
+          request.write_data = (i % 4 == 3) ? ConstByteSpan(large_payload)
+                                            : ConstByteSpan(payload);
+          mixed_payload_bytes += request.write_data.size();
+        }
         auto handle = testbed.driver().submit(request, qid);
         if (!handle.is_ok()) {
           std::fprintf(stderr, "bxmon: submit failed (%s): %s\n",
@@ -652,7 +735,9 @@ int run(const Config& config) {
 
     const auto after = testbed.traffic().total();
     summary.ops = ops;
-    summary.payload_bytes = std::uint64_t{payload_size} * ops;
+    summary.payload_bytes = mixed_payload_bytes > 0
+                                ? mixed_payload_bytes
+                                : std::uint64_t{payload_size} * ops;
     summary.wire_bytes = after.wire_bytes - before.wire_bytes;
     summary.data_bytes = after.data_bytes - before.data_bytes;
     summary.time_ns = testbed.clock().now() - start;
@@ -743,6 +828,9 @@ int run(const Config& config) {
 
   print_waits_section(testbed.metrics(), summaries);
   print_inline_read_section(testbed.metrics(), queue_count);
+  if (testbed.method_policy() != nullptr) {
+    print_policy_section(testbed.metrics(), samples, queue_count, max_rows);
+  }
 
   if (testbed.fault_injector() != nullptr) {
     print_fault_section(testbed.metrics());
@@ -802,10 +890,11 @@ int main(int argc, char** argv) {
                  parsed.to_string().c_str());
     return 2;
   }
-  // `bxmon waits` — bare mode word, equivalent to waits=1 (parse_args
-  // skips tokens without '=').
+  // `bxmon waits` / `bxmon policy` — bare mode words, equivalent to
+  // waits=1 / policy=1 (parse_args skips tokens without '=').
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "waits") == 0) config.set("waits", "1");
+    if (std::strcmp(argv[i], "policy") == 0) config.set("policy", "1");
   }
   const std::string input = config.get_string("input", "");
   if (!input.empty()) {
